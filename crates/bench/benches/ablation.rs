@@ -1,0 +1,54 @@
+//! Ablation for the paper's §2.1.2 observation: strassenifying a 1×1
+//! pointwise convolution costs proportionally far more additions than
+//! strassenifying a 3×3 convolution, because the ternary `W_b` stage
+//! duplicates the whole (already tiny) pointwise product.
+//!
+//! We measure wall-clock for plain vs strassenified convs of both kernel
+//! shapes at r = c_out; the ST/plain runtime ratio should be markedly worse
+//! for the pointwise layer, mirroring the paper's addition-count argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt_nn::Layer;
+use thnt_strassen::{StrassenConv2d, Strassenified};
+use thnt_tensor::{conv2d, gaussian, Conv2dSpec};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strassenify_ablation");
+    let mut rng = SmallRng::seed_from_u64(0);
+    let x = gaussian(&[1, 64, 25, 5], 0.0, 1.0, &mut rng);
+
+    // Plain pointwise 1x1 (64 -> 64).
+    let pw_spec = Conv2dSpec::valid(1, 1, 1, 1);
+    let pw_w = gaussian(&[64, 64, 1, 1], 0.0, 0.1, &mut rng);
+    group.bench_function("plain_pointwise", |b| {
+        b.iter(|| conv2d(&x, &pw_w, None, &pw_spec));
+    });
+    // Strassenified pointwise, r = c_out.
+    let mut st_pw = StrassenConv2d::new(64, 64, 64, pw_spec, &mut rng);
+    st_pw.activate_quantization();
+    st_pw.freeze_ternary();
+    group.bench_function("st_pointwise_r64", |b| b.iter(|| st_pw.forward(&x, false)));
+
+    // Plain 3x3 (64 -> 64).
+    let k3_spec = Conv2dSpec::same(25, 5, 3, 3, 1, 1);
+    let k3_w = gaussian(&[64, 64, 3, 3], 0.0, 0.1, &mut rng);
+    group.bench_function("plain_3x3", |b| {
+        b.iter(|| conv2d(&x, &k3_w, None, &k3_spec));
+    });
+    // Strassenified 3x3, r = c_out.
+    let mut st_k3 = StrassenConv2d::new(64, 64, 64, k3_spec, &mut rng);
+    st_k3.activate_quantization();
+    st_k3.freeze_ternary();
+    group.bench_function("st_3x3_r64", |b| b.iter(|| st_k3.forward(&x, false)));
+
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablation
+}
+criterion_main!(ablation);

@@ -1,0 +1,50 @@
+//! End-to-end inference latency of every model family — the runtime
+//! counterpart of the paper's per-table operation counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt_bonsai::{BonsaiConfig, BonsaiTree};
+use thnt_core::{HybridConfig, HybridNet, StHybridNet};
+use thnt_models::{DsCnn, StDsCnn};
+use thnt_nn::{Layer, Model};
+use thnt_strassen::Strassenified;
+use thnt_tensor::gaussian;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_1clip");
+    let mut rng = SmallRng::seed_from_u64(0);
+    let x = gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
+    let flat = x.reshape(&[1, 490]);
+
+    let mut ds = DsCnn::new(&mut rng);
+    group.bench_function("ds_cnn", |b| b.iter(|| ds.forward(&x, false)));
+
+    let mut st_ds = StDsCnn::new(0.75, &mut rng);
+    st_ds.activate_quantization();
+    // Freeze so inference uses genuinely ternary weights.
+    st_ds.freeze_ternary();
+    group.bench_function("st_ds_cnn_r075_frozen", |b| b.iter(|| st_ds.forward(&x, false)));
+
+    let mut hybrid = HybridNet::new(HybridConfig::paper(), &mut rng);
+    group.bench_function("hybrid_net", |b| b.iter(|| hybrid.forward(&x, false)));
+
+    let mut st_hybrid = StHybridNet::new(HybridConfig::paper(), &mut rng);
+    st_hybrid.activate_quantization();
+    st_hybrid.freeze_ternary();
+    group.bench_function("st_hybrid_net_frozen", |b| b.iter(|| st_hybrid.forward(&x, false)));
+
+    let mut bonsai = BonsaiTree::new(
+        BonsaiConfig { input_dim: 490, proj_dim: 64, depth: 2, ..Default::default() },
+        &mut rng,
+    );
+    group.bench_function("bonsai_d64_t2", |b| b.iter(|| bonsai.forward(&flat, false)));
+    group.finish();
+}
+
+criterion_group! {
+    name = inference;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference
+}
+criterion_main!(inference);

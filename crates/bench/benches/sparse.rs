@@ -1,0 +1,36 @@
+//! §5's runtime claim, measured: sparse (CSR) matvec beats the dense kernel
+//! only at high sparsity, because of irregular access and index chasing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use thnt_nn::Param;
+use thnt_prune::{prune_to_sparsity, CsrMatrix};
+use thnt_tensor::{gaussian, matvec, Tensor};
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec_256x256");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    let x = gaussian(&[256], 0.0, 1.0, &mut rng);
+
+    let dense_w: Tensor = gaussian(&[256, 256], 0.0, 1.0, &mut rng);
+    group.bench_function("dense", |b| b.iter(|| matvec(&dense_w, &x)));
+
+    for sparsity in [50u32, 70, 90, 95] {
+        let mut p = Param::new("w", dense_w.clone());
+        prune_to_sparsity(&mut p, sparsity as f64 / 100.0);
+        let csr = CsrMatrix::from_dense(&p.value);
+        group.bench_with_input(
+            BenchmarkId::new("csr", format!("{sparsity}pct")),
+            &sparsity,
+            |b, _| b.iter(|| csr.matvec(x.data())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = sparse;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sparse_vs_dense
+}
+criterion_main!(sparse);

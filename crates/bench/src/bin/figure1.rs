@@ -1,0 +1,10 @@
+//! Renders Figure 1: the hybrid neural-tree architecture diagram.
+
+use thnt_core::{describe_hybrid, HybridConfig};
+
+fn main() {
+    println!("{}", describe_hybrid(&HybridConfig::paper()));
+    println!("\nTable 5 variants:\n");
+    println!("{}", describe_hybrid(&HybridConfig::two_convs()));
+    println!("{}", describe_hybrid(&HybridConfig::shallow_tree()));
+}

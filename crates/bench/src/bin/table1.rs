@@ -1,0 +1,42 @@
+//! Regenerates Table 1: test accuracy, op counts and model size for DS-CNN
+//! and strassenified DS-CNN at r ∈ {0.5, 0.75, 1, 2}·c_out.
+
+use thnt_bench::{banner, kb, mops, pct, TextTable};
+use thnt_core::experiments::table1;
+use thnt_core::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    banner(
+        "Table 1",
+        "DS-CNN vs strassenified DS-CNN (ST-DS-CNN) on KWS",
+        profile,
+    );
+    let rows = table1(&profile.settings());
+    let mut t = TextTable::new(&[
+        "network",
+        "acc(%)",
+        "muls",
+        "adds",
+        "ops",
+        "model",
+        "| paper acc",
+        "paper ops",
+        "paper model",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.network.clone(),
+            pct(r.acc),
+            if r.muls > 0 { mops(r.muls) } else { "-".into() },
+            if r.adds > 0 { mops(r.adds) } else { "-".into() },
+            mops(r.ops),
+            kb(r.model_kb),
+            format!("| {}", pct(r.paper_acc)),
+            format!("{:.2}M", r.paper_ops_m),
+            kb(r.paper_model_kb),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("JSON written to target/experiments/table1.json");
+}

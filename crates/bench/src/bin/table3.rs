@@ -1,0 +1,35 @@
+//! Regenerates Table 3: the baseline zoo vs the uncompressed HybridNet.
+
+use thnt_bench::{banner, kb, mops, pct, TextTable};
+use thnt_core::experiments::table3;
+use thnt_core::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    banner("Table 3", "HybridNet vs DS-CNN and prior KWS baselines", profile);
+    let rows = table3(&profile.settings());
+    let mut t = TextTable::new(&[
+        "network",
+        "acc(%)",
+        "macs",
+        "model",
+        "| paper acc",
+        "paper ops",
+        "paper model",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.network.clone(),
+            pct(r.acc),
+            mops(r.macs),
+            kb(r.model_kb),
+            format!("| {}", pct(r.paper_acc)),
+            format!("{:.2}M", r.paper_ops_m),
+            kb(r.paper_model_kb),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: HybridNet matches DS-CNN accuracy with ~44% fewer ops");
+    println!("but a larger (fp32) model — the motivation for strassenifying it (Table 4).");
+    println!("JSON written to target/experiments/table3.json");
+}

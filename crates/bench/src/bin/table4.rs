@@ -1,0 +1,50 @@
+//! Regenerates Table 4: ST-HybridNet vs HybridNet, DS-CNN and ST-DS-CNN.
+
+use thnt_bench::{banner, kb, mops, pct, TextTable};
+use thnt_core::experiments::table4;
+use thnt_core::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    banner(
+        "Table 4",
+        "strassenified hybrid network (ST-HybridNet) vs ancestors",
+        profile,
+    );
+    let rows = table4(&profile.settings());
+    let mut t = TextTable::new(&[
+        "network",
+        "acc(%)",
+        "muls",
+        "adds",
+        "ops",
+        "model",
+        "| paper acc",
+        "paper ops",
+        "paper model",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.network.clone(),
+            pct(r.acc),
+            if r.muls > 0 { mops(r.muls) } else { "-".into() },
+            if r.adds > 0 { mops(r.adds) } else { "-".into() },
+            mops(r.ops),
+            kb(r.model_kb),
+            format!("| {}", pct(r.paper_acc)),
+            format!("{:.2}M", r.paper_ops_m),
+            kb(r.paper_model_kb),
+        ]);
+    }
+    println!("{}", t.render());
+    if let (Some(ds), Some(st)) = (
+        rows.iter().find(|r| r.network == "DS-CNN"),
+        rows.iter().find(|r| r.network.contains("without KD")),
+    ) {
+        let dmuls = 100.0 * (1.0 - st.muls as f64 / ds.macs as f64);
+        let dops = 100.0 * (1.0 - st.ops as f64 / ds.ops as f64);
+        println!("Headline check vs DS-CNN: muls reduced {dmuls:.2}% (paper 98.89%),");
+        println!("total ops reduced {dops:.1}% (paper 11.1%).");
+    }
+    println!("JSON written to target/experiments/table4.json");
+}

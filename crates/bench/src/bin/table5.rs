@@ -1,0 +1,25 @@
+//! Regenerates Table 5: ST-HybridNet hyper-parameter ablation.
+
+use thnt_bench::{banner, mops, pct, TextTable};
+use thnt_core::experiments::table5;
+use thnt_core::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    banner("Table 5", "ST-HybridNet hyper-parameter search", profile);
+    let rows = table5(&profile.settings());
+    let mut t = TextTable::new(&["hyperparameters", "acc(%)", "ops", "| paper acc", "paper ops"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.hyperparameters.clone(),
+            pct(r.acc),
+            mops(r.ops),
+            format!("| {}", pct(r.paper_acc)),
+            format!("{:.2}M", r.paper_ops_m),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: the 2-conv and depth-1 variants trade accuracy for ops;");
+    println!("3 convs + depth-2 tree is the sweet spot the paper ships.");
+    println!("JSON written to target/experiments/table5.json");
+}

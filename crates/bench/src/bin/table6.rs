@@ -1,0 +1,48 @@
+//! Regenerates Table 6: post-training quantization of ST-HybridNet.
+
+use thnt_bench::{banner, kb, mops, pct, TextTable};
+use thnt_core::experiments::table6;
+use thnt_core::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    banner(
+        "Table 6",
+        "quantized ST-HybridNet weights/activations + memory footprint",
+        profile,
+    );
+    let rows = table6(&profile.settings());
+    let mut t = TextTable::new(&[
+        "network",
+        "acc(%)",
+        "ops",
+        "model",
+        "footprint",
+        "| paper acc",
+        "paper model",
+        "paper footprint",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.network.clone(),
+            pct(r.acc),
+            mops(r.ops),
+            kb(r.model_kb),
+            kb(r.footprint_kb),
+            format!("| {}", pct(r.paper_acc)),
+            kb(r.paper_model_kb),
+            kb(r.paper_footprint_kb),
+        ]);
+    }
+    println!("{}", t.render());
+    if rows.len() >= 2 {
+        let ds = &rows[0];
+        let q8 = &rows[1];
+        println!(
+            "Headline check: model size reduced {:.1}% (paper 52.2%), footprint {:.1}% (paper 30.6%).",
+            100.0 * (1.0 - q8.model_kb / ds.model_kb),
+            100.0 * (1.0 - q8.footprint_kb / ds.footprint_kb),
+        );
+    }
+    println!("JSON written to target/experiments/table6.json");
+}

@@ -1,0 +1,133 @@
+//! Table rendering for the paper-reproduction binaries.
+//!
+//! Each `table{1..7}` / `figure1` binary (see `src/bin/`) runs the matching
+//! experiment from [`thnt_core::experiments`] and prints the paper's row
+//! values next to the measured ones. [`TextTable`] does the monospace
+//! alignment.
+
+/// A simple monospace table renderer.
+///
+/// # Example
+///
+/// ```
+/// use thnt_bench::TextTable;
+///
+/// let mut t = TextTable::new(&["network", "acc"]);
+/// t.row(&["DS-CNN", "94.4"]);
+/// let s = t.render();
+/// assert!(s.contains("DS-CNN"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            out.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an op count as the paper prints it (e.g. `2.70M`).
+pub fn mops(ops: u64) -> String {
+    format!("{:.2}M", ops as f64 / 1e6)
+}
+
+/// Formats a KB value (`{:.2}KB`).
+pub fn kb(v: f64) -> String {
+    format!("{v:.2}KB")
+}
+
+/// Formats a percentage (`{:.2}`).
+pub fn pct(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// Prints the standard banner for a table binary: paper context plus the
+/// active experiment profile.
+pub fn banner(table: &str, caption: &str, profile: thnt_core::Profile) {
+    println!("==============================================================");
+    println!("{table} — {caption}");
+    println!("(reproduction of Gope et al., MLSys 2019; synthetic dataset,");
+    println!(" profile {profile:?} — set THNT_PROFILE=smoke|quick|paper)");
+    println!("==============================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn rejects_wrong_cell_count() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mops(2_700_000), "2.70M");
+        assert_eq!(kb(22.07), "22.07KB");
+        assert_eq!(pct(94.4), "94.40");
+    }
+}

@@ -1,0 +1,48 @@
+//! Bonsai decision trees (Kumar, Goyal, Varma — ICML 2017) trained with
+//! gradient descent, for the THNT reproduction.
+//!
+//! A Bonsai model is a **single shallow tree** over a learned low-dimensional
+//! projection `ẑ = Z·x` (`Z: [D̂, D]`). Every node `k` — internal and leaf —
+//! owns matrices `W_k, V_k: [L, D̂]` and contributes a non-linear score
+//!
+//! ```text
+//! score_k(x) = (W_k ẑ) ⊙ tanh(σ · V_k ẑ)
+//! ```
+//!
+//! Internal nodes own branching vectors `θ_j`; the relaxed path indicator
+//! `g_j = sigmoid(s · θ_jᵀ ẑ)` routes probability mass left/right, and the
+//! model output is the path-weighted sum of all node scores. The sharpness
+//! `s` anneals upward during training ("points gradually start traversing at
+//! most a single path", §3), and at inference **all nodes are evaluated** —
+//! the paper's branch-free, SIMD-friendly execution.
+//!
+//! [`BonsaiTree`] is the plain model (Table 2); [`StrassenBonsai`] is the
+//! tree section of the ST-HybridNet with every node matrix strassenified at
+//! hidden width `r = L` (§3).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use thnt_bonsai::{BonsaiConfig, BonsaiTree};
+//! use thnt_nn::Layer;
+//! use thnt_tensor::Tensor;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let cfg = BonsaiConfig { input_dim: 20, proj_dim: 8, depth: 2, num_classes: 4, ..Default::default() };
+//! let mut tree = BonsaiTree::new(cfg, &mut rng);
+//! let scores = tree.forward(&Tensor::zeros(&[5, 20]), false);
+//! assert_eq!(scores.dims(), &[5, 4]);
+//! ```
+
+// Numeric kernels index by position throughout; positional loops keep the
+// math legible next to the formulas they implement.
+#![allow(clippy::needless_range_loop)]
+
+pub mod st_tree;
+pub mod topology;
+pub mod tree;
+
+pub use st_tree::StrassenBonsai;
+pub use topology::TreeTopology;
+pub use tree::{BonsaiConfig, BonsaiTree};

@@ -1,0 +1,331 @@
+//! The strassenified Bonsai tree — the tree section of ST-HybridNet.
+//!
+//! Every matrix product in the tree (the projection `Z`, each node's `W`/`V`
+//! and each internal node's branching `θ`) is replaced by a
+//! [`StrassenDense`] sum-product network. Following §3 of the paper, the
+//! hidden width `r` of the tree-node SPNs is set to the number of targets
+//! `L` by default.
+
+use rand::rngs::SmallRng;
+use thnt_nn::{Layer, Param};
+use thnt_strassen::{LayerCost, QuantMode, StrassenDense, Strassenified};
+use thnt_tensor::Tensor;
+
+use crate::topology::TreeTopology;
+use crate::tree::BonsaiConfig;
+
+/// Strassenified Bonsai tree layer (`[n, D] → [n, L]`).
+#[derive(Debug)]
+pub struct StrassenBonsai {
+    config: BonsaiConfig,
+    topo: TreeTopology,
+    z: StrassenDense,
+    theta: Vec<StrassenDense>,
+    w: Vec<StrassenDense>,
+    v: Vec<StrassenDense>,
+    node_r: usize,
+    sharpness: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    n: usize,
+    gates: Vec<Vec<f32>>,
+    probs: Vec<Vec<f32>>,
+    a: Vec<Tensor>,
+    t: Vec<Tensor>,
+}
+
+impl StrassenBonsai {
+    /// Creates a strassenified Bonsai tree. `node_r` is the SPN hidden width
+    /// used for node matrices, branching vectors and the projection (the
+    /// paper sets it to `L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(config: BonsaiConfig, node_r: usize, rng: &mut SmallRng) -> Self {
+        assert!(node_r > 0, "node_r must be positive");
+        let topo = TreeTopology::new(config.depth);
+        let z = StrassenDense::new(config.input_dim, config.proj_dim, node_r, rng);
+        let theta = (0..topo.num_internal())
+            .map(|_| StrassenDense::new(config.proj_dim, 1, node_r, rng))
+            .collect();
+        let w = (0..topo.num_nodes())
+            .map(|_| StrassenDense::new(config.proj_dim, config.num_classes, node_r, rng))
+            .collect();
+        let v = (0..topo.num_nodes())
+            .map(|_| StrassenDense::new(config.proj_dim, config.num_classes, node_r, rng))
+            .collect();
+        Self {
+            config,
+            topo,
+            z,
+            theta,
+            w,
+            v,
+            node_r,
+            sharpness: config.branch_sharpness,
+            cache: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BonsaiConfig {
+        &self.config
+    }
+
+    /// The tree topology.
+    pub fn topology(&self) -> &TreeTopology {
+        &self.topo
+    }
+
+    /// The SPN hidden width used throughout the tree.
+    pub fn node_r(&self) -> usize {
+        self.node_r
+    }
+
+    /// Sets the branching sharpness.
+    pub fn set_branch_sharpness(&mut self, s: f32) {
+        assert!(s > 0.0, "sharpness must be positive");
+        self.sharpness = s;
+    }
+
+    /// Sets the TWN threshold factor on every SPN in the tree.
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        for l in self.sublayers_mut() {
+            l.set_ternary_threshold(factor);
+        }
+    }
+
+    /// Cost descriptors (identical geometry to the plain tree; callers apply
+    /// the strassenified accounting with `r = node_r`).
+    pub fn cost_layers(&self) -> Vec<LayerCost> {
+        let d = self.config.input_dim as u64;
+        let dh = self.config.proj_dim as u64;
+        let l = self.config.num_classes as u64;
+        let mut out = vec![LayerCost::Dense { in_dim: d, out_dim: dh }];
+        for _ in 0..self.topo.num_nodes() {
+            out.push(LayerCost::Dense { in_dim: dh, out_dim: l });
+            out.push(LayerCost::Dense { in_dim: dh, out_dim: l });
+        }
+        for _ in 0..self.topo.num_internal() {
+            out.push(LayerCost::Dense { in_dim: dh, out_dim: 1 });
+        }
+        out
+    }
+
+    fn sublayers_mut(&mut self) -> Vec<&mut StrassenDense> {
+        let mut ls: Vec<&mut StrassenDense> = vec![&mut self.z];
+        ls.extend(self.theta.iter_mut());
+        ls.extend(self.w.iter_mut());
+        ls.extend(self.v.iter_mut());
+        ls
+    }
+}
+
+impl Layer for StrassenBonsai {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims()[1], self.config.input_dim, "StrassenBonsai input width mismatch");
+        let n = x.dims()[0];
+        let l = self.config.num_classes;
+        let zhat = self.z.forward(x, train);
+        // Routing.
+        let num_nodes = self.topo.num_nodes();
+        let mut probs = vec![vec![0.0f32; n]; num_nodes];
+        probs[0] = vec![1.0; n];
+        let mut gates = Vec::with_capacity(self.topo.num_internal());
+        for j in 0..self.topo.num_internal() {
+            let u = self.theta[j].forward(&zhat, train);
+            let mut g = vec![0.0f32; n];
+            for s in 0..n {
+                g[s] = 1.0 / (1.0 + (-self.sharpness * u.data()[s]).exp());
+            }
+            let (lc, rc) = (self.topo.left(j), self.topo.right(j));
+            for s in 0..n {
+                probs[lc][s] = probs[j][s] * (1.0 - g[s]);
+                probs[rc][s] = probs[j][s] * g[s];
+            }
+            gates.push(g);
+        }
+        // Node scores.
+        let mut y = Tensor::zeros(&[n, l]);
+        let mut a_cache = Vec::with_capacity(num_nodes);
+        let mut t_cache = Vec::with_capacity(num_nodes);
+        for k in 0..num_nodes {
+            let a = self.w[k].forward(&zhat, train);
+            let t = self.v[k].forward(&zhat, train).map(|b| (self.config.sigma * b).tanh());
+            {
+                let yd = y.data_mut();
+                for s in 0..n {
+                    let p = probs[k][s];
+                    for c in 0..l {
+                        yd[s * l + c] += p * a.data()[s * l + c] * t.data()[s * l + c];
+                    }
+                }
+            }
+            if train {
+                a_cache.push(a);
+                t_cache.push(t);
+            }
+        }
+        if train {
+            self.cache = Some(Cache { n, gates, probs, a: a_cache, t: t_cache });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("StrassenBonsai::backward without training forward");
+        let n = cache.n;
+        let l = self.config.num_classes;
+        let num_nodes = self.topo.num_nodes();
+        let dh = self.config.proj_dim;
+        let mut dzhat = Tensor::zeros(&[n, dh]);
+        let mut d_p = vec![vec![0.0f32; n]; num_nodes];
+
+        for k in 0..num_nodes {
+            let (a, t) = (&cache.a[k], &cache.t[k]);
+            let mut d_a = Tensor::zeros(&[n, l]);
+            let mut d_b = Tensor::zeros(&[n, l]);
+            {
+                let gd = grad.data();
+                let (ad, td) = (a.data(), t.data());
+                let (dad, dbd) = (d_a.data_mut(), d_b.data_mut());
+                for s in 0..n {
+                    let p = cache.probs[k][s];
+                    let mut acc = 0.0f32;
+                    for c in 0..l {
+                        let g = gd[s * l + c];
+                        acc += g * ad[s * l + c] * td[s * l + c];
+                        let ds = p * g;
+                        dad[s * l + c] = ds * td[s * l + c];
+                        dbd[s * l + c] = ds
+                            * ad[s * l + c]
+                            * self.config.sigma
+                            * (1.0 - td[s * l + c] * td[s * l + c]);
+                    }
+                    d_p[k][s] = acc;
+                }
+            }
+            dzhat.axpy(1.0, &self.w[k].backward(&d_a));
+            dzhat.axpy(1.0, &self.v[k].backward(&d_b));
+        }
+
+        for j in (0..self.topo.num_internal()).rev() {
+            let (lc, rc) = (self.topo.left(j), self.topo.right(j));
+            let g = &cache.gates[j];
+            let mut d_u = Tensor::zeros(&[n, 1]);
+            for s in 0..n {
+                let dl = d_p[lc][s];
+                let dr = d_p[rc][s];
+                d_p[j][s] += dl * (1.0 - g[s]) + dr * g[s];
+                let d_g = cache.probs[j][s] * (dr - dl);
+                d_u.data_mut()[s] = d_g * self.sharpness * g[s] * (1.0 - g[s]);
+            }
+            dzhat.axpy(1.0, &self.theta[j].backward(&d_u));
+        }
+
+        self.z.backward(&dzhat)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.sublayers_mut().into_iter().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "strassen_bonsai"
+    }
+}
+
+impl Strassenified for StrassenBonsai {
+    fn mode(&self) -> QuantMode {
+        self.z.mode()
+    }
+
+    fn activate_quantization(&mut self) {
+        for l in self.sublayers_mut() {
+            l.activate_quantization();
+        }
+    }
+
+    fn freeze_ternary(&mut self) {
+        for l in self.sublayers_mut() {
+            l.freeze_ternary();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small(depth: usize) -> StrassenBonsai {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cfg = BonsaiConfig {
+            input_dim: 10,
+            proj_dim: 6,
+            depth,
+            num_classes: 3,
+            sigma: 1.0,
+            branch_sharpness: 1.0,
+        };
+        StrassenBonsai::new(cfg, 3, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut tree = small(2);
+        let y = tree.forward(&Tensor::zeros(&[4, 10]), false);
+        assert_eq!(y.dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut tree = small(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x = thnt_tensor::gaussian(&[2, 10], 0.0, 1.0, &mut rng);
+        thnt_nn::check_gradients(&mut tree, &x, 1e-2, 3e-2, 20, 2);
+    }
+
+    #[test]
+    fn phase_transitions_propagate_to_all_sublayers() {
+        let mut tree = small(2);
+        assert_eq!(tree.mode(), QuantMode::FullPrecision);
+        tree.activate_quantization();
+        assert_eq!(tree.mode(), QuantMode::Quantized);
+        tree.freeze_ternary();
+        assert_eq!(tree.mode(), QuantMode::Frozen);
+        // Every ternary matrix is now actually ternary and frozen.
+        for p in tree.params_mut() {
+            if p.name.contains(".wb") || p.name.contains(".wc") {
+                assert!(!p.trainable, "{} not frozen", p.name);
+                assert!(
+                    p.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0),
+                    "{} not ternary",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_preserves_quantized_function() {
+        let mut tree = small(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = thnt_tensor::gaussian(&[3, 10], 0.0, 1.0, &mut rng);
+        tree.activate_quantization();
+        let before = tree.forward(&x, false);
+        tree.freeze_ternary();
+        let after = tree.forward(&x, false);
+        thnt_tensor::assert_close(after.data(), before.data(), 1e-4, 1e-3);
+    }
+
+    #[test]
+    fn cost_layers_match_plain_tree_geometry() {
+        let tree = small(2);
+        assert_eq!(tree.cost_layers().len(), 1 + 14 + 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Complete-binary-tree topology helpers.
+
+/// Topology of a complete binary tree of a given depth.
+///
+/// Nodes are numbered in breadth-first order: node 0 is the root, node `k`
+/// has children `2k+1` and `2k+2`. A depth-`T` tree has `2^T − 1` internal
+/// nodes and `2^T` leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeTopology {
+    depth: usize,
+}
+
+impl TreeTopology {
+    /// Creates the topology of a depth-`depth` complete binary tree.
+    ///
+    /// Depth 0 is a single (leaf) node.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth <= 16, "depth {depth} is unreasonably large");
+        Self { depth }
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total node count `2^(T+1) − 1`.
+    pub fn num_nodes(&self) -> usize {
+        (1 << (self.depth + 1)) - 1
+    }
+
+    /// Internal node count `2^T − 1`.
+    pub fn num_internal(&self) -> usize {
+        (1 << self.depth) - 1
+    }
+
+    /// Leaf count `2^T`.
+    pub fn num_leaves(&self) -> usize {
+        1 << self.depth
+    }
+
+    /// Whether node `k` is internal.
+    pub fn is_internal(&self, k: usize) -> bool {
+        k < self.num_internal()
+    }
+
+    /// Left child of internal node `k`.
+    pub fn left(&self, k: usize) -> usize {
+        2 * k + 1
+    }
+
+    /// Right child of internal node `k`.
+    pub fn right(&self, k: usize) -> usize {
+        2 * k + 2
+    }
+
+    /// Parent of node `k` (`None` for the root).
+    pub fn parent(&self, k: usize) -> Option<usize> {
+        if k == 0 {
+            None
+        } else {
+            Some((k - 1) / 2)
+        }
+    }
+
+    /// Nodes along the root→`k` path, inclusive.
+    pub fn path_to(&self, mut k: usize) -> Vec<usize> {
+        let mut path = vec![k];
+        while let Some(p) = self.parent(k) {
+            path.push(p);
+            k = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth2_matches_paper_counts() {
+        // The paper's hybrid uses a depth-2 tree: 3 internal + 4 leaf nodes.
+        let t = TreeTopology::new(2);
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_internal(), 3);
+        assert_eq!(t.num_leaves(), 4);
+    }
+
+    #[test]
+    fn depth1_matches_table5_small_tree() {
+        // Table 5's D=1, N=3 configuration: 1 internal + 2 leaves.
+        let t = TreeTopology::new(1);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_internal(), 1);
+        assert_eq!(t.num_leaves(), 2);
+    }
+
+    #[test]
+    fn children_and_parents_are_consistent() {
+        let t = TreeTopology::new(3);
+        for k in 0..t.num_internal() {
+            assert_eq!(t.parent(t.left(k)), Some(k));
+            assert_eq!(t.parent(t.right(k)), Some(k));
+        }
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn internal_vs_leaf_partition() {
+        let t = TreeTopology::new(2);
+        let internals: Vec<usize> = (0..t.num_nodes()).filter(|&k| t.is_internal(k)).collect();
+        assert_eq!(internals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn paths_start_at_root_and_have_depth_length() {
+        let t = TreeTopology::new(2);
+        for leaf in t.num_internal()..t.num_nodes() {
+            let path = t.path_to(leaf);
+            assert_eq!(path[0], 0);
+            assert_eq!(path.len(), 3);
+            assert_eq!(*path.last().unwrap(), leaf);
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let t = TreeTopology::new(0);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_internal(), 0);
+        assert_eq!(t.num_leaves(), 1);
+    }
+}

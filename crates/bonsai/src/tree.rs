@@ -1,0 +1,468 @@
+//! The plain (full-precision) Bonsai tree.
+
+use rand::rngs::SmallRng;
+use thnt_nn::{Layer, Param};
+use thnt_strassen::LayerCost;
+use thnt_tensor::{matmul, matmul_nt, matmul_tn, xavier_uniform, Tensor};
+
+use crate::topology::TreeTopology;
+
+/// Hyper-parameters of a Bonsai tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BonsaiConfig {
+    /// Input dimensionality `D`.
+    pub input_dim: usize,
+    /// Projected dimensionality `D̂` (`Z: [D̂, D]`).
+    pub proj_dim: usize,
+    /// Tree depth `T` (depth 2 → 3 internal + 4 leaf nodes).
+    pub depth: usize,
+    /// Number of classification targets `L`.
+    pub num_classes: usize,
+    /// Prediction non-linearity scale `σ` in `tanh(σ Vᵀẑ)`.
+    pub sigma: f32,
+    /// Initial branching sharpness `s` in `sigmoid(s θᵀẑ)`; annealed upward
+    /// during training.
+    pub branch_sharpness: f32,
+}
+
+impl Default for BonsaiConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 490,
+            proj_dim: 64,
+            depth: 2,
+            num_classes: 12,
+            sigma: 1.0,
+            branch_sharpness: 1.0,
+        }
+    }
+}
+
+/// A Bonsai decision tree as a differentiable [`Layer`]
+/// (`[n, D] → [n, L]`).
+///
+/// All nodes are evaluated on every input; routing is the soft path
+/// indicator described in the crate docs.
+#[derive(Debug)]
+pub struct BonsaiTree {
+    config: BonsaiConfig,
+    topo: TreeTopology,
+    z: Param,
+    theta: Vec<Param>,
+    w: Vec<Param>,
+    v: Vec<Param>,
+    sharpness: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    x: Tensor,
+    zhat: Tensor,
+    /// Per internal node: gate activations `g_j` `[n]`.
+    gates: Vec<Vec<f32>>,
+    /// Per node: path probability `[n]`.
+    probs: Vec<Vec<f32>>,
+    /// Per node: `a_k = ẑ W_kᵀ` and `t_k = tanh(σ ẑ V_kᵀ)`.
+    a: Vec<Tensor>,
+    t: Vec<Tensor>,
+}
+
+impl BonsaiTree {
+    /// Creates a Bonsai tree with Xavier-initialised parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(config: BonsaiConfig, rng: &mut SmallRng) -> Self {
+        assert!(
+            config.input_dim > 0 && config.proj_dim > 0 && config.num_classes > 0,
+            "dimensions must be positive"
+        );
+        let topo = TreeTopology::new(config.depth);
+        let z = Param::new(
+            "bonsai.z",
+            xavier_uniform(&[config.proj_dim, config.input_dim], config.input_dim, config.proj_dim, rng),
+        );
+        let theta = (0..topo.num_internal())
+            .map(|j| {
+                Param::new(
+                    format!("bonsai.theta{j}"),
+                    xavier_uniform(&[config.proj_dim], config.proj_dim, 1, rng),
+                )
+            })
+            .collect();
+        let w = (0..topo.num_nodes())
+            .map(|k| {
+                Param::new(
+                    format!("bonsai.w{k}"),
+                    xavier_uniform(&[config.num_classes, config.proj_dim], config.proj_dim, config.num_classes, rng),
+                )
+            })
+            .collect();
+        let v = (0..topo.num_nodes())
+            .map(|k| {
+                Param::new(
+                    format!("bonsai.v{k}"),
+                    xavier_uniform(&[config.num_classes, config.proj_dim], config.proj_dim, config.num_classes, rng),
+                )
+            })
+            .collect();
+        Self { config, topo, z, theta, w, v, sharpness: config.branch_sharpness, cache: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BonsaiConfig {
+        &self.config
+    }
+
+    /// The tree topology.
+    pub fn topology(&self) -> &TreeTopology {
+        &self.topo
+    }
+
+    /// Current branching sharpness.
+    pub fn branch_sharpness(&self) -> f32 {
+        self.sharpness
+    }
+
+    /// Sets the branching sharpness (annealed upward by trainers).
+    pub fn set_branch_sharpness(&mut self, s: f32) {
+        assert!(s > 0.0, "sharpness must be positive");
+        self.sharpness = s;
+    }
+
+    /// Path probabilities of every node for inputs `x`: `[n, num_nodes]`.
+    ///
+    /// Row sums over **leaves** equal 1 (probability mass conservation).
+    pub fn path_probabilities(&self, x: &Tensor) -> Tensor {
+        let zhat = matmul_nt(x, &self.z.value);
+        let (probs, _) = self.route(&zhat);
+        let n = x.dims()[0];
+        let mut out = Tensor::zeros(&[n, self.topo.num_nodes()]);
+        for (k, p) in probs.iter().enumerate() {
+            for (s, &v) in p.iter().enumerate() {
+                out.set(&[s, k], v);
+            }
+        }
+        out
+    }
+
+    /// Computes per-node gates and path probabilities from projections.
+    fn route(&self, zhat: &Tensor) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let n = zhat.dims()[0];
+        let num_nodes = self.topo.num_nodes();
+        let mut probs = vec![vec![0.0f32; n]; num_nodes];
+        probs[0] = vec![1.0; n];
+        let mut gates = Vec::with_capacity(self.topo.num_internal());
+        for j in 0..self.topo.num_internal() {
+            let theta = &self.theta[j].value;
+            let mut g = vec![0.0f32; n];
+            for s in 0..n {
+                let u: f32 = zhat.row(s).iter().zip(theta.data()).map(|(a, b)| a * b).sum();
+                g[s] = 1.0 / (1.0 + (-self.sharpness * u).exp());
+            }
+            let (l, r) = (self.topo.left(j), self.topo.right(j));
+            for s in 0..n {
+                probs[l][s] = probs[j][s] * (1.0 - g[s]);
+                probs[r][s] = probs[j][s] * g[s];
+            }
+            gates.push(g);
+        }
+        (probs, gates)
+    }
+
+    /// Descriptors for the analytic cost model: the projection, every node's
+    /// `W`/`V` products and every internal node's branching dot product.
+    pub fn cost_layers(&self) -> Vec<LayerCost> {
+        let d = self.config.input_dim as u64;
+        let dh = self.config.proj_dim as u64;
+        let l = self.config.num_classes as u64;
+        let mut out = vec![LayerCost::Dense { in_dim: d, out_dim: dh }];
+        for _ in 0..self.topo.num_nodes() {
+            out.push(LayerCost::Dense { in_dim: dh, out_dim: l });
+            out.push(LayerCost::Dense { in_dim: dh, out_dim: l });
+        }
+        for _ in 0..self.topo.num_internal() {
+            out.push(LayerCost::Dense { in_dim: dh, out_dim: 1 });
+        }
+        out
+    }
+}
+
+impl Layer for BonsaiTree {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims()[1], self.config.input_dim, "BonsaiTree input width mismatch");
+        let n = x.dims()[0];
+        let l = self.config.num_classes;
+        let zhat = matmul_nt(x, &self.z.value);
+        let (probs, gates) = self.route(&zhat);
+        let mut y = Tensor::zeros(&[n, l]);
+        let mut a_cache = Vec::with_capacity(self.topo.num_nodes());
+        let mut t_cache = Vec::with_capacity(self.topo.num_nodes());
+        for k in 0..self.topo.num_nodes() {
+            let a = matmul_nt(&zhat, &self.w[k].value);
+            let t = matmul_nt(&zhat, &self.v[k].value).map(|b| (self.config.sigma * b).tanh());
+            {
+                let yd = y.data_mut();
+                let (ad, td) = (a.data(), t.data());
+                for s in 0..n {
+                    let p = probs[k][s];
+                    for c in 0..l {
+                        yd[s * l + c] += p * ad[s * l + c] * td[s * l + c];
+                    }
+                }
+            }
+            if train {
+                a_cache.push(a);
+                t_cache.push(t);
+            }
+        }
+        if train {
+            self.cache = Some(Cache { x: x.clone(), zhat, gates, probs, a: a_cache, t: t_cache });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("BonsaiTree::backward without training forward");
+        let n = cache.x.dims()[0];
+        let l = self.config.num_classes;
+        let num_nodes = self.topo.num_nodes();
+        let mut dzhat = Tensor::zeros(cache.zhat.dims());
+        let mut d_p = vec![vec![0.0f32; n]; num_nodes];
+
+        for k in 0..num_nodes {
+            let (a, t) = (&cache.a[k], &cache.t[k]);
+            // d_score = p ⊙ grad ; d_p = Σ_c grad ⊙ score
+            let mut d_a = Tensor::zeros(&[n, l]);
+            let mut d_b = Tensor::zeros(&[n, l]);
+            {
+                let gd = grad.data();
+                let (ad, td) = (a.data(), t.data());
+                let (dad, dbd) = (d_a.data_mut(), d_b.data_mut());
+                for s in 0..n {
+                    let p = cache.probs[k][s];
+                    let mut acc = 0.0f32;
+                    for c in 0..l {
+                        let g = gd[s * l + c];
+                        acc += g * ad[s * l + c] * td[s * l + c];
+                        let ds = p * g;
+                        dad[s * l + c] = ds * td[s * l + c];
+                        dbd[s * l + c] = ds
+                            * ad[s * l + c]
+                            * self.config.sigma
+                            * (1.0 - td[s * l + c] * td[s * l + c]);
+                    }
+                    d_p[k][s] = acc;
+                }
+            }
+            self.w[k].grad.axpy(1.0, &matmul_tn(&d_a, &cache.zhat));
+            self.v[k].grad.axpy(1.0, &matmul_tn(&d_b, &cache.zhat));
+            dzhat.axpy(1.0, &matmul(&d_a, &self.w[k].value));
+            dzhat.axpy(1.0, &matmul(&d_b, &self.v[k].value));
+        }
+
+        // Path gradients, children before parents (reverse BFS order).
+        for j in (0..self.topo.num_internal()).rev() {
+            let (lc, rc) = (self.topo.left(j), self.topo.right(j));
+            let g = &cache.gates[j];
+            let mut d_u = vec![0.0f32; n];
+            for s in 0..n {
+                let dl = d_p[lc][s];
+                let dr = d_p[rc][s];
+                d_p[j][s] += dl * (1.0 - g[s]) + dr * g[s];
+                let d_g = cache.probs[j][s] * (dr - dl);
+                d_u[s] = d_g * self.sharpness * g[s] * (1.0 - g[s]);
+            }
+            // dθ_j += Σ_n d_u[s] · ẑ[s]; dẑ += d_u ⊗ θ_j
+            {
+                let theta = &mut self.theta[j];
+                let (tg, tv) = (theta.grad.data_mut(), theta.value.data());
+                let zd = cache.zhat.data();
+                let dzd = dzhat.data_mut();
+                let dh = self.config.proj_dim;
+                for s in 0..n {
+                    for d in 0..dh {
+                        tg[d] += d_u[s] * zd[s * dh + d];
+                        dzd[s * dh + d] += d_u[s] * tv[d];
+                    }
+                }
+            }
+        }
+
+        // Projection backward.
+        self.z.grad.axpy(1.0, &matmul_tn(&dzhat, &cache.x));
+        matmul(&dzhat, &self.z.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.z];
+        ps.extend(self.theta.iter_mut());
+        for (w, v) in self.w.iter_mut().zip(self.v.iter_mut()) {
+            ps.push(w);
+            ps.push(v);
+        }
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps: Vec<&Param> = vec![&self.z];
+        ps.extend(self.theta.iter());
+        for (w, v) in self.w.iter().zip(self.v.iter()) {
+            ps.push(w);
+            ps.push(v);
+        }
+        ps
+    }
+
+    fn name(&self) -> &'static str {
+        "bonsai_tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_tree(depth: usize) -> BonsaiTree {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cfg = BonsaiConfig {
+            input_dim: 10,
+            proj_dim: 6,
+            depth,
+            num_classes: 3,
+            sigma: 1.0,
+            branch_sharpness: 1.0,
+        };
+        BonsaiTree::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut tree = small_tree(2);
+        let y = tree.forward(&Tensor::zeros(&[4, 10]), false);
+        assert_eq!(y.dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn leaf_path_probabilities_sum_to_one() {
+        let tree = small_tree(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x = thnt_tensor::gaussian(&[5, 10], 0.0, 1.0, &mut rng);
+        let p = tree.path_probabilities(&x);
+        let topo = tree.topology();
+        for s in 0..5 {
+            let leaf_sum: f32 =
+                (topo.num_internal()..topo.num_nodes()).map(|k| p.at(&[s, k])).sum();
+            assert!((leaf_sum - 1.0).abs() < 1e-5, "sample {s}: {leaf_sum}");
+            // Root always has probability 1.
+            assert!((p.at(&[s, 0]) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn probabilities_harden_with_sharpness() {
+        let mut tree = small_tree(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x = thnt_tensor::gaussian(&[8, 10], 0.0, 1.0, &mut rng);
+        tree.set_branch_sharpness(1.0);
+        let soft = tree.path_probabilities(&x);
+        tree.set_branch_sharpness(50.0);
+        let hard = tree.path_probabilities(&x);
+        // Hard routing concentrates leaf mass near {0, 1}.
+        let entropy = |p: &Tensor| -> f32 {
+            let mut e = 0.0;
+            for s in 0..8 {
+                for k in 1..3 {
+                    let v = p.at(&[s, k]).clamp(1e-6, 1.0 - 1e-6);
+                    e -= v * v.ln();
+                }
+            }
+            e
+        };
+        assert!(entropy(&hard) < entropy(&soft), "{} vs {}", entropy(&hard), entropy(&soft));
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut tree = small_tree(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = thnt_tensor::gaussian(&[3, 10], 0.0, 1.0, &mut rng);
+        thnt_nn::check_gradients(&mut tree, &x, 1e-2, 3e-2, 25, 4);
+    }
+
+    #[test]
+    fn gradients_check_depth1_high_sharpness() {
+        let mut tree = small_tree(1);
+        tree.set_branch_sharpness(4.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x = thnt_tensor::gaussian(&[3, 10], 0.0, 1.0, &mut rng);
+        thnt_nn::check_gradients(&mut tree, &x, 1e-2, 3e-2, 25, 6);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut tree = small_tree(2);
+        // Z: 6x10; θ: 3x6; W,V: 7 nodes x 2 x (3x6).
+        let expected = 60 + 18 + 7 * 2 * 18;
+        let total: usize = tree.params_mut().iter().map(|p| p.numel()).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn cost_layers_cover_all_products() {
+        let tree = small_tree(2);
+        let layers = tree.cost_layers();
+        // 1 projection + 7 nodes x 2 matrices + 3 branching dots.
+        assert_eq!(layers.len(), 1 + 14 + 3);
+        let macs: u64 = layers.iter().map(|l| l.macs()).sum();
+        // Z: 60, nodes: 14*18=252, θ: 3*6=18.
+        assert_eq!(macs, 60 + 252 + 18);
+    }
+
+    #[test]
+    fn learns_a_nonlinear_xor_boundary() {
+        // XOR on two features: a single linear classifier fails (~50%), a
+        // depth-1 Bonsai tree should succeed — expressiveness check.
+        use thnt_nn::{train_classifier, Loss, Model, TrainConfig};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 200;
+        let mut x = Tensor::zeros(&[n, 10]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let (a, b) = (i % 2 == 0, (i / 2) % 2 == 0);
+            let label = (a ^ b) as usize;
+            use rand::Rng;
+            x.set(&[i, 0], if a { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2));
+            x.set(&[i, 1], if b { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2));
+            y.push(label);
+        }
+        let cfg = BonsaiConfig {
+            input_dim: 10,
+            proj_dim: 4,
+            depth: 1,
+            num_classes: 2,
+            sigma: 1.0,
+            branch_sharpness: 2.0,
+        };
+        let tree = BonsaiTree::new(cfg, &mut rng);
+        struct Wrap(BonsaiTree);
+        impl Model for Wrap {
+            fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+                self.0.forward(x, train)
+            }
+            fn backward(&mut self, grad: &Tensor) {
+                self.0.backward(grad);
+            }
+            fn params_mut(&mut self) -> Vec<&mut Param> {
+                Layer::params_mut(&mut self.0)
+            }
+        }
+        let mut model = Wrap(tree);
+        let config = TrainConfig::quick(Loss::Hinge, 60);
+        let report = train_classifier(&mut model, &x, &y, &x, &y, &config);
+        assert!(report.final_val_acc > 0.9, "XOR accuracy {}", report.final_val_acc);
+    }
+}

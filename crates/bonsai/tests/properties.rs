@@ -1,0 +1,89 @@
+//! Property-based tests for Bonsai tree invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use thnt_bonsai::{BonsaiConfig, BonsaiTree, TreeTopology};
+use thnt_nn::Layer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn topology_node_counts_are_consistent(depth in 0usize..8) {
+        let t = TreeTopology::new(depth);
+        prop_assert_eq!(t.num_internal() + t.num_leaves(), t.num_nodes());
+        prop_assert_eq!(t.num_leaves(), t.num_internal() + 1);
+    }
+
+    #[test]
+    fn every_node_reaches_root(depth in 1usize..6) {
+        let t = TreeTopology::new(depth);
+        for k in 0..t.num_nodes() {
+            let path = t.path_to(k);
+            prop_assert_eq!(path[0], 0);
+            prop_assert_eq!(*path.last().unwrap(), k);
+            // Consecutive path entries are parent/child.
+            for w in path.windows(2) {
+                prop_assert_eq!(t.parent(w[1]), Some(w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_probabilities_form_a_simplex(
+        seed in 0u64..200,
+        depth in 1usize..4,
+        sharpness in 0.5f32..20.0,
+    ) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let cfg = BonsaiConfig {
+            input_dim: 8,
+            proj_dim: 4,
+            depth,
+            num_classes: 3,
+            sigma: 1.0,
+            branch_sharpness: sharpness,
+        };
+        let tree = BonsaiTree::new(cfg, &mut rng);
+        let x = thnt_tensor::gaussian(&[5, 8], 0.0, 2.0, &mut rng);
+        let p = tree.path_probabilities(&x);
+        let topo = tree.topology();
+        for s in 0..5 {
+            let mut leaf_sum = 0.0f32;
+            for k in 0..topo.num_nodes() {
+                let v = p.at(&[s, k]);
+                prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "p[{s},{k}] = {v}");
+                if !topo.is_internal(k) {
+                    leaf_sum += v;
+                }
+            }
+            prop_assert!((leaf_sum - 1.0).abs() < 1e-4, "leaf sum {leaf_sum}");
+            // Internal-node mass equals children mass.
+            for j in 0..topo.num_internal() {
+                let parent = p.at(&[s, j]);
+                let kids = p.at(&[s, topo.left(j)]) + p.at(&[s, topo.right(j)]);
+                prop_assert!((parent - kids).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_finite_for_any_input_scale(
+        seed in 0u64..100,
+        scale in 0.01f32..100.0,
+    ) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let cfg = BonsaiConfig {
+            input_dim: 6,
+            proj_dim: 4,
+            depth: 2,
+            num_classes: 4,
+            sigma: 1.0,
+            branch_sharpness: 2.0,
+        };
+        let mut tree = BonsaiTree::new(cfg, &mut rng);
+        let x = thnt_tensor::gaussian(&[3, 6], 0.0, scale, &mut rng);
+        let y = tree.forward(&x, false);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,88 @@
+//! Hybrid-network hyper-parameters (the paper's Figure 1 / Table 5 space).
+
+/// Architecture of a (ST-)HybridNet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Channels in the convolutional front-end.
+    pub width: usize,
+    /// Depthwise-separable blocks after the first standard convolution
+    /// (the paper's "3 convolutional layers" = 1 standard + 2 DS blocks).
+    pub ds_blocks: usize,
+    /// Bonsai projected dimension `D̂`.
+    pub proj_dim: usize,
+    /// Bonsai tree depth (depth 2 → 7 nodes).
+    pub tree_depth: usize,
+    /// Classification targets `L`.
+    pub num_classes: usize,
+    /// Strassen hidden-width factor for conv layers (`r = factor · c_out`).
+    pub conv_r_factor: f64,
+    /// Strassen hidden width for tree-node matrices (the paper uses `L`).
+    pub tree_r: usize,
+}
+
+impl HybridConfig {
+    /// The paper's final configuration: 3 convolutional layers (1 standard +
+    /// 2 DS blocks), depth-2 tree with 7 nodes, `r = 0.75·c_out` / `r = L`.
+    pub fn paper() -> Self {
+        Self {
+            width: 64,
+            ds_blocks: 2,
+            proj_dim: 48,
+            tree_depth: 2,
+            num_classes: 12,
+            conv_r_factor: 0.75,
+            tree_r: 12,
+        }
+    }
+
+    /// Table 5 row 1: only 2 convolutional layers (1 standard + 1 DS block),
+    /// depth-2 tree.
+    pub fn two_convs() -> Self {
+        Self { ds_blocks: 1, ..Self::paper() }
+    }
+
+    /// Table 5 row 2: 3 convolutional layers but a depth-1 tree (3 nodes).
+    pub fn shallow_tree() -> Self {
+        Self { tree_depth: 1, ..Self::paper() }
+    }
+
+    /// Total tree nodes implied by the depth.
+    pub fn tree_nodes(&self) -> usize {
+        (1 << (self.tree_depth + 1)) - 1
+    }
+
+    /// Number of convolutional layers as the paper counts them (the first
+    /// standard conv plus one per DS block).
+    pub fn conv_layers(&self) -> usize {
+        1 + self.ds_blocks
+    }
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_figure1() {
+        let c = HybridConfig::paper();
+        assert_eq!(c.conv_layers(), 3);
+        assert_eq!(c.tree_nodes(), 7);
+        assert_eq!(c.num_classes, 12);
+        assert_eq!(c.tree_r, 12);
+        assert!((c.conv_r_factor - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table5_variants() {
+        assert_eq!(HybridConfig::two_convs().conv_layers(), 2);
+        assert_eq!(HybridConfig::two_convs().tree_nodes(), 7);
+        assert_eq!(HybridConfig::shallow_tree().conv_layers(), 3);
+        assert_eq!(HybridConfig::shallow_tree().tree_nodes(), 3);
+    }
+}

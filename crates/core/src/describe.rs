@@ -1,0 +1,94 @@
+//! Figure 1 renderer: a textual description of the hybrid architecture.
+
+use crate::config::HybridConfig;
+
+/// Renders the paper's Figure 1 (the hybrid neural-tree architecture) for a
+/// concrete configuration: the conv stack, the tree topology with per-node
+/// parameter shapes, and the prediction equation.
+pub fn describe_hybrid(config: &HybridConfig) -> String {
+    let mut s = String::new();
+    let w = config.width;
+    let dh = config.proj_dim;
+    let l = config.num_classes;
+    s.push_str("Hybrid neural-tree architecture (paper Figure 1)\n");
+    s.push_str("================================================\n\n");
+    s.push_str("MFCC features  shape: 49x10 (T x F)\n");
+    s.push_str(&format!(
+        "  |> Conv1        {w} filters 10x4, stride 2x2, SAME  -> 25x5x{w}\n"
+    ));
+    for b in 0..config.ds_blocks {
+        s.push_str(&format!(
+            "  |> DS-Conv{}     depthwise 3x3 + pointwise 1x1, {w} ch -> 25x5x{w}\n",
+            b + 1
+        ));
+    }
+    s.push_str(&format!("  |> AvgPool      global -> {w}-d feature vector\n"));
+    s.push_str(&format!(
+        "  |> Projection   Z: [{dh} x {w}]  ->  zhat = Z x  (D-hat = {dh})\n\n"
+    ));
+    s.push_str(&format!(
+        "Bonsai tree: depth {}, {} internal + {} leaf nodes\n",
+        config.tree_depth,
+        (1usize << config.tree_depth) - 1,
+        1usize << config.tree_depth
+    ));
+    s.push_str("each node k: W_k, V_k in [L x D-hat]; internal j: theta_j in [D-hat]\n\n");
+
+    // ASCII tree for the depth-2 case (generalises by listing levels).
+    let internal = (1usize << config.tree_depth) - 1;
+    let total = (1usize << (config.tree_depth + 1)) - 1;
+    for level in 0..=config.tree_depth {
+        let first = (1usize << level) - 1;
+        let last = ((1usize << (level + 1)) - 1).min(total);
+        let nodes: Vec<String> = (first..last)
+            .map(|k| {
+                if k < internal {
+                    format!("[n{k}: theta{k}, W{k}, V{k}]")
+                } else {
+                    format!("(leaf{k}: W{k}, V{k})")
+                }
+            })
+            .collect();
+        let pad = " ".repeat(4 * (config.tree_depth - level));
+        s.push_str(&format!("{pad}{}\n", nodes.join("  ")));
+    }
+    s.push_str(&format!(
+        "\nbranching: g_j(x) = sigmoid(s * theta_j^T zhat)   (left if g < 0.5)\n\
+         prediction: y-hat = sum_k p_k(x) * (W_k^T zhat) o tanh(sigma * V_k^T zhat)\n\
+         all {total} nodes are evaluated every inference (branch-free, SIMD-friendly)\n\
+         strassenified: conv r = {:.2}*c_out, tree r = {} (= L = {l})\n",
+        config.conv_r_factor, config.tree_r
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mentions_every_architectural_element() {
+        let s = describe_hybrid(&HybridConfig::paper());
+        for needle in [
+            "Conv1", "DS-Conv1", "DS-Conv2", "AvgPool", "Projection", "Bonsai tree",
+            "depth 2", "3 internal + 4 leaf", "theta", "tanh", "sigmoid", "49x10",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn lists_all_seven_nodes_for_depth_2() {
+        let s = describe_hybrid(&HybridConfig::paper());
+        for k in 0..7 {
+            assert!(s.contains(&format!("W{k}")), "missing node {k}");
+        }
+    }
+
+    #[test]
+    fn shallow_variant_renders_three_nodes() {
+        let s = describe_hybrid(&HybridConfig::shallow_tree());
+        assert!(s.contains("1 internal + 2 leaf"));
+        assert!(!s.contains("W5"));
+    }
+}

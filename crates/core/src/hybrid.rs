@@ -1,0 +1,177 @@
+//! The uncompressed hybrid neural-tree network (Table 3's "HybridNet").
+
+use rand::rngs::SmallRng;
+use thnt_bonsai::{BonsaiConfig, BonsaiTree};
+use thnt_nn::{
+    BatchNorm2d, Conv2dLayer, DepthwiseConv2dLayer, GlobalAvgPoolLayer, Layer, Model, Param,
+    Relu, Sequential,
+};
+use thnt_strassen::{CostReport, LayerCost};
+use thnt_tensor::{Conv2dSpec, Tensor};
+
+use crate::config::HybridConfig;
+
+/// Convolutional feature extraction + Bonsai tree classification, trained
+/// end-to-end (§3, Figure 1).
+#[derive(Debug)]
+pub struct HybridNet {
+    config: HybridConfig,
+    front: Sequential,
+    tree: BonsaiTree,
+}
+
+impl HybridNet {
+    /// Creates a hybrid network with fresh weights.
+    pub fn new(config: HybridConfig, rng: &mut SmallRng) -> Self {
+        let mut front = Sequential::default();
+        let spec1 = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
+        front.push(Box::new(Conv2dLayer::new(1, config.width, spec1, rng)));
+        front.push(Box::new(BatchNorm2d::new(config.width)));
+        front.push(Box::new(Relu::new()));
+        let (oh, ow) = spec1.out_dims(49, 10);
+        let spec_dw = Conv2dSpec::same(oh, ow, 3, 3, 1, 1);
+        let spec_pw = Conv2dSpec::valid(1, 1, 1, 1);
+        for _ in 0..config.ds_blocks {
+            front.push(Box::new(DepthwiseConv2dLayer::new(config.width, 1, spec_dw, rng)));
+            front.push(Box::new(BatchNorm2d::new(config.width)));
+            front.push(Box::new(Relu::new()));
+            front.push(Box::new(Conv2dLayer::new(config.width, config.width, spec_pw, rng)));
+            front.push(Box::new(BatchNorm2d::new(config.width)));
+            front.push(Box::new(Relu::new()));
+        }
+        front.push(Box::new(GlobalAvgPoolLayer::new()));
+        let tree = BonsaiTree::new(
+            BonsaiConfig {
+                input_dim: config.width,
+                proj_dim: config.proj_dim,
+                depth: config.tree_depth,
+                num_classes: config.num_classes,
+                sigma: 1.0,
+                branch_sharpness: 1.0,
+            },
+            rng,
+        );
+        Self { config, front, tree }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// The Bonsai classification head.
+    pub fn tree(&self) -> &BonsaiTree {
+        &self.tree
+    }
+
+    /// Sets the tree's branching sharpness (annealed during training).
+    pub fn set_branch_sharpness(&mut self, s: f32) {
+        self.tree.set_branch_sharpness(s);
+    }
+
+    /// Cost descriptors of every matrix product in the network.
+    pub fn cost_layers(&self) -> Vec<LayerCost> {
+        let spec1 = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
+        let (oh, ow) = spec1.out_dims(49, 10);
+        let s = (oh * ow) as u64;
+        let w = self.config.width as u64;
+        let mut out = vec![LayerCost::Conv { spatial: s, kernel: 40, cin: 1, cout: w }];
+        for _ in 0..self.config.ds_blocks {
+            out.push(LayerCost::Depthwise { spatial: s, kernel: 9, channels: w });
+            out.push(LayerCost::Conv { spatial: s, kernel: 1, cin: w, cout: w });
+        }
+        out.extend(self.tree.cost_layers());
+        out
+    }
+
+    /// Analytic cost of the uncompressed hybrid (plain MAC accounting).
+    pub fn cost_report(&self) -> CostReport {
+        let mut report = CostReport::default();
+        for l in self.cost_layers() {
+            report.add_plain(l);
+        }
+        report
+    }
+}
+
+impl Model for HybridNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let features = self.front.forward(x, train);
+        self.tree.forward(&features, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let dfeat = self.tree.backward(grad);
+        self.front.backward(&dfeat);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.front.params_mut();
+        ps.extend(Layer::params_mut(&mut self.tree));
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut net = HybridNet::new(HybridConfig::paper(), &mut rng);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 49, 10]), false);
+        assert_eq!(y.dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn cost_matches_paper_1_5m_macs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = HybridNet::new(HybridConfig::paper(), &mut rng);
+        let report = net.cost_report();
+        // Paper Table 3: 1.5M MACs.
+        assert!(
+            (1_400_000..1_600_000).contains(&report.macs),
+            "macs {}",
+            report.macs
+        );
+    }
+
+    #[test]
+    fn fp32_model_size_near_94kb() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = HybridNet::new(HybridConfig::paper(), &mut rng);
+        let kb = net.cost_report().model_kb(4);
+        // Paper Table 3: 94.25KB at 4 bytes/weight (ours excludes BN).
+        assert!((85.0..100.0).contains(&kb), "model {kb:.2} KB");
+    }
+
+    #[test]
+    fn backward_reaches_every_param() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = HybridNet::new(HybridConfig::two_convs(), &mut rng);
+        let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        let (_, grad) = thnt_nn::softmax_cross_entropy(&y, &[0, 1]);
+        net.backward(&grad);
+        let silent: Vec<String> = net
+            .params_mut()
+            .iter()
+            .filter(|p| p.grad.norm() == 0.0)
+            .map(|p| p.name.clone())
+            .collect();
+        assert!(silent.is_empty(), "no gradient reached: {silent:?}");
+    }
+
+    #[test]
+    fn table5_configs_change_cost() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let full = HybridNet::new(HybridConfig::paper(), &mut rng).cost_report();
+        let small = HybridNet::new(HybridConfig::two_convs(), &mut rng).cost_report();
+        let shallow = HybridNet::new(HybridConfig::shallow_tree(), &mut rng).cost_report();
+        assert!(small.macs < full.macs);
+        assert!(shallow.macs < full.macs);
+        assert!(small.macs < shallow.macs, "dropping a DS block saves more than tree depth");
+    }
+}

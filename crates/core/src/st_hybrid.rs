@@ -1,0 +1,301 @@
+//! The strassenified hybrid network (ST-HybridNet) — the paper's headline
+//! model.
+
+use rand::rngs::SmallRng;
+use thnt_bonsai::{BonsaiConfig, StrassenBonsai};
+use thnt_nn::{BatchNorm2d, GlobalAvgPoolLayer, Layer, Model, Param, Relu};
+use thnt_quant::ActivationProfile;
+use thnt_strassen::{
+    CostReport, LayerCost, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDepthwise2d,
+    Strassenified,
+};
+use thnt_tensor::{Conv2dSpec, Tensor};
+
+use crate::config::HybridConfig;
+
+/// ST-HybridNet: the hybrid architecture with every matrix multiplication
+/// replaced by a ternary sum-product network.
+///
+/// Conv layers use hidden width `r = conv_r_factor · c_out`; the tree uses
+/// `r = tree_r` (the paper sets it to the target count `L`). Post-training
+/// quantization (Table 6) is driven through [`StHybridNet::set_activation_bits`]
+/// and [`StHybridNet::set_depthwise_hidden_bits`].
+#[derive(Debug)]
+pub struct StHybridNet {
+    config: HybridConfig,
+    front: StStack,
+    tree: StrassenBonsai,
+}
+
+impl StHybridNet {
+    /// Creates an ST-HybridNet with fresh (phase-1, full-precision) weights.
+    pub fn new(config: HybridConfig, rng: &mut SmallRng) -> Self {
+        let w = config.width;
+        let r_conv = ((config.conv_r_factor * w as f64).ceil() as usize).max(1);
+        let dw_mult = (config.conv_r_factor.ceil() as usize).max(1);
+        let mut front = StStack::default();
+        let spec1 = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
+        front.push(StLayer::Conv(StrassenConv2d::new(1, w, r_conv, spec1, rng)));
+        front.push(StLayer::BatchNorm(BatchNorm2d::new(w)));
+        front.push(StLayer::Relu(Relu::new()));
+        let (oh, ow) = spec1.out_dims(49, 10);
+        let spec_dw = Conv2dSpec::same(oh, ow, 3, 3, 1, 1);
+        let spec_pw = Conv2dSpec::valid(1, 1, 1, 1);
+        for _ in 0..config.ds_blocks {
+            front.push(StLayer::Depthwise(StrassenDepthwise2d::new(w, dw_mult, spec_dw, rng)));
+            front.push(StLayer::BatchNorm(BatchNorm2d::new(w)));
+            front.push(StLayer::Relu(Relu::new()));
+            front.push(StLayer::Conv(StrassenConv2d::new(w, w, r_conv, spec_pw, rng)));
+            front.push(StLayer::BatchNorm(BatchNorm2d::new(w)));
+            front.push(StLayer::Relu(Relu::new()));
+        }
+        front.push(StLayer::GlobalAvgPool(GlobalAvgPoolLayer::new()));
+        let tree = StrassenBonsai::new(
+            BonsaiConfig {
+                input_dim: w,
+                proj_dim: config.proj_dim,
+                depth: config.tree_depth,
+                num_classes: config.num_classes,
+                sigma: 1.0,
+                branch_sharpness: 1.0,
+            },
+            config.tree_r,
+            rng,
+        );
+        Self { config, front, tree }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Sets the tree's branching sharpness (annealed during training).
+    pub fn set_branch_sharpness(&mut self, s: f32) {
+        self.tree.set_branch_sharpness(s);
+    }
+
+    /// Fake-quantizes inter-layer activations of the conv front-end to
+    /// `bits` at inference (`None` disables) — Table 6's activation study.
+    pub fn set_activation_bits(&mut self, bits: Option<u8>) {
+        self.front.set_activation_bits(bits);
+    }
+
+    /// Sets the TWN threshold factor across the whole network (§6's
+    /// "constrain the number of additions" exploration).
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        self.front.set_ternary_threshold(factor);
+        self.tree.set_ternary_threshold(factor);
+    }
+
+    /// Fake-quantizes the post-`W_b` hidden activations of the strassenified
+    /// depthwise layers — the tensors the paper finds need 16 bits.
+    pub fn set_depthwise_hidden_bits(&mut self, bits: Option<u8>) {
+        for l in self.front.layers_mut() {
+            if let StLayer::Depthwise(d) = l {
+                d.set_hidden_bits(bits);
+            }
+        }
+    }
+
+    /// Cost descriptors of every matrix product (pre-strassenification view).
+    pub fn cost_layers(&self) -> Vec<LayerCost> {
+        let spec1 = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
+        let (oh, ow) = spec1.out_dims(49, 10);
+        let s = (oh * ow) as u64;
+        let w = self.config.width as u64;
+        let mut out = vec![LayerCost::Conv { spatial: s, kernel: 40, cin: 1, cout: w }];
+        for _ in 0..self.config.ds_blocks {
+            out.push(LayerCost::Depthwise { spatial: s, kernel: 9, channels: w });
+            out.push(LayerCost::Conv { spatial: s, kernel: 1, cin: w, cout: w });
+        }
+        out.extend(self.tree.cost_layers());
+        out
+    }
+
+    /// Analytic cost with the paper's strassenified accounting
+    /// (`r = factor·c_out` for convolutions, `r = tree_r` for the tree).
+    pub fn cost_report(&self) -> CostReport {
+        let mut report = CostReport::default();
+        let conv_count = 1 + 2 * self.config.ds_blocks;
+        for (i, l) in self.cost_layers().into_iter().enumerate() {
+            let r = if i < conv_count {
+                match l {
+                    LayerCost::Conv { cout, .. } => self.config.conv_r_factor * cout as f64,
+                    LayerCost::Depthwise { channels, .. } => {
+                        self.config.conv_r_factor * channels as f64
+                    }
+                    LayerCost::Dense { .. } => unreachable!("conv section"),
+                }
+            } else {
+                self.config.tree_r as f64
+            };
+            report.add_strassen(l, r);
+        }
+        report
+    }
+
+    /// Activation buffer profile for the memory-footprint model (Table 6).
+    ///
+    /// `act_bits` is the default activation width; `dw_hidden_bits` the
+    /// width of the strassenified depthwise intermediates (the paper's
+    /// 8-vs-16-bit knob).
+    pub fn activation_profiles(&self, act_bits: u32, dw_hidden_bits: u32) -> Vec<ActivationProfile> {
+        let spec1 = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
+        let (oh, ow) = spec1.out_dims(49, 10);
+        let s = oh * ow;
+        let w = self.config.width;
+        let r_dw = ((self.config.conv_r_factor * w as f64).ceil() as usize).max(w);
+        let mut out = vec![
+            ActivationProfile::new("input", 49 * 10, act_bits),
+            ActivationProfile::new("conv1", s * w, act_bits),
+        ];
+        for b in 0..self.config.ds_blocks {
+            // The strassenified depthwise layer materialises its hidden
+            // activations at dw_hidden_bits before combining.
+            out.push(ActivationProfile::new(format!("ds{b}.dw_hidden"), s * r_dw, dw_hidden_bits));
+            out.push(ActivationProfile::new(format!("ds{b}.dw"), s * w, act_bits));
+            out.push(ActivationProfile::new(format!("ds{b}.pw"), s * w, act_bits));
+        }
+        out.push(ActivationProfile::new("pool", w, act_bits));
+        out.push(ActivationProfile::new("zhat", self.config.proj_dim, act_bits));
+        out.push(ActivationProfile::new(
+            "tree_scores",
+            self.config.tree_nodes() * self.config.num_classes,
+            act_bits,
+        ));
+        out
+    }
+
+    /// Mutable access to the front-end stack (for inspection in tests).
+    pub fn front_mut(&mut self) -> &mut StStack {
+        &mut self.front
+    }
+
+    /// The strassenified tree head.
+    pub fn tree(&self) -> &StrassenBonsai {
+        &self.tree
+    }
+}
+
+impl Model for StHybridNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let features = self.front.forward(x, train);
+        self.tree.forward(&features, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let dfeat = self.tree.backward(grad);
+        self.front.backward(&dfeat);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.front.params_mut();
+        ps.extend(Layer::params_mut(&mut self.tree));
+        ps
+    }
+}
+
+impl Strassenified for StHybridNet {
+    fn mode(&self) -> QuantMode {
+        self.front.mode()
+    }
+
+    fn activate_quantization(&mut self) {
+        self.front.activate_quantization();
+        self.tree.activate_quantization();
+    }
+
+    fn freeze_ternary(&mut self) {
+        self.front.freeze_ternary();
+        self.tree.freeze_ternary();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 49, 10]), false);
+        assert_eq!(y.dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn cost_matches_paper_table4_row() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        let report = net.cost_report();
+        // Paper Table 4: 0.03M muls, 2.37M adds, 2.4M ops, 14.99KB.
+        assert!((25_000..40_000).contains(&report.muls), "muls {}", report.muls);
+        assert!(
+            (2_150_000..2_500_000).contains(&report.adds),
+            "adds {}",
+            report.adds
+        );
+        let total = report.total_ops();
+        assert!((2_200_000..2_600_000).contains(&total), "ops {total}");
+    }
+
+    #[test]
+    fn model_size_below_dscnn() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        let kb = net.cost_report().model_kb(4);
+        // Paper: 14.99KB vs DS-CNN's 22.07KB. Our 2-bit packing lands lower.
+        assert!(kb < 22.0, "model {kb:.2} KB");
+    }
+
+    #[test]
+    fn phase_transitions_preserve_function_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = StHybridNet::new(
+            HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, ..HybridConfig::paper() },
+            &mut rng,
+        );
+        let x = thnt_tensor::gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
+        net.activate_quantization();
+        let before = net.forward(&x, false);
+        net.freeze_ternary();
+        let after = net.forward(&x, false);
+        assert_eq!(net.mode(), QuantMode::Frozen);
+        thnt_tensor::assert_close(after.data(), before.data(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn activation_profiles_report_16bit_dw_blowup() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        let p8 = net.activation_profiles(8, 8);
+        let p16 = net.activation_profiles(8, 16);
+        let f8 = thnt_quant::activation_footprint_bytes(&p8);
+        let f16 = thnt_quant::activation_footprint_bytes(&p16);
+        // Paper Table 6: 16-bit dw intermediates push the footprint from
+        // 26.17KB-ish to 41.8KB-ish territory.
+        assert!(f16 > f8, "{f16} !> {f8}");
+    }
+
+    #[test]
+    fn backward_reaches_every_trainable_param() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut net = StHybridNet::new(
+            HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, tree_depth: 1, ..HybridConfig::paper() },
+            &mut rng,
+        );
+        let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        let (_, grad) = thnt_nn::softmax_cross_entropy(&y, &[0, 1]);
+        net.backward(&grad);
+        let silent: Vec<String> = net
+            .params_mut()
+            .iter()
+            .filter(|p| p.trainable && p.grad.norm() == 0.0)
+            .map(|p| p.name.clone())
+            .collect();
+        assert!(silent.is_empty(), "no gradient reached: {silent:?}");
+    }
+}

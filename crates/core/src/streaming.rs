@@ -1,0 +1,231 @@
+//! Streaming keyword detection — the always-on deployment posture the
+//! paper's introduction motivates.
+//!
+//! A microcontroller KWS system does not see pre-segmented one-second clips:
+//! it slides a window over a continuous microphone stream and smooths the
+//! per-window posteriors before raising a detection. [`StreamingDetector`]
+//! implements that loop on top of any trained [`Model`]:
+//!
+//! * maintains a one-second ring buffer of audio,
+//! * recomputes MFCC features every `hop` samples,
+//! * majority-smooths the last `smoothing` window decisions,
+//! * reports a detection only when the smoothed class is a keyword and its
+//!   confidence clears `threshold`.
+
+use thnt_dsp::{Mfcc, MfccConfig};
+use thnt_nn::{softmax, Model};
+use thnt_tensor::Tensor;
+
+/// Configuration of the streaming loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingConfig {
+    /// Samples between successive inferences (default: 8000 = 0.5 s).
+    pub hop: usize,
+    /// Number of recent windows in the majority vote.
+    pub smoothing: usize,
+    /// Minimum smoothed posterior for a detection.
+    pub threshold: f32,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        Self { hop: 8_000, smoothing: 3, threshold: 0.5 }
+    }
+}
+
+/// A detection event emitted by the streaming loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Class index (0–11).
+    pub class: usize,
+    /// Smoothed posterior of the detected class.
+    pub confidence: f32,
+    /// Stream position (in samples) at the end of the triggering window.
+    pub at_sample: usize,
+}
+
+/// Sliding-window keyword detector over a continuous audio stream.
+pub struct StreamingDetector<'m, M: Model> {
+    model: &'m mut M,
+    mfcc: Mfcc,
+    config: StreamingConfig,
+    norm_mean: Vec<f32>,
+    norm_std: Vec<f32>,
+    ring: Vec<f32>,
+    filled: usize,
+    since_infer: usize,
+    consumed: usize,
+    recent: Vec<Vec<f32>>,
+}
+
+impl<'m, M: Model> StreamingDetector<'m, M> {
+    /// Creates a detector around a trained model and the per-coefficient
+    /// normalisation statistics its training data used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statistics do not have one entry per MFCC coefficient.
+    pub fn new(
+        model: &'m mut M,
+        config: StreamingConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
+        let mfcc_cfg = MfccConfig::paper();
+        assert_eq!(norm_mean.len(), mfcc_cfg.num_coeffs, "mean length mismatch");
+        assert_eq!(norm_std.len(), mfcc_cfg.num_coeffs, "std length mismatch");
+        Self {
+            model,
+            mfcc: Mfcc::new(mfcc_cfg),
+            config,
+            norm_mean,
+            norm_std,
+            ring: vec![0.0; 16_000],
+            filled: 0,
+            since_infer: 0,
+            consumed: 0,
+            recent: Vec::new(),
+        }
+    }
+
+    /// Feeds audio samples; returns any detections they trigger.
+    pub fn push(&mut self, samples: &[f32]) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        for &s in samples {
+            self.ring.rotate_left(1);
+            *self.ring.last_mut().expect("ring is non-empty") = s;
+            self.filled = (self.filled + 1).min(self.ring.len());
+            self.since_infer += 1;
+            self.consumed += 1;
+            if self.filled == self.ring.len() && self.since_infer >= self.config.hop {
+                self.since_infer = 0;
+                if let Some(d) = self.infer() {
+                    detections.push(d);
+                }
+            }
+        }
+        detections
+    }
+
+    /// Runs one inference over the current window and updates the vote.
+    fn infer(&mut self) -> Option<Detection> {
+        let feats = self.mfcc.compute(&self.ring);
+        let (frames, coeffs) = (feats.dims()[0], feats.dims()[1]);
+        let mut x = Tensor::zeros(&[1, 1, frames, coeffs]);
+        for f in 0..frames {
+            for c in 0..coeffs {
+                x.set(
+                    &[0, 0, f, c],
+                    (feats.at(&[f, c]) - self.norm_mean[c]) / self.norm_std[c],
+                );
+            }
+        }
+        let logits = self.model.forward(&x, false);
+        let probs = softmax(&logits);
+        self.recent.push(probs.row(0).to_vec());
+        if self.recent.len() > self.config.smoothing {
+            self.recent.remove(0);
+        }
+        // Smoothed posterior = mean over the recent windows.
+        let classes = probs.dims()[1];
+        let mut mean = vec![0.0f32; classes];
+        for row in &self.recent {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.recent.len() as f32;
+        }
+        let best = mean
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        // Keywords only (silence = 10, unknown = 11 are suppressed).
+        if best.0 < 10 && *best.1 >= self.config.threshold {
+            Some(Detection { class: best.0, confidence: *best.1, at_sample: self.consumed })
+        } else {
+            None
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for StreamingDetector<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingDetector")
+            .field("config", &self.config)
+            .field("consumed", &self.consumed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thnt_nn::Param;
+
+    /// A stub model that always emits fixed logits.
+    #[derive(Debug)]
+    struct Fixed(Vec<f32>);
+    impl Model for Fixed {
+        fn forward(&mut self, _x: &Tensor, _train: bool) -> Tensor {
+            Tensor::from_vec(self.0.clone(), &[1, 12])
+        }
+        fn backward(&mut self, _grad: &Tensor) {}
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            Vec::new()
+        }
+    }
+
+    fn detector_over(model: &mut Fixed, threshold: f32) -> StreamingDetector<'_, Fixed> {
+        StreamingDetector::new(
+            model,
+            StreamingConfig { hop: 4_000, smoothing: 2, threshold },
+            vec![0.0; 10],
+            vec![1.0; 10],
+        )
+    }
+
+    #[test]
+    fn no_detection_until_buffer_fills() {
+        let mut logits = vec![0.0f32; 12];
+        logits[3] = 10.0;
+        let mut model = Fixed(logits);
+        let mut det = detector_over(&mut model, 0.5);
+        // 15k samples: buffer not yet full, no inference at all.
+        assert!(det.push(&vec![0.0; 15_999]).is_empty());
+        // Crossing 16k fills the buffer; next hop boundary triggers.
+        let d = det.push(&vec![0.0; 8_001]);
+        assert!(!d.is_empty());
+        assert_eq!(d[0].class, 3);
+    }
+
+    #[test]
+    fn silence_class_never_detects() {
+        let mut logits = vec![0.0f32; 12];
+        logits[10] = 10.0; // silence
+        let mut model = Fixed(logits);
+        let mut det = detector_over(&mut model, 0.1);
+        assert!(det.push(&vec![0.0; 40_000]).is_empty());
+    }
+
+    #[test]
+    fn threshold_gates_detections() {
+        // Uniform logits -> per-class posterior 1/12 < 0.5 threshold.
+        let mut model = Fixed(vec![1.0; 12]);
+        let mut det = detector_over(&mut model, 0.5);
+        assert!(det.push(&vec![0.0; 40_000]).is_empty());
+    }
+
+    #[test]
+    fn detections_report_stream_position() {
+        let mut logits = vec![0.0f32; 12];
+        logits[0] = 10.0;
+        let mut model = Fixed(logits);
+        let mut det = detector_over(&mut model, 0.5);
+        let d = det.push(&vec![0.0; 32_000]);
+        assert!(!d.is_empty());
+        assert!(d[0].at_sample >= 16_000);
+        assert!(d[0].at_sample <= 32_000);
+    }
+}

@@ -1,0 +1,136 @@
+//! Mini-batch iteration with per-epoch shuffling.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use thnt_tensor::Tensor;
+
+/// Iterates over `(inputs, labels)` in shuffled mini-batches.
+///
+/// Shuffling is deterministic given the seed and epoch number, so training
+/// runs are exactly reproducible.
+///
+/// # Example
+///
+/// ```
+/// use thnt_data::BatchIter;
+/// use thnt_tensor::Tensor;
+///
+/// let x = Tensor::zeros(&[10, 3]);
+/// let y: Vec<usize> = (0..10).collect();
+/// let total: usize = BatchIter::new(&x, &y, 4, 0, 7).map(|(bx, by)| {
+///     assert_eq!(bx.dims()[1], 3);
+///     by.len()
+/// }).sum();
+/// assert_eq!(total, 10);
+/// ```
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    x: &'a Tensor,
+    y: &'a [usize],
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates an iterator over `x`/`y` with the given batch size for a
+    /// specific `epoch` (affects the shuffle) and `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or `x.dims()[0] != y.len()`.
+    pub fn new(x: &'a Tensor, y: &'a [usize], batch_size: usize, epoch: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        assert_eq!(x.dims()[0], y.len(), "inputs and labels disagree on sample count");
+        let mut order: Vec<usize> = (0..y.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(epoch as u64));
+        order.shuffle(&mut rng);
+        Self { x, y, order, batch_size, cursor: 0 }
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some((gather(self.x, idx), idx.iter().map(|&i| self.y[i]).collect()))
+    }
+}
+
+/// Gathers rows (axis 0) of `x` at `indices` into a new tensor.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather(x: &Tensor, indices: &[usize]) -> Tensor {
+    let n = x.dims()[0];
+    let per: usize = x.dims()[1..].iter().product();
+    let mut dims = x.dims().to_vec();
+    dims[0] = indices.len();
+    let mut out = Tensor::zeros(&dims);
+    for (row, &i) in indices.iter().enumerate() {
+        assert!(i < n, "gather index {i} out of bounds (n={n})");
+        out.data_mut()[row * per..(row + 1) * per]
+            .copy_from_slice(&x.data()[i * per..(i + 1) * per]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_samples_exactly_once() {
+        let x = Tensor::from_vec((0..20).map(|v| v as f32).collect(), &[10, 2]);
+        let y: Vec<usize> = (0..10).collect();
+        let mut seen = [0usize; 10];
+        for (bx, by) in BatchIter::new(&x, &y, 3, 0, 1) {
+            assert_eq!(bx.dims()[0], by.len());
+            for &label in &by {
+                seen[label] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_deterministically() {
+        let x = Tensor::zeros(&[32, 1]);
+        let y: Vec<usize> = (0..32).collect();
+        let collect = |epoch| -> Vec<usize> {
+            BatchIter::new(&x, &y, 8, epoch, 9).flat_map(|(_, by)| by).collect()
+        };
+        assert_eq!(collect(0), collect(0));
+        assert_ne!(collect(0), collect(1));
+    }
+
+    #[test]
+    fn gather_rows_match_source() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]);
+        let g = gather(&x, &[2, 0]);
+        assert_eq!(g.dims(), &[2, 3]);
+        assert_eq!(g.data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn last_batch_may_be_short() {
+        let x = Tensor::zeros(&[10, 1]);
+        let y = vec![0usize; 10];
+        let sizes: Vec<usize> =
+            BatchIter::new(&x, &y, 4, 0, 0).map(|(_, by)| by.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+}

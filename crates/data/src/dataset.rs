@@ -1,0 +1,445 @@
+//! The 12-class synthetic speech-commands dataset.
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use thnt_dsp::{Mfcc, MfccConfig};
+use thnt_tensor::{parallel_for, Tensor};
+
+use crate::synth::{synthesize_silence, synthesize_word, WordSignature};
+
+/// The ten target keywords of the paper's KWS task.
+pub const KEYWORDS: [&str; 10] =
+    ["yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go"];
+
+/// All twelve class names: the keywords plus `silence` and `unknown`.
+pub const LABEL_NAMES: [&str; 12] = [
+    "yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go", "silence", "unknown",
+];
+
+/// Number of classification targets (`L` in the paper).
+pub const NUM_CLASSES: usize = 12;
+
+/// Label index of the `silence` class.
+pub const SILENCE: usize = 10;
+
+/// Label index of the `unknown` class.
+pub const UNKNOWN: usize = 11;
+
+/// Which split of the dataset to access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split (augmented: background noise + timing jitter).
+    Train,
+    /// Validation split.
+    Val,
+    /// Held-out test split.
+    Test,
+}
+
+/// Generation parameters for [`SpeechCommands`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Clips per class in the training split.
+    pub per_class_train: usize,
+    /// Clips per class in the validation split.
+    pub per_class_val: usize,
+    /// Clips per class in the test split.
+    pub per_class_test: usize,
+    /// Master seed; every clip derives deterministically from it.
+    pub seed: u64,
+    /// Probability that a training clip receives background noise.
+    pub noise_prob: f64,
+    /// SNR range (dB) for background-noise augmentation.
+    pub snr_db: (f32, f32),
+    /// Maximum timing jitter in milliseconds (applied ± to training clips).
+    pub jitter_ms: usize,
+}
+
+impl DatasetConfig {
+    /// Minimal dataset for unit tests (144 clips).
+    pub fn tiny() -> Self {
+        Self { per_class_train: 6, per_class_val: 3, per_class_test: 3, ..Self::base() }
+    }
+
+    /// CI/laptop-scale dataset used by the default experiment profile
+    /// (~1.3k clips; keeps every table runnable in minutes).
+    pub fn quick() -> Self {
+        Self { per_class_train: 80, per_class_val: 16, per_class_test: 16, ..Self::base() }
+    }
+
+    /// Larger dataset for the `paper` experiment profile (~5k clips,
+    /// 80/10/10 proportions as in §4 of the paper).
+    pub fn paper() -> Self {
+        Self { per_class_train: 320, per_class_val: 40, per_class_test: 40, ..Self::base() }
+    }
+
+    fn base() -> Self {
+        Self {
+            per_class_train: 0,
+            per_class_val: 0,
+            per_class_test: 0,
+            seed: 0xC0FFEE,
+            noise_prob: 0.8,
+            snr_db: (8.0, 24.0),
+            jitter_ms: 150,
+        }
+    }
+
+    fn per_class(&self, split: Split) -> usize {
+        match split {
+            Split::Train => self.per_class_train,
+            Split::Val => self.per_class_val,
+            Split::Test => self.per_class_test,
+        }
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One generated audio clip.
+#[derive(Debug, Clone)]
+pub struct Clip {
+    /// Raw 16 kHz samples (length [`crate::SAMPLES`]).
+    pub audio: Vec<f32>,
+    /// Class label (0–11).
+    pub label: usize,
+}
+
+/// The synthetic speech-commands dataset: raw clips per split plus lazily
+/// computed, train-normalised MFCC features.
+///
+/// Feature tensors have shape `[n, 1, 49, 10]` (NCHW with one input channel),
+/// matching the paper's 49×10 MFCC input. Normalisation statistics (per-
+/// coefficient mean/std) are computed on the training split only.
+pub struct SpeechCommands {
+    config: DatasetConfig,
+    clips: HashMap<Split, Vec<Clip>>,
+    mfcc: Mfcc,
+    feature_cache: Mutex<HashMap<Split, (Tensor, Vec<usize>)>>,
+    norm: Mutex<Option<(Vec<f32>, Vec<f32>)>>,
+}
+
+impl std::fmt::Debug for SpeechCommands {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeechCommands")
+            .field("config", &self.config)
+            .field("train_clips", &self.len(Split::Train))
+            .field("val_clips", &self.len(Split::Val))
+            .field("test_clips", &self.len(Split::Test))
+            .finish()
+    }
+}
+
+impl SpeechCommands {
+    /// Generates the dataset described by `config`.
+    ///
+    /// Deterministic: the same config (including seed) always produces the
+    /// same clips, independent of thread count.
+    pub fn generate(config: DatasetConfig) -> Self {
+        let mut clips = HashMap::new();
+        for (split_idx, split) in [Split::Train, Split::Val, Split::Test].into_iter().enumerate() {
+            let per_class = config.per_class(split);
+            let mut split_clips = Vec::with_capacity(per_class * NUM_CLASSES);
+            for class in 0..NUM_CLASSES {
+                for i in 0..per_class {
+                    // Stable per-clip seed: split/class/index, independent of order.
+                    let seed = config
+                        .seed
+                        .wrapping_add(split_idx as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((class * 1_000_003 + i) as u64);
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let audio = Self::make_clip(&config, split, class, &mut rng);
+                    split_clips.push(Clip { audio, label: class });
+                }
+            }
+            clips.insert(split, split_clips);
+        }
+        Self {
+            config,
+            clips,
+            mfcc: Mfcc::new(MfccConfig::paper()),
+            feature_cache: Mutex::new(HashMap::new()),
+            norm: Mutex::new(None),
+        }
+    }
+
+    fn make_clip(config: &DatasetConfig, split: Split, class: usize, rng: &mut SmallRng) -> Vec<f32> {
+        let mut audio = match class {
+            SILENCE => synthesize_silence(rng),
+            UNKNOWN => {
+                // One of the 20 non-target vocabulary words.
+                let word = 10 + rng.gen_range(0..20);
+                synthesize_word(&WordSignature::for_word(word), rng)
+            }
+            c => synthesize_word(&WordSignature::for_word(c), rng),
+        };
+        // Timing jitter is part of the data distribution (utterances are not
+        // perfectly centred in real recordings); it applies to every split.
+        if class != SILENCE && config.jitter_ms > 0 {
+            let max_shift = config.jitter_ms * crate::synth::SAMPLE_RATE / 1000;
+            let shift = rng.gen_range(-(max_shift as isize)..=max_shift as isize);
+            audio = shift_clip(&audio, shift);
+        }
+        // Strong background-noise augmentation is training-only (paper §4);
+        // every split carries mild natural room noise, as real recordings do.
+        if split == Split::Train && class != SILENCE && rng.gen_bool(config.noise_prob) {
+            add_noise(&mut audio, config.snr_db, rng);
+        } else if class != SILENCE {
+            add_noise(&mut audio, (14.0, 26.0), rng);
+        }
+        audio
+    }
+
+    /// Returns the generation config.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Number of clips in `split`.
+    pub fn len(&self, split: Split) -> usize {
+        self.clips[&split].len()
+    }
+
+    /// Returns `true` if `split` holds no clips.
+    pub fn is_empty(&self, split: Split) -> bool {
+        self.len(split) == 0
+    }
+
+    /// Raw clips of a split.
+    pub fn clips(&self, split: Split) -> &[Clip] {
+        &self.clips[&split]
+    }
+
+    /// MFCC features and labels for `split`: `([n, 1, 49, 10], labels)`.
+    ///
+    /// Features are normalised per coefficient with training-split statistics
+    /// and cached after the first call.
+    pub fn features(&self, split: Split) -> (Tensor, Vec<usize>) {
+        if let Some(hit) = self.feature_cache.lock().get(&split) {
+            return hit.clone();
+        }
+        let raw = self.raw_features(split);
+        let (mean, std) = self.norm_stats();
+        let clips = &self.clips[&split];
+        let n = clips.len();
+        let (frames, coeffs) = (49usize, 10usize);
+        let mut x = raw;
+        {
+            let data = x.data_mut();
+            for s in 0..n {
+                for f in 0..frames {
+                    for c in 0..coeffs {
+                        let idx = (s * frames + f) * coeffs + c;
+                        data[idx] = (data[idx] - mean[c]) / std[c];
+                    }
+                }
+            }
+        }
+        x.reshape_in_place(&[n, 1, frames, coeffs]);
+        let y: Vec<usize> = clips.iter().map(|c| c.label).collect();
+        self.feature_cache.lock().insert(split, (x.clone(), y.clone()));
+        (x, y)
+    }
+
+    /// The per-coefficient normalisation statistics `(mean, std)` computed
+    /// on the training split — streaming inference must apply the same
+    /// normalisation to live windows.
+    pub fn normalization(&self) -> (Vec<f32>, Vec<f32>) {
+        self.norm_stats()
+    }
+
+    /// Flattened features for projection-based models (Bonsai, DNN):
+    /// `([n, 490], labels)`.
+    pub fn flat_features(&self, split: Split) -> (Tensor, Vec<usize>) {
+        let (x, y) = self.features(split);
+        let n = x.dims()[0];
+        (x.reshape(&[n, 490]), y)
+    }
+
+    /// Un-normalised MFCC maps `[n, 49, 10]` (parallel extraction).
+    fn raw_features(&self, split: Split) -> Tensor {
+        let clips = &self.clips[&split];
+        let n = clips.len();
+        let mut x = Tensor::zeros(&[n, 49, 10]);
+        let out = SyncSlice(x.data_mut().as_mut_ptr());
+        let mfcc = &self.mfcc;
+        parallel_for(n, |i| {
+            let feats = mfcc.compute(&clips[i].audio);
+            debug_assert_eq!(feats.dims(), &[49, 10]);
+            // SAFETY: disjoint 490-element region per clip index.
+            unsafe {
+                std::ptr::copy_nonoverlapping(feats.data().as_ptr(), out.ptr().add(i * 490), 490);
+            }
+        });
+        x
+    }
+
+    /// Per-coefficient mean/std over the training split (cached).
+    fn norm_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        if let Some(stats) = self.norm.lock().clone() {
+            return stats;
+        }
+        let raw = self.raw_features(Split::Train);
+        let n = raw.dims()[0] * raw.dims()[1];
+        let coeffs = raw.dims()[2];
+        let mut mean = vec![0.0f32; coeffs];
+        let mut var = vec![0.0f32; coeffs];
+        for row in raw.data().chunks(coeffs) {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        for row in raw.data().chunks(coeffs) {
+            for c in 0..coeffs {
+                var[c] += (row[c] - mean[c]).powi(2);
+            }
+        }
+        let std: Vec<f32> = var.iter().map(|&v| (v / n as f32).sqrt().max(1e-4)).collect();
+        let stats = (mean, std);
+        *self.norm.lock() = Some(stats.clone());
+        stats
+    }
+}
+
+/// Raw-pointer wrapper for disjoint parallel writes; the accessor keeps
+/// 2021-edition closures from capturing the bare pointer.
+struct SyncSlice(*mut f32);
+unsafe impl Send for SyncSlice {}
+unsafe impl Sync for SyncSlice {}
+impl SyncSlice {
+    fn ptr(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Shifts a clip by `shift` samples (positive = later), zero-filling.
+fn shift_clip(audio: &[f32], shift: isize) -> Vec<f32> {
+    let n = audio.len();
+    let mut out = vec![0.0f32; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let src = i as isize - shift;
+        if src >= 0 && (src as usize) < n {
+            *o = audio[src as usize];
+        }
+    }
+    out
+}
+
+/// Mixes coloured noise into `audio` at an SNR drawn from `snr_db`.
+fn add_noise(audio: &mut [f32], snr_db: (f32, f32), rng: &mut SmallRng) {
+    let signal_power: f32 =
+        audio.iter().map(|x| x * x).sum::<f32>() / audio.len() as f32;
+    if signal_power <= 0.0 {
+        return;
+    }
+    let snr = rng.gen_range(snr_db.0..snr_db.1);
+    let noise_power = signal_power / 10f32.powf(snr / 10.0);
+    let scale = noise_power.sqrt() * (3.0f32).sqrt(); // uniform [-1,1] has var 1/3
+    for x in audio.iter_mut() {
+        *x += scale * rng.gen_range(-1.0f32..1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SAMPLES;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SpeechCommands::generate(DatasetConfig::tiny());
+        let b = SpeechCommands::generate(DatasetConfig::tiny());
+        assert_eq!(a.clips(Split::Test)[0].audio, b.clips(Split::Test)[0].audio);
+        assert_eq!(a.clips(Split::Train)[7].audio, b.clips(Split::Train)[7].audio);
+    }
+
+    #[test]
+    fn split_sizes_match_config() {
+        let data = SpeechCommands::generate(DatasetConfig::tiny());
+        assert_eq!(data.len(Split::Train), 6 * NUM_CLASSES);
+        assert_eq!(data.len(Split::Val), 3 * NUM_CLASSES);
+        assert_eq!(data.len(Split::Test), 3 * NUM_CLASSES);
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let data = SpeechCommands::generate(DatasetConfig::tiny());
+        let mut counts = [0usize; NUM_CLASSES];
+        for c in data.clips(Split::Train) {
+            counts[c.label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 6), "{counts:?}");
+    }
+
+    #[test]
+    fn features_have_paper_shape_and_are_normalised() {
+        let data = SpeechCommands::generate(DatasetConfig::tiny());
+        let (x, y) = data.features(Split::Train);
+        assert_eq!(x.dims(), &[72, 1, 49, 10]);
+        assert_eq!(y.len(), 72);
+        // Train features are standardised per coefficient.
+        assert!(x.mean().abs() < 0.15, "mean {}", x.mean());
+        let var = x.data().iter().map(|v| v * v).sum::<f32>() / x.numel() as f32;
+        assert!((var - 1.0).abs() < 0.35, "var {var}");
+    }
+
+    #[test]
+    fn flat_features_are_490d() {
+        let data = SpeechCommands::generate(DatasetConfig::tiny());
+        let (x, _) = data.flat_features(Split::Val);
+        assert_eq!(x.dims(), &[36, 490]);
+    }
+
+    #[test]
+    fn feature_cache_returns_identical_tensors() {
+        let data = SpeechCommands::generate(DatasetConfig::tiny());
+        let (a, _) = data.features(Split::Val);
+        let (b, _) = data.features(Split::Val);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn shift_clip_moves_samples() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(shift_clip(&x, 1), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(shift_clip(&x, -2), vec![3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(shift_clip(&x, 0), x);
+    }
+
+    #[test]
+    fn noise_respects_snr_ordering() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let clean: Vec<f32> = (0..SAMPLES).map(|t| (t as f32 * 0.01).sin() * 0.5).collect();
+        let mut low_snr = clean.clone();
+        add_noise(&mut low_snr, (0.0, 0.1), &mut rng);
+        let mut high_snr = clean.clone();
+        add_noise(&mut high_snr, (30.0, 30.1), &mut rng);
+        let err = |a: &[f32]| -> f32 {
+            a.iter().zip(&clean).map(|(x, c)| (x - c).powi(2)).sum::<f32>()
+        };
+        assert!(err(&low_snr) > 10.0 * err(&high_snr));
+    }
+
+    #[test]
+    fn different_classes_have_distinct_features() {
+        let data = SpeechCommands::generate(DatasetConfig::tiny());
+        let (x, y) = data.features(Split::Test);
+        // Average within-class distance should undercut between-class distance
+        // for at least the silence-vs-keyword contrast.
+        let idx_of = |label: usize| y.iter().position(|&l| l == label).unwrap();
+        let a = x.slice_batch(idx_of(0));
+        let b = x.slice_batch(idx_of(SILENCE));
+        let d: f32 = a.data().iter().zip(b.data()).map(|(p, q)| (p - q).powi(2)).sum();
+        assert!(d > 1.0, "class features collapse: {d}");
+    }
+}

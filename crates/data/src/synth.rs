@@ -1,0 +1,250 @@
+//! Word-signature audio synthesis.
+//!
+//! A [`WordSignature`] is a compact parametric description of a fake spoken
+//! word: one or two syllables, each a stack of two formant chirps riding on a
+//! fundamental, shaped by an attack/decay envelope. Signatures are derived
+//! deterministically from a word index, so "word 7" sounds the same across
+//! runs and machines; per-utterance variation comes from the caller's RNG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample rate of all synthesized audio, in Hz.
+pub const SAMPLE_RATE: usize = 16_000;
+
+/// Number of samples per clip (1 second).
+pub const SAMPLES: usize = 16_000;
+
+/// One syllable: a fundamental plus two formant chirps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Syllable {
+    /// Fundamental frequency at syllable start, Hz.
+    f0_start: f32,
+    /// Fundamental frequency at syllable end, Hz.
+    f0_end: f32,
+    /// First formant start/end, Hz.
+    f1: (f32, f32),
+    /// Second formant start/end, Hz.
+    f2: (f32, f32),
+    /// Relative amplitude of the two formants.
+    mix: (f32, f32),
+    /// Fraction of the word duration this syllable occupies.
+    dur_frac: f32,
+}
+
+/// Deterministic synthesis parameters for one vocabulary word.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use thnt_data::{synthesize_word, WordSignature};
+///
+/// let sig = WordSignature::for_word(3);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let audio = synthesize_word(&sig, &mut rng);
+/// assert_eq!(audio.len(), thnt_data::SAMPLES);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordSignature {
+    word: usize,
+    syllables: Vec<Syllable>,
+    /// Nominal utterance length as a fraction of the clip (0.3–0.6).
+    duration_frac: f32,
+}
+
+impl WordSignature {
+    /// Builds the fixed signature for vocabulary word `word` (0–29).
+    ///
+    /// The parameters are drawn from an RNG seeded by `word` only, so the
+    /// mapping is stable. Words are spread over distinct fundamental bands
+    /// and contour shapes to be separable-but-confusable, like real words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= 30`.
+    pub fn for_word(word: usize) -> Self {
+        assert!(word < 30, "vocabulary has 30 words, got index {word}");
+        // Words come in PAIRS sharing the same spectral content (fundamental
+        // band, formant centres, syllable count): pair members differ only in
+        // the temporal DIRECTION of their contours. A time-averaged spectrum
+        // cannot separate a pair — temporal (convolutional) features can.
+        // This mirrors why real KWS needs conv feature extraction (§2.2.2).
+        let pair = word / 2;
+        let rising = word.is_multiple_of(2);
+        let mut rng =
+            SmallRng::seed_from_u64(0x5730 ^ (pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let num_syllables = 1 + (pair % 2);
+        let base = 92.0 + 15.0 * (pair % 5) as f32 + rng.gen_range(-4.0..4.0);
+        let mut syllables = Vec::new();
+        for s in 0..num_syllables {
+            // Shared-within-pair spectral draw.
+            let f1c = rng.gen_range(350.0..850.0);
+            let f2c = rng.gen_range(1200.0..2600.0);
+            let span0 = rng.gen_range(1.2..1.45f32);
+            let span1 = rng.gen_range(1.15..1.35f32);
+            // Direction alternates per syllable and flips between the two
+            // pair members, so the pair is spectrally identical but
+            // temporally mirrored.
+            let up = rising == (s % 2 == 0);
+            let (c0, c1) = if up { (1.0, span0) } else { (span0, 1.0) };
+            let (d0, d1) = if up { (1.0, span1) } else { (span1, 1.0) };
+            syllables.push(Syllable {
+                f0_start: base * c0 / span0.sqrt(),
+                f0_end: base * c1 / span0.sqrt(),
+                f1: (f1c * d0 / span1.sqrt(), f1c * d1 / span1.sqrt()),
+                f2: (f2c * d0 / span1.sqrt(), f2c * d1 / span1.sqrt()),
+                mix: (rng.gen_range(0.5..1.0), rng.gen_range(0.25..0.7)),
+                dur_frac: 1.0 / num_syllables as f32,
+            });
+        }
+        Self {
+            word,
+            syllables,
+            duration_frac: rng.gen_range(0.35..0.6),
+        }
+    }
+
+    /// Index of the vocabulary word this signature encodes.
+    pub fn word(&self) -> usize {
+        self.word
+    }
+}
+
+/// Synthesizes one utterance of `sig` with per-speaker variation drawn from
+/// `rng`: ±12% pitch, ±10% duration, ±6% formant shift, gain in [0.25, 1.0].
+///
+/// Returns exactly [`SAMPLES`] samples; the word sits at the clip centre
+/// (augmentation applies timing jitter separately).
+pub fn synthesize_word(sig: &WordSignature, rng: &mut SmallRng) -> Vec<f32> {
+    let pitch = rng.gen_range(0.82..1.22f32);
+    let formant_shift = rng.gen_range(0.9..1.1f32);
+    let warp = rng.gen_range(0.75..1.3f32);
+    let dur = (sig.duration_frac * rng.gen_range(0.85..1.15) * SAMPLES as f32) as usize;
+    let gain = rng.gen_range(0.25..1.0f32);
+    let mut audio = vec![0.0f32; SAMPLES];
+    let start = (SAMPLES - dur) / 2;
+
+    let mut offset = 0usize;
+    for syl in &sig.syllables {
+        let len = (dur as f32 * syl.dur_frac) as usize;
+        if len == 0 {
+            continue;
+        }
+        let mut phase0 = 0.0f32;
+        let mut phase1 = 0.0f32;
+        let mut phase2 = 0.0f32;
+        for t in 0..len {
+            // Per-utterance nonlinear time warp: speakers realise the same
+            // contour at different paces.
+            let u = (t as f32 / len as f32).powf(warp);
+            let f0 = (syl.f0_start + (syl.f0_end - syl.f0_start) * u) * pitch;
+            let f1 = (syl.f1.0 + (syl.f1.1 - syl.f1.0) * u) * formant_shift;
+            let f2 = (syl.f2.0 + (syl.f2.1 - syl.f2.0) * u) * formant_shift;
+            phase0 += 2.0 * std::f32::consts::PI * f0 / SAMPLE_RATE as f32;
+            phase1 += 2.0 * std::f32::consts::PI * f1 / SAMPLE_RATE as f32;
+            phase2 += 2.0 * std::f32::consts::PI * f2 / SAMPLE_RATE as f32;
+            // Attack/decay envelope per syllable.
+            let env = (u * 8.0).min(1.0) * ((1.0 - u) * 6.0).min(1.0);
+            // Fundamental + two formants, light second harmonic for timbre.
+            let s = 0.5 * phase0.sin()
+                + 0.2 * (2.0 * phase0).sin()
+                + syl.mix.0 * phase1.sin()
+                + syl.mix.1 * phase2.sin();
+            let idx = start + offset + t;
+            if idx < SAMPLES {
+                audio[idx] += gain * env * s * 0.25;
+            }
+        }
+        offset += len;
+        // Short inter-syllable gap.
+        offset += (0.05 * dur as f32) as usize;
+    }
+    audio
+}
+
+/// Synthesizes a "silence" clip: low-level coloured noise only.
+pub fn synthesize_silence(rng: &mut SmallRng) -> Vec<f32> {
+    let level = rng.gen_range(0.001..0.02f32);
+    let mut prev = 0.0f32;
+    (0..SAMPLES)
+        .map(|_| {
+            // One-pole lowpass over white noise gives a plausible room tone.
+            let white: f32 = rng.gen_range(-1.0..1.0);
+            prev = 0.95 * prev + 0.05 * white;
+            prev * level * 4.0 + white * level * 0.2
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn energy(x: &[f32]) -> f32 {
+        x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let a = WordSignature::for_word(5);
+        let b = WordSignature::for_word(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signatures_differ_across_words() {
+        let sigs: Vec<WordSignature> = (0..30).map(WordSignature::for_word).collect();
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                assert_ne!(sigs[i], sigs[j], "words {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "30 words")]
+    fn word_index_bounds_checked() {
+        WordSignature::for_word(30);
+    }
+
+    #[test]
+    fn utterances_vary_per_draw_but_keep_length() {
+        let sig = WordSignature::for_word(0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = synthesize_word(&sig, &mut rng);
+        let b = synthesize_word(&sig, &mut rng);
+        assert_eq!(a.len(), SAMPLES);
+        assert_eq!(b.len(), SAMPLES);
+        assert_ne!(a, b, "speaker variation must differ across draws");
+    }
+
+    #[test]
+    fn word_energy_dwarfs_silence() {
+        let sig = WordSignature::for_word(2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let word = synthesize_word(&sig, &mut rng);
+        let silence = synthesize_silence(&mut rng);
+        assert!(energy(&word) > 10.0 * energy(&silence));
+    }
+
+    #[test]
+    fn word_is_centered_with_quiet_edges() {
+        let sig = WordSignature::for_word(1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let audio = synthesize_word(&sig, &mut rng);
+        let head = energy(&audio[..2000]);
+        let mid = energy(&audio[6000..10000]);
+        assert!(mid > 100.0 * head.max(1e-12), "head={head}, mid={mid}");
+    }
+
+    #[test]
+    fn samples_are_bounded() {
+        for w in 0..30 {
+            let sig = WordSignature::for_word(w);
+            let mut rng = SmallRng::seed_from_u64(w as u64);
+            let audio = synthesize_word(&sig, &mut rng);
+            assert!(audio.iter().all(|x| x.abs() <= 1.0), "word {w} clips");
+        }
+    }
+}

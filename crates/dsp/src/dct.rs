@@ -1,0 +1,90 @@
+//! Orthonormal DCT-II (the "MFCC DCT").
+
+/// Computes the first `num_coeffs` coefficients of the orthonormal DCT-II of
+/// `input`.
+///
+/// `X[k] = s(k) · Σ_n x[n] · cos(π k (2n + 1) / (2N))` with
+/// `s(0) = sqrt(1/N)` and `s(k>0) = sqrt(2/N)`, which makes the transform
+/// orthonormal (energy-preserving when all coefficients are kept).
+///
+/// # Panics
+///
+/// Panics if `input` is empty or `num_coeffs > input.len()`.
+pub fn dct_ii(input: &[f32], num_coeffs: usize) -> Vec<f32> {
+    let n = input.len();
+    assert!(n > 0, "dct of empty input");
+    assert!(num_coeffs <= n, "cannot keep {num_coeffs} coefficients of {n} inputs");
+    let norm0 = (1.0 / n as f32).sqrt();
+    let norm = (2.0 / n as f32).sqrt();
+    (0..num_coeffs)
+        .map(|k| {
+            let scale = if k == 0 { norm0 } else { norm };
+            let acc: f32 = input
+                .iter()
+                .enumerate()
+                .map(|(t, &x)| {
+                    x * (std::f32::consts::PI * k as f32 * (2 * t + 1) as f32 / (2 * n) as f32)
+                        .cos()
+                })
+                .sum();
+            scale * acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_component_of_constant_signal() {
+        let x = vec![2.0f32; 8];
+        let c = dct_ii(&x, 8);
+        // X[0] = sqrt(1/8) * 16
+        assert!((c[0] - (1.0f32 / 8.0).sqrt() * 16.0).abs() < 1e-5);
+        for k in 1..8 {
+            assert!(c[k].abs() < 1e-5, "coefficient {k} should vanish");
+        }
+    }
+
+    #[test]
+    fn orthonormal_energy_preservation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let x: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let c = dct_ii(&x, 32);
+        let ex: f32 = x.iter().map(|v| v * v).sum();
+        let ec: f32 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-3 * ex.max(1.0), "{ex} vs {ec}");
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let x: Vec<f32> = (0..16).map(|t| (t as f32 * 0.3).sin()).collect();
+        let full = dct_ii(&x, 16);
+        let short = dct_ii(&x, 5);
+        assert_eq!(&full[..5], short.as_slice());
+    }
+
+    #[test]
+    fn basis_orthogonality() {
+        // DCT of a DCT basis vector has a single non-zero coefficient.
+        let n = 16;
+        let k0 = 3;
+        let norm = (2.0 / n as f32).sqrt();
+        let basis: Vec<f32> = (0..n)
+            .map(|t| {
+                norm * (std::f32::consts::PI * k0 as f32 * (2 * t + 1) as f32 / (2 * n) as f32)
+                    .cos()
+            })
+            .collect();
+        let c = dct_ii(&basis, n);
+        for (k, &v) in c.iter().enumerate() {
+            if k == k0 {
+                assert!((v - 1.0).abs() < 1e-4);
+            } else {
+                assert!(v.abs() < 1e-4, "leakage at {k}: {v}");
+            }
+        }
+    }
+}

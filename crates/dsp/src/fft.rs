@@ -1,0 +1,201 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+/// A complex number over `f32`, sufficient for spectral analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// The squared magnitude `re² + im²`.
+    pub fn norm_sq(&self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT (decimation in time).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let angle = -2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum of a real signal, zero-padded to `fft_size`.
+///
+/// Returns `fft_size / 2 + 1` values: `|X[k]|²` for the non-negative
+/// frequencies, scaled by `1 / fft_size` (periodogram convention).
+///
+/// # Panics
+///
+/// Panics if `fft_size` is not a power of two or `signal.len() > fft_size`.
+pub fn power_spectrum(signal: &[f32], fft_size: usize) -> Vec<f32> {
+    assert!(fft_size.is_power_of_two(), "fft_size must be a power of two");
+    assert!(
+        signal.len() <= fft_size,
+        "signal ({}) longer than fft_size ({fft_size})",
+        signal.len()
+    );
+    let mut buf = vec![Complex::default(); fft_size];
+    for (b, &s) in buf.iter_mut().zip(signal.iter()) {
+        b.re = s;
+    }
+    fft_in_place(&mut buf);
+    buf[..fft_size / 2 + 1]
+        .iter()
+        .map(|c| c.norm_sq() / fft_size as f32)
+        .collect()
+}
+
+/// Naïve O(n²) DFT used as the FFT test oracle.
+pub fn dft_reference(signal: &[Complex]) -> Vec<Complex> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, x) in signal.iter().enumerate() {
+                let angle = -2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32;
+                acc = acc.add(x.mul(Complex::new(angle.cos(), angle.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_complex_close(a: &[Complex], b: &[Complex], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for &n in &[2usize, 8, 64, 256] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut fast = signal.clone();
+            fft_in_place(&mut fast);
+            let slow = dft_reference(&signal);
+            assert_complex_close(&fast, &slow, 1e-2 * (n as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 16];
+        buf[0].re = 1.0;
+        fft_in_place(&mut buf);
+        for c in &buf {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_energy() {
+        // A 1 kHz tone at 16 kHz sampled into a 512-point FFT lands in bin 32.
+        let n = 512;
+        let fs = 16_000.0;
+        let f = 1_000.0;
+        let signal: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * f * t as f32 / fs).sin())
+            .collect();
+        let ps = power_spectrum(&signal, n);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 32);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let n = 128;
+        let signal: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let time_energy: f32 = signal.iter().map(|c| c.norm_sq()).sum();
+        let mut freq = signal.clone();
+        fft_in_place(&mut freq);
+        let freq_energy: f32 = freq.iter().map(|c| c.norm_sq()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = [Complex::default(); 12];
+        fft_in_place(&mut buf);
+    }
+
+    #[test]
+    fn power_spectrum_length() {
+        assert_eq!(power_spectrum(&[0.0; 100], 1024).len(), 513);
+    }
+}

@@ -1,0 +1,150 @@
+//! Mel-scale filterbank.
+
+/// Converts frequency in Hz to mels (HTK convention).
+pub fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mels back to Hz (inverse of [`hz_to_mel`]).
+pub fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// A triangular mel filterbank applied to power spectra.
+#[derive(Debug, Clone)]
+pub struct MelBank {
+    /// `num_filters × num_bins` filter weights, row-major.
+    weights: Vec<f32>,
+    num_filters: usize,
+    num_bins: usize,
+}
+
+impl MelBank {
+    /// Number of triangular filters.
+    pub fn num_filters(&self) -> usize {
+        self.num_filters
+    }
+
+    /// Number of input spectrum bins each filter spans.
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// Returns the weight of filter `f` at spectrum bin `b`.
+    pub fn weight(&self, f: usize, b: usize) -> f32 {
+        self.weights[f * self.num_bins + b]
+    }
+
+    /// Applies the bank to a power spectrum, producing per-filter energies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != num_bins()`.
+    pub fn apply(&self, spectrum: &[f32]) -> Vec<f32> {
+        assert_eq!(spectrum.len(), self.num_bins, "spectrum length mismatch");
+        (0..self.num_filters)
+            .map(|f| {
+                let row = &self.weights[f * self.num_bins..(f + 1) * self.num_bins];
+                row.iter().zip(spectrum.iter()).map(|(w, s)| w * s).sum()
+            })
+            .collect()
+    }
+}
+
+/// Builds a triangular mel filterbank.
+///
+/// * `num_filters` — number of triangles (the paper uses 40)
+/// * `fft_size` — FFT length the spectra were computed with
+/// * `sample_rate` — in Hz
+/// * `f_lo`, `f_hi` — band edges in Hz
+///
+/// # Panics
+///
+/// Panics if the band is empty or `num_filters` is zero.
+pub fn mel_filterbank(
+    num_filters: usize,
+    fft_size: usize,
+    sample_rate: f32,
+    f_lo: f32,
+    f_hi: f32,
+) -> MelBank {
+    assert!(num_filters > 0, "need at least one filter");
+    assert!(f_lo < f_hi && f_hi <= sample_rate / 2.0, "invalid band [{f_lo}, {f_hi}]");
+    let num_bins = fft_size / 2 + 1;
+    let mel_lo = hz_to_mel(f_lo);
+    let mel_hi = hz_to_mel(f_hi);
+    // num_filters + 2 equally spaced mel points define the triangle corners.
+    let points: Vec<f32> = (0..num_filters + 2)
+        .map(|i| {
+            let mel = mel_lo + (mel_hi - mel_lo) * i as f32 / (num_filters + 1) as f32;
+            mel_to_hz(mel) * fft_size as f32 / sample_rate
+        })
+        .collect();
+    let mut weights = vec![0.0f32; num_filters * num_bins];
+    for f in 0..num_filters {
+        let (left, center, right) = (points[f], points[f + 1], points[f + 2]);
+        for b in 0..num_bins {
+            let x = b as f32;
+            let w = if x >= left && x <= center && center > left {
+                (x - left) / (center - left)
+            } else if x > center && x <= right && right > center {
+                (right - x) / (right - center)
+            } else {
+                0.0
+            };
+            weights[f * num_bins + b] = w;
+        }
+    }
+    MelBank { weights, num_filters, num_bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mel_conversions_roundtrip() {
+        for hz in [0.0f32, 100.0, 1000.0, 4000.0, 8000.0] {
+            let back = mel_to_hz(hz_to_mel(hz));
+            assert!((back - hz).abs() < 0.5, "{hz} -> {back}");
+        }
+    }
+
+    #[test]
+    fn mel_of_1khz_is_about_1000() {
+        // The mel scale is anchored so 1000 Hz ~= 1000 mel.
+        assert!((hz_to_mel(1000.0) - 1000.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn filters_are_nonnegative_and_peak_once() {
+        let bank = mel_filterbank(40, 1024, 16_000.0, 20.0, 8000.0);
+        assert_eq!(bank.num_filters(), 40);
+        assert_eq!(bank.num_bins(), 513);
+        for f in 0..40 {
+            let row: Vec<f32> = (0..513).map(|b| bank.weight(f, b)).collect();
+            assert!(row.iter().all(|&w| (0.0..=1.0 + 1e-6).contains(&w)));
+            assert!(row.iter().cloned().fold(0.0f32, f32::max) > 0.5, "filter {f} degenerate");
+        }
+    }
+
+    #[test]
+    fn filters_cover_band_without_gaps() {
+        let bank = mel_filterbank(40, 1024, 16_000.0, 20.0, 8000.0);
+        // Every bin well inside the band is touched by at least one filter.
+        for b in 10..500 {
+            let total: f32 = (0..40).map(|f| bank.weight(f, b)).sum();
+            assert!(total > 0.0, "bin {b} uncovered");
+        }
+    }
+
+    #[test]
+    fn apply_integrates_energy() {
+        let bank = mel_filterbank(10, 256, 16_000.0, 100.0, 8000.0);
+        let flat = vec![1.0f32; 129];
+        let out = bank.apply(&flat);
+        assert_eq!(out.len(), 10);
+        // Higher filters are wider in Hz -> larger integrals.
+        assert!(out[9] > out[0]);
+    }
+}

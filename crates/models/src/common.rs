@@ -1,0 +1,172 @@
+//! Shared shapes and adapter layers for the KWS models.
+
+use thnt_nn::Layer;
+use thnt_tensor::Tensor;
+
+/// Number of MFCC frames per clip (49 for 1 s of audio).
+pub const KWS_FRAMES: usize = 49;
+
+/// MFCC coefficients per frame.
+pub const KWS_MFCC: usize = 10;
+
+/// Classification targets (10 keywords + silence + unknown).
+pub const KWS_CLASSES: usize = 12;
+
+/// Reshapes conv activations `[n, c, h, w]` into sequences `[n, h, c·w]`
+/// (time = the spectrogram's frame axis) for the recurrent baselines.
+#[derive(Debug, Default)]
+pub struct ToSequence {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl ToSequence {
+    /// Creates the adapter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ToSequence {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "ToSequence expects [n, c, h, w]");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        if train {
+            self.input_dims = Some(x.dims().to_vec());
+        }
+        let mut out = Tensor::zeros(&[n, h, c * w]);
+        for s in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        out.set(&[s, y, ch * w + xx], x.at(&[s, ch, y, xx]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("ToSequence::backward without forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let mut out = Tensor::zeros(dims);
+        for s in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        out.set(&[s, ch, y, xx], grad.at(&[s, y, ch * w + xx]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "to_sequence"
+    }
+}
+
+/// Subsamples every `stride`-th MFCC frame and flattens:
+/// `[n, 1, frames, coeffs] → [n, ceil(frames/stride)·coeffs]`.
+///
+/// The DNN baseline (Zhang et al.) runs on strided frames to keep its input
+/// layer small.
+#[derive(Debug)]
+pub struct SubsampleFrames {
+    stride: usize,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl SubsampleFrames {
+    /// Creates the adapter with the given frame stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self { stride, input_dims: None }
+    }
+
+    /// Output width for a `[_, 1, frames, coeffs]` input.
+    pub fn out_dim(&self, frames: usize, coeffs: usize) -> usize {
+        frames.div_ceil(self.stride) * coeffs
+    }
+}
+
+impl Layer for SubsampleFrames {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "SubsampleFrames expects [n, 1, frames, coeffs]");
+        let (n, frames, coeffs) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        if train {
+            self.input_dims = Some(x.dims().to_vec());
+        }
+        let kept = frames.div_ceil(self.stride);
+        let mut out = Tensor::zeros(&[n, kept * coeffs]);
+        for s in 0..n {
+            for (fi, f) in (0..frames).step_by(self.stride).enumerate() {
+                for c in 0..coeffs {
+                    out.set(&[s, fi * coeffs + c], x.at(&[s, 0, f, c]));
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("SubsampleFrames::backward without forward");
+        let (n, frames, coeffs) = (dims[0], dims[2], dims[3]);
+        let mut out = Tensor::zeros(dims);
+        for s in 0..n {
+            for (fi, f) in (0..frames).step_by(self.stride).enumerate() {
+                for c in 0..coeffs {
+                    out.set(&[s, 0, f, c], grad.at(&[s, fi * coeffs + c]));
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "subsample_frames"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_sequence_roundtrip() {
+        let mut l = ToSequence::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[1, 2, 3, 4]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 3, 8]);
+        // Time step 1 holds channel-0 row 1 then channel-1 row 1.
+        assert_eq!(y.at(&[0, 1, 0]), x.at(&[0, 0, 1, 0]));
+        assert_eq!(y.at(&[0, 1, 4]), x.at(&[0, 1, 1, 0]));
+        let back = l.backward(&y);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn subsample_halves_frames() {
+        let mut l = SubsampleFrames::new(2);
+        let x = Tensor::zeros(&[2, 1, 49, 10]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 250]);
+        assert_eq!(l.out_dim(49, 10), 250);
+        let back = l.backward(&y);
+        assert_eq!(back.dims(), x.dims());
+    }
+
+    #[test]
+    fn subsample_keeps_strided_values() {
+        let mut l = SubsampleFrames::new(2);
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 1, 4, 3]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 6]);
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+    }
+}

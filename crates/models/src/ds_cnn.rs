@@ -1,0 +1,170 @@
+//! The DS-CNN baseline (Zhang et al. 2017, "Hello Edge"), the paper's
+//! state-of-the-art comparison point.
+
+use rand::rngs::SmallRng;
+use thnt_nn::{
+    BatchNorm2d, Conv2dLayer, Dense, DepthwiseConv2dLayer, GlobalAvgPoolLayer, Model, Param,
+    Relu, Sequential,
+};
+use thnt_strassen::LayerCost;
+use thnt_tensor::{Conv2dSpec, Tensor};
+
+use crate::common::{KWS_CLASSES, KWS_FRAMES, KWS_MFCC};
+
+/// DS-CNN for keyword spotting: one standard convolution followed by
+/// depthwise-separable blocks, global average pooling and a linear
+/// classifier.
+///
+/// The default geometry (`width = 64`, `blocks = 4`) matches the paper's
+/// DS-CNN: ≈2.66 M MACs and ≈23 K parameters (Tables 1, 3, 7).
+#[derive(Debug)]
+pub struct DsCnn {
+    net: Sequential,
+    width: usize,
+    blocks: usize,
+}
+
+impl DsCnn {
+    /// Creates the paper's DS-CNN (64 channels, 4 DS blocks).
+    pub fn new(rng: &mut SmallRng) -> Self {
+        Self::with_geometry(64, 4, rng)
+    }
+
+    /// Creates a DS-CNN variant with `width` channels and `blocks` DS blocks
+    /// (the hybrid network's front-end uses fewer blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn with_geometry(width: usize, blocks: usize, rng: &mut SmallRng) -> Self {
+        assert!(width > 0, "width must be positive");
+        let mut net = Sequential::default();
+        let spec1 = Conv2dSpec::same(KWS_FRAMES, KWS_MFCC, 10, 4, 2, 2);
+        net.push(Box::new(Conv2dLayer::new(1, width, spec1, rng)));
+        net.push(Box::new(BatchNorm2d::new(width)));
+        net.push(Box::new(Relu::new()));
+        let (oh, ow) = spec1.out_dims(KWS_FRAMES, KWS_MFCC);
+        let spec_dw = Conv2dSpec::same(oh, ow, 3, 3, 1, 1);
+        let spec_pw = Conv2dSpec::valid(1, 1, 1, 1);
+        for _ in 0..blocks {
+            net.push(Box::new(DepthwiseConv2dLayer::new(width, 1, spec_dw, rng)));
+            net.push(Box::new(BatchNorm2d::new(width)));
+            net.push(Box::new(Relu::new()));
+            net.push(Box::new(Conv2dLayer::new(width, width, spec_pw, rng)));
+            net.push(Box::new(BatchNorm2d::new(width)));
+            net.push(Box::new(Relu::new()));
+        }
+        net.push(Box::new(GlobalAvgPoolLayer::new()));
+        net.push(Box::new(Dense::new(width, KWS_CLASSES, rng)));
+        Self { net, width, blocks }
+    }
+
+    /// Channel width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of DS blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Output spatial size after the first (strided) convolution.
+    pub fn feature_map(&self) -> (usize, usize) {
+        Conv2dSpec::same(KWS_FRAMES, KWS_MFCC, 10, 4, 2, 2).out_dims(KWS_FRAMES, KWS_MFCC)
+    }
+
+    /// Cost descriptors for the analytic model (BN folded, as at inference).
+    pub fn cost_layers(&self) -> Vec<LayerCost> {
+        let (oh, ow) = self.feature_map();
+        let s = (oh * ow) as u64;
+        let w = self.width as u64;
+        let mut out = vec![LayerCost::Conv { spatial: s, kernel: 40, cin: 1, cout: w }];
+        for _ in 0..self.blocks {
+            out.push(LayerCost::Depthwise { spatial: s, kernel: 9, channels: w });
+            out.push(LayerCost::Conv { spatial: s, kernel: 1, cin: w, cout: w });
+        }
+        out.push(LayerCost::Dense { in_dim: w, out_dim: KWS_CLASSES as u64 });
+        out
+    }
+
+    /// The weight parameters subject to pruning / ternary quantization
+    /// (convolution and dense weights; biases and BN excluded).
+    pub fn prunable_weights(&mut self) -> Vec<&mut Param> {
+        self.net
+            .params_mut()
+            .into_iter()
+            .filter(|p| p.name.ends_with(".w"))
+            .collect()
+    }
+}
+
+impl Model for DsCnn {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.net.forward(x, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        self.net.backward(grad);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.net.params_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = DsCnn::new(&mut rng);
+        let y = model.forward(&Tensor::zeros(&[2, 1, 49, 10]), false);
+        assert_eq!(y.dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn cost_matches_paper_2_7m_macs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = DsCnn::new(&mut rng);
+        let macs: u64 = model.cost_layers().iter().map(|l| l.macs()).sum();
+        assert!((2_600_000..2_800_000).contains(&macs), "macs {macs}");
+    }
+
+    #[test]
+    fn param_count_near_23k() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut model = DsCnn::new(&mut rng);
+        let n = model.num_params();
+        // Paper Table 7: 23.18K (including BN); ours counts BN gamma/beta too.
+        assert!((22_000..25_000).contains(&n), "params {n}");
+    }
+
+    #[test]
+    fn feature_map_is_25x5() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = DsCnn::new(&mut rng);
+        assert_eq!(model.feature_map(), (25, 5));
+    }
+
+    #[test]
+    fn prunable_weights_exclude_biases_and_bn() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut model = DsCnn::new(&mut rng);
+        let prunable = model.prunable_weights();
+        // conv1 + 4x(dw + pw) + dense = 10 weight tensors.
+        assert_eq!(prunable.len(), 10);
+        assert!(prunable.iter().all(|p| p.name.ends_with(".w")));
+    }
+
+    #[test]
+    fn two_block_variant_shrinks() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let small = DsCnn::with_geometry(64, 2, &mut rng);
+        let macs: u64 = small.cost_layers().iter().map(|l| l.macs()).sum();
+        assert!((1_400_000..1_600_000).contains(&macs), "macs {macs}");
+    }
+}

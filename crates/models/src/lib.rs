@@ -1,0 +1,32 @@
+//! Baseline KWS model zoo for the THNT reproduction.
+//!
+//! Every network the paper's Table 3 compares against is built here, sized to
+//! the paper's reported operation counts (geometries follow Zhang et al.,
+//! "Hello Edge", scaled where the paper's exact configs are not public):
+//!
+//! * [`DsCnn`] — the state-of-the-art DS-CNN baseline (conv 64@10×4 s2×2 +
+//!   4 depthwise-separable blocks + avg-pool + FC): ≈2.7 M MACs, ≈23 K params
+//! * [`StDsCnn`] — the strassenified DS-CNN of Tables 1 and 4, with
+//!   configurable hidden-width factor `r = f·c_out`
+//! * CNN, DNN, Basic LSTM, LSTM (with projection), GRU, CRNN — via
+//!   [`zoo::build_baseline`]
+//!
+//! Each model implements [`thnt_nn::Model`] for training and exposes
+//! [`LayerCost`](thnt_strassen::LayerCost) descriptors for the analytic cost
+//! model that regenerates the paper's tables.
+
+// Numeric kernels index by position throughout; positional loops keep the
+// math legible next to the formulas they implement.
+#![allow(clippy::needless_range_loop)]
+
+pub mod baselines;
+pub mod common;
+pub mod ds_cnn;
+pub mod st_ds_cnn;
+pub mod zoo;
+
+pub use baselines::{build_basic_lstm, build_cnn, build_crnn, build_dnn, build_gru, build_lstm};
+pub use common::{SubsampleFrames, ToSequence, KWS_CLASSES, KWS_FRAMES, KWS_MFCC};
+pub use ds_cnn::DsCnn;
+pub use st_ds_cnn::StDsCnn;
+pub use zoo::{build_baseline, BaselineKind, BaselineModel};

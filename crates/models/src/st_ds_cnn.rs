@@ -1,0 +1,205 @@
+//! The strassenified DS-CNN (ST-DS-CNN) of Tables 1 and 4.
+
+use rand::rngs::SmallRng;
+use thnt_nn::{BatchNorm2d, GlobalAvgPoolLayer, Model, Param, Relu};
+use thnt_strassen::{
+    CostReport, LayerCost, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDense,
+    StrassenDepthwise2d, Strassenified,
+};
+use thnt_tensor::{Conv2dSpec, Tensor};
+
+use crate::common::{KWS_CLASSES, KWS_FRAMES, KWS_MFCC};
+
+/// Strassenified DS-CNN with hidden width `r = factor · c_out` per layer.
+///
+/// The paper sweeps `factor ∈ {0.5, 0.75, 1, 2}` in Table 1. Trained layers
+/// round fractional hidden widths up to integers (depthwise layers to whole
+/// channel multipliers); [`StDsCnn::cost_report`] applies the paper's exact
+/// fractional accounting.
+#[derive(Debug)]
+pub struct StDsCnn {
+    stack: StStack,
+    width: usize,
+    blocks: usize,
+    factor: f64,
+}
+
+impl StDsCnn {
+    /// Creates an ST-DS-CNN with the given hidden-width factor (the paper's
+    /// `r = factor · c_out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn new(factor: f64, rng: &mut SmallRng) -> Self {
+        Self::with_geometry(64, 4, factor, rng)
+    }
+
+    /// Creates a variant with custom width/blocks (the hybrid front-end
+    /// reuses this with fewer blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `factor` is not positive.
+    pub fn with_geometry(width: usize, blocks: usize, factor: f64, rng: &mut SmallRng) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(factor > 0.0, "factor must be positive");
+        let r_conv = ((factor * width as f64).ceil() as usize).max(1);
+        let dw_mult = ((factor).ceil() as usize).max(1);
+        let mut stack = StStack::default();
+        let spec1 = Conv2dSpec::same(KWS_FRAMES, KWS_MFCC, 10, 4, 2, 2);
+        stack.push(StLayer::Conv(StrassenConv2d::new(1, width, r_conv, spec1, rng)));
+        stack.push(StLayer::BatchNorm(BatchNorm2d::new(width)));
+        stack.push(StLayer::Relu(Relu::new()));
+        let (oh, ow) = spec1.out_dims(KWS_FRAMES, KWS_MFCC);
+        let spec_dw = Conv2dSpec::same(oh, ow, 3, 3, 1, 1);
+        let spec_pw = Conv2dSpec::valid(1, 1, 1, 1);
+        for _ in 0..blocks {
+            stack.push(StLayer::Depthwise(StrassenDepthwise2d::new(width, dw_mult, spec_dw, rng)));
+            stack.push(StLayer::BatchNorm(BatchNorm2d::new(width)));
+            stack.push(StLayer::Relu(Relu::new()));
+            stack.push(StLayer::Conv(StrassenConv2d::new(width, width, r_conv, spec_pw, rng)));
+            stack.push(StLayer::BatchNorm(BatchNorm2d::new(width)));
+            stack.push(StLayer::Relu(Relu::new()));
+        }
+        stack.push(StLayer::GlobalAvgPool(GlobalAvgPoolLayer::new()));
+        stack.push(StLayer::Dense(StrassenDense::new(width, KWS_CLASSES, KWS_CLASSES, rng)));
+        Self { stack, width, blocks, factor }
+    }
+
+    /// The hidden-width factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Sets the TWN threshold factor on every strassenified layer (§6's
+    /// "constrain the number of additions" exploration).
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        self.stack.set_ternary_threshold(factor);
+    }
+
+    /// Measured additions per inference of the frozen ternary matrices
+    /// (non-zero entries × output positions), the empirical counterpart of
+    /// [`StDsCnn::cost_report`]'s dense upper bound. Returns `None` unless
+    /// the model is frozen.
+    pub fn measured_ternary_nonzeros(&mut self) -> Option<u64> {
+        if !matches!(Strassenified::mode(self), QuantMode::Frozen) {
+            return None;
+        }
+        let mut total = 0u64;
+        for p in self.stack.params_mut() {
+            if p.name.contains(".wb") || p.name.contains(".wc") {
+                total += p.value.data().iter().filter(|&&v| v != 0.0).count() as u64;
+            }
+        }
+        Some(total)
+    }
+
+    /// Cost descriptors of the underlying (pre-strassenification) layers.
+    pub fn cost_layers(&self) -> Vec<LayerCost> {
+        let spec1 = Conv2dSpec::same(KWS_FRAMES, KWS_MFCC, 10, 4, 2, 2);
+        let (oh, ow) = spec1.out_dims(KWS_FRAMES, KWS_MFCC);
+        let s = (oh * ow) as u64;
+        let w = self.width as u64;
+        let mut out = vec![LayerCost::Conv { spatial: s, kernel: 40, cin: 1, cout: w }];
+        for _ in 0..self.blocks {
+            out.push(LayerCost::Depthwise { spatial: s, kernel: 9, channels: w });
+            out.push(LayerCost::Conv { spatial: s, kernel: 1, cin: w, cout: w });
+        }
+        out.push(LayerCost::Dense { in_dim: w, out_dim: KWS_CLASSES as u64 });
+        out
+    }
+
+    /// Analytic cost with the paper's fractional-`r` accounting
+    /// (`r = factor · c_out` for convolutions, `r = L` for the classifier).
+    pub fn cost_report(&self) -> CostReport {
+        let mut report = CostReport::default();
+        for l in self.cost_layers() {
+            let r = match l {
+                LayerCost::Conv { cout, .. } => self.factor * cout as f64,
+                LayerCost::Depthwise { channels, .. } => self.factor * channels as f64,
+                LayerCost::Dense { out_dim, .. } => out_dim as f64,
+            };
+            report.add_strassen(l, r);
+        }
+        report
+    }
+}
+
+impl Model for StDsCnn {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.stack.forward(x, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        self.stack.backward(grad);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.stack.params_mut()
+    }
+}
+
+impl Strassenified for StDsCnn {
+    fn mode(&self) -> QuantMode {
+        self.stack.mode()
+    }
+
+    fn activate_quantization(&mut self) {
+        self.stack.activate_quantization();
+    }
+
+    fn freeze_ternary(&mut self) {
+        self.stack.freeze_ternary();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = StDsCnn::new(0.75, &mut rng);
+        let y = model.forward(&Tensor::zeros(&[2, 1, 49, 10]), false);
+        assert_eq!(y.dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn cost_report_matches_paper_row_075() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = StDsCnn::new(0.75, &mut rng);
+        let report = model.cost_report();
+        // Paper Table 1 (r = 0.75 c_out): 0.06M muls, 4.09M adds, 19.26KB.
+        assert!((45_000..65_000).contains(&report.muls), "muls {}", report.muls);
+        assert!((3_700_000..4_300_000).contains(&report.adds), "adds {}", report.adds);
+        // Ours packs ternary entries at exactly 2 bits, which lands below the
+        // paper's 19.26KB (their packing/bookkeeping overhead is unspecified).
+        let kb = report.model_kb(4);
+        assert!((8.0..22.0).contains(&kb), "model {kb:.2} KB");
+    }
+
+    #[test]
+    fn cost_scales_with_factor() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let small = StDsCnn::new(0.5, &mut rng).cost_report();
+        let large = StDsCnn::new(2.0, &mut rng).cost_report();
+        assert!(large.muls > 3 * small.muls);
+        assert!(large.adds > 3 * small.adds);
+    }
+
+    #[test]
+    fn phase_transitions_work_end_to_end() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut model = StDsCnn::with_geometry(8, 1, 1.0, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 49, 10]);
+        model.activate_quantization();
+        let _ = model.forward(&x, false);
+        model.freeze_ternary();
+        let y = model.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 12]);
+        assert_eq!(model.mode(), QuantMode::Frozen);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Table 3 model registry.
+
+use rand::rngs::SmallRng;
+use thnt_nn::{Model, Param};
+use thnt_strassen::LayerCost;
+use thnt_tensor::Tensor;
+
+use crate::baselines;
+use crate::ds_cnn::DsCnn;
+
+/// The baseline families compared in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// DS-CNN (the state of the art the paper compares against).
+    DsCnn,
+    /// Convolutional-recurrent network.
+    Crnn,
+    /// Gated recurrent unit network.
+    Gru,
+    /// LSTM with output projection.
+    Lstm,
+    /// LSTM without projection.
+    BasicLstm,
+    /// Plain two-conv CNN.
+    Cnn,
+    /// Fully-connected DNN on strided frames.
+    Dnn,
+}
+
+impl BaselineKind {
+    /// All kinds in the paper's Table 3 row order.
+    pub fn all() -> [BaselineKind; 7] {
+        [
+            BaselineKind::DsCnn,
+            BaselineKind::Crnn,
+            BaselineKind::Gru,
+            BaselineKind::Lstm,
+            BaselineKind::BasicLstm,
+            BaselineKind::Cnn,
+            BaselineKind::Dnn,
+        ]
+    }
+
+    /// Display name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::DsCnn => "DS-CNN",
+            BaselineKind::Crnn => "CRNN",
+            BaselineKind::Gru => "GRU",
+            BaselineKind::Lstm => "LSTM",
+            BaselineKind::BasicLstm => "Basic LSTM",
+            BaselineKind::Cnn => "CNN",
+            BaselineKind::Dnn => "DNN",
+        }
+    }
+
+    /// Test accuracy the paper reports for this baseline (Table 3).
+    pub fn paper_accuracy(&self) -> f32 {
+        match self {
+            BaselineKind::DsCnn => 94.4,
+            BaselineKind::Crnn => 94.0,
+            BaselineKind::Gru => 93.5,
+            BaselineKind::Lstm => 92.9,
+            BaselineKind::BasicLstm => 92.0,
+            BaselineKind::Cnn => 91.6,
+            BaselineKind::Dnn => 84.6,
+        }
+    }
+
+    /// Operation count the paper reports (Table 3), in ops.
+    pub fn paper_ops(&self) -> u64 {
+        match self {
+            BaselineKind::DsCnn => 2_700_000,
+            BaselineKind::Crnn => 1_500_000,
+            BaselineKind::Gru => 1_900_000,
+            BaselineKind::Lstm => 1_950_000,
+            BaselineKind::BasicLstm => 2_950_000,
+            BaselineKind::Cnn => 2_500_000,
+            BaselineKind::Dnn => 80_000,
+        }
+    }
+
+    /// Model size the paper reports (Table 3), in KB (1 KB = 1024 B).
+    pub fn paper_model_kb(&self) -> f32 {
+        match self {
+            BaselineKind::DsCnn => 22.07,
+            BaselineKind::Crnn => 73.7,
+            BaselineKind::Gru => 76.3,
+            BaselineKind::Lstm => 76.8,
+            BaselineKind::BasicLstm => 60.9,
+            BaselineKind::Cnn => 67.6,
+            BaselineKind::Dnn => 77.8,
+        }
+    }
+}
+
+/// A constructed baseline: trainable network plus cost descriptors.
+pub struct BaselineModel {
+    kind: BaselineKind,
+    net: Box<dyn Model>,
+    cost: Vec<LayerCost>,
+}
+
+impl std::fmt::Debug for BaselineModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineModel").field("kind", &self.kind).finish()
+    }
+}
+
+impl BaselineModel {
+    /// The model family.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// Analytic cost descriptors.
+    pub fn cost_layers(&self) -> &[LayerCost] {
+        &self.cost
+    }
+
+    /// Total MACs per inference.
+    pub fn macs(&self) -> u64 {
+        self.cost.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total parameters (weights + biases) per the cost model.
+    pub fn cost_params(&self) -> u64 {
+        self.cost.iter().map(|l| l.params() + l.bias_params()).sum()
+    }
+}
+
+impl Model for BaselineModel {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.net.forward(x, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        self.net.backward(grad);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.net.params_mut()
+    }
+}
+
+/// Builds the baseline of the given kind with fresh weights.
+pub fn build_baseline(kind: BaselineKind, rng: &mut SmallRng) -> BaselineModel {
+    match kind {
+        BaselineKind::DsCnn => {
+            let model = DsCnn::new(rng);
+            let cost = model.cost_layers();
+            BaselineModel { kind, net: Box::new(model), cost }
+        }
+        BaselineKind::Crnn => wrap(kind, baselines::build_crnn(rng)),
+        BaselineKind::Gru => wrap(kind, baselines::build_gru(rng)),
+        BaselineKind::Lstm => wrap(kind, baselines::build_lstm(rng)),
+        BaselineKind::BasicLstm => wrap(kind, baselines::build_basic_lstm(rng)),
+        BaselineKind::Cnn => wrap(kind, baselines::build_cnn(rng)),
+        BaselineKind::Dnn => wrap(kind, baselines::build_dnn(rng)),
+    }
+}
+
+fn wrap(kind: BaselineKind, parts: baselines::BaselineParts) -> BaselineModel {
+    BaselineModel { kind, net: Box::new(parts.0), cost: parts.1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_baselines_build_and_classify() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for kind in BaselineKind::all() {
+            let mut model = build_baseline(kind, &mut rng);
+            let y = model.forward(&Tensor::zeros(&[1, 1, 49, 10]), false);
+            assert_eq!(y.dims(), &[1, 12], "{}", kind.name());
+            assert!(model.macs() > 0);
+        }
+    }
+
+    #[test]
+    fn op_counts_are_within_25_percent_of_paper() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for kind in BaselineKind::all() {
+            let model = build_baseline(kind, &mut rng);
+            let got = model.macs() as f64;
+            let want = kind.paper_ops() as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.25, "{}: {got} vs paper {want} ({rel:.2})", kind.name());
+        }
+    }
+
+    #[test]
+    fn ds_cnn_has_fewest_params_among_conv_models() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ds = build_baseline(BaselineKind::DsCnn, &mut rng).cost_params();
+        let cnn = build_baseline(BaselineKind::Cnn, &mut rng).cost_params();
+        let dnn = build_baseline(BaselineKind::Dnn, &mut rng).cost_params();
+        assert!(ds < cnn && ds < dnn, "ds {ds}, cnn {cnn}, dnn {dnn}");
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let names: Vec<&str> = BaselineKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["DS-CNN", "CRNN", "GRU", "LSTM", "Basic LSTM", "CNN", "DNN"]
+        );
+    }
+}

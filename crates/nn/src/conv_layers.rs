@@ -1,0 +1,538 @@
+//! Convolutional and batch-normalisation layers.
+
+use rand::rngs::SmallRng;
+use thnt_tensor::{
+    col2im, conv2d, depthwise_conv2d, im2col, kaiming_normal, matmul_nt, matmul_tn, Conv2dSpec,
+    Tensor,
+};
+
+use crate::model::Layer;
+use crate::param::Param;
+
+/// Standard 2-D convolution layer (NCHW).
+#[derive(Debug)]
+pub struct Conv2dLayer {
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    cached_cols: Vec<Tensor>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Conv2dLayer {
+    /// Creates a conv layer with `out_ch` filters of size `kh × kw` over
+    /// `in_ch` channels, Kaiming-initialised.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        spec: Conv2dSpec,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let fan_in = in_ch * spec.kh * spec.kw;
+        Self {
+            weight: Param::new(
+                "conv.w",
+                kaiming_normal(&[out_ch, in_ch, spec.kh, spec.kw], fan_in, rng),
+            ),
+            bias: Param::new("conv.b", Tensor::zeros(&[out_ch])),
+            spec,
+            cached_cols: Vec::new(),
+            input_dims: None,
+        }
+    }
+
+    /// Builds a conv layer around existing weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not 4-D or the bias length mismatches.
+    pub fn from_weights(weight: Tensor, bias: Tensor, spec: Conv2dSpec) -> Self {
+        assert_eq!(weight.shape().rank(), 4, "conv weight must be [oc, ic, kh, kw]");
+        assert_eq!(bias.numel(), weight.dims()[0], "bias length mismatch");
+        Self { weight: Param::new("conv.w", weight), bias: Param::new("conv.b", bias), spec, cached_cols: Vec::new(), input_dims: None }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Immutable weight access.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight access (pruning, quantization).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Immutable bias access.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable bias access (batch-norm folding).
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+}
+
+impl Layer for Conv2dLayer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let out = conv2d(x, &self.weight.value, Some(&self.bias.value), &self.spec);
+        if train {
+            self.input_dims = Some(x.dims().to_vec());
+            self.cached_cols = (0..x.dims()[0])
+                .map(|s| im2col(&x.slice_batch(s), &self.spec))
+                .collect();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self.input_dims.clone().expect("Conv2d::backward without training forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let oc = self.weight.value.dims()[0];
+        let k = c * self.spec.kh * self.spec.kw;
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let w2d = self.weight.value.reshape(&[oc, k]);
+        let mut grad_x = Tensor::zeros(&dims);
+        for s in 0..n {
+            let g = grad.slice_batch(s).reshape(&[oc, spatial]);
+            let cols = &self.cached_cols[s];
+            // dW += g · colsᵀ
+            let dw = matmul_nt(&g, cols);
+            self.weight.grad.axpy(1.0, &dw.reshape(self.weight.value.dims()));
+            // db += Σ_spatial g
+            for ch in 0..oc {
+                let sum: f32 = g.row(ch).iter().sum();
+                self.bias.grad.data_mut()[ch] += sum;
+            }
+            // dx = col2im(Wᵀ · g)
+            let dcols = matmul_tn(&w2d, &g);
+            let dx = col2im(&dcols, &self.spec, c, h, w);
+            grad_x.data_mut()[s * c * h * w..(s + 1) * c * h * w].copy_from_slice(dx.data());
+        }
+        grad_x
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Depthwise 2-D convolution layer with channel multiplier `m`.
+#[derive(Debug)]
+pub struct DepthwiseConv2dLayer {
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    input: Option<Tensor>,
+}
+
+impl DepthwiseConv2dLayer {
+    /// Creates a depthwise layer over `channels` input channels with
+    /// multiplier `multiplier`.
+    pub fn new(channels: usize, multiplier: usize, spec: Conv2dSpec, rng: &mut SmallRng) -> Self {
+        let fan_in = spec.kh * spec.kw;
+        Self {
+            weight: Param::new(
+                "dwconv.w",
+                kaiming_normal(&[channels, multiplier, spec.kh, spec.kw], fan_in, rng),
+            ),
+            bias: Param::new("dwconv.b", Tensor::zeros(&[channels * multiplier])),
+            spec,
+            input: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Immutable weight access.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight access.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Mutable bias access (batch-norm folding).
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+}
+
+impl Layer for DepthwiseConv2dLayer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.input = Some(x.clone());
+        }
+        depthwise_conv2d(x, &self.weight.value, Some(&self.bias.value), &self.spec)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.input.as_ref().expect("Depthwise::backward without training forward");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let m = self.weight.value.dims()[1];
+        let (kh, kw) = (self.spec.kh, self.spec.kw);
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let mut grad_x = Tensor::zeros(x.dims());
+        let wd = self.weight.value.data();
+        let wg = self.weight.grad.data_mut();
+        let bg = self.bias.grad.data_mut();
+        let xd = x.data();
+        let gd = grad.data();
+        let gxd = grad_x.data_mut();
+        for s in 0..n {
+            for ch in 0..c {
+                let img_off = (s * c + ch) * h * w;
+                for j in 0..m {
+                    let oc = ch * m + j;
+                    let g_off = (s * c * m + oc) * oh * ow;
+                    let w_off = oc * kh * kw;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gd[g_off + oy * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            bg[oc] += g;
+                            for ki in 0..kh {
+                                let iy = (oy * self.spec.stride_h + ki) as isize
+                                    - self.spec.pad_top as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kj in 0..kw {
+                                    let ix = (ox * self.spec.stride_w + kj) as isize
+                                        - self.spec.pad_left as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = img_off + iy as usize * w + ix as usize;
+                                    wg[w_off + ki * kw + kj] += g * xd[xi];
+                                    gxd[xi] += g * wd[w_off + ki * kw + kj];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_x
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+}
+
+/// Batch normalisation over `[n, c, h, w]`, per channel.
+///
+/// At inference the running statistics are used; [`BatchNorm2d::fold_into`]
+/// merges a trained layer into the preceding convolution's weights/bias, as
+/// the paper does before measuring memory footprints (§4, footnote 5).
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    std_inv: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new("bn.gamma", Tensor::ones(&[channels])),
+            beta: Param::new("bn.beta", Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+
+    /// Returns `(scale, shift)` per channel such that
+    /// `bn(x) = scale ⊙ x + shift` with the running statistics — the folding
+    /// transform applied to conv weights at inference.
+    pub fn fold_factors(&self) -> (Vec<f32>, Vec<f32>) {
+        let c = self.channels();
+        let mut scale = Vec::with_capacity(c);
+        let mut shift = Vec::with_capacity(c);
+        for ch in 0..c {
+            let s = self.gamma.value.data()[ch]
+                / (self.running_var.data()[ch] + self.eps).sqrt();
+            scale.push(s);
+            shift.push(self.beta.value.data()[ch] - s * self.running_mean.data()[ch]);
+        }
+        (scale, shift)
+    }
+
+    /// Folds this layer into a preceding convolution: scales output-channel
+    /// filters and rewrites the bias so the BN becomes the identity.
+    pub fn fold_into(&self, conv_weight: &mut Tensor, conv_bias: &mut Tensor) {
+        let (scale, shift) = self.fold_factors();
+        let oc = conv_weight.dims()[0];
+        assert_eq!(oc, self.channels(), "fold channel mismatch");
+        let per = conv_weight.numel() / oc;
+        for ch in 0..oc {
+            for v in &mut conv_weight.data_mut()[ch * per..(ch + 1) * per] {
+                *v *= scale[ch];
+            }
+            let b = conv_bias.data()[ch];
+            conv_bias.data_mut()[ch] = b * scale[ch] + shift[ch];
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "BatchNorm2d expects [n, c, h, w]");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = x.clone();
+        if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for s in 0..n {
+                for ch in 0..c {
+                    let start = (s * c + ch) * plane;
+                    mean[ch] += x.data()[start..start + plane].iter().sum::<f32>();
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for s in 0..n {
+                for ch in 0..c {
+                    let start = (s * c + ch) * plane;
+                    var[ch] += x.data()[start..start + plane]
+                        .iter()
+                        .map(|&v| (v - mean[ch]).powi(2))
+                        .sum::<f32>();
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            // Update running stats.
+            for ch in 0..c {
+                let rm = self.running_mean.data()[ch];
+                self.running_mean.data_mut()[ch] =
+                    (1.0 - self.momentum) * rm + self.momentum * mean[ch];
+                let rv = self.running_var.data()[ch];
+                self.running_var.data_mut()[ch] =
+                    (1.0 - self.momentum) * rv + self.momentum * var[ch];
+            }
+            let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+            let mut x_hat = Tensor::zeros(x.dims());
+            for s in 0..n {
+                for ch in 0..c {
+                    let start = (s * c + ch) * plane;
+                    let (g, b) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
+                    for i in start..start + plane {
+                        let xh = (x.data()[i] - mean[ch]) * std_inv[ch];
+                        x_hat.data_mut()[i] = xh;
+                        out.data_mut()[i] = g * xh + b;
+                    }
+                }
+            }
+            self.cache = Some(BnCache { x_hat, std_inv });
+        } else {
+            let (scale, shift) = self.fold_factors();
+            for s in 0..n {
+                for ch in 0..c {
+                    let start = (s * c + ch) * plane;
+                    for i in start..start + plane {
+                        out.data_mut()[i] = scale[ch] * x.data()[i] + shift[ch];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm2d::backward without training forward");
+        let (n, c) = (grad.dims()[0], grad.dims()[1]);
+        let plane = grad.dims()[2] * grad.dims()[3];
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(grad.dims());
+        for ch in 0..c {
+            // Accumulate channel sums.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for s in 0..n {
+                let start = (s * c + ch) * plane;
+                for i in start..start + plane {
+                    let dy = grad.data()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[i];
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            let g = self.gamma.value.data()[ch];
+            let k = g * cache.std_inv[ch];
+            for s in 0..n {
+                let start = (s * c + ch) * plane;
+                for i in start..start + plane {
+                    let dy = grad.data()[i];
+                    out.data_mut()[i] = k
+                        * (dy - sum_dy / count - cache.x_hat.data()[i] * sum_dy_xhat / count);
+                }
+            }
+        }
+        out
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let spec = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
+        let mut layer = Conv2dLayer::new(1, 8, spec, &mut rng);
+        let y = layer.forward(&Tensor::zeros(&[2, 1, 49, 10]), true);
+        assert_eq!(y.dims(), &[2, 8, 25, 5]);
+        let gx = layer.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), &[2, 1, 49, 10]);
+    }
+
+    #[test]
+    fn depthwise_layer_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = Conv2dSpec::same(6, 6, 3, 3, 1, 1);
+        let mut layer = DepthwiseConv2dLayer::new(4, 1, spec, &mut rng);
+        let y = layer.forward(&Tensor::zeros(&[2, 4, 6, 6]), true);
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+        let gx = layer.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn batchnorm_normalises_in_train_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x = thnt_tensor::gaussian(&[4, 2, 3, 3], 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true);
+        // Per channel, output should be ~N(0,1) (gamma=1, beta=0).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.at(&[s, ch, i / 3, i % 3]));
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_fold_matches_inference() {
+        let mut bn = BatchNorm2d::new(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Train a few batches to move the running stats.
+        for _ in 0..10 {
+            let x = thnt_tensor::gaussian(&[8, 3, 2, 2], 1.0, 3.0, &mut rng);
+            bn.forward(&x, true);
+        }
+        let x = thnt_tensor::gaussian(&[2, 3, 2, 2], 1.0, 3.0, &mut rng);
+        let direct = bn.forward(&x, false);
+        let (scale, shift) = bn.fold_factors();
+        let mut manual = x.clone();
+        for s in 0..2 {
+            for ch in 0..3 {
+                for i in 0..4 {
+                    let idx = [(s, ch, i / 2, i % 2)];
+                    let v = x.at(&[idx[0].0, idx[0].1, idx[0].2, idx[0].3]);
+                    manual.set(&[s, ch, i / 2, i % 2], scale[ch] * v + shift[ch]);
+                }
+            }
+        }
+        thnt_tensor::assert_close(direct.data(), manual.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn fold_into_conv_preserves_output() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let spec = Conv2dSpec::valid(3, 3, 1, 1);
+        let mut conv = Conv2dLayer::new(2, 3, spec, &mut rng);
+        let mut bn = BatchNorm2d::new(3);
+        for _ in 0..10 {
+            let x = thnt_tensor::gaussian(&[4, 2, 5, 5], 0.0, 1.0, &mut rng);
+            let y = conv.forward(&x, false);
+            bn.forward(&y, true);
+        }
+        let x = thnt_tensor::gaussian(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let unfolded = bn.forward(&conv.forward(&x, false), false);
+        let mut w = conv.weight().value.clone();
+        let mut b = conv.bias().value.clone();
+        bn.fold_into(&mut w, &mut b);
+        conv.weight_mut().value = w;
+        conv.bias_mut().value = b;
+        let folded = conv.forward(&x, false);
+        thnt_tensor::assert_close(folded.data(), unfolded.data(), 1e-4, 1e-4);
+    }
+}

@@ -1,0 +1,175 @@
+//! Knowledge distillation (Hinton et al.), as used in §3 of the paper to
+//! train strassenified students from uncompressed teachers.
+
+use thnt_tensor::Tensor;
+
+use crate::loss::{softmax, softmax_cross_entropy};
+use crate::model::Model;
+use crate::optim::{Adam, Optimizer};
+use crate::trainer::{evaluate, gather_rows, TrainConfig, TrainReport};
+
+/// Distillation hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillConfig {
+    /// Softmax temperature `T` for the soft targets.
+    pub temperature: f32,
+    /// Weight of the hard-label loss (`1 − alpha` goes to the soft loss).
+    pub alpha: f32,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        Self { temperature: 4.0, alpha: 0.3 }
+    }
+}
+
+/// Computes the distillation loss and its gradient w.r.t. the student logits.
+///
+/// `L = alpha · CE(labels, student) + (1 − alpha) · T² · CE(softmax_T(teacher), softmax_T(student))`
+///
+/// The `T²` factor keeps soft-loss gradient magnitudes comparable across
+/// temperatures (Hinton et al. 2015).
+///
+/// # Panics
+///
+/// Panics if logit shapes differ or labels mismatch the batch.
+pub fn distill_grad(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    labels: &[usize],
+    cfg: &DistillConfig,
+) -> (f32, Tensor) {
+    assert_eq!(student_logits.dims(), teacher_logits.dims(), "logit shape mismatch");
+    let (n, c) = (student_logits.dims()[0], student_logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    let t = cfg.temperature;
+
+    // Soft loss on temperature-scaled logits.
+    let ps = softmax(&student_logits.map(|v| v / t));
+    let pt = softmax(&teacher_logits.map(|v| v / t));
+    let mut soft_loss = 0.0f32;
+    for i in 0..n * c {
+        soft_loss -= pt.data()[i] * ps.data()[i].max(1e-12).ln();
+    }
+    soft_loss = soft_loss / n as f32 * t * t;
+    // d(soft)/d(student logits) = T² · (ps − pt) / (n·T) = T·(ps − pt)/n
+    let mut soft_grad = &ps - &pt;
+    soft_grad.scale(t / n as f32);
+
+    let (hard_loss, hard_grad) = softmax_cross_entropy(student_logits, labels);
+
+    let loss = cfg.alpha * hard_loss + (1.0 - cfg.alpha) * soft_loss;
+    let mut grad = hard_grad;
+    grad.scale(cfg.alpha);
+    grad.axpy(1.0 - cfg.alpha, &soft_grad);
+    (loss, grad)
+}
+
+/// Trains `student` with knowledge distillation from `teacher` (run in
+/// inference mode) on `(x_train, y_train)`.
+///
+/// Mirrors [`crate::train_classifier`] but replaces the loss with
+/// [`distill_grad`]. The teacher's parameters are not updated.
+#[allow(clippy::too_many_arguments)] // mirrors train_classifier's surface
+pub fn train_distilled(
+    student: &mut dyn Model,
+    teacher: &mut dyn Model,
+    x_train: &Tensor,
+    y_train: &[usize],
+    x_val: &Tensor,
+    y_val: &[usize],
+    config: &TrainConfig,
+    distill: &DistillConfig,
+) -> TrainReport {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut opt = Adam::new(config.schedule.initial);
+    let mut report = TrainReport { epochs: Vec::new(), best_val_acc: 0.0, final_val_acc: 0.0 };
+    let n = y_train.len();
+    for epoch in 0..config.epochs {
+        opt.set_lr(config.schedule.lr_at(epoch));
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(config.seed.wrapping_add(epoch as u64));
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let bx = gather_rows(x_train, chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| y_train[i]).collect();
+            let teacher_logits = teacher.forward(&bx, false);
+            let student_logits = student.forward(&bx, true);
+            let (loss, grad) = distill_grad(&student_logits, &teacher_logits, &by, distill);
+            student.zero_grad();
+            student.backward(&grad);
+            let mut params = student.params_mut();
+            opt.step(&mut params);
+            total_loss += loss;
+            batches += 1;
+        }
+        let val_acc = evaluate(student, x_val, y_val, config.batch_size.max(32));
+        report.best_val_acc = report.best_val_acc.max(val_acc);
+        report.final_val_acc = val_acc;
+        report.epochs.push(crate::trainer::EpochStats {
+            epoch,
+            train_loss: total_loss / batches.max(1) as f32,
+            train_acc: 0.0,
+            val_acc,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_logits_minimise_soft_loss() {
+        let logits = Tensor::from_vec(vec![2.0, -1.0, 0.5, 0.0, 1.0, -0.5], &[2, 3]);
+        let cfg = DistillConfig { temperature: 2.0, alpha: 0.0 };
+        let (loss_same, grad_same) = distill_grad(&logits, &logits, &[0, 1], &cfg);
+        // Gradient vanishes when student == teacher (soft loss at minimum).
+        assert!(grad_same.norm() < 1e-6, "grad {}", grad_same.norm());
+        // Any perturbation increases the soft loss.
+        let mut other = logits.clone();
+        other.data_mut()[0] += 1.0;
+        let (loss_diff, _) = distill_grad(&other, &logits, &[0, 1], &cfg);
+        assert!(loss_diff > loss_same);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let student = Tensor::from_vec(vec![0.3, -0.2, 0.8, -0.5, 0.1, 0.6], &[2, 3]);
+        let teacher = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5, -0.5, 0.2], &[2, 3]);
+        let labels = [2usize, 0];
+        let cfg = DistillConfig { temperature: 3.0, alpha: 0.4 };
+        let (_, grad) = distill_grad(&student, &teacher, &labels, &cfg);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut p = student.clone();
+            p.data_mut()[i] += eps;
+            let mut m = student.clone();
+            m.data_mut()[i] -= eps;
+            let (lp, _) = distill_grad(&p, &teacher, &labels, &cfg);
+            let (lm, _) = distill_grad(&m, &teacher, &labels, &cfg);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "elem {i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_one_reduces_to_cross_entropy() {
+        let student = Tensor::from_vec(vec![0.5, -0.5, 0.2, 0.9], &[2, 2]);
+        let teacher = Tensor::from_vec(vec![9.0, -9.0, -9.0, 9.0], &[2, 2]);
+        let labels = [0usize, 1];
+        let cfg = DistillConfig { temperature: 5.0, alpha: 1.0 };
+        let (loss, grad) = distill_grad(&student, &teacher, &labels, &cfg);
+        let (ce, ce_grad) = softmax_cross_entropy(&student, &labels);
+        assert!((loss - ce).abs() < 1e-6);
+        thnt_tensor::assert_close(grad.data(), ce_grad.data(), 1e-6, 1e-5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer in the workspace is validated with [`check_gradients`]: a
+//! random linear functional of the layer output is used as a scalar loss,
+//! its analytic parameter/input gradients are compared against central
+//! differences.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thnt_tensor::Tensor;
+
+use crate::model::Layer;
+
+/// Result of a gradient check: the worst relative error seen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error over all checked parameter elements.
+    pub max_param_err: f32,
+    /// Maximum relative error over checked input elements.
+    pub max_input_err: f32,
+}
+
+/// Checks analytic gradients of `layer` at input `x` against central finite
+/// differences.
+///
+/// Loss is `L = Σ (layer(x) ⊙ R)` for a fixed random tensor `R`. Up to
+/// `max_checks` elements of each parameter (and of the input) are probed with
+/// step `eps`. Relative error uses `|a − n| / max(1, |a|, |n|)`.
+///
+/// # Panics
+///
+/// Panics if any relative error exceeds `tol`.
+pub fn check_gradients(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    eps: f32,
+    tol: f32,
+    max_checks: usize,
+    seed: u64,
+) -> GradCheckReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let out = layer.forward(x, true);
+    let r = Tensor::from_vec(
+        (0..out.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        out.dims(),
+    );
+    let dx = layer.backward(&r);
+
+    // Snapshot analytic parameter gradients.
+    let analytic: Vec<Tensor> = layer.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+    let loss = |layer: &mut dyn Layer, x: &Tensor, r: &Tensor| -> f32 {
+        let y = layer.forward(x, false);
+        y.data().iter().zip(r.data()).map(|(a, b)| a * b).sum()
+    };
+
+    let mut max_param_err = 0.0f32;
+    let num_params = layer.params_mut().len();
+    for pi in 0..num_params {
+        let n = layer.params_mut()[pi].value.numel();
+        let stride = (n / max_checks.max(1)).max(1);
+        for i in (0..n).step_by(stride) {
+            let orig = layer.params_mut()[pi].value.data()[i];
+            layer.params_mut()[pi].value.data_mut()[i] = orig + eps;
+            let lp = loss(layer, x, &r);
+            layer.params_mut()[pi].value.data_mut()[i] = orig - eps;
+            let lm = loss(layer, x, &r);
+            layer.params_mut()[pi].value.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[pi].data()[i];
+            let err = (a - numeric).abs() / a.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                err <= tol,
+                "param {pi} ({}) elem {i}: analytic {a} vs numeric {numeric} (err {err})",
+                layer.params_mut()[pi].name
+            );
+            max_param_err = max_param_err.max(err);
+        }
+    }
+
+    // Input gradient check.
+    let mut max_input_err = 0.0f32;
+    let n = x.numel();
+    let stride = (n / max_checks.max(1)).max(1);
+    let mut xp = x.clone();
+    for i in (0..n).step_by(stride) {
+        let orig = xp.data()[i];
+        xp.data_mut()[i] = orig + eps;
+        let lp = loss(layer, &xp, &r);
+        xp.data_mut()[i] = orig - eps;
+        let lm = loss(layer, &xp, &r);
+        xp.data_mut()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = dx.data()[i];
+        let err = (a - numeric).abs() / a.abs().max(numeric.abs()).max(1.0);
+        assert!(err <= tol, "input elem {i}: analytic {a} vs numeric {numeric} (err {err})");
+        max_input_err = max_input_err.max(err);
+    }
+    GradCheckReport { max_param_err, max_input_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_layers::{BatchNorm2d, Conv2dLayer, DepthwiseConv2dLayer};
+    use crate::layers::{Dense, GlobalAvgPoolLayer, Relu, Sigmoid, Tanh};
+    use crate::rnn::{Gru, Lstm};
+    use thnt_tensor::Conv2dSpec;
+
+    fn input(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        thnt_tensor::gaussian(dims, 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn dense_gradients() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut layer = Dense::new(6, 4, &mut rng);
+        check_gradients(&mut layer, &input(&[3, 6], 1), 1e-2, 2e-2, 40, 2);
+    }
+
+    #[test]
+    fn conv2d_gradients() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = Conv2dSpec::same(5, 4, 3, 3, 1, 1);
+        let mut layer = Conv2dLayer::new(2, 3, spec, &mut rng);
+        check_gradients(&mut layer, &input(&[2, 2, 5, 4], 3), 1e-2, 2e-2, 40, 4);
+    }
+
+    #[test]
+    fn conv2d_strided_gradients() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = Conv2dSpec::same(9, 6, 4, 3, 2, 2);
+        let mut layer = Conv2dLayer::new(1, 4, spec, &mut rng);
+        check_gradients(&mut layer, &input(&[2, 1, 9, 6], 5), 1e-2, 2e-2, 40, 6);
+    }
+
+    #[test]
+    fn depthwise_gradients() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = Conv2dSpec::same(5, 5, 3, 3, 1, 1);
+        let mut layer = DepthwiseConv2dLayer::new(3, 1, spec, &mut rng);
+        check_gradients(&mut layer, &input(&[2, 3, 5, 5], 7), 1e-2, 2e-2, 40, 8);
+    }
+
+    #[test]
+    fn depthwise_multiplier_gradients() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let spec = Conv2dSpec::valid(3, 3, 1, 1);
+        let mut layer = DepthwiseConv2dLayer::new(2, 2, spec, &mut rng);
+        check_gradients(&mut layer, &input(&[1, 2, 5, 5], 9), 1e-2, 2e-2, 40, 10);
+    }
+
+    #[test]
+    fn activation_gradients() {
+        check_gradients(&mut Relu::new(), &input(&[3, 7], 11), 1e-3, 2e-2, 21, 12);
+        check_gradients(&mut Tanh::new(), &input(&[3, 7], 13), 1e-3, 2e-2, 21, 14);
+        check_gradients(&mut Sigmoid::new(), &input(&[3, 7], 15), 1e-3, 2e-2, 21, 16);
+    }
+
+    #[test]
+    fn pooling_gradients() {
+        check_gradients(&mut GlobalAvgPoolLayer::new(), &input(&[2, 3, 4, 4], 17), 1e-3, 2e-2, 40, 18);
+    }
+
+    // Batch-norm's train/eval asymmetry means the finite-difference loss must
+    // run in train mode; check manually with a train-mode loss.
+    #[test]
+    fn batchnorm_gradients_manual() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = input(&[3, 2, 2, 2], 19);
+        let mut rng = SmallRng::seed_from_u64(20);
+        let out = bn.forward(&x, true);
+        let r = Tensor::from_vec(
+            (0..out.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            out.dims(),
+        );
+        let dx = bn.backward(&r);
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            use crate::model::Layer as _;
+            let y = bn.forward(x, true);
+            y.data().iter().zip(r.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        let mut xp = x.clone();
+        for i in (0..x.numel()).step_by(3) {
+            let orig = xp.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let lp = loss(&mut bn, &xp);
+            xp.data_mut()[i] = orig - eps;
+            let lm = loss(&mut bn, &xp);
+            xp.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = dx.data()[i];
+            let err = (a - numeric).abs() / a.abs().max(numeric.abs()).max(1.0);
+            assert!(err < 3e-2, "elem {i}: {a} vs {numeric}");
+        }
+    }
+
+    #[test]
+    fn lstm_gradients() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut layer = Lstm::new(3, 4, &mut rng);
+        check_gradients(&mut layer, &input(&[2, 3, 3], 21), 1e-2, 3e-2, 30, 22);
+    }
+
+    #[test]
+    fn lstm_projection_gradients() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut layer = Lstm::with_projection(3, 5, Some(4), &mut rng);
+        check_gradients(&mut layer, &input(&[2, 3, 3], 23), 1e-2, 3e-2, 30, 24);
+    }
+
+    #[test]
+    fn gru_gradients() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut layer = Gru::new(3, 4, &mut rng);
+        check_gradients(&mut layer, &input(&[2, 3, 3], 25), 1e-2, 3e-2, 30, 26);
+    }
+}

@@ -1,0 +1,218 @@
+//! Model checkpointing: a compact binary format for parameter sets.
+//!
+//! The format is deliberately simple (little-endian, no compression):
+//!
+//! ```text
+//! magic "THNT" | version u32 | param_count u32
+//! per param: name_len u16 | name utf-8 | trainable u8 | rank u8
+//!            | dims u32 × rank | data f32 × numel
+//! ```
+//!
+//! Loading validates names, shapes and order, so a checkpoint can only be
+//! restored into an identically-constructed model — the failure mode is an
+//! error, never silent weight corruption.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use thnt_tensor::Tensor;
+
+use crate::model::Model;
+
+
+const MAGIC: &[u8; 4] = b"THNT";
+const VERSION: u32 = 1;
+
+/// Serializes `model`'s parameters to `writer`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn save_model<W: Write>(model: &mut dyn Model, mut writer: W) -> io::Result<()> {
+    let params = model.params_mut();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        let name = p.name.as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u8(p.trainable as u8);
+        let dims = p.value.dims();
+        buf.put_u8(dims.len() as u8);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    writer.write_all(&buf)
+}
+
+/// Restores parameters saved by [`save_model`] into `model`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the header, parameter names, shapes or count do
+/// not exactly match the model, or any I/O error from the reader.
+pub fn load_model<R: Read>(model: &mut dyn Model, mut reader: R) -> io::Result<()> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    let fail = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.remaining() < 12 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(fail("unsupported version"));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut params = model.params_mut();
+    if count != params.len() {
+        return Err(fail(&format!(
+            "parameter count mismatch: checkpoint has {count}, model has {}",
+            params.len()
+        )));
+    }
+    for p in params.iter_mut() {
+        if buf.remaining() < 2 {
+            return Err(fail("truncated checkpoint"));
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(fail("truncated name"));
+        }
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let name = std::str::from_utf8(&name_bytes).map_err(|_| fail("non-utf8 name"))?;
+        if name != p.name {
+            return Err(fail(&format!("parameter name mismatch: {name} vs {}", p.name)));
+        }
+        if buf.remaining() < 2 {
+            return Err(fail("truncated header"));
+        }
+        let trainable = buf.get_u8() != 0;
+        let rank = buf.get_u8() as usize;
+        if buf.remaining() < 4 * rank {
+            return Err(fail("truncated dims"));
+        }
+        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+        if dims != p.value.dims() {
+            return Err(fail(&format!(
+                "shape mismatch for {}: checkpoint {dims:?}, model {:?}",
+                p.name,
+                p.value.dims()
+            )));
+        }
+        let numel: usize = dims.iter().product();
+        if buf.remaining() < 4 * numel {
+            return Err(fail("truncated data"));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        p.value = Tensor::from_vec(data, &dims);
+        p.trainable = trainable;
+    }
+    if buf.has_remaining() {
+        return Err(fail("trailing bytes after last parameter"));
+    }
+    Ok(())
+}
+
+/// Saves a model to a file path.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_model_file(model: &mut dyn Model, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    save_model(model, std::fs::File::create(path)?)
+}
+
+/// Loads a model from a file path.
+///
+/// # Errors
+///
+/// Propagates file-open/read errors and format mismatches.
+pub fn load_model_file(model: &mut dyn Model, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    load_model(model, std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::model::Sequential;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 6, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(6, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn save_load_roundtrip_restores_outputs() {
+        let mut a = net(1);
+        let mut b = net(2); // different weights
+        let x = Tensor::ones(&[2, 4]);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_ne!(ya.data(), yb.data());
+
+        let mut blob = Vec::new();
+        save_model(&mut a, &mut blob).unwrap();
+        load_model(&mut b, blob.as_slice()).unwrap();
+        let yb2 = b.forward(&x, false);
+        assert_eq!(ya.data(), yb2.data());
+    }
+
+    #[test]
+    fn trainable_flags_roundtrip() {
+        let mut a = net(3);
+        a.params_mut()[0].freeze();
+        let mut blob = Vec::new();
+        save_model(&mut a, &mut blob).unwrap();
+        let mut b = net(4);
+        load_model(&mut b, blob.as_slice()).unwrap();
+        assert!(!b.params_mut()[0].trainable);
+        assert!(b.params_mut()[1].trainable);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut a = net(5);
+        let mut blob = Vec::new();
+        save_model(&mut a, &mut blob).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let mut wrong = Sequential::new(vec![
+            Box::new(Dense::new(4, 7, &mut rng)), // 7 != 6
+            Box::new(Relu::new()),
+            Box::new(Dense::new(7, 3, &mut rng)),
+        ]);
+        let err = load_model(&mut wrong, blob.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut a = net(7);
+        let err = load_model(&mut a, b"NOPE............".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let mut a = net(8);
+        let mut blob = Vec::new();
+        save_model(&mut a, &mut blob).unwrap();
+        blob.truncate(blob.len() / 2);
+        let err = load_model(&mut a, blob.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,376 @@
+//! Dense, activation, flatten and pooling layers.
+
+use rand::rngs::SmallRng;
+use thnt_tensor::{global_avg_pool, kaiming_normal, matmul, matmul_nt, matmul_tn, Tensor};
+
+use crate::model::Layer;
+use crate::param::Param;
+
+/// Fully-connected layer: `y = x · Wᵀ + b` with `W: [out, in]`.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-normal weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Self {
+        Self {
+            weight: Param::new("dense.w", kaiming_normal(&[out_dim, in_dim], in_dim, rng)),
+            bias: Param::new("dense.b", Tensor::zeros(&[out_dim])),
+            input: None,
+        }
+    }
+
+    /// Builds a dense layer around existing weights (used by strassenified
+    /// layer collapse and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.numel() != weight.dims()[0]`.
+    pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(bias.numel(), weight.dims()[0], "bias/out_dim mismatch");
+        Self {
+            weight: Param::new("dense.w", weight),
+            bias: Param::new("dense.b", bias),
+            input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Immutable access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter (pruning masks, quantization).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Immutable access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "Dense expects [n, features]");
+        assert_eq!(x.dims()[1], self.in_dim(), "Dense input width mismatch");
+        if train {
+            self.input = Some(x.clone());
+        }
+        let mut y = matmul_nt(x, &self.weight.value);
+        let (n, out) = (y.dims()[0], y.dims()[1]);
+        let b = self.bias.value.data();
+        let yd = y.data_mut();
+        for s in 0..n {
+            for o in 0..out {
+                yd[s * out + o] += b[o];
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.input.as_ref().expect("Dense::backward without training forward");
+        // dW = gradᵀ · x ; db = Σ_n grad ; dx = grad · W
+        self.weight.grad.axpy(1.0, &matmul_tn(grad, x));
+        let (n, out) = (grad.dims()[0], grad.dims()[1]);
+        let gd = grad.data();
+        let bg = self.bias.grad.data_mut();
+        for s in 0..n {
+            for o in 0..out {
+                bg[o] += gd[s * out + o];
+            }
+        }
+        matmul(grad, &self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward without training forward");
+        let mut out = grad.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(f32::tanh);
+        if train {
+            self.output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("Tanh::backward without training forward");
+        let mut out = grad.clone();
+        for (g, &t) in out.data_mut().iter_mut().zip(y.data()) {
+            *g *= 1.0 - t * t;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scalar logistic function `1 / (1 + e^{-x})`.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(sigmoid);
+        if train {
+            self.output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("Sigmoid::backward without training forward");
+        let mut out = grad.clone();
+        for (g, &s) in out.data_mut().iter_mut().zip(y.data()) {
+            *g *= s * (1.0 - s);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Flattens `[n, ...] → [n, prod(...)]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.input_dims = Some(x.dims().to_vec());
+        }
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("Flatten::backward without forward");
+        grad.reshape(dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPoolLayer {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPoolLayer {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPoolLayer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.input_dims = Some(x.dims().to_vec());
+        }
+        global_avg_pool(x)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("pool backward without forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let mut out = Tensor::zeros(dims);
+        let scale = 1.0 / (h * w) as f32;
+        let od = out.data_mut();
+        for s in 0..n {
+            for ch in 0..c {
+                let g = grad.at(&[s, ch]) * scale;
+                let start = (s * c + ch) * h * w;
+                for v in &mut od[start..start + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut layer = Dense::from_weights(w, b);
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]);
+        let y = layer.forward(&x, false);
+        // row0: 1*1 + 0*2 + (-1)*3 + .5 = -1.5 ; row1: 4 - 6 - .5 = -2.5
+        assert_eq!(y.data(), &[-1.5, -2.5]);
+    }
+
+    #[test]
+    fn relu_zeroes_negative_grads() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = relu.backward(&Tensor::ones(&[1, 2]));
+        assert_eq!(g.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_formula() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![0.7], &[1, 1]);
+        let y = t.forward(&x, true);
+        let g = t.backward(&Tensor::ones(&[1, 1]));
+        assert!((g.data()[0] - (1.0 - y.data()[0] * y.data()[0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_at_zero_is_half() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::zeros(&[1, 1]), true);
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let g = s.backward(&Tensor::ones(&[1, 1]));
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&Tensor::ones(&[2, 12]));
+        assert_eq!(g.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn global_pool_backward_spreads_gradient() {
+        let mut p = GlobalAvgPoolLayer::new();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let _ = p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1]));
+        assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dense_param_count() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut d = Dense::new(10, 4, &mut rng);
+        let n: usize = d.params_mut().iter().map(|p| p.numel()).sum();
+        assert_eq!(n, 44);
+    }
+}

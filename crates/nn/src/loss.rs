@@ -1,0 +1,228 @@
+//! Classification losses.
+//!
+//! The paper trains the hybrid and Bonsai models with **multi-class hinge
+//! loss** and the strassenified DS-CNN baselines with **cross-entropy**
+//! (§4, footnote 4); both are provided here with analytic gradients.
+
+use thnt_tensor::Tensor;
+
+/// Which loss to optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax cross-entropy.
+    CrossEntropy,
+    /// Weston–Watkins multi-class hinge with unit margin.
+    Hinge,
+}
+
+impl Loss {
+    /// Computes `(mean loss, ∂loss/∂logits)` for a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not `[n, classes]` or labels are out of range.
+    pub fn compute(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        match self {
+            Loss::CrossEntropy => softmax_cross_entropy(logits, labels),
+            Loss::Hinge => multiclass_hinge(logits, labels, 1.0),
+        }
+    }
+}
+
+/// Row-wise softmax of `[n, c]` logits (numerically stabilised).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax expects [n, classes]");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    for s in 0..n {
+        let row = &mut out.data_mut()[s * c..(s + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy and its gradient `(softmax − onehot)/n`.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    let mut probs = softmax(logits);
+    let mut loss = 0.0f32;
+    for (s, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range ({c} classes)");
+        let p = probs.at(&[s, y]).max(1e-12);
+        loss -= p.ln();
+    }
+    loss /= n as f32;
+    // grad = (p - onehot) / n
+    for (s, &y) in labels.iter().enumerate() {
+        let v = probs.at(&[s, y]);
+        probs.set(&[s, y], v - 1.0);
+    }
+    probs.scale(1.0 / n as f32);
+    (loss, probs)
+}
+
+/// Weston–Watkins multi-class hinge loss:
+/// `L = (1/n) Σ_i Σ_{j≠yᵢ} max(0, margin + s_{ij} − s_{iyᵢ})`.
+///
+/// Returns the mean loss and its subgradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or any label is out of range.
+pub fn multiclass_hinge(logits: &Tensor, labels: &[usize], margin: f32) -> (f32, Tensor) {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f32;
+    for (s, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range ({c} classes)");
+        let sy = logits.at(&[s, y]);
+        for j in 0..c {
+            if j == y {
+                continue;
+            }
+            let v = margin + logits.at(&[s, j]) - sy;
+            if v > 0.0 {
+                loss += v;
+                let g = grad.at(&[s, j]);
+                grad.set(&[s, j], g + 1.0);
+                let gy = grad.at(&[s, y]);
+                grad.set(&[s, y], gy - 1.0);
+            }
+        }
+    }
+    grad.scale(1.0 / n as f32);
+    (loss / n as f32, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if the batch sizes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (s, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[s * c..(s + 1) * c];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == y {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&logits);
+        for s in 0..2 {
+            let sum: f32 = p.row(s).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(p.data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        thnt_tensor::assert_close(softmax(&a).data(), softmax(&b).data(), 1e-5, 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        let (bad_loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(bad_loss > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.2, 0.1, 0.9, -0.7], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "index {i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn hinge_zero_when_margin_satisfied() {
+        let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0], &[1, 3]);
+        let (loss, grad) = multiclass_hinge(&logits, &[0], 1.0);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn hinge_gradient_matches_finite_difference_away_from_kinks() {
+        let logits = Tensor::from_vec(vec![0.3, 0.7, -0.2, 0.9, 0.05, 0.4], &[2, 3]);
+        let labels = [1usize, 2];
+        let (_, grad) = multiclass_hinge(&logits, &labels, 1.0);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = multiclass_hinge(&plus, &labels, 1.0);
+            let (lm, _) = multiclass_hinge(&minus, &labels, 1.0);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "index {i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 0.0, -1.0], &[2, 3]);
+        assert_eq!(accuracy(&logits, &[2, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[2, 1]), 0.5);
+        assert_eq!(accuracy(&logits, &[0, 1]), 0.0);
+    }
+}

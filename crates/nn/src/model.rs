@@ -1,0 +1,228 @@
+//! The [`Model`] abstraction and [`Sequential`] composition.
+
+use thnt_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A trainable model: forward produces logits, backward consumes the loss
+/// gradient with respect to those logits.
+///
+/// `forward(_, train=true)` must cache whatever the subsequent `backward`
+/// needs; calling `backward` without a preceding training-mode forward is a
+/// logic error and may panic.
+pub trait Model {
+    /// Runs the model on a batch, returning its output (usually logits
+    /// `[n, classes]`). `train` enables caching for backprop and
+    /// training-mode behaviour (batch-norm batch statistics).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad` (gradient w.r.t. the forward output),
+    /// accumulating parameter gradients.
+    fn backward(&mut self, grad: &Tensor);
+
+    /// All trainable parameters in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// A single differentiable layer.
+///
+/// Layers cache their forward inputs (or equivalent) internally; `backward`
+/// returns the gradient with respect to the layer input.
+pub trait Layer: std::fmt::Debug {
+    /// Forward pass. `train` requests caching for a later backward pass.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: consumes `∂L/∂output`, accumulates parameter
+    /// gradients, returns `∂L/∂input`.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// The layer's trainable parameters (stable order; empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Immutable view of the parameters (must mirror `params_mut` order).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Short layer name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// A feed-forward stack of layers executed in order.
+///
+/// # Example
+///
+/// ```
+/// use thnt_nn::{Dense, Relu, Sequential, Model};
+/// use thnt_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut net = Sequential::new(vec![
+///     Box::new(Dense::new(2, 4, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Dense::new(4, 2, &mut rng)),
+/// ]);
+/// assert_eq!(net.forward(&Tensor::zeros(&[3, 2]), false).dims(), &[3, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a stack from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrows the layers (for inspection / cost accounting).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl Model for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+/// Adapts a single [`Layer`] into a [`Model`].
+///
+/// Useful for models that are one big layer, like a Bonsai tree head used
+/// standalone (Table 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use thnt_nn::{Dense, LayerModel, Model};
+/// use thnt_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut model = LayerModel::new(Dense::new(4, 2, &mut rng));
+/// assert_eq!(model.forward(&Tensor::zeros(&[1, 4]), false).dims(), &[1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct LayerModel<L: Layer> {
+    layer: L,
+}
+
+impl<L: Layer> LayerModel<L> {
+    /// Wraps `layer`.
+    pub fn new(layer: L) -> Self {
+        Self { layer }
+    }
+
+    /// Borrows the wrapped layer.
+    pub fn layer(&self) -> &L {
+        &self.layer
+    }
+
+    /// Mutably borrows the wrapped layer.
+    pub fn layer_mut(&mut self) -> &mut L {
+        &mut self.layer
+    }
+
+    /// Unwraps the layer.
+    pub fn into_inner(self) -> L {
+        self.layer
+    }
+}
+
+impl<L: Layer> Model for LayerModel<L> {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.layer.forward(x, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        self.layer.backward(grad);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layer.params_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(5, 7, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(7, 3, &mut rng)),
+        ]);
+        let y = net.forward(&Tensor::zeros(&[4, 5]), true);
+        assert_eq!(y.dims(), &[4, 3]);
+        net.backward(&Tensor::ones(&[4, 3]));
+        assert_eq!(net.params_mut().len(), 4); // two dense layers x (W, b)
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn zero_grad_resets_all() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(3, 2, &mut rng))]);
+        let y = net.forward(&Tensor::ones(&[2, 3]), true);
+        net.backward(&Tensor::ones(y.dims()));
+        assert!(net.params_mut().iter().any(|p| p.grad.norm() > 0.0));
+        net.zero_grad();
+        assert!(net.params_mut().iter().all(|p| p.grad.norm() == 0.0));
+    }
+}

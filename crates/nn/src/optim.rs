@@ -1,0 +1,218 @@
+//! Optimizers and learning-rate schedules.
+
+use thnt_tensor::Tensor;
+
+use crate::param::Param;
+
+/// An optimisation algorithm stepping a fixed, ordered parameter list.
+///
+/// State (momenta) is indexed by parameter position, so callers must pass the
+/// parameters in the same order every step — [`crate::Model::params_mut`]
+/// guarantees this.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated
+    /// gradients. Frozen (`trainable == false`) parameters are skipped but
+    /// still consume a state slot.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Sets the learning rate (used by schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed size");
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            if !p.trainable {
+                continue;
+            }
+            for ((vv, &g), w) in
+                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
+            {
+                *vv = self.momentum * *vv + g;
+                *w -= self.lr * *vv;
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba), the optimizer the paper uses for every model.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9 / 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed size");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            if !p.trainable {
+                continue;
+            }
+            for (((mm, vv), &g), w) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.grad.data())
+                .zip(p.value.data_mut())
+            {
+                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mm / b1t;
+                let v_hat = *vv / b2t;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// The paper's staged decay: "initial learning rate of 0.001 and
+/// progressively smaller learning rates after every 45 epochs".
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Learning rate during the first stage.
+    pub initial: f32,
+    /// Multiplicative factor applied at each stage boundary.
+    pub factor: f32,
+    /// Stage length in epochs.
+    pub every: usize,
+}
+
+impl StepDecay {
+    /// The paper's schedule for a given initial LR: ×0.2 every 45 epochs.
+    pub fn paper(initial: f32) -> Self {
+        Self { initial, factor: 0.2, every: 45 }
+    }
+
+    /// Learning rate for 0-based `epoch`.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.initial * self.factor.powi((epoch / self.every.max(1)) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new("x", Tensor::from_vec(vec![x0], &[1]))
+    }
+
+    /// Minimise f(x) = x² with the given optimizer; returns final |x|.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = quadratic_param(5.0);
+        for _ in 0..steps {
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * x;
+            let mut list = [&mut p];
+            opt.step(&mut list);
+        }
+        p.value.data()[0].abs()
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        assert!(minimise(&mut Sgd::new(0.1, 0.0), 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_still_converges() {
+        assert!(minimise(&mut Sgd::new(0.05, 0.9), 200) < 1e-2);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        assert!(minimise(&mut Adam::new(0.3), 200) < 1e-2);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut p = quadratic_param(3.0);
+        p.freeze();
+        p.grad.data_mut()[0] = 100.0;
+        let mut adam = Adam::new(0.1);
+        let mut list = [&mut p];
+        adam.step(&mut list);
+        assert_eq!(p.value.data()[0], 3.0);
+    }
+
+    #[test]
+    fn step_decay_matches_paper_schedule() {
+        let sched = StepDecay::paper(0.001);
+        assert_eq!(sched.lr_at(0), 0.001);
+        assert_eq!(sched.lr_at(44), 0.001);
+        assert!((sched.lr_at(45) - 0.0002).abs() < 1e-9);
+        assert!((sched.lr_at(90) - 0.00004).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed size")]
+    fn optimizer_detects_param_list_change() {
+        let mut a = quadratic_param(1.0);
+        let mut b = quadratic_param(1.0);
+        let mut adam = Adam::new(0.1);
+        {
+            let mut list = [&mut a];
+            adam.step(&mut list);
+        }
+        let mut list = [&mut a, &mut b];
+        adam.step(&mut list);
+    }
+}

@@ -1,0 +1,73 @@
+//! Trainable parameters.
+
+use thnt_tensor::Tensor;
+
+/// A trainable tensor paired with its gradient accumulator.
+///
+/// Layers own their `Param`s and expose them (in a stable order) through
+/// [`Model::params_mut`](crate::Model::params_mut); optimizers index
+/// parameters by position, so the order must not change between steps.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Human-readable name, used in reports and gradient-check output.
+    pub name: String,
+    /// When `false`, optimizers skip this parameter (used for frozen ternary
+    /// matrices in phase 3 of Strassen training).
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self { value, grad, name: name.into(), trainable: true }
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Freezes the parameter (optimizers will skip it).
+    pub fn freeze(&mut self) {
+        self.trainable = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.trainable);
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn freeze_marks_untrainable() {
+        let mut p = Param::new("w", Tensor::ones(&[1]));
+        p.freeze();
+        assert!(!p.trainable);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulator() {
+        let mut p = Param::new("w", Tensor::ones(&[3]));
+        p.grad = Tensor::full(&[3], 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

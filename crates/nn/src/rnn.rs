@@ -1,0 +1,520 @@
+//! Recurrent layers (LSTM, GRU) with truncated-free full BPTT.
+//!
+//! These power the Table 3 baselines (Basic LSTM, LSTM-with-projection, GRU,
+//! CRNN). Inputs are `[n, T, F]` sequences; the layer output is the **last**
+//! hidden state `[n, H]`, which is what the KWS classifiers consume.
+//! Gradients flow back through all `T` steps.
+
+use rand::rngs::SmallRng;
+use thnt_tensor::{matmul, matmul_nt, matmul_tn, xavier_uniform, Tensor};
+
+use crate::layers::sigmoid;
+use crate::model::Layer;
+use crate::param::Param;
+
+/// Extracts timestep `t` of a `[n, T, F]` tensor as `[n, F]`.
+fn timestep(x: &Tensor, t: usize) -> Tensor {
+    let (n, steps, f) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    assert!(t < steps, "timestep {t} out of range");
+    let mut out = Tensor::zeros(&[n, f]);
+    for s in 0..n {
+        let src = (s * steps + t) * f;
+        out.data_mut()[s * f..(s + 1) * f].copy_from_slice(&x.data()[src..src + f]);
+    }
+    out
+}
+
+/// Adds `grad` (shape `[n, F]`) into timestep `t` of `out` (`[n, T, F]`).
+fn add_timestep(out: &mut Tensor, t: usize, grad: &Tensor) {
+    let (n, steps, f) = (out.dims()[0], out.dims()[1], out.dims()[2]);
+    for s in 0..n {
+        let dst = (s * steps + t) * f;
+        for (o, &g) in out.data_mut()[dst..dst + f].iter_mut().zip(grad.row(s)) {
+            *o += g;
+        }
+    }
+}
+
+/// Long short-term memory layer, optionally with a projection layer
+/// (the "LSTMP" used by the paper's `LSTM` baseline; `Basic LSTM` has none).
+///
+/// Gate order in the stacked weight matrices is `i, f, g, o`.
+#[derive(Debug)]
+pub struct Lstm {
+    w_x: Param,
+    w_h: Param,
+    b: Param,
+    w_proj: Option<Param>,
+    hidden: usize,
+    input_dim: usize,
+    cache: Option<LstmCache>,
+}
+
+#[derive(Debug)]
+struct LstmCache {
+    x: Tensor,
+    /// Recurrent inputs `r_0..r_T` (projected hidden if projecting).
+    rs: Vec<Tensor>,
+    /// Cell states `c_0..c_T`.
+    cs: Vec<Tensor>,
+    /// Post-activation gates per step `[n, 4H]`.
+    gates: Vec<Tensor>,
+    /// Pre-projection hidden `o ∘ tanh(c)` per step.
+    hos: Vec<Tensor>,
+}
+
+impl Lstm {
+    /// Creates an LSTM over `input_dim` features with `hidden` units and no
+    /// projection.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+        Self::with_projection(input_dim, hidden, None, rng)
+    }
+
+    /// Creates an LSTM with an optional output projection to `proj` units.
+    pub fn with_projection(
+        input_dim: usize,
+        hidden: usize,
+        proj: Option<usize>,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let rec = proj.unwrap_or(hidden);
+        let mut b = Tensor::zeros(&[4 * hidden]);
+        // Forget-gate bias 1.0: standard recipe for gradient flow.
+        for i in hidden..2 * hidden {
+            b.data_mut()[i] = 1.0;
+        }
+        Self {
+            w_x: Param::new("lstm.w_x", xavier_uniform(&[4 * hidden, input_dim], input_dim, hidden, rng)),
+            w_h: Param::new("lstm.w_h", xavier_uniform(&[4 * hidden, rec], rec, hidden, rng)),
+            b: Param::new("lstm.b", b),
+            w_proj: proj.map(|p| {
+                Param::new("lstm.w_proj", xavier_uniform(&[p, hidden], hidden, p, rng))
+            }),
+            hidden,
+            input_dim,
+            cache: None,
+        }
+    }
+
+    /// Output width (projection size if projecting, else hidden size).
+    pub fn output_dim(&self) -> usize {
+        self.w_proj.as_ref().map(|p| p.value.dims()[0]).unwrap_or(self.hidden)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "Lstm expects [n, T, F]");
+        assert_eq!(x.dims()[2], self.input_dim, "Lstm input width mismatch");
+        let (n, steps) = (x.dims()[0], x.dims()[1]);
+        let h = self.hidden;
+        let rec_dim = self.output_dim();
+        let mut r = Tensor::zeros(&[n, rec_dim]);
+        let mut c = Tensor::zeros(&[n, h]);
+        let mut cache = LstmCache {
+            x: x.clone(),
+            rs: vec![r.clone()],
+            cs: vec![c.clone()],
+            gates: Vec::new(),
+            hos: Vec::new(),
+        };
+        for t in 0..steps {
+            let xt = timestep(x, t);
+            // z = xt·W_xᵀ + r·W_hᵀ + b  → [n, 4H]
+            let mut z = matmul_nt(&xt, &self.w_x.value);
+            let zr = matmul_nt(&r, &self.w_h.value);
+            z.axpy(1.0, &zr);
+            {
+                let zd = z.data_mut();
+                let bd = self.b.value.data();
+                for s in 0..n {
+                    for k in 0..4 * h {
+                        zd[s * 4 * h + k] += bd[k];
+                    }
+                }
+            }
+            // Activate gates in place: i, f, o via sigmoid; g via tanh.
+            let mut gates = z;
+            {
+                let gd = gates.data_mut();
+                for s in 0..n {
+                    for k in 0..4 * h {
+                        let idx = s * 4 * h + k;
+                        gd[idx] = if k / h == 2 { gd[idx].tanh() } else { sigmoid(gd[idx]) };
+                    }
+                }
+            }
+            // c = f∘c + i∘g ; ho = o∘tanh(c)
+            let mut ho = Tensor::zeros(&[n, h]);
+            {
+                let gd = gates.data();
+                let cd = c.data_mut();
+                let hod = ho.data_mut();
+                for s in 0..n {
+                    for k in 0..h {
+                        let i = gd[s * 4 * h + k];
+                        let f = gd[s * 4 * h + h + k];
+                        let g = gd[s * 4 * h + 2 * h + k];
+                        let o = gd[s * 4 * h + 3 * h + k];
+                        let cv = f * cd[s * h + k] + i * g;
+                        cd[s * h + k] = cv;
+                        hod[s * h + k] = o * cv.tanh();
+                    }
+                }
+            }
+            r = match &self.w_proj {
+                Some(p) => matmul_nt(&ho, &p.value),
+                None => ho.clone(),
+            };
+            if train {
+                cache.gates.push(gates);
+                cache.cs.push(c.clone());
+                cache.hos.push(ho);
+                cache.rs.push(r.clone());
+            }
+        }
+        if train {
+            self.cache = Some(cache);
+        }
+        r
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("Lstm::backward without training forward");
+        let (n, steps) = (cache.x.dims()[0], cache.x.dims()[1]);
+        let h = self.hidden;
+        let mut dx = Tensor::zeros(cache.x.dims());
+        let mut dr = grad.clone();
+        let mut dc = Tensor::zeros(&[n, h]);
+        for t in (0..steps).rev() {
+            // Through projection.
+            let dho = match &mut self.w_proj {
+                Some(p) => {
+                    p.grad.axpy(1.0, &matmul_tn(&dr, &cache.hos[t]));
+                    matmul(&dr, &p.value)
+                }
+                None => dr.clone(),
+            };
+            let gates = &cache.gates[t];
+            let c_t = &cache.cs[t + 1];
+            let c_prev = &cache.cs[t];
+            let mut dz = Tensor::zeros(&[n, 4 * h]);
+            {
+                let gd = gates.data();
+                let dzd = dz.data_mut();
+                let dcd = dc.data_mut();
+                for s in 0..n {
+                    for k in 0..h {
+                        let i = gd[s * 4 * h + k];
+                        let f = gd[s * 4 * h + h + k];
+                        let g = gd[s * 4 * h + 2 * h + k];
+                        let o = gd[s * 4 * h + 3 * h + k];
+                        let tc = c_t.data()[s * h + k].tanh();
+                        let dho_v = dho.data()[s * h + k];
+                        let do_ = dho_v * tc;
+                        let dc_v = dcd[s * h + k] + dho_v * o * (1.0 - tc * tc);
+                        let di = dc_v * g;
+                        let df = dc_v * c_prev.data()[s * h + k];
+                        let dg = dc_v * i;
+                        dcd[s * h + k] = dc_v * f; // becomes dc_prev
+                        dzd[s * 4 * h + k] = di * i * (1.0 - i);
+                        dzd[s * 4 * h + h + k] = df * f * (1.0 - f);
+                        dzd[s * 4 * h + 2 * h + k] = dg * (1.0 - g * g);
+                        dzd[s * 4 * h + 3 * h + k] = do_ * o * (1.0 - o);
+                    }
+                }
+            }
+            let xt = timestep(&cache.x, t);
+            self.w_x.grad.axpy(1.0, &matmul_tn(&dz, &xt));
+            self.w_h.grad.axpy(1.0, &matmul_tn(&dz, &cache.rs[t]));
+            {
+                let bg = self.b.grad.data_mut();
+                for s in 0..n {
+                    for k in 0..4 * h {
+                        bg[k] += dz.data()[s * 4 * h + k];
+                    }
+                }
+            }
+            add_timestep(&mut dx, t, &matmul(&dz, &self.w_x.value));
+            dr = matmul(&dz, &self.w_h.value);
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.w_x, &mut self.w_h, &mut self.b];
+        if let Some(p) = &mut self.w_proj {
+            ps.push(p);
+        }
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = vec![&self.w_x, &self.w_h, &self.b];
+        if let Some(p) = &self.w_proj {
+            ps.push(p);
+        }
+        ps
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+/// Gated recurrent unit layer. Gate order in stacked matrices is `r, z, n`.
+#[derive(Debug)]
+pub struct Gru {
+    w_x: Param,
+    w_h: Param,
+    b_x: Param,
+    b_hn: Param,
+    hidden: usize,
+    input_dim: usize,
+    cache: Option<GruCache>,
+}
+
+#[derive(Debug)]
+struct GruCache {
+    x: Tensor,
+    hs: Vec<Tensor>,
+    /// Per step: r, z, n activations `[n, 3H]` (stacked) and `u_nh`.
+    gates: Vec<Tensor>,
+    u_nhs: Vec<Tensor>,
+}
+
+impl Gru {
+    /// Creates a GRU over `input_dim` features with `hidden` units.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
+        Self {
+            w_x: Param::new("gru.w_x", xavier_uniform(&[3 * hidden, input_dim], input_dim, hidden, rng)),
+            w_h: Param::new("gru.w_h", xavier_uniform(&[3 * hidden, hidden], hidden, hidden, rng)),
+            b_x: Param::new("gru.b_x", Tensor::zeros(&[3 * hidden])),
+            b_hn: Param::new("gru.b_hn", Tensor::zeros(&[hidden])),
+            hidden,
+            input_dim,
+            cache: None,
+        }
+    }
+
+    /// Hidden width.
+    pub fn output_dim(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "Gru expects [n, T, F]");
+        assert_eq!(x.dims()[2], self.input_dim, "Gru input width mismatch");
+        let (n, steps) = (x.dims()[0], x.dims()[1]);
+        let h = self.hidden;
+        let mut hprev = Tensor::zeros(&[n, h]);
+        let mut cache =
+            GruCache { x: x.clone(), hs: vec![hprev.clone()], gates: Vec::new(), u_nhs: Vec::new() };
+        for t in 0..steps {
+            let xt = timestep(x, t);
+            // zx = xt·W_xᵀ + b_x ; zh = hprev·W_hᵀ (rows: r, z, n blocks)
+            let mut zx = matmul_nt(&xt, &self.w_x.value);
+            {
+                let d = zx.data_mut();
+                let b = self.b_x.value.data();
+                for s in 0..n {
+                    for k in 0..3 * h {
+                        d[s * 3 * h + k] += b[k];
+                    }
+                }
+            }
+            let zh = matmul_nt(&hprev, &self.w_h.value);
+            let mut gates = Tensor::zeros(&[n, 3 * h]);
+            let mut u_nh = Tensor::zeros(&[n, h]);
+            let mut hnew = Tensor::zeros(&[n, h]);
+            {
+                let zxd = zx.data();
+                let zhd = zh.data();
+                let gd = gates.data_mut();
+                let ud = u_nh.data_mut();
+                let hd = hnew.data_mut();
+                let hp = hprev.data();
+                let bhn = self.b_hn.value.data();
+                for s in 0..n {
+                    for k in 0..h {
+                        let r = sigmoid(zxd[s * 3 * h + k] + zhd[s * 3 * h + k]);
+                        let z = sigmoid(zxd[s * 3 * h + h + k] + zhd[s * 3 * h + h + k]);
+                        let u = zhd[s * 3 * h + 2 * h + k] + bhn[k];
+                        let nv = (zxd[s * 3 * h + 2 * h + k] + r * u).tanh();
+                        gd[s * 3 * h + k] = r;
+                        gd[s * 3 * h + h + k] = z;
+                        gd[s * 3 * h + 2 * h + k] = nv;
+                        ud[s * h + k] = u;
+                        hd[s * h + k] = (1.0 - z) * nv + z * hp[s * h + k];
+                    }
+                }
+            }
+            hprev = hnew;
+            if train {
+                cache.gates.push(gates);
+                cache.u_nhs.push(u_nh);
+                cache.hs.push(hprev.clone());
+            }
+        }
+        if train {
+            self.cache = Some(cache);
+        }
+        hprev
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("Gru::backward without training forward");
+        let (n, steps) = (cache.x.dims()[0], cache.x.dims()[1]);
+        let h = self.hidden;
+        let mut dx = Tensor::zeros(cache.x.dims());
+        let mut dh = grad.clone();
+        for t in (0..steps).rev() {
+            let gates = &cache.gates[t];
+            let u_nh = &cache.u_nhs[t];
+            let hprev = &cache.hs[t];
+            // dzx covers the x-side pre-activations (r, z, n);
+            // dzh covers the h-side (r, z share with x; n-block is d(u_nh)).
+            let mut dzx = Tensor::zeros(&[n, 3 * h]);
+            let mut dzh = Tensor::zeros(&[n, 3 * h]);
+            let mut dh_prev = Tensor::zeros(&[n, h]);
+            {
+                let gd = gates.data();
+                let ud = u_nh.data();
+                let hp = hprev.data();
+                let dhd = dh.data();
+                let dzxd = dzx.data_mut();
+                let dzhd = dzh.data_mut();
+                let dhp = dh_prev.data_mut();
+                let bhg = self.b_hn.grad.data_mut();
+                for s in 0..n {
+                    for k in 0..h {
+                        let r = gd[s * 3 * h + k];
+                        let z = gd[s * 3 * h + h + k];
+                        let nv = gd[s * 3 * h + 2 * h + k];
+                        let u = ud[s * h + k];
+                        let g = dhd[s * h + k];
+                        let dz_gate = g * (hp[s * h + k] - nv);
+                        let dn = g * (1.0 - z);
+                        dhp[s * h + k] += g * z;
+                        let dn_pre = dn * (1.0 - nv * nv);
+                        let dr = dn_pre * u;
+                        let du = dn_pre * r;
+                        let dz_pre = dz_gate * z * (1.0 - z);
+                        let dr_pre = dr * r * (1.0 - r);
+                        dzxd[s * 3 * h + k] = dr_pre;
+                        dzxd[s * 3 * h + h + k] = dz_pre;
+                        dzxd[s * 3 * h + 2 * h + k] = dn_pre;
+                        dzhd[s * 3 * h + k] = dr_pre;
+                        dzhd[s * 3 * h + h + k] = dz_pre;
+                        dzhd[s * 3 * h + 2 * h + k] = du;
+                        bhg[k] += du;
+                    }
+                }
+            }
+            let xt = timestep(&cache.x, t);
+            self.w_x.grad.axpy(1.0, &matmul_tn(&dzx, &xt));
+            self.w_h.grad.axpy(1.0, &matmul_tn(&dzh, hprev));
+            {
+                let bg = self.b_x.grad.data_mut();
+                for s in 0..n {
+                    for k in 0..3 * h {
+                        bg[k] += dzx.data()[s * 3 * h + k];
+                    }
+                }
+            }
+            add_timestep(&mut dx, t, &matmul(&dzx, &self.w_x.value));
+            dh_prev.axpy(1.0, &matmul(&dzh, &self.w_h.value));
+            dh = dh_prev;
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_x, &mut self.w_h, &mut self.b_x, &mut self.b_hn]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w_x, &self.w_h, &self.b_x, &self.b_hn]
+    }
+
+    fn name(&self) -> &'static str {
+        "gru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lstm_output_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(10, 16, &mut rng);
+        let y = lstm.forward(&Tensor::zeros(&[3, 5, 10]), false);
+        assert_eq!(y.dims(), &[3, 16]);
+    }
+
+    #[test]
+    fn lstm_projection_shrinks_output() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lstm = Lstm::with_projection(10, 32, Some(12), &mut rng);
+        assert_eq!(lstm.output_dim(), 12);
+        let y = lstm.forward(&Tensor::zeros(&[2, 4, 10]), false);
+        assert_eq!(y.dims(), &[2, 12]);
+        assert_eq!(lstm.params_mut().len(), 4);
+    }
+
+    #[test]
+    fn gru_output_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut gru = Gru::new(8, 12, &mut rng);
+        let y = gru.forward(&Tensor::zeros(&[2, 6, 8]), false);
+        assert_eq!(y.dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn zero_input_zero_state_lstm_output_is_small() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(4, 8, &mut rng);
+        let y = lstm.forward(&Tensor::zeros(&[1, 3, 4]), false);
+        // With zero inputs, gates are constant; output is bounded well below 1.
+        assert!(y.data().iter().all(|&v| v.abs() < 0.8));
+    }
+
+    #[test]
+    fn recurrence_sees_history() {
+        // Same final timestep, different history -> different output.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut gru = Gru::new(2, 6, &mut rng);
+        let mut a = Tensor::zeros(&[1, 3, 2]);
+        let mut b = Tensor::zeros(&[1, 3, 2]);
+        a.set(&[0, 0, 0], 1.0);
+        b.set(&[0, 0, 0], -1.0);
+        a.set(&[0, 2, 1], 0.5);
+        b.set(&[0, 2, 1], 0.5);
+        let ya = gru.forward(&a, false);
+        let yb = gru.forward(&b, false);
+        let diff: f32 = ya.data().iter().zip(yb.data()).map(|(p, q)| (p - q).abs()).sum();
+        assert!(diff > 1e-4, "history ignored: {diff}");
+    }
+
+    #[test]
+    fn backward_produces_input_grads_of_right_shape() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let x = thnt_tensor::gaussian(&[2, 4, 3], 0.0, 1.0, &mut rng);
+        let y = lstm.forward(&x, true);
+        let dx = lstm.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.norm() > 0.0);
+
+        let mut gru = Gru::new(3, 5, &mut rng);
+        let y = gru.forward(&x, true);
+        let dx = gru.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.norm() > 0.0);
+    }
+}

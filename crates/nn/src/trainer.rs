@@ -1,0 +1,252 @@
+//! Generic training loop for classifiers.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use thnt_tensor::Tensor;
+
+use crate::loss::{accuracy, Loss};
+use crate::model::Model;
+use crate::optim::{Adam, Optimizer, StepDecay};
+
+/// Training-run configuration.
+///
+/// Defaults mirror the paper's recipe: Adam, batch size 20, initial learning
+/// rate 0.001 decayed every 45 epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 20).
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: StepDecay,
+    /// Loss function.
+    pub loss: Loss,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Print one line per `log_every` epochs (0 = silent).
+    pub log_every: usize,
+}
+
+impl TrainConfig {
+    /// The paper's 135-epoch recipe with the given loss.
+    pub fn paper(loss: Loss) -> Self {
+        Self {
+            epochs: 135,
+            batch_size: 20,
+            schedule: StepDecay::paper(0.001),
+            loss,
+            seed: 7,
+            log_every: 0,
+        }
+    }
+
+    /// A shortened recipe for CI-scale runs: `epochs` epochs with
+    /// proportionally compressed LR decay stages.
+    pub fn quick(loss: Loss, epochs: usize) -> Self {
+        Self {
+            epochs,
+            batch_size: 20,
+            schedule: StepDecay { initial: 0.01, factor: 0.25, every: epochs.div_ceil(3).max(1) },
+            loss,
+            seed: 7,
+            log_every: 0,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Training accuracy over the epoch (running, pre-update per batch).
+    pub train_acc: f32,
+    /// Validation accuracy after the epoch.
+    pub val_acc: f32,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Statistics per epoch.
+    pub epochs: Vec<EpochStats>,
+    /// Best validation accuracy seen.
+    pub best_val_acc: f32,
+    /// Validation accuracy after the final epoch.
+    pub final_val_acc: f32,
+}
+
+/// Trains `model` on `(x_train, y_train)`, validating on `(x_val, y_val)`.
+///
+/// Returns per-epoch statistics. Deterministic given the config seed (and the
+/// model's initial weights).
+///
+/// # Panics
+///
+/// Panics if sample counts disagree with label counts.
+pub fn train_classifier(
+    model: &mut dyn Model,
+    x_train: &Tensor,
+    y_train: &[usize],
+    x_val: &Tensor,
+    y_val: &[usize],
+    config: &TrainConfig,
+) -> TrainReport {
+    assert_eq!(x_train.dims()[0], y_train.len(), "train sample/label mismatch");
+    assert_eq!(x_val.dims()[0], y_val.len(), "val sample/label mismatch");
+    let mut opt = Adam::new(config.schedule.initial);
+    let mut report = TrainReport { epochs: Vec::new(), best_val_acc: 0.0, final_val_acc: 0.0 };
+    let n = y_train.len();
+    for epoch in 0..config.epochs {
+        opt.set_lr(config.schedule.lr_at(epoch));
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(epoch as u64));
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f32;
+        let mut total_correct = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let bx = gather_rows(x_train, chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| y_train[i]).collect();
+            let logits = model.forward(&bx, true);
+            let (loss, grad) = config.loss.compute(&logits, &by);
+            total_correct += accuracy(&logits, &by) * by.len() as f32;
+            model.zero_grad();
+            model.backward(&grad);
+            let mut params = model.params_mut();
+            opt.step(&mut params);
+            total_loss += loss;
+            batches += 1;
+        }
+        let val_acc = evaluate(model, x_val, y_val, config.batch_size.max(32));
+        let stats = EpochStats {
+            epoch,
+            train_loss: total_loss / batches.max(1) as f32,
+            train_acc: total_correct / n.max(1) as f32,
+            val_acc,
+        };
+        if config.log_every > 0 && epoch % config.log_every == 0 {
+            eprintln!(
+                "epoch {:3}  lr {:.5}  loss {:.4}  train_acc {:.3}  val_acc {:.3}",
+                epoch, opt.lr(), stats.train_loss, stats.train_acc, stats.val_acc
+            );
+        }
+        report.best_val_acc = report.best_val_acc.max(val_acc);
+        report.final_val_acc = val_acc;
+        report.epochs.push(stats);
+    }
+    report
+}
+
+/// Evaluates classification accuracy in inference mode, batched.
+pub fn evaluate(model: &mut dyn Model, x: &Tensor, y: &[usize], batch_size: usize) -> f32 {
+    let n = y.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0.0f32;
+    let idx: Vec<usize> = (0..n).collect();
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let bx = gather_rows(x, chunk);
+        let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+        let logits = model.forward(&bx, false);
+        correct += accuracy(&logits, &by) * by.len() as f32;
+    }
+    correct / n as f32
+}
+
+/// Gathers rows of `x` (axis 0) at `indices`.
+pub(crate) fn gather_rows(x: &Tensor, indices: &[usize]) -> Tensor {
+    let per: usize = x.dims()[1..].iter().product();
+    let mut dims = x.dims().to_vec();
+    dims[0] = indices.len();
+    let mut out = Tensor::zeros(&dims);
+    for (row, &i) in indices.iter().enumerate() {
+        out.data_mut()[row * per..(row + 1) * per]
+            .copy_from_slice(&x.data()[i * per..(i + 1) * per]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::model::Sequential;
+    use rand::Rng;
+
+    /// Two-class separable toy problem.
+    fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut x = Tensor::zeros(&[n, 2]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let cx = if label == 0 { -1.0 } else { 1.0 };
+            x.set(&[i, 0], cx + rng.gen_range(-0.3..0.3));
+            x.set(&[i, 1], rng.gen_range(-0.3..0.3));
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn trains_to_high_accuracy_on_separable_data() {
+        let (x, y) = toy_data(64, 1);
+        let (xv, yv) = toy_data(32, 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ]);
+        let config = TrainConfig::quick(Loss::CrossEntropy, 20);
+        let report = train_classifier(&mut net, &x, &y, &xv, &yv, &config);
+        assert!(report.final_val_acc > 0.9, "val acc {}", report.final_val_acc);
+        assert_eq!(report.epochs.len(), 20);
+    }
+
+    #[test]
+    fn hinge_loss_also_trains() {
+        let (x, y) = toy_data(64, 4);
+        let (xv, yv) = toy_data(32, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, &mut rng))]);
+        let mut config = TrainConfig::quick(Loss::Hinge, 40);
+        config.schedule = StepDecay { initial: 0.05, factor: 0.3, every: 15 };
+        let report = train_classifier(&mut net, &x, &y, &xv, &yv, &config);
+        assert!(report.final_val_acc > 0.9, "val acc {}", report.final_val_acc);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = toy_data(32, 7);
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(8);
+            let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, &mut rng))]);
+            let config = TrainConfig::quick(Loss::CrossEntropy, 5);
+            train_classifier(&mut net, &x, &y, &x, &y, &config).final_val_acc
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (x, y) = toy_data(64, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ]);
+        let config = TrainConfig::quick(Loss::CrossEntropy, 15);
+        let report = train_classifier(&mut net, &x, &y, &x, &y, &config);
+        let first = report.epochs.first().unwrap().train_loss;
+        let last = report.epochs.last().unwrap().train_loss;
+        assert!(last < first * 0.5, "loss did not drop: {first} -> {last}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for loss functions and optimizers.
+
+use proptest::prelude::*;
+use thnt_nn::{accuracy, multiclass_hinge, softmax, softmax_cross_entropy};
+use thnt_tensor::Tensor;
+
+fn logits_strategy(n: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, n * c)
+        .prop_map(move |v| Tensor::from_vec(v, &[n, c]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_a_distribution(logits in logits_strategy(4, 5)) {
+        let p = softmax(&logits);
+        for s in 0..4 {
+            let row = p.row(s);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_ordering(logits in logits_strategy(1, 6)) {
+        let p = softmax(&logits);
+        for i in 0..6 {
+            for j in 0..6 {
+                if logits.data()[i] > logits.data()[j] {
+                    prop_assert!(p.data()[i] >= p.data()[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_grads_sum_to_zero(
+        logits in logits_strategy(3, 4),
+        labels in proptest::collection::vec(0usize..4, 3),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        // Per-sample gradient rows sum to zero (softmax minus one-hot).
+        for s in 0..3 {
+            let sum: f32 = grad.row(s).iter().sum();
+            prop_assert!(sum.abs() < 1e-5, "row {s} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn hinge_loss_nonnegative_and_zero_grad_iff_satisfied(
+        logits in logits_strategy(3, 4),
+        labels in proptest::collection::vec(0usize..4, 3),
+    ) {
+        let (loss, grad) = multiclass_hinge(&logits, &labels, 1.0);
+        prop_assert!(loss >= 0.0);
+        if loss == 0.0 {
+            prop_assert!(grad.data().iter().all(|&g| g == 0.0));
+        } else {
+            prop_assert!(grad.data().iter().any(|&g| g != 0.0));
+        }
+    }
+
+    #[test]
+    fn accuracy_bounded_and_exact_for_onehot(
+        labels in proptest::collection::vec(0usize..5, 8),
+    ) {
+        // Build logits that argmax exactly at the label.
+        let mut logits = Tensor::zeros(&[8, 5]);
+        for (s, &y) in labels.iter().enumerate() {
+            logits.set(&[s, y], 10.0);
+        }
+        prop_assert_eq!(accuracy(&logits, &labels), 1.0);
+    }
+
+    #[test]
+    fn adam_always_reduces_simple_quadratic(
+        x0 in -10.0f32..10.0,
+        lr in 0.01f32..0.5,
+    ) {
+        use thnt_nn::{Adam, Optimizer, Param};
+        prop_assume!(x0.abs() > 0.5);
+        let mut p = Param::new("x", Tensor::from_vec(vec![x0], &[1]));
+        let mut opt = Adam::new(lr);
+        for _ in 0..300 {
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * x;
+            let mut list = [&mut p];
+            opt.step(&mut list);
+        }
+        prop_assert!(p.value.data()[0].abs() < x0.abs(), "{} !< {}", p.value.data()[0], x0);
+    }
+}

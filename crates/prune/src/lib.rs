@@ -1,0 +1,301 @@
+//! Model compression baselines the paper compares against in §5:
+//! gradual magnitude pruning (Zhu & Gupta 2017, Table 7) and ternary weight
+//! quantization (Li & Liu 2016).
+//!
+//! # Gradual pruning
+//!
+//! [`GradualPruner`] implements the polynomial sparsity schedule
+//!
+//! ```text
+//! s_t = s_f + (s_i − s_f) · (1 − (t − t_0) / (n·Δt))³
+//! ```
+//!
+//! applied every `frequency` steps between `begin_step` and `end_step`.
+//! Weights are pruned by magnitude, and pruned positions are masked so
+//! subsequent optimizer updates cannot resurrect them.
+//!
+//! # Sparse storage accounting
+//!
+//! §5 notes that a pruned model must store indices alongside non-zero
+//! values, and that sparse kernels only pay off above ≈70% sparsity;
+//! [`sparse_storage_bytes`] models that overhead (CSR-style: one index per
+//! non-zero).
+
+pub mod sparse;
+
+pub use sparse::{csr_matches_dense, CsrMatrix};
+
+use thnt_nn::Param;
+use thnt_strassen::ternary_values;
+
+/// Polynomial sparsity schedule of Zhu & Gupta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneSchedule {
+    /// Initial sparsity (fraction in [0, 1)).
+    pub initial_sparsity: f64,
+    /// Final sparsity (fraction in (0, 1]).
+    pub final_sparsity: f64,
+    /// First optimizer step at which pruning occurs.
+    pub begin_step: usize,
+    /// Step at which the final sparsity is reached.
+    pub end_step: usize,
+    /// Steps between pruning events.
+    pub frequency: usize,
+}
+
+impl PruneSchedule {
+    /// Creates a schedule ramping from 0 to `final_sparsity` over
+    /// `total_steps` with pruning every `frequency` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_sparsity` is outside `(0, 1]` or `total_steps == 0`.
+    pub fn ramp(final_sparsity: f64, total_steps: usize, frequency: usize) -> Self {
+        assert!(
+            final_sparsity > 0.0 && final_sparsity <= 1.0,
+            "final sparsity must be in (0, 1]"
+        );
+        assert!(total_steps > 0, "total_steps must be positive");
+        Self {
+            initial_sparsity: 0.0,
+            final_sparsity,
+            begin_step: 0,
+            end_step: total_steps,
+            frequency: frequency.max(1),
+        }
+    }
+
+    /// Target sparsity at optimizer step `t`.
+    pub fn sparsity_at(&self, t: usize) -> f64 {
+        if t < self.begin_step {
+            return self.initial_sparsity;
+        }
+        if t >= self.end_step {
+            return self.final_sparsity;
+        }
+        let progress =
+            (t - self.begin_step) as f64 / (self.end_step - self.begin_step) as f64;
+        self.final_sparsity
+            + (self.initial_sparsity - self.final_sparsity) * (1.0 - progress).powi(3)
+    }
+
+    /// Whether a pruning event fires at step `t`.
+    pub fn fires_at(&self, t: usize) -> bool {
+        t >= self.begin_step && t <= self.end_step && (t - self.begin_step).is_multiple_of(self.frequency)
+    }
+}
+
+/// Stateful gradual pruner holding one binary mask per parameter.
+#[derive(Debug)]
+pub struct GradualPruner {
+    schedule: PruneSchedule,
+    masks: Vec<Vec<bool>>,
+    step: usize,
+}
+
+impl GradualPruner {
+    /// Creates a pruner for `num_params` parameters.
+    pub fn new(schedule: PruneSchedule, num_params: usize) -> Self {
+        Self { schedule, masks: vec![Vec::new(); num_params], step: 0 }
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> &PruneSchedule {
+        &self.schedule
+    }
+
+    /// Current optimizer step.
+    pub fn step_count(&self) -> usize {
+        self.step
+    }
+
+    /// Advances one optimizer step: if a pruning event fires, re-prunes each
+    /// parameter to the scheduled sparsity (by magnitude, per tensor);
+    /// otherwise just re-applies the existing masks (so optimizer updates
+    /// cannot resurrect pruned weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the pruner's parameter count.
+    pub fn on_step(&mut self, params: &mut [&mut Param]) {
+        assert_eq!(params.len(), self.masks.len(), "parameter list changed size");
+        if self.schedule.fires_at(self.step) {
+            let target = self.schedule.sparsity_at(self.step);
+            for (p, mask) in params.iter_mut().zip(self.masks.iter_mut()) {
+                *mask = prune_to_sparsity(p, target);
+            }
+        } else {
+            for (p, mask) in params.iter_mut().zip(self.masks.iter()) {
+                apply_mask(p, mask);
+            }
+        }
+        self.step += 1;
+    }
+
+    /// Overall sparsity across all masked parameters.
+    pub fn current_sparsity(&self) -> f64 {
+        let total: usize = self.masks.iter().map(|m| m.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let pruned: usize =
+            self.masks.iter().map(|m| m.iter().filter(|&&keep| !keep).count()).sum();
+        pruned as f64 / total as f64
+    }
+}
+
+/// Prunes `param` to `sparsity` by zeroing its smallest-magnitude weights.
+/// Returns the keep-mask.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1]`.
+pub fn prune_to_sparsity(param: &mut Param, sparsity: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+    let n = param.numel();
+    let prune_count = ((n as f64) * sparsity).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        param.value.data()[a]
+            .abs()
+            .partial_cmp(&param.value.data()[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut mask = vec![true; n];
+    for &i in order.iter().take(prune_count) {
+        mask[i] = false;
+        param.value.data_mut()[i] = 0.0;
+    }
+    mask
+}
+
+/// Re-applies a keep-mask to a parameter (zeroing masked weights and their
+/// gradients).
+pub fn apply_mask(param: &mut Param, mask: &[bool]) {
+    if mask.is_empty() {
+        return;
+    }
+    debug_assert_eq!(mask.len(), param.numel());
+    for (i, &keep) in mask.iter().enumerate() {
+        if !keep {
+            param.value.data_mut()[i] = 0.0;
+            param.grad.data_mut()[i] = 0.0;
+        }
+    }
+}
+
+/// Counts non-zero weights across parameters.
+pub fn count_nonzero(params: &[&Param]) -> usize {
+    params.iter().map(|p| p.value.data().iter().filter(|&&v| v != 0.0).count()).sum()
+}
+
+/// CSR-style sparse storage cost: `value_bytes` per non-zero plus
+/// `index_bytes` per non-zero (§5's "auxiliary data structures" overhead).
+pub fn sparse_storage_bytes(nonzeros: u64, value_bytes: u64, index_bytes: u64) -> u64 {
+    nonzeros * (value_bytes + index_bytes)
+}
+
+/// Applies TWN ternary quantization (Li & Liu) to every listed parameter in
+/// place (`w ← α·sign(w)·1[|w|>Δ]`), as the §5 "model quantization" baseline.
+///
+/// Returns the number of ternary entries created (for 2-bit size accounting).
+pub fn ternarize_weights(params: Vec<&mut Param>) -> u64 {
+    let mut entries = 0u64;
+    for p in params {
+        let t = ternary_values(&p.value);
+        p.value = t.reconstruct();
+        entries += p.numel() as u64;
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thnt_tensor::Tensor;
+
+    #[test]
+    fn schedule_is_monotone_nondecreasing() {
+        let s = PruneSchedule::ramp(0.9, 1000, 50);
+        let mut prev = 0.0;
+        for t in (0..1200).step_by(25) {
+            let cur = s.sparsity_at(t);
+            assert!(cur + 1e-12 >= prev, "sparsity decreased at step {t}");
+            prev = cur;
+        }
+        assert!((s.sparsity_at(1000) - 0.9).abs() < 1e-9);
+        assert!((s.sparsity_at(5000) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_ramp_front_loads_pruning() {
+        let s = PruneSchedule::ramp(0.8, 100, 1);
+        // At 50% progress the cubic schedule is past 70% of the way there.
+        assert!(s.sparsity_at(50) > 0.8 * 0.7);
+    }
+
+    #[test]
+    fn prune_removes_smallest_magnitudes() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![0.1, -2.0, 0.01, 3.0], &[4]));
+        let mask = prune_to_sparsity(&mut p, 0.5);
+        assert_eq!(p.value.data(), &[0.0, -2.0, 0.0, 3.0]);
+        assert_eq!(mask, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn mask_survives_fake_update() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![0.1, -2.0, 0.01, 3.0], &[4]));
+        let mask = prune_to_sparsity(&mut p, 0.5);
+        // Optimizer "resurrects" a pruned weight...
+        p.value.data_mut()[0] = 5.0;
+        apply_mask(&mut p, &mask);
+        assert_eq!(p.value.data()[0], 0.0);
+    }
+
+    #[test]
+    fn pruner_reaches_final_sparsity() {
+        let mut p = Param::new(
+            "w",
+            Tensor::from_vec((1..=100).map(|v| v as f32 / 100.0).collect(), &[100]),
+        );
+        let schedule = PruneSchedule::ramp(0.75, 40, 4);
+        let mut pruner = GradualPruner::new(schedule, 1);
+        for _ in 0..50 {
+            let mut list = [&mut p];
+            pruner.on_step(&mut list);
+        }
+        assert!((pruner.current_sparsity() - 0.75).abs() < 0.02);
+        assert_eq!(count_nonzero(&[&p]), 25);
+    }
+
+    #[test]
+    fn sparse_storage_beats_dense_only_at_high_sparsity() {
+        // 23.18K params at 1 byte dense. CSR with 1B values + 2B indices.
+        let dense = 23_180u64;
+        let at_50 = sparse_storage_bytes(11_590, 1, 2);
+        let at_90 = sparse_storage_bytes(2_318, 1, 2);
+        assert!(at_50 > dense, "50% sparse should NOT beat dense: {at_50} vs {dense}");
+        assert!(at_90 < dense, "90% sparse should beat dense: {at_90} vs {dense}");
+    }
+
+    #[test]
+    fn ternarize_makes_weights_three_valued() {
+        let mut p = Param::new(
+            "w",
+            Tensor::from_vec(vec![0.9, -0.8, 0.05, -0.02, 0.7, 0.6], &[6]),
+        );
+        let entries = ternarize_weights(vec![&mut p]);
+        assert_eq!(entries, 6);
+        let vals: std::collections::BTreeSet<String> =
+            p.value.data().iter().map(|v| format!("{v:.4}")).collect();
+        assert!(vals.len() <= 3, "more than 3 distinct values: {vals:?}");
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![0.5, -0.25], &[2]));
+        let before = p.value.clone();
+        prune_to_sparsity(&mut p, 0.0);
+        assert_eq!(p.value.data(), before.data());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for pruning invariants.
+
+use proptest::prelude::*;
+use thnt_nn::Param;
+use thnt_prune::{count_nonzero, prune_to_sparsity, PruneSchedule};
+use thnt_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_stays_within_bounds_and_monotone(
+        final_sparsity in 0.05f64..1.0,
+        total in 10usize..500,
+        freq in 1usize..20,
+    ) {
+        let s = PruneSchedule::ramp(final_sparsity, total, freq);
+        let mut prev = -1.0f64;
+        for t in 0..total + 50 {
+            let v = s.sparsity_at(t);
+            prop_assert!((0.0..=final_sparsity + 1e-12).contains(&v), "s({t}) = {v}");
+            prop_assert!(v + 1e-12 >= prev, "decrease at {t}");
+            prev = v;
+        }
+        prop_assert!((s.sparsity_at(total + 49) - final_sparsity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_hits_requested_sparsity_exactly(
+        weights in proptest::collection::vec(-5.0f32..5.0, 10..200),
+        sparsity in 0.0f64..1.0,
+    ) {
+        let n = weights.len();
+        let mut p = Param::new("w", Tensor::from_vec(weights, &[n]));
+        let mask = prune_to_sparsity(&mut p, sparsity);
+        let expected_pruned = ((n as f64) * sparsity).round() as usize;
+        let pruned = mask.iter().filter(|&&keep| !keep).count();
+        prop_assert_eq!(pruned, expected_pruned);
+        // Every pruned position is zero.
+        for (i, &keep) in mask.iter().enumerate() {
+            if !keep {
+                prop_assert_eq!(p.value.data()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_largest_magnitudes(
+        weights in proptest::collection::vec(-5.0f32..5.0, 20..100),
+    ) {
+        let n = weights.len();
+        let mut p = Param::new("w", Tensor::from_vec(weights.clone(), &[n]));
+        prune_to_sparsity(&mut p, 0.5);
+        // The max surviving |w| must be >= the max pruned |w| was... i.e.
+        // every kept weight's magnitude >= every pruned original magnitude
+        // is too strict with ties; check the weaker exact-count property:
+        let kept: Vec<f32> = p.value.data().iter().filter(|&&v| v != 0.0).map(|v| v.abs()).collect();
+        let mut sorted: Vec<f32> = weights.iter().map(|v| v.abs()).collect();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let threshold = sorted[kept.len().saturating_sub(1).min(sorted.len() - 1)];
+        for &k in &kept {
+            prop_assert!(k + 1e-6 >= threshold * 0.999, "kept {k} below threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn count_nonzero_matches_manual(
+        weights in proptest::collection::vec(-1.0f32..1.0, 1..100),
+    ) {
+        let n = weights.len();
+        let manual = weights.iter().filter(|&&v| v != 0.0).count();
+        let p = Param::new("w", Tensor::from_vec(weights, &[n]));
+        prop_assert_eq!(count_nonzero(&[&p]), manual);
+    }
+}

@@ -1,0 +1,204 @@
+//! Post-training fixed-point quantization and the memory-footprint model
+//! (§4 "Quantization of activations and remaining full-precision weights",
+//! Table 6).
+//!
+//! The paper quantizes the pre-trained ST-HybridNet layer by layer (weights
+//! and activations) following Qiu et al. / Zhang et al.: symmetric
+//! fixed-point with a per-tensor range. Accuracy is evaluated *without*
+//! retraining. This crate provides:
+//!
+//! * [`quantize_weights`] — fake-quantizes every full-precision parameter of
+//!   a model in place (ternary matrices are already 2-bit and are skipped)
+//! * [`ActivationProfile`] / [`activation_footprint_bytes`] — the paper's
+//!   activation-memory rule: buffers are reused across layers, so the
+//!   requirement is the **maximum over consecutive layer pairs** of
+//!   (output activations of layer *i*) + (output activations of layer *i+1*)
+//! * [`MemoryFootprint`] — model size + activation memory, the Table 6
+//!   "total memory footprint" column
+
+use thnt_nn::Param;
+use thnt_tensor::fake_quantize;
+
+/// Size/precision of one layer's output activation buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivationProfile {
+    /// Layer name (for reports).
+    pub name: String,
+    /// Elements in the activation tensor (per inference, batch 1).
+    pub numel: usize,
+    /// Storage bits per element (8 or 16 in the paper).
+    pub bits: u32,
+}
+
+impl ActivationProfile {
+    /// Creates a profile entry.
+    pub fn new(name: impl Into<String>, numel: usize, bits: u32) -> Self {
+        Self { name: name.into(), numel, bits }
+    }
+
+    /// Buffer size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.numel as u64 * self.bits as u64).div_ceil(8)
+    }
+}
+
+/// The paper's activation-memory rule: activation buffers are reused, so
+/// the footprint is the maximum over consecutive layers of the two live
+/// buffers (a layer's input is the previous layer's output).
+///
+/// The first entry should be the network input buffer.
+pub fn activation_footprint_bytes(profiles: &[ActivationProfile]) -> u64 {
+    if profiles.is_empty() {
+        return 0;
+    }
+    if profiles.len() == 1 {
+        return profiles[0].bytes();
+    }
+    profiles
+        .windows(2)
+        .map(|w| w[0].bytes() + w[1].bytes())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Total inference memory: model weights + peak activation memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Model (weight) bytes.
+    pub model_bytes: u64,
+    /// Peak activation bytes per the reuse rule.
+    pub activation_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Computes the footprint from a model size and activation profiles.
+    pub fn new(model_bytes: u64, profiles: &[ActivationProfile]) -> Self {
+        Self { model_bytes, activation_bytes: activation_footprint_bytes(profiles) }
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.model_bytes + self.activation_bytes
+    }
+
+    /// Total in the paper's KB (1 KB = 1024 bytes).
+    pub fn total_kb(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+}
+
+/// Fake-quantizes every trainable full-precision parameter to `bits` bits
+/// (symmetric, per-tensor range), in place. Frozen ternary matrices
+/// (`trainable == false` with values in {−1, 0, 1}) are left untouched —
+/// they are already 2-bit entities.
+///
+/// Returns the number of tensors quantized.
+pub fn quantize_weights(params: Vec<&mut Param>, bits: u8) -> usize {
+    let mut count = 0;
+    for p in params {
+        let ternary =
+            !p.trainable && p.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0);
+        if ternary {
+            continue;
+        }
+        p.value = fake_quantize(&p.value, bits);
+        count += 1;
+    }
+    count
+}
+
+/// Per-tensor quantization report used by the table generators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightQuantReport {
+    /// Parameter name.
+    pub name: String,
+    /// RMS quantization error.
+    pub rmse: f32,
+    /// Parameter element count.
+    pub numel: usize,
+}
+
+/// Measures (without applying) the quantization error of every parameter.
+pub fn weight_quant_report(params: Vec<&Param>, bits: u8) -> Vec<WeightQuantReport> {
+    params
+        .into_iter()
+        .map(|p| WeightQuantReport {
+            name: p.name.clone(),
+            rmse: thnt_tensor::quant_rmse(&p.value, bits),
+            numel: p.numel(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thnt_tensor::Tensor;
+
+    #[test]
+    fn footprint_is_max_adjacent_pair() {
+        let profiles = vec![
+            ActivationProfile::new("input", 490, 8),
+            ActivationProfile::new("conv1", 8000, 8),
+            ActivationProfile::new("ds1", 8000, 8),
+            ActivationProfile::new("pool", 64, 8),
+        ];
+        // max pair = conv1 + ds1 = 16000 bytes.
+        assert_eq!(activation_footprint_bytes(&profiles), 16_000);
+    }
+
+    #[test]
+    fn sixteen_bit_buffers_double_footprint() {
+        let p8 = vec![
+            ActivationProfile::new("a", 1000, 8),
+            ActivationProfile::new("b", 1000, 8),
+        ];
+        let p16 = vec![
+            ActivationProfile::new("a", 1000, 16),
+            ActivationProfile::new("b", 1000, 16),
+        ];
+        assert_eq!(activation_footprint_bytes(&p16), 2 * activation_footprint_bytes(&p8));
+    }
+
+    #[test]
+    fn empty_and_single_profiles() {
+        assert_eq!(activation_footprint_bytes(&[]), 0);
+        assert_eq!(
+            activation_footprint_bytes(&[ActivationProfile::new("only", 100, 8)]),
+            100
+        );
+    }
+
+    #[test]
+    fn quantize_weights_snaps_to_grid_and_skips_ternary() {
+        let mut fp = Param::new("w", Tensor::from_vec(vec![0.111, -0.52, 0.93], &[3]));
+        let mut tern = Param::new("t", Tensor::from_vec(vec![1.0, -1.0, 0.0], &[3]));
+        tern.freeze();
+        let before_tern = tern.value.clone();
+        let n = quantize_weights(vec![&mut fp, &mut tern], 8);
+        assert_eq!(n, 1);
+        assert_eq!(tern.value.data(), before_tern.data());
+        // fp is now on the 8-bit grid.
+        let q = fake_quantize(&fp.value, 8);
+        thnt_tensor::assert_close(fp.value.data(), q.data(), 1e-6, 0.0);
+    }
+
+    #[test]
+    fn footprint_totals_add_up() {
+        let fp = MemoryFootprint::new(
+            10_790,
+            &[ActivationProfile::new("a", 8000, 8), ActivationProfile::new("b", 8000, 8)],
+        );
+        assert_eq!(fp.total_bytes(), 10_790 + 16_000);
+        assert!((fp.total_kb() - 26.16).abs() < 0.05);
+    }
+
+    #[test]
+    fn report_lists_every_param() {
+        let a = Param::new("a", Tensor::from_vec(vec![0.3, 0.4], &[2]));
+        let b = Param::new("b", Tensor::from_vec(vec![0.5], &[1]));
+        let rep = weight_quant_report(vec![&a, &b], 8);
+        assert_eq!(rep.len(), 2);
+        assert!(rep.iter().all(|r| r.rmse >= 0.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for quantization invariants.
+
+use proptest::prelude::*;
+use thnt_quant::{activation_footprint_bytes, ActivationProfile, MemoryFootprint};
+use thnt_tensor::{fake_quantize, quant_rmse, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fake_quant_error_bounded_by_step(
+        values in proptest::collection::vec(-50.0f32..50.0, 1..200),
+        bits in 4u8..16,
+    ) {
+        let t = Tensor::from_vec(values.clone(), &[values.len()]);
+        let q = fake_quantize(&t, bits);
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let step = thnt_tensor::symmetric_scale(max_abs, bits);
+        for (a, b) in t.data().iter().zip(q.data()) {
+            prop_assert!((a - b).abs() <= step / 2.0 + 1e-6, "{a} -> {b} (step {step})");
+        }
+    }
+
+    #[test]
+    fn more_bits_never_increase_error(
+        values in proptest::collection::vec(-10.0f32..10.0, 8..200),
+    ) {
+        let t = Tensor::from_vec(values.clone(), &[values.len()]);
+        let mut prev = f32::INFINITY;
+        for bits in [4u8, 6, 8, 12, 16] {
+            let e = quant_rmse(&t, bits);
+            prop_assert!(e <= prev + 1e-6, "error rose at {bits} bits: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn footprint_is_max_over_pairs(
+        sizes in proptest::collection::vec(1usize..10_000, 2..12),
+    ) {
+        let profiles: Vec<ActivationProfile> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ActivationProfile::new(format!("l{i}"), n, 8))
+            .collect();
+        let fp = activation_footprint_bytes(&profiles);
+        let manual = sizes.windows(2).map(|w| (w[0] + w[1]) as u64).max().unwrap();
+        prop_assert_eq!(fp, manual);
+    }
+
+    #[test]
+    fn footprint_monotone_in_bits(
+        sizes in proptest::collection::vec(1usize..5_000, 2..8),
+    ) {
+        let mk = |bits: u32| -> u64 {
+            let profiles: Vec<ActivationProfile> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| ActivationProfile::new(format!("l{i}"), n, bits))
+                .collect();
+            activation_footprint_bytes(&profiles)
+        };
+        prop_assert!(mk(8) <= mk(16));
+        prop_assert!(mk(16) <= mk(32));
+    }
+
+    #[test]
+    fn total_footprint_adds_model_and_activations(
+        model_bytes in 0u64..100_000,
+        n in 1usize..10_000,
+    ) {
+        let profiles = [ActivationProfile::new("only", n, 8)];
+        let fp = MemoryFootprint::new(model_bytes, &profiles);
+        prop_assert_eq!(fp.total_bytes(), model_bytes + n as u64);
+    }
+}

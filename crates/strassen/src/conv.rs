@@ -1,0 +1,646 @@
+//! Strassenified convolution layers.
+//!
+//! A strassenified standard convolution replaces
+//! `conv(x, W[oc,ic,kh,kw])` with
+//!
+//! 1. a **ternary convolution** `W_b: [r, ic, kh, kw]` producing `r` hidden
+//!    channels (additions only once ternary),
+//! 2. a per-channel scale by the full-precision `â ∈ ℝʳ` (the `r` true
+//!    multiplications per output position),
+//! 3. a **ternary 1×1 convolution** `W_c: [oc, r]` combining hidden channels.
+//!
+//! For depthwise convolutions the same structure is applied per channel:
+//! `W_b` is a ternary depthwise conv with channel multiplier `m` (hidden
+//! width `r = m·c`) and `W_c: [c, m]` combines each channel's hidden units.
+//! The paper's fractional `r = 0.75·c_out` configuration is realised exactly
+//! for standard convolutions; for depthwise layers the trained hidden width
+//! rounds up to `m = ⌈r/c⌉` channels (the analytic cost model in
+//! [`crate::cost`] accounts the paper's fractional arithmetic — see
+//! DESIGN.md).
+
+use rand::rngs::SmallRng;
+use thnt_nn::{Layer, Param};
+use thnt_tensor::{
+    col2im, conv2d, depthwise_conv2d, im2col, kaiming_normal, matmul_nt, matmul_tn, Conv2dSpec,
+    Tensor,
+};
+
+use crate::schedule::{QuantMode, Strassenified};
+use crate::ternary::ternarize;
+
+/// Strassenified standard convolution.
+#[derive(Debug)]
+pub struct StrassenConv2d {
+    wb: Param,
+    a_hat: Param,
+    wc: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    mode: QuantMode,
+    threshold_factor: f32,
+    hidden_bits: Option<u8>,
+    cached_cols: Vec<Tensor>,
+    input_dims: Option<Vec<usize>>,
+    hidden: Option<Tensor>,
+    scaled: Option<Tensor>,
+    eff_wb: Option<Tensor>,
+    eff_wc: Option<Tensor>,
+}
+
+impl StrassenConv2d {
+    /// Creates a strassenified conv with hidden width `r` over `in_ch`
+    /// channels producing `out_ch` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        r: usize,
+        spec: Conv2dSpec,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && r > 0, "dimensions must be positive");
+        let fan_in = in_ch * spec.kh * spec.kw;
+        Self {
+            wb: Param::new("st_conv.wb", kaiming_normal(&[r, in_ch, spec.kh, spec.kw], fan_in, rng)),
+            a_hat: Param::new("st_conv.a_hat", Tensor::full(&[r], 1.0)),
+            wc: Param::new("st_conv.wc", kaiming_normal(&[out_ch, r], r, rng)),
+            bias: Param::new("st_conv.bias", Tensor::zeros(&[out_ch])),
+            spec,
+            mode: QuantMode::FullPrecision,
+            threshold_factor: 0.7,
+            hidden_bits: None,
+            cached_cols: Vec::new(),
+            input_dims: None,
+            hidden: None,
+            scaled: None,
+            eff_wb: None,
+            eff_wc: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.wc.value.dims()[0]
+    }
+
+    /// Hidden width `r`.
+    pub fn hidden_width(&self) -> usize {
+        self.a_hat.value.numel()
+    }
+
+    /// Convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Fake-quantizes the post-`W_b` hidden activations to `bits` at
+    /// inference (`None` disables) — the knob behind Table 6's mixed
+    /// 8/16-bit activation study.
+    pub fn set_hidden_bits(&mut self, bits: Option<u8>) {
+        self.hidden_bits = bits;
+    }
+
+    /// Sets the TWN threshold factor (default 0.7) — the §6 additions knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        assert!(factor.is_finite() && factor > 0.0, "threshold must be positive");
+        self.threshold_factor = factor;
+    }
+
+    fn effective(&self, p: &Param) -> Tensor {
+        match self.mode {
+            QuantMode::FullPrecision | QuantMode::Frozen => p.value.clone(),
+            QuantMode::Quantized => ternarize(&p.value, self.threshold_factor).reconstruct(),
+        }
+    }
+}
+
+impl Layer for StrassenConv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let eff_wb = self.effective(&self.wb);
+        let eff_wc = self.effective(&self.wc);
+        let r = self.hidden_width();
+        let oc = self.out_channels();
+        // 1. Ternary conv -> hidden channels.
+        let mut hidden = conv2d(x, &eff_wb, None, &self.spec);
+        if !train {
+            if let Some(bits) = self.hidden_bits {
+                hidden = thnt_tensor::fake_quantize_optimal(&hidden, bits);
+            }
+        }
+        let (n, _, oh, ow) = (hidden.dims()[0], r, hidden.dims()[2], hidden.dims()[3]);
+        let spatial = oh * ow;
+        // 2. Channel scale by â.
+        let mut scaled = hidden.clone();
+        {
+            let a = self.a_hat.value.data();
+            let sd = scaled.data_mut();
+            for s in 0..n {
+                for k in 0..r {
+                    let start = (s * r + k) * spatial;
+                    for v in &mut sd[start..start + spatial] {
+                        *v *= a[k];
+                    }
+                }
+            }
+        }
+        // 3. Ternary 1x1 combine + bias.
+        let mut y = Tensor::zeros(&[n, oc, oh, ow]);
+        for s in 0..n {
+            let sm = scaled.slice_batch(s).reshape(&[r, spatial]);
+            let ym = thnt_tensor::matmul(&eff_wc, &sm);
+            let dst = &mut y.data_mut()[s * oc * spatial..(s + 1) * oc * spatial];
+            dst.copy_from_slice(ym.data());
+            for ch in 0..oc {
+                let b = self.bias.value.data()[ch];
+                for v in &mut dst[ch * spatial..(ch + 1) * spatial] {
+                    *v += b;
+                }
+            }
+        }
+        if train {
+            self.input_dims = Some(x.dims().to_vec());
+            self.cached_cols =
+                (0..n).map(|s| im2col(&x.slice_batch(s), &self.spec)).collect();
+            self.hidden = Some(hidden);
+            self.scaled = Some(scaled);
+            self.eff_wb = Some(eff_wb);
+            self.eff_wc = Some(eff_wc);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self.input_dims.clone().expect("backward without training forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let r = self.hidden_width();
+        let oc = self.out_channels();
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let k = c * self.spec.kh * self.spec.kw;
+        let hidden = self.hidden.take().unwrap();
+        let scaled = self.scaled.take().unwrap();
+        let eff_wb = self.eff_wb.take().unwrap();
+        let eff_wc = self.eff_wc.take().unwrap();
+        let eff_wb2d = eff_wb.reshape(&[r, k]);
+        let mut grad_x = Tensor::zeros(&dims);
+        for s in 0..n {
+            let g = grad.slice_batch(s).reshape(&[oc, spatial]);
+            // Bias.
+            for ch in 0..oc {
+                let sum: f32 = g.row(ch).iter().sum();
+                self.bias.grad.data_mut()[ch] += sum;
+            }
+            let sm = scaled.slice_batch(s).reshape(&[r, spatial]);
+            // dWc += g · scaledᵀ
+            self.wc.grad.axpy(1.0, &matmul_nt(&g, &sm));
+            // d_scaled = Wcᵀ · g
+            let d_scaled = matmul_tn(&eff_wc, &g);
+            // dâ and d_hidden.
+            let hm = hidden.slice_batch(s).reshape(&[r, spatial]);
+            let mut d_hidden = d_scaled.clone();
+            {
+                let ag = self.a_hat.grad.data_mut();
+                let a = self.a_hat.value.data();
+                let dh = d_hidden.data_mut();
+                for ch in 0..r {
+                    let mut acc = 0.0f32;
+                    for i in 0..spatial {
+                        acc += d_scaled.data()[ch * spatial + i] * hm.data()[ch * spatial + i];
+                        dh[ch * spatial + i] *= a[ch];
+                    }
+                    ag[ch] += acc;
+                }
+            }
+            // dWb += d_hidden · colsᵀ ; dcols = Wbᵀ · d_hidden ; dx = col2im.
+            let cols = &self.cached_cols[s];
+            let dwb = matmul_nt(&d_hidden, cols);
+            self.wb.grad.axpy(1.0, &dwb.reshape(self.wb.value.dims()));
+            let dcols = matmul_tn(&eff_wb2d, &d_hidden);
+            let dx = col2im(&dcols, &self.spec, c, h, w);
+            grad_x.data_mut()[s * c * h * w..(s + 1) * c * h * w].copy_from_slice(dx.data());
+        }
+        grad_x
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wb, &mut self.a_hat, &mut self.wc, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wb, &self.a_hat, &self.wc, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "strassen_conv2d"
+    }
+}
+
+impl Strassenified for StrassenConv2d {
+    fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    fn activate_quantization(&mut self) {
+        assert_eq!(self.mode, QuantMode::FullPrecision, "already quantized");
+        self.mode = QuantMode::Quantized;
+    }
+
+    fn freeze_ternary(&mut self) {
+        assert_eq!(self.mode, QuantMode::Quantized, "freeze requires quantized mode");
+        let tb = ternarize(&self.wb.value, self.threshold_factor);
+        let tc = ternarize(&self.wc.value, self.threshold_factor);
+        self.a_hat.value.scale(tb.scale * tc.scale);
+        self.wb.value = tb.values;
+        self.wc.value = tc.values;
+        self.wb.freeze();
+        self.wc.freeze();
+        self.mode = QuantMode::Frozen;
+    }
+}
+
+/// Strassenified depthwise convolution (hidden multiplier `m` per channel,
+/// total hidden width `r = m · channels`).
+#[derive(Debug)]
+pub struct StrassenDepthwise2d {
+    wb: Param,
+    a_hat: Param,
+    wc: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    channels: usize,
+    multiplier: usize,
+    mode: QuantMode,
+    threshold_factor: f32,
+    hidden_bits: Option<u8>,
+    input: Option<Tensor>,
+    hidden: Option<Tensor>,
+    scaled: Option<Tensor>,
+    eff_wb: Option<Tensor>,
+    eff_wc: Option<Tensor>,
+}
+
+impl StrassenDepthwise2d {
+    /// Creates a strassenified depthwise conv over `channels` channels with
+    /// hidden multiplier `multiplier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` or `multiplier` is zero.
+    pub fn new(channels: usize, multiplier: usize, spec: Conv2dSpec, rng: &mut SmallRng) -> Self {
+        assert!(channels > 0 && multiplier > 0, "dimensions must be positive");
+        let fan_in = spec.kh * spec.kw;
+        Self {
+            wb: Param::new(
+                "st_dw.wb",
+                kaiming_normal(&[channels, multiplier, spec.kh, spec.kw], fan_in, rng),
+            ),
+            a_hat: Param::new("st_dw.a_hat", Tensor::full(&[channels * multiplier], 1.0)),
+            wc: Param::new(
+                "st_dw.wc",
+                kaiming_normal(&[channels, multiplier], multiplier, rng),
+            ),
+            bias: Param::new("st_dw.bias", Tensor::zeros(&[channels])),
+            spec,
+            channels,
+            multiplier,
+            mode: QuantMode::FullPrecision,
+            threshold_factor: 0.7,
+            hidden_bits: None,
+            input: None,
+            hidden: None,
+            scaled: None,
+            eff_wb: None,
+            eff_wc: None,
+        }
+    }
+
+    /// Hidden width `r = channels · multiplier`.
+    pub fn hidden_width(&self) -> usize {
+        self.channels * self.multiplier
+    }
+
+    /// Channel count (input and output).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Fake-quantizes the post-`W_b` hidden activations to `bits` at
+    /// inference (`None` disables). The paper finds these depthwise
+    /// intermediates need 16 bits to preserve accuracy (Table 6).
+    pub fn set_hidden_bits(&mut self, bits: Option<u8>) {
+        self.hidden_bits = bits;
+    }
+
+    /// Sets the TWN threshold factor (default 0.7) — the §6 additions knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        assert!(factor.is_finite() && factor > 0.0, "threshold must be positive");
+        self.threshold_factor = factor;
+    }
+
+    fn effective(&self, p: &Param) -> Tensor {
+        match self.mode {
+            QuantMode::FullPrecision | QuantMode::Frozen => p.value.clone(),
+            QuantMode::Quantized => ternarize(&p.value, self.threshold_factor).reconstruct(),
+        }
+    }
+}
+
+impl Layer for StrassenDepthwise2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims()[1], self.channels, "StrassenDepthwise channel mismatch");
+        let eff_wb = self.effective(&self.wb);
+        let eff_wc = self.effective(&self.wc);
+        let (c, m) = (self.channels, self.multiplier);
+        // 1. Ternary depthwise conv -> c·m hidden channels.
+        let mut hidden = depthwise_conv2d(x, &eff_wb, None, &self.spec);
+        if !train {
+            if let Some(bits) = self.hidden_bits {
+                hidden = thnt_tensor::fake_quantize_optimal(&hidden, bits);
+            }
+        }
+        let (n, oh, ow) = (hidden.dims()[0], hidden.dims()[2], hidden.dims()[3]);
+        let spatial = oh * ow;
+        // 2. Scale by â.
+        let mut scaled = hidden.clone();
+        {
+            let a = self.a_hat.value.data();
+            let sd = scaled.data_mut();
+            for s in 0..n {
+                for k in 0..c * m {
+                    let start = (s * c * m + k) * spatial;
+                    for v in &mut sd[start..start + spatial] {
+                        *v *= a[k];
+                    }
+                }
+            }
+        }
+        // 3. Grouped ternary combine: y[ch] = Σ_j wc[ch,j]·scaled[ch·m+j] + b.
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        {
+            let yd = y.data_mut();
+            let sd = scaled.data();
+            for s in 0..n {
+                for ch in 0..c {
+                    let dst = &mut yd[(s * c + ch) * spatial..(s * c + ch + 1) * spatial];
+                    let b = self.bias.value.data()[ch];
+                    dst.fill(b);
+                    for j in 0..m {
+                        let wcv = eff_wc.data()[ch * m + j];
+                        if wcv == 0.0 {
+                            continue;
+                        }
+                        let src = &sd
+                            [(s * c * m + ch * m + j) * spatial..(s * c * m + ch * m + j + 1) * spatial];
+                        for (d, &v) in dst.iter_mut().zip(src) {
+                            *d += wcv * v;
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.input = Some(x.clone());
+            self.hidden = Some(hidden);
+            self.scaled = Some(scaled);
+            self.eff_wb = Some(eff_wb);
+            self.eff_wc = Some(eff_wc);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.input.take().expect("backward without training forward");
+        let hidden = self.hidden.take().unwrap();
+        let scaled = self.scaled.take().unwrap();
+        let eff_wb = self.eff_wb.take().unwrap();
+        let eff_wc = self.eff_wc.take().unwrap();
+        let (c, m) = (self.channels, self.multiplier);
+        let (n, _, h, w) = (x.dims()[0], c, x.dims()[2], x.dims()[3]);
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let (kh, kw) = (self.spec.kh, self.spec.kw);
+
+        // Stage 3 backward: bias, wc, d_scaled.
+        let mut d_scaled = Tensor::zeros(hidden.dims());
+        {
+            let gd = grad.data();
+            let sd = scaled.data();
+            let dsd = d_scaled.data_mut();
+            let wcg = self.wc.grad.data_mut();
+            let bg = self.bias.grad.data_mut();
+            for s in 0..n {
+                for ch in 0..c {
+                    let grow = &gd[(s * c + ch) * spatial..(s * c + ch + 1) * spatial];
+                    bg[ch] += grow.iter().sum::<f32>();
+                    for j in 0..m {
+                        let hidx = (s * c * m + ch * m + j) * spatial;
+                        let srow = &sd[hidx..hidx + spatial];
+                        let mut acc = 0.0f32;
+                        let wcv = eff_wc.data()[ch * m + j];
+                        for (i, &g) in grow.iter().enumerate() {
+                            acc += g * srow[i];
+                            dsd[hidx + i] += g * wcv;
+                        }
+                        wcg[ch * m + j] += acc;
+                    }
+                }
+            }
+        }
+        // Stage 2 backward: dâ, d_hidden.
+        let mut d_hidden = d_scaled.clone();
+        {
+            let ag = self.a_hat.grad.data_mut();
+            let a = self.a_hat.value.data();
+            let hd = hidden.data();
+            let dsd = d_scaled.data();
+            let dhd = d_hidden.data_mut();
+            for s in 0..n {
+                for k in 0..c * m {
+                    let start = (s * c * m + k) * spatial;
+                    let mut acc = 0.0f32;
+                    for i in start..start + spatial {
+                        acc += dsd[i] * hd[i];
+                        dhd[i] = dsd[i] * a[k];
+                    }
+                    ag[k] += acc;
+                }
+            }
+        }
+        // Stage 1 backward: depthwise conv wrt wb and x.
+        let mut grad_x = Tensor::zeros(x.dims());
+        {
+            let wbd = eff_wb.data();
+            let wbg = self.wb.grad.data_mut();
+            let xd = x.data();
+            let dhd = d_hidden.data();
+            let gxd = grad_x.data_mut();
+            for s in 0..n {
+                for ch in 0..c {
+                    let img_off = (s * c + ch) * h * w;
+                    for j in 0..m {
+                        let oc = ch * m + j;
+                        let g_off = (s * c * m + oc) * spatial;
+                        let w_off = oc * kh * kw;
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let g = dhd[g_off + oy * ow + ox];
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                for ki in 0..kh {
+                                    let iy = (oy * self.spec.stride_h + ki) as isize
+                                        - self.spec.pad_top as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kj in 0..kw {
+                                        let ix = (ox * self.spec.stride_w + kj) as isize
+                                            - self.spec.pad_left as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let xi = img_off + iy as usize * w + ix as usize;
+                                        wbg[w_off + ki * kw + kj] += g * xd[xi];
+                                        gxd[xi] += g * wbd[w_off + ki * kw + kj];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_x
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wb, &mut self.a_hat, &mut self.wc, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wb, &self.a_hat, &self.wc, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "strassen_depthwise2d"
+    }
+}
+
+impl Strassenified for StrassenDepthwise2d {
+    fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    fn activate_quantization(&mut self) {
+        assert_eq!(self.mode, QuantMode::FullPrecision, "already quantized");
+        self.mode = QuantMode::Quantized;
+    }
+
+    fn freeze_ternary(&mut self) {
+        assert_eq!(self.mode, QuantMode::Quantized, "freeze requires quantized mode");
+        let tb = ternarize(&self.wb.value, self.threshold_factor);
+        let tc = ternarize(&self.wc.value, self.threshold_factor);
+        self.a_hat.value.scale(tb.scale * tc.scale);
+        self.wb.value = tb.values;
+        self.wc.value = tc.values;
+        self.wb.freeze();
+        self.wc.freeze();
+        self.mode = QuantMode::Frozen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn st_conv_forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let spec = Conv2dSpec::same(9, 6, 3, 3, 1, 1);
+        let mut l = StrassenConv2d::new(2, 4, 3, spec, &mut rng);
+        let y = l.forward(&Tensor::zeros(&[2, 2, 9, 6]), false);
+        assert_eq!(y.dims(), &[2, 4, 9, 6]);
+        assert_eq!(l.hidden_width(), 3);
+    }
+
+    #[test]
+    fn st_conv_gradients() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = Conv2dSpec::same(5, 4, 3, 3, 1, 1);
+        let mut l = StrassenConv2d::new(2, 3, 4, spec, &mut rng);
+        let x = thnt_tensor::gaussian(&[2, 2, 5, 4], 0.0, 1.0, &mut rng);
+        thnt_nn::check_gradients(&mut l, &x, 1e-2, 2e-2, 30, 2);
+    }
+
+    #[test]
+    fn st_depthwise_forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = Conv2dSpec::same(6, 6, 3, 3, 1, 1);
+        let mut l = StrassenDepthwise2d::new(4, 2, spec, &mut rng);
+        let y = l.forward(&Tensor::zeros(&[2, 4, 6, 6]), false);
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+        assert_eq!(l.hidden_width(), 8);
+    }
+
+    #[test]
+    fn st_depthwise_gradients() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = Conv2dSpec::same(4, 4, 3, 3, 1, 1);
+        let mut l = StrassenDepthwise2d::new(2, 2, spec, &mut rng);
+        let x = thnt_tensor::gaussian(&[2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        thnt_nn::check_gradients(&mut l, &x, 1e-2, 2e-2, 30, 4);
+    }
+
+    #[test]
+    fn st_conv_freeze_preserves_quantized_function() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let spec = Conv2dSpec::valid(3, 3, 1, 1);
+        let mut l = StrassenConv2d::new(2, 3, 5, spec, &mut rng);
+        let x = thnt_tensor::gaussian(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        l.activate_quantization();
+        let before = l.forward(&x, false);
+        l.freeze_ternary();
+        let after = l.forward(&x, false);
+        thnt_tensor::assert_close(after.data(), before.data(), 1e-4, 1e-4);
+        assert!(l.wb.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn st_depthwise_freeze_preserves_quantized_function() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let spec = Conv2dSpec::same(4, 4, 3, 3, 1, 1);
+        let mut l = StrassenDepthwise2d::new(3, 2, spec, &mut rng);
+        let x = thnt_tensor::gaussian(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        l.activate_quantization();
+        let before = l.forward(&x, false);
+        l.freeze_ternary();
+        let after = l.forward(&x, false);
+        thnt_tensor::assert_close(after.data(), before.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn st_conv_with_identity_spn_mimics_plain_conv() {
+        // With r = oc, identity Wc, and â = 1, the ST conv IS a plain conv
+        // with weights Wb — sanity anchor for the decomposition.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let spec = Conv2dSpec::valid(3, 3, 1, 1);
+        let mut l = StrassenConv2d::new(2, 3, 3, spec, &mut rng);
+        l.wc.value = Tensor::eye(3);
+        let x = thnt_tensor::gaussian(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y = l.forward(&x, false);
+        let direct = conv2d(&x, &l.wb.value, None, &spec);
+        thnt_tensor::assert_close(y.data(), direct.data(), 1e-4, 1e-4);
+    }
+}

@@ -1,0 +1,308 @@
+//! Analytic operation and model-size accounting.
+//!
+//! The paper's tables report multiplications, additions, MACs, model size and
+//! memory footprint **computed from the architecture**, not measured on
+//! hardware. This module reproduces that arithmetic:
+//!
+//! * a plain layer executes `macs = spatial · kernel · c_in · c_out` (etc.),
+//! * a strassenified layer with hidden width `r` executes
+//!   `muls = spatial · r` element-wise products plus additions from the two
+//!   ternary matrices (`W_b`: `r` dense combinations of the receptive field,
+//!   `W_c`: `c_out` combinations of `r` hidden channels),
+//! * depthwise layers keep their grouped structure: `W_b` costs
+//!   `spatial · r · kernel` additions and `W_c` costs `spatial · r` (one
+//!   shared hidden group per channel).
+//!
+//! Fractional `r` (the paper's `r = 0.75·c_out`) is supported — counts are
+//! accumulated in `f64` and rounded at the end, matching the paper's
+//! reporting granularity of 0.01 M ops.
+
+/// Multiplication / addition totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount {
+    /// True multiplications.
+    pub muls: u64,
+    /// Additions (and subtractions).
+    pub adds: u64,
+}
+
+impl OpCount {
+    /// Total operations (`muls + adds`).
+    pub fn total(&self) -> u64 {
+        self.muls + self.adds
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: OpCount) -> OpCount {
+        OpCount { muls: self.muls + other.muls, adds: self.adds + other.adds }
+    }
+}
+
+/// Cost descriptor of one linear-algebra layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerCost {
+    /// Standard convolution: `spatial` output positions, `kernel` taps,
+    /// `cin` input and `cout` output channels.
+    Conv { spatial: u64, kernel: u64, cin: u64, cout: u64 },
+    /// Depthwise convolution over `channels` channels.
+    Depthwise { spatial: u64, kernel: u64, channels: u64 },
+    /// Dense layer / tree-node matrix (`spatial = 1`).
+    Dense { in_dim: u64, out_dim: u64 },
+}
+
+impl LayerCost {
+    /// MACs of the plain (un-strassenified) layer.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerCost::Conv { spatial, kernel, cin, cout } => spatial * kernel * cin * cout,
+            LayerCost::Depthwise { spatial, kernel, channels } => spatial * kernel * channels,
+            LayerCost::Dense { in_dim, out_dim } => in_dim * out_dim,
+        }
+    }
+
+    /// Weight parameters of the plain layer (biases excluded).
+    pub fn params(&self) -> u64 {
+        match *self {
+            LayerCost::Conv { kernel, cin, cout, .. } => kernel * cin * cout,
+            LayerCost::Depthwise { kernel, channels, .. } => kernel * channels,
+            LayerCost::Dense { in_dim, out_dim } => in_dim * out_dim,
+        }
+    }
+
+    /// Bias parameters of the plain layer.
+    pub fn bias_params(&self) -> u64 {
+        match *self {
+            LayerCost::Conv { cout, .. } => cout,
+            LayerCost::Depthwise { channels, .. } => channels,
+            LayerCost::Dense { out_dim, .. } => out_dim,
+        }
+    }
+
+    /// Output positions (1 for dense layers).
+    pub fn spatial(&self) -> u64 {
+        match *self {
+            LayerCost::Conv { spatial, .. } | LayerCost::Depthwise { spatial, .. } => spatial,
+            LayerCost::Dense { .. } => 1,
+        }
+    }
+
+    /// Operations of the strassenified layer with (possibly fractional)
+    /// hidden width `r`.
+    pub fn strassen_ops(&self, r: f64) -> OpCount {
+        assert!(r > 0.0, "hidden width must be positive");
+        let (mul_f, add_f) = match *self {
+            LayerCost::Conv { spatial, kernel, cin, cout } => {
+                let s = spatial as f64;
+                let wb = s * r * (kernel * cin) as f64;
+                let wc = s * cout as f64 * r;
+                (s * r, wb + wc)
+            }
+            LayerCost::Depthwise { spatial, kernel, .. } => {
+                let s = spatial as f64;
+                // Wb keeps the depthwise structure: r hidden maps, kernel
+                // taps each. Wc combines within each channel's hidden group:
+                // one addition per hidden map per position.
+                let wb = s * r * kernel as f64;
+                let wc = s * r;
+                (s * r, wb + wc)
+            }
+            LayerCost::Dense { in_dim, out_dim } => {
+                (r, r * in_dim as f64 + out_dim as f64 * r)
+            }
+        };
+        OpCount { muls: mul_f.round() as u64, adds: add_f.round() as u64 }
+    }
+
+    /// Ternary matrix entries (`|W_b| + |W_c|`) of the strassenified layer.
+    pub fn strassen_ternary_params(&self, r: f64) -> u64 {
+        let f = match *self {
+            LayerCost::Conv { kernel, cin, cout, .. } => {
+                r * (kernel * cin) as f64 + cout as f64 * r
+            }
+            LayerCost::Depthwise { kernel, .. } => r * kernel as f64 + r,
+            LayerCost::Dense { in_dim, out_dim } => r * in_dim as f64 + out_dim as f64 * r,
+        };
+        f.round() as u64
+    }
+
+    /// Full-precision parameters of the strassenified layer: `â` plus bias.
+    pub fn strassen_fp_params(&self, r: f64) -> u64 {
+        r.round() as u64 + self.bias_params()
+    }
+}
+
+/// Aggregated cost of a whole model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostReport {
+    /// True multiplications per inference.
+    pub muls: u64,
+    /// Additions per inference.
+    pub adds: u64,
+    /// Fused multiply-accumulates per inference (plain layers).
+    pub macs: u64,
+    /// Full-precision (or integer-quantized) scalar parameters.
+    pub fp_params: u64,
+    /// Ternary matrix entries (2 bits each when packed).
+    pub ternary_params: u64,
+}
+
+impl CostReport {
+    /// Total operations: `muls + adds + macs` (a MAC counts as one op, as in
+    /// the paper's "Ops" columns).
+    pub fn total_ops(&self) -> u64 {
+        self.muls + self.adds + self.macs
+    }
+
+    /// Accumulates a plain layer.
+    pub fn add_plain(&mut self, layer: LayerCost) {
+        self.macs += layer.macs();
+        self.fp_params += layer.params() + layer.bias_params();
+    }
+
+    /// Accumulates a strassenified layer with hidden width `r`.
+    pub fn add_strassen(&mut self, layer: LayerCost, r: f64) {
+        let ops = layer.strassen_ops(r);
+        self.muls += ops.muls;
+        self.adds += ops.adds;
+        self.ternary_params += layer.strassen_ternary_params(r);
+        self.fp_params += layer.strassen_fp_params(r);
+    }
+
+    /// Model size in bytes with `bytes_per_weight` for full-precision
+    /// parameters and 2-bit packed ternary entries.
+    pub fn model_bytes(&self, bytes_per_fp_weight: u64) -> u64 {
+        self.fp_params * bytes_per_fp_weight + (self.ternary_params * 2).div_ceil(8)
+    }
+
+    /// Kibibyte rendering (the paper uses 1 KB = 1024 bytes).
+    pub fn model_kb(&self, bytes_per_fp_weight: u64) -> f64 {
+        self.model_bytes(bytes_per_fp_weight) as f64 / 1024.0
+    }
+}
+
+/// Formats an op count the way the paper prints it (e.g. `2.7M`).
+pub fn format_mops(ops: u64) -> String {
+    format!("{:.2}M", ops as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The DS-CNN (KWS-S) layer stack from DESIGN.md.
+    fn ds_cnn_layers() -> Vec<LayerCost> {
+        let mut v = vec![LayerCost::Conv { spatial: 125, kernel: 40, cin: 1, cout: 64 }];
+        for _ in 0..4 {
+            v.push(LayerCost::Depthwise { spatial: 125, kernel: 9, channels: 64 });
+            v.push(LayerCost::Conv { spatial: 125, kernel: 1, cin: 64, cout: 64 });
+        }
+        v.push(LayerCost::Dense { in_dim: 64, out_dim: 12 });
+        v
+    }
+
+    #[test]
+    fn ds_cnn_macs_match_paper_2_7m() {
+        let macs: u64 = ds_cnn_layers().iter().map(|l| l.macs()).sum();
+        // Paper Table 1/3: 2.7M MACs.
+        assert!((2_600_000..2_800_000).contains(&macs), "macs = {macs}");
+    }
+
+    #[test]
+    fn ds_cnn_params_match_paper_23k() {
+        let params: u64 =
+            ds_cnn_layers().iter().map(|l| l.params() + l.bias_params()).sum();
+        // Paper Table 7: 23.18K parameters (ours excludes BN, so slightly less).
+        assert!((22_000..24_000).contains(&params), "params = {params}");
+    }
+
+    #[test]
+    fn st_ds_cnn_r_cout_matches_paper_table1_row() {
+        // Paper Table 1, r = c_out: 0.07M muls, 5.32M adds.
+        let mut report = CostReport::default();
+        for l in ds_cnn_layers() {
+            let r = match l {
+                LayerCost::Conv { cout, .. } => cout as f64,
+                LayerCost::Depthwise { channels, .. } => channels as f64,
+                LayerCost::Dense { out_dim, .. } => out_dim as f64,
+            };
+            report.add_strassen(l, r);
+        }
+        assert!(
+            (60_000..80_000).contains(&report.muls),
+            "muls = {} (paper 0.07M)",
+            report.muls
+        );
+        assert!(
+            (5_000_000..5_600_000).contains(&report.adds),
+            "adds = {} (paper 5.32M)",
+            report.adds
+        );
+    }
+
+    #[test]
+    fn st_ds_cnn_r_075_matches_paper_table1_row() {
+        // Paper Table 1, r = 0.75·c_out: 0.06M muls, 4.09M adds.
+        let mut report = CostReport::default();
+        for l in ds_cnn_layers() {
+            let r = match l {
+                LayerCost::Conv { cout, .. } => 0.75 * cout as f64,
+                LayerCost::Depthwise { channels, .. } => 0.75 * channels as f64,
+                LayerCost::Dense { out_dim, .. } => out_dim as f64,
+            };
+            report.add_strassen(l, r);
+        }
+        assert!((45_000..65_000).contains(&report.muls), "muls = {}", report.muls);
+        assert!(
+            (3_700_000..4_300_000).contains(&report.adds),
+            "adds = {} (paper 4.09M)",
+            report.adds
+        );
+    }
+
+    #[test]
+    fn st_ds_cnn_r_2x_matches_paper_table1_row() {
+        // Paper Table 1, r = 2·c_out: 0.11M muls, 10.25M adds.
+        let mut report = CostReport::default();
+        for l in ds_cnn_layers() {
+            let r = match l {
+                LayerCost::Conv { cout, .. } => 2.0 * cout as f64,
+                LayerCost::Depthwise { channels, .. } => 2.0 * channels as f64,
+                LayerCost::Dense { out_dim, .. } => out_dim as f64,
+            };
+            report.add_strassen(l, r);
+        }
+        assert!((120_000..160_000).contains(&report.muls), "muls = {}", report.muls);
+        assert!(
+            (9_500_000..11_000_000).contains(&report.adds),
+            "adds = {} (paper 10.25M)",
+            report.adds
+        );
+    }
+
+    #[test]
+    fn strassen_dense_op_formula() {
+        let l = LayerCost::Dense { in_dim: 48, out_dim: 12 };
+        let ops = l.strassen_ops(12.0);
+        assert_eq!(ops.muls, 12);
+        assert_eq!(ops.adds, 12 * 48 + 12 * 12);
+    }
+
+    #[test]
+    fn ternary_packing_rounds_up() {
+        let report = CostReport { ternary_params: 5, ..Default::default() };
+        // 5 entries x 2 bits = 10 bits -> 2 bytes.
+        assert_eq!(report.model_bytes(4), 2);
+    }
+
+    #[test]
+    fn model_kb_uses_1024() {
+        let report = CostReport { fp_params: 1024, ..Default::default() };
+        assert!((report.model_kb(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_mops_prints_like_paper() {
+        assert_eq!(format_mops(2_700_000), "2.70M");
+        assert_eq!(format_mops(60_000), "0.06M");
+    }
+}

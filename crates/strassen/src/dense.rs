@@ -1,0 +1,320 @@
+//! Strassenified fully-connected layer.
+
+use rand::rngs::SmallRng;
+use thnt_nn::{Layer, Param};
+use thnt_tensor::{kaiming_normal, matmul, matmul_nt, matmul_tn, Tensor};
+
+use crate::schedule::{QuantMode, Strassenified};
+use crate::ternary::ternarize;
+#[cfg(test)]
+use crate::ternary::ternary_values;
+
+/// A strassenified dense layer: `y = W_c · (â ⊙ (W_b · x)) + bias`.
+///
+/// * `W_b: [r, in]` — ternary (after phase 1) input combinations
+/// * `â: [r]` — full-precision collapsed `W_a · vec(A)` (always trained)
+/// * `W_c: [out, r]` — ternary output combinations
+///
+/// Per inference this costs `r` multiplications (the `⊙`) plus additions from
+/// the two ternary matrix applications — the entire point of the method.
+#[derive(Debug)]
+pub struct StrassenDense {
+    wb: Param,
+    a_hat: Param,
+    wc: Param,
+    bias: Param,
+    mode: QuantMode,
+    threshold_factor: f32,
+    // Caches for backward.
+    input: Option<Tensor>,
+    hidden: Option<Tensor>,
+    scaled: Option<Tensor>,
+    eff_wb: Option<Tensor>,
+    eff_wc: Option<Tensor>,
+}
+
+impl StrassenDense {
+    /// Creates a strassenified dense layer with hidden width `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, r: usize, rng: &mut SmallRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0 && r > 0, "dimensions must be positive");
+        Self {
+            wb: Param::new("st_dense.wb", kaiming_normal(&[r, in_dim], in_dim, rng)),
+            a_hat: Param::new("st_dense.a_hat", Tensor::full(&[r], 1.0)),
+            wc: Param::new("st_dense.wc", kaiming_normal(&[out_dim, r], r, rng)),
+            bias: Param::new("st_dense.bias", Tensor::zeros(&[out_dim])),
+            mode: QuantMode::FullPrecision,
+            threshold_factor: 0.7,
+            input: None,
+            hidden: None,
+            scaled: None,
+            eff_wb: None,
+            eff_wc: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.wb.value.dims()[1]
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.wc.value.dims()[0]
+    }
+
+    /// Hidden width `r` (multiplications per inference).
+    pub fn hidden_width(&self) -> usize {
+        self.a_hat.value.numel()
+    }
+
+    /// Sets the TWN threshold factor (default 0.7). Larger values zero more
+    /// ternary entries, trading accuracy for fewer additions — the §6
+    /// "constrain the number of additions" knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        assert!(factor.is_finite() && factor > 0.0, "threshold must be positive");
+        self.threshold_factor = factor;
+    }
+
+    /// Current TWN threshold factor.
+    pub fn ternary_threshold(&self) -> f32 {
+        self.threshold_factor
+    }
+
+    /// The effective `W_b` for the current mode.
+    fn effective_wb(&self) -> Tensor {
+        match self.mode {
+            QuantMode::FullPrecision | QuantMode::Frozen => self.wb.value.clone(),
+            QuantMode::Quantized => ternarize(&self.wb.value, self.threshold_factor).reconstruct(),
+        }
+    }
+
+    /// The effective `W_c` for the current mode.
+    fn effective_wc(&self) -> Tensor {
+        match self.mode {
+            QuantMode::FullPrecision | QuantMode::Frozen => self.wc.value.clone(),
+            QuantMode::Quantized => ternarize(&self.wc.value, self.threshold_factor).reconstruct(),
+        }
+    }
+}
+
+impl Layer for StrassenDense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims()[1], self.in_dim(), "StrassenDense input width mismatch");
+        let eff_wb = self.effective_wb();
+        let eff_wc = self.effective_wc();
+        // hidden = x · W_bᵀ  → [n, r]
+        let hidden = matmul_nt(x, &eff_wb);
+        // scaled = hidden ⊙ â (broadcast over batch)
+        let (n, r) = (hidden.dims()[0], hidden.dims()[1]);
+        let mut scaled = hidden.clone();
+        {
+            let a = self.a_hat.value.data();
+            let sd = scaled.data_mut();
+            for s in 0..n {
+                for k in 0..r {
+                    sd[s * r + k] *= a[k];
+                }
+            }
+        }
+        // y = scaled · W_cᵀ + bias
+        let mut y = matmul_nt(&scaled, &eff_wc);
+        {
+            let out = self.out_dim();
+            let b = self.bias.value.data();
+            let yd = y.data_mut();
+            for s in 0..n {
+                for o in 0..out {
+                    yd[s * out + o] += b[o];
+                }
+            }
+        }
+        if train {
+            self.input = Some(x.clone());
+            self.hidden = Some(hidden);
+            self.scaled = Some(scaled);
+            self.eff_wb = Some(eff_wb);
+            self.eff_wc = Some(eff_wc);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.input.as_ref().expect("backward without training forward");
+        let hidden = self.hidden.as_ref().unwrap();
+        let scaled = self.scaled.as_ref().unwrap();
+        let eff_wb = self.eff_wb.as_ref().unwrap();
+        let eff_wc = self.eff_wc.as_ref().unwrap();
+        let (n, r) = (hidden.dims()[0], hidden.dims()[1]);
+        let out = self.out_dim();
+
+        // Bias gradient.
+        {
+            let bg = self.bias.grad.data_mut();
+            let gd = grad.data();
+            for s in 0..n {
+                for o in 0..out {
+                    bg[o] += gd[s * out + o];
+                }
+            }
+        }
+        // dWc += gradᵀ · scaled   (STE: shadow gets the effective gradient)
+        self.wc.grad.axpy(1.0, &matmul_tn(grad, scaled));
+        // d_scaled = grad · Wc
+        let d_scaled = matmul(grad, eff_wc);
+        // dâ += Σ_n d_scaled ⊙ hidden ; d_hidden = d_scaled ⊙ â
+        let mut d_hidden = d_scaled.clone();
+        {
+            let ag = self.a_hat.grad.data_mut();
+            let a = self.a_hat.value.data();
+            let dh = d_hidden.data_mut();
+            let ds = d_scaled.data();
+            let h = hidden.data();
+            for s in 0..n {
+                for k in 0..r {
+                    ag[k] += ds[s * r + k] * h[s * r + k];
+                    dh[s * r + k] = ds[s * r + k] * a[k];
+                }
+            }
+        }
+        // dWb += d_hiddenᵀ · x ; dx = d_hidden · Wb
+        self.wb.grad.axpy(1.0, &matmul_tn(&d_hidden, x));
+        matmul(&d_hidden, eff_wb)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wb, &mut self.a_hat, &mut self.wc, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wb, &self.a_hat, &self.wc, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "strassen_dense"
+    }
+}
+
+impl Strassenified for StrassenDense {
+    fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    fn activate_quantization(&mut self) {
+        assert_eq!(self.mode, QuantMode::FullPrecision, "already quantized");
+        self.mode = QuantMode::Quantized;
+    }
+
+    fn freeze_ternary(&mut self) {
+        assert_eq!(self.mode, QuantMode::Quantized, "freeze requires quantized mode");
+        let tb = ternarize(&self.wb.value, self.threshold_factor);
+        let tc = ternarize(&self.wc.value, self.threshold_factor);
+        // Absorb both scales into â (paper §3: scaling factors are absorbed
+        // by the full-precision vec(A) / â portion).
+        let absorb = tb.scale * tc.scale;
+        self.a_hat.value.scale(absorb);
+        self.wb.value = tb.values;
+        self.wc.value = tc.values;
+        self.wb.freeze();
+        self.wc.freeze();
+        self.mode = QuantMode::Frozen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer(r: usize) -> StrassenDense {
+        let mut rng = SmallRng::seed_from_u64(0);
+        StrassenDense::new(6, 4, r, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer(5);
+        let y = l.forward(&Tensor::zeros(&[3, 6]), false);
+        assert_eq!(y.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn gradients_check_full_precision() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut l = layer(5);
+        let x = thnt_tensor::gaussian(&[2, 6], 0.0, 1.0, &mut rng);
+        thnt_nn::check_gradients(&mut l, &x, 1e-2, 2e-2, 40, 2);
+    }
+
+    #[test]
+    fn quantized_forward_uses_ternary_weights() {
+        let mut l = layer(5);
+        l.activate_quantization();
+        let eff = l.effective_wb();
+        let t = ternary_values(&l.wb.value);
+        thnt_tensor::assert_close(eff.data(), t.reconstruct().data(), 1e-6, 0.0);
+    }
+
+    #[test]
+    fn freeze_makes_weights_ternary_and_untrainable() {
+        let mut l = layer(5);
+        l.activate_quantization();
+        l.freeze_ternary();
+        assert_eq!(l.mode(), QuantMode::Frozen);
+        assert!(l.wb.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        assert!(l.wc.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        assert!(!l.wb.trainable && !l.wc.trainable);
+        assert!(l.a_hat.trainable && l.bias.trainable);
+    }
+
+    #[test]
+    fn freeze_preserves_quantized_function() {
+        // The frozen layer (ternary + absorbed scales) must compute exactly
+        // what the quantized layer computed.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = thnt_tensor::gaussian(&[4, 6], 0.0, 1.0, &mut rng);
+        let mut l = layer(7);
+        l.activate_quantization();
+        let before = l.forward(&x, false);
+        l.freeze_ternary();
+        let after = l.forward(&x, false);
+        thnt_tensor::assert_close(after.data(), before.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn can_fit_a_linear_map_with_enough_hidden_units() {
+        // A strassenified layer with generous r can realise an arbitrary
+        // linear map; check by training on y = Mx.
+        use thnt_nn::Optimizer;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = thnt_tensor::gaussian(&[3, 4], 0.0, 1.0, &mut rng);
+        let mut l = StrassenDense::new(4, 3, 16, &mut rng);
+        let mut opt = thnt_nn::Adam::new(0.02);
+        for _ in 0..400 {
+            let x = thnt_tensor::gaussian(&[8, 4], 0.0, 1.0, &mut rng);
+            let target = thnt_tensor::matmul_nt(&x, &m);
+            let y = l.forward(&x, true);
+            let mut grad = &y - &target;
+            grad.scale(2.0 / (8.0 * 3.0));
+            for p in Layer::params_mut(&mut l) {
+                p.zero_grad();
+            }
+            let gx = l.backward(&grad);
+            assert_eq!(gx.dims(), x.dims());
+            let mut params = Layer::params_mut(&mut l);
+            opt.step(&mut params);
+        }
+        let x = thnt_tensor::gaussian(&[16, 4], 0.0, 1.0, &mut rng);
+        let target = thnt_tensor::matmul_nt(&x, &m);
+        let y = l.forward(&x, false);
+        let err = (&y - &target).norm() / target.norm();
+        assert!(err < 0.05, "relative error {err}");
+    }
+}

@@ -1,0 +1,93 @@
+//! The three-phase Strassen training schedule (§3 / §4 of the paper).
+
+/// Quantization state of a strassenified layer's ternary matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Phase 1: `W_b`, `W_c` are ordinary full-precision weights.
+    FullPrecision,
+    /// Phase 2: forward uses TWN-ternarized weights; gradients flow to the
+    /// full-precision shadows via the straight-through estimator.
+    Quantized,
+    /// Phase 3: ternary values fixed, scales absorbed into `â`; only `â` and
+    /// biases continue training.
+    Frozen,
+}
+
+/// A layer participating in the three-phase schedule.
+pub trait Strassenified {
+    /// Current quantization mode.
+    fn mode(&self) -> QuantMode;
+
+    /// Phase 1 → 2: activates TWN quantization with STE training.
+    fn activate_quantization(&mut self);
+
+    /// Phase 2 → 3: fixes ternary matrices, absorbs their scales into `â`,
+    /// and freezes them against further updates.
+    fn freeze_ternary(&mut self);
+}
+
+/// Epoch-indexed description of the paper's schedule: train full-precision,
+/// then quantized, then frozen — the paper uses 135 epochs per phase for the
+/// first and last phase with a quantized phase in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingPhase {
+    /// Epochs of phase 1 (full precision).
+    pub full_precision_epochs: usize,
+    /// Epochs of phase 2 (quantized with STE).
+    pub quantized_epochs: usize,
+    /// Epochs of phase 3 (frozen ternary, `â` fine-tuning).
+    pub frozen_epochs: usize,
+}
+
+impl TrainingPhase {
+    /// The paper's schedule: 135 / 135 / 135 epochs.
+    pub fn paper() -> Self {
+        Self { full_precision_epochs: 135, quantized_epochs: 135, frozen_epochs: 135 }
+    }
+
+    /// A compressed schedule for CI-scale runs.
+    pub fn quick(per_phase: usize) -> Self {
+        Self {
+            full_precision_epochs: per_phase,
+            quantized_epochs: per_phase,
+            frozen_epochs: per_phase,
+        }
+    }
+
+    /// Total epochs across all phases.
+    pub fn total_epochs(&self) -> usize {
+        self.full_precision_epochs + self.quantized_epochs + self.frozen_epochs
+    }
+
+    /// The mode that should be active during global `epoch` (0-based).
+    pub fn mode_at(&self, epoch: usize) -> QuantMode {
+        if epoch < self.full_precision_epochs {
+            QuantMode::FullPrecision
+        } else if epoch < self.full_precision_epochs + self.quantized_epochs {
+            QuantMode::Quantized
+        } else {
+            QuantMode::Frozen
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_totals_405_epochs() {
+        assert_eq!(TrainingPhase::paper().total_epochs(), 405);
+    }
+
+    #[test]
+    fn mode_transitions_at_phase_boundaries() {
+        let s = TrainingPhase::quick(10);
+        assert_eq!(s.mode_at(0), QuantMode::FullPrecision);
+        assert_eq!(s.mode_at(9), QuantMode::FullPrecision);
+        assert_eq!(s.mode_at(10), QuantMode::Quantized);
+        assert_eq!(s.mode_at(19), QuantMode::Quantized);
+        assert_eq!(s.mode_at(20), QuantMode::Frozen);
+        assert_eq!(s.mode_at(1000), QuantMode::Frozen);
+    }
+}

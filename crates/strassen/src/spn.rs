@@ -1,0 +1,162 @@
+//! Sum-product-network form of matrix multiplication and the exact 2×2
+//! Strassen construction.
+
+use thnt_tensor::{matvec, Tensor};
+
+/// A Strassen SPN: three ternary matrices realising
+/// `vec(C) = W_c [(W_b vec(B)) ⊙ (W_a vec(A))]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrassenSpn {
+    /// `r × numel(A)` ternary matrix applied to the vectorised weights.
+    pub wa: Tensor,
+    /// `r × numel(B)` ternary matrix applied to the vectorised activations.
+    pub wb: Tensor,
+    /// `numel(C) × r` ternary combination matrix.
+    pub wc: Tensor,
+}
+
+impl StrassenSpn {
+    /// Hidden width `r` (the multiplication budget).
+    pub fn hidden_width(&self) -> usize {
+        self.wa.dims()[0]
+    }
+
+    /// Evaluates the SPN on vectorised operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand lengths do not match the matrices.
+    pub fn apply(&self, vec_a: &Tensor, vec_b: &Tensor) -> Tensor {
+        let ha = matvec(&self.wa, vec_a);
+        let hb = matvec(&self.wb, vec_b);
+        let prod = &ha * &hb;
+        matvec(&self.wc, &prod)
+    }
+}
+
+/// The classic 7-multiplication Strassen construction for 2×2 matrices, as
+/// ternary SPN matrices (`r = 7`).
+///
+/// Row-major vectorisation: `vec(A) = [a11, a12, a21, a22]`.
+pub fn exact_strassen_2x2() -> StrassenSpn {
+    #[rustfmt::skip]
+    let wa = Tensor::from_vec(vec![
+        // M1 = (A11 + A22)(B11 + B22)
+        1.0, 0.0, 0.0, 1.0,
+        // M2 = (A21 + A22) B11
+        0.0, 0.0, 1.0, 1.0,
+        // M3 = A11 (B12 - B22)
+        1.0, 0.0, 0.0, 0.0,
+        // M4 = A22 (B21 - B11)
+        0.0, 0.0, 0.0, 1.0,
+        // M5 = (A11 + A12) B22
+        1.0, 1.0, 0.0, 0.0,
+        // M6 = (A21 - A11)(B11 + B12)
+        -1.0, 0.0, 1.0, 0.0,
+        // M7 = (A12 - A22)(B21 + B22)
+        0.0, 1.0, 0.0, -1.0,
+    ], &[7, 4]);
+    #[rustfmt::skip]
+    let wb = Tensor::from_vec(vec![
+        1.0, 0.0, 0.0, 1.0,   // B11 + B22
+        1.0, 0.0, 0.0, 0.0,   // B11
+        0.0, 1.0, 0.0, -1.0,  // B12 - B22
+        -1.0, 0.0, 1.0, 0.0,  // B21 - B11
+        0.0, 0.0, 0.0, 1.0,   // B22
+        1.0, 1.0, 0.0, 0.0,   // B11 + B12
+        0.0, 0.0, 1.0, 1.0,   // B21 + B22
+    ], &[7, 4]);
+    #[rustfmt::skip]
+    let wc = Tensor::from_vec(vec![
+        // C11 = M1 + M4 - M5 + M7
+        1.0, 0.0, 0.0, 1.0, -1.0, 0.0, 1.0,
+        // C12 = M3 + M5
+        0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0,
+        // C21 = M2 + M4
+        0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0,
+        // C22 = M1 - M2 + M3 + M6
+        1.0, -1.0, 1.0, 0.0, 0.0, 1.0, 0.0,
+    ], &[4, 7]);
+    StrassenSpn { wa, wb, wc }
+}
+
+/// Multiplies two 2×2 matrices through an SPN, returning the 2×2 product.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2×2.
+pub fn spn_matmul_2x2(spn: &StrassenSpn, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims(), &[2, 2], "a must be 2x2");
+    assert_eq!(b.dims(), &[2, 2], "b must be 2x2");
+    let c = spn.apply(&a.reshape(&[4]), &b.reshape(&[4]));
+    c.reshape(&[2, 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thnt_tensor::matmul;
+
+    #[test]
+    fn exact_strassen_has_seven_multiplications() {
+        let spn = exact_strassen_2x2();
+        assert_eq!(spn.hidden_width(), 7);
+    }
+
+    #[test]
+    fn exact_strassen_matrices_are_ternary() {
+        let spn = exact_strassen_2x2();
+        for m in [&spn.wa, &spn.wb, &spn.wc] {
+            assert!(m.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn strassen_equals_naive_on_identity() {
+        let spn = exact_strassen_2x2();
+        let i = Tensor::eye(2);
+        let a = Tensor::from_vec(vec![3.0, -1.0, 2.0, 5.0], &[2, 2]);
+        let c = spn_matmul_2x2(&spn, &a, &i);
+        thnt_tensor::assert_close(c.data(), a.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn strassen_equals_naive_on_random_matrices() {
+        use rand::{Rng, SeedableRng};
+        let spn = exact_strassen_2x2();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let a = Tensor::from_vec((0..4).map(|_| rng.gen_range(-5.0..5.0)).collect(), &[2, 2]);
+            let b = Tensor::from_vec((0..4).map(|_| rng.gen_range(-5.0..5.0)).collect(), &[2, 2]);
+            let want = matmul(&a, &b);
+            let got = spn_matmul_2x2(&spn, &a, &b);
+            thnt_tensor::assert_close(got.data(), want.data(), 1e-3, 1e-3);
+        }
+    }
+
+    #[test]
+    fn strassen_counts_36_additions() {
+        // |Wa| + |Wb| nonzeros beyond one per row, plus |Wc| combinations:
+        // the textbook 2x2 Strassen uses 18 additions of inputs and 18 of
+        // products (counting (x+y) as one add).
+        let spn = exact_strassen_2x2();
+        let adds_inputs: usize = [&spn.wa, &spn.wb]
+            .iter()
+            .map(|m| {
+                (0..7)
+                    .map(|r| {
+                        let nz = m.data()[r * 4..(r + 1) * 4].iter().filter(|&&v| v != 0.0).count();
+                        nz.saturating_sub(1)
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        let adds_outputs: usize = (0..4)
+            .map(|r| {
+                let nz = spn.wc.data()[r * 7..(r + 1) * 7].iter().filter(|&&v| v != 0.0).count();
+                nz.saturating_sub(1)
+            })
+            .sum();
+        assert_eq!(adds_inputs + adds_outputs, 18);
+    }
+}

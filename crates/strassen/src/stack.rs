@@ -1,0 +1,226 @@
+//! A heterogeneous stack of strassenified and plain layers.
+//!
+//! Strassenified models interleave SPN layers with batch-norm and
+//! activations. [`StStack`] is a `Sequential`-like container that keeps the
+//! concrete layer types visible so the three-phase schedule
+//! ([`Strassenified`]) can be driven across the whole model.
+
+use thnt_nn::{BatchNorm2d, GlobalAvgPoolLayer, Layer, Param, Relu};
+use thnt_tensor::Tensor;
+
+use crate::conv::{StrassenConv2d, StrassenDepthwise2d};
+use crate::dense::StrassenDense;
+use crate::schedule::{QuantMode, Strassenified};
+
+/// One layer of a strassenified model.
+#[derive(Debug)]
+pub enum StLayer {
+    /// Strassenified standard convolution.
+    Conv(StrassenConv2d),
+    /// Strassenified depthwise convolution.
+    Depthwise(StrassenDepthwise2d),
+    /// Strassenified dense layer.
+    Dense(StrassenDense),
+    /// Batch normalisation (kept full-precision; folded at accounting time).
+    BatchNorm(BatchNorm2d),
+    /// ReLU activation.
+    Relu(Relu),
+    /// Global average pooling.
+    GlobalAvgPool(GlobalAvgPoolLayer),
+}
+
+impl StLayer {
+    fn as_layer_mut(&mut self) -> &mut dyn Layer {
+        match self {
+            StLayer::Conv(l) => l,
+            StLayer::Depthwise(l) => l,
+            StLayer::Dense(l) => l,
+            StLayer::BatchNorm(l) => l,
+            StLayer::Relu(l) => l,
+            StLayer::GlobalAvgPool(l) => l,
+        }
+    }
+
+    /// The layer as a phase-controllable strassenified layer, if it is one.
+    pub fn as_strassenified(&mut self) -> Option<&mut dyn Strassenified> {
+        match self {
+            StLayer::Conv(l) => Some(l),
+            StLayer::Depthwise(l) => Some(l),
+            StLayer::Dense(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered stack of [`StLayer`]s with whole-model phase control.
+#[derive(Debug, Default)]
+pub struct StStack {
+    layers: Vec<StLayer>,
+    act_bits: Option<u8>,
+}
+
+impl StStack {
+    /// Creates a stack from layers.
+    pub fn new(layers: Vec<StLayer>) -> Self {
+        Self { layers, act_bits: None }
+    }
+
+    /// Fake-quantizes every inter-layer activation to `bits` at inference
+    /// (`None` disables). Training-mode forwards are never quantized.
+    pub fn set_activation_bits(&mut self, bits: Option<u8>) {
+        self.act_bits = bits;
+    }
+
+    /// Current inter-layer activation quantization setting.
+    pub fn activation_bits(&self) -> Option<u8> {
+        self.act_bits
+    }
+
+    /// Sets the TWN threshold factor on every strassenified layer (the §6
+    /// "constrain the number of additions" knob).
+    pub fn set_ternary_threshold(&mut self, factor: f32) {
+        for l in &mut self.layers {
+            match l {
+                StLayer::Conv(c) => c.set_ternary_threshold(factor),
+                StLayer::Depthwise(d) => d.set_ternary_threshold(factor),
+                StLayer::Dense(f) => f.set_ternary_threshold(factor),
+                _ => {}
+            }
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: StLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrows the layers.
+    pub fn layers(&self) -> &[StLayer] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layers.
+    pub fn layers_mut(&mut self) -> &mut [StLayer] {
+        &mut self.layers
+    }
+
+    /// Forward through the whole stack.
+    ///
+    /// With activation quantization enabled, tensors are snapped to the
+    /// fixed-point grid at every layer boundary **except** immediately before
+    /// a batch-norm layer: at deployment BN folds into the preceding
+    /// convolution, so the pre-BN tensor never exists as a stored buffer
+    /// (and its per-channel scale disparity would otherwise dominate the
+    /// per-tensor range).
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        let n = self.layers.len();
+        for i in 0..n {
+            cur = self.layers[i].as_layer_mut().forward(&cur, train);
+            if !train {
+                if let Some(bits) = self.act_bits {
+                    let feeds_bn =
+                        matches!(self.layers.get(i + 1), Some(StLayer::BatchNorm(_)));
+                    if !feeds_bn {
+                        cur = thnt_tensor::fake_quantize_optimal(&cur, bits);
+                    }
+                }
+            }
+        }
+        cur
+    }
+
+    /// Backward through the whole stack, returning the input gradient.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut cur = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.as_layer_mut().backward(&cur);
+        }
+        cur
+    }
+
+    /// All parameters in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.as_layer_mut().params_mut()).collect()
+    }
+}
+
+impl Strassenified for StStack {
+    fn mode(&self) -> QuantMode {
+        // The stack's mode is the mode of its first strassenified layer.
+        for l in &self.layers {
+            match l {
+                StLayer::Conv(c) => return c.mode(),
+                StLayer::Depthwise(d) => return d.mode(),
+                StLayer::Dense(f) => return f.mode(),
+                _ => continue,
+            }
+        }
+        QuantMode::FullPrecision
+    }
+
+    fn activate_quantization(&mut self) {
+        for l in &mut self.layers {
+            if let Some(s) = l.as_strassenified() {
+                s.activate_quantization();
+            }
+        }
+    }
+
+    fn freeze_ternary(&mut self) {
+        for l in &mut self.layers {
+            if let Some(s) = l.as_strassenified() {
+                s.freeze_ternary();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use thnt_tensor::Conv2dSpec;
+
+    fn stack() -> StStack {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let spec = Conv2dSpec::same(8, 8, 3, 3, 1, 1);
+        StStack::new(vec![
+            StLayer::Conv(StrassenConv2d::new(1, 4, 3, spec, &mut rng)),
+            StLayer::BatchNorm(BatchNorm2d::new(4)),
+            StLayer::Relu(Relu::new()),
+            StLayer::GlobalAvgPool(GlobalAvgPoolLayer::new()),
+            StLayer::Dense(StrassenDense::new(4, 3, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut s = stack();
+        let x = Tensor::zeros(&[2, 1, 8, 8]);
+        let y = s.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 3]);
+        let gx = s.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), x.dims());
+    }
+
+    #[test]
+    fn phase_control_spans_all_strassen_layers() {
+        let mut s = stack();
+        assert_eq!(s.mode(), QuantMode::FullPrecision);
+        s.activate_quantization();
+        assert_eq!(s.mode(), QuantMode::Quantized);
+        s.freeze_ternary();
+        assert_eq!(s.mode(), QuantMode::Frozen);
+    }
+}

@@ -1,0 +1,131 @@
+//! Ternary weight quantization (Li & Liu, "Ternary Weight Networks").
+//!
+//! The paper quantizes every Strassen matrix with the TWN rule: threshold
+//! `Δ = 0.7 · E|w|`, ternary values `t = sign(w) · 1[|w| > Δ]`, and a single
+//! positive scale `α = E[|w| : |w| > Δ]` so that `w ≈ α · t`.
+
+use thnt_tensor::Tensor;
+
+/// A ternarized tensor: values in `{−1, 0, 1}` plus the TWN scale factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TernaryWeights {
+    /// Ternary values (stored as `f32` in `{−1.0, 0.0, 1.0}`).
+    pub values: Tensor,
+    /// Positive scale `α` with `w ≈ α · values`.
+    pub scale: f32,
+}
+
+impl TernaryWeights {
+    /// The dense reconstruction `α · t`.
+    pub fn reconstruct(&self) -> Tensor {
+        let mut out = self.values.clone();
+        out.scale(self.scale);
+        out
+    }
+
+    /// Number of non-zero ternary entries.
+    pub fn nonzeros(&self) -> usize {
+        self.values.data().iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+/// Ternarizes `w` with the TWN rule (`threshold_factor` is the 0.7 of the
+/// paper; exposed for ablations).
+///
+/// # Panics
+///
+/// Panics if `threshold_factor` is not positive and finite.
+pub fn ternarize(w: &Tensor, threshold_factor: f32) -> TernaryWeights {
+    assert!(
+        threshold_factor.is_finite() && threshold_factor > 0.0,
+        "threshold factor must be positive"
+    );
+    let n = w.numel();
+    if n == 0 {
+        return TernaryWeights { values: w.clone(), scale: 1.0 };
+    }
+    let mean_abs: f32 = w.data().iter().map(|v| v.abs()).sum::<f32>() / n as f32;
+    let delta = threshold_factor * mean_abs;
+    let mut above_sum = 0.0f32;
+    let mut above_count = 0usize;
+    let values = w.map(|v| {
+        if v.abs() > delta {
+            v.signum()
+        } else {
+            0.0
+        }
+    });
+    for &v in w.data() {
+        if v.abs() > delta {
+            above_sum += v.abs();
+            above_count += 1;
+        }
+    }
+    // Degenerate all-zero case: keep a unit scale.
+    let scale = if above_count == 0 { 1.0 } else { above_sum / above_count as f32 };
+    TernaryWeights { values, scale }
+}
+
+/// Ternarizes with the paper's default 0.7 threshold factor.
+pub fn ternary_values(w: &Tensor) -> TernaryWeights {
+    ternarize(w, 0.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_are_ternary() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let w = thnt_tensor::gaussian(&[100], 0.0, 1.0, &mut rng);
+        let t = ternary_values(&w);
+        assert!(t.values.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        assert!(t.scale > 0.0);
+    }
+
+    #[test]
+    fn signs_are_preserved() {
+        let w = Tensor::from_vec(vec![2.0, -2.0, 0.01, -0.01], &[4]);
+        let t = ternary_values(&w);
+        assert_eq!(t.values.data(), &[1.0, -1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_is_mean_of_surviving_magnitudes() {
+        let w = Tensor::from_vec(vec![3.0, -5.0, 0.0, 0.0], &[4]);
+        let t = ternary_values(&w);
+        // mean|w| = 2, delta = 1.4; survivors 3 and 5 -> alpha 4.
+        assert!((t.scale - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_alpha() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let w = thnt_tensor::gaussian(&[500], 0.0, 1.0, &mut rng);
+        let t = ternary_values(&w);
+        let rec = t.reconstruct();
+        // TWN minimises ||w - alpha t||; error must beat the trivial zero
+        // approximation.
+        let err: f32 = w.data().iter().zip(rec.data()).map(|(a, b)| (a - b).powi(2)).sum();
+        let zero_err: f32 = w.data().iter().map(|a| a * a).sum();
+        assert!(err < zero_err, "{err} vs {zero_err}");
+    }
+
+    #[test]
+    fn zero_tensor_is_stable() {
+        let t = ternary_values(&Tensor::zeros(&[8]));
+        assert!(t.values.data().iter().all(|&v| v == 0.0));
+        assert_eq!(t.scale, 1.0);
+    }
+
+    #[test]
+    fn higher_threshold_increases_sparsity() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let w = thnt_tensor::gaussian(&[1000], 0.0, 1.0, &mut rng);
+        let loose = ternarize(&w, 0.3).nonzeros();
+        let tight = ternarize(&w, 1.2).nonzeros();
+        assert!(tight < loose, "{tight} !< {loose}");
+    }
+}

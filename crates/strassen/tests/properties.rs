@@ -1,0 +1,95 @@
+//! Property-based tests for StrassenNets invariants.
+
+use proptest::prelude::*;
+use thnt_strassen::{exact_strassen_2x2, spn_matmul_2x2, ternarize, PackedTernary};
+use thnt_tensor::{matmul, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_strassen_equals_naive_product(
+        a in proptest::collection::vec(-100.0f32..100.0, 4),
+        b in proptest::collection::vec(-100.0f32..100.0, 4),
+    ) {
+        let spn = exact_strassen_2x2();
+        let at = Tensor::from_vec(a, &[2, 2]);
+        let bt = Tensor::from_vec(b, &[2, 2]);
+        let got = spn_matmul_2x2(&spn, &at, &bt);
+        let want = matmul(&at, &bt);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-4 * y.abs(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ternarize_scale_positive_for_any_input(
+        w in proptest::collection::vec(-10.0f32..10.0, 1..200),
+        factor in 0.1f32..2.0,
+    ) {
+        let n = w.len();
+        let t = ternarize(&Tensor::from_vec(w, &[n]), factor);
+        prop_assert!(t.scale > 0.0);
+    }
+
+    #[test]
+    fn ternarize_invariants(
+        w in proptest::collection::vec(-10.0f32..10.0, 4..256),
+        factor in 0.2f32..1.5,
+    ) {
+        let n = w.len();
+        let t = ternarize(&Tensor::from_vec(w.clone(), &[n]), factor);
+        // Values are exactly ternary.
+        prop_assert!(t.values.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        // Scale is positive.
+        prop_assert!(t.scale > 0.0);
+        // Sign preservation: nonzero ternary entries match the sign of w.
+        for (&orig, &tern) in w.iter().zip(t.values.data()) {
+            if tern != 0.0 {
+                prop_assert_eq!(orig.signum(), tern, "sign flip at {}", orig);
+            }
+        }
+        // Reconstruction never beats the trivial bound ||w||.
+        let rec = t.reconstruct();
+        let err: f32 = w.iter().zip(rec.data()).map(|(a, b)| (a - b).powi(2)).sum();
+        let norm: f32 = w.iter().map(|a| a * a).sum();
+        prop_assert!(err <= norm + 1e-3, "err {err} > ||w||^2 {norm}");
+    }
+
+    #[test]
+    fn ternarize_threshold_monotone_in_sparsity(
+        w in proptest::collection::vec(-5.0f32..5.0, 16..128),
+    ) {
+        let n = w.len();
+        let t_loose = ternarize(&Tensor::from_vec(w.clone(), &[n]), 0.3);
+        let t_tight = ternarize(&Tensor::from_vec(w, &[n]), 1.2);
+        prop_assert!(t_tight.nonzeros() <= t_loose.nonzeros());
+    }
+
+    #[test]
+    fn packed_ternary_roundtrip_and_matvec(
+        seed in 0u64..500,
+        rows in 1usize..12,
+        cols in 1usize..12,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let vals: Vec<f32> = (0..rows * cols)
+            .map(|_| [-1.0f32, 0.0, 1.0][rng.gen_range(0..3)])
+            .collect();
+        let t = Tensor::from_vec(vals, &[rows, cols]);
+        let packed = PackedTernary::from_tensor(&t);
+        // Round trip.
+        let unpacked = packed.to_tensor();
+        prop_assert_eq!(unpacked.data(), t.data());
+        // Add-only matvec equals dense matvec.
+        let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let got = packed.matvec(&x);
+        let want = thnt_tensor::matvec(&t, &Tensor::from_vec(x, &[cols]));
+        for (g, w) in got.iter().zip(want.data()) {
+            prop_assert!((g - w).abs() < 1e-4);
+        }
+        // Storage really is 2 bits per entry.
+        prop_assert_eq!(packed.packed_bytes(), (rows * cols).div_ceil(4));
+    }
+}

@@ -1,0 +1,98 @@
+//! Weight initialisers.
+//!
+//! All initialisers take an explicit `SmallRng` so every model in the
+//! workspace is reproducible from a single seed.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming/He normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// Used for convolution and fully-connected weights feeding ReLU units.
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut SmallRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    gaussian(dims, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Used for tanh/sigmoid-activated parameters (Bonsai node matrices, RNN
+/// recurrences).
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan sum must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_init(dims, -a, a, rng)
+}
+
+/// Uniform initialisation over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_init(dims: &[usize], lo: f32, hi: f32, rng: &mut SmallRng) -> Tensor {
+    assert!(lo < hi, "uniform_init requires lo < hi");
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(lo..hi)).collect(), dims)
+}
+
+/// Gaussian initialisation with the given mean and standard deviation
+/// (Box–Muller; no external distribution crate needed).
+pub fn gaussian(dims: &[usize], mean: f32, std: f32, rng: &mut SmallRng) -> Tensor {
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_has_expected_scale() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = kaiming_normal(&[64, 64], 64, &mut rng);
+        let std = (2.0f32 / 64.0).sqrt();
+        let sample_std = (t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32).sqrt();
+        assert!((sample_std - std).abs() < 0.05 * std + 0.01, "{sample_std} vs {std}");
+        assert!(t.mean().abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = (6.0f32 / 128.0).sqrt();
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        assert!(t.max() < a && t.min() >= -a);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = SmallRng::seed_from_u64(42);
+        let mut r2 = SmallRng::seed_from_u64(42);
+        let a = gaussian(&[10], 0.0, 1.0, &mut r1);
+        let b = gaussian(&[10], 0.0, 1.0, &mut r2);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn gaussian_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = gaussian(&[10_000], 5.0, 0.5, &mut rng);
+        assert!((t.mean() - 5.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,260 @@
+//! Blocked matrix multiplication kernels.
+//!
+//! Four variants cover every use in forward and backward passes without
+//! materialising transposes:
+//!
+//! * [`matmul`]    — `C = A · B`
+//! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients)
+//! * [`matvec`]    — `y = A · x`
+//!
+//! The inner kernel uses an `i-k-j` loop order with a cache block over `k`,
+//! which keeps the hot loop a contiguous AXPY over rows of `B`. Large outputs
+//! are split across threads by row via [`crate::par::parallel_zip_chunks`].
+
+use crate::par::parallel_zip_chunks;
+use crate::tensor::Tensor;
+
+/// Cache block along the reduction dimension, in elements.
+const K_BLOCK: usize = 256;
+
+/// Below this output element count the kernels stay single-threaded to avoid
+/// thread-spawn overhead dominating tiny products.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+fn check_2d(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{name} must be 2-D, got {}", t.shape());
+    (t.dims()[0], t.dims()[1])
+}
+
+/// Computes `C = A · B` for 2-D tensors.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use thnt_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = check_2d(a, "a");
+    let (kb, n) = check_2d(b, "b");
+    assert_eq!(ka, kb, "matmul inner dimension mismatch: {ka} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), c.data_mut(), m, ka, n);
+    c
+}
+
+/// Computes `C = Aᵀ · B` where `A` is `k×m` and `B` is `k×n`.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the leading dimensions differ.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = check_2d(a, "a");
+    let (kb, n) = check_2d(b, "b");
+    assert_eq!(ka, kb, "matmul_tn leading dimension mismatch: {ka} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    // cᵢⱼ = Σ_k a[k,i]·b[k,j]; accumulate row k of B into row i of C.
+    for k in 0..ka {
+        let brow = &bd[k * n..(k + 1) * n];
+        for i in 0..m {
+            let av = ad[k * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Computes `C = A · Bᵀ` where `A` is `m×k` and `B` is `n×k`.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the trailing dimensions differ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = check_2d(a, "a");
+    let (n, kb) = check_2d(b, "b");
+    assert_eq!(ka, kb, "matmul_nt trailing dimension mismatch: {ka} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &bd[j * ka..(j + 1) * ka];
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            crow[j] = acc;
+        }
+    }
+    c
+}
+
+/// Computes `y = A · x` for a 2-D `A` and 1-D `x`.
+///
+/// # Panics
+///
+/// Panics if `A` is not 2-D, `x` is not 1-D, or dimensions disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let (m, k) = check_2d(a, "a");
+    assert_eq!(x.shape().rank(), 1, "x must be 1-D");
+    assert_eq!(x.numel(), k, "matvec dimension mismatch");
+    let mut y = Tensor::zeros(&[m]);
+    let (ad, xd, yd) = (a.data(), x.data(), y.data_mut());
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        let mut acc = 0.0f32;
+        for (av, xv) in row.iter().zip(xd.iter()) {
+            acc += av * xv;
+        }
+        yd[i] = acc;
+    }
+    y
+}
+
+/// Writes `C = A·B` into a raw output slice; shared by [`matmul`] and the
+/// convolution kernels so im2col buffers avoid an extra copy.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `k`, `n`.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A buffer length mismatch");
+    assert_eq!(b.len(), k * n, "B buffer length mismatch");
+    assert_eq!(c.len(), m * n, "C buffer length mismatch");
+    c.fill(0.0);
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        parallel_zip_chunks(c, n, |row0, cchunk| {
+            let rows = cchunk.len() / n;
+            matmul_block(&a[row0 * k..(row0 + rows) * k], b, cchunk, rows, k, n);
+        });
+    } else {
+        matmul_block(a, b, c, m, k, n);
+    }
+}
+
+/// Single-threaded blocked kernel: `C[m×n] += A[m×k] · B[k×n]` (C pre-zeroed).
+fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for k0 in (0..k).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(k);
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Naïve triple-loop reference used by tests and property checks.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = check_2d(a, "a");
+    let (k2, n) = check_2d(b, "b");
+    assert_eq!(k, k2, "reference matmul dimension mismatch");
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            c.data_mut()[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let shape = crate::Shape::new(dims);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let a = random(&[7, 5], 1);
+        let b = random(&[5, 9], 2);
+        assert_close(matmul(&a, &b).data(), matmul_reference(&a, &b).data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn matches_reference_large_parallel_path() {
+        let a = random(&[70, 120], 3);
+        let b = random(&[120, 90], 4);
+        assert_close(matmul(&a, &b).data(), matmul_reference(&a, &b).data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random(&[6, 6], 5);
+        let c = matmul(&a, &Tensor::eye(6));
+        assert_close(c.data(), a.data(), 1e-6, 0.0);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = random(&[8, 5], 6);
+        let b = random(&[8, 7], 7);
+        let expected = matmul(&a.transpose(), &b);
+        assert_close(matmul_tn(&a, &b).data(), expected.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = random(&[8, 5], 8);
+        let b = random(&[7, 5], 9);
+        let expected = matmul(&a, &b.transpose());
+        assert_close(matmul_nt(&a, &b).data(), expected.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = random(&[6, 4], 10);
+        let x = random(&[4], 11);
+        let expected = matmul(&a, &x.reshape(&[4, 1]));
+        assert_close(matvec(&a, &x).data(), expected.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn empty_matrices_work() {
+        let c = matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 2]));
+        assert_eq!(c.dims(), &[0, 2]);
+        assert_eq!(c.numel(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Pooling kernels over NCHW activations.
+
+use crate::tensor::Tensor;
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+///
+/// This is the reduction between the DS-CNN conv stack and its classifier
+/// (and between the hybrid network's conv front-end and the Bonsai tree).
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "global_avg_pool expects [n, c, h, w]");
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, c]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for s in 0..n {
+        for ch in 0..c {
+            let start = (s * c + ch) * plane;
+            let sum: f32 = src[start..start + plane].iter().sum();
+            dst[s * c + ch] = sum / plane as f32;
+        }
+    }
+    out
+}
+
+/// Average pooling with a `ph × pw` window and matching stride (non-overlapping).
+///
+/// Trailing rows/columns that do not fill a window are dropped, matching
+/// TensorFlow `VALID` pooling.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the window is empty.
+pub fn avg_pool2d(input: &Tensor, ph: usize, pw: usize) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "avg_pool2d expects [n, c, h, w]");
+    assert!(ph > 0 && pw > 0, "pool window must be non-empty");
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (oh, ow) = (h / ph, w / pw);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for s in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..ph {
+                        for dx in 0..pw {
+                            acc += input.at(&[s, ch, oy * ph + dy, ox * pw + dx]);
+                        }
+                    }
+                    out.set(&[s, ch, oy, ox], acc / (ph * pw) as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Max pooling with a `ph × pw` window and matching stride; also returns the
+/// flat argmax indices (into each sample's `[c, h, w]` block) for backprop.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the window is empty.
+pub fn max_pool2d(input: &Tensor, ph: usize, pw: usize) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.shape().rank(), 4, "max_pool2d expects [n, c, h, w]");
+    assert!(ph > 0 && pw > 0, "pool window must be non-empty");
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (oh, ow) = (h / ph, w / pw);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0usize; n * c * oh * ow];
+    for s in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..ph {
+                        for dx in 0..pw {
+                            let (iy, ix) = (oy * ph + dy, ox * pw + dx);
+                            let v = input.at(&[s, ch, iy, ix]);
+                            if v > best {
+                                best = v;
+                                best_idx = (ch * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.set(&[s, ch, oy, ox], best);
+                    arg[((s * c + ch) * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_avg_pool_averages_planes() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let out = global_avg_pool(&x);
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn avg_pool_halves_dimensions() {
+        let x = Tensor::ones(&[2, 3, 4, 6]);
+        let out = avg_pool2d(&x, 2, 2);
+        assert_eq!(out.dims(), &[2, 3, 2, 3]);
+        assert!(out.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avg_pool_drops_ragged_edge() {
+        let x = Tensor::ones(&[1, 1, 5, 5]);
+        let out = avg_pool2d(&x, 2, 2);
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn max_pool_tracks_argmax() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0],
+            &[1, 2, 2, 2],
+        );
+        let (out, arg) = max_pool2d(&x, 2, 2);
+        assert_eq!(out.dims(), &[1, 2, 1, 1]);
+        assert_eq!(out.data(), &[4.0, 8.0]);
+        assert_eq!(arg, vec![3, 4]);
+    }
+
+    #[test]
+    fn global_pool_equals_full_window_avg_pool() {
+        let x = Tensor::from_vec((0..24).map(|v| (v as f32).sin()).collect(), &[2, 3, 2, 2]);
+        let g = global_avg_pool(&x);
+        let a = avg_pool2d(&x, 2, 2);
+        for s in 0..2 {
+            for c in 0..3 {
+                assert!((g.at(&[s, c]) - a.at(&[s, c, 0, 0])).abs() < 1e-6);
+            }
+        }
+    }
+}

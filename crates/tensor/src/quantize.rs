@@ -1,0 +1,200 @@
+//! Fake (simulated) fixed-point quantization.
+//!
+//! Post-training quantization experiments evaluate accuracy by running the
+//! model in `f32` while snapping tensors to the representable grid of a
+//! `b`-bit symmetric fixed-point format — exactly what deployment on an
+//! integer-only microcontroller would compute, without an integer kernel
+//! implementation.
+
+use crate::tensor::Tensor;
+
+/// Returns the symmetric quantization scale for `bits`-bit signed storage of
+/// values with the given maximum magnitude (`max_abs / (2^(bits−1) − 1)`).
+///
+/// A zero `max_abs` yields scale 1.0 so all-zero tensors round-trip exactly.
+///
+/// # Panics
+///
+/// Panics unless `2 <= bits <= 16`.
+pub fn symmetric_scale(max_abs: f32, bits: u8) -> f32 {
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+    let levels = ((1i32 << (bits - 1)) - 1) as f32;
+    if max_abs <= 0.0 {
+        1.0
+    } else {
+        max_abs / levels
+    }
+}
+
+/// Snaps every element of `t` to the `bits`-bit symmetric grid implied by
+/// the tensor's own max magnitude (dynamic per-tensor calibration).
+pub fn fake_quantize(t: &Tensor, bits: u8) -> Tensor {
+    let scale = symmetric_scale(t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())), bits);
+    fake_quantize_with_scale(t, bits, scale)
+}
+
+/// Snaps every element of `t` to the `bits`-bit grid with an explicit scale
+/// (for calibrated ranges).
+///
+/// # Panics
+///
+/// Panics unless `2 <= bits <= 16` and `scale > 0`.
+pub fn fake_quantize_with_scale(t: &Tensor, bits: u8, scale: f32) -> Tensor {
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+    assert!(scale > 0.0, "scale must be positive");
+    let limit = ((1i32 << (bits - 1)) - 1) as f32;
+    t.map(|v| {
+        let q = (v / scale).round().clamp(-limit - 1.0, limit);
+        q * scale
+    })
+}
+
+/// Snaps `t` to the `bits`-bit grid using an **MSE-optimal clip range**:
+/// candidate clips `c = f·max|t|` for `f ∈ {1.0, 0.9, …, 0.3}` are searched
+/// and the one minimising the squared quantization error is used (values
+/// beyond the clip saturate). This is the "optimal min/max range for each
+/// layer" selection the paper describes (following Qiu et al.).
+pub fn fake_quantize_optimal(t: &Tensor, bits: u8) -> Tensor {
+    let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return t.clone();
+    }
+    let mut best: Option<(f32, Tensor)> = None;
+    for step in 0..8 {
+        let clip = max_abs * (1.0 - 0.1 * step as f32);
+        let scale = symmetric_scale(clip, bits);
+        let q = fake_quantize_with_scale(t, bits, scale);
+        let mse: f32 = t
+            .data()
+            .iter()
+            .zip(q.data())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        if best.as_ref().map(|(m, _)| mse < *m).unwrap_or(true) {
+            best = Some((mse, q));
+        }
+    }
+    best.expect("at least one candidate").1
+}
+
+/// Root-mean-square quantization error of `bits`-bit fake quantization.
+pub fn quant_rmse(t: &Tensor, bits: u8) -> f32 {
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    let q = fake_quantize(t, bits);
+    let mse: f32 = t
+        .data()
+        .iter()
+        .zip(q.data())
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f32>()
+        / t.numel() as f32;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_tensor_roundtrips_exactly() {
+        let t = Tensor::zeros(&[5]);
+        assert_eq!(fake_quantize(&t, 8).data(), t.data());
+    }
+
+    #[test]
+    fn grid_values_are_multiples_of_scale() {
+        let t = Tensor::from_vec(vec![0.11, -0.5, 0.73, 1.0], &[4]);
+        let scale = symmetric_scale(1.0, 8);
+        let q = fake_quantize(&t, 8);
+        for &v in q.data() {
+            let steps = v / scale;
+            assert!((steps - steps.round()).abs() < 1e-4, "{v} not on grid");
+        }
+    }
+
+    #[test]
+    fn max_value_is_representable() {
+        let t = Tensor::from_vec(vec![-3.0, 3.0], &[2]);
+        let q = fake_quantize(&t, 8);
+        assert!((q.data()[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let t = crate::gaussian(&[1000], 0.0, 1.0, &mut rng);
+        let e8 = quant_rmse(&t, 8);
+        let e4 = quant_rmse(&t, 4);
+        let e16 = quant_rmse(&t, 16);
+        assert!(e16 < e8 && e8 < e4, "{e16} < {e8} < {e4} violated");
+    }
+
+    #[test]
+    fn eight_bit_error_bound() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let t = crate::gaussian(&[1000], 0.0, 1.0, &mut rng);
+        let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        // RMSE of rounding is at most scale/2 (uniform bound scale/sqrt(12)).
+        let scale = symmetric_scale(max_abs, 8);
+        assert!(quant_rmse(&t, 8) <= scale);
+    }
+
+    #[test]
+    fn idempotent() {
+        let t = Tensor::from_vec(vec![0.3, -0.9, 0.05], &[3]);
+        let q1 = fake_quantize(&t, 8);
+        let q2 = fake_quantize(&q1, 8);
+        crate::assert_close(q1.data(), q2.data(), 1e-6, 1e-5);
+    }
+
+    #[test]
+    fn optimal_clip_never_worse_than_max_abs() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        // By construction the search includes the max-abs candidate, so the
+        // optimal clip can never lose — check across distributions and bits.
+        for heavy in [false, true] {
+            let mut t = crate::gaussian(&[800], 0.0, 1.0, &mut rng);
+            if heavy {
+                t.map_in_place(|v| v * v * v); // heavy-tailed
+            }
+            for bits in [4u8, 8] {
+                let mse = |q: &Tensor| -> f32 {
+                    t.data().iter().zip(q.data()).map(|(a, b)| (a - b).powi(2)).sum()
+                };
+                let naive = mse(&fake_quantize(&t, bits));
+                let optimal = mse(&fake_quantize_optimal(&t, bits));
+                assert!(optimal <= naive + 1e-6, "{optimal} > {naive} (bits {bits})");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_clip_strictly_wins_on_heavy_tails_at_low_bits() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        // Cubed gaussian: many moderate outliers stretch the max-abs range;
+        // at 4 bits the bulk resolution gain outweighs saturation error.
+        let mut t = crate::gaussian(&[2000], 0.0, 1.0, &mut rng);
+        t.map_in_place(|v| v * v * v);
+        let mse = |q: &Tensor| -> f32 {
+            t.data().iter().zip(q.data()).map(|(a, b)| (a - b).powi(2)).sum()
+        };
+        let naive = mse(&fake_quantize(&t, 4));
+        let optimal = mse(&fake_quantize_optimal(&t, 4));
+        assert!(optimal < 0.95 * naive, "{optimal} not < 0.95x{naive}");
+    }
+
+    #[test]
+    fn optimal_clip_handles_zero_tensor() {
+        let t = Tensor::zeros(&[4]);
+        assert_eq!(fake_quantize_optimal(&t, 8).data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_invalid_bits() {
+        fake_quantize(&Tensor::ones(&[1]), 40);
+    }
+}

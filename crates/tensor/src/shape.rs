@@ -1,0 +1,183 @@
+//! Shape and index arithmetic for row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
+///
+/// Shapes are immutable once constructed; all tensors in this workspace are
+/// contiguous row-major, so strides are derived rather than stored.
+///
+/// # Example
+///
+/// ```
+/// use thnt_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    ///
+    /// Zero-sized dimensions are allowed (they yield `numel() == 0`), but an
+    /// empty dimension list denotes a scalar with `numel() == 1`.
+    pub fn new(dims: &[usize]) -> Self {
+        Self { dims: dims.to_vec() }
+    }
+
+    /// Returns the dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Returns the number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns the total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns the size of axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Returns row-major strides (in elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != rank()` or any coordinate is out of bounds.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.dims.len()).rev() {
+            assert!(
+                idx[axis] < self.dims[axis],
+                "index {} out of bounds for axis {axis} with size {}",
+                idx[axis],
+                self.dims[axis]
+            );
+            flat += idx[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        flat
+    }
+
+    /// Returns `true` when both shapes have identical dimensions.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", parts.join("x"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[3, 4, 5]);
+        assert_eq!(s.numel(), 60);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 4);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn zero_dim_shape_has_no_elements() {
+        let s = Shape::new(&[3, 0, 5]);
+        assert_eq!(s.numel(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = [false; 24];
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let f = s.flat_index(&[i, j, k]);
+                    assert!(!seen[f], "duplicate flat index {f}");
+                    seen[f] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_bounds_checked() {
+        Shape::new(&[2, 2]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn flat_index_rank_checked() {
+        Shape::new(&[2, 2]).flat_index(&[1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[49, 10]).to_string(), "[49x10]");
+    }
+}

@@ -1,0 +1,469 @@
+//! The dense row-major `f32` tensor type.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use crate::shape::Shape;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the single data currency of the THNT workspace: activations,
+/// weights, gradients, MFCC feature maps, and quantizer calibration buffers
+/// are all `Tensor`s. The type is intentionally minimal — contiguous storage
+/// only, no lazy views — so kernels stay easy to audit.
+///
+/// # Example
+///
+/// ```
+/// use thnt_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Self { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Self { data: vec![value; shape.numel()], shape }
+    }
+
+    /// Creates a tensor that owns `data`, interpreted with shape `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the number of elements implied by
+    /// `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape} ({} elements)",
+            data.len(),
+            shape.numel()
+        );
+        Self { data, shape }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Returns the total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Returns the underlying data as a flat slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the underlying data as a mutable flat slice (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at the multi-dimensional index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.flat_index(idx)]
+    }
+
+    /// Sets the element at the multi-dimensional index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let flat = self.shape.flat_index(idx);
+        self.data[flat] = value;
+    }
+
+    /// Returns a copy reshaped to `dims` (same number of elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} elements into {shape}",
+            self.numel()
+        );
+        Tensor { data: self.data.clone(), shape }
+    }
+
+    /// Reinterprets the tensor in place with a new shape (same element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.numel(), self.numel(), "reshape element count mismatch");
+        self.shape = shape;
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise `self + alpha * other`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "axpy shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Returns the sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Returns the arithmetic mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Returns the minimum element (`f32::INFINITY` for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Returns the maximum element (`f32::NEG_INFINITY` for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Returns the index of the maximum element.
+    ///
+    /// Ties resolve to the first occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Returns the L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Returns the number of elements with absolute value above `threshold`.
+    pub fn count_above(&self, threshold: f32) -> usize {
+        self.data.iter().filter(|x| x.abs() > threshold).count()
+    }
+
+    /// Returns a row of a 2-D tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a 2-D tensor");
+        let cols = self.shape.dim(1);
+        let start = row * cols;
+        &self.data[start..start + cols]
+    }
+
+    /// Returns a mutable row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert_eq!(self.shape.rank(), 2, "row_mut() requires a 2-D tensor");
+        let cols = self.shape.dim(1);
+        let start = row * cols;
+        &mut self.data[start..start + cols]
+    }
+
+    /// Returns the transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose() requires a 2-D tensor");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[cols, rows]);
+        for i in 0..rows {
+            for j in 0..cols {
+                out.data[j * rows + i] = self.data[i * cols + j];
+            }
+        }
+        out
+    }
+
+    /// Extracts sample `n` from a batched tensor (axis 0), dropping that axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank 0 or `n` is out of bounds.
+    pub fn slice_batch(&self, n: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "slice_batch() requires rank >= 1");
+        let batch = self.shape.dim(0);
+        assert!(n < batch, "batch index {n} out of bounds (batch {batch})");
+        let per = self.numel() / batch.max(1);
+        let rest: Vec<usize> = self.shape.dims()[1..].to_vec();
+        Tensor::from_vec(self.data[n * per..(n + 1) * per].to_vec(), &rest)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, ", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, ... {:.4}], mean={:.4})",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1],
+                self.mean()
+            )
+        }
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        assert!(self.shape.same_as(&rhs.shape), "add shape mismatch");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        assert!(self.shape.same_as(&rhs.shape), "sub shape mismatch");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Element-wise (Hadamard) product — the `⊙` of the Strassen SPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        assert!(self.shape.same_as(&rhs.shape), "mul shape mismatch");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a * b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor with zero elements.
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 2]), 3.0);
+        assert_eq!(t.at(&[1, 0]), 4.0);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 0.0);
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!((&a + &b).data(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).data(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-3.0, 1.0, 2.0], &[3]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.max(), 2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.norm() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_ties_resolve_first() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0], &[3]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let tt = t.transpose();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.transpose().data(), t.data());
+        assert_eq!(tt.at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_validates_numel() {
+        Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn slice_batch_extracts_sample() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]);
+        let s = t.slice_batch(1);
+        assert_eq!(s.dims(), &[2, 3]);
+        assert_eq!(s.data(), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let t = Tensor::from_vec(vec![-2.0, 0.0, 0.5, 3.0], &[4]);
+        assert_eq!(t.count_above(1.0), 2);
+        assert_eq!(t.count_above(0.0), 3);
+    }
+}

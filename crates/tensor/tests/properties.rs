@@ -1,0 +1,108 @@
+//! Property-based tests for the tensor kernels.
+
+use proptest::prelude::*;
+use thnt_tensor::matmul::matmul_reference;
+use thnt_tensor::{matmul, matmul_nt, matmul_tn, Conv2dSpec, Shape, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matmul_matches_reference(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let a = Tensor::from_vec((0..m*k).map(|_| rng.gen_range(-5.0..5.0)).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k*n).map(|_| rng.gen_range(-5.0..5.0)).collect(), &[k, n]);
+        let fast = matmul(&a, &b);
+        let slow = matmul_reference(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 + 1e-4 * y.abs());
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in tensor_strategy(4, 3), b in tensor_strategy(3, 5), c in tensor_strategy(3, 5)) {
+        // A(B + C) == AB + AC
+        let lhs = matmul(&a, &(&b + &c));
+        let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-3 * y.abs());
+        }
+    }
+
+    #[test]
+    fn transpose_variants_agree(a in tensor_strategy(5, 4), b in tensor_strategy(5, 6)) {
+        // matmul_tn(A, B) == Aᵀ·B
+        let lhs = matmul_tn(&a, &b);
+        let rhs = matmul(&a.transpose(), &b);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-3 * y.abs());
+        }
+        // matmul_nt(Aᵀ·ish...) check with compatible dims
+        let lhs2 = matmul_nt(&a.transpose(), &b.transpose());
+        let rhs2 = matmul(&a.transpose(), &b);
+        for (x, y) in lhs2.data().iter().zip(rhs2.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-3 * y.abs());
+        }
+    }
+
+    #[test]
+    fn shape_flat_index_is_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(&dims);
+        let mut seen = vec![false; shape.numel()];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let f = shape.flat_index(&idx);
+            prop_assert!(!seen[f]);
+            seen[f] = true;
+            // odometer increment
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                idx[axis] += 1;
+                if idx[axis] < dims[axis] { break; }
+                idx[axis] = 0;
+                if axis == 0 { break; }
+            }
+            if idx.iter().all(|&i| i == 0) { break; }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn conv_same_geometry_is_ceil_div(h in 4usize..30, w in 4usize..30, s in 1usize..3) {
+        let spec = Conv2dSpec::same(h, w, 3, 3, s, s);
+        let (oh, ow) = spec.out_dims(h, w);
+        prop_assert_eq!(oh, h.div_ceil(s));
+        prop_assert_eq!(ow, w.div_ceil(s));
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mk = |rng: &mut rand::rngs::SmallRng, dims: &[usize]| {
+            let n: usize = dims.iter().product();
+            Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), dims)
+        };
+        let x1 = mk(&mut rng, &[1, 2, 6, 6]);
+        let x2 = mk(&mut rng, &[1, 2, 6, 6]);
+        let w = mk(&mut rng, &[3, 2, 3, 3]);
+        let spec = Conv2dSpec::same(6, 6, 3, 3, 1, 1);
+        let lhs = thnt_tensor::conv2d(&(&x1 + &x2), &w, None, &spec);
+        let rhs = &thnt_tensor::conv2d(&x1, &w, None, &spec)
+            + &thnt_tensor::conv2d(&x2, &w, None, &spec);
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() <= 1e-3 + 1e-3 * b.abs());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: synthesize a keyword dataset, train a hybrid neural-tree
+//! network, strassenify it, and print the cost report.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt::core::{HybridConfig, HybridNet, StHybridNet};
+use thnt::data::{DatasetConfig, SpeechCommands, Split};
+use thnt::nn::{evaluate, StepDecay};
+use thnt::strassen::format_mops;
+
+fn main() {
+    // 1. A small synthetic speech-commands dataset (12 classes, 49x10 MFCC).
+    println!("Synthesizing dataset and extracting MFCC features...");
+    let data = SpeechCommands::generate(DatasetConfig {
+        per_class_train: 24,
+        per_class_val: 8,
+        per_class_test: 8,
+        ..DatasetConfig::quick()
+    });
+    let (xt, yt) = data.features(Split::Train);
+    let (xv, yv) = data.features(Split::Val);
+    let (xe, ye) = data.features(Split::Test);
+    println!("  train {} / val {} / test {} clips", yt.len(), yv.len(), ye.len());
+
+    // 2. Train the uncompressed hybrid network end-to-end (hinge loss,
+    //    annealed tree routing).
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut hybrid = HybridNet::new(HybridConfig::paper(), &mut rng);
+    println!("\nTraining HybridNet (conv front-end + depth-2 Bonsai tree)...");
+    let report = thnt::core::train_hybrid(
+        &mut hybrid,
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        6,
+        StepDecay { initial: 0.004, factor: 0.3, every: 2 },
+        7,
+    );
+    println!("  val accuracy: {:.1}%", report.final_val_acc * 100.0);
+    println!("  test accuracy: {:.1}%", evaluate(&mut hybrid, &xe, &ye, 64) * 100.0);
+    let cost = hybrid.cost_report();
+    println!(
+        "  cost: {} MACs, {:.2} KB at fp32",
+        format_mops(cost.macs),
+        cost.model_kb(4)
+    );
+
+    // 3. Train the strassenified hybrid through the paper's three phases.
+    println!("\nTraining ST-HybridNet (3 phases: fp -> ternary-STE -> frozen)...");
+    let mut st = StHybridNet::new(HybridConfig::paper(), &mut rng);
+    let outcome = thnt::core::train_st_hybrid(
+        &mut st,
+        Some(&mut hybrid), // knowledge distillation from the teacher
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        3,
+        StepDecay { initial: 0.004, factor: 0.5, every: 2 },
+        8,
+    );
+    println!(
+        "  phase accuracies: {:.1}% -> {:.1}% -> {:.1}%",
+        outcome.phase1_val_acc * 100.0,
+        outcome.phase2_val_acc * 100.0,
+        outcome.phase3_val_acc * 100.0
+    );
+    let st_cost = st.cost_report();
+    println!(
+        "  cost: {} muls + {} adds = {} ops, {:.2} KB (2-bit ternary + fp32 a-hat)",
+        format_mops(st_cost.muls),
+        format_mops(st_cost.adds),
+        format_mops(st_cost.total_ops()),
+        st_cost.model_kb(4)
+    );
+    println!(
+        "\nvs DS-CNN's 2.7M MACs / 22 KB: {:.1}% fewer multiplications.",
+        100.0 * (1.0 - st_cost.muls as f64 / 2_660_000.0)
+    );
+}

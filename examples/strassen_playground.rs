@@ -1,0 +1,86 @@
+//! Strassen playground: the exact 7-multiplication construction, learned
+//! approximate SPNs, and the three-phase ternary schedule on a toy layer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example strassen_playground
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt::nn::{Adam, Layer, Optimizer};
+use thnt::strassen::{
+    exact_strassen_2x2, spn_matmul_2x2, QuantMode, StrassenDense, Strassenified,
+};
+use thnt_tensor::{gaussian, matmul, matmul_nt, Tensor};
+
+fn main() {
+    // 1. The exact construction: 7 multiplications for a 2x2 product.
+    println!("-- Exact Strassen (r = 7) --");
+    let spn = exact_strassen_2x2();
+    let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+    let exact = spn_matmul_2x2(&spn, &a, &b);
+    let naive = matmul(&a, &b);
+    println!("  SPN:   {:?}", exact.data());
+    println!("  naive: {:?}  (8 multiplications)", naive.data());
+    println!("  hidden width r = {} -> {} multiplications\n", spn.hidden_width(), spn.hidden_width());
+
+    // 2. Learn an approximate SPN for a fixed linear map, sweeping r.
+    println!("-- Learned SPNs: approximation error vs hidden width r --");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let target = gaussian(&[8, 16], 0.0, 1.0, &mut rng);
+    println!("  target: dense 16 -> 8 map (128 multiplications naively)");
+    println!("  {:>4} {:>12}", "r", "rel. error");
+    for r in [2usize, 4, 8, 16, 32] {
+        let err = fit_spn(&target, r, &mut rng);
+        println!("  {r:>4} {err:>12.4}");
+    }
+    println!("  -> wider hidden layers approximate better; beyond r = out_dim the");
+    println!("     SPN is exact in principle (Strassen's theorem generalised).\n");
+
+    // 3. The three-phase schedule on one layer.
+    println!("-- Three-phase ternary schedule --");
+    let mut layer = StrassenDense::new(16, 8, 16, &mut rng);
+    let x = gaussian(&[64, 16], 0.0, 1.0, &mut rng);
+    let y_ref = layer.forward(&x, false);
+    assert_eq!(layer.mode(), QuantMode::FullPrecision);
+    layer.activate_quantization();
+    let y_quant = layer.forward(&x, false);
+    let drift_q = rel_err(&y_quant, &y_ref);
+    layer.freeze_ternary();
+    let y_frozen = layer.forward(&x, false);
+    let drift_f = rel_err(&y_frozen, &y_quant);
+    println!("  phase 1 -> 2 (TWN quantization): output drift {drift_q:.4}");
+    println!("  phase 2 -> 3 (freeze + absorb scales into a-hat): drift {drift_f:.6}");
+    println!("  frozen W_b/W_c are pure {{-1, 0, 1}}; only a-hat and bias keep training.");
+}
+
+/// Trains a StrassenDense to mimic `target` (out x in); returns relative error.
+fn fit_spn(target: &Tensor, r: usize, rng: &mut SmallRng) -> f32 {
+    let (out_dim, in_dim) = (target.dims()[0], target.dims()[1]);
+    let mut layer = StrassenDense::new(in_dim, out_dim, r, rng);
+    let mut opt = Adam::new(0.02);
+    for _ in 0..600 {
+        let x = gaussian(&[16, in_dim], 0.0, 1.0, rng);
+        let want = matmul_nt(&x, target);
+        let got = layer.forward(&x, true);
+        let mut grad = &got - &want;
+        grad.scale(2.0 / (16.0 * out_dim as f32));
+        for p in layer.params_mut() {
+            p.zero_grad();
+        }
+        layer.backward(&grad);
+        let mut params = layer.params_mut();
+        opt.step(&mut params);
+    }
+    let x = gaussian(&[256, in_dim], 0.0, 1.0, rng);
+    let want = matmul_nt(&x, target);
+    let got = layer.forward(&x, false);
+    rel_err(&got, &want)
+}
+
+fn rel_err(got: &Tensor, want: &Tensor) -> f32 {
+    (got - want).norm() / want.norm().max(1e-9)
+}

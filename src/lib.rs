@@ -1,0 +1,34 @@
+//! # THNT — Ternary Hybrid Neural-Tree Networks
+//!
+//! Umbrella crate for the reproduction of *Gope, Dasika, Mattina, "Ternary
+//! Hybrid Neural-Tree Networks for Highly Constrained IoT Applications"*
+//! (SysML/MLSys 2019). It re-exports the workspace crates under stable paths
+//! so applications depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensors and numeric kernels
+//! * [`dsp`] — FFT / mel / DCT / MFCC audio front-end
+//! * [`data`] — synthetic speech-commands dataset and augmentation
+//! * [`nn`] — layers, optimizers, losses, knowledge distillation
+//! * [`strassen`] — StrassenNets ternary sum-product-network layers
+//! * [`bonsai`] — Bonsai decision trees trained by gradient descent
+//! * [`models`] — baseline KWS model zoo with analytic cost reports
+//! * [`quant`] — post-training fixed-point quantization
+//! * [`prune`] — gradual magnitude pruning and TWN baselines
+//! * [`core`] — the paper's contribution: `HybridNet` / `StHybridNet`
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the full pipeline: synthesize a keyword
+//! dataset, train a hybrid neural-tree model, strassenify it, quantize it and
+//! print the cost report.
+
+pub use thnt_bonsai as bonsai;
+pub use thnt_core as core;
+pub use thnt_data as data;
+pub use thnt_dsp as dsp;
+pub use thnt_models as models;
+pub use thnt_nn as nn;
+pub use thnt_prune as prune;
+pub use thnt_quant as quant;
+pub use thnt_strassen as strassen;
+pub use thnt_tensor as tensor;

@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: synthetic audio → MFCC → training →
+//! compression, exercised with deliberately small models so the suite stays
+//! fast in debug builds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt::core::{HybridConfig, HybridNet, StHybridNet};
+use thnt::data::{DatasetConfig, SpeechCommands, Split};
+use thnt::nn::{evaluate, Model, StepDecay};
+use thnt::strassen::{QuantMode, Strassenified};
+
+fn tiny_hybrid_config() -> HybridConfig {
+    HybridConfig {
+        width: 8,
+        ds_blocks: 1,
+        proj_dim: 6,
+        tree_depth: 1,
+        conv_r_factor: 1.0,
+        tree_r: 6,
+        ..HybridConfig::paper()
+    }
+}
+
+#[test]
+fn dataset_to_features_to_training_pipeline() {
+    let data = SpeechCommands::generate(DatasetConfig::tiny());
+    let (xt, yt) = data.features(Split::Train);
+    let (xv, yv) = data.features(Split::Val);
+    assert_eq!(xt.dims()[1..], [1, 49, 10]);
+
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut net = HybridNet::new(tiny_hybrid_config(), &mut rng);
+    let report = thnt::core::train_hybrid(
+        &mut net,
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        20,
+        StepDecay { initial: 0.02, factor: 0.5, every: 8 },
+        1,
+    );
+    let _ = &xv;
+    let _ = &yv;
+    // 12-way chance is 8.3%. The tiny dataset is deliberately hard, so the
+    // pipeline check is that the model fits the TRAINING distribution well
+    // above chance (gradient flow + optimisation sanity, not generalisation).
+    let train_acc = thnt::nn::evaluate(&mut net, &xt, &yt, 32);
+    assert!(
+        train_acc > 2.0 / 12.0,
+        "train acc {train_acc} not above chance (val was {})",
+        report.final_val_acc
+    );
+}
+
+#[test]
+fn st_lifecycle_train_quantize_freeze_evaluate() {
+    let data = SpeechCommands::generate(DatasetConfig::tiny());
+    let (xt, yt) = data.features(Split::Train);
+    let (xv, yv) = data.features(Split::Val);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut st = StHybridNet::new(tiny_hybrid_config(), &mut rng);
+    let outcome = thnt::core::train_st_hybrid(
+        &mut st,
+        None,
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        2,
+        StepDecay { initial: 0.005, factor: 0.5, every: 1 },
+        2,
+    );
+    assert_eq!(st.mode(), QuantMode::Frozen);
+    assert!(outcome.phase3_val_acc >= 0.0);
+
+    // Every ternary matrix really is ternary and frozen.
+    for p in st.params_mut() {
+        if p.name.contains(".wb") || p.name.contains(".wc") {
+            assert!(!p.trainable, "{} still trainable", p.name);
+            assert!(
+                p.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0),
+                "{} not ternary",
+                p.name
+            );
+        }
+    }
+
+    // Post-training weight quantization and activation fake-quant still
+    // produce a working classifier.
+    thnt::quant::quantize_weights(st.params_mut(), 8);
+    st.set_activation_bits(Some(8));
+    st.set_depthwise_hidden_bits(Some(16));
+    let acc = evaluate(&mut st, &xv, &yv, 32);
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn distillation_transfers_from_hybrid_teacher() {
+    let data = SpeechCommands::generate(DatasetConfig::tiny());
+    let (xt, yt) = data.features(Split::Train);
+    let (xv, yv) = data.features(Split::Val);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut teacher = HybridNet::new(tiny_hybrid_config(), &mut rng);
+    thnt::core::train_hybrid(
+        &mut teacher,
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        3,
+        StepDecay { initial: 0.005, factor: 0.5, every: 2 },
+        3,
+    );
+    let mut student = StHybridNet::new(tiny_hybrid_config(), &mut rng);
+    let outcome = thnt::core::train_st_hybrid(
+        &mut student,
+        Some(&mut teacher),
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        2,
+        StepDecay { initial: 0.005, factor: 0.5, every: 1 },
+        4,
+    );
+    assert_eq!(student.mode(), QuantMode::Frozen);
+    assert!(outcome.phase3_val_acc >= 0.0);
+}
+
+#[test]
+fn training_is_deterministic_across_runs() {
+    let data = SpeechCommands::generate(DatasetConfig::tiny());
+    let (xt, yt) = data.features(Split::Train);
+    let run = || {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut net = HybridNet::new(tiny_hybrid_config(), &mut rng);
+        let report = thnt::core::train_hybrid(
+            &mut net,
+            &xt,
+            &yt,
+            &xt,
+            &yt,
+            2,
+            StepDecay { initial: 0.005, factor: 0.5, every: 1 },
+            6,
+        );
+        report.epochs.last().unwrap().train_loss
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pruning_integrates_with_trained_models() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut model = thnt::models::DsCnn::with_geometry(8, 1, &mut rng);
+    let data = SpeechCommands::generate(DatasetConfig::tiny());
+    let (xt, yt) = data.features(Split::Train);
+    // One training step, then prune to 50% and verify the masks hold.
+    let logits = model.forward(&xt, true);
+    let (_, grad) = thnt::nn::softmax_cross_entropy(&logits, &yt);
+    model.backward(&grad);
+    let mut weights = model.prunable_weights();
+    let total: usize = weights.iter().map(|p| p.numel()).sum();
+    for w in weights.iter_mut() {
+        thnt::prune::prune_to_sparsity(w, 0.5);
+    }
+    let nonzero = thnt::prune::count_nonzero(&weights.iter().map(|p| &**p).collect::<Vec<_>>());
+    let sparsity = 1.0 - nonzero as f64 / total as f64;
+    assert!((sparsity - 0.5).abs() < 0.02, "sparsity {sparsity}");
+    // The pruned model still runs.
+    let y = model.forward(&xt, false);
+    assert_eq!(y.dims()[1], 12);
+}
+
+#[test]
+fn figure1_description_is_complete() {
+    let desc = thnt::core::describe_hybrid(&HybridConfig::paper());
+    for needle in ["Conv1", "DS-Conv2", "Bonsai tree", "sigmoid", "tanh", "49x10"] {
+        assert!(desc.contains(needle), "figure 1 missing {needle}");
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_for_st_hybrid() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut a = StHybridNet::new(tiny_hybrid_config(), &mut rng);
+    let mut b = StHybridNet::new(tiny_hybrid_config(), &mut rng); // different init
+    let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+    let ya = a.forward(&x, false);
+    let yb = b.forward(&x, false);
+    assert_ne!(ya.data(), yb.data(), "independent inits should differ");
+
+    let mut blob = Vec::new();
+    thnt::nn::save_model(&mut a, &mut blob).unwrap();
+    thnt::nn::load_model(&mut b, blob.as_slice()).unwrap();
+    let yb2 = b.forward(&x, false);
+    thnt_tensor::assert_close(yb2.data(), ya.data(), 1e-6, 1e-5);
+}
+
+#[test]
+fn frozen_ternary_survives_checkpoint() {
+    let data = SpeechCommands::generate(DatasetConfig::tiny());
+    let (xt, yt) = data.features(Split::Train);
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut a = StHybridNet::new(tiny_hybrid_config(), &mut rng);
+    thnt::core::train_st_hybrid(
+        &mut a,
+        None,
+        &xt,
+        &yt,
+        &xt,
+        &yt,
+        1,
+        StepDecay { initial: 0.005, factor: 0.5, every: 1 },
+        13,
+    );
+    assert_eq!(a.mode(), QuantMode::Frozen);
+    let mut blob = Vec::new();
+    thnt::nn::save_model(&mut a, &mut blob).unwrap();
+    let mut b = StHybridNet::new(tiny_hybrid_config(), &mut rng);
+    thnt::nn::load_model(&mut b, blob.as_slice()).unwrap();
+    // Restored ternary matrices are still ternary and untrainable.
+    for p in b.params_mut() {
+        if p.name.contains(".wb") || p.name.contains(".wc") {
+            assert!(!p.trainable);
+            assert!(p.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        }
+    }
+}

@@ -48,9 +48,11 @@ fn bench_conv(c: &mut Criterion) {
 fn bench_mfcc(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
     let audio: Vec<f32> = (0..16_000)
-        .map(|t| (t as f32 * 0.3).sin() * 0.5 + {
-            use rand::Rng;
-            rng.gen_range(-0.01..0.01)
+        .map(|t| {
+            (t as f32 * 0.3).sin() * 0.5 + {
+                use rand::Rng;
+                rng.gen_range(-0.01f32..0.01)
+            }
         })
         .collect();
     let mfcc = Mfcc::new(MfccConfig::paper());

@@ -18,23 +18,14 @@ use thnt_nn::{evaluate, Loss, StepDecay};
 
 fn main() {
     let profile = Profile::from_env();
-    banner(
-        "Ablation (§6)",
-        "ternary-threshold sweep: additions vs accuracy on ST-DS-CNN",
-        profile,
-    );
+    banner("Ablation (§6)", "ternary-threshold sweep: additions vs accuracy on ST-DS-CNN", profile);
     let settings = profile.settings();
     let data = SpeechCommands::generate(settings.dataset);
     let (xt, yt) = data.features(Split::Train);
     let (xv, yv) = data.features(Split::Val);
     let (xe, ye) = data.features(Split::Test);
 
-    let mut t = TextTable::new(&[
-        "threshold",
-        "ternary nonzeros",
-        "sparsity(%)",
-        "acc(%)",
-    ]);
+    let mut t = TextTable::new(&["threshold", "ternary nonzeros", "sparsity(%)", "acc(%)"]);
     for factor in [0.3f32, 0.5, 0.7, 1.0, 1.3] {
         let mut rng = SmallRng::seed_from_u64(settings.seed);
         // A narrower model keeps the sweep affordable; the trade-off shape is
@@ -49,7 +40,11 @@ fn main() {
             &xv,
             &yv,
             settings.st_epochs_per_phase,
-            StepDecay { initial: 0.004, factor: 0.3, every: settings.st_epochs_per_phase.div_ceil(3).max(1) },
+            StepDecay {
+                initial: 0.004,
+                factor: 0.3,
+                every: settings.st_epochs_per_phase.div_ceil(3).max(1),
+            },
             Loss::CrossEntropy,
             settings.seed + 11,
             |_, _, _| {},

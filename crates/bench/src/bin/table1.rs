@@ -7,11 +7,7 @@ use thnt_core::Profile;
 
 fn main() {
     let profile = Profile::from_env();
-    banner(
-        "Table 1",
-        "DS-CNN vs strassenified DS-CNN (ST-DS-CNN) on KWS",
-        profile,
-    );
+    banner("Table 1", "DS-CNN vs strassenified DS-CNN (ST-DS-CNN) on KWS", profile);
     let rows = table1(&profile.settings());
     let mut t = TextTable::new(&[
         "network",

@@ -8,7 +8,8 @@ fn main() {
     let profile = Profile::from_env();
     banner("Table 2", "DS-CNN vs Bonsai tree variants on KWS", profile);
     let rows = table2(&profile.settings());
-    let mut t = TextTable::new(&["network", "acc(%)", "macs", "model", "| paper acc", "paper model"]);
+    let mut t =
+        TextTable::new(&["network", "acc(%)", "macs", "model", "| paper acc", "paper model"]);
     for r in &rows {
         t.row_owned(vec![
             r.network.clone(),

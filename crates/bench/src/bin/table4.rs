@@ -6,11 +6,7 @@ use thnt_core::Profile;
 
 fn main() {
     let profile = Profile::from_env();
-    banner(
-        "Table 4",
-        "strassenified hybrid network (ST-HybridNet) vs ancestors",
-        profile,
-    );
+    banner("Table 4", "strassenified hybrid network (ST-HybridNet) vs ancestors", profile);
     let rows = table4(&profile.settings());
     let mut t = TextTable::new(&[
         "network",

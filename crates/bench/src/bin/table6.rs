@@ -6,11 +6,7 @@ use thnt_core::Profile;
 
 fn main() {
     let profile = Profile::from_env();
-    banner(
-        "Table 6",
-        "quantized ST-HybridNet weights/activations + memory footprint",
-        profile,
-    );
+    banner("Table 6", "quantized ST-HybridNet weights/activations + memory footprint", profile);
     let rows = table6(&profile.settings());
     let mut t = TextTable::new(&[
         "network",

@@ -7,11 +7,7 @@ use thnt_core::Profile;
 
 fn main() {
     let profile = Profile::from_env();
-    banner(
-        "Table 7",
-        "model size / accuracy trade-off when pruning DS-CNN",
-        profile,
-    );
+    banner("Table 7", "model size / accuracy trade-off when pruning DS-CNN", profile);
     let rows = table7(&profile.settings());
     let mut t = TextTable::new(&["sparsity", "nonzero params", "acc(%)", "| paper acc"]);
     for r in &rows {

@@ -82,7 +82,12 @@ impl BonsaiTree {
         let topo = TreeTopology::new(config.depth);
         let z = Param::new(
             "bonsai.z",
-            xavier_uniform(&[config.proj_dim, config.input_dim], config.input_dim, config.proj_dim, rng),
+            xavier_uniform(
+                &[config.proj_dim, config.input_dim],
+                config.input_dim,
+                config.proj_dim,
+                rng,
+            ),
         );
         let theta = (0..topo.num_internal())
             .map(|j| {
@@ -96,7 +101,12 @@ impl BonsaiTree {
             .map(|k| {
                 Param::new(
                     format!("bonsai.w{k}"),
-                    xavier_uniform(&[config.num_classes, config.proj_dim], config.proj_dim, config.num_classes, rng),
+                    xavier_uniform(
+                        &[config.num_classes, config.proj_dim],
+                        config.proj_dim,
+                        config.num_classes,
+                        rng,
+                    ),
                 )
             })
             .collect();
@@ -104,7 +114,12 @@ impl BonsaiTree {
             .map(|k| {
                 Param::new(
                     format!("bonsai.v{k}"),
-                    xavier_uniform(&[config.num_classes, config.proj_dim], config.proj_dim, config.num_classes, rng),
+                    xavier_uniform(
+                        &[config.num_classes, config.proj_dim],
+                        config.proj_dim,
+                        config.num_classes,
+                        rng,
+                    ),
                 )
             })
             .collect();
@@ -435,8 +450,8 @@ mod tests {
             let (a, b) = (i % 2 == 0, (i / 2) % 2 == 0);
             let label = (a ^ b) as usize;
             use rand::Rng;
-            x.set(&[i, 0], if a { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2));
-            x.set(&[i, 1], if b { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2));
+            x.set(&[i, 0], if a { 1.0 } else { -1.0 } + rng.gen_range(-0.2f32..0.2));
+            x.set(&[i, 1], if b { 1.0 } else { -1.0 } + rng.gen_range(-0.2f32..0.2));
             y.push(label);
         }
         let cfg = BonsaiConfig {

@@ -13,9 +13,7 @@ pub fn describe_hybrid(config: &HybridConfig) -> String {
     s.push_str("Hybrid neural-tree architecture (paper Figure 1)\n");
     s.push_str("================================================\n\n");
     s.push_str("MFCC features  shape: 49x10 (T x F)\n");
-    s.push_str(&format!(
-        "  |> Conv1        {w} filters 10x4, stride 2x2, SAME  -> 25x5x{w}\n"
-    ));
+    s.push_str(&format!("  |> Conv1        {w} filters 10x4, stride 2x2, SAME  -> 25x5x{w}\n"));
     for b in 0..config.ds_blocks {
         s.push_str(&format!(
             "  |> DS-Conv{}     depthwise 3x3 + pointwise 1x1, {w} ch -> 25x5x{w}\n",
@@ -23,9 +21,7 @@ pub fn describe_hybrid(config: &HybridConfig) -> String {
         ));
     }
     s.push_str(&format!("  |> AvgPool      global -> {w}-d feature vector\n"));
-    s.push_str(&format!(
-        "  |> Projection   Z: [{dh} x {w}]  ->  zhat = Z x  (D-hat = {dh})\n\n"
-    ));
+    s.push_str(&format!("  |> Projection   Z: [{dh} x {w}]  ->  zhat = Z x  (D-hat = {dh})\n\n"));
     s.push_str(&format!(
         "Bonsai tree: depth {}, {} internal + {} leaf nodes\n",
         config.tree_depth,
@@ -70,8 +66,18 @@ mod tests {
     fn mentions_every_architectural_element() {
         let s = describe_hybrid(&HybridConfig::paper());
         for needle in [
-            "Conv1", "DS-Conv1", "DS-Conv2", "AvgPool", "Projection", "Bonsai tree",
-            "depth 2", "3 internal + 4 leaf", "theta", "tanh", "sigmoid", "49x10",
+            "Conv1",
+            "DS-Conv1",
+            "DS-Conv2",
+            "AvgPool",
+            "Projection",
+            "Bonsai tree",
+            "depth 2",
+            "3 internal + 4 leaf",
+            "theta",
+            "tanh",
+            "sigmoid",
+            "49x10",
         ] {
             assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
         }

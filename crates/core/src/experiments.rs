@@ -96,11 +96,7 @@ pub struct ExperimentProfile {
 
 impl ExperimentProfile {
     fn schedule(&self) -> StepDecay {
-        StepDecay {
-            initial: 0.004,
-            factor: 0.3,
-            every: self.dense_epochs.div_ceil(3).max(1),
-        }
+        StepDecay { initial: 0.004, factor: 0.3, every: self.dense_epochs.div_ceil(3).max(1) }
     }
 
     fn st_schedule(&self) -> StepDecay {
@@ -290,8 +286,12 @@ pub fn table2(profile: &ExperimentProfile) -> Vec<Table2Row> {
         paper_model_kb: 22.07,
     }];
 
-    let variants =
-        [(64usize, 2usize, 80.20f32, 140.75f64), (64, 4, 82.92, 287.75), (128, 2, 81.56, 281.5), (128, 4, 84.38, 575.5)];
+    let variants = [
+        (64usize, 2usize, 80.20f32, 140.75f64),
+        (64, 4, 82.92, 287.75),
+        (128, 2, 81.56, 281.5),
+        (128, 4, 84.38, 575.5),
+    ];
     for (dhat, depth, p_acc, p_kb) in variants {
         let tree = BonsaiTree::new(
             BonsaiConfig {
@@ -305,8 +305,7 @@ pub fn table2(profile: &ExperimentProfile) -> Vec<Table2Row> {
             &mut rng,
         );
         let macs: u64 = tree.cost_layers().iter().map(|l| l.macs()).sum();
-        let params: u64 =
-            tree.cost_layers().iter().map(|l| l.params()).sum();
+        let params: u64 = tree.cost_layers().iter().map(|l| l.params()).sum();
         let mut model = LayerModel::new(tree);
         let epochs = profile.bonsai_epochs;
         train_with_hooks(

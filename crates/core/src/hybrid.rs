@@ -3,8 +3,8 @@
 use rand::rngs::SmallRng;
 use thnt_bonsai::{BonsaiConfig, BonsaiTree};
 use thnt_nn::{
-    BatchNorm2d, Conv2dLayer, DepthwiseConv2dLayer, GlobalAvgPoolLayer, Layer, Model, Param,
-    Relu, Sequential,
+    BatchNorm2d, Conv2dLayer, DepthwiseConv2dLayer, GlobalAvgPoolLayer, Layer, Model, Param, Relu,
+    Sequential,
 };
 use thnt_strassen::{CostReport, LayerCost};
 use thnt_tensor::{Conv2dSpec, Tensor};
@@ -131,11 +131,7 @@ mod tests {
         let net = HybridNet::new(HybridConfig::paper(), &mut rng);
         let report = net.cost_report();
         // Paper Table 3: 1.5M MACs.
-        assert!(
-            (1_400_000..1_600_000).contains(&report.macs),
-            "macs {}",
-            report.macs
-        );
+        assert!((1_400_000..1_600_000).contains(&report.macs), "macs {}", report.macs);
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl StHybridNet {
     /// `act_bits` is the default activation width; `dw_hidden_bits` the
     /// width of the strassenified depthwise intermediates (the paper's
     /// 8-vs-16-bit knob).
-    pub fn activation_profiles(&self, act_bits: u32, dw_hidden_bits: u32) -> Vec<ActivationProfile> {
+    pub fn activation_profiles(
+        &self,
+        act_bits: u32,
+        dw_hidden_bits: u32,
+    ) -> Vec<ActivationProfile> {
         let spec1 = Conv2dSpec::same(49, 10, 10, 4, 2, 2);
         let (oh, ow) = spec1.out_dims(49, 10);
         let s = oh * ow;
@@ -232,11 +236,7 @@ mod tests {
         let report = net.cost_report();
         // Paper Table 4: 0.03M muls, 2.37M adds, 2.4M ops, 14.99KB.
         assert!((25_000..40_000).contains(&report.muls), "muls {}", report.muls);
-        assert!(
-            (2_150_000..2_500_000).contains(&report.adds),
-            "adds {}",
-            report.adds
-        );
+        assert!((2_150_000..2_500_000).contains(&report.adds), "adds {}", report.adds);
         let total = report.total_ops();
         assert!((2_200_000..2_600_000).contains(&total), "ops {total}");
     }
@@ -283,7 +283,13 @@ mod tests {
     fn backward_reaches_every_trainable_param() {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut net = StHybridNet::new(
-            HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, tree_depth: 1, ..HybridConfig::paper() },
+            HybridConfig {
+                ds_blocks: 1,
+                width: 8,
+                proj_dim: 6,
+                tree_depth: 1,
+                ..HybridConfig::paper()
+            },
             &mut rng,
         );
         let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);

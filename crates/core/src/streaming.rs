@@ -114,10 +114,7 @@ impl<'m, M: Model> StreamingDetector<'m, M> {
         let mut x = Tensor::zeros(&[1, 1, frames, coeffs]);
         for f in 0..frames {
             for c in 0..coeffs {
-                x.set(
-                    &[0, 0, f, c],
-                    (feats.at(&[f, c]) - self.norm_mean[c]) / self.norm_std[c],
-                );
+                x.set(&[0, 0, f, c], (feats.at(&[f, c]) - self.norm_mean[c]) / self.norm_std[c]);
             }
         }
         let logits = self.model.forward(&x, false);

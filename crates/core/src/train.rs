@@ -135,7 +135,12 @@ fn run_epoch_dyn<M: Model + ?Sized>(
     (total_loss / batches.max(1) as f32, correct / n.max(1) as f32)
 }
 
-fn evaluate_generic<M: Model + ?Sized>(model: &mut M, x: &Tensor, y: &[usize], batch: usize) -> f32 {
+fn evaluate_generic<M: Model + ?Sized>(
+    model: &mut M,
+    x: &Tensor,
+    y: &[usize],
+    batch: usize,
+) -> f32 {
     let n = y.len();
     if n == 0 {
         return 0.0;
@@ -204,18 +209,13 @@ pub fn train_st_generic<M: Model + Strassenified>(
                     }
                 }
                 None => {
-                    let _ =
-                        run_epoch_dyn(model, x_train, y_train, &mut opt, loss, 20, phase_seed);
+                    let _ = run_epoch_dyn(model, x_train, y_train, &mut opt, loss, 20, phase_seed);
                 }
             }
         }
         accs[phase] = evaluate_generic(model, x_val, y_val, 64);
     }
-    StTrainOutcome {
-        phase1_val_acc: accs[0],
-        phase2_val_acc: accs[1],
-        phase3_val_acc: accs[2],
-    }
+    StTrainOutcome { phase1_val_acc: accs[0], phase2_val_acc: accs[1], phase3_val_acc: accs[2] }
 }
 
 /// Trains the uncompressed hybrid network with hinge loss, Adam, the paper's
@@ -277,8 +277,8 @@ pub fn train_st_hybrid(
     let mut teacher = teacher;
     let distill_cfg = DistillConfig { temperature: 2.0, alpha: 0.5 };
     let run_phase = |model: &mut StHybridNet,
-                         teacher: &mut Option<&mut HybridNet>,
-                         phase: usize|
+                     teacher: &mut Option<&mut HybridNet>,
+                     phase: usize|
      -> f32 {
         let damp = [1.0f32, 0.5, 0.25][phase];
         let mut opt = Adam::new(schedule.initial * damp);
@@ -308,15 +308,8 @@ pub fn train_st_hybrid(
                     }
                 }
                 None => {
-                    let _ = run_epoch(
-                        model,
-                        x_train,
-                        y_train,
-                        &mut opt,
-                        Loss::Hinge,
-                        20,
-                        phase_seed,
-                    );
+                    let _ =
+                        run_epoch(model, x_train, y_train, &mut opt, Loss::Hinge, 20, phase_seed);
                 }
             }
         }
@@ -359,7 +352,7 @@ mod tests {
                 for c in 0..10 {
                     let active = (label == 0) == (c < 5);
                     let v = if active { 1.0 } else { 0.0 };
-                    x.set(&[i, 0, f, c], v + rng.gen_range(-0.2..0.2));
+                    x.set(&[i, 0, f, c], v + rng.gen_range(-0.2f32..0.2));
                 }
             }
             y.push(label % 12);

@@ -129,8 +129,7 @@ mod tests {
     fn last_batch_may_be_short() {
         let x = Tensor::zeros(&[10, 1]);
         let y = vec![0usize; 10];
-        let sizes: Vec<usize> =
-            BatchIter::new(&x, &y, 4, 0, 0).map(|(_, by)| by.len()).collect();
+        let sizes: Vec<usize> = BatchIter::new(&x, &y, 4, 0, 0).map(|(_, by)| by.len()).collect();
         assert_eq!(sizes, vec![4, 4, 2]);
     }
 }

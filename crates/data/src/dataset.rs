@@ -14,9 +14,8 @@ pub const KEYWORDS: [&str; 10] =
     ["yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go"];
 
 /// All twelve class names: the keywords plus `silence` and `unknown`.
-pub const LABEL_NAMES: [&str; 12] = [
-    "yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go", "silence", "unknown",
-];
+pub const LABEL_NAMES: [&str; 12] =
+    ["yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go", "silence", "unknown"];
 
 /// Number of classification targets (`L` in the paper).
 pub const NUM_CLASSES: usize = 12;
@@ -170,12 +169,17 @@ impl SpeechCommands {
         }
     }
 
-    fn make_clip(config: &DatasetConfig, split: Split, class: usize, rng: &mut SmallRng) -> Vec<f32> {
+    fn make_clip(
+        config: &DatasetConfig,
+        split: Split,
+        class: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<f32> {
         let mut audio = match class {
             SILENCE => synthesize_silence(rng),
             UNKNOWN => {
                 // One of the 20 non-target vocabulary words.
-                let word = 10 + rng.gen_range(0..20);
+                let word = 10 + rng.gen_range(0..20usize);
                 synthesize_word(&WordSignature::for_word(word), rng)
             }
             c => synthesize_word(&WordSignature::for_word(c), rng),
@@ -337,8 +341,7 @@ fn shift_clip(audio: &[f32], shift: isize) -> Vec<f32> {
 
 /// Mixes coloured noise into `audio` at an SNR drawn from `snr_db`.
 fn add_noise(audio: &mut [f32], snr_db: (f32, f32), rng: &mut SmallRng) {
-    let signal_power: f32 =
-        audio.iter().map(|x| x * x).sum::<f32>() / audio.len() as f32;
+    let signal_power: f32 = audio.iter().map(|x| x * x).sum::<f32>() / audio.len() as f32;
     if signal_power <= 0.0 {
         return;
     }
@@ -424,9 +427,8 @@ mod tests {
         add_noise(&mut low_snr, (0.0, 0.1), &mut rng);
         let mut high_snr = clean.clone();
         add_noise(&mut high_snr, (30.0, 30.1), &mut rng);
-        let err = |a: &[f32]| -> f32 {
-            a.iter().zip(&clean).map(|(x, c)| (x - c).powi(2)).sum::<f32>()
-        };
+        let err =
+            |a: &[f32]| -> f32 { a.iter().zip(&clean).map(|(x, c)| (x - c).powi(2)).sum::<f32>() };
         assert!(err(&low_snr) > 10.0 * err(&high_snr));
     }
 

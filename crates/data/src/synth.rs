@@ -75,12 +75,12 @@ impl WordSignature {
         let mut rng =
             SmallRng::seed_from_u64(0x5730 ^ (pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let num_syllables = 1 + (pair % 2);
-        let base = 92.0 + 15.0 * (pair % 5) as f32 + rng.gen_range(-4.0..4.0);
+        let base = 92.0 + 15.0 * (pair % 5) as f32 + rng.gen_range(-4.0f32..4.0);
         let mut syllables = Vec::new();
         for s in 0..num_syllables {
             // Shared-within-pair spectral draw.
-            let f1c = rng.gen_range(350.0..850.0);
-            let f2c = rng.gen_range(1200.0..2600.0);
+            let f1c = rng.gen_range(350.0f32..850.0);
+            let f2c = rng.gen_range(1200.0f32..2600.0);
             let span0 = rng.gen_range(1.2..1.45f32);
             let span1 = rng.gen_range(1.15..1.35f32);
             // Direction alternates per syllable and flips between the two
@@ -98,11 +98,7 @@ impl WordSignature {
                 dur_frac: 1.0 / num_syllables as f32,
             });
         }
-        Self {
-            word,
-            syllables,
-            duration_frac: rng.gen_range(0.35..0.6),
-        }
+        Self { word, syllables, duration_frac: rng.gen_range(0.35..0.6) }
     }
 
     /// Index of the vocabulary word this signature encodes.
@@ -120,7 +116,7 @@ pub fn synthesize_word(sig: &WordSignature, rng: &mut SmallRng) -> Vec<f32> {
     let pitch = rng.gen_range(0.82..1.22f32);
     let formant_shift = rng.gen_range(0.9..1.1f32);
     let warp = rng.gen_range(0.75..1.3f32);
-    let dur = (sig.duration_frac * rng.gen_range(0.85..1.15) * SAMPLES as f32) as usize;
+    let dur = (sig.duration_frac * rng.gen_range(0.85f32..1.15) * SAMPLES as f32) as usize;
     let gain = rng.gen_range(0.25..1.0f32);
     let mut audio = vec![0.0f32; SAMPLES];
     let start = (SAMPLES - dur) / 2;

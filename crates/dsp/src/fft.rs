@@ -94,10 +94,7 @@ pub fn power_spectrum(signal: &[f32], fft_size: usize) -> Vec<f32> {
         b.re = s;
     }
     fft_in_place(&mut buf);
-    buf[..fft_size / 2 + 1]
-        .iter()
-        .map(|c| c.norm_sq() / fft_size as f32)
-        .collect()
+    buf[..fft_size / 2 + 1].iter().map(|c| c.norm_sq() / fft_size as f32).collect()
 }
 
 /// Naïve O(n²) DFT used as the FFT test oracle.
@@ -160,16 +157,10 @@ mod tests {
         let n = 512;
         let fs = 16_000.0;
         let f = 1_000.0;
-        let signal: Vec<f32> = (0..n)
-            .map(|t| (2.0 * std::f32::consts::PI * f * t as f32 / fs).sin())
-            .collect();
+        let signal: Vec<f32> =
+            (0..n).map(|t| (2.0 * std::f32::consts::PI * f * t as f32 / fs).sin()).collect();
         let ps = power_spectrum(&signal, n);
-        let peak = ps
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = ps.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, 32);
     }
 

@@ -113,11 +113,7 @@ impl Mfcc {
         // Pre-emphasis: y[t] = x[t] - a·x[t-1].
         let emphasized: Vec<f32> = if c.preemphasis > 0.0 {
             std::iter::once(audio.first().copied().unwrap_or(0.0))
-                .chain(
-                    audio
-                        .windows(2)
-                        .map(|w| w[1] - c.preemphasis * w[0]),
-                )
+                .chain(audio.windows(2).map(|w| w[1] - c.preemphasis * w[0]))
                 .collect()
         } else {
             audio.to_vec()
@@ -145,9 +141,7 @@ mod tests {
     use super::*;
 
     fn tone(freq: f32, len: usize, fs: f32) -> Vec<f32> {
-        (0..len)
-            .map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / fs).sin())
-            .collect()
+        (0..len).map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / fs).sin()).collect()
     }
 
     #[test]
@@ -174,20 +168,16 @@ mod tests {
         let mfcc = Mfcc::new(MfccConfig::paper());
         let lo = mfcc.compute(&tone(300.0, 16_000, 16_000.0));
         let hi = mfcc.compute(&tone(3_000.0, 16_000, 16_000.0));
-        let dist: f32 = lo
-            .data()
-            .iter()
-            .zip(hi.data())
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f32>()
-            .sqrt();
+        let dist: f32 =
+            lo.data().iter().zip(hi.data()).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt();
         assert!(dist > 1.0, "tones should be separable, dist={dist}");
     }
 
     #[test]
     fn louder_signal_raises_c0() {
         let mfcc = Mfcc::new(MfccConfig::paper());
-        let quiet = mfcc.compute(&tone(500.0, 16_000, 16_000.0).iter().map(|x| x * 0.1).collect::<Vec<_>>());
+        let quiet = mfcc
+            .compute(&tone(500.0, 16_000, 16_000.0).iter().map(|x| x * 0.1).collect::<Vec<_>>());
         let loud = mfcc.compute(&tone(500.0, 16_000, 16_000.0));
         // c0 tracks log-energy.
         assert!(loud.at(&[24, 0]) > quiet.at(&[24, 0]));

@@ -4,9 +4,7 @@
 ///
 /// The periodic (DFT-even) variant matches common speech front-ends.
 pub fn hann_window(n: usize) -> Vec<f32> {
-    (0..n)
-        .map(|i| 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / n as f32).cos())
-        .collect()
+    (0..n).map(|i| 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / n as f32).cos()).collect()
 }
 
 /// Splits `signal` into overlapping frames of `frame_len` samples advanced by

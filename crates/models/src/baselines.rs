@@ -2,9 +2,7 @@
 //! sized to the paper's reported operation counts).
 
 use rand::rngs::SmallRng;
-use thnt_nn::{
-    BatchNorm2d, Conv2dLayer, Dense, Flatten, Gru, Lstm, Relu, Sequential,
-};
+use thnt_nn::{BatchNorm2d, Conv2dLayer, Dense, Flatten, Gru, Lstm, Relu, Sequential};
 use thnt_strassen::LayerCost;
 use thnt_tensor::Conv2dSpec;
 

@@ -3,8 +3,8 @@
 
 use rand::rngs::SmallRng;
 use thnt_nn::{
-    BatchNorm2d, Conv2dLayer, Dense, DepthwiseConv2dLayer, GlobalAvgPoolLayer, Model, Param,
-    Relu, Sequential,
+    BatchNorm2d, Conv2dLayer, Dense, DepthwiseConv2dLayer, GlobalAvgPoolLayer, Model, Param, Relu,
+    Sequential,
 };
 use thnt_strassen::LayerCost;
 use thnt_tensor::{Conv2dSpec, Tensor};
@@ -91,11 +91,7 @@ impl DsCnn {
     /// The weight parameters subject to pruning / ternary quantization
     /// (convolution and dense weights; biases and BN excluded).
     pub fn prunable_weights(&mut self) -> Vec<&mut Param> {
-        self.net
-            .params_mut()
-            .into_iter()
-            .filter(|p| p.name.ends_with(".w"))
-            .collect()
+        self.net.params_mut().into_iter().filter(|p| p.name.ends_with(".w")).collect()
     }
 }
 

@@ -204,9 +204,6 @@ mod tests {
     #[test]
     fn names_match_paper_rows() {
         let names: Vec<&str> = BaselineKind::all().iter().map(|k| k.name()).collect();
-        assert_eq!(
-            names,
-            vec!["DS-CNN", "CRNN", "GRU", "LSTM", "Basic LSTM", "CNN", "DNN"]
-        );
+        assert_eq!(names, vec!["DS-CNN", "CRNN", "GRU", "LSTM", "Basic LSTM", "CNN", "DNN"]);
     }
 }

@@ -22,12 +22,7 @@ pub struct Conv2dLayer {
 impl Conv2dLayer {
     /// Creates a conv layer with `out_ch` filters of size `kh × kw` over
     /// `in_ch` channels, Kaiming-initialised.
-    pub fn new(
-        in_ch: usize,
-        out_ch: usize,
-        spec: Conv2dSpec,
-        rng: &mut SmallRng,
-    ) -> Self {
+    pub fn new(in_ch: usize, out_ch: usize, spec: Conv2dSpec, rng: &mut SmallRng) -> Self {
         let fan_in = in_ch * spec.kh * spec.kw;
         Self {
             weight: Param::new(
@@ -49,7 +44,13 @@ impl Conv2dLayer {
     pub fn from_weights(weight: Tensor, bias: Tensor, spec: Conv2dSpec) -> Self {
         assert_eq!(weight.shape().rank(), 4, "conv weight must be [oc, ic, kh, kw]");
         assert_eq!(bias.numel(), weight.dims()[0], "bias length mismatch");
-        Self { weight: Param::new("conv.w", weight), bias: Param::new("conv.b", bias), spec, cached_cols: Vec::new(), input_dims: None }
+        Self {
+            weight: Param::new("conv.w", weight),
+            bias: Param::new("conv.b", bias),
+            spec,
+            cached_cols: Vec::new(),
+            input_dims: None,
+        }
     }
 
     /// The convolution geometry.
@@ -83,9 +84,8 @@ impl Layer for Conv2dLayer {
         let out = conv2d(x, &self.weight.value, Some(&self.bias.value), &self.spec);
         if train {
             self.input_dims = Some(x.dims().to_vec());
-            self.cached_cols = (0..x.dims()[0])
-                .map(|s| im2col(&x.slice_batch(s), &self.spec))
-                .collect();
+            self.cached_cols =
+                (0..x.dims()[0]).map(|s| im2col(&x.slice_batch(s), &self.spec)).collect();
         }
         out
     }
@@ -299,8 +299,7 @@ impl BatchNorm2d {
         let mut scale = Vec::with_capacity(c);
         let mut shift = Vec::with_capacity(c);
         for ch in 0..c {
-            let s = self.gamma.value.data()[ch]
-                / (self.running_var.data()[ch] + self.eps).sqrt();
+            let s = self.gamma.value.data()[ch] / (self.running_var.data()[ch] + self.eps).sqrt();
             scale.push(s);
             shift.push(self.beta.value.data()[ch] - s * self.running_mean.data()[ch]);
         }
@@ -419,8 +418,8 @@ impl Layer for BatchNorm2d {
                 let start = (s * c + ch) * plane;
                 for i in start..start + plane {
                     let dy = grad.data()[i];
-                    out.data_mut()[i] = k
-                        * (dy - sum_dy / count - cache.x_hat.data()[i] * sum_dy_xhat / count);
+                    out.data_mut()[i] =
+                        k * (dy - sum_dy / count - cache.x_hat.data()[i] * sum_dy_xhat / count);
                 }
             }
         }
@@ -482,8 +481,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -160,7 +160,14 @@ mod tests {
 
     #[test]
     fn pooling_gradients() {
-        check_gradients(&mut GlobalAvgPoolLayer::new(), &input(&[2, 3, 4, 4], 17), 1e-3, 2e-2, 40, 18);
+        check_gradients(
+            &mut GlobalAvgPoolLayer::new(),
+            &input(&[2, 3, 4, 4], 17),
+            1e-3,
+            2e-2,
+            40,
+            18,
+        );
     }
 
     // Batch-norm's train/eval asymmetry means the finite-difference loss must

@@ -19,7 +19,6 @@ use thnt_tensor::Tensor;
 
 use crate::model::Model;
 
-
 const MAGIC: &[u8; 4] = b"THNT";
 const VERSION: u32 = 1;
 

@@ -47,8 +47,7 @@ impl Optimizer for Sgd {
             if !p.trainable {
                 continue;
             }
-            for ((vv, &g), w) in
-                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
+            for ((vv, &g), w) in v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
             {
                 *vv = self.momentum * *vv + g;
                 *w -= self.lr * *vv;

@@ -84,12 +84,14 @@ impl Lstm {
             b.data_mut()[i] = 1.0;
         }
         Self {
-            w_x: Param::new("lstm.w_x", xavier_uniform(&[4 * hidden, input_dim], input_dim, hidden, rng)),
+            w_x: Param::new(
+                "lstm.w_x",
+                xavier_uniform(&[4 * hidden, input_dim], input_dim, hidden, rng),
+            ),
             w_h: Param::new("lstm.w_h", xavier_uniform(&[4 * hidden, rec], rec, hidden, rng)),
             b: Param::new("lstm.b", b),
-            w_proj: proj.map(|p| {
-                Param::new("lstm.w_proj", xavier_uniform(&[p, hidden], hidden, p, rng))
-            }),
+            w_proj: proj
+                .map(|p| Param::new("lstm.w_proj", xavier_uniform(&[p, hidden], hidden, p, rng))),
             hidden,
             input_dim,
             cache: None,
@@ -287,7 +289,10 @@ impl Gru {
     /// Creates a GRU over `input_dim` features with `hidden` units.
     pub fn new(input_dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
         Self {
-            w_x: Param::new("gru.w_x", xavier_uniform(&[3 * hidden, input_dim], input_dim, hidden, rng)),
+            w_x: Param::new(
+                "gru.w_x",
+                xavier_uniform(&[3 * hidden, input_dim], input_dim, hidden, rng),
+            ),
             w_h: Param::new("gru.w_h", xavier_uniform(&[3 * hidden, hidden], hidden, hidden, rng)),
             b_x: Param::new("gru.b_x", Tensor::zeros(&[3 * hidden])),
             b_hn: Param::new("gru.b_hn", Tensor::zeros(&[hidden])),
@@ -310,8 +315,12 @@ impl Layer for Gru {
         let (n, steps) = (x.dims()[0], x.dims()[1]);
         let h = self.hidden;
         let mut hprev = Tensor::zeros(&[n, h]);
-        let mut cache =
-            GruCache { x: x.clone(), hs: vec![hprev.clone()], gates: Vec::new(), u_nhs: Vec::new() };
+        let mut cache = GruCache {
+            x: x.clone(),
+            hs: vec![hprev.clone()],
+            gates: Vec::new(),
+            u_nhs: Vec::new(),
+        };
         for t in 0..steps {
             let xt = timestep(x, t);
             // zx = xt·W_xᵀ + b_x ; zh = hprev·W_hᵀ (rows: r, z, n blocks)

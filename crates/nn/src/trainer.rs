@@ -132,7 +132,11 @@ pub fn train_classifier(
         if config.log_every > 0 && epoch % config.log_every == 0 {
             eprintln!(
                 "epoch {:3}  lr {:.5}  loss {:.4}  train_acc {:.3}  val_acc {:.3}",
-                epoch, opt.lr(), stats.train_loss, stats.train_acc, stats.val_acc
+                epoch,
+                opt.lr(),
+                stats.train_loss,
+                stats.train_acc,
+                stats.val_acc
             );
         }
         report.best_val_acc = report.best_val_acc.max(val_acc);
@@ -187,7 +191,7 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let cx = if label == 0 { -1.0 } else { 1.0 };
-            x.set(&[i, 0], cx + rng.gen_range(-0.3..0.3));
+            x.set(&[i, 0], cx + rng.gen_range(-0.3f32..0.3));
             x.set(&[i, 1], rng.gen_range(-0.3..0.3));
             y.push(label);
         }

@@ -5,8 +5,7 @@ use thnt_nn::{accuracy, multiclass_hinge, softmax, softmax_cross_entropy};
 use thnt_tensor::Tensor;
 
 fn logits_strategy(n: usize, c: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, n * c)
-        .prop_map(move |v| Tensor::from_vec(v, &[n, c]))
+    proptest::collection::vec(-10.0f32..10.0, n * c).prop_map(move |v| Tensor::from_vec(v, &[n, c]))
 }
 
 proptest! {

@@ -51,10 +51,7 @@ impl PruneSchedule {
     ///
     /// Panics if `final_sparsity` is outside `(0, 1]` or `total_steps == 0`.
     pub fn ramp(final_sparsity: f64, total_steps: usize, frequency: usize) -> Self {
-        assert!(
-            final_sparsity > 0.0 && final_sparsity <= 1.0,
-            "final sparsity must be in (0, 1]"
-        );
+        assert!(final_sparsity > 0.0 && final_sparsity <= 1.0, "final sparsity must be in (0, 1]");
         assert!(total_steps > 0, "total_steps must be positive");
         Self {
             initial_sparsity: 0.0,
@@ -73,15 +70,16 @@ impl PruneSchedule {
         if t >= self.end_step {
             return self.final_sparsity;
         }
-        let progress =
-            (t - self.begin_step) as f64 / (self.end_step - self.begin_step) as f64;
+        let progress = (t - self.begin_step) as f64 / (self.end_step - self.begin_step) as f64;
         self.final_sparsity
             + (self.initial_sparsity - self.final_sparsity) * (1.0 - progress).powi(3)
     }
 
     /// Whether a pruning event fires at step `t`.
     pub fn fires_at(&self, t: usize) -> bool {
-        t >= self.begin_step && t <= self.end_step && (t - self.begin_step).is_multiple_of(self.frequency)
+        t >= self.begin_step
+            && t <= self.end_step
+            && (t - self.begin_step).is_multiple_of(self.frequency)
     }
 }
 
@@ -280,10 +278,7 @@ mod tests {
 
     #[test]
     fn ternarize_makes_weights_three_valued() {
-        let mut p = Param::new(
-            "w",
-            Tensor::from_vec(vec![0.9, -0.8, 0.05, -0.02, 0.7, 0.6], &[6]),
-        );
+        let mut p = Param::new("w", Tensor::from_vec(vec![0.9, -0.8, 0.05, -0.02, 0.7, 0.6], &[6]));
         let entries = ternarize_weights(vec![&mut p]);
         assert_eq!(entries, 6);
         let vals: std::collections::BTreeSet<String> =

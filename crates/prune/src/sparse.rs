@@ -88,13 +88,13 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
             let mut acc = 0.0f32;
             for i in start..end {
                 acc += self.values[i] * x[self.col_idx[i] as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
         y
     }

@@ -54,11 +54,7 @@ pub fn activation_footprint_bytes(profiles: &[ActivationProfile]) -> u64 {
     if profiles.len() == 1 {
         return profiles[0].bytes();
     }
-    profiles
-        .windows(2)
-        .map(|w| w[0].bytes() + w[1].bytes())
-        .max()
-        .unwrap_or(0)
+    profiles.windows(2).map(|w| w[0].bytes() + w[1].bytes()).max().unwrap_or(0)
 }
 
 /// Total inference memory: model weights + peak activation memory.
@@ -149,24 +145,16 @@ mod tests {
 
     #[test]
     fn sixteen_bit_buffers_double_footprint() {
-        let p8 = vec![
-            ActivationProfile::new("a", 1000, 8),
-            ActivationProfile::new("b", 1000, 8),
-        ];
-        let p16 = vec![
-            ActivationProfile::new("a", 1000, 16),
-            ActivationProfile::new("b", 1000, 16),
-        ];
+        let p8 = vec![ActivationProfile::new("a", 1000, 8), ActivationProfile::new("b", 1000, 8)];
+        let p16 =
+            vec![ActivationProfile::new("a", 1000, 16), ActivationProfile::new("b", 1000, 16)];
         assert_eq!(activation_footprint_bytes(&p16), 2 * activation_footprint_bytes(&p8));
     }
 
     #[test]
     fn empty_and_single_profiles() {
         assert_eq!(activation_footprint_bytes(&[]), 0);
-        assert_eq!(
-            activation_footprint_bytes(&[ActivationProfile::new("only", 100, 8)]),
-            100
-        );
+        assert_eq!(activation_footprint_bytes(&[ActivationProfile::new("only", 100, 8)]), 100);
     }
 
     #[test]

@@ -17,7 +17,10 @@ proptest! {
         let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
         let step = thnt_tensor::symmetric_scale(max_abs, bits);
         for (a, b) in t.data().iter().zip(q.data()) {
-            prop_assert!((a - b).abs() <= step / 2.0 + 1e-6, "{a} -> {b} (step {step})");
+            // The f32 divide+round+multiply round-trip costs a few ulp on top
+            // of the half-step bound, which matters at 13+ bits.
+            let tol = step / 2.0 + 1e-6 + 8.0 * f32::EPSILON * a.abs().max(b.abs());
+            prop_assert!((a - b).abs() <= tol, "{a} -> {b} (step {step})");
         }
     }
 

@@ -64,7 +64,10 @@ impl StrassenConv2d {
         assert!(in_ch > 0 && out_ch > 0 && r > 0, "dimensions must be positive");
         let fan_in = in_ch * spec.kh * spec.kw;
         Self {
-            wb: Param::new("st_conv.wb", kaiming_normal(&[r, in_ch, spec.kh, spec.kw], fan_in, rng)),
+            wb: Param::new(
+                "st_conv.wb",
+                kaiming_normal(&[r, in_ch, spec.kh, spec.kw], fan_in, rng),
+            ),
             a_hat: Param::new("st_conv.a_hat", Tensor::full(&[r], 1.0)),
             wc: Param::new("st_conv.wc", kaiming_normal(&[out_ch, r], r, rng)),
             bias: Param::new("st_conv.bias", Tensor::zeros(&[out_ch])),
@@ -166,8 +169,7 @@ impl Layer for StrassenConv2d {
         }
         if train {
             self.input_dims = Some(x.dims().to_vec());
-            self.cached_cols =
-                (0..n).map(|s| im2col(&x.slice_batch(s), &self.spec)).collect();
+            self.cached_cols = (0..n).map(|s| im2col(&x.slice_batch(s), &self.spec)).collect();
             self.hidden = Some(hidden);
             self.scaled = Some(scaled);
             self.eff_wb = Some(eff_wb);
@@ -302,10 +304,7 @@ impl StrassenDepthwise2d {
                 kaiming_normal(&[channels, multiplier, spec.kh, spec.kw], fan_in, rng),
             ),
             a_hat: Param::new("st_dw.a_hat", Tensor::full(&[channels * multiplier], 1.0)),
-            wc: Param::new(
-                "st_dw.wc",
-                kaiming_normal(&[channels, multiplier], multiplier, rng),
-            ),
+            wc: Param::new("st_dw.wc", kaiming_normal(&[channels, multiplier], multiplier, rng)),
             bias: Param::new("st_dw.bias", Tensor::zeros(&[channels])),
             spec,
             channels,
@@ -400,8 +399,8 @@ impl Layer for StrassenDepthwise2d {
                         if wcv == 0.0 {
                             continue;
                         }
-                        let src = &sd
-                            [(s * c * m + ch * m + j) * spatial..(s * c * m + ch * m + j + 1) * spatial];
+                        let src = &sd[(s * c * m + ch * m + j) * spatial
+                            ..(s * c * m + ch * m + j + 1) * spatial];
                         for (d, &v) in dst.iter_mut().zip(src) {
                             *d += wcv * v;
                         }

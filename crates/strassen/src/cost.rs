@@ -106,9 +106,7 @@ impl LayerCost {
                 let wc = s * r;
                 (s * r, wb + wc)
             }
-            LayerCost::Dense { in_dim, out_dim } => {
-                (r, r * in_dim as f64 + out_dim as f64 * r)
-            }
+            LayerCost::Dense { in_dim, out_dim } => (r, r * in_dim as f64 + out_dim as f64 * r),
         };
         OpCount { muls: mul_f.round() as u64, adds: add_f.round() as u64 }
     }
@@ -209,8 +207,7 @@ mod tests {
 
     #[test]
     fn ds_cnn_params_match_paper_23k() {
-        let params: u64 =
-            ds_cnn_layers().iter().map(|l| l.params() + l.bias_params()).sum();
+        let params: u64 = ds_cnn_layers().iter().map(|l| l.params() + l.bias_params()).sum();
         // Paper Table 7: 23.18K parameters (ours excludes BN, so slightly less).
         assert!((22_000..24_000).contains(&params), "params = {params}");
     }
@@ -227,11 +224,7 @@ mod tests {
             };
             report.add_strassen(l, r);
         }
-        assert!(
-            (60_000..80_000).contains(&report.muls),
-            "muls = {} (paper 0.07M)",
-            report.muls
-        );
+        assert!((60_000..80_000).contains(&report.muls), "muls = {} (paper 0.07M)", report.muls);
         assert!(
             (5_000_000..5_600_000).contains(&report.adds),
             "adds = {} (paper 5.32M)",

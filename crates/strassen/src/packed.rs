@@ -124,9 +124,7 @@ impl PackedTernary {
     /// one per non-zero entry.
     pub fn add_count(&self) -> usize {
         let n = self.rows * self.cols;
-        (0..n)
-            .filter(|&i| (self.data[i / 4] >> (2 * (i % 4))) & 0b11 != ENC_ZERO)
-            .count()
+        (0..n).filter(|&i| (self.data[i / 4] >> (2 * (i % 4))) & 0b11 != ENC_ZERO).count()
     }
 
     /// Fraction of zero entries.
@@ -196,9 +194,8 @@ mod tests {
         let (r, input) = (24usize, 48usize);
         let wb = random_ternary(r, input, 4);
         let packed = PackedTernary::from_tensor(&wb);
-        let analytic = LayerCost::Dense { in_dim: input as u64, out_dim: 1 }
-            .strassen_ops(r as f64)
-            .adds;
+        let analytic =
+            LayerCost::Dense { in_dim: input as u64, out_dim: 1 }.strassen_ops(r as f64).adds;
         assert!(
             (packed.add_count() as u64) <= analytic,
             "measured {} > analytic bound {analytic}",

@@ -129,8 +129,7 @@ impl StStack {
             cur = self.layers[i].as_layer_mut().forward(&cur, train);
             if !train {
                 if let Some(bits) = self.act_bits {
-                    let feeds_bn =
-                        matches!(self.layers.get(i + 1), Some(StLayer::BatchNorm(_)));
+                    let feeds_bn = matches!(self.layers.get(i + 1), Some(StLayer::BatchNorm(_)));
                     if !feeds_bn {
                         cur = thnt_tensor::fake_quantize_optimal(&cur, bits);
                     }

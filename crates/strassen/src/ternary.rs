@@ -48,13 +48,7 @@ pub fn ternarize(w: &Tensor, threshold_factor: f32) -> TernaryWeights {
     let delta = threshold_factor * mean_abs;
     let mut above_sum = 0.0f32;
     let mut above_count = 0usize;
-    let values = w.map(|v| {
-        if v.abs() > delta {
-            v.signum()
-        } else {
-            0.0
-        }
-    });
+    let values = w.map(|v| if v.abs() > delta { v.signum() } else { 0.0 });
     for &v in w.data() {
         if v.abs() > delta {
             above_sum += v.abs();

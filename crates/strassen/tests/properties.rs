@@ -75,7 +75,7 @@ proptest! {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let vals: Vec<f32> = (0..rows * cols)
-            .map(|_| [-1.0f32, 0.0, 1.0][rng.gen_range(0..3)])
+            .map(|_| [-1.0f32, 0.0, 1.0][rng.gen_range(0..3usize)])
             .collect();
         let t = Tensor::from_vec(vals, &[rows, cols]);
         let packed = PackedTernary::from_tensor(&t);

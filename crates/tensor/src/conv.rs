@@ -40,22 +40,20 @@ pub struct Conv2dSpec {
 impl Conv2dSpec {
     /// A valid-padding (no padding) convolution.
     pub fn valid(kh: usize, kw: usize, stride_h: usize, stride_w: usize) -> Self {
-        Self {
-            kh,
-            kw,
-            stride_h,
-            stride_w,
-            pad_top: 0,
-            pad_bottom: 0,
-            pad_left: 0,
-            pad_right: 0,
-        }
+        Self { kh, kw, stride_h, stride_w, pad_top: 0, pad_bottom: 0, pad_left: 0, pad_right: 0 }
     }
 
     /// TensorFlow-style `SAME` padding for the given input size: the output is
     /// `ceil(in / stride)` and any odd padding surplus goes to the
     /// bottom/right, matching the DS-CNN reference implementation.
-    pub fn same(in_h: usize, in_w: usize, kh: usize, kw: usize, stride_h: usize, stride_w: usize) -> Self {
+    pub fn same(
+        in_h: usize,
+        in_w: usize,
+        kh: usize,
+        kw: usize,
+        stride_h: usize,
+        stride_w: usize,
+    ) -> Self {
         let out_h = in_h.div_ceil(stride_h);
         let out_w = in_w.div_ceil(stride_w);
         let pad_h = ((out_h - 1) * stride_h + kh).saturating_sub(in_h);
@@ -81,10 +79,7 @@ impl Conv2dSpec {
         let ph = in_h + self.pad_top + self.pad_bottom;
         let pw = in_w + self.pad_left + self.pad_right;
         assert!(ph >= self.kh && pw >= self.kw, "kernel larger than padded input");
-        (
-            (ph - self.kh) / self.stride_h + 1,
-            (pw - self.kw) / self.stride_w + 1,
-        )
+        ((ph - self.kh) / self.stride_h + 1, (pw - self.kw) / self.stride_w + 1)
     }
 }
 
@@ -251,8 +246,8 @@ pub fn depthwise_conv2d(
         for ch in 0..c {
             let img = &src[ch * h * w..(ch + 1) * h * w];
             for j in 0..m {
-                let fil = &weight.data()[(ch * m + j) * spec.kh * spec.kw
-                    ..(ch * m + j + 1) * spec.kh * spec.kw];
+                let fil = &weight.data()
+                    [(ch * m + j) * spec.kh * spec.kw..(ch * m + j + 1) * spec.kh * spec.kw];
                 let bv = bias.map(|b| b.data()[ch * m + j]).unwrap_or(0.0);
                 let dplane = &mut dst[(ch * m + j) * plane..(ch * m + j + 1) * plane];
                 for oy in 0..oh {
@@ -269,8 +264,7 @@ pub fn depthwise_conv2d(
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                acc += fil[ki * spec.kw + kj]
-                                    * img[iy as usize * w + ix as usize];
+                                acc += fil[ki * spec.kw + kj] * img[iy as usize * w + ix as usize];
                             }
                         }
                         dplane[oy * ow + ox] = acc;
@@ -316,8 +310,7 @@ mod tests {
         bias: Option<&Tensor>,
         spec: &Conv2dSpec,
     ) -> Tensor {
-        let (n, c, h, w) =
-            (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
         let oc = weight.dims()[0];
         let (oh, ow) = spec.out_dims(h, w);
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
@@ -329,10 +322,10 @@ mod tests {
                         for ic in 0..c {
                             for ki in 0..spec.kh {
                                 for kj in 0..spec.kw {
-                                    let iy = (oy * spec.stride_h + ki) as isize
-                                        - spec.pad_top as isize;
-                                    let ix = (ox * spec.stride_w + kj) as isize
-                                        - spec.pad_left as isize;
+                                    let iy =
+                                        (oy * spec.stride_h + ki) as isize - spec.pad_top as isize;
+                                    let ix =
+                                        (ox * spec.stride_w + kj) as isize - spec.pad_left as isize;
                                     if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
                                         continue;
                                     }

@@ -41,8 +41,7 @@ pub use matmul::{matmul, matmul_nt, matmul_tn, matvec};
 pub use par::{num_threads, parallel_for, parallel_zip_chunks};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
 pub use quantize::{
-    fake_quantize, fake_quantize_optimal, fake_quantize_with_scale, quant_rmse,
-    symmetric_scale,
+    fake_quantize, fake_quantize_optimal, fake_quantize_with_scale, quant_rmse, symmetric_scale,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;

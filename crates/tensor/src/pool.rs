@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn max_pool_tracks_argmax() {
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0],
-            &[1, 2, 2, 2],
-        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], &[1, 2, 2, 2]);
         let (out, arg) = max_pool2d(&x, 2, 2);
         assert_eq!(out.dims(), &[1, 2, 1, 1]);
         assert_eq!(out.data(), &[4.0, 8.0]);

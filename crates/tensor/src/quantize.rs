@@ -64,12 +64,7 @@ pub fn fake_quantize_optimal(t: &Tensor, bits: u8) -> Tensor {
         let clip = max_abs * (1.0 - 0.1 * step as f32);
         let scale = symmetric_scale(clip, bits);
         let q = fake_quantize_with_scale(t, bits, scale);
-        let mse: f32 = t
-            .data()
-            .iter()
-            .zip(q.data())
-            .map(|(a, b)| (a - b).powi(2))
-            .sum();
+        let mse: f32 = t.data().iter().zip(q.data()).map(|(a, b)| (a - b).powi(2)).sum();
         if best.as_ref().map(|(m, _)| mse < *m).unwrap_or(true) {
             best = Some((mse, q));
         }
@@ -83,13 +78,8 @@ pub fn quant_rmse(t: &Tensor, bits: u8) -> f32 {
         return 0.0;
     }
     let q = fake_quantize(t, bits);
-    let mse: f32 = t
-        .data()
-        .iter()
-        .zip(q.data())
-        .map(|(a, b)| (a - b).powi(2))
-        .sum::<f32>()
-        / t.numel() as f32;
+    let mse: f32 =
+        t.data().iter().zip(q.data()).map(|(a, b)| (a - b).powi(2)).sum::<f32>() / t.numel() as f32;
     mse.sqrt()
 }
 

@@ -150,10 +150,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
     }
 
     /// Applies `f` to every element in place.

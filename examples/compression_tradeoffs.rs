@@ -29,10 +29,17 @@ fn main() {
     for l in ds.cost_layers() {
         base.add_plain(l);
     }
-    println!("Baseline DS-CNN: {} MACs, {:.2} KB (8-bit weights)\n", format_mops(base.macs), base.model_kb(1));
+    println!(
+        "Baseline DS-CNN: {} MACs, {:.2} KB (8-bit weights)\n",
+        format_mops(base.macs),
+        base.model_kb(1)
+    );
 
     println!("-- StrassenNets on DS-CNN (Table 1 design space) --");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10} {:>12}", "r/c_out", "muls", "adds", "ops", "vs base", "model KB");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "r/c_out", "muls", "adds", "ops", "vs base", "model KB"
+    );
     for factor in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
         let st = StDsCnn::new(factor, &mut rng);
         let r = st.cost_report();
@@ -84,6 +91,8 @@ fn main() {
         100.0 * r.total_ops() as f64 / base.macs as f64,
         r.model_kb(4)
     );
-    println!("  multiplications reduced {:.2}% (paper: 98.89%)",
-        100.0 * (1.0 - r.muls as f64 / base.macs as f64));
+    println!(
+        "  multiplications reduced {:.2}% (paper: 98.89%)",
+        100.0 * (1.0 - r.muls as f64 / base.macs as f64)
+    );
 }

@@ -61,7 +61,9 @@ fn main() {
     for (class, spoken) in script {
         let audio = match class {
             10 => synthesize_silence(&mut rng),
-            11 => synthesize_word(&WordSignature::for_word(10 + rng.gen_range(0..20)), &mut rng),
+            11 => {
+                synthesize_word(&WordSignature::for_word(10 + rng.gen_range(0..20usize)), &mut rng)
+            }
             c => synthesize_word(&WordSignature::for_word(c), &mut rng),
         };
         let t0 = Instant::now();

@@ -46,11 +46,7 @@ fn main() {
     println!("  val accuracy: {:.1}%", report.final_val_acc * 100.0);
     println!("  test accuracy: {:.1}%", evaluate(&mut hybrid, &xe, &ye, 64) * 100.0);
     let cost = hybrid.cost_report();
-    println!(
-        "  cost: {} MACs, {:.2} KB at fp32",
-        format_mops(cost.macs),
-        cost.model_kb(4)
-    );
+    println!("  cost: {} MACs, {:.2} KB at fp32", format_mops(cost.macs), cost.model_kb(4));
 
     // 3. Train the strassenified hybrid through the paper's three phases.
     println!("\nTraining ST-HybridNet (3 phases: fp -> ternary-STE -> frozen)...");

@@ -10,9 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use thnt::nn::{Adam, Layer, Optimizer};
-use thnt::strassen::{
-    exact_strassen_2x2, spn_matmul_2x2, QuantMode, StrassenDense, Strassenified,
-};
+use thnt::strassen::{exact_strassen_2x2, spn_matmul_2x2, QuantMode, StrassenDense, Strassenified};
 use thnt_tensor::{gaussian, matmul, matmul_nt, Tensor};
 
 fn main() {
@@ -25,7 +23,11 @@ fn main() {
     let naive = matmul(&a, &b);
     println!("  SPN:   {:?}", exact.data());
     println!("  naive: {:?}  (8 multiplications)", naive.data());
-    println!("  hidden width r = {} -> {} multiplications\n", spn.hidden_width(), spn.hidden_width());
+    println!(
+        "  hidden width r = {} -> {} multiplications\n",
+        spn.hidden_width(),
+        spn.hidden_width()
+    );
 
     // 2. Learn an approximate SPN for a fixed linear map, sweeping r.
     println!("-- Learned SPNs: approximation error vs hidden width r --");

@@ -41,10 +41,7 @@ fn headline_total_ops_reduction_around_11_percent() {
     let st = StHybridNet::new(HybridConfig::paper(), &mut rng).cost_report();
     let reduction = 100.0 * (1.0 - st.total_ops() as f64 / ds.macs as f64);
     // Paper: 11.1% fewer total operations (2.4M vs 2.7M).
-    assert!(
-        (5.0..25.0).contains(&reduction),
-        "ops reduction {reduction:.1}% (paper 11.1%)"
-    );
+    assert!((5.0..25.0).contains(&reduction), "ops reduction {reduction:.1}% (paper 11.1%)");
 }
 
 #[test]
@@ -140,11 +137,7 @@ fn paper_table3_op_columns_reproduce() {
         let model = thnt::models::build_baseline(kind, &mut rng);
         let got = model.macs() as f64;
         let want = kind.paper_ops() as f64;
-        assert!(
-            (got - want).abs() / want < 0.25,
-            "{}: {got:.0} vs paper {want:.0}",
-            kind.name()
-        );
+        assert!((got - want).abs() / want < 0.25, "{}: {got:.0} vs paper {want:.0}", kind.name());
     }
 }
 

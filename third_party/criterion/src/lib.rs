@@ -1,0 +1,231 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the THNT benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — with a simple
+//! mean ± stddev wall-clock measurement instead of criterion's full
+//! statistical machinery. Reports go to stdout, one line per benchmark:
+//!
+//! ```text
+//! matmul/64               time: [412.31 µs ± 3.10 µs]  (20 samples × 12 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-sample measurement driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    target_time: Duration,
+    /// (mean_ns, stddev_ns, iters_per_sample) of the last `iter` call.
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating how many iterations fit one sample, then
+    /// timing `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: run until we have spent ~2 ms or 10 iterations.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_iters < 10 && calibration_start.elapsed() < Duration::from_millis(2) {
+            black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration_start.elapsed().as_secs_f64() / calibration_iters as f64;
+        let per_sample = self.target_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        self.result = Some((mean, var.sqrt(), iters));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    target_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher { sample_size, target_time, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, sd, iters)) => println!(
+            "{name:<40} time: [{} ± {}]  ({sample_size} samples × {iters} iters)",
+            format_ns(mean),
+            format_ns(sd),
+        ),
+        None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, target_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget a single benchmark aims to spend measuring.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, self.target_time, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside it render as `group/bench`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Final reporting hook invoked by [`criterion_main!`]; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{name}", self.name),
+            self.criterion.sample_size,
+            self.criterion.target_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs `group/id`, handing `input` to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.criterion.sample_size,
+            self.criterion.target_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+/// Defines a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_measurement() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(3));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 8), &8usize, |b, &n| b.iter(|| n * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(16), &16usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

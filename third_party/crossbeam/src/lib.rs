@@ -1,0 +1,90 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, implementing only the `crossbeam::scope` scoped-thread API over
+//! [`std::thread::scope`] (stabilised in Rust 1.63, after crossbeam's scoped
+//! threads were designed).
+//!
+//! Divergence from upstream: a panicking child thread propagates the panic
+//! when the scope exits instead of surfacing it as the `Err` variant, so the
+//! customary `crossbeam::scope(...).expect("...")` never observes `Err`. The
+//! THNT workspace only uses the `Ok` path.
+
+use std::any::Any;
+
+/// Error half of [`ScopeResult`]; the payload of a panicked child thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Result of [`scope`], mirroring `crossbeam::thread::ScopeResult`.
+pub type ScopeResult<T> = Result<T, PanicPayload>;
+
+/// A handle for spawning scoped threads, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a unit placeholder where
+    /// upstream crossbeam passes a nested `&Scope`; all workspace call sites
+    /// ignore the argument (`|_| ...`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the enclosing
+/// stack frame; all threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Re-export module mirroring `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope, ScopeResult};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.into_inner(), 4);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::scope(|scope| {
+            let h = scope.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn threads_may_borrow_stack_data() {
+        let mut buf = vec![0u32; 8];
+        super::scope(|scope| {
+            let (a, b) = buf.split_at_mut(4);
+            scope.spawn(move |_| a.fill(1));
+            scope.spawn(move |_| b.fill(2));
+        })
+        .unwrap();
+        assert_eq!(buf, [1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! Implements the subset the THNT test suites use: range strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], the [`proptest!`] macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and
+//! [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Inputs are sampled from a deterministic per-case RNG (so failures
+//! reproduce run-to-run) but there is **no shrinking**: a failing case
+//! reports the case number and panics with the assertion message.
+
+use rand::rngs::SmallRng;
+use rand::SampleRange;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random test inputs, mirroring `proptest::strategy::Strategy`.
+///
+/// Only generation is modelled — upstream's value trees and shrinking are
+/// intentionally absent.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// A strategy producing one fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_in(rng)
+            }
+        }
+    )+};
+}
+
+macro_rules! inclusive_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_in(rng)
+            }
+        }
+    )+};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+inclusive_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Vector length specification: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        fn sample_len(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`, mirroring
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner internals used by the [`proptest!`](crate::proptest) expansion.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-case RNG: seeded from the property name and case
+    /// index so every property sees an independent, reproducible stream.
+    pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::test_runner;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy};
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a `#[test]` that
+/// samples the strategies `config.cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut proptest_case_rng =
+                        $crate::test_runner::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::sample(
+                            &($strategy),
+                            &mut proptest_case_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Case filter inside [`proptest!`] bodies, mirroring `proptest::prop_assume!`:
+/// a case whose assumption fails is skipped (via `continue` on the case loop)
+/// rather than failed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Assertion inside [`proptest!`] bodies, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assertion, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Inequality assertion, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_length_range(v in collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn prop_map_applies(d in collection::vec(1usize..4, 3).prop_map(|v| v.len())) {
+            prop_assert_eq!(d, 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let a = s.sample(&mut crate::test_runner::case_rng("t", 5));
+        let b = s.sample(&mut crate::test_runner::case_rng("t", 5));
+        assert_eq!(a, b);
+    }
+}

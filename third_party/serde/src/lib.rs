@@ -1,0 +1,138 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Models only what the THNT workspace uses: a [`Serialize`] trait that
+//! renders into a small JSON [`Value`] tree (upstream serde is
+//! format-agnostic; this stub is JSON-only because `serde_json` is its sole
+//! consumer here), plus a `#[derive(Serialize)]` macro for plain structs with
+//! named fields, re-exported from the companion `serde_derive` stub.
+
+pub use serde_derive::Serialize;
+
+/// A JSON value tree — the serialization target of this stub.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Finite floats; non-finite values serialize as `null` like serde_json.
+    Float(f64),
+    Int(i64),
+    UInt(u64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered, like serde_json's `preserve_order` feature.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types renderable as JSON, mirroring `serde::Serialize`.
+pub trait Serialize {
+    /// Renders `self` into a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+macro_rules! serialize_float {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+    )+};
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )+};
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )+};
+}
+
+serialize_float!(f32, f64);
+serialize_int!(i8, i16, i32, i64, isize);
+serialize_uint!(u8, u16, u32, u64, usize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(1.5f32.serialize_value(), Value::Float(1.5));
+        assert_eq!(7u64.serialize_value(), Value::UInt(7));
+        assert_eq!((-3i32).serialize_value(), Value::Int(-3));
+        assert_eq!(true.serialize_value(), Value::Bool(true));
+        assert_eq!("x".to_string().serialize_value(), Value::Str("x".into()));
+        assert_eq!(None::<u8>.serialize_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_serializes_elementwise() {
+        assert_eq!(
+            vec![1u64, 2].serialize_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

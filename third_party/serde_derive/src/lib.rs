@@ -1,0 +1,89 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; the struct definition is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted via string formatting.
+//! Supported input is exactly what the THNT workspace derives on: a
+//! non-generic `struct` with named fields. Tuple structs, enums, generics and
+//! `#[serde(...)]` attributes are rejected at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stub trait) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok((name, fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+            .parse()
+            .expect("serde_derive stub emitted invalid Rust")
+        }
+        Err(msg) => format!("compile_error!(\"derive(Serialize) stub: {msg}\");").parse().unwrap(),
+    }
+}
+
+/// Extracts `(struct_name, field_names)` from a derive input token stream.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let struct_pos = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "struct"))
+        .ok_or_else(|| "only structs are supported".to_string())?;
+    let name = match tokens.get(struct_pos + 1) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("missing struct name".to_string()),
+    };
+    match tokens.get(struct_pos + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, parse_fields(g.stream())?))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("generic structs are not supported".to_string())
+        }
+        _ => Err("expected named fields (tuple/unit structs unsupported)".to_string()),
+    }
+}
+
+/// Splits a brace-group body on top-level commas and takes the identifier
+/// preceding each field's `:`.
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut flush = |chunk: &mut Vec<TokenTree>| -> Result<(), String> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let colon = chunk
+            .iter()
+            .position(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':'))
+            .ok_or_else(|| "field without type".to_string())?;
+        match colon.checked_sub(1).map(|i| &chunk[i]) {
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            _ => return Err("unsupported field syntax".to_string()),
+        }
+        chunk.clear();
+        Ok(())
+    };
+    for token in body {
+        match token {
+            TokenTree::Punct(ref p) if p.as_char() == ',' => flush(&mut current)?,
+            other => current.push(other),
+        }
+    }
+    flush(&mut current)?;
+    Ok(fields)
+}

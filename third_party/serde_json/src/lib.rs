@@ -1,0 +1,166 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders the serde stub's [`serde::Value`] tree as JSON text.
+
+use std::fmt::Write as _;
+
+use serde::{Serialize, Value};
+
+/// Serialization error, mirroring `serde_json::Error`.
+///
+/// The stub's rendering is infallible, so this is never constructed; it
+/// exists so call sites can keep serde_json's `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization result, mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders compact single-line JSON, mirroring `serde_json::to_string`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders 2-space-indented JSON, mirroring `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Keep whole floats visibly floating-point, like serde_json.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, item, ind, d| {
+                write_value(out, item, ind, d)
+            })
+        }
+        Value::Object(entries) => {
+            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |out, (k, v), ind, d| {
+                write_escaped(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, ind, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, Option<usize>, usize),
+{
+    out.push(brackets.0);
+    let count = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < count {
+            out.push(',');
+        }
+    }
+    if count > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("ds-cnn".to_string())),
+            ("acc".to_string(), Value::Float(94.5)),
+            ("ops".to_string(), Value::UInt(5_400_000)),
+            ("whole".to_string(), Value::Float(3.0)),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn serialize_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(
+            to_string(&Wrap(v)).unwrap(),
+            r#"{"name":"ds-cnn","acc":94.5,"ops":5400000,"whole":3.0}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let pretty = to_string_pretty(&vec![1u64, 2]).unwrap();
+        assert_eq!(pretty, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "a\"b\\c\nd".to_string();
+        assert_eq!(to_string(&s).unwrap(), r#""a\"b\\c\nd""#);
+    }
+}

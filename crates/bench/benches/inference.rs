@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use thnt_bonsai::{BonsaiConfig, BonsaiTree};
-use thnt_core::{HybridConfig, HybridNet, StHybridNet};
+use thnt_core::{HybridConfig, HybridNet, PackedStHybrid, StHybridNet};
 use thnt_models::{DsCnn, StDsCnn};
 use thnt_nn::{Layer, Model};
 use thnt_strassen::Strassenified;
@@ -33,6 +33,13 @@ fn bench_inference(c: &mut Criterion) {
     st_hybrid.activate_quantization();
     st_hybrid.freeze_ternary();
     group.bench_function("st_hybrid_net_frozen", |b| b.iter(|| st_hybrid.forward(&x, false)));
+
+    // The compiled deployment form: bitplane-packed ternary weights served
+    // through the word-level add-only engine.
+    let engine = PackedStHybrid::compile(&st_hybrid);
+    group.bench_function("st_hybrid_net_packed", |b| b.iter(|| engine.forward(&x)));
+    let batch = gaussian(&[8, 1, 49, 10], 0.0, 1.0, &mut rng);
+    group.bench_function("st_hybrid_net_packed_batch8", |b| b.iter(|| engine.forward(&batch)));
 
     let mut bonsai = BonsaiTree::new(
         BonsaiConfig { input_dim: 490, proj_dim: 64, depth: 2, ..Default::default() },

@@ -4,7 +4,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use thnt_dsp::{Mfcc, MfccConfig};
-use thnt_tensor::{conv2d, depthwise_conv2d, gaussian, matmul, Conv2dSpec};
+use thnt_strassen::{ternary_values, PackedTernary};
+use thnt_tensor::{conv2d, depthwise_conv2d, gaussian, matmul, matmul_nt, matvec, Conv2dSpec};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
@@ -45,6 +46,35 @@ fn bench_conv(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_packed(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    // Ternary matvec kernels at the tree/dense layer scale.
+    let mut group = c.benchmark_group("ternary_matvec_256x256");
+    let w = ternary_values(&gaussian(&[256, 256], 0.0, 1.0, &mut rng)).values;
+    let packed = PackedTernary::from_tensor(&w);
+    let x = gaussian(&[256], 0.0, 1.0, &mut rng);
+    group.bench_function("dense_f32", |b| b.iter(|| matvec(&w, &x)));
+    group.bench_function("packed_per_entry", |b| b.iter(|| packed.matvec_per_entry(x.data())));
+    group.bench_function("packed_word", |b| b.iter(|| packed.matvec(x.data())));
+    group.finish();
+
+    // Batched activations: the engine's dense-layer hot path.
+    let mut group = c.benchmark_group("ternary_matmul_64x256x256");
+    let xb = gaussian(&[64, 256], 0.0, 1.0, &mut rng);
+    group.bench_function("dense_f32", |b| b.iter(|| matmul_nt(&xb, &w)));
+    group.bench_function("packed_word", |b| b.iter(|| packed.matmul(&xb)));
+    group.finish();
+
+    // Column-matrix form: the engine's conv hot path (W · im2col).
+    let mut group = c.benchmark_group("ternary_matmul_rhs_48x40x1250");
+    let wc = ternary_values(&gaussian(&[48, 40], 0.0, 1.0, &mut rng)).values;
+    let pc = PackedTernary::from_tensor(&wc);
+    let m = gaussian(&[40, 1250], 0.0, 1.0, &mut rng);
+    group.bench_function("dense_f32", |b| b.iter(|| matmul(&wc, &m)));
+    group.bench_function("packed_word", |b| b.iter(|| pc.matmul_rhs(&m)));
+    group.finish();
+}
+
 fn bench_mfcc(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
     let audio: Vec<f32> = (0..16_000)
@@ -64,6 +94,6 @@ fn bench_mfcc(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv, bench_mfcc
+    targets = bench_matmul, bench_conv, bench_packed, bench_mfcc
 }
 criterion_main!(kernels);

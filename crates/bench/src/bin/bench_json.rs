@@ -1,0 +1,92 @@
+//! Machine-readable kernel timings for CI and the README bench table.
+//!
+//! Times the dense-vs-packed ternary kernels plus end-to-end hybrid
+//! inference and writes `BENCH_kernels.json` to the working directory — a
+//! flat list of `{name, iters, mean_ns, median_ns}` rows that CI can diff
+//! and dashboards can ingest without parsing criterion output.
+//!
+//! Iteration counts scale with `THNT_PROFILE` (`smoke` keeps the whole run
+//! under a few seconds; the default profile measures long enough for stable
+//! medians).
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use thnt_core::{HybridConfig, PackedStHybrid, StHybridNet};
+use thnt_nn::Model;
+use thnt_strassen::{ternary_values, PackedTernary, Strassenified};
+use thnt_tensor::{gaussian, matmul_nt, matvec};
+
+/// One timed kernel.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRow {
+    name: String,
+    iters: usize,
+    mean_ns: f64,
+    median_ns: f64,
+}
+
+/// Times `f` for `iters` iterations after `iters / 10 + 1` warmup runs.
+fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
+    for _ in 0..iters / 10 + 1 {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    println!("{name:<42} {median:>12.0} ns (median of {iters})");
+    BenchRow { name: name.to_string(), iters, mean_ns: mean, median_ns: median }
+}
+
+fn main() {
+    let smoke = matches!(std::env::var("THNT_PROFILE").as_deref(), Ok("smoke") | Ok("SMOKE"));
+    let (kernel_iters, e2e_iters) = if smoke { (50, 3) } else { (400, 20) };
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut rows = Vec::new();
+
+    // Ternary matvec: dense f32 vs per-entry decode vs word-level bitplanes.
+    let w = ternary_values(&gaussian(&[256, 256], 0.0, 1.0, &mut rng)).values;
+    let packed = PackedTernary::from_tensor(&w);
+    let x = gaussian(&[256], 0.0, 1.0, &mut rng);
+    rows.push(time("matvec_256x256/dense_f32", kernel_iters, || matvec(&w, &x)));
+    rows.push(time("matvec_256x256/packed_per_entry", kernel_iters, || {
+        packed.matvec_per_entry(x.data())
+    }));
+    rows.push(time("matvec_256x256/packed_word", kernel_iters, || packed.matvec(x.data())));
+
+    // Batched activations.
+    let xb = gaussian(&[64, 256], 0.0, 1.0, &mut rng);
+    rows.push(time("matmul_64x256x256/dense_f32", kernel_iters, || matmul_nt(&xb, &w)));
+    rows.push(time("matmul_64x256x256/packed_word", kernel_iters, || packed.matmul(&xb)));
+
+    // End-to-end: frozen dense forward vs the compiled packed engine.
+    let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+    net.activate_quantization();
+    net.freeze_ternary();
+    let engine = PackedStHybrid::compile(&net);
+    let clip = gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
+    rows.push(time("st_hybrid_1clip/dense_frozen", e2e_iters, || net.forward(&clip, false)));
+    rows.push(time("st_hybrid_1clip/packed_engine", e2e_iters, || engine.forward(&clip)));
+
+    // Sanity: the two paths must agree before the numbers mean anything.
+    let dense = net.forward(&clip, false);
+    let fast = engine.forward(&clip);
+    let max_err =
+        dense.data().iter().zip(fast.data()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+    assert!(max_err < 1e-4, "packed engine diverged from dense path: {max_err}");
+
+    let json = serde_json::to_string_pretty(&rows).expect("serialize bench rows");
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    println!(
+        "\n{} rows written to BENCH_kernels.json (max packed-vs-dense error {max_err:.2e})",
+        rows.len()
+    );
+}

@@ -92,6 +92,31 @@ impl StrassenBonsai {
         self.sharpness = s;
     }
 
+    /// Current branching sharpness (annealed during training).
+    pub fn branch_sharpness(&self) -> f32 {
+        self.sharpness
+    }
+
+    /// The projection SPN `Z` — read by the packed inference compiler.
+    pub fn projection(&self) -> &StrassenDense {
+        &self.z
+    }
+
+    /// The internal nodes' branching SPNs `θ`, in breadth-first node order.
+    pub fn branch_nodes(&self) -> &[StrassenDense] {
+        &self.theta
+    }
+
+    /// Every node's score SPN `W`, in breadth-first node order.
+    pub fn score_nodes(&self) -> &[StrassenDense] {
+        &self.w
+    }
+
+    /// Every node's gating SPN `V`, in breadth-first node order.
+    pub fn gate_nodes(&self) -> &[StrassenDense] {
+        &self.v
+    }
+
     /// Sets the TWN threshold factor on every SPN in the tree.
     pub fn set_ternary_threshold(&mut self, factor: f32) {
         for l in self.sublayers_mut() {

@@ -1,0 +1,848 @@
+//! The packed add-only inference engine — the deployment form of a trained
+//! [`StHybridNet`].
+//!
+//! Training keeps every strassenified layer's ternary matrices as `f32`
+//! tensors so the straight-through estimator can update their
+//! full-precision shadows. At deployment none of that machinery is needed:
+//! once a model is **frozen** (phase 3), its `W_b`/`W_c` matrices are
+//! genuinely ternary, and this module compiles them into
+//! [`thnt_strassen::PackedTernary`] bitplanes executed with the word-level
+//! add-only kernels:
+//!
+//! * [`PackedDense`] / [`PackedConv2d`] / [`PackedDepthwise2d`] — compiled
+//!   strassenified layers: a packed `W_b` application, the `r` true
+//!   multiplications by `â`, and a packed `W_c` combination,
+//! * [`PackedStStack`] — a compiled front-end: batch-norm layers fold into
+//!   per-channel affines, ReLU and global-average-pool carry over,
+//! * [`PackedBonsai`] — the compiled tree head: every node SPN packed,
+//!   routing identical to the trained [`thnt_bonsai::StrassenBonsai`],
+//! * [`PackedStHybrid`] — the whole model: [`PackedStHybrid::compile`] takes
+//!   a frozen [`StHybridNet`] and serves batched inference through
+//!   [`PackedStHybrid::forward`], matching the dense forward path to ~1e-4
+//!   while storing ternary weights at 2 bits each.
+//!
+//! The engine compiles the *unquantized* evaluation path: activation
+//! fake-quantization knobs ([`StHybridNet::set_activation_bits`] and
+//! friends) must be off when compiling.
+
+use thnt_bonsai::{StrassenBonsai, TreeTopology};
+use thnt_nn::BatchNorm2d;
+use thnt_strassen::{
+    PackedTernary, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDense, StrassenDepthwise2d,
+    Strassenified,
+};
+use thnt_tensor::{global_avg_pool, im2col, Conv2dSpec, Tensor};
+
+use crate::st_hybrid::StHybridNet;
+
+/// A compiled strassenified dense layer:
+/// `y = W_c · (â ⊙ (W_b · x)) + bias` with both ternary matrices packed.
+#[derive(Debug, Clone)]
+pub struct PackedDense {
+    wb: PackedTernary,
+    a_hat: Vec<f32>,
+    wc: PackedTernary,
+    bias: Vec<f32>,
+}
+
+impl PackedDense {
+    /// Compiles a frozen [`StrassenDense`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's weights are not ternary-valued (i.e. it was
+    /// never frozen).
+    pub fn compile(layer: &StrassenDense) -> Self {
+        Self {
+            wb: PackedTernary::from_tensor(layer.wb_values()),
+            a_hat: layer.a_hat_values().data().to_vec(),
+            wc: PackedTernary::from_tensor(layer.wc_values()),
+            bias: layer.bias_values().data().to_vec(),
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Batched forward: `[n, in] → [n, out]`. The only multiplications are
+    /// the `r` per-sample products with `â`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in_dim]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        let r = self.a_hat.len();
+        let mut hidden = self.wb.matmul(x);
+        {
+            let hd = hidden.data_mut();
+            for s in 0..n {
+                for (k, &a) in self.a_hat.iter().enumerate() {
+                    hd[s * r + k] *= a;
+                }
+            }
+        }
+        let mut y = self.wc.matmul(&hidden);
+        {
+            let out = self.bias.len();
+            let yd = y.data_mut();
+            for s in 0..n {
+                for (o, &b) in self.bias.iter().enumerate() {
+                    yd[s * out + o] += b;
+                }
+            }
+        }
+        y
+    }
+
+    /// Additions/subtractions executed per input sample.
+    pub fn adds_per_sample(&self) -> usize {
+        self.wb.add_count() + self.wc.add_count()
+    }
+
+    /// Packed weight storage in bytes (bitplanes + `â` + bias as f32).
+    pub fn packed_bytes(&self) -> usize {
+        self.wb.packed_bytes() + self.wc.packed_bytes() + (self.a_hat.len() + self.bias.len()) * 4
+    }
+}
+
+/// A compiled strassenified standard convolution.
+#[derive(Debug, Clone)]
+pub struct PackedConv2d {
+    /// Packed `[r, ic·kh·kw]` ternary conv weights applied to im2col patches.
+    wb: PackedTernary,
+    a_hat: Vec<f32>,
+    /// Packed `[oc, r]` ternary 1×1 combination.
+    wc: PackedTernary,
+    bias: Vec<f32>,
+    spec: Conv2dSpec,
+}
+
+impl PackedConv2d {
+    /// Compiles a frozen [`StrassenConv2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's weights are not ternary-valued, or if its
+    /// hidden-activation fake-quantization is enabled (the engine compiles
+    /// the unquantized evaluation path).
+    pub fn compile(layer: &StrassenConv2d) -> Self {
+        assert!(
+            layer.hidden_bits().is_none(),
+            "packed engine compiles the unquantized path; disable hidden_bits first"
+        );
+        let wb = layer.wb_values();
+        let r = wb.dims()[0];
+        let k = wb.numel() / r;
+        Self {
+            wb: PackedTernary::from_tensor(&wb.reshape(&[r, k])),
+            a_hat: layer.a_hat_values().data().to_vec(),
+            wc: PackedTernary::from_tensor(layer.wc_values()),
+            bias: layer.bias_values().data().to_vec(),
+            spec: *layer.spec(),
+        }
+    }
+
+    /// Forward: `[n, ic, h, w] → [n, oc, oh, ow]` via packed
+    /// `W_b · im2col(x)`, the `â` channel scale, and packed `W_c`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, _, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let r = self.a_hat.len();
+        let oc = self.bias.len();
+        let mut y = Tensor::zeros(&[n, oc, oh, ow]);
+        // The hidden buffer is reused across the batch; each sample's output
+        // is written directly into its slice of `y`.
+        let mut hidden = Tensor::zeros(&[r, spatial]);
+        for s in 0..n {
+            let cols = im2col(&x.slice_batch(s), &self.spec);
+            self.wb.matmul_rhs_into(&cols, hidden.data_mut());
+            {
+                let hd = hidden.data_mut();
+                for (kk, &a) in self.a_hat.iter().enumerate() {
+                    for v in &mut hd[kk * spatial..(kk + 1) * spatial] {
+                        *v *= a;
+                    }
+                }
+            }
+            let dst = &mut y.data_mut()[s * oc * spatial..(s + 1) * oc * spatial];
+            self.wc.matmul_rhs_into(&hidden, dst);
+            for (ch, &b) in self.bias.iter().enumerate() {
+                for v in &mut dst[ch * spatial..(ch + 1) * spatial] {
+                    *v += b;
+                }
+            }
+        }
+        y
+    }
+
+    /// Additions/subtractions per input sample for an `h × w` input.
+    pub fn adds_per_sample(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.spec.out_dims(h, w);
+        (self.wb.add_count() + self.wc.add_count()) * oh * ow
+    }
+
+    /// Packed weight storage in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.wb.packed_bytes() + self.wc.packed_bytes() + (self.a_hat.len() + self.bias.len()) * 4
+    }
+}
+
+/// A compiled strassenified depthwise convolution. The per-channel kernels
+/// are tiny (`kh·kw` taps), so entries are stored as signs and executed with
+/// an add/subtract tap loop that skips zeros — still multiplication-free.
+#[derive(Debug, Clone)]
+pub struct PackedDepthwise2d {
+    /// Ternary signs of `W_b`, flattened `[c·m·kh·kw]`.
+    wb_signs: Vec<i8>,
+    a_hat: Vec<f32>,
+    /// Ternary signs of the grouped `W_c`, flattened `[c·m]`.
+    wc_signs: Vec<i8>,
+    bias: Vec<f32>,
+    spec: Conv2dSpec,
+    channels: usize,
+    multiplier: usize,
+}
+
+fn ternary_signs(t: &Tensor) -> Vec<i8> {
+    t.data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if v == 0.0 {
+                0i8
+            } else if v == 1.0 {
+                1
+            } else if v == -1.0 {
+                -1
+            } else {
+                panic!("non-ternary value {v} at index {i}");
+            }
+        })
+        .collect()
+}
+
+impl PackedDepthwise2d {
+    /// Compiles a frozen [`StrassenDepthwise2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's weights are not ternary-valued, or if its
+    /// hidden-activation fake-quantization is enabled.
+    pub fn compile(layer: &StrassenDepthwise2d) -> Self {
+        assert!(
+            layer.hidden_bits().is_none(),
+            "packed engine compiles the unquantized path; disable hidden_bits first"
+        );
+        Self {
+            wb_signs: ternary_signs(layer.wb_values()),
+            a_hat: layer.a_hat_values().data().to_vec(),
+            wc_signs: ternary_signs(layer.wc_values()),
+            bias: layer.bias_values().data().to_vec(),
+            spec: *layer.spec(),
+            channels: layer.channels(),
+            multiplier: layer.multiplier(),
+        }
+    }
+
+    /// Forward: `[n, c, h, w] → [n, c, oh, ow]`, additions only plus the
+    /// `c·m` true multiplications by `â` per output position.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (c, m) = (self.channels, self.multiplier);
+        assert_eq!(x.dims()[1], c, "PackedDepthwise channel mismatch");
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let (kh, kw) = (self.spec.kh, self.spec.kw);
+        let xd = x.data();
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        let yd = y.data_mut();
+        let mut hidden = vec![0.0f32; spatial];
+        for s in 0..n {
+            for ch in 0..c {
+                let img = &xd[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+                let dst = &mut yd[(s * c + ch) * spatial..(s * c + ch + 1) * spatial];
+                dst.fill(self.bias[ch]);
+                for j in 0..m {
+                    let hc = ch * m + j;
+                    let wcv = self.wc_signs[hc];
+                    if wcv == 0 {
+                        continue;
+                    }
+                    // Hidden channel: ternary depthwise taps, zeros skipped.
+                    hidden.fill(0.0);
+                    let taps = &self.wb_signs[hc * kh * kw..(hc + 1) * kh * kw];
+                    for ki in 0..kh {
+                        for kj in 0..kw {
+                            let sign = taps[ki * kw + kj];
+                            if sign == 0 {
+                                continue;
+                            }
+                            for oy in 0..oh {
+                                let iy = (oy * self.spec.stride_h + ki) as isize
+                                    - self.spec.pad_top as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let src_row = iy as usize * w;
+                                for ox in 0..ow {
+                                    let ix = (ox * self.spec.stride_w + kj) as isize
+                                        - self.spec.pad_left as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let v = img[src_row + ix as usize];
+                                    if sign > 0 {
+                                        hidden[oy * ow + ox] += v;
+                                    } else {
+                                        hidden[oy * ow + ox] -= v;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // `â` scale, then the ±1 group combine.
+                    let a = self.a_hat[hc];
+                    if wcv > 0 {
+                        for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
+                            *d += a * v;
+                        }
+                    } else {
+                        for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
+                            *d -= a * v;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Additions/subtractions per input sample for an `h × w` input,
+    /// counting exactly what [`Self::forward`] executes: hidden channels
+    /// whose `W_c` sign is zero are skipped wholesale, and border-clipped
+    /// taps contribute nothing.
+    pub fn adds_per_sample(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let (kh, kw) = (self.spec.kh, self.spec.kw);
+        // Valid output positions per tap row/column offset.
+        let valid_y: Vec<usize> = (0..kh)
+            .map(|ki| {
+                (0..oh)
+                    .filter(|oy| {
+                        let iy =
+                            (oy * self.spec.stride_h + ki) as isize - self.spec.pad_top as isize;
+                        iy >= 0 && iy < h as isize
+                    })
+                    .count()
+            })
+            .collect();
+        let valid_x: Vec<usize> = (0..kw)
+            .map(|kj| {
+                (0..ow)
+                    .filter(|ox| {
+                        let ix =
+                            (ox * self.spec.stride_w + kj) as isize - self.spec.pad_left as isize;
+                        ix >= 0 && ix < w as isize
+                    })
+                    .count()
+            })
+            .collect();
+        let mut total = 0usize;
+        for (hc, &wcv) in self.wc_signs.iter().enumerate() {
+            if wcv == 0 {
+                continue;
+            }
+            let taps = &self.wb_signs[hc * kh * kw..(hc + 1) * kh * kw];
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    if taps[ki * kw + kj] != 0 {
+                        total += valid_y[ki] * valid_x[kj];
+                    }
+                }
+            }
+            // The ±1 combine of this hidden channel into the output.
+            total += oh * ow;
+        }
+        total
+    }
+
+    /// Packed weight storage in bytes, accounting signs at 2 bits each.
+    pub fn packed_bytes(&self) -> usize {
+        (self.wb_signs.len() + self.wc_signs.len()).div_ceil(4)
+            + (self.a_hat.len() + self.bias.len()) * 4
+    }
+}
+
+/// A folded batch-norm: per-channel `y = scale ⊙ x + shift` over
+/// `[n, c, h, w]`.
+#[derive(Debug, Clone)]
+pub struct ChannelAffine {
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl ChannelAffine {
+    /// Folds a [`BatchNorm2d`]'s running statistics into scale/shift form.
+    pub fn from_batch_norm(bn: &BatchNorm2d) -> Self {
+        let (scale, shift) = bn.fold_factors();
+        Self { scale, shift }
+    }
+
+    /// Applies the affine in place.
+    pub fn forward_in_place(&self, x: &mut Tensor) {
+        let (n, c) = (x.dims()[0], x.dims()[1]);
+        let plane = x.numel() / (n * c).max(1);
+        let xd = x.data_mut();
+        for s in 0..n {
+            for ch in 0..c {
+                let (sc, sh) = (self.scale[ch], self.shift[ch]);
+                let start = (s * c + ch) * plane;
+                for v in &mut xd[start..start + plane] {
+                    *v = sc * *v + sh;
+                }
+            }
+        }
+    }
+}
+
+/// One compiled layer of the front-end stack.
+#[derive(Debug, Clone)]
+pub enum PackedLayer {
+    /// Compiled strassenified standard convolution.
+    Conv(PackedConv2d),
+    /// Compiled strassenified depthwise convolution.
+    Depthwise(PackedDepthwise2d),
+    /// Compiled strassenified dense layer.
+    Dense(PackedDense),
+    /// Folded batch normalisation.
+    Affine(ChannelAffine),
+    /// ReLU activation.
+    Relu,
+    /// Global average pooling `[n, c, h, w] → [n, c]`.
+    GlobalAvgPool,
+}
+
+/// A compiled [`StStack`]: the deployable front-end.
+#[derive(Debug, Clone, Default)]
+pub struct PackedStStack {
+    layers: Vec<PackedLayer>,
+}
+
+impl PackedStStack {
+    /// Compiles a frozen stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any strassenified layer is not frozen-ternary, or if the
+    /// stack's activation fake-quantization is enabled.
+    pub fn compile(stack: &StStack) -> Self {
+        assert!(
+            stack.activation_bits().is_none(),
+            "packed engine compiles the unquantized path; disable activation_bits first"
+        );
+        let layers = stack
+            .layers()
+            .iter()
+            .map(|l| match l {
+                StLayer::Conv(c) => PackedLayer::Conv(PackedConv2d::compile(c)),
+                StLayer::Depthwise(d) => PackedLayer::Depthwise(PackedDepthwise2d::compile(d)),
+                StLayer::Dense(f) => PackedLayer::Dense(PackedDense::compile(f)),
+                StLayer::BatchNorm(bn) => PackedLayer::Affine(ChannelAffine::from_batch_norm(bn)),
+                StLayer::Relu(_) => PackedLayer::Relu,
+                StLayer::GlobalAvgPool(_) => PackedLayer::GlobalAvgPool,
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The compiled layers.
+    pub fn layers(&self) -> &[PackedLayer] {
+        &self.layers
+    }
+
+    /// Batched inference through the whole stack.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for l in &self.layers {
+            cur = match l {
+                PackedLayer::Conv(c) => c.forward(&cur),
+                PackedLayer::Depthwise(d) => d.forward(&cur),
+                PackedLayer::Dense(f) => f.forward(&cur),
+                PackedLayer::Affine(a) => {
+                    a.forward_in_place(&mut cur);
+                    cur
+                }
+                PackedLayer::Relu => {
+                    cur.map_in_place(|v| v.max(0.0));
+                    cur
+                }
+                PackedLayer::GlobalAvgPool => global_avg_pool(&cur),
+            };
+        }
+        cur
+    }
+}
+
+/// The compiled strassenified Bonsai tree head.
+#[derive(Debug, Clone)]
+pub struct PackedBonsai {
+    z: PackedDense,
+    theta: Vec<PackedDense>,
+    w: Vec<PackedDense>,
+    v: Vec<PackedDense>,
+    topo: TreeTopology,
+    sharpness: f32,
+    sigma: f32,
+    num_classes: usize,
+}
+
+impl PackedBonsai {
+    /// Compiles a frozen [`StrassenBonsai`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node SPN is not frozen-ternary.
+    pub fn compile(tree: &StrassenBonsai) -> Self {
+        Self {
+            z: PackedDense::compile(tree.projection()),
+            theta: tree.branch_nodes().iter().map(PackedDense::compile).collect(),
+            w: tree.score_nodes().iter().map(PackedDense::compile).collect(),
+            v: tree.gate_nodes().iter().map(PackedDense::compile).collect(),
+            topo: *tree.topology(),
+            sharpness: tree.branch_sharpness(),
+            sigma: tree.config().sigma,
+            num_classes: tree.config().num_classes,
+        }
+    }
+
+    /// Batched inference: `[n, D] → [n, L]`, identical routing to the
+    /// trained tree's evaluation path.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        let l = self.num_classes;
+        let zhat = self.z.forward(x);
+        let num_nodes = self.topo.num_nodes();
+        let mut probs = vec![vec![0.0f32; n]; num_nodes];
+        probs[0] = vec![1.0; n];
+        for (j, theta) in self.theta.iter().enumerate() {
+            let u = theta.forward(&zhat);
+            let (lc, rc) = (self.topo.left(j), self.topo.right(j));
+            for s in 0..n {
+                let g = 1.0 / (1.0 + (-self.sharpness * u.data()[s]).exp());
+                probs[lc][s] = probs[j][s] * (1.0 - g);
+                probs[rc][s] = probs[j][s] * g;
+            }
+        }
+        let mut y = Tensor::zeros(&[n, l]);
+        for k in 0..num_nodes {
+            let a = self.w[k].forward(&zhat);
+            let t = self.v[k].forward(&zhat).map(|b| (self.sigma * b).tanh());
+            let yd = y.data_mut();
+            for s in 0..n {
+                let p = probs[k][s];
+                for c in 0..l {
+                    yd[s * l + c] += p * a.data()[s * l + c] * t.data()[s * l + c];
+                }
+            }
+        }
+        y
+    }
+
+    fn sublayers(&self) -> impl Iterator<Item = &PackedDense> {
+        std::iter::once(&self.z).chain(self.theta.iter()).chain(self.w.iter()).chain(self.v.iter())
+    }
+}
+
+/// The whole compiled model: packed front-end plus packed tree.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use thnt_core::{engine::PackedStHybrid, HybridConfig, StHybridNet};
+/// use thnt_nn::Model;
+/// use thnt_strassen::Strassenified;
+/// use thnt_tensor::Tensor;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let cfg = HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, tree_depth: 1,
+///                          ..HybridConfig::paper() };
+/// let mut net = StHybridNet::new(cfg, &mut rng);
+/// net.activate_quantization();
+/// net.freeze_ternary();
+/// let engine = PackedStHybrid::compile(&net);
+/// let x = Tensor::zeros(&[2, 1, 49, 10]);
+/// let packed = engine.forward(&x);
+/// let dense = net.forward(&x, false);
+/// thnt_tensor::assert_close(packed.data(), dense.data(), 1e-4, 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedStHybrid {
+    front: PackedStStack,
+    tree: PackedBonsai,
+}
+
+impl PackedStHybrid {
+    /// Compiles a **frozen** [`StHybridNet`] into its packed deployment
+    /// form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not in [`QuantMode::Frozen`] (earlier phases
+    /// carry full-precision or scaled-ternary weights that cannot pack), or
+    /// if any activation fake-quantization knob is enabled.
+    pub fn compile(net: &StHybridNet) -> Self {
+        assert_eq!(
+            net.mode(),
+            QuantMode::Frozen,
+            "packed compilation requires a frozen network (run freeze_ternary first)"
+        );
+        Self { front: PackedStStack::compile(net.front()), tree: PackedBonsai::compile(net.tree()) }
+    }
+
+    /// Batched inference: `[n, 1, 49, 10] → [n, L]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.tree.forward(&self.front.forward(x))
+    }
+
+    /// The compiled front-end.
+    pub fn front(&self) -> &PackedStStack {
+        &self.front
+    }
+
+    /// The compiled tree head.
+    pub fn tree(&self) -> &PackedBonsai {
+        &self.tree
+    }
+
+    /// Exact additions/subtractions per sample for the paper's `49 × 10`
+    /// MFCC input — the measured counterpart of the analytic
+    /// [`StHybridNet::cost_report`].
+    pub fn adds_per_sample(&self) -> usize {
+        let (mut h, mut w) = (49usize, 10usize);
+        let mut total = 0usize;
+        for l in &self.front.layers {
+            match l {
+                PackedLayer::Conv(c) => {
+                    total += c.adds_per_sample(h, w);
+                    let (oh, ow) = c.spec.out_dims(h, w);
+                    (h, w) = (oh, ow);
+                }
+                PackedLayer::Depthwise(d) => {
+                    total += d.adds_per_sample(h, w);
+                    let (oh, ow) = d.spec.out_dims(h, w);
+                    (h, w) = (oh, ow);
+                }
+                PackedLayer::Dense(f) => total += f.adds_per_sample(),
+                _ => {}
+            }
+        }
+        total + self.tree.sublayers().map(PackedDense::adds_per_sample).sum::<usize>()
+    }
+
+    /// Packed model size in bytes (ternary weights at 2 bits plus the
+    /// full-precision `â`/bias/affine vectors).
+    pub fn packed_bytes(&self) -> usize {
+        let front: usize = self
+            .front
+            .layers
+            .iter()
+            .map(|l| match l {
+                PackedLayer::Conv(c) => c.packed_bytes(),
+                PackedLayer::Depthwise(d) => d.packed_bytes(),
+                PackedLayer::Dense(f) => f.packed_bytes(),
+                PackedLayer::Affine(a) => (a.scale.len() + a.shift.len()) * 4,
+                _ => 0,
+            })
+            .sum();
+        front + self.tree.sublayers().map(PackedDense::packed_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use thnt_nn::Model;
+
+    fn frozen_net(seed: u64) -> StHybridNet {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = StHybridNet::new(
+            HybridConfig {
+                ds_blocks: 1,
+                width: 8,
+                proj_dim: 6,
+                tree_depth: 1,
+                ..HybridConfig::paper()
+            },
+            &mut rng,
+        );
+        net.activate_quantization();
+        net.freeze_ternary();
+        net
+    }
+
+    #[test]
+    fn packed_dense_matches_dense_layer() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut layer = StrassenDense::new(10, 7, 5, &mut rng);
+        layer.activate_quantization();
+        layer.freeze_ternary();
+        let x = thnt_tensor::gaussian(&[3, 10], 0.0, 1.0, &mut rng);
+        let want = thnt_nn::Layer::forward(&mut layer, &x, false);
+        let got = PackedDense::compile(&layer).forward(&x);
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn packed_conv_matches_dense_layer() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = Conv2dSpec::same(9, 6, 3, 3, 2, 1);
+        let mut layer = StrassenConv2d::new(2, 4, 5, spec, &mut rng);
+        layer.activate_quantization();
+        layer.freeze_ternary();
+        let x = thnt_tensor::gaussian(&[2, 2, 9, 6], 0.0, 1.0, &mut rng);
+        let want = thnt_nn::Layer::forward(&mut layer, &x, false);
+        let got = PackedConv2d::compile(&layer).forward(&x);
+        assert_eq!(got.dims(), want.dims());
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn packed_depthwise_matches_dense_layer() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = Conv2dSpec::same(6, 5, 3, 3, 1, 1);
+        let mut layer = StrassenDepthwise2d::new(3, 2, spec, &mut rng);
+        layer.activate_quantization();
+        layer.freeze_ternary();
+        let x = thnt_tensor::gaussian(&[2, 3, 6, 5], 0.0, 1.0, &mut rng);
+        let want = thnt_nn::Layer::forward(&mut layer, &x, false);
+        let got = PackedDepthwise2d::compile(&layer).forward(&x);
+        assert_eq!(got.dims(), want.dims());
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn packed_depthwise_rejects_channel_mismatch() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let spec = Conv2dSpec::same(6, 5, 3, 3, 1, 1);
+        let mut layer = StrassenDepthwise2d::new(3, 2, spec, &mut rng);
+        layer.activate_quantization();
+        layer.freeze_ternary();
+        PackedDepthwise2d::compile(&layer).forward(&Tensor::zeros(&[1, 4, 6, 5]));
+    }
+
+    #[test]
+    fn depthwise_adds_count_only_executed_taps() {
+        // One channel, multiplier 1, 3×3 kernel with same-padding on a 4×4
+        // input: a wc of 0 must zero the count; a corner tap only fires on
+        // the positions where it is in bounds.
+        let spec = Conv2dSpec::same(4, 4, 3, 3, 1, 1);
+        let layer = PackedDepthwise2d {
+            wb_signs: vec![1, 0, 0, 0, 0, 0, 0, 0, 0], // top-left tap only
+            a_hat: vec![1.0],
+            wc_signs: vec![1],
+            bias: vec![0.0],
+            spec,
+            channels: 1,
+            multiplier: 1,
+        };
+        // Tap (0,0) with pad 1 is valid on 3 of 4 rows and 3 of 4 cols,
+        // plus 16 combine adds for the active hidden channel.
+        assert_eq!(layer.adds_per_sample(4, 4), 3 * 3 + 16);
+        let zeroed = PackedDepthwise2d { wc_signs: vec![0], ..layer };
+        assert_eq!(zeroed.adds_per_sample(4, 4), 0);
+    }
+
+    #[test]
+    fn compiled_hybrid_matches_dense_forward() {
+        let mut net = frozen_net(3);
+        let engine = PackedStHybrid::compile(&net);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x = thnt_tensor::gaussian(&[3, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let want = net.forward(&x, false);
+        let got = engine.forward(&x);
+        assert_eq!(got.dims(), want.dims());
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn compiled_paper_config_matches_dense_forward() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        net.activate_quantization();
+        net.freeze_ternary();
+        let engine = PackedStHybrid::compile(&net);
+        let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let want = net.forward(&x, false);
+        let got = engine.forward(&x);
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn compile_rejects_unfrozen_network() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = StHybridNet::new(
+            HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, ..HybridConfig::paper() },
+            &mut rng,
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PackedStHybrid::compile(&net)
+        }));
+        assert!(r.is_err(), "compile must reject a full-precision network");
+    }
+
+    #[test]
+    fn add_count_stays_within_analytic_budget() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        net.activate_quantization();
+        net.freeze_ternary();
+        let engine = PackedStHybrid::compile(&net);
+        let measured = engine.adds_per_sample() as u64;
+        let analytic = net.cost_report().adds;
+        // The analytic model is a dense upper bound (it counts every ternary
+        // entry as an addition); the measured count skips zeros.
+        assert!(measured <= analytic, "measured {measured} > analytic {analytic}");
+        assert!(measured * 4 > analytic, "measured {measured} implausibly low vs {analytic}");
+    }
+
+    #[test]
+    fn packed_model_is_smaller_than_f32() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+        net.activate_quantization();
+        net.freeze_ternary();
+        let engine = PackedStHybrid::compile(&net);
+        let packed_kb = engine.packed_bytes() as f64 / 1024.0;
+        // Paper Table 4 territory: ~15KB packed vs ~60KB dense f32.
+        assert!(packed_kb < 25.0, "packed model {packed_kb:.2} KB");
+    }
+
+    #[test]
+    fn batch_inference_is_consistent_with_single_sample() {
+        let net = frozen_net(9);
+        let engine = PackedStHybrid::compile(&net);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let batch = thnt_tensor::gaussian(&[4, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let all = engine.forward(&batch);
+        for s in 0..4 {
+            let one = batch.slice_batch(s);
+            let single =
+                engine.forward(&one.reshape(&[1, one.dims()[0], one.dims()[1], one.dims()[2]]));
+            thnt_tensor::assert_close(
+                single.data(),
+                &all.data()[s * all.dims()[1]..(s + 1) * all.dims()[1]],
+                1e-5,
+                1e-5,
+            );
+        }
+    }
+}

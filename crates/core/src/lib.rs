@@ -16,7 +16,10 @@
 //!   knowledge distillation from the uncompressed hybrid.
 //!
 //! On top of the models, [`experiments`] drives every table of the paper's
-//! evaluation (Tables 1–7) and [`describe`] renders Figure 1.
+//! evaluation (Tables 1–7) and [`describe`] renders Figure 1. The [`engine`]
+//! module compiles a frozen [`StHybridNet`] into its deployment form:
+//! bitplane-packed ternary weights (2 bits each) executed with word-level
+//! add-only kernels ([`PackedStHybrid`]).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 
 pub mod config;
 pub mod describe;
+pub mod engine;
 pub mod experiments;
 pub mod hybrid;
 pub mod st_hybrid;
@@ -46,6 +50,9 @@ pub mod train;
 
 pub use config::HybridConfig;
 pub use describe::describe_hybrid;
+pub use engine::{
+    PackedBonsai, PackedConv2d, PackedDense, PackedDepthwise2d, PackedStHybrid, PackedStStack,
+};
 pub use experiments::{ExperimentProfile, Profile};
 pub use hybrid::HybridNet;
 pub use st_hybrid::StHybridNet;

@@ -171,6 +171,12 @@ impl StHybridNet {
         out
     }
 
+    /// The front-end stack — read by the packed inference compiler
+    /// ([`crate::engine`]).
+    pub fn front(&self) -> &StStack {
+        &self.front
+    }
+
     /// Mutable access to the front-end stack (for inspection in tests).
     pub fn front_mut(&mut self) -> &mut StStack {
         &mut self.front

@@ -106,6 +106,11 @@ impl StrassenConv2d {
         self.hidden_bits = bits;
     }
 
+    /// Current hidden-activation quantization setting.
+    pub fn hidden_bits(&self) -> Option<u8> {
+        self.hidden_bits
+    }
+
     /// Sets the TWN threshold factor (default 0.7) — the §6 additions knob.
     ///
     /// # Panics
@@ -114,6 +119,32 @@ impl StrassenConv2d {
     pub fn set_ternary_threshold(&mut self, factor: f32) {
         assert!(factor.is_finite() && factor > 0.0, "threshold must be positive");
         self.threshold_factor = factor;
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.wb.value.dims()[1]
+    }
+
+    /// The `W_b` convolution weights `[r, ic, kh, kw]` (ternary once frozen)
+    /// — read by the packed inference compiler.
+    pub fn wb_values(&self) -> &Tensor {
+        &self.wb.value
+    }
+
+    /// The collapsed full-precision `â` vector.
+    pub fn a_hat_values(&self) -> &Tensor {
+        &self.a_hat.value
+    }
+
+    /// The `W_c` combination weights `[oc, r]` (ternary once frozen).
+    pub fn wc_values(&self) -> &Tensor {
+        &self.wc.value
+    }
+
+    /// The bias vector.
+    pub fn bias_values(&self) -> &Tensor {
+        &self.bias.value
     }
 
     fn effective(&self, p: &Param) -> Tensor {
@@ -330,11 +361,47 @@ impl StrassenDepthwise2d {
         self.channels
     }
 
+    /// Hidden channel multiplier `m`.
+    pub fn multiplier(&self) -> usize {
+        self.multiplier
+    }
+
+    /// Convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// The `W_b` depthwise weights `[c, m, kh, kw]` (ternary once frozen) —
+    /// read by the packed inference compiler.
+    pub fn wb_values(&self) -> &Tensor {
+        &self.wb.value
+    }
+
+    /// The collapsed full-precision `â` vector (`c·m` entries).
+    pub fn a_hat_values(&self) -> &Tensor {
+        &self.a_hat.value
+    }
+
+    /// The `W_c` grouped combination weights `[c, m]` (ternary once frozen).
+    pub fn wc_values(&self) -> &Tensor {
+        &self.wc.value
+    }
+
+    /// The bias vector.
+    pub fn bias_values(&self) -> &Tensor {
+        &self.bias.value
+    }
+
     /// Fake-quantizes the post-`W_b` hidden activations to `bits` at
     /// inference (`None` disables). The paper finds these depthwise
     /// intermediates need 16 bits to preserve accuracy (Table 6).
     pub fn set_hidden_bits(&mut self, bits: Option<u8>) {
         self.hidden_bits = bits;
+    }
+
+    /// Current hidden-activation quantization setting.
+    pub fn hidden_bits(&self) -> Option<u8> {
+        self.hidden_bits
     }
 
     /// Sets the TWN threshold factor (default 0.7) — the §6 additions knob.

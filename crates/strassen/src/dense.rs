@@ -88,6 +88,27 @@ impl StrassenDense {
         self.threshold_factor
     }
 
+    /// The `W_b` weight values (ternary once frozen) — read by the packed
+    /// inference compiler.
+    pub fn wb_values(&self) -> &Tensor {
+        &self.wb.value
+    }
+
+    /// The collapsed full-precision `â` vector.
+    pub fn a_hat_values(&self) -> &Tensor {
+        &self.a_hat.value
+    }
+
+    /// The `W_c` weight values (ternary once frozen).
+    pub fn wc_values(&self) -> &Tensor {
+        &self.wc.value
+    }
+
+    /// The bias vector.
+    pub fn bias_values(&self) -> &Tensor {
+        &self.bias.value
+    }
+
     /// The effective `W_b` for the current mode.
     fn effective_wb(&self) -> Tensor {
         match self.mode {

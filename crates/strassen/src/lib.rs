@@ -57,6 +57,6 @@ pub use cost::{format_mops, CostReport, LayerCost, OpCount};
 pub use dense::StrassenDense;
 pub use packed::PackedTernary;
 pub use schedule::{QuantMode, Strassenified, TrainingPhase};
-pub use spn::{exact_strassen_2x2, spn_matmul_2x2, StrassenSpn};
+pub use spn::{exact_strassen_2x2, spn_matmul_2x2, PackedSpn, StrassenSpn};
 pub use stack::{StLayer, StStack};
 pub use ternary::{ternarize, ternary_values, TernaryWeights};

@@ -1,32 +1,50 @@
-//! Packed 2-bit ternary storage and the add-only inference kernel.
+//! Packed ternary storage as two bitplanes and the word-level add-only
+//! inference kernels.
 //!
 //! The paper's deployment story is that ternary matrices (i) pack at 2 bits
 //! per entry — the source of the 52.2% model-size reduction — and (ii)
 //! execute with **additions and subtractions only**, no multiplications.
-//! This module makes both concrete:
+//! This module makes both concrete and fast:
 //!
-//! * [`PackedTernary`] stores a ternary matrix at 4 entries/byte,
-//! * [`PackedTernary::matvec`] computes `W·x` using only `+`/`−`
-//!   (each row accumulates `x[j]` or `−x[j]`), and
+//! * [`PackedTernary`] stores a ternary matrix as two *bitplanes* — a `+1`
+//!   mask and a `−1` mask — in row-padded `u64` words (2 bits/entry plus at
+//!   most 126 bits of padding per row),
+//! * [`PackedTernary::matvec`] computes `W·x` with `+`/`−` only, iterating
+//!   the set bits of each word (TWN ternarization leaves ~1/3 of the entries
+//!   zero, so skipping zeros word-by-word beats decoding every entry),
+//! * [`PackedTernary::matmul`] is the batched form for activations
+//!   `[n, cols]`, register-tiled over samples so each weight word is decoded
+//!   once per tile instead of once per sample,
+//! * [`PackedTernary::matmul_rhs`] is the column-matrix form used by the
+//!   packed convolution engine (`W · im2col(x)`), whose inner loop is a
+//!   contiguous slice add, and
 //! * [`PackedTernary::add_count`] reports the *exact* number of additions a
-//!   microcontroller would execute — the empirical cross-check for the
+//!   microcontroller would execute — now a per-word `count_ones()` popcount
+//!   instead of a per-entry scan — the empirical cross-check for the
 //!   analytic cost model in [`crate::cost`].
 
-use thnt_tensor::Tensor;
+use thnt_tensor::{parallel_zip_chunks, Tensor};
 
-/// Encoding of one ternary entry in two bits.
-const ENC_ZERO: u8 = 0b00;
-const ENC_PLUS: u8 = 0b01;
-const ENC_MINUS: u8 = 0b10;
+/// Bits per storage word of one bitplane.
+const WORD_BITS: usize = 64;
 
-/// A ternary matrix packed at 2 bits per entry (4 entries per byte).
+/// Samples processed together by [`PackedTernary::matmul`]: each weight word
+/// is decoded once per tile, and the tile's accumulators live in registers.
+const SAMPLE_TILE: usize = 4;
+
+/// A ternary matrix packed as two bitplanes at 2 bits per entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedTernary {
     rows: usize,
     cols: usize,
-    /// Row-major, 4 entries per byte, rows padded to byte boundaries... no:
-    /// entries are packed contiguously across the whole matrix.
-    data: Vec<u8>,
+    /// `u64` words per row of each bitplane: `cols.div_ceil(64)`. Rows are
+    /// padded to a whole word so every row starts word-aligned.
+    words_per_row: usize,
+    /// The `+1` plane: bit `c % 64` of word `r·words_per_row + c/64` is set
+    /// iff entry `(r, c)` is `+1`. Padding bits are always clear.
+    plus: Vec<u64>,
+    /// The `−1` plane, same layout. A bit is never set in both planes.
+    minus: Vec<u64>,
 }
 
 impl PackedTernary {
@@ -38,21 +56,22 @@ impl PackedTernary {
     pub fn from_tensor(t: &Tensor) -> Self {
         assert_eq!(t.shape().rank(), 2, "PackedTernary expects a 2-D tensor");
         let (rows, cols) = (t.dims()[0], t.dims()[1]);
-        let n = rows * cols;
-        let mut data = vec![0u8; n.div_ceil(4)];
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        let mut plus = vec![0u64; rows * words_per_row];
+        let mut minus = vec![0u64; rows * words_per_row];
         for (i, &v) in t.data().iter().enumerate() {
-            let code = if v == 0.0 {
-                ENC_ZERO
-            } else if v == 1.0 {
-                ENC_PLUS
+            let (r, c) = (i / cols.max(1), i % cols.max(1));
+            let w = r * words_per_row + c / WORD_BITS;
+            let bit = 1u64 << (c % WORD_BITS);
+            if v == 1.0 {
+                plus[w] |= bit;
             } else if v == -1.0 {
-                ENC_MINUS
-            } else {
+                minus[w] |= bit;
+            } else if v != 0.0 {
                 panic!("non-ternary value {v} at index {i}");
-            };
-            data[i / 4] |= code << (2 * (i % 4));
+            }
         }
-        Self { rows, cols, data }
+        Self { rows, cols, words_per_row, plus, minus }
     }
 
     /// Matrix rows.
@@ -65,9 +84,14 @@ impl PackedTernary {
         self.cols
     }
 
-    /// Packed storage in bytes.
+    /// `u64` words per row of each bitplane.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Packed storage in bytes: both bitplanes, including row padding.
     pub fn packed_bytes(&self) -> usize {
-        self.data.len()
+        (self.plus.len() + self.minus.len()) * std::mem::size_of::<u64>()
     }
 
     /// Decodes entry `(r, c)` back to `−1.0 | 0.0 | 1.0`.
@@ -77,42 +101,101 @@ impl PackedTernary {
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        let i = r * self.cols + c;
-        match (self.data[i / 4] >> (2 * (i % 4))) & 0b11 {
-            ENC_PLUS => 1.0,
-            ENC_MINUS => -1.0,
-            _ => 0.0,
+        let w = r * self.words_per_row + c / WORD_BITS;
+        let bit = 1u64 << (c % WORD_BITS);
+        if self.plus[w] & bit != 0 {
+            1.0
+        } else if self.minus[w] & bit != 0 {
+            -1.0
+        } else {
+            0.0
         }
     }
 
     /// Unpacks to a dense tensor (for verification).
     pub fn to_tensor(&self) -> Tensor {
         let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        let od = out.data_mut();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(&[r, c], self.get(r, c));
+            let base = r * self.words_per_row;
+            for w in 0..self.words_per_row {
+                let off = w * WORD_BITS;
+                let mut p = self.plus[base + w];
+                while p != 0 {
+                    od[r * self.cols + off + p.trailing_zeros() as usize] = 1.0;
+                    p &= p - 1;
+                }
+                let mut m = self.minus[base + w];
+                while m != 0 {
+                    od[r * self.cols + off + m.trailing_zeros() as usize] = -1.0;
+                    m &= m - 1;
+                }
             }
         }
         out
     }
 
-    /// Computes `y = W·x` using only additions/subtractions.
+    /// One row's add-only dot product against `x`, iterating set bits via
+    /// `trailing_zeros` so zero entries cost nothing.
+    #[inline]
+    fn row_dot(&self, r: usize, x: &[f32]) -> f32 {
+        let base = r * self.words_per_row;
+        let mut acc = 0.0f32;
+        for w in 0..self.words_per_row {
+            let off = w * WORD_BITS;
+            let mut p = self.plus[base + w];
+            while p != 0 {
+                acc += x[off + p.trailing_zeros() as usize];
+                p &= p - 1;
+            }
+            let mut m = self.minus[base + w];
+            while m != 0 {
+                acc -= x[off + m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+        }
+        acc
+    }
+
+    /// Computes `y = W·x` using only additions/subtractions, word-at-a-time.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// [`Self::matvec`] into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output length mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            *out = self.row_dot(r, x);
+        }
+    }
+
+    /// Scalar reference kernel: decodes every entry one at a time, exactly
+    /// like a naïve 2-bit unpack loop would. Kept for verification and as the
+    /// before/after baseline in the kernel benchmarks — the word-level
+    /// [`Self::matvec`] must beat it.
+    pub fn matvec_per_entry(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
         for r in 0..self.rows {
-            let base = r * self.cols;
             let mut acc = 0.0f32;
             for c in 0..self.cols {
-                let i = base + c;
-                match (self.data[i / 4] >> (2 * (i % 4))) & 0b11 {
-                    ENC_PLUS => acc += x[c],
-                    ENC_MINUS => acc -= x[c],
-                    _ => {}
+                let v = self.get(r, c);
+                if v == 1.0 {
+                    acc += x[c];
+                } else if v == -1.0 {
+                    acc -= x[c];
                 }
             }
             y[r] = acc;
@@ -120,11 +203,135 @@ impl PackedTernary {
         y
     }
 
+    /// Batched add-only matmul for activations: `Y = X · Wᵀ` with
+    /// `X: [n, cols]` row-major, returning `Y: [n, rows]`.
+    ///
+    /// Samples are distributed across threads with
+    /// [`thnt_tensor::parallel_zip_chunks`]; within a thread, samples are
+    /// processed in register tiles of [`SAMPLE_TILE`] so each weight word is
+    /// decoded once per tile and the partial sums stay in registers — the
+    /// cache-blocked hot path of the packed inference engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 2-D with `cols` columns.
+    pub fn matmul(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "packed matmul expects a 2-D activation matrix");
+        assert_eq!(x.dims()[1], self.cols, "packed matmul dimension mismatch");
+        let n = x.dims()[0];
+        let mut y = Tensor::zeros(&[n, self.rows]);
+        if n == 0 || self.rows == 0 {
+            return y;
+        }
+        let xd = x.data();
+        let (rows, cols, wpr) = (self.rows, self.cols, self.words_per_row);
+        parallel_zip_chunks(y.data_mut(), rows, |s0, chunk| {
+            let ns = chunk.len() / rows;
+            let mut s = 0;
+            while s < ns {
+                let t = (ns - s).min(SAMPLE_TILE);
+                let x0 = (s0 + s) * cols;
+                for r in 0..rows {
+                    let base = r * wpr;
+                    let mut acc = [0.0f32; SAMPLE_TILE];
+                    for w in 0..wpr {
+                        let off = w * WORD_BITS;
+                        let mut p = self.plus[base + w];
+                        while p != 0 {
+                            let j = off + p.trailing_zeros() as usize;
+                            for (ti, a) in acc.iter_mut().enumerate().take(t) {
+                                *a += xd[x0 + ti * cols + j];
+                            }
+                            p &= p - 1;
+                        }
+                        let mut m = self.minus[base + w];
+                        while m != 0 {
+                            let j = off + m.trailing_zeros() as usize;
+                            for (ti, a) in acc.iter_mut().enumerate().take(t) {
+                                *a -= xd[x0 + ti * cols + j];
+                            }
+                            m &= m - 1;
+                        }
+                    }
+                    for (ti, a) in acc.iter().enumerate().take(t) {
+                        chunk[(s + ti) * rows + r] = *a;
+                    }
+                }
+                s += t;
+            }
+        });
+        y
+    }
+
+    /// Add-only product with a column matrix: `Y = W · M` with
+    /// `M: [cols, p]` row-major, returning `Y: [rows, p]`.
+    ///
+    /// This is the kernel behind the packed convolution engine
+    /// (`M = im2col(x)`): each set bit contributes a whole contiguous row of
+    /// `M` to the output row, so the inner loop is a unit-stride slice
+    /// add/subtract. Output rows are computed in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not 2-D with `cols` rows.
+    pub fn matmul_rhs(&self, m: &Tensor) -> Tensor {
+        let mut y = Tensor::zeros(&[self.rows, m.dims().get(1).copied().unwrap_or(0)]);
+        self.matmul_rhs_into(m, y.data_mut());
+        y
+    }
+
+    /// [`Self::matmul_rhs`] into a caller-provided buffer (no allocation) —
+    /// the batch loop of the packed convolution engine writes each sample's
+    /// output directly into its slice of the batched tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not 2-D with `cols` rows or `out.len() != rows·p`.
+    pub fn matmul_rhs_into(&self, m: &Tensor, out: &mut [f32]) {
+        assert_eq!(m.shape().rank(), 2, "packed matmul_rhs expects a 2-D matrix");
+        assert_eq!(m.dims()[0], self.cols, "packed matmul_rhs dimension mismatch");
+        let p = m.dims()[1];
+        assert_eq!(out.len(), self.rows * p, "packed matmul_rhs output length mismatch");
+        out.fill(0.0);
+        if self.rows == 0 || p == 0 {
+            return;
+        }
+        let md = m.data();
+        let wpr = self.words_per_row;
+        parallel_zip_chunks(out, p, |r0, chunk| {
+            for (ri, orow) in chunk.chunks_mut(p).enumerate() {
+                let base = (r0 + ri) * wpr;
+                for w in 0..wpr {
+                    let off = w * WORD_BITS;
+                    let mut pl = self.plus[base + w];
+                    while pl != 0 {
+                        let j = off + pl.trailing_zeros() as usize;
+                        let src = &md[j * p..(j + 1) * p];
+                        for (o, &v) in orow.iter_mut().zip(src) {
+                            *o += v;
+                        }
+                        pl &= pl - 1;
+                    }
+                    let mut mi = self.minus[base + w];
+                    while mi != 0 {
+                        let j = off + mi.trailing_zeros() as usize;
+                        let src = &md[j * p..(j + 1) * p];
+                        for (o, &v) in orow.iter_mut().zip(src) {
+                            *o -= v;
+                        }
+                        mi &= mi - 1;
+                    }
+                }
+            }
+        });
+    }
+
     /// The exact number of additions/subtractions [`Self::matvec`] executes:
-    /// one per non-zero entry.
+    /// one per non-zero entry, computed with per-word popcounts.
     pub fn add_count(&self) -> usize {
-        let n = self.rows * self.cols;
-        (0..n).filter(|&i| (self.data[i / 4] >> (2 * (i % 4))) & 0b11 != ENC_ZERO).count()
+        let plus: u32 = self.plus.iter().map(|w| w.count_ones()).sum();
+        let minus: u32 = self.minus.iter().map(|w| w.count_ones()).sum();
+        (plus + minus) as usize
     }
 
     /// Fraction of zero entries.
@@ -158,12 +365,30 @@ mod tests {
     }
 
     #[test]
+    fn pack_unpack_roundtrip_across_word_boundaries() {
+        for cols in [63, 64, 65, 127, 128, 129] {
+            let t = random_ternary(3, cols, cols as u64);
+            let packed = PackedTernary::from_tensor(&t);
+            assert_eq!(packed.words_per_row(), cols.div_ceil(64));
+            assert_eq!(packed.to_tensor().data(), t.data(), "cols={cols}");
+        }
+    }
+
+    #[test]
     fn packs_at_2_bits_per_entry() {
         let t = random_ternary(64, 64, 1);
         let packed = PackedTernary::from_tensor(&t);
         assert_eq!(packed.packed_bytes(), 64 * 64 / 4);
         // 16x smaller than f32 storage.
         assert_eq!(packed.packed_bytes() * 16, 64 * 64 * 4);
+    }
+
+    #[test]
+    fn row_padding_is_bounded_by_one_word_per_plane() {
+        let t = random_ternary(5, 65, 2);
+        let packed = PackedTernary::from_tensor(&t);
+        // 65 cols need 2 words/row/plane: 5 rows × 2 words × 8 B × 2 planes.
+        assert_eq!(packed.packed_bytes(), 5 * 2 * 8 * 2);
     }
 
     #[test]
@@ -175,6 +400,31 @@ mod tests {
         let want = dense_matvec(&t, &x);
         let got = packed.matvec(x.data());
         thnt_tensor::assert_close(&got, want.data(), 1e-5, 1e-5);
+        let per_entry = packed.matvec_per_entry(x.data());
+        thnt_tensor::assert_close(&per_entry, want.data(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn batched_matmul_matches_dense() {
+        let t = random_ternary(33, 130, 4);
+        let packed = PackedTernary::from_tensor(&t);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        // 7 samples: exercises a full tile plus a ragged tail.
+        let x = thnt_tensor::gaussian(&[7, 130], 0.0, 1.0, &mut rng);
+        let want = thnt_tensor::matmul_nt(&x, &t);
+        let got = packed.matmul(&x);
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn matmul_rhs_matches_dense() {
+        let t = random_ternary(11, 70, 6);
+        let packed = PackedTernary::from_tensor(&t);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let m = thnt_tensor::gaussian(&[70, 13], 0.0, 1.0, &mut rng);
+        let want = thnt_tensor::matmul(&t, &m);
+        let got = packed.matmul_rhs(&m);
+        thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
     }
 
     #[test]
@@ -216,5 +466,26 @@ mod tests {
         let packed = PackedTernary::from_tensor(&Tensor::zeros(&[0, 5]));
         assert_eq!(packed.add_count(), 0);
         assert_eq!(packed.matvec(&[1.0; 5]).len(), 0);
+        assert_eq!(packed.matmul(&Tensor::zeros(&[3, 5])).dims(), &[3, 0]);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // 1×n row, n×1 column, and zero-column matrices all round-trip and
+        // multiply correctly.
+        let row = random_ternary(1, 90, 8);
+        let p = PackedTernary::from_tensor(&row);
+        let x: Vec<f32> = (0..90).map(|i| i as f32 * 0.25 - 10.0).collect();
+        let want = dense_matvec(&row, &Tensor::from_vec(x.clone(), &[90]));
+        thnt_tensor::assert_close(&p.matvec(&x), want.data(), 1e-5, 1e-5);
+
+        let col = random_ternary(90, 1, 9);
+        let pc = PackedTernary::from_tensor(&col);
+        let want = dense_matvec(&col, &Tensor::from_vec(vec![2.5], &[1]));
+        thnt_tensor::assert_close(&pc.matvec(&[2.5]), want.data(), 1e-5, 1e-5);
+
+        let none = PackedTernary::from_tensor(&Tensor::zeros(&[4, 0]));
+        assert_eq!(none.matvec(&[]), vec![0.0; 4]);
+        assert_eq!(none.packed_bytes(), 0);
     }
 }

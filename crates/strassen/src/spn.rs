@@ -3,6 +3,8 @@
 
 use thnt_tensor::{matvec, Tensor};
 
+use crate::packed::PackedTernary;
+
 /// A Strassen SPN: three ternary matrices realising
 /// `vec(C) = W_c [(W_b vec(B)) ⊙ (W_a vec(A))]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +33,62 @@ impl StrassenSpn {
         let hb = matvec(&self.wb, vec_b);
         let prod = &ha * &hb;
         matvec(&self.wc, &prod)
+    }
+}
+
+/// A [`StrassenSpn`] with all three ternary matrices packed as bitplanes —
+/// the deployable form: 2 bits per weight, additions only, `r` true
+/// multiplications per evaluation (the Hadamard product).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSpn {
+    /// Packed `r × numel(A)` weight-side matrix.
+    pub wa: PackedTernary,
+    /// Packed `r × numel(B)` activation-side matrix.
+    pub wb: PackedTernary,
+    /// Packed `numel(C) × r` combination matrix.
+    pub wc: PackedTernary,
+}
+
+impl PackedSpn {
+    /// Packs an SPN whose matrices are already ternary-valued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any matrix contains non-ternary values.
+    pub fn from_spn(spn: &StrassenSpn) -> Self {
+        Self {
+            wa: PackedTernary::from_tensor(&spn.wa),
+            wb: PackedTernary::from_tensor(&spn.wb),
+            wc: PackedTernary::from_tensor(&spn.wc),
+        }
+    }
+
+    /// Hidden width `r` (the multiplication budget).
+    pub fn hidden_width(&self) -> usize {
+        self.wa.rows()
+    }
+
+    /// Evaluates the SPN on vectorised operands with word-level add-only
+    /// kernels; the only multiplications are the `r` Hadamard products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand lengths do not match the matrices.
+    pub fn apply(&self, vec_a: &Tensor, vec_b: &Tensor) -> Tensor {
+        let ha = self.wa.matvec(vec_a.data());
+        let hb = self.wb.matvec(vec_b.data());
+        let prod: Vec<f32> = ha.iter().zip(&hb).map(|(a, b)| a * b).collect();
+        Tensor::from_vec(self.wc.matvec(&prod), &[self.wc.rows()])
+    }
+
+    /// Exact additions/subtractions per evaluation (all three stages).
+    pub fn add_count(&self) -> usize {
+        self.wa.add_count() + self.wb.add_count() + self.wc.add_count()
+    }
+
+    /// Total packed storage in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.wa.packed_bytes() + self.wb.packed_bytes() + self.wc.packed_bytes()
     }
 }
 
@@ -132,6 +190,28 @@ mod tests {
             let got = spn_matmul_2x2(&spn, &a, &b);
             thnt_tensor::assert_close(got.data(), want.data(), 1e-3, 1e-3);
         }
+    }
+
+    #[test]
+    fn packed_spn_matches_dense_apply() {
+        use rand::{Rng, SeedableRng};
+        let spn = exact_strassen_2x2();
+        let packed = PackedSpn::from_spn(&spn);
+        assert_eq!(packed.hidden_width(), 7);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = Tensor::from_vec((0..4).map(|_| rng.gen_range(-4.0..4.0)).collect(), &[4]);
+            let b = Tensor::from_vec((0..4).map(|_| rng.gen_range(-4.0..4.0)).collect(), &[4]);
+            let want = spn.apply(&a, &b);
+            let got = packed.apply(&a, &b);
+            thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+        }
+        // The packed evaluation executes exactly one add per nonzero entry.
+        let nonzeros: usize = [&spn.wa, &spn.wb, &spn.wc]
+            .iter()
+            .map(|m| m.data().iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        assert_eq!(packed.add_count(), nonzeros);
     }
 
     #[test]

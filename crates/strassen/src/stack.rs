@@ -3,7 +3,10 @@
 //! Strassenified models interleave SPN layers with batch-norm and
 //! activations. [`StStack`] is a `Sequential`-like container that keeps the
 //! concrete layer types visible so the three-phase schedule
-//! ([`Strassenified`]) can be driven across the whole model.
+//! ([`Strassenified`]) can be driven across the whole model — and so a
+//! frozen stack can be compiled layer-by-layer into the packed add-only
+//! deployment engine (`thnt_core::engine`), which matches on the same
+//! [`StLayer`] variants.
 
 use thnt_nn::{BatchNorm2d, GlobalAvgPoolLayer, Layer, Param, Relu};
 use thnt_tensor::Tensor;

@@ -70,7 +70,40 @@ proptest! {
     fn packed_ternary_roundtrip_and_matvec(
         seed in 0u64..500,
         rows in 1usize..12,
-        cols in 1usize..12,
+        cols in 1usize..150,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let vals: Vec<f32> = (0..rows * cols)
+            .map(|_| [-1.0f32, 0.0, 1.0][rng.gen_range(0..3usize)])
+            .collect();
+        let t = Tensor::from_vec(vals.clone(), &[rows, cols]);
+        let packed = PackedTernary::from_tensor(&t);
+        // Round trip on the bitplane layout.
+        let unpacked = packed.to_tensor();
+        prop_assert_eq!(unpacked.data(), t.data());
+        // Add-only matvec equals dense matvec, and the word-level kernel
+        // agrees with the per-entry reference decoder.
+        let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let got = packed.matvec(&x);
+        let per_entry = packed.matvec_per_entry(&x);
+        let want = thnt_tensor::matvec(&t, &Tensor::from_vec(x, &[cols]));
+        for ((g, p), w) in got.iter().zip(&per_entry).zip(want.data()) {
+            prop_assert!((g - w).abs() < 1e-3 + 1e-4 * w.abs(), "{g} vs {w}");
+            prop_assert!((g - p).abs() < 1e-4 + 1e-5 * p.abs(), "word {g} vs per-entry {p}");
+        }
+        // Storage is two u64 bitplanes with rows padded to whole words.
+        prop_assert_eq!(packed.packed_bytes(), rows * cols.div_ceil(64) * 16);
+        // Popcount add_count equals the nonzero count.
+        prop_assert_eq!(packed.add_count(), vals.iter().filter(|&&v| v != 0.0).count());
+    }
+
+    #[test]
+    fn packed_matmul_matches_dense_for_odd_shapes(
+        seed in 0u64..300,
+        rows in 1usize..20,
+        cols in 1usize..140,
+        n in 1usize..7,
     ) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
@@ -79,17 +112,54 @@ proptest! {
             .collect();
         let t = Tensor::from_vec(vals, &[rows, cols]);
         let packed = PackedTernary::from_tensor(&t);
-        // Round trip.
-        let unpacked = packed.to_tensor();
-        prop_assert_eq!(unpacked.data(), t.data());
-        // Add-only matvec equals dense matvec.
-        let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
-        let got = packed.matvec(&x);
-        let want = thnt_tensor::matvec(&t, &Tensor::from_vec(x, &[cols]));
-        for (g, w) in got.iter().zip(want.data()) {
-            prop_assert!((g - w).abs() < 1e-4);
+        let x = Tensor::from_vec(
+            (0..n * cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect(),
+            &[n, cols],
+        );
+        // Batched activations: Y = X · Wᵀ.
+        let got = packed.matmul(&x);
+        let want = thnt_tensor::matmul_nt(&x, &t);
+        for (g, w) in got.data().iter().zip(want.data()) {
+            prop_assert!((g - w).abs() < 1e-3 + 1e-4 * w.abs(), "{g} vs {w}");
         }
-        // Storage really is 2 bits per entry.
-        prop_assert_eq!(packed.packed_bytes(), (rows * cols).div_ceil(4));
+        // Column-matrix form: Y = W · M.
+        let m = Tensor::from_vec(
+            (0..cols * n).map(|_| rng.gen_range(-3.0f32..3.0)).collect(),
+            &[cols, n],
+        );
+        let got = packed.matmul_rhs(&m);
+        let want = thnt_tensor::matmul(&t, &m);
+        for (g, w) in got.data().iter().zip(want.data()) {
+            prop_assert!((g - w).abs() < 1e-3 + 1e-4 * w.abs(), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn packed_degenerate_shapes_are_consistent(
+        seed in 0u64..100,
+        dim in 1usize..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        // 1×n and n×1 extremes, plus empty matrices.
+        for (rows, cols) in [(1usize, dim), (dim, 1usize), (0, dim), (dim, 0)] {
+            let vals: Vec<f32> = (0..rows * cols)
+                .map(|_| [-1.0f32, 0.0, 1.0][rng.gen_range(0..3usize)])
+                .collect();
+            let t = Tensor::from_vec(vals, &[rows, cols]);
+            let packed = PackedTernary::from_tensor(&t);
+            prop_assert_eq!(packed.to_tensor().data(), t.data());
+            let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let got = packed.matvec(&x);
+            prop_assert_eq!(got.len(), rows);
+            if rows > 0 && cols > 0 {
+                let want = thnt_tensor::matvec(&t, &Tensor::from_vec(x, &[cols]));
+                for (g, w) in got.iter().zip(want.data()) {
+                    prop_assert!((g - w).abs() < 1e-3 + 1e-4 * w.abs());
+                }
+            } else {
+                prop_assert!(got.iter().all(|&v| v == 0.0));
+            }
+        }
     }
 }

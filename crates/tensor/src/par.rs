@@ -7,19 +7,25 @@
 //! scoped per call, which is cheap relative to the workloads involved.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Returns the worker count used by [`parallel_for`] and
 /// [`parallel_zip_chunks`]: available parallelism capped at 8.
 ///
 /// Overridable with the `THNT_THREADS` environment variable (values < 1 are
-/// clamped to 1).
+/// clamped to 1). The value is resolved once and cached for the process
+/// lifetime — the hot kernels call this on every parallel dispatch, and an
+/// environment read per matmul is measurable.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("THNT_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+    static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+    *NUM_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("THNT_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
         }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    })
 }
 
 /// Runs `f(i)` for every `i in 0..n`, distributing indices across threads via

@@ -14,7 +14,8 @@
 //! * [`models`] — baseline KWS model zoo with analytic cost reports
 //! * [`quant`] — post-training fixed-point quantization
 //! * [`prune`] — gradual magnitude pruning and TWN baselines
-//! * [`core`] — the paper's contribution: `HybridNet` / `StHybridNet`
+//! * [`core`] — the paper's contribution: `HybridNet` / `StHybridNet`, plus
+//!   the packed add-only deployment engine (`core::engine`)
 //!
 //! # Quickstart
 //!

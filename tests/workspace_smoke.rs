@@ -40,6 +40,37 @@ fn umbrella_reexports_resolve() {
 }
 
 #[test]
+fn packed_engine_reexports_resolve() {
+    use thnt::nn::Model;
+    use thnt::strassen::Strassenified;
+
+    // The packed deployment pipeline is reachable through the umbrella:
+    // freeze a tiny ST-HybridNet, compile it, and run add-only inference.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let cfg = thnt::core::HybridConfig {
+        ds_blocks: 1,
+        width: 8,
+        proj_dim: 6,
+        tree_depth: 1,
+        ..thnt::core::HybridConfig::paper()
+    };
+    let mut net = thnt::core::StHybridNet::new(cfg, &mut rng);
+    net.activate_quantization();
+    net.freeze_ternary();
+    let engine = thnt::core::PackedStHybrid::compile(&net);
+    let x = thnt::tensor::Tensor::zeros(&[1, 1, 49, 10]);
+    let packed = engine.forward(&x);
+    let dense = net.forward(&x, false);
+    thnt::tensor::assert_close(packed.data(), dense.data(), 1e-4, 1e-4);
+    assert!(engine.adds_per_sample() > 0);
+
+    // The bitplane primitive is also exported at the strassen level.
+    let w = thnt::tensor::Tensor::from_vec(vec![1.0, 0.0, -1.0, 1.0], &[2, 2]);
+    let packed = thnt::strassen::PackedTernary::from_tensor(&w);
+    assert_eq!(packed.add_count(), 3);
+}
+
+#[test]
 fn reexported_crates_share_types() {
     // The umbrella's members must agree on the same `Tensor` type: a tensor
     // built through `thnt::tensor` flows into `thnt::nn` unchanged.

@@ -1,9 +1,12 @@
 //! Machine-readable kernel timings for CI and the README bench table.
 //!
-//! Times the dense-vs-packed ternary kernels plus end-to-end hybrid
-//! inference and writes `BENCH_kernels.json` to the working directory — a
-//! flat list of `{name, iters, mean_ns, median_ns}` rows that CI can diff
-//! and dashboards can ingest without parsing criterion output.
+//! Times the dense-vs-packed ternary kernels, end-to-end hybrid inference
+//! through the [`InferenceBackend`] trait, and the streaming detection path
+//! (MFCC + model per window), then writes `BENCH_kernels.json` to the
+//! working directory — a flat list of `{name, iters, mean_ns, median_ns,
+//! windows_per_sec}` rows that CI can diff and dashboards can ingest
+//! without parsing criterion output (`windows_per_sec` is non-zero only for
+//! streaming rows).
 //!
 //! Iteration counts scale with `THNT_PROFILE` (`smoke` keeps the whole run
 //! under a few seconds; the default profile measures long enough for stable
@@ -14,8 +17,8 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use thnt_core::{HybridConfig, PackedStHybrid, StHybridNet};
-use thnt_nn::Model;
+use thnt_core::{HybridConfig, PackedStHybrid, StHybridNet, StreamingConfig, StreamingDetector};
+use thnt_nn::InferenceBackend;
 use thnt_strassen::{ternary_values, PackedTernary, Strassenified};
 use thnt_tensor::{gaussian, matmul_nt, matvec};
 
@@ -26,6 +29,9 @@ struct BenchRow {
     iters: usize,
     mean_ns: f64,
     median_ns: f64,
+    /// Streaming-path throughput (inference windows per second); 0 for
+    /// non-streaming rows.
+    windows_per_sec: f64,
 }
 
 /// Times `f` for `iters` iterations after `iters / 10 + 1` warmup runs.
@@ -43,7 +49,30 @@ fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let median = samples[samples.len() / 2];
     println!("{name:<42} {median:>12.0} ns (median of {iters})");
-    BenchRow { name: name.to_string(), iters, mean_ns: mean, median_ns: median }
+    BenchRow {
+        name: name.to_string(),
+        iters,
+        mean_ns: mean,
+        median_ns: median,
+        windows_per_sec: 0.0,
+    }
+}
+
+/// Times one streaming window (MFCC + normalize + model) on `backend`:
+/// prefills the detector's one-second ring, then feeds hop-sized chunks so
+/// every push triggers exactly one inference.
+fn time_streaming(backend: &dyn InferenceBackend, iters: usize) -> BenchRow {
+    let config = StreamingConfig::default();
+    let mut det = StreamingDetector::new(backend, config, vec![0.0; 10], vec![1.0; 10]);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let prefill = gaussian(&[16_000], 0.0, 0.1, &mut rng);
+    det.push(prefill.data());
+    let chunk = gaussian(&[config.hop], 0.0, 0.1, &mut rng);
+    let name = format!("streaming_window/{}_backend", backend.backend_name());
+    let mut row = time(&name, iters, || det.push(chunk.data()));
+    row.windows_per_sec = 1e9 / row.median_ns;
+    println!("{:<42} {:>12.1} windows/sec", "", row.windows_per_sec);
+    row
 }
 
 fn main() {
@@ -67,21 +96,32 @@ fn main() {
     rows.push(time("matmul_64x256x256/dense_f32", kernel_iters, || matmul_nt(&xb, &w)));
     rows.push(time("matmul_64x256x256/packed_word", kernel_iters, || packed.matmul(&xb)));
 
-    // End-to-end: frozen dense forward vs the compiled packed engine.
+    // End-to-end through the unified InferenceBackend trait: the dense
+    // frozen path vs the compiled packed engine, swappable behind &dyn.
     let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
     net.activate_quantization();
     net.freeze_ternary();
     let engine = PackedStHybrid::compile(&net);
     let clip = gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
-    rows.push(time("st_hybrid_1clip/dense_frozen", e2e_iters, || net.forward(&clip, false)));
-    rows.push(time("st_hybrid_1clip/packed_engine", e2e_iters, || engine.forward(&clip)));
+    let dense_backend = net.dense_backend();
+    let backends: [&dyn InferenceBackend; 2] = [&dense_backend, &engine];
+    for backend in backends {
+        let name = format!("st_hybrid_1clip/{}_backend", backend.backend_name());
+        rows.push(time(&name, e2e_iters, || backend.infer(&clip)));
+    }
 
     // Sanity: the two paths must agree before the numbers mean anything.
-    let dense = net.forward(&clip, false);
-    let fast = engine.forward(&clip);
+    let dense = dense_backend.infer(&clip);
+    let fast = engine.infer(&clip);
     let max_err =
         dense.data().iter().zip(fast.data()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(max_err < 1e-4, "packed engine diverged from dense path: {max_err}");
+
+    // Streaming-path throughput (MFCC + normalize + model per window),
+    // dense vs packed backend.
+    for backend in backends {
+        rows.push(time_streaming(backend, e2e_iters));
+    }
 
     let json = serde_json::to_string_pretty(&rows).expect("serialize bench rows");
     std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");

@@ -1,0 +1,66 @@
+//! CI smoke test for the `.thnt2` artifact path: compile a frozen
+//! ST-HybridNet, save it, reload it with no training stack involved, and
+//! assert the reloaded engine's logits match both the in-memory compile and
+//! the dense frozen path — then run the streaming detector end-to-end on
+//! the loaded backend through the [`InferenceBackend`] trait.
+//!
+//! Exits non-zero (panics) on any mismatch, so CI fails loudly if the
+//! serialization ever drifts from the engine.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt_core::{
+    HybridConfig, InferenceMeta, PackedStHybrid, StHybridNet, StreamingConfig, StreamingDetector,
+};
+use thnt_dsp::MfccConfig;
+use thnt_nn::{InferenceBackend, Model};
+use thnt_strassen::Strassenified;
+use thnt_tensor::gaussian;
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
+    net.activate_quantization();
+    net.freeze_ternary();
+    let engine = PackedStHybrid::compile(&net);
+
+    let meta = InferenceMeta {
+        mfcc: MfccConfig::paper(),
+        norm_mean: vec![0.0; 10],
+        norm_std: vec![1.0; 10],
+    };
+    let path = std::path::Path::new("target").join("thnt2_smoke.thnt2");
+    std::fs::create_dir_all("target").expect("create target dir");
+    engine.save_file(Some(&meta), &path).expect("save .thnt2");
+    let artifact_bytes = std::fs::metadata(&path).expect("stat artifact").len();
+
+    let (loaded, loaded_meta) = PackedStHybrid::load_file(&path).expect("load .thnt2");
+    assert_eq!(loaded, engine, "reloaded engine must be bitwise identical");
+    let loaded_meta = loaded_meta.expect("artifact carries serving metadata");
+
+    // Logits: in-memory compile vs reloaded artifact (must be exact — same
+    // bitplanes, same kernels) and vs the dense frozen path (<= 1e-4).
+    let x = gaussian(&[4, 1, 49, 10], 0.0, 1.0, &mut rng);
+    let compiled = engine.infer(&x);
+    let reloaded = loaded.infer(&x);
+    let vs_compile = max_abs_diff(compiled.data(), reloaded.data());
+    assert!(vs_compile <= 1e-6, "reloaded logits diverged from in-memory compile: {vs_compile}");
+    let dense = net.forward(&x, false);
+    let vs_dense = max_abs_diff(dense.data(), reloaded.data());
+    assert!(vs_dense <= 1e-4, "reloaded logits diverged from dense path: {vs_dense}");
+
+    // The always-on loop runs end-to-end on the loaded backend.
+    let mut det = StreamingDetector::from_meta(&loaded, StreamingConfig::default(), &loaded_meta);
+    let audio = gaussian(&[32_000], 0.0, 0.1, &mut rng);
+    let detections = det.push(audio.data());
+
+    println!("thnt2 smoke OK");
+    println!("  artifact: {} bytes ({} packed weight bytes)", artifact_bytes, loaded.model_bytes());
+    println!("  adds/sample: {}", loaded.adds_per_sample());
+    println!("  max |logit diff| vs compile: {vs_compile:.2e}, vs dense: {vs_dense:.2e}");
+    println!("  streaming: 2 s of audio -> {} detection(s)", detections.len());
+}

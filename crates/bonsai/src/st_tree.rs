@@ -148,6 +148,14 @@ impl StrassenBonsai {
         ls.extend(self.v.iter_mut());
         ls
     }
+
+    fn sublayers(&self) -> Vec<&StrassenDense> {
+        let mut ls: Vec<&StrassenDense> = vec![&self.z];
+        ls.extend(self.theta.iter());
+        ls.extend(self.w.iter());
+        ls.extend(self.v.iter());
+        ls
+    }
 }
 
 impl Layer for StrassenBonsai {
@@ -257,6 +265,10 @@ impl Layer for StrassenBonsai {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.sublayers_mut().into_iter().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.sublayers().into_iter().flat_map(|l| l.params()).collect()
     }
 
     fn name(&self) -> &'static str {

@@ -474,6 +474,9 @@ mod tests {
             fn params_mut(&mut self) -> Vec<&mut Param> {
                 Layer::params_mut(&mut self.0)
             }
+            fn params(&self) -> Vec<&Param> {
+                Layer::params(&self.0)
+            }
         }
         let mut model = Wrap(tree);
         let config = TrainConfig::quick(Loss::Hinge, 60);

@@ -1,0 +1,705 @@
+//! The `.thnt2` packed-model artifact: serialize a compiled
+//! [`PackedStHybrid`] and reload it **without the training stack**.
+//!
+//! The training pipeline ends with `PackedStHybrid::compile`, which needs a
+//! live [`crate::StHybridNet`] in memory. On a deployment target none of the
+//! `thnt-nn` machinery exists; what ships is this artifact — the bitplanes,
+//! affines and tree topology, exactly as the engine executes them — and
+//! [`load_thnt2`] rebuilds the engine from those bytes alone.
+//!
+//! # Format
+//!
+//! A `.thnt2` file is a [`thnt_nn::SectionReader`]-style container (magic
+//! `THN2`, version, a tag/length section table, then payloads). Sections:
+//!
+//! ```text
+//! FRNT  the compiled front-end stack:
+//!       layer_count u32, then per layer a kind byte:
+//!         0 conv       wb | â | wc | bias | spec
+//!         1 depthwise  wb_signs | â | wc_signs | bias | spec | c u32 | m u32
+//!         2 dense      wb | â | wc | bias
+//!         3 affine     scale | shift
+//!         4 relu       (no payload)
+//!         5 gap        (no payload)
+//! TREE  the compiled Bonsai head:
+//!       depth u32 | sharpness f32 | sigma f32 | num_classes u32
+//!       | z dense | theta dense × num_internal | w dense × num_nodes
+//!       | v dense × num_nodes
+//! META  (optional) serving metadata:
+//!       norm_mean | norm_std | MFCC config (9 scalars)
+//! ```
+//!
+//! where a *packed ternary matrix* is `rows u32 | cols u32 | plus u64 ×
+//! rows·wpr | minus u64 × rows·wpr` (the stable bitplane layout of
+//! [`PackedTernary::plus_words`]), an *f32 vector* is `len u32 | f32 × len`,
+//! a *sign vector* is `len u32 | i8 × len` with entries in `{-1, 0, 1}`, a
+//! *dense* is `wb | â | wc | bias`, and a *spec* is eight `u32`s
+//! (`kh kw stride_h stride_w pad_top pad_bottom pad_left pad_right`).
+//!
+//! Loading validates every structural invariant — word counts, padding
+//! bits, plane overlap, cross-field dimension consistency, finiteness,
+//! topology counts — and fails with `InvalidData` on the first violation.
+//! Matching the checkpoint contract in `thnt_nn::io`: the failure mode is
+//! an error, never silent corruption. Unknown sections are skipped so later
+//! versions can add data without breaking this loader.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use thnt_bonsai::TreeTopology;
+use thnt_dsp::MfccConfig;
+use thnt_nn::io::{invalid_data, SectionReader, SectionWriter};
+use thnt_strassen::PackedTernary;
+use thnt_tensor::Conv2dSpec;
+
+use crate::engine::{
+    ChannelAffine, PackedBonsai, PackedConv2d, PackedDense, PackedDepthwise2d, PackedLayer,
+    PackedStHybrid, PackedStStack,
+};
+
+const TAG_FRONT: [u8; 4] = *b"FRNT";
+const TAG_TREE: [u8; 4] = *b"TREE";
+const TAG_META: [u8; 4] = *b"META";
+
+const KIND_CONV: u8 = 0;
+const KIND_DEPTHWISE: u8 = 1;
+const KIND_DENSE: u8 = 2;
+const KIND_AFFINE: u8 = 3;
+const KIND_RELU: u8 = 4;
+const KIND_GAP: u8 = 5;
+
+/// Serving metadata embedded alongside the packed weights so a detector can
+/// be stood up from the artifact alone: the MFCC front-end configuration
+/// and the per-coefficient normalization statistics of the training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceMeta {
+    /// MFCC extraction parameters the model was trained against.
+    pub mfcc: MfccConfig,
+    /// Per-coefficient feature means (length `mfcc.num_coeffs`).
+    pub norm_mean: Vec<f32>,
+    /// Per-coefficient feature standard deviations (same length, positive).
+    pub norm_std: Vec<f32>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------------
+
+fn put_f32_vec(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+fn put_signs(buf: &mut BytesMut, v: &[i8]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_u8(x as u8);
+    }
+}
+
+fn put_packed(buf: &mut BytesMut, p: &PackedTernary) {
+    buf.put_u32_le(p.rows() as u32);
+    buf.put_u32_le(p.cols() as u32);
+    for &w in p.plus_words() {
+        buf.put_u64_le(w);
+    }
+    for &w in p.minus_words() {
+        buf.put_u64_le(w);
+    }
+}
+
+fn put_spec(buf: &mut BytesMut, s: &Conv2dSpec) {
+    for d in [s.kh, s.kw, s.stride_h, s.stride_w, s.pad_top, s.pad_bottom, s.pad_left, s.pad_right]
+    {
+        buf.put_u32_le(d as u32);
+    }
+}
+
+fn put_dense(buf: &mut BytesMut, d: &PackedDense) {
+    put_packed(buf, &d.wb);
+    put_f32_vec(buf, &d.a_hat);
+    put_packed(buf, &d.wc);
+    put_f32_vec(buf, &d.bias);
+}
+
+fn encode_front(front: &PackedStStack) -> BytesMut {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(front.layers().len() as u32);
+    for layer in front.layers() {
+        match layer {
+            PackedLayer::Conv(c) => {
+                buf.put_u8(KIND_CONV);
+                put_packed(&mut buf, &c.wb);
+                put_f32_vec(&mut buf, &c.a_hat);
+                put_packed(&mut buf, &c.wc);
+                put_f32_vec(&mut buf, &c.bias);
+                put_spec(&mut buf, &c.spec);
+            }
+            PackedLayer::Depthwise(d) => {
+                buf.put_u8(KIND_DEPTHWISE);
+                put_signs(&mut buf, &d.wb_signs);
+                put_f32_vec(&mut buf, &d.a_hat);
+                put_signs(&mut buf, &d.wc_signs);
+                put_f32_vec(&mut buf, &d.bias);
+                put_spec(&mut buf, &d.spec);
+                buf.put_u32_le(d.channels as u32);
+                buf.put_u32_le(d.multiplier as u32);
+            }
+            PackedLayer::Dense(f) => {
+                buf.put_u8(KIND_DENSE);
+                put_dense(&mut buf, f);
+            }
+            PackedLayer::Affine(a) => {
+                buf.put_u8(KIND_AFFINE);
+                put_f32_vec(&mut buf, &a.scale);
+                put_f32_vec(&mut buf, &a.shift);
+            }
+            PackedLayer::Relu => buf.put_u8(KIND_RELU),
+            PackedLayer::GlobalAvgPool => buf.put_u8(KIND_GAP),
+        }
+    }
+    buf
+}
+
+fn encode_tree(tree: &PackedBonsai) -> BytesMut {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(tree.topo.depth() as u32);
+    buf.put_f32_le(tree.sharpness);
+    buf.put_f32_le(tree.sigma);
+    buf.put_u32_le(tree.num_classes as u32);
+    put_dense(&mut buf, &tree.z);
+    for d in tree.theta.iter().chain(tree.w.iter()).chain(tree.v.iter()) {
+        put_dense(&mut buf, d);
+    }
+    buf
+}
+
+fn encode_meta(meta: &InferenceMeta) -> BytesMut {
+    let mut buf = BytesMut::new();
+    put_f32_vec(&mut buf, &meta.norm_mean);
+    put_f32_vec(&mut buf, &meta.norm_std);
+    let m = &meta.mfcc;
+    buf.put_f32_le(m.sample_rate);
+    buf.put_u32_le(m.frame_len as u32);
+    buf.put_u32_le(m.hop as u32);
+    buf.put_u32_le(m.fft_size as u32);
+    buf.put_u32_le(m.num_mel as u32);
+    buf.put_u32_le(m.num_coeffs as u32);
+    buf.put_f32_le(m.f_lo);
+    buf.put_f32_le(m.f_hi);
+    buf.put_f32_le(m.preemphasis);
+    buf
+}
+
+/// Writes `engine` (and optionally `meta`) as a `.thnt2` artifact.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn save_thnt2<W: Write>(
+    engine: &PackedStHybrid,
+    meta: Option<&InferenceMeta>,
+    writer: W,
+) -> io::Result<()> {
+    let mut sections = SectionWriter::new();
+    *sections.section(TAG_FRONT) = encode_front(&engine.front);
+    *sections.section(TAG_TREE) = encode_tree(&engine.tree);
+    if let Some(m) = meta {
+        *sections.section(TAG_META) = encode_meta(m);
+    }
+    sections.write_to(writer)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding. Every read is bounds-checked; every cross-field invariant is
+// validated before the value is used.
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over one section payload.
+struct Cursor {
+    buf: Bytes,
+    section: &'static str,
+}
+
+impl Cursor {
+    fn new(buf: Bytes, section: &'static str) -> Self {
+        Self { buf, section }
+    }
+
+    fn need(&self, bytes: usize, what: &str) -> io::Result<()> {
+        if self.buf.remaining() < bytes {
+            return Err(invalid_data(format!(
+                "{} section truncated reading {what}: need {bytes} bytes, have {}",
+                self.section,
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self, what: &str) -> io::Result<u8> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self, what: &str) -> io::Result<u32> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn f32(&mut self, what: &str) -> io::Result<f32> {
+        self.need(4, what)?;
+        let v = self.buf.get_f32_le();
+        if !v.is_finite() {
+            return Err(invalid_data(format!("{}: non-finite {what}", self.section)));
+        }
+        Ok(v)
+    }
+
+    fn f32_vec(&mut self, what: &str) -> io::Result<Vec<f32>> {
+        let len = self.u32(what)? as usize;
+        self.need(4 * len, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = self.buf.get_f32_le();
+            if !v.is_finite() {
+                return Err(invalid_data(format!("{}: non-finite entry in {what}", self.section)));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn signs(&mut self, what: &str) -> io::Result<Vec<i8>> {
+        let len = self.u32(what)? as usize;
+        self.need(len, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = self.buf.get_u8() as i8;
+            if !(-1..=1).contains(&v) {
+                return Err(invalid_data(format!(
+                    "{}: non-ternary sign {v} in {what}",
+                    self.section
+                )));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn packed(&mut self, what: &str) -> io::Result<PackedTernary> {
+        let rows = self.u32(what)? as usize;
+        let cols = self.u32(what)? as usize;
+        let words = rows * cols.div_ceil(64);
+        self.need(16 * words, what)?;
+        let mut plus = Vec::with_capacity(words);
+        for _ in 0..words {
+            plus.push(self.buf.get_u64_le());
+        }
+        let mut minus = Vec::with_capacity(words);
+        for _ in 0..words {
+            minus.push(self.buf.get_u64_le());
+        }
+        PackedTernary::from_raw_parts(rows, cols, plus, minus)
+            .map_err(|e| invalid_data(format!("{}: {what}: {e}", self.section)))
+    }
+
+    fn spec(&mut self, what: &str) -> io::Result<Conv2dSpec> {
+        let mut d = [0usize; 8];
+        for slot in &mut d {
+            *slot = self.u32(what)? as usize;
+        }
+        if d[0] == 0 || d[1] == 0 || d[2] == 0 || d[3] == 0 {
+            return Err(invalid_data(format!(
+                "{}: {what}: kernel and stride must be positive",
+                self.section
+            )));
+        }
+        Ok(Conv2dSpec {
+            kh: d[0],
+            kw: d[1],
+            stride_h: d[2],
+            stride_w: d[3],
+            pad_top: d[4],
+            pad_bottom: d[5],
+            pad_left: d[6],
+            pad_right: d[7],
+        })
+    }
+
+    /// Reads a packed dense layer and checks its internal geometry:
+    /// `W_b: [r, in]`, `â: [r]`, `W_c: [out, r]`, `bias: [out]`.
+    fn dense(&mut self, what: &str) -> io::Result<PackedDense> {
+        let wb = self.packed(what)?;
+        let a_hat = self.f32_vec(what)?;
+        let wc = self.packed(what)?;
+        let bias = self.f32_vec(what)?;
+        if wb.rows() != a_hat.len() || wc.cols() != a_hat.len() || wc.rows() != bias.len() {
+            return Err(invalid_data(format!(
+                "{}: {what}: inconsistent dense geometry (wb {}x{}, â {}, wc {}x{}, bias {})",
+                self.section,
+                wb.rows(),
+                wb.cols(),
+                a_hat.len(),
+                wc.rows(),
+                wc.cols(),
+                bias.len()
+            )));
+        }
+        Ok(PackedDense { wb, a_hat, wc, bias })
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.buf.has_remaining() {
+            return Err(invalid_data(format!(
+                "{} section has {} trailing bytes",
+                self.section,
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
+    let mut cur = Cursor::new(buf, "FRNT");
+    let count = cur.u32("layer count")? as usize;
+    let mut layers = Vec::with_capacity(count.min(1024));
+    for i in 0..count {
+        let kind = cur.u8("layer kind")?;
+        let layer = match kind {
+            KIND_CONV => {
+                let wb = cur.packed("conv wb")?;
+                let a_hat = cur.f32_vec("conv â")?;
+                let wc = cur.packed("conv wc")?;
+                let bias = cur.f32_vec("conv bias")?;
+                let spec = cur.spec("conv spec")?;
+                let patch = spec.kh * spec.kw;
+                if wb.rows() != a_hat.len()
+                    || wc.cols() != a_hat.len()
+                    || wc.rows() != bias.len()
+                    || wb.cols() == 0
+                    || wb.cols() % patch != 0
+                {
+                    return Err(invalid_data(format!(
+                        "FRNT: layer {i}: inconsistent conv geometry"
+                    )));
+                }
+                PackedLayer::Conv(PackedConv2d { wb, a_hat, wc, bias, spec })
+            }
+            KIND_DEPTHWISE => {
+                let wb_signs = cur.signs("depthwise wb")?;
+                let a_hat = cur.f32_vec("depthwise â")?;
+                let wc_signs = cur.signs("depthwise wc")?;
+                let bias = cur.f32_vec("depthwise bias")?;
+                let spec = cur.spec("depthwise spec")?;
+                let channels = cur.u32("depthwise channels")? as usize;
+                let multiplier = cur.u32("depthwise multiplier")? as usize;
+                let hidden = channels.saturating_mul(multiplier);
+                if channels == 0
+                    || multiplier == 0
+                    || wc_signs.len() != hidden
+                    || a_hat.len() != hidden
+                    || bias.len() != channels
+                    || wb_signs.len() != hidden * spec.kh * spec.kw
+                {
+                    return Err(invalid_data(format!(
+                        "FRNT: layer {i}: inconsistent depthwise geometry"
+                    )));
+                }
+                PackedLayer::Depthwise(PackedDepthwise2d {
+                    wb_signs,
+                    a_hat,
+                    wc_signs,
+                    bias,
+                    spec,
+                    channels,
+                    multiplier,
+                })
+            }
+            KIND_DENSE => PackedLayer::Dense(cur.dense("dense layer")?),
+            KIND_AFFINE => {
+                let scale = cur.f32_vec("affine scale")?;
+                let shift = cur.f32_vec("affine shift")?;
+                if scale.len() != shift.len() {
+                    return Err(invalid_data(format!(
+                        "FRNT: layer {i}: affine scale/shift length mismatch"
+                    )));
+                }
+                PackedLayer::Affine(ChannelAffine { scale, shift })
+            }
+            KIND_RELU => PackedLayer::Relu,
+            KIND_GAP => PackedLayer::GlobalAvgPool,
+            other => {
+                return Err(invalid_data(format!("FRNT: layer {i}: unknown layer kind {other}")))
+            }
+        };
+        layers.push(layer);
+    }
+    cur.finish()?;
+    Ok(PackedStStack { layers })
+}
+
+fn decode_tree(buf: Bytes) -> io::Result<PackedBonsai> {
+    let mut cur = Cursor::new(buf, "TREE");
+    let depth = cur.u32("depth")? as usize;
+    if depth > 16 {
+        return Err(invalid_data(format!("TREE: implausible tree depth {depth}")));
+    }
+    let sharpness = cur.f32("sharpness")?;
+    let sigma = cur.f32("sigma")?;
+    let num_classes = cur.u32("num_classes")? as usize;
+    if num_classes == 0 {
+        return Err(invalid_data("TREE: num_classes must be positive"));
+    }
+    let topo = TreeTopology::new(depth);
+    let z = cur.dense("projection z")?;
+    let proj_dim = z.bias.len();
+    let read_nodes = |cur: &mut Cursor, n: usize, out_dim: usize, what| -> io::Result<Vec<_>> {
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = cur.dense(what)?;
+            if d.wb.cols() != proj_dim || d.bias.len() != out_dim {
+                return Err(invalid_data(format!(
+                    "TREE: {what} shape [{} -> {}] does not match proj_dim {proj_dim} / \
+                     out_dim {out_dim}",
+                    d.wb.cols(),
+                    d.bias.len()
+                )));
+            }
+            nodes.push(d);
+        }
+        Ok(nodes)
+    };
+    let theta = read_nodes(&mut cur, topo.num_internal(), 1, "branch node θ")?;
+    let w = read_nodes(&mut cur, topo.num_nodes(), num_classes, "score node W")?;
+    let v = read_nodes(&mut cur, topo.num_nodes(), num_classes, "gate node V")?;
+    cur.finish()?;
+    Ok(PackedBonsai { z, theta, w, v, topo, sharpness, sigma, num_classes })
+}
+
+fn decode_meta(buf: Bytes) -> io::Result<InferenceMeta> {
+    let mut cur = Cursor::new(buf, "META");
+    let norm_mean = cur.f32_vec("norm_mean")?;
+    let norm_std = cur.f32_vec("norm_std")?;
+    let mfcc = MfccConfig {
+        sample_rate: cur.f32("sample_rate")?,
+        frame_len: cur.u32("frame_len")? as usize,
+        hop: cur.u32("hop")? as usize,
+        fft_size: cur.u32("fft_size")? as usize,
+        num_mel: cur.u32("num_mel")? as usize,
+        num_coeffs: cur.u32("num_coeffs")? as usize,
+        f_lo: cur.f32("f_lo")?,
+        f_hi: cur.f32("f_hi")?,
+        preemphasis: cur.f32("preemphasis")?,
+    };
+    cur.finish()?;
+    if norm_mean.len() != norm_std.len() || norm_mean.len() != mfcc.num_coeffs {
+        return Err(invalid_data(format!(
+            "META: normalization length {} / {} does not match num_coeffs {}",
+            norm_mean.len(),
+            norm_std.len(),
+            mfcc.num_coeffs
+        )));
+    }
+    if norm_std.iter().any(|&s| s <= 0.0) {
+        return Err(invalid_data("META: norm_std entries must be positive"));
+    }
+    // Enforce every invariant `Mfcc::new` (and the FFT/mel stages under it)
+    // would otherwise assert at detector-construction time: a META section
+    // that cannot drive the front-end must fail here, at load.
+    if mfcc.sample_rate <= 0.0 || mfcc.frame_len == 0 || mfcc.hop == 0 {
+        return Err(invalid_data("META: MFCC geometry must be positive"));
+    }
+    if !mfcc.fft_size.is_power_of_two() || mfcc.fft_size < mfcc.frame_len {
+        return Err(invalid_data(format!(
+            "META: fft_size {} must be a power of two >= frame_len {}",
+            mfcc.fft_size, mfcc.frame_len
+        )));
+    }
+    if mfcc.num_mel == 0 || mfcc.num_coeffs == 0 || mfcc.num_coeffs > mfcc.num_mel {
+        return Err(invalid_data(format!(
+            "META: need 0 < num_coeffs ({}) <= num_mel ({})",
+            mfcc.num_coeffs, mfcc.num_mel
+        )));
+    }
+    if !(mfcc.f_lo < mfcc.f_hi && mfcc.f_hi <= mfcc.sample_rate / 2.0) {
+        return Err(invalid_data(format!(
+            "META: invalid mel band [{}, {}] for sample rate {}",
+            mfcc.f_lo, mfcc.f_hi, mfcc.sample_rate
+        )));
+    }
+    Ok(InferenceMeta { mfcc, norm_mean, norm_std })
+}
+
+/// Reconstructs a [`PackedStHybrid`] (and embedded [`InferenceMeta`], if
+/// present) from a `.thnt2` artifact. The loader references no `thnt-nn`
+/// training type: the engine is rebuilt directly from the serialized
+/// bitplanes.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any malformed artifact, or I/O errors from the
+/// reader.
+pub fn load_thnt2<R: Read>(reader: R) -> io::Result<(PackedStHybrid, Option<InferenceMeta>)> {
+    let mut sections = SectionReader::read_from(reader)?;
+    let front = sections
+        .take(TAG_FRONT)
+        .ok_or_else(|| invalid_data("artifact is missing the FRNT section"))?;
+    let tree = sections
+        .take(TAG_TREE)
+        .ok_or_else(|| invalid_data("artifact is missing the TREE section"))?;
+    let meta = sections.take(TAG_META).map(decode_meta).transpose()?;
+    // Any other section is from a newer writer; ignoring it cannot corrupt
+    // the engine because all required data is self-contained above.
+    let engine = PackedStHybrid { front: decode_front(front)?, tree: decode_tree(tree)? };
+    Ok((engine, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridConfig;
+    use crate::engine::PackedStHybrid;
+    use crate::st_hybrid::StHybridNet;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use thnt_nn::Model;
+    use thnt_strassen::Strassenified;
+
+    fn tiny_engine(seed: u64) -> (StHybridNet, PackedStHybrid) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = StHybridNet::new(
+            HybridConfig {
+                ds_blocks: 1,
+                width: 8,
+                proj_dim: 6,
+                tree_depth: 1,
+                ..HybridConfig::paper()
+            },
+            &mut rng,
+        );
+        net.activate_quantization();
+        net.freeze_ternary();
+        let engine = PackedStHybrid::compile(&net);
+        (net, engine)
+    }
+
+    fn paper_meta() -> InferenceMeta {
+        InferenceMeta {
+            mfcc: MfccConfig::paper(),
+            norm_mean: vec![0.25; 10],
+            norm_std: vec![1.5; 10],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_identical() {
+        let (_, engine) = tiny_engine(0);
+        let mut blob = Vec::new();
+        engine.save(Some(&paper_meta()), &mut blob).unwrap();
+        let (reloaded, meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+        assert_eq!(reloaded, engine);
+        assert_eq!(meta.unwrap(), paper_meta());
+    }
+
+    #[test]
+    fn roundtrip_without_meta() {
+        let (_, engine) = tiny_engine(1);
+        let mut blob = Vec::new();
+        engine.save(None, &mut blob).unwrap();
+        let (reloaded, meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+        assert_eq!(reloaded, engine);
+        assert!(meta.is_none());
+    }
+
+    #[test]
+    fn reloaded_engine_matches_dense_forward() {
+        let (mut net, engine) = tiny_engine(2);
+        let mut blob = Vec::new();
+        engine.save(None, &mut blob).unwrap();
+        let (reloaded, _) = PackedStHybrid::load(blob.as_slice()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let dense = net.forward(&x, false);
+        let got = reloaded.forward(&x);
+        thnt_tensor::assert_close(got.data(), dense.data(), 1e-4, 1e-4);
+        assert_eq!(reloaded.adds_per_sample(), engine.adds_per_sample());
+        assert_eq!(reloaded.packed_bytes(), engine.packed_bytes());
+    }
+
+    #[test]
+    fn missing_sections_are_rejected() {
+        let mut blob = Vec::new();
+        SectionWriter::new().write_to(&mut blob).unwrap();
+        let err = PackedStHybrid::load(blob.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("FRNT"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let (_, engine) = tiny_engine(4);
+        let mut sections = SectionWriter::new();
+        sections.section(*b"XTRA").put_u32_le(42);
+        *sections.section(TAG_FRONT) = encode_front(&engine.front);
+        *sections.section(TAG_TREE) = encode_tree(&engine.tree);
+        let mut blob = Vec::new();
+        sections.write_to(&mut blob).unwrap();
+        let (reloaded, meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+        assert_eq!(reloaded, engine);
+        assert!(meta.is_none());
+    }
+
+    #[test]
+    fn inconsistent_tree_geometry_is_rejected() {
+        let (_, engine) = tiny_engine(5);
+        // Swap the tree's num_classes without touching the node shapes: the
+        // loader must notice the W/V out-dims no longer match.
+        let mut bad = engine.clone();
+        bad.tree.num_classes += 1;
+        let mut blob = Vec::new();
+        bad.save(None, &mut blob).unwrap();
+        let err = PackedStHybrid::load(blob.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn meta_that_cannot_drive_the_front_end_is_rejected_at_load() {
+        let (_, engine) = tiny_engine(7);
+        for bad in [
+            // fft_size below frame_len (would assert in Mfcc::new).
+            InferenceMeta {
+                mfcc: MfccConfig { fft_size: 512, ..MfccConfig::paper() },
+                ..paper_meta()
+            },
+            // Non-power-of-two FFT.
+            InferenceMeta {
+                mfcc: MfccConfig { fft_size: 1000, ..MfccConfig::paper() },
+                ..paper_meta()
+            },
+            // Inverted mel band.
+            InferenceMeta {
+                mfcc: MfccConfig { f_lo: 8000.0, f_hi: 20.0, ..MfccConfig::paper() },
+                ..paper_meta()
+            },
+        ] {
+            let mut blob = Vec::new();
+            engine.save(Some(&bad), &mut blob).unwrap();
+            let err = PackedStHybrid::load(blob.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{:?}", bad.mfcc);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, engine) = tiny_engine(6);
+        let path = std::env::temp_dir().join("thnt_artifact_test.thnt2");
+        engine.save_file(Some(&paper_meta()), &path).unwrap();
+        let (reloaded, meta) = PackedStHybrid::load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded, engine);
+        assert_eq!(meta.unwrap().mfcc, MfccConfig::paper());
+    }
+}

@@ -37,12 +37,12 @@ use crate::st_hybrid::StHybridNet;
 
 /// A compiled strassenified dense layer:
 /// `y = W_c · (â ⊙ (W_b · x)) + bias` with both ternary matrices packed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedDense {
-    wb: PackedTernary,
-    a_hat: Vec<f32>,
-    wc: PackedTernary,
-    bias: Vec<f32>,
+    pub(crate) wb: PackedTernary,
+    pub(crate) a_hat: Vec<f32>,
+    pub(crate) wc: PackedTernary,
+    pub(crate) bias: Vec<f32>,
 }
 
 impl PackedDense {
@@ -109,15 +109,15 @@ impl PackedDense {
 }
 
 /// A compiled strassenified standard convolution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedConv2d {
     /// Packed `[r, ic·kh·kw]` ternary conv weights applied to im2col patches.
-    wb: PackedTernary,
-    a_hat: Vec<f32>,
+    pub(crate) wb: PackedTernary,
+    pub(crate) a_hat: Vec<f32>,
     /// Packed `[oc, r]` ternary 1×1 combination.
-    wc: PackedTernary,
-    bias: Vec<f32>,
-    spec: Conv2dSpec,
+    pub(crate) wc: PackedTernary,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) spec: Conv2dSpec,
 }
 
 impl PackedConv2d {
@@ -194,17 +194,17 @@ impl PackedConv2d {
 /// A compiled strassenified depthwise convolution. The per-channel kernels
 /// are tiny (`kh·kw` taps), so entries are stored as signs and executed with
 /// an add/subtract tap loop that skips zeros — still multiplication-free.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedDepthwise2d {
     /// Ternary signs of `W_b`, flattened `[c·m·kh·kw]`.
-    wb_signs: Vec<i8>,
-    a_hat: Vec<f32>,
+    pub(crate) wb_signs: Vec<i8>,
+    pub(crate) a_hat: Vec<f32>,
     /// Ternary signs of the grouped `W_c`, flattened `[c·m]`.
-    wc_signs: Vec<i8>,
-    bias: Vec<f32>,
-    spec: Conv2dSpec,
-    channels: usize,
-    multiplier: usize,
+    pub(crate) wc_signs: Vec<i8>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) spec: Conv2dSpec,
+    pub(crate) channels: usize,
+    pub(crate) multiplier: usize,
 }
 
 fn ternary_signs(t: &Tensor) -> Vec<i8> {
@@ -379,10 +379,10 @@ impl PackedDepthwise2d {
 
 /// A folded batch-norm: per-channel `y = scale ⊙ x + shift` over
 /// `[n, c, h, w]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelAffine {
-    scale: Vec<f32>,
-    shift: Vec<f32>,
+    pub(crate) scale: Vec<f32>,
+    pub(crate) shift: Vec<f32>,
 }
 
 impl ChannelAffine {
@@ -410,7 +410,7 @@ impl ChannelAffine {
 }
 
 /// One compiled layer of the front-end stack.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PackedLayer {
     /// Compiled strassenified standard convolution.
     Conv(PackedConv2d),
@@ -427,9 +427,9 @@ pub enum PackedLayer {
 }
 
 /// A compiled [`StStack`]: the deployable front-end.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PackedStStack {
-    layers: Vec<PackedLayer>,
+    pub(crate) layers: Vec<PackedLayer>,
 }
 
 impl PackedStStack {
@@ -488,16 +488,16 @@ impl PackedStStack {
 }
 
 /// The compiled strassenified Bonsai tree head.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedBonsai {
-    z: PackedDense,
-    theta: Vec<PackedDense>,
-    w: Vec<PackedDense>,
-    v: Vec<PackedDense>,
-    topo: TreeTopology,
-    sharpness: f32,
-    sigma: f32,
-    num_classes: usize,
+    pub(crate) z: PackedDense,
+    pub(crate) theta: Vec<PackedDense>,
+    pub(crate) w: Vec<PackedDense>,
+    pub(crate) v: Vec<PackedDense>,
+    pub(crate) topo: TreeTopology,
+    pub(crate) sharpness: f32,
+    pub(crate) sigma: f32,
+    pub(crate) num_classes: usize,
 }
 
 impl PackedBonsai {
@@ -552,6 +552,11 @@ impl PackedBonsai {
         y
     }
 
+    /// Number of classification targets `L`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
     fn sublayers(&self) -> impl Iterator<Item = &PackedDense> {
         std::iter::once(&self.z).chain(self.theta.iter()).chain(self.w.iter()).chain(self.v.iter())
     }
@@ -580,10 +585,10 @@ impl PackedBonsai {
 /// let dense = net.forward(&x, false);
 /// thnt_tensor::assert_close(packed.data(), dense.data(), 1e-4, 1e-4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackedStHybrid {
-    front: PackedStStack,
-    tree: PackedBonsai,
+    pub(crate) front: PackedStStack,
+    pub(crate) tree: PackedBonsai,
 }
 
 impl PackedStHybrid {
@@ -660,6 +665,86 @@ impl PackedStHybrid {
             })
             .sum();
         front + self.tree.sublayers().map(PackedDense::packed_bytes).sum::<usize>()
+    }
+
+    /// Number of classification targets `L` (the logits width).
+    pub fn num_classes(&self) -> usize {
+        self.tree.num_classes
+    }
+
+    /// Serializes the engine as a `.thnt2` artifact (see [`crate::artifact`]
+    /// for the format), optionally with the serving metadata needed to stand
+    /// up a detector without the training stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save<W: std::io::Write>(
+        &self,
+        meta: Option<&crate::artifact::InferenceMeta>,
+        writer: W,
+    ) -> std::io::Result<()> {
+        crate::artifact::save_thnt2(self, meta, writer)
+    }
+
+    /// Reconstructs a packed engine (and any embedded metadata) from a
+    /// `.thnt2` artifact — no `thnt-nn` model is built in the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on any malformed, truncated or inconsistent
+    /// artifact (the loader validates every structural invariant), or any
+    /// I/O error from the reader.
+    pub fn load<R: std::io::Read>(
+        reader: R,
+    ) -> std::io::Result<(Self, Option<crate::artifact::InferenceMeta>)> {
+        crate::artifact::load_thnt2(reader)
+    }
+
+    /// [`Self::save`] to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn save_file(
+        &self,
+        meta: Option<&crate::artifact::InferenceMeta>,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        self.save(meta, std::fs::File::create(path)?)
+    }
+
+    /// [`Self::load`] from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open/read errors and format violations.
+    pub fn load_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<(Self, Option<crate::artifact::InferenceMeta>)> {
+        Self::load(std::fs::File::open(path)?)
+    }
+}
+
+impl thnt_nn::InferenceBackend for PackedStHybrid {
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.forward(x)
+    }
+
+    fn num_classes(&self) -> usize {
+        PackedStHybrid::num_classes(self)
+    }
+
+    fn adds_per_sample(&self) -> u64 {
+        PackedStHybrid::adds_per_sample(self) as u64
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.packed_bytes()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "packed"
     }
 }
 

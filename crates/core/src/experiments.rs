@@ -6,6 +6,12 @@
 //! The `thnt-bench` binaries print these side by side and archive them as
 //! JSON under `target/experiments/`.
 //!
+//! Test-set accuracies are measured through the serving path: every trained
+//! model is wrapped in a [`thnt_nn::InferenceBackend`]
+//! ([`DenseBackend`] / [`crate::StHybridNet::dense_backend`]) and scored
+//! with [`evaluate_backend`], the same immutable inference surface the
+//! streaming detector and the packed engine serve through.
+//!
 //! Scale is controlled by [`Profile`] (env `THNT_PROFILE=smoke|quick|paper`):
 //! `smoke` is for CI (minutes across all tables), `quick` is the default
 //! laptop profile, `paper` uses the paper's 135-epoch schedules.
@@ -16,7 +22,7 @@ use serde::Serialize;
 use thnt_bonsai::{BonsaiConfig, BonsaiTree};
 use thnt_data::{DatasetConfig, SpeechCommands, Split};
 use thnt_models::{build_baseline, BaselineKind, DsCnn, StDsCnn};
-use thnt_nn::{evaluate, LayerModel, Loss, Model, StepDecay};
+use thnt_nn::{evaluate_backend, DenseBackend, LayerModel, Loss, Model, StepDecay};
 use thnt_prune::{count_nonzero, GradualPruner, PruneSchedule};
 use thnt_quant::{quantize_weights, MemoryFootprint};
 use thnt_strassen::{CostReport, LayerCost};
@@ -165,6 +171,7 @@ pub fn table1(profile: &ExperimentProfile) -> Vec<Table1Row> {
     let (xv, yv) = data.features(Split::Val);
     let (xe, ye) = data.features(Split::Test);
     let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let classes = thnt_data::NUM_CLASSES;
 
     let mut teacher = DsCnn::new(&mut rng);
     let cfg = thnt_nn::TrainConfig {
@@ -176,7 +183,7 @@ pub fn table1(profile: &ExperimentProfile) -> Vec<Table1Row> {
         log_every: 0,
     };
     thnt_nn::train_classifier(&mut teacher, &xt, &yt, &xv, &yv, &cfg);
-    let ds_acc = evaluate(&mut teacher, &xe, &ye, 64) * 100.0;
+    let ds_acc = evaluate_backend(&DenseBackend::new(&mut teacher, classes), &xe, &ye, 64) * 100.0;
     let (ds_report, ds_kb) = plain_cost(&teacher.cost_layers(), 1);
 
     let mut rows = vec![Table1Row {
@@ -214,8 +221,14 @@ pub fn table1(profile: &ExperimentProfile) -> Vec<Table1Row> {
             |_, _, _| {},
         );
         let _ = outcome;
-        let acc = evaluate(&mut st, &xe, &ye, 64) * 100.0;
         let report = st.cost_report();
+        let acc = evaluate_backend(
+            &DenseBackend::new(&mut st, classes)
+                .with_cost(report.adds, report.model_bytes(4) as usize),
+            &xe,
+            &ye,
+            64,
+        ) * 100.0;
         rows.push(Table1Row {
             network: format!("ST-DS-CNN (r={factor}c_out)"),
             acc,
@@ -265,6 +278,7 @@ pub fn table2(profile: &ExperimentProfile) -> Vec<Table2Row> {
     let (fxv, _) = data.flat_features(Split::Val);
     let (fxe, _) = data.flat_features(Split::Test);
     let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let classes = thnt_data::NUM_CLASSES;
 
     let mut ds = DsCnn::new(&mut rng);
     let cfg = thnt_nn::TrainConfig {
@@ -279,7 +293,7 @@ pub fn table2(profile: &ExperimentProfile) -> Vec<Table2Row> {
     let (ds_report, ds_kb) = plain_cost(&ds.cost_layers(), 1);
     let mut rows = vec![Table2Row {
         network: "DS-CNN".into(),
-        acc: evaluate(&mut ds, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&DenseBackend::new(&mut ds, classes), &xe, &ye, 64) * 100.0,
         macs: ds_report.macs,
         model_kb: ds_kb,
         paper_acc: 94.4,
@@ -324,7 +338,7 @@ pub fn table2(profile: &ExperimentProfile) -> Vec<Table2Row> {
         );
         rows.push(Table2Row {
             network: format!("Bonsai (D^={dhat}, T={depth})"),
-            acc: evaluate(&mut model, &fxe, &ye, 64) * 100.0,
+            acc: evaluate_backend(&DenseBackend::new(&mut model, classes), &fxe, &ye, 64) * 100.0,
             macs,
             model_kb: params as f64 * 4.0 / 1024.0,
             paper_acc: p_acc,
@@ -365,6 +379,7 @@ pub fn table3(profile: &ExperimentProfile) -> Vec<Table3Row> {
     let (xv, yv) = data.features(Split::Val);
     let (xe, ye) = data.features(Split::Test);
     let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let classes = thnt_data::NUM_CLASSES;
     let mut rows = Vec::new();
 
     for kind in BaselineKind::all() {
@@ -378,7 +393,7 @@ pub fn table3(profile: &ExperimentProfile) -> Vec<Table3Row> {
             log_every: 0,
         };
         thnt_nn::train_classifier(&mut model, &xt, &yt, &xv, &yv, &cfg);
-        let acc = evaluate(&mut model, &xe, &ye, 64) * 100.0;
+        let acc = evaluate_backend(&DenseBackend::new(&mut model, classes), &xe, &ye, 64) * 100.0;
         rows.push(Table3Row {
             network: kind.name().into(),
             acc,
@@ -404,7 +419,7 @@ pub fn table3(profile: &ExperimentProfile) -> Vec<Table3Row> {
     let report = hybrid.cost_report();
     rows.push(Table3Row {
         network: "HybridNet".into(),
-        acc: evaluate(&mut hybrid, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&DenseBackend::new(&mut hybrid, classes), &xe, &ye, 64) * 100.0,
         macs: report.macs,
         model_kb: report.model_kb(4),
         paper_acc: 94.54,
@@ -452,6 +467,7 @@ pub fn table4(profile: &ExperimentProfile) -> Vec<Table4Row> {
     let (xv, yv) = data.features(Split::Val);
     let (xe, ye) = data.features(Split::Test);
     let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let classes = thnt_data::NUM_CLASSES;
     let mut rows = Vec::new();
 
     // DS-CNN baseline.
@@ -468,7 +484,7 @@ pub fn table4(profile: &ExperimentProfile) -> Vec<Table4Row> {
     let (ds_report, ds_kb) = plain_cost(&ds.cost_layers(), 1);
     rows.push(Table4Row {
         network: "DS-CNN".into(),
-        acc: evaluate(&mut ds, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&DenseBackend::new(&mut ds, classes), &xe, &ye, 64) * 100.0,
         muls: 0,
         adds: 0,
         macs: ds_report.macs,
@@ -497,7 +513,13 @@ pub fn table4(profile: &ExperimentProfile) -> Vec<Table4Row> {
     let st_ds_report = st_ds.cost_report();
     rows.push(Table4Row {
         network: "ST-DS-CNN (r=0.75c_out)".into(),
-        acc: evaluate(&mut st_ds, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(
+            &DenseBackend::new(&mut st_ds, classes)
+                .with_cost(st_ds_report.adds, st_ds_report.model_bytes(4) as usize),
+            &xe,
+            &ye,
+            64,
+        ) * 100.0,
         muls: st_ds_report.muls,
         adds: st_ds_report.adds,
         macs: 0,
@@ -523,7 +545,7 @@ pub fn table4(profile: &ExperimentProfile) -> Vec<Table4Row> {
     let hybrid_report = hybrid.cost_report();
     rows.push(Table4Row {
         network: "HybridNet".into(),
-        acc: evaluate(&mut hybrid, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&DenseBackend::new(&mut hybrid, classes), &xe, &ye, 64) * 100.0,
         muls: 0,
         adds: 0,
         macs: hybrid_report.macs,
@@ -550,7 +572,7 @@ pub fn table4(profile: &ExperimentProfile) -> Vec<Table4Row> {
     let st_report = st_plain.cost_report();
     rows.push(Table4Row {
         network: "ST-HybridNet (without KD)".into(),
-        acc: evaluate(&mut st_plain, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&st_plain.dense_backend(), &xe, &ye, 64) * 100.0,
         muls: st_report.muls,
         adds: st_report.adds,
         macs: 0,
@@ -576,7 +598,7 @@ pub fn table4(profile: &ExperimentProfile) -> Vec<Table4Row> {
     );
     rows.push(Table4Row {
         network: "ST-HybridNet (with KD)".into(),
-        acc: evaluate(&mut st_kd, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&st_kd.dense_backend(), &xe, &ye, 64) * 100.0,
         muls: st_report.muls,
         adds: st_report.adds,
         macs: 0,
@@ -639,7 +661,7 @@ pub fn table5(profile: &ExperimentProfile) -> Vec<Table5Row> {
         let report = st.cost_report();
         rows.push(Table5Row {
             hyperparameters: label.into(),
-            acc: evaluate(&mut st, &xe, &ye, 64) * 100.0,
+            acc: evaluate_backend(&st.dense_backend(), &xe, &ye, 64) * 100.0,
             ops: report.total_ops(),
             paper_acc: p_acc,
             paper_ops_m: p_ops,
@@ -682,6 +704,7 @@ pub fn table6(profile: &ExperimentProfile) -> Vec<Table6Row> {
     let (xv, yv) = data.features(Split::Val);
     let (xe, ye) = data.features(Split::Test);
     let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let classes = thnt_data::NUM_CLASSES;
 
     // DS-CNN reference row.
     let mut ds = DsCnn::new(&mut rng);
@@ -709,7 +732,7 @@ pub fn table6(profile: &ExperimentProfile) -> Vec<Table6Row> {
     let ds_fp = MemoryFootprint::new(ds_report.model_bytes(1), &ds_profiles);
     let mut rows = vec![Table6Row {
         network: "DS-CNN".into(),
-        acc: evaluate(&mut ds, &xe, &ye, 64) * 100.0,
+        acc: evaluate_backend(&DenseBackend::new(&mut ds, classes), &xe, &ye, 64) * 100.0,
         ops: ds_report.macs,
         model_kb: ds_kb,
         footprint_kb: ds_fp.total_kb(),
@@ -744,7 +767,7 @@ pub fn table6(profile: &ExperimentProfile) -> Vec<Table6Row> {
     ] {
         st.set_activation_bits(Some(act_bits));
         st.set_depthwise_hidden_bits(Some(dw_bits));
-        let acc = evaluate(&mut st, &xe, &ye, 64) * 100.0;
+        let acc = evaluate_backend(&st.dense_backend(), &xe, &ye, 64) * 100.0;
         let fp = MemoryFootprint::new(
             model_bytes,
             &st.activation_profiles(act_bits as u32, dw_bits as u32),
@@ -789,6 +812,7 @@ pub fn table7(profile: &ExperimentProfile) -> Vec<Table7Row> {
     let (xv, yv) = data.features(Split::Val);
     let (xe, ye) = data.features(Split::Test);
     let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let classes = thnt_data::NUM_CLASSES;
 
     // Train the dense reference once.
     let mut dense = DsCnn::new(&mut rng);
@@ -801,7 +825,7 @@ pub fn table7(profile: &ExperimentProfile) -> Vec<Table7Row> {
         log_every: 0,
     };
     thnt_nn::train_classifier(&mut dense, &xt, &yt, &xv, &yv, &cfg);
-    let dense_acc = evaluate(&mut dense, &xe, &ye, 64) * 100.0;
+    let dense_acc = evaluate_backend(&DenseBackend::new(&mut dense, classes), &xe, &ye, 64) * 100.0;
     let base_nonzero = {
         let ws = dense.prunable_weights();
         count_nonzero(&ws.iter().map(|p| &**p).collect::<Vec<_>>())
@@ -857,7 +881,7 @@ pub fn table7(profile: &ExperimentProfile) -> Vec<Table7Row> {
         rows.push(Table7Row {
             label: format!("{:.0}% sparsity", sparsity * 100.0),
             nonzero_params_k: nonzero as f64 / 1000.0,
-            acc: evaluate(&mut model, &xe, &ye, 64) * 100.0,
+            acc: evaluate_backend(&DenseBackend::new(&mut model, classes), &xe, &ye, 64) * 100.0,
             paper_acc: p_acc,
         });
     }
@@ -889,7 +913,7 @@ pub fn table7(profile: &ExperimentProfile) -> Vec<Table7Row> {
             }
         }
     }
-    let twn_acc = evaluate(&mut twn, &xe, &ye, 64) * 100.0;
+    let twn_acc = evaluate_backend(&DenseBackend::new(&mut twn, classes), &xe, &ye, 64) * 100.0;
     rows.push(Table7Row {
         label: format!("TWN ternary ({:.2}KB model)", entries as f64 * 2.0 / 8.0 / 1024.0),
         nonzero_params_k: entries as f64 / 1000.0,

@@ -110,6 +110,12 @@ impl Model for HybridNet {
         ps.extend(Layer::params_mut(&mut self.tree));
         ps
     }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = self.front.params();
+        ps.extend(Layer::params(&self.tree));
+        ps
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@
 //! evaluation (Tables 1–7) and [`describe`] renders Figure 1. The [`engine`]
 //! module compiles a frozen [`StHybridNet`] into its deployment form:
 //! bitplane-packed ternary weights (2 bits each) executed with word-level
-//! add-only kernels ([`PackedStHybrid`]).
+//! add-only kernels ([`PackedStHybrid`]). The [`artifact`] module
+//! serializes that engine as a versioned `.thnt2` file whose loader needs
+//! no training type, and both the dense and packed paths serve through the
+//! unified [`thnt_nn::InferenceBackend`] trait — [`streaming`]'s always-on
+//! detector consumes either interchangeably.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 // math legible next to the formulas they implement.
 #![allow(clippy::needless_range_loop)]
 
+pub mod artifact;
 pub mod config;
 pub mod describe;
 pub mod engine;
@@ -48,6 +53,7 @@ pub mod st_hybrid;
 pub mod streaming;
 pub mod train;
 
+pub use artifact::{load_thnt2, save_thnt2, InferenceMeta};
 pub use config::HybridConfig;
 pub use describe::describe_hybrid;
 pub use engine::{

@@ -3,7 +3,7 @@
 
 use rand::rngs::SmallRng;
 use thnt_bonsai::{BonsaiConfig, StrassenBonsai};
-use thnt_nn::{BatchNorm2d, GlobalAvgPoolLayer, Layer, Model, Param, Relu};
+use thnt_nn::{BatchNorm2d, DenseBackend, GlobalAvgPoolLayer, Layer, Model, Param, Relu};
 use thnt_quant::ActivationProfile;
 use thnt_strassen::{
     CostReport, LayerCost, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDepthwise2d,
@@ -186,6 +186,16 @@ impl StHybridNet {
     pub fn tree(&self) -> &StrassenBonsai {
         &self.tree
     }
+
+    /// Serves the dense evaluation path through the unified
+    /// [`thnt_nn::InferenceBackend`] trait, reporting the analytic
+    /// strassenified cost (additions and 2-bit-ternary model bytes from
+    /// [`Self::cost_report`]).
+    pub fn dense_backend(&mut self) -> DenseBackend<'_, Self> {
+        let report = self.cost_report();
+        let classes = self.config.num_classes;
+        DenseBackend::new(self, classes).with_cost(report.adds, report.model_bytes(4) as usize)
+    }
 }
 
 impl Model for StHybridNet {
@@ -202,6 +212,12 @@ impl Model for StHybridNet {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut ps = self.front.params_mut();
         ps.extend(Layer::params_mut(&mut self.tree));
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = self.front.params();
+        ps.extend(Layer::params(&self.tree));
         ps
     }
 }

@@ -4,17 +4,25 @@
 //! A microcontroller KWS system does not see pre-segmented one-second clips:
 //! it slides a window over a continuous microphone stream and smooths the
 //! per-window posteriors before raising a detection. [`StreamingDetector`]
-//! implements that loop on top of any trained [`Model`]:
+//! implements that loop on top of any [`InferenceBackend`] — the dense
+//! frozen path through [`thnt_nn::DenseBackend`] or the packed add-only
+//! engine ([`crate::engine::PackedStHybrid`]), including one reloaded from a
+//! `.thnt2` artifact with no training stack in the process:
 //!
 //! * maintains a one-second ring buffer of audio,
 //! * recomputes MFCC features every `hop` samples,
-//! * majority-smooths the last `smoothing` window decisions,
+//! * mean-smooths the posteriors of the last `smoothing` windows,
 //! * reports a detection only when the smoothed class is a keyword and its
 //!   confidence clears `threshold`.
+//!
+//! The backend is held by shared reference: inference is `&self`, so one
+//! compiled engine can serve many concurrent detectors.
 
 use thnt_dsp::{Mfcc, MfccConfig};
-use thnt_nn::{softmax, Model};
+use thnt_nn::{softmax, InferenceBackend};
 use thnt_tensor::Tensor;
+
+use crate::artifact::InferenceMeta;
 
 /// Configuration of the streaming loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,18 +33,25 @@ pub struct StreamingConfig {
     pub smoothing: usize,
     /// Minimum smoothed posterior for a detection.
     pub threshold: f32,
+    /// Number of trailing classes that are *not* keywords and never raise a
+    /// detection. The keyword range is derived from the backend's class
+    /// count as `0..num_classes − suppress_trailing`; the default of 2
+    /// matches the speech-commands convention of appending silence and
+    /// unknown after the keywords.
+    pub suppress_trailing: usize,
 }
 
 impl Default for StreamingConfig {
     fn default() -> Self {
-        Self { hop: 8_000, smoothing: 3, threshold: 0.5 }
+        Self { hop: 8_000, smoothing: 3, threshold: 0.5, suppress_trailing: 2 }
     }
 }
 
 /// A detection event emitted by the streaming loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
-    /// Class index (0–11).
+    /// Keyword class index, in `0..num_keywords` where `num_keywords` is the
+    /// backend's class count minus [`StreamingConfig::suppress_trailing`].
     pub class: usize,
     /// Smoothed posterior of the detected class.
     pub confidence: f32,
@@ -44,11 +59,13 @@ pub struct Detection {
     pub at_sample: usize,
 }
 
-/// Sliding-window keyword detector over a continuous audio stream.
-pub struct StreamingDetector<'m, M: Model> {
-    model: &'m mut M,
+/// Sliding-window keyword detector over a continuous audio stream, serving
+/// any [`InferenceBackend`].
+pub struct StreamingDetector<'m, B: InferenceBackend + ?Sized> {
+    backend: &'m B,
     mfcc: Mfcc,
     config: StreamingConfig,
+    num_keywords: usize,
     norm_mean: Vec<f32>,
     norm_std: Vec<f32>,
     ring: Vec<f32>,
@@ -58,26 +75,52 @@ pub struct StreamingDetector<'m, M: Model> {
     recent: Vec<Vec<f32>>,
 }
 
-impl<'m, M: Model> StreamingDetector<'m, M> {
-    /// Creates a detector around a trained model and the per-coefficient
-    /// normalisation statistics its training data used.
+impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
+    /// Creates a detector around an inference backend and the
+    /// per-coefficient normalisation statistics its training data used,
+    /// with the paper's MFCC front-end.
     ///
     /// # Panics
     ///
-    /// Panics if the statistics do not have one entry per MFCC coefficient.
+    /// Panics if the statistics do not have one entry per MFCC coefficient,
+    /// or if the backend's class count does not exceed
+    /// [`StreamingConfig::suppress_trailing`] (there would be no detectable
+    /// keyword class).
     pub fn new(
-        model: &'m mut M,
+        backend: &'m B,
         config: StreamingConfig,
         norm_mean: Vec<f32>,
         norm_std: Vec<f32>,
     ) -> Self {
-        let mfcc_cfg = MfccConfig::paper();
+        Self::with_mfcc(backend, config, MfccConfig::paper(), norm_mean, norm_std)
+    }
+
+    /// [`Self::new`] with an explicit MFCC configuration (e.g. the one
+    /// embedded in a `.thnt2` artifact).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn with_mfcc(
+        backend: &'m B,
+        config: StreamingConfig,
+        mfcc_cfg: MfccConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
         assert_eq!(norm_mean.len(), mfcc_cfg.num_coeffs, "mean length mismatch");
         assert_eq!(norm_std.len(), mfcc_cfg.num_coeffs, "std length mismatch");
+        let classes = backend.num_classes();
+        assert!(
+            classes > config.suppress_trailing,
+            "backend has {classes} classes but {} are suppressed — nothing can be detected",
+            config.suppress_trailing
+        );
         Self {
-            model,
+            backend,
             mfcc: Mfcc::new(mfcc_cfg),
             config,
+            num_keywords: classes - config.suppress_trailing,
             norm_mean,
             norm_std,
             ring: vec![0.0; 16_000],
@@ -86,6 +129,23 @@ impl<'m, M: Model> StreamingDetector<'m, M> {
             consumed: 0,
             recent: Vec::new(),
         }
+    }
+
+    /// Builds a detector straight from the serving metadata embedded in a
+    /// `.thnt2` artifact: artifact in, always-on pipeline out, with no
+    /// `thnt-nn` model construction anywhere on the path.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn from_meta(backend: &'m B, config: StreamingConfig, meta: &InferenceMeta) -> Self {
+        Self::with_mfcc(backend, config, meta.mfcc, meta.norm_mean.clone(), meta.norm_std.clone())
+    }
+
+    /// Number of detectable keyword classes (the backend's class count
+    /// minus the suppressed trailing classes).
+    pub fn num_keywords(&self) -> usize {
+        self.num_keywords
     }
 
     /// Feeds audio samples; returns any detections they trigger.
@@ -117,14 +177,19 @@ impl<'m, M: Model> StreamingDetector<'m, M> {
                 x.set(&[0, 0, f, c], (feats.at(&[f, c]) - self.norm_mean[c]) / self.norm_std[c]);
             }
         }
-        let logits = self.model.forward(&x, false);
+        let logits = self.backend.infer(&x);
+        let classes = logits.dims()[1];
+        assert_eq!(
+            classes,
+            self.num_keywords + self.config.suppress_trailing,
+            "backend produced {classes} logits, expected its advertised class count"
+        );
         let probs = softmax(&logits);
         self.recent.push(probs.row(0).to_vec());
         if self.recent.len() > self.config.smoothing {
             self.recent.remove(0);
         }
         // Smoothed posterior = mean over the recent windows.
-        let classes = probs.dims()[1];
         let mut mean = vec![0.0f32; classes];
         for row in &self.recent {
             for (m, &v) in mean.iter_mut().zip(row) {
@@ -138,8 +203,8 @@ impl<'m, M: Model> StreamingDetector<'m, M> {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
-        // Keywords only (silence = 10, unknown = 11 are suppressed).
-        if best.0 < 10 && *best.1 >= self.config.threshold {
+        // Keywords only: the trailing filler classes never detect.
+        if best.0 < self.num_keywords && *best.1 >= self.config.threshold {
             Some(Detection { class: best.0, confidence: *best.1, at_sample: self.consumed })
         } else {
             None
@@ -147,10 +212,11 @@ impl<'m, M: Model> StreamingDetector<'m, M> {
     }
 }
 
-impl<M: Model> std::fmt::Debug for StreamingDetector<'_, M> {
+impl<B: InferenceBackend + ?Sized> std::fmt::Debug for StreamingDetector<'_, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamingDetector")
             .field("config", &self.config)
+            .field("backend", &self.backend.backend_name())
             .field("consumed", &self.consumed)
             .finish()
     }
@@ -159,25 +225,29 @@ impl<M: Model> std::fmt::Debug for StreamingDetector<'_, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use thnt_nn::Param;
 
-    /// A stub model that always emits fixed logits.
+    /// A stub backend that always emits fixed logits.
     #[derive(Debug)]
     struct Fixed(Vec<f32>);
-    impl Model for Fixed {
-        fn forward(&mut self, _x: &Tensor, _train: bool) -> Tensor {
-            Tensor::from_vec(self.0.clone(), &[1, 12])
+    impl InferenceBackend for Fixed {
+        fn infer(&self, _x: &Tensor) -> Tensor {
+            Tensor::from_vec(self.0.clone(), &[1, self.0.len()])
         }
-        fn backward(&mut self, _grad: &Tensor) {}
-        fn params_mut(&mut self) -> Vec<&mut Param> {
-            Vec::new()
+        fn num_classes(&self) -> usize {
+            self.0.len()
+        }
+        fn adds_per_sample(&self) -> u64 {
+            0
+        }
+        fn model_bytes(&self) -> usize {
+            self.0.len() * 4
         }
     }
 
-    fn detector_over(model: &mut Fixed, threshold: f32) -> StreamingDetector<'_, Fixed> {
+    fn detector_over(model: &Fixed, threshold: f32) -> StreamingDetector<'_, Fixed> {
         StreamingDetector::new(
             model,
-            StreamingConfig { hop: 4_000, smoothing: 2, threshold },
+            StreamingConfig { hop: 4_000, smoothing: 2, threshold, ..Default::default() },
             vec![0.0; 10],
             vec![1.0; 10],
         )
@@ -187,8 +257,8 @@ mod tests {
     fn no_detection_until_buffer_fills() {
         let mut logits = vec![0.0f32; 12];
         logits[3] = 10.0;
-        let mut model = Fixed(logits);
-        let mut det = detector_over(&mut model, 0.5);
+        let model = Fixed(logits);
+        let mut det = detector_over(&model, 0.5);
         // 15k samples: buffer not yet full, no inference at all.
         assert!(det.push(&vec![0.0; 15_999]).is_empty());
         // Crossing 16k fills the buffer; next hop boundary triggers.
@@ -201,16 +271,16 @@ mod tests {
     fn silence_class_never_detects() {
         let mut logits = vec![0.0f32; 12];
         logits[10] = 10.0; // silence
-        let mut model = Fixed(logits);
-        let mut det = detector_over(&mut model, 0.1);
+        let model = Fixed(logits);
+        let mut det = detector_over(&model, 0.1);
         assert!(det.push(&vec![0.0; 40_000]).is_empty());
     }
 
     #[test]
     fn threshold_gates_detections() {
         // Uniform logits -> per-class posterior 1/12 < 0.5 threshold.
-        let mut model = Fixed(vec![1.0; 12]);
-        let mut det = detector_over(&mut model, 0.5);
+        let model = Fixed(vec![1.0; 12]);
+        let mut det = detector_over(&model, 0.5);
         assert!(det.push(&vec![0.0; 40_000]).is_empty());
     }
 
@@ -218,11 +288,48 @@ mod tests {
     fn detections_report_stream_position() {
         let mut logits = vec![0.0f32; 12];
         logits[0] = 10.0;
-        let mut model = Fixed(logits);
-        let mut det = detector_over(&mut model, 0.5);
+        let model = Fixed(logits);
+        let mut det = detector_over(&model, 0.5);
         let d = det.push(&vec![0.0; 32_000]);
         assert!(!d.is_empty());
         assert!(d[0].at_sample >= 16_000);
         assert!(d[0].at_sample <= 32_000);
+    }
+
+    #[test]
+    fn keyword_range_derives_from_backend_classes() {
+        // A 5-class backend with the default 2 suppressed classes detects
+        // keywords 0..3: class 2 fires, class 3 (first filler) never does.
+        let mut logits = vec![0.0f32; 5];
+        logits[2] = 10.0;
+        let model = Fixed(logits);
+        let mut det = detector_over(&model, 0.5);
+        assert_eq!(det.num_keywords(), 3);
+        let d = det.push(&vec![0.0; 32_000]);
+        assert_eq!(d[0].class, 2);
+
+        let mut filler = vec![0.0f32; 5];
+        filler[3] = 10.0;
+        let model = Fixed(filler);
+        let mut det = detector_over(&model, 0.1);
+        assert!(det.push(&vec![0.0; 40_000]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "suppressed")]
+    fn backend_with_only_filler_classes_is_rejected() {
+        let model = Fixed(vec![0.0; 2]);
+        detector_over(&model, 0.5);
+    }
+
+    #[test]
+    fn shared_backend_serves_multiple_detectors() {
+        let mut logits = vec![0.0f32; 12];
+        logits[1] = 10.0;
+        let model = Fixed(logits);
+        let mut a = detector_over(&model, 0.5);
+        let mut b = detector_over(&model, 0.5);
+        assert_eq!(a.push(&vec![0.0; 24_000])[0].class, 1);
+        assert_eq!(b.push(&vec![0.0; 24_000])[0].class, 1);
     }
 }

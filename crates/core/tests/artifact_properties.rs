@@ -1,0 +1,108 @@
+//! Property-based tests for the `.thnt2` packed-model artifact: save → load
+//! must be bitwise-lossless across architectures, and any malformed blob
+//! must be rejected with an error — never a panic, never silent corruption.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt_core::{HybridConfig, InferenceMeta, PackedStHybrid, StHybridNet};
+use thnt_dsp::MfccConfig;
+use thnt_nn::Model;
+use thnt_strassen::Strassenified;
+
+fn frozen_engine(seed: u64, width: usize, tree_depth: usize) -> (StHybridNet, PackedStHybrid) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = StHybridNet::new(
+        HybridConfig { ds_blocks: 1, width, proj_dim: 6, tree_depth, ..HybridConfig::paper() },
+        &mut rng,
+    );
+    net.activate_quantization();
+    net.freeze_ternary();
+    let engine = PackedStHybrid::compile(&net);
+    (net, engine)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Save → load reproduces the exact engine (bitplanes, affines,
+    /// topology — `PartialEq` covers every field) and the forward pass of
+    /// the reloaded engine matches both the original engine and the dense
+    /// frozen path.
+    #[test]
+    fn thnt2_roundtrip_is_lossless(
+        seed in 0u64..1_000,
+        width in 4usize..10,
+        tree_depth in 1usize..3,
+    ) {
+        let (mut net, engine) = frozen_engine(seed, width, tree_depth);
+        let meta = InferenceMeta {
+            mfcc: MfccConfig::paper(),
+            norm_mean: vec![0.1; 10],
+            norm_std: vec![2.0; 10],
+        };
+        let mut blob = Vec::new();
+        engine.save(Some(&meta), &mut blob).unwrap();
+        let (reloaded, got_meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+        prop_assert_eq!(&reloaded, &engine, "bitplanes must be bitwise identical");
+        prop_assert_eq!(got_meta.unwrap(), meta);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD5);
+        let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let original = engine.forward(&x);
+        let restored = reloaded.forward(&x);
+        for (a, b) in original.data().iter().zip(restored.data()) {
+            prop_assert!((a - b).abs() <= 1e-6, "reloaded forward diverged: {a} vs {b}");
+        }
+        let dense = net.forward(&x, false);
+        for (a, b) in dense.data().iter().zip(restored.data()) {
+            prop_assert!(
+                (a - b).abs() <= 1e-4 + 1e-4 * a.abs(),
+                "reloaded engine diverged from the dense path: {a} vs {b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating a valid artifact anywhere must produce an error, not a
+    /// panic and not a silently-wrong engine.
+    #[test]
+    fn truncated_artifacts_are_rejected(cut_frac in 0.0f64..1.0) {
+        let (_, engine) = frozen_engine(7, 6, 1);
+        let mut blob = Vec::new();
+        engine.save(None, &mut blob).unwrap();
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < blob.len());
+        let err = PackedStHybrid::load(&blob[..cut]);
+        prop_assert!(err.is_err(), "truncation at {cut}/{} must fail", blob.len());
+    }
+
+    /// Corrupting the container header (magic or version) must be rejected.
+    #[test]
+    fn corrupted_headers_are_rejected(byte in 0usize..8, bit in 0u32..8) {
+        let (_, engine) = frozen_engine(8, 6, 1);
+        let mut blob = Vec::new();
+        engine.save(None, &mut blob).unwrap();
+        blob[byte] ^= 1 << bit;
+        let err = PackedStHybrid::load(blob.as_slice());
+        prop_assert!(err.is_err(), "header corruption at byte {byte} bit {bit} must fail");
+    }
+
+    /// Random garbage never loads.
+    #[test]
+    fn random_bytes_never_load(data in proptest::collection::vec(0u8..=255, 0..256)) {
+        prop_assert!(PackedStHybrid::load(data.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let (_, engine) = frozen_engine(9, 6, 1);
+    let mut blob = Vec::new();
+    engine.save(None, &mut blob).unwrap();
+    blob.push(0);
+    assert!(PackedStHybrid::load(blob.as_slice()).is_err());
+}

@@ -107,6 +107,10 @@ impl Model for DsCnn {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.net.params_mut()
     }
+
+    fn params(&self) -> Vec<&Param> {
+        self.net.params()
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +137,7 @@ mod tests {
     #[test]
     fn param_count_near_23k() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut model = DsCnn::new(&mut rng);
+        let model = DsCnn::new(&mut rng);
         let n = model.num_params();
         // Paper Table 7: 23.18K (including BN); ours counts BN gamma/beta too.
         assert!((22_000..25_000).contains(&n), "params {n}");

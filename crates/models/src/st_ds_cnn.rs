@@ -138,6 +138,10 @@ impl Model for StDsCnn {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.stack.params_mut()
     }
+
+    fn params(&self) -> Vec<&Param> {
+        self.stack.params()
+    }
 }
 
 impl Strassenified for StDsCnn {

@@ -141,6 +141,10 @@ impl Model for BaselineModel {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.net.params_mut()
     }
+
+    fn params(&self) -> Vec<&Param> {
+        self.net.params()
+    }
 }
 
 /// Builds the baseline of the given kind with fresh weights.

@@ -1,0 +1,197 @@
+//! The serving-side model abstraction: [`InferenceBackend`].
+//!
+//! Training code mutates models ([`Model::forward`] takes `&mut self` so
+//! layers can cache activations for backprop), but a deployed model is a
+//! frozen function: logits out, no state touched. `InferenceBackend` is that
+//! contract — an **immutable** `&self` forward plus the two cost numbers the
+//! paper's deployment story revolves around (additions per inference, packed
+//! model bytes) — so every serving consumer (the streaming detector, the
+//! experiment drivers' test-set evaluations, the bench binaries) can swap
+//! between the dense frozen path and the packed add-only engine without
+//! caring which one it holds.
+//!
+//! Two implementations ship with the workspace:
+//!
+//! * [`DenseBackend`] (here) — adapts any trained [`Model`] through interior
+//!   mutability, running the ordinary `forward(x, train=false)` path,
+//! * `PackedStHybrid` (in `thnt-core`) — the bitplane-packed add-only
+//!   engine, whose forward is already `&self`.
+
+use std::cell::RefCell;
+
+use thnt_tensor::Tensor;
+
+use crate::loss::accuracy;
+use crate::model::Model;
+use crate::trainer::gather_rows;
+
+/// A frozen model served for inference: immutable forward producing logits,
+/// plus deployment-cost reporting.
+///
+/// Implementations must be deterministic: the same input always produces the
+/// same logits (no training-mode randomness, no state updates).
+pub trait InferenceBackend {
+    /// Runs inference on a batch, returning logits `[n, num_classes]`.
+    fn infer(&self, x: &Tensor) -> Tensor;
+
+    /// Width of the logits row — the model's class count. Consumers derive
+    /// task shape (e.g. keyword-vs-filler splits) from this instead of
+    /// hardcoding a dataset.
+    fn num_classes(&self) -> usize;
+
+    /// Additions/subtractions executed (or, for dense backends, analytically
+    /// modelled) per input sample.
+    fn adds_per_sample(&self) -> u64;
+
+    /// Serialized model size in bytes for this backend's storage format.
+    fn model_bytes(&self) -> usize;
+
+    /// Short backend label for reports and benchmark rows.
+    fn backend_name(&self) -> &'static str {
+        "backend"
+    }
+}
+
+/// Adapts a trained [`Model`] into an [`InferenceBackend`]: the dense
+/// forward path, served immutably.
+///
+/// [`Model::forward`] takes `&mut self` purely so training can cache; in
+/// eval mode nothing observable changes, so the adapter wraps the exclusive
+/// borrow in a [`RefCell`] and exposes `&self` inference. `model_bytes`
+/// defaults to f32 parameter storage (4 bytes per scalar, from
+/// [`Model::params`]); strassenified callers can override both cost numbers
+/// with [`DenseBackend::with_cost`] to report their analytic budget instead.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use thnt_nn::{Dense, InferenceBackend, LayerModel, DenseBackend};
+/// use thnt_tensor::Tensor;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut model = LayerModel::new(Dense::new(4, 3, &mut rng));
+/// let backend = DenseBackend::new(&mut model, 3);
+/// let logits = backend.infer(&Tensor::zeros(&[2, 4]));
+/// assert_eq!(logits.dims(), &[2, 3]);
+/// assert_eq!(backend.model_bytes(), (4 * 3 + 3) * 4);
+/// ```
+pub struct DenseBackend<'m, M: Model + ?Sized> {
+    model: RefCell<&'m mut M>,
+    num_classes: usize,
+    adds_per_sample: u64,
+    model_bytes: usize,
+}
+
+impl<'m, M: Model + ?Sized> DenseBackend<'m, M> {
+    /// Wraps `model`. `num_classes` is the logits width the model produces.
+    pub fn new(model: &'m mut M, num_classes: usize) -> Self {
+        let model_bytes = model.params().iter().map(|p| p.numel() * 4).sum();
+        Self { model: RefCell::new(model), num_classes, adds_per_sample: 0, model_bytes }
+    }
+
+    /// Overrides the reported cost numbers (e.g. with a strassenified
+    /// model's analytic addition budget and 2-bit-packed size).
+    pub fn with_cost(mut self, adds_per_sample: u64, model_bytes: usize) -> Self {
+        self.adds_per_sample = adds_per_sample;
+        self.model_bytes = model_bytes;
+        self
+    }
+}
+
+impl<M: Model + ?Sized> InferenceBackend for DenseBackend<'_, M> {
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.model.borrow_mut().forward(x, false)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn adds_per_sample(&self) -> u64 {
+        self.adds_per_sample
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+impl<M: Model + ?Sized> std::fmt::Debug for DenseBackend<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseBackend")
+            .field("num_classes", &self.num_classes)
+            .field("model_bytes", &self.model_bytes)
+            .finish()
+    }
+}
+
+/// Top-1 accuracy of `backend` over a labelled set, batched — the
+/// serving-path counterpart of [`crate::evaluate`] and bit-identical to it
+/// for a [`DenseBackend`] over the same model.
+pub fn evaluate_backend<B: InferenceBackend + ?Sized>(
+    backend: &B,
+    x: &Tensor,
+    y: &[usize],
+    batch_size: usize,
+) -> f32 {
+    let n = y.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0.0f32;
+    let idx: Vec<usize> = (0..n).collect();
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let bx = gather_rows(x, chunk);
+        let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+        let logits = backend.infer(&bx);
+        correct += accuracy(&logits, &by) * by.len() as f32;
+    }
+    correct / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::model::LayerModel;
+    use crate::trainer::evaluate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_backend_matches_eval_forward() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut model = LayerModel::new(Dense::new(6, 4, &mut rng));
+        let x = thnt_tensor::gaussian(&[3, 6], 0.0, 1.0, &mut rng);
+        let want = model.forward(&x, false);
+        let backend = DenseBackend::new(&mut model, 4);
+        let got = backend.infer(&x);
+        assert_eq!(got.data(), want.data());
+        assert_eq!(backend.num_classes(), 4);
+        assert_eq!(backend.backend_name(), "dense");
+    }
+
+    #[test]
+    fn with_cost_overrides_reporting() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut model = LayerModel::new(Dense::new(2, 2, &mut rng));
+        let backend = DenseBackend::new(&mut model, 2).with_cost(123, 456);
+        assert_eq!(backend.adds_per_sample(), 123);
+        assert_eq!(backend.model_bytes(), 456);
+    }
+
+    #[test]
+    fn evaluate_backend_matches_evaluate() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut model = LayerModel::new(Dense::new(5, 3, &mut rng));
+        let x = thnt_tensor::gaussian(&[11, 5], 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..11).map(|i| i % 3).collect();
+        let want = evaluate(&mut model, &x, &y, 4);
+        let got = evaluate_backend(&DenseBackend::new(&mut model, 3), &x, &y, 4);
+        assert_eq!(got, want);
+    }
+}

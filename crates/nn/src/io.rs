@@ -1,6 +1,8 @@
-//! Model checkpointing: a compact binary format for parameter sets.
+//! Model checkpointing: a compact binary format for parameter sets, plus
+//! the sectioned container scheme used by deployment artifacts.
 //!
-//! The format is deliberately simple (little-endian, no compression):
+//! The checkpoint format is deliberately simple (little-endian, no
+//! compression):
 //!
 //! ```text
 //! magic "THNT" | version u32 | param_count u32
@@ -11,6 +13,11 @@
 //! Loading validates names, shapes and order, so a checkpoint can only be
 //! restored into an identically-constructed model — the failure mode is an
 //! error, never silent weight corruption.
+//!
+//! [`SectionWriter`] / [`SectionReader`] extend the same header scheme into
+//! a versioned multi-section container (magic `THN2`, a section table of
+//! tag/length pairs, then the payloads). `thnt-core` uses it for the
+//! `.thnt2` packed-model artifact; the scheme itself is model-agnostic.
 
 use std::io::{self, Read, Write};
 
@@ -22,13 +29,23 @@ use crate::model::Model;
 const MAGIC: &[u8; 4] = b"THNT";
 const VERSION: u32 = 1;
 
+/// Magic bytes of the sectioned (`.thnt2`) container.
+pub const SECTION_MAGIC: &[u8; 4] = b"THN2";
+/// Current version of the sectioned container layout.
+pub const SECTION_VERSION: u32 = 1;
+
+/// Shorthand for the `InvalidData` errors every loader in this module uses.
+pub fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Serializes `model`'s parameters to `writer`.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from the writer.
-pub fn save_model<W: Write>(model: &mut dyn Model, mut writer: W) -> io::Result<()> {
-    let params = model.params_mut();
+pub fn save_model<W: Write>(model: &dyn Model, mut writer: W) -> io::Result<()> {
+    let params = model.params();
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
@@ -126,7 +143,7 @@ pub fn load_model<R: Read>(model: &mut dyn Model, mut reader: R) -> io::Result<(
 /// # Errors
 ///
 /// Propagates file-creation and write errors.
-pub fn save_model_file(model: &mut dyn Model, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+pub fn save_model_file(model: &dyn Model, path: impl AsRef<std::path::Path>) -> io::Result<()> {
     save_model(model, std::fs::File::create(path)?)
 }
 
@@ -137,6 +154,146 @@ pub fn save_model_file(model: &mut dyn Model, path: impl AsRef<std::path::Path>)
 /// Propagates file-open/read errors and format mismatches.
 pub fn load_model_file(model: &mut dyn Model, path: impl AsRef<std::path::Path>) -> io::Result<()> {
     load_model(model, std::fs::File::open(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Sectioned container (magic THN2).
+// ---------------------------------------------------------------------------
+
+/// Builds a sectioned binary container:
+///
+/// ```text
+/// magic "THN2" | version u32 | section_count u32
+/// section table: per section: tag [u8; 4] | payload_len u64
+/// payloads, concatenated in table order
+/// ```
+///
+/// Sections are identified by a four-byte ASCII tag. Writers append
+/// sections with [`SectionWriter::section`]; readers locate them by tag, so
+/// new section kinds can be added in later versions without breaking older
+/// payload layouts (a reader skips tags it does not know and fails loudly
+/// on missing required ones).
+#[derive(Debug, Default)]
+pub struct SectionWriter {
+    sections: Vec<([u8; 4], BytesMut)>,
+}
+
+impl SectionWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new section and returns its payload buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` was already added — duplicate tags would make
+    /// [`SectionReader::take`] ambiguous.
+    pub fn section(&mut self, tag: [u8; 4]) -> &mut BytesMut {
+        assert!(
+            self.sections.iter().all(|(t, _)| *t != tag),
+            "duplicate section tag {:?}",
+            String::from_utf8_lossy(&tag)
+        );
+        self.sections.push((tag, BytesMut::new()));
+        &mut self.sections.last_mut().expect("just pushed").1
+    }
+
+    /// Writes the header, section table and payloads to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_to<W: Write>(self, mut writer: W) -> io::Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(SECTION_MAGIC);
+        buf.put_u32_le(SECTION_VERSION);
+        buf.put_u32_le(self.sections.len() as u32);
+        for (tag, payload) in &self.sections {
+            buf.put_slice(tag);
+            buf.put_u64_le(payload.len() as u64);
+        }
+        for (_, payload) in &self.sections {
+            buf.put_slice(payload);
+        }
+        writer.write_all(&buf)
+    }
+}
+
+/// Parses a container written by [`SectionWriter`] and hands out payloads
+/// by tag.
+#[derive(Debug)]
+pub struct SectionReader {
+    sections: Vec<([u8; 4], Bytes)>,
+}
+
+impl SectionReader {
+    /// Reads and validates the whole container.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on bad magic, unsupported version, duplicate
+    /// tags, or when the payload bytes do not exactly match the section
+    /// table (truncated or trailing data), plus any I/O error from the
+    /// reader.
+    pub fn read_from<R: Read>(mut reader: R) -> io::Result<Self> {
+        let mut raw = Vec::new();
+        reader.read_to_end(&mut raw)?;
+        let mut buf = Bytes::from(raw);
+        if buf.remaining() < 12 || &buf.copy_to_bytes(4)[..] != SECTION_MAGIC {
+            return Err(invalid_data("bad container magic (want THN2)"));
+        }
+        let version = buf.get_u32_le();
+        if version != SECTION_VERSION {
+            return Err(invalid_data(format!("unsupported container version {version}")));
+        }
+        let count = buf.get_u32_le() as usize;
+        if buf.remaining() < count.saturating_mul(12) {
+            return Err(invalid_data("truncated section table"));
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag_bytes = buf.copy_to_bytes(4);
+            let tag: [u8; 4] = tag_bytes[..].try_into().expect("4-byte tag");
+            let len = buf.get_u64_le();
+            if table.iter().any(|(t, _)| *t == tag) {
+                return Err(invalid_data(format!(
+                    "duplicate section {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            table.push((tag, len));
+        }
+        let mut total: u64 = 0;
+        for (_, len) in &table {
+            total = total
+                .checked_add(*len)
+                .ok_or_else(|| invalid_data("section table length overflow"))?;
+        }
+        if total != buf.remaining() as u64 {
+            return Err(invalid_data(format!(
+                "section table claims {total} payload bytes, container has {}",
+                buf.remaining()
+            )));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for (tag, len) in table {
+            sections.push((tag, buf.copy_to_bytes(len as usize)));
+        }
+        Ok(Self { sections })
+    }
+
+    /// Removes and returns the payload of `tag`, or `None` if absent.
+    pub fn take(&mut self, tag: [u8; 4]) -> Option<Bytes> {
+        let i = self.sections.iter().position(|(t, _)| *t == tag)?;
+        Some(self.sections.remove(i).1)
+    }
+
+    /// Tags still present (unconsumed), in file order.
+    pub fn remaining_tags(&self) -> Vec<[u8; 4]> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +322,7 @@ mod tests {
         assert_ne!(ya.data(), yb.data());
 
         let mut blob = Vec::new();
-        save_model(&mut a, &mut blob).unwrap();
+        save_model(&a, &mut blob).unwrap();
         load_model(&mut b, blob.as_slice()).unwrap();
         let yb2 = b.forward(&x, false);
         assert_eq!(ya.data(), yb2.data());
@@ -176,7 +333,7 @@ mod tests {
         let mut a = net(3);
         a.params_mut()[0].freeze();
         let mut blob = Vec::new();
-        save_model(&mut a, &mut blob).unwrap();
+        save_model(&a, &mut blob).unwrap();
         let mut b = net(4);
         load_model(&mut b, blob.as_slice()).unwrap();
         assert!(!b.params_mut()[0].trainable);
@@ -185,9 +342,9 @@ mod tests {
 
     #[test]
     fn shape_mismatch_is_rejected() {
-        let mut a = net(5);
+        let a = net(5);
         let mut blob = Vec::new();
-        save_model(&mut a, &mut blob).unwrap();
+        save_model(&a, &mut blob).unwrap();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
         let mut wrong = Sequential::new(vec![
             Box::new(Dense::new(4, 7, &mut rng)), // 7 != 6
@@ -209,9 +366,87 @@ mod tests {
     fn truncated_blob_is_rejected() {
         let mut a = net(8);
         let mut blob = Vec::new();
-        save_model(&mut a, &mut blob).unwrap();
+        save_model(&a, &mut blob).unwrap();
         blob.truncate(blob.len() / 2);
         let err = load_model(&mut a, blob.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    fn two_section_blob() -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA").put_slice(&[1, 2, 3]);
+        w.section(*b"BBBB").put_u32_le(0xDEAD_BEEF);
+        let mut blob = Vec::new();
+        w.write_to(&mut blob).unwrap();
+        blob
+    }
+
+    #[test]
+    fn sections_roundtrip_by_tag() {
+        let blob = two_section_blob();
+        let mut r = SectionReader::read_from(blob.as_slice()).unwrap();
+        // Out-of-order lookup works; unknown tags are simply absent.
+        let mut b = r.take(*b"BBBB").unwrap();
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(&r.take(*b"AAAA").unwrap()[..], &[1, 2, 3]);
+        assert!(r.take(*b"ZZZZ").is_none());
+        assert!(r.remaining_tags().is_empty());
+    }
+
+    #[test]
+    fn sections_reject_bad_magic_and_version() {
+        let mut blob = two_section_blob();
+        let err = SectionReader::read_from(&b"NOPE...."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        blob[4] = 0xFF; // version
+        let err = SectionReader::read_from(blob.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn sections_reject_any_truncation_or_trailing_bytes() {
+        let blob = two_section_blob();
+        for cut in 0..blob.len() {
+            let err = SectionReader::read_from(&blob[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        let mut extended = blob.clone();
+        extended.push(0);
+        let err = SectionReader::read_from(extended.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn overflowing_section_lengths_are_rejected() {
+        // Two u64 lengths that wrap to the real payload size must not pass
+        // the total check (or panic): the reader errors on the overflow.
+        let mut blob: Vec<u8> = Vec::new();
+        blob.put_slice(SECTION_MAGIC);
+        blob.put_u32_le(SECTION_VERSION);
+        blob.put_u32_le(2);
+        blob.put_slice(b"AAAA");
+        blob.put_u64_le(1u64 << 63);
+        blob.put_slice(b"BBBB");
+        blob.put_u64_le((1u64 << 63) + 3);
+        blob.put_slice(&[1, 2, 3]);
+        let err = SectionReader::read_from(blob.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate section")]
+    fn duplicate_section_tags_panic_at_write() {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA");
+        w.section(*b"AAAA");
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let mut blob = Vec::new();
+        SectionWriter::new().write_to(&mut blob).unwrap();
+        let r = SectionReader::read_from(blob.as_slice()).unwrap();
+        assert!(r.remaining_tags().is_empty());
     }
 }

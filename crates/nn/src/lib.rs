@@ -43,6 +43,7 @@
 pub mod conv_layers;
 pub mod distill;
 pub mod gradcheck;
+pub mod infer;
 pub mod io;
 pub mod layers;
 pub mod loss;
@@ -55,7 +56,10 @@ pub mod trainer;
 pub use conv_layers::{BatchNorm2d, Conv2dLayer, DepthwiseConv2dLayer};
 pub use distill::{distill_grad, DistillConfig};
 pub use gradcheck::check_gradients;
-pub use io::{load_model, load_model_file, save_model, save_model_file};
+pub use infer::{evaluate_backend, DenseBackend, InferenceBackend};
+pub use io::{
+    load_model, load_model_file, save_model, save_model_file, SectionReader, SectionWriter,
+};
 pub use layers::{Dense, Flatten, GlobalAvgPoolLayer, Relu, Sigmoid, Tanh};
 pub use loss::{accuracy, multiclass_hinge, softmax, softmax_cross_entropy, Loss};
 pub use model::{Layer, LayerModel, Model, Sequential};

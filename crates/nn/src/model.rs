@@ -23,6 +23,11 @@ pub trait Model {
     /// All trainable parameters in a stable order.
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Immutable view of the parameters, in the **same order** as
+    /// [`Model::params_mut`]. Read-only consumers (checkpointing, cost
+    /// reporting, inference backends) use this so they never need `&mut`.
+    fn params(&self) -> Vec<&Param>;
+
     /// Zeroes every parameter gradient.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -31,8 +36,8 @@ pub trait Model {
     }
 
     /// Total number of scalar parameters.
-    fn num_params(&mut self) -> usize {
-        self.params_mut().iter().map(|p| p.numel()).sum()
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
     }
 }
 
@@ -135,6 +140,10 @@ impl Model for Sequential {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
 }
 
 /// Adapts a single [`Layer`] into a [`Model`].
@@ -192,6 +201,10 @@ impl<L: Layer> Model for LayerModel<L> {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layer.params_mut()
     }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layer.params()
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +226,20 @@ mod tests {
         net.backward(&Tensor::ones(&[4, 3]));
         assert_eq!(net.params_mut().len(), 4); // two dense layers x (W, b)
         assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn params_mirrors_params_mut_order() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(5, 7, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(7, 3, &mut rng)),
+        ]);
+        let names: Vec<String> = net.params().iter().map(|p| p.name.clone()).collect();
+        let names_mut: Vec<String> = net.params_mut().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names, names_mut);
+        assert_eq!(net.params().len(), 4);
     }
 
     #[test]

@@ -89,6 +89,63 @@ impl PackedTernary {
         self.words_per_row
     }
 
+    /// The `+1` bitplane words, row-major — the **stable serialized layout**
+    /// consumed by the `.thnt2` artifact format. Bit `c % 64` of word
+    /// `r·words_per_row + c/64` is set iff entry `(r, c)` is `+1`; row
+    /// padding bits are always clear.
+    pub fn plus_words(&self) -> &[u64] {
+        &self.plus
+    }
+
+    /// The `−1` bitplane words, same layout as [`Self::plus_words`].
+    pub fn minus_words(&self) -> &[u64] {
+        &self.minus
+    }
+
+    /// Reassembles a packed matrix from its serialized layout (the inverse
+    /// of [`Self::plus_words`] / [`Self::minus_words`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: wrong word
+    /// counts for the shape, a set bit in the row-padding region, or an
+    /// entry claimed by both planes. A matrix that loads successfully is
+    /// indistinguishable from one built by [`Self::from_tensor`].
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        plus: Vec<u64>,
+        minus: Vec<u64>,
+    ) -> Result<Self, String> {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        let want = rows * words_per_row;
+        if plus.len() != want || minus.len() != want {
+            return Err(format!(
+                "bitplane word count mismatch: {rows}x{cols} needs {want} words per plane, \
+                 got {} plus / {} minus",
+                plus.len(),
+                minus.len()
+            ));
+        }
+        // Padding bits beyond `cols` in each row's last word must be clear.
+        let tail_bits = cols % WORD_BITS;
+        if tail_bits != 0 {
+            let pad_mask = !0u64 << tail_bits;
+            for r in 0..rows {
+                let last = r * words_per_row + words_per_row - 1;
+                if (plus[last] | minus[last]) & pad_mask != 0 {
+                    return Err(format!("row {r} has set bits in the padding region"));
+                }
+            }
+        }
+        for (i, (&p, &m)) in plus.iter().zip(&minus).enumerate() {
+            if p & m != 0 {
+                return Err(format!("word {i} claims entries as both +1 and -1"));
+            }
+        }
+        Ok(Self { rows, cols, words_per_row, plus, minus })
+    }
+
     /// Packed storage in bytes: both bitplanes, including row padding.
     pub fn packed_bytes(&self) -> usize {
         (self.plus.len() + self.minus.len()) * std::mem::size_of::<u64>()
@@ -459,6 +516,51 @@ mod tests {
     #[should_panic(expected = "non-ternary")]
     fn rejects_non_ternary_values() {
         PackedTernary::from_tensor(&Tensor::from_vec(vec![0.5], &[1, 1]));
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_identity() {
+        for cols in [1, 63, 64, 65, 130] {
+            let t = random_ternary(5, cols, cols as u64 + 40);
+            let packed = PackedTernary::from_tensor(&t);
+            let rebuilt = PackedTernary::from_raw_parts(
+                5,
+                cols,
+                packed.plus_words().to_vec(),
+                packed.minus_words().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(rebuilt, packed, "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn raw_parts_reject_corrupted_layouts() {
+        let t = random_ternary(3, 70, 50);
+        let packed = PackedTernary::from_tensor(&t);
+        let (plus, minus) = (packed.plus_words().to_vec(), packed.minus_words().to_vec());
+
+        // Wrong word count.
+        let err = PackedTernary::from_raw_parts(3, 70, plus[1..].to_vec(), minus.clone());
+        assert!(err.unwrap_err().contains("word count"), "short plane must be rejected");
+
+        // Set bit in the padding region of row 0's last word (cols 70 -> 2
+        // words/row, valid tail bits 0..6 of word 1).
+        let mut bad = plus.clone();
+        bad[1] |= 1u64 << 50;
+        let err = PackedTernary::from_raw_parts(3, 70, bad, minus.clone());
+        assert!(err.unwrap_err().contains("padding"), "padding bit must be rejected");
+
+        // The same entry in both planes.
+        let mut bad_plus = plus.clone();
+        let mut bad_minus = minus;
+        bad_plus[0] |= 1;
+        bad_minus[0] |= 1;
+        let err = PackedTernary::from_raw_parts(3, 70, bad_plus, bad_minus);
+        assert!(err.unwrap_err().contains("both"), "overlapping planes must be rejected");
+
+        // The untouched layout still loads.
+        assert!(PackedTernary::from_raw_parts(3, 70, plus, packed.minus_words().to_vec()).is_ok());
     }
 
     #[test]

@@ -44,6 +44,18 @@ impl StLayer {
         }
     }
 
+    /// The layer as an immutable [`Layer`] (for read-only traversals).
+    pub fn as_layer(&self) -> &dyn Layer {
+        match self {
+            StLayer::Conv(l) => l,
+            StLayer::Depthwise(l) => l,
+            StLayer::Dense(l) => l,
+            StLayer::BatchNorm(l) => l,
+            StLayer::Relu(l) => l,
+            StLayer::GlobalAvgPool(l) => l,
+        }
+    }
+
     /// The layer as a phase-controllable strassenified layer, if it is one.
     pub fn as_strassenified(&mut self) -> Option<&mut dyn Strassenified> {
         match self {
@@ -154,6 +166,11 @@ impl StStack {
     /// All parameters in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(|l| l.as_layer_mut().params_mut()).collect()
+    }
+
+    /// Immutable view of all parameters, mirroring [`Self::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.as_layer().params()).collect()
     }
 }
 

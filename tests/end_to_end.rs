@@ -192,7 +192,7 @@ fn checkpoint_roundtrip_for_st_hybrid() {
     assert_ne!(ya.data(), yb.data(), "independent inits should differ");
 
     let mut blob = Vec::new();
-    thnt::nn::save_model(&mut a, &mut blob).unwrap();
+    thnt::nn::save_model(&a, &mut blob).unwrap();
     thnt::nn::load_model(&mut b, blob.as_slice()).unwrap();
     let yb2 = b.forward(&x, false);
     thnt_tensor::assert_close(yb2.data(), ya.data(), 1e-6, 1e-5);
@@ -217,7 +217,7 @@ fn frozen_ternary_survives_checkpoint() {
     );
     assert_eq!(a.mode(), QuantMode::Frozen);
     let mut blob = Vec::new();
-    thnt::nn::save_model(&mut a, &mut blob).unwrap();
+    thnt::nn::save_model(&a, &mut blob).unwrap();
     let mut b = StHybridNet::new(tiny_hybrid_config(), &mut rng);
     thnt::nn::load_model(&mut b, blob.as_slice()).unwrap();
     // Restored ternary matrices are still ternary and untrainable.
@@ -226,5 +226,56 @@ fn frozen_ternary_survives_checkpoint() {
             assert!(!p.trainable);
             assert!(p.value.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
         }
+    }
+}
+
+/// The PR 3 acceptance path: a `.thnt2` artifact saved from a compiled
+/// `StHybridNet` reloads with no `thnt-nn` model construction, produces
+/// logits matching the dense frozen path within 1e-4, and the streaming
+/// detector runs end-to-end on the loaded packed backend through the
+/// `InferenceBackend` trait.
+#[test]
+fn thnt2_artifact_serves_without_training_stack() {
+    use thnt::core::{InferenceMeta, PackedStHybrid, StreamingConfig, StreamingDetector};
+    use thnt::nn::InferenceBackend;
+
+    let mut rng = SmallRng::seed_from_u64(21);
+    let mut net = StHybridNet::new(tiny_hybrid_config(), &mut rng);
+    net.activate_quantization();
+    net.freeze_ternary();
+    let engine = PackedStHybrid::compile(&net);
+
+    let meta = InferenceMeta {
+        mfcc: thnt::dsp::MfccConfig::paper(),
+        norm_mean: vec![0.0; 10],
+        norm_std: vec![1.0; 10],
+    };
+    let mut blob = Vec::new();
+    engine.save(Some(&meta), &mut blob).unwrap();
+    drop(engine);
+
+    // Serving side: only the artifact bytes cross the boundary.
+    let (backend, loaded_meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+    let loaded_meta = loaded_meta.unwrap();
+
+    let x = thnt_tensor::gaussian(&[3, 1, 49, 10], 0.0, 1.0, &mut rng);
+    let dense = net.forward(&x, false);
+    let served = backend.infer(&x);
+    thnt_tensor::assert_close(served.data(), dense.data(), 1e-4, 1e-4);
+    assert_eq!(backend.num_classes(), 12);
+    assert!(backend.adds_per_sample() > 0);
+    assert!(backend.model_bytes() > 0);
+
+    // The always-on loop over the loaded packed backend.
+    let mut detector = StreamingDetector::from_meta(
+        &backend,
+        StreamingConfig { threshold: 0.0, ..StreamingConfig::default() },
+        &loaded_meta,
+    );
+    assert_eq!(detector.num_keywords(), 10);
+    let audio = thnt_tensor::gaussian(&[24_000], 0.0, 0.1, &mut rng);
+    let detections = detector.push(audio.data());
+    for d in &detections {
+        assert!(d.class < 10, "only keyword classes may detect, got {}", d.class);
     }
 }

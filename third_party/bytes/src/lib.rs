@@ -56,6 +56,13 @@ pub trait Buf {
         u32::from_le_bytes(raw)
     }
 
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let raw: [u8; 8] = self.chunk()[..8].try_into().unwrap();
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
     /// Consumes a little-endian `f32`.
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
@@ -79,6 +86,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 
@@ -179,6 +191,7 @@ mod tests {
         w.put_u8(7);
         w.put_u16_le(0xBEEF);
         w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
         w.put_f32_le(1.5);
 
         let mut r = Bytes::from(w.to_vec());
@@ -186,6 +199,7 @@ mod tests {
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16_le(), 0xBEEF);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_f32_le(), 1.5);
         assert!(!r.has_remaining());
     }

@@ -1,37 +1,59 @@
 //! Machine-readable kernel timings for CI and the README bench table.
 //!
 //! Times the dense-vs-packed ternary kernels, end-to-end hybrid inference
-//! through the [`InferenceBackend`] trait, and the streaming detection path
-//! (MFCC + model per window), then writes `BENCH_kernels.json` to the
-//! working directory — a flat list of `{name, iters, mean_ns, median_ns,
-//! windows_per_sec}` rows that CI can diff and dashboards can ingest
-//! without parsing criterion output (`windows_per_sec` is non-zero only for
-//! streaming rows).
+//! through the [`InferenceBackend`] trait, the streaming detection path
+//! (MFCC + model per window), and the multi-session serving layer (many
+//! streams batched through one backend), then writes `BENCH_kernels.json`
+//! to the working directory — a flat list of `{name, iters, mean_ns,
+//! median_ns}` rows that CI can diff and dashboards can ingest without
+//! parsing criterion output. Streaming rows additionally carry
+//! `windows_per_sec`; non-streaming rows omit the field entirely instead of
+//! claiming a zero throughput.
 //!
 //! Iteration counts scale with `THNT_PROFILE` (`smoke` keeps the whole run
 //! under a few seconds; the default profile measures long enough for stable
-//! medians).
+//! medians). With `THNT_BENCH_ASSERT_STREAMING=1` the run fails unless the
+//! packed backend's streaming windows/sec beats the dense backend's — the
+//! regression the old O(window × hop) ring buffer hid.
 
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
-use thnt_core::{HybridConfig, PackedStHybrid, StHybridNet, StreamingConfig, StreamingDetector};
+use thnt_core::{
+    HybridConfig, PackedStHybrid, StHybridNet, StreamServer, StreamingConfig, StreamingDetector,
+};
 use thnt_nn::InferenceBackend;
 use thnt_strassen::{ternary_values, PackedTernary, Strassenified};
 use thnt_tensor::{gaussian, matmul_nt, matvec};
 
 /// One timed kernel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 struct BenchRow {
     name: String,
     iters: usize,
     mean_ns: f64,
     median_ns: f64,
-    /// Streaming-path throughput (inference windows per second); 0 for
+    /// Streaming-path throughput (inference windows per second); absent on
     /// non-streaming rows.
-    windows_per_sec: f64,
+    windows_per_sec: Option<f64>,
+}
+
+// Hand-written so `windows_per_sec` is omitted (not null / not 0.0) on
+// kernel rows; the vendored serde stub has no `skip_serializing_if`.
+impl serde::Serialize for BenchRow {
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.serialize_value()),
+            ("iters".to_string(), self.iters.serialize_value()),
+            ("mean_ns".to_string(), self.mean_ns.serialize_value()),
+            ("median_ns".to_string(), self.median_ns.serialize_value()),
+        ];
+        if let Some(wps) = self.windows_per_sec {
+            fields.push(("windows_per_sec".to_string(), wps.serialize_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Times `f` for `iters` iterations after `iters / 10 + 1` warmup runs.
@@ -54,7 +76,7 @@ fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
         iters,
         mean_ns: mean,
         median_ns: median,
-        windows_per_sec: 0.0,
+        windows_per_sec: None,
     }
 }
 
@@ -70,14 +92,53 @@ fn time_streaming(backend: &dyn InferenceBackend, iters: usize) -> BenchRow {
     let chunk = gaussian(&[config.hop], 0.0, 0.1, &mut rng);
     let name = format!("streaming_window/{}_backend", backend.backend_name());
     let mut row = time(&name, iters, || det.push(chunk.data()));
-    row.windows_per_sec = 1e9 / row.median_ns;
-    println!("{:<42} {:>12.1} windows/sec", "", row.windows_per_sec);
+    row.windows_per_sec = Some(1e9 / row.median_ns);
+    println!("{:<42} {:>12.1} windows/sec", "", 1e9 / row.median_ns);
     row
+}
+
+/// Times the multi-session serving layer: `sessions` concurrent streams fed
+/// one hop each per round, every round's due windows batched through a
+/// single `tick`. Reported throughput is aggregate windows/sec across all
+/// sessions.
+fn time_multi_stream(backend: &dyn InferenceBackend, sessions: usize, iters: usize) -> BenchRow {
+    let config = StreamingConfig::default();
+    let mut server = StreamServer::new(backend, config, vec![0.0; 10], vec![1.0; 10]);
+    let mut rng = SmallRng::seed_from_u64(43);
+    let ids: Vec<_> = (0..sessions).map(|_| server.open()).collect();
+    let prefill = gaussian(&[16_000], 0.0, 0.1, &mut rng);
+    for &id in &ids {
+        server.feed(id, prefill.data());
+    }
+    server.tick();
+    let chunk = gaussian(&[config.hop], 0.0, 0.1, &mut rng);
+    let name = format!("streaming_multi{}/{}_backend", sessions, backend.backend_name());
+    let mut row = time(&name, iters, || {
+        for &id in &ids {
+            server.feed(id, chunk.data());
+        }
+        server.tick()
+    });
+    let wps = sessions as f64 * 1e9 / row.median_ns;
+    row.windows_per_sec = Some(wps);
+    println!("{:<42} {wps:>12.1} windows/sec ({sessions} sessions)", "");
+    row
+}
+
+fn windows_per_sec(rows: &[BenchRow], name: &str) -> f64 {
+    rows.iter()
+        .find(|r| r.name == name)
+        .and_then(|r| r.windows_per_sec)
+        .unwrap_or_else(|| panic!("missing streaming row {name}"))
 }
 
 fn main() {
     let smoke = matches!(std::env::var("THNT_PROFILE").as_deref(), Ok("smoke") | Ok("SMOKE"));
     let (kernel_iters, e2e_iters) = if smoke { (50, 3) } else { (400, 20) };
+    // Streaming windows are ~ms-scale after the ring-buffer fix, so even the
+    // smoke profile can afford enough iterations for a median stable enough
+    // to back the packed-beats-dense CI gate on noisy shared runners.
+    let stream_iters = if smoke { 30 } else { 60 };
     let mut rng = SmallRng::seed_from_u64(0);
     let mut rows = Vec::new();
 
@@ -118,9 +179,29 @@ fn main() {
     assert!(max_err < 1e-4, "packed engine diverged from dense path: {max_err}");
 
     // Streaming-path throughput (MFCC + normalize + model per window),
-    // dense vs packed backend.
+    // dense vs packed backend — with the O(1) ring buffer the backend
+    // choice is visible here instead of drowning in per-sample memmoves.
     for backend in backends {
-        rows.push(time_streaming(backend, e2e_iters));
+        rows.push(time_streaming(backend, stream_iters));
+    }
+
+    // Multi-session serving: 8 concurrent streams batched through one
+    // shared backend per tick.
+    for backend in backends {
+        rows.push(time_multi_stream(backend, 8, stream_iters));
+    }
+
+    // CI gate: packed streaming must beat dense now that the ring buffer is
+    // no longer the bottleneck.
+    let dense_wps = windows_per_sec(&rows, "streaming_window/dense_backend");
+    let packed_wps = windows_per_sec(&rows, "streaming_window/packed_backend");
+    if std::env::var("THNT_BENCH_ASSERT_STREAMING").as_deref() == Ok("1") {
+        assert!(
+            packed_wps > dense_wps,
+            "packed streaming ({packed_wps:.1} w/s) must beat dense ({dense_wps:.1} w/s) — \
+             the ring-buffer regression is back"
+        );
+        println!("\nstreaming assertion: packed {packed_wps:.1} w/s > dense {dense_wps:.1} w/s ✓");
     }
 
     let json = serde_json::to_string_pretty(&rows).expect("serialize bench rows");

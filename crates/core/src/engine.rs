@@ -31,7 +31,7 @@ use thnt_strassen::{
     PackedTernary, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDense, StrassenDepthwise2d,
     Strassenified,
 };
-use thnt_tensor::{global_avg_pool, im2col, Conv2dSpec, Tensor};
+use thnt_tensor::{global_avg_pool, im2col, parallel_zip_chunks, Conv2dSpec, Tensor};
 
 use crate::st_hybrid::StHybridNet;
 
@@ -147,6 +147,12 @@ impl PackedConv2d {
 
     /// Forward: `[n, ic, h, w] → [n, oc, oh, ow]` via packed
     /// `W_b · im2col(x)`, the `â` channel scale, and packed `W_c`.
+    ///
+    /// A single sample parallelises inside the word-level kernels; a batch
+    /// parallelises across samples instead (each worker runs the serial
+    /// kernels into its disjoint slice of `y`), which is how the serving
+    /// layer's cross-session batches scale. Both paths produce bitwise
+    /// identical outputs.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let (n, _, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let (oh, ow) = self.spec.out_dims(h, w);
@@ -154,29 +160,61 @@ impl PackedConv2d {
         let r = self.a_hat.len();
         let oc = self.bias.len();
         let mut y = Tensor::zeros(&[n, oc, oh, ow]);
-        // The hidden buffer is reused across the batch; each sample's output
-        // is written directly into its slice of `y`.
-        let mut hidden = Tensor::zeros(&[r, spatial]);
-        for s in 0..n {
-            let cols = im2col(&x.slice_batch(s), &self.spec);
-            self.wb.matmul_rhs_into(&cols, hidden.data_mut());
-            {
-                let hd = hidden.data_mut();
-                for (kk, &a) in self.a_hat.iter().enumerate() {
-                    for v in &mut hd[kk * spatial..(kk + 1) * spatial] {
-                        *v *= a;
-                    }
+        if n == 0 || oc * spatial == 0 {
+            return y;
+        }
+        if n == 1 {
+            let mut hidden = Tensor::zeros(&[r, spatial]);
+            self.forward_sample(x, 0, spatial, &mut hidden, y.data_mut(), false);
+        } else {
+            parallel_zip_chunks(y.data_mut(), oc * spatial, |s0, chunk| {
+                // The hidden buffer is reused across this worker's samples;
+                // each sample's output is written directly into its slice.
+                let mut hidden = Tensor::zeros(&[r, spatial]);
+                for (ds, dst) in chunk.chunks_mut(oc * spatial).enumerate() {
+                    self.forward_sample(x, s0 + ds, spatial, &mut hidden, dst, true);
                 }
-            }
-            let dst = &mut y.data_mut()[s * oc * spatial..(s + 1) * oc * spatial];
-            self.wc.matmul_rhs_into(&hidden, dst);
-            for (ch, &b) in self.bias.iter().enumerate() {
-                for v in &mut dst[ch * spatial..(ch + 1) * spatial] {
-                    *v += b;
+            });
+        }
+        y
+    }
+
+    /// One sample of [`Self::forward`] into `dst` (`oc × spatial` floats).
+    /// `serial` selects the non-parallel kernels for use inside a
+    /// batch-parallel worker.
+    fn forward_sample(
+        &self,
+        x: &Tensor,
+        s: usize,
+        spatial: usize,
+        hidden: &mut Tensor,
+        dst: &mut [f32],
+        serial: bool,
+    ) {
+        let cols = im2col(&x.slice_batch(s), &self.spec);
+        if serial {
+            self.wb.matmul_rhs_into_serial(&cols, hidden.data_mut());
+        } else {
+            self.wb.matmul_rhs_into(&cols, hidden.data_mut());
+        }
+        {
+            let hd = hidden.data_mut();
+            for (kk, &a) in self.a_hat.iter().enumerate() {
+                for v in &mut hd[kk * spatial..(kk + 1) * spatial] {
+                    *v *= a;
                 }
             }
         }
-        y
+        if serial {
+            self.wc.matmul_rhs_into_serial(hidden, dst);
+        } else {
+            self.wc.matmul_rhs_into(hidden, dst);
+        }
+        for (ch, &b) in self.bias.iter().enumerate() {
+            for v in &mut dst[ch * spatial..(ch + 1) * spatial] {
+                *v += b;
+            }
+        }
     }
 
     /// Additions/subtractions per input sample for an `h × w` input.
@@ -249,76 +287,105 @@ impl PackedDepthwise2d {
     }
 
     /// Forward: `[n, c, h, w] → [n, c, oh, ow]`, additions only plus the
-    /// `c·m` true multiplications by `â` per output position.
+    /// `c·m` true multiplications by `â` per output position. Batches
+    /// parallelise across samples (each worker writes its disjoint slice of
+    /// the output); the per-sample arithmetic is identical either way.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let (c, m) = (self.channels, self.multiplier);
         assert_eq!(x.dims()[1], c, "PackedDepthwise channel mismatch");
         let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
         let (oh, ow) = self.spec.out_dims(h, w);
         let spatial = oh * ow;
-        let (kh, kw) = (self.spec.kh, self.spec.kw);
         let xd = x.data();
         let mut y = Tensor::zeros(&[n, c, oh, ow]);
-        let yd = y.data_mut();
-        let mut hidden = vec![0.0f32; spatial];
-        for s in 0..n {
-            for ch in 0..c {
-                let img = &xd[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
-                let dst = &mut yd[(s * c + ch) * spatial..(s * c + ch + 1) * spatial];
-                dst.fill(self.bias[ch]);
-                for j in 0..m {
-                    let hc = ch * m + j;
-                    let wcv = self.wc_signs[hc];
-                    if wcv == 0 {
-                        continue;
-                    }
-                    // Hidden channel: ternary depthwise taps, zeros skipped.
-                    hidden.fill(0.0);
-                    let taps = &self.wb_signs[hc * kh * kw..(hc + 1) * kh * kw];
-                    for ki in 0..kh {
-                        for kj in 0..kw {
-                            let sign = taps[ki * kw + kj];
-                            if sign == 0 {
+        if n == 0 || c * spatial == 0 {
+            return y;
+        }
+        if n == 1 {
+            let mut hidden = vec![0.0f32; spatial];
+            self.forward_sample(xd, (h, w), m, &mut hidden, y.data_mut());
+        } else {
+            parallel_zip_chunks(y.data_mut(), c * spatial, |s0, chunk| {
+                let mut hidden = vec![0.0f32; spatial];
+                for (ds, dst) in chunk.chunks_mut(c * spatial).enumerate() {
+                    let s = s0 + ds;
+                    let img = &xd[s * c * h * w..(s + 1) * c * h * w];
+                    self.forward_sample(img, (h, w), m, &mut hidden, dst);
+                }
+            });
+        }
+        y
+    }
+
+    /// One sample of [`Self::forward`]: `img` is `[c, h, w]` flattened,
+    /// `dst` its `c × spatial` output slice, `hidden` a reusable
+    /// per-hidden-channel scratch.
+    fn forward_sample(
+        &self,
+        img: &[f32],
+        (h, w): (usize, usize),
+        m: usize,
+        hidden: &mut [f32],
+        dst: &mut [f32],
+    ) {
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let (kh, kw) = (self.spec.kh, self.spec.kw);
+        for ch in 0..self.channels {
+            let img = &img[ch * h * w..(ch + 1) * h * w];
+            let dst = &mut dst[ch * spatial..(ch + 1) * spatial];
+            dst.fill(self.bias[ch]);
+            for j in 0..m {
+                let hc = ch * m + j;
+                let wcv = self.wc_signs[hc];
+                if wcv == 0 {
+                    continue;
+                }
+                // Hidden channel: ternary depthwise taps, zeros skipped.
+                hidden.fill(0.0);
+                let taps = &self.wb_signs[hc * kh * kw..(hc + 1) * kh * kw];
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let sign = taps[ki * kw + kj];
+                        if sign == 0 {
+                            continue;
+                        }
+                        for oy in 0..oh {
+                            let iy = (oy * self.spec.stride_h + ki) as isize
+                                - self.spec.pad_top as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for oy in 0..oh {
-                                let iy = (oy * self.spec.stride_h + ki) as isize
-                                    - self.spec.pad_top as isize;
-                                if iy < 0 || iy >= h as isize {
+                            let src_row = iy as usize * w;
+                            for ox in 0..ow {
+                                let ix = (ox * self.spec.stride_w + kj) as isize
+                                    - self.spec.pad_left as isize;
+                                if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let src_row = iy as usize * w;
-                                for ox in 0..ow {
-                                    let ix = (ox * self.spec.stride_w + kj) as isize
-                                        - self.spec.pad_left as isize;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let v = img[src_row + ix as usize];
-                                    if sign > 0 {
-                                        hidden[oy * ow + ox] += v;
-                                    } else {
-                                        hidden[oy * ow + ox] -= v;
-                                    }
+                                let v = img[src_row + ix as usize];
+                                if sign > 0 {
+                                    hidden[oy * ow + ox] += v;
+                                } else {
+                                    hidden[oy * ow + ox] -= v;
                                 }
                             }
                         }
                     }
-                    // `â` scale, then the ±1 group combine.
-                    let a = self.a_hat[hc];
-                    if wcv > 0 {
-                        for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
-                            *d += a * v;
-                        }
-                    } else {
-                        for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
-                            *d -= a * v;
-                        }
+                }
+                // `â` scale, then the ±1 group combine.
+                let a = self.a_hat[hc];
+                if wcv > 0 {
+                    for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
+                        *d += a * v;
+                    }
+                } else {
+                    for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
+                        *d -= a * v;
                     }
                 }
             }
         }
-        y
     }
 
     /// Additions/subtractions per input sample for an `h × w` input,

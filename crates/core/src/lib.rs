@@ -23,7 +23,9 @@
 //! serializes that engine as a versioned `.thnt2` file whose loader needs
 //! no training type, and both the dense and packed paths serve through the
 //! unified [`thnt_nn::InferenceBackend`] trait — [`streaming`]'s always-on
-//! detector consumes either interchangeably.
+//! detector consumes either interchangeably, and [`serve`]'s
+//! [`StreamServer`] multiplexes many concurrent audio sessions over one
+//! shared backend with cross-session batched inference.
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ pub mod describe;
 pub mod engine;
 pub mod experiments;
 pub mod hybrid;
+pub mod serve;
 pub mod st_hybrid;
 pub mod streaming;
 pub mod train;
@@ -61,8 +64,9 @@ pub use engine::{
 };
 pub use experiments::{ExperimentProfile, Profile};
 pub use hybrid::HybridNet;
+pub use serve::{ServedDetection, SessionId, StreamServer};
 pub use st_hybrid::StHybridNet;
-pub use streaming::{Detection, StreamingConfig, StreamingDetector};
+pub use streaming::{Detection, SessionState, StreamingConfig, StreamingDetector};
 pub use train::{
     anneal_sharpness, train_hybrid, train_st_generic, train_st_hybrid, train_with_hooks,
     StTrainOutcome,

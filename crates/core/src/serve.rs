@@ -1,0 +1,493 @@
+//! Multi-session batched serving: many concurrent audio streams, one shared
+//! inference backend.
+//!
+//! [`StreamingDetector`](crate::streaming::StreamingDetector) serves one
+//! stream; a deployment serves thousands. [`StreamServer`] is the layer in
+//! between: it owns a single [`InferenceBackend`] reference and multiplexes
+//! any number of independent audio **sessions** over it. Each session keeps
+//! only the cheap per-stream state ([`SessionState`] ring + posterior
+//! history); the expensive shared pieces — the MFCC extractor and the model
+//! — exist once.
+//!
+//! The serving loop is two-phase:
+//!
+//! 1. [`StreamServer::feed`] buffers a session's audio. Whenever a window
+//!    becomes due (ring full, one hop elapsed) it is snapshotted into the
+//!    pending queue — no feature extraction, no inference yet.
+//! 2. [`StreamServer::tick`] processes every pending window across all
+//!    sessions at once: MFCC features are extracted **in parallel** (one
+//!    window per worker) into one `[k, 1, frames, coeffs]` tensor, a
+//!    **single batched inference call** runs the model (the packed engine's
+//!    sample-tiled kernels parallelise across the batch), and the
+//!    posteriors are demuxed back to their sessions, voted, and returned as
+//!    detections tagged with [`SessionId`]s.
+//!
+//! Batching never changes results: every backend row is computed
+//! independently of its batch neighbours, so a session served through the
+//! server produces exactly the detections an independent
+//! `StreamingDetector` would over the same stream (enforced by the
+//! equivalence proptests in `crates/core/tests/serve_equivalence.rs`).
+
+use std::collections::{HashMap, VecDeque};
+
+use thnt_dsp::{Mfcc, MfccConfig};
+use thnt_nn::{softmax, InferenceBackend};
+use thnt_tensor::{parallel_zip_chunks, Tensor};
+
+use crate::artifact::InferenceMeta;
+use crate::streaming::{normalize_window, push_vote, Detection, SessionState, StreamingConfig};
+
+/// Opaque handle of one audio session on a [`StreamServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// A detection demuxed back to the session that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedDetection {
+    /// The session whose stream triggered the detection.
+    pub session: SessionId,
+    /// The detection itself, positioned in that session's stream.
+    pub detection: Detection,
+}
+
+/// Per-session serving state: the audio ring plus the posterior vote.
+struct Session {
+    state: SessionState,
+    recent: VecDeque<Vec<f32>>,
+}
+
+/// A due window snapshotted out of a session's ring, awaiting the next
+/// [`StreamServer::tick`].
+struct PendingWindow {
+    session: u64,
+    at_sample: usize,
+    audio: Vec<f32>,
+}
+
+/// Serves many concurrent audio sessions over one shared
+/// [`InferenceBackend`] with cross-session batched inference.
+///
+/// # Example
+///
+/// ```
+/// use thnt_core::serve::StreamServer;
+/// use thnt_core::StreamingConfig;
+/// use thnt_nn::InferenceBackend;
+/// use thnt_tensor::Tensor;
+///
+/// struct Uniform;
+/// impl InferenceBackend for Uniform {
+///     fn infer(&self, x: &Tensor) -> Tensor {
+///         Tensor::ones(&[x.dims()[0], 12])
+///     }
+///     fn num_classes(&self) -> usize { 12 }
+///     fn adds_per_sample(&self) -> u64 { 0 }
+///     fn model_bytes(&self) -> usize { 0 }
+/// }
+///
+/// let backend = Uniform;
+/// let mut server = StreamServer::new(
+///     &backend,
+///     StreamingConfig::default(),
+///     vec![0.0; 10],
+///     vec![1.0; 10],
+/// );
+/// let a = server.open();
+/// let b = server.open();
+/// server.feed(a, &vec![0.0; 24_000]);
+/// server.feed(b, &vec![0.0; 24_000]);
+/// assert_eq!(server.pending_windows(), 4); // two due windows per session
+/// let detections = server.tick(); // one batched infer for both
+/// assert!(detections.is_empty()); // uniform posteriors stay sub-threshold
+/// assert_eq!(server.pending_windows(), 0);
+/// ```
+pub struct StreamServer<'m, B: InferenceBackend + ?Sized> {
+    backend: &'m B,
+    mfcc: Mfcc,
+    config: StreamingConfig,
+    num_keywords: usize,
+    norm_mean: Vec<f32>,
+    norm_std: Vec<f32>,
+    window_len: usize,
+    frames: usize,
+    coeffs: usize,
+    max_batch: usize,
+    next_id: u64,
+    sessions: HashMap<u64, Session>,
+    /// Due windows in arrival order, raw audio; features are extracted in
+    /// parallel at tick time.
+    pending: Vec<PendingWindow>,
+}
+
+impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
+    /// Creates a server around a shared backend with the paper's MFCC
+    /// front-end and the training data's normalisation statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statistics do not have one entry per MFCC coefficient,
+    /// or if the backend's class count does not exceed
+    /// [`StreamingConfig::suppress_trailing`].
+    pub fn new(
+        backend: &'m B,
+        config: StreamingConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
+        Self::with_mfcc(backend, config, MfccConfig::paper(), norm_mean, norm_std)
+    }
+
+    /// [`Self::new`] with an explicit MFCC configuration. The analysis
+    /// window is one second of audio at the configured sample rate.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn with_mfcc(
+        backend: &'m B,
+        config: StreamingConfig,
+        mfcc_cfg: MfccConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
+        assert_eq!(norm_mean.len(), mfcc_cfg.num_coeffs, "mean length mismatch");
+        assert_eq!(norm_std.len(), mfcc_cfg.num_coeffs, "std length mismatch");
+        let classes = backend.num_classes();
+        assert!(
+            classes > config.suppress_trailing,
+            "backend has {classes} classes but {} are suppressed — nothing can be detected",
+            config.suppress_trailing
+        );
+        let window_len = mfcc_cfg.sample_rate as usize;
+        let frames = mfcc_cfg.num_frames(window_len);
+        Self {
+            backend,
+            mfcc: Mfcc::new(mfcc_cfg),
+            config,
+            num_keywords: classes - config.suppress_trailing,
+            norm_mean,
+            norm_std,
+            window_len,
+            frames,
+            coeffs: mfcc_cfg.num_coeffs,
+            max_batch: 64,
+            next_id: 0,
+            sessions: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Builds a server straight from the serving metadata embedded in a
+    /// `.thnt2` artifact.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn from_meta(backend: &'m B, config: StreamingConfig, meta: &InferenceMeta) -> Self {
+        Self::with_mfcc(backend, config, meta.mfcc, meta.norm_mean.clone(), meta.norm_std.clone())
+    }
+
+    /// Caps the number of windows per backend call in [`Self::tick`];
+    /// larger pending sets are split into successive sub-batches. `0` means
+    /// unbounded. Default: 64.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Opens a new session; its stream starts empty.
+    pub fn open(&mut self) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            Session { state: SessionState::new(self.window_len), recent: VecDeque::new() },
+        );
+        SessionId(id)
+    }
+
+    /// Closes a session, dropping its buffered audio and any pending
+    /// windows it had queued. Returns whether the session existed.
+    pub fn close(&mut self, id: SessionId) -> bool {
+        self.sessions.remove(&id.0).is_some()
+    }
+
+    /// Number of currently open sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Windows queued for the next [`Self::tick`].
+    pub fn pending_windows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of detectable keyword classes.
+    pub fn num_keywords(&self) -> usize {
+        self.num_keywords
+    }
+
+    /// Feeds audio into `id`'s stream. Every window that becomes due is
+    /// snapshotted and queued for the next [`Self::tick`]; returns how many
+    /// windows this call queued. Feeding is cheap — all feature extraction
+    /// and inference happens batched in `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session does not exist (never opened, or closed).
+    pub fn feed(&mut self, id: SessionId, samples: &[f32]) -> usize {
+        let Self { config, sessions, pending, .. } = self;
+        let session = sessions.get_mut(&id.0).expect("feed on unknown or closed session");
+        let mut queued = 0usize;
+        session.state.feed(samples, config.hop, |window, at_sample| {
+            pending.push(PendingWindow { session: id.0, at_sample, audio: window.to_vec() });
+            queued += 1;
+        });
+        queued
+    }
+
+    /// Serves every pending window: extracts MFCC features in parallel (one
+    /// window per worker), runs one batched inference (respecting
+    /// [`Self::max_batch`]), applies each session's smoothing vote in
+    /// arrival order, and returns the detections demuxed per session.
+    ///
+    /// Windows whose session was closed after queueing are dropped. With no
+    /// pending windows this is free and returns nothing.
+    pub fn tick(&mut self) -> Vec<ServedDetection> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let k = pending.len();
+        let per = self.frames * self.coeffs;
+        let mut batch = Tensor::zeros(&[k, 1, self.frames, self.coeffs]);
+        {
+            let (mfcc, mean, std) = (&self.mfcc, &self.norm_mean, &self.norm_std);
+            parallel_zip_chunks(batch.data_mut(), per, |w0, chunk| {
+                for (dw, row) in chunk.chunks_mut(per).enumerate() {
+                    let feats = mfcc.compute(&pending[w0 + dw].audio);
+                    normalize_window(&feats, mean, std, row);
+                }
+            });
+        }
+        let logits = self.backend.infer_chunked(&batch, self.max_batch);
+        let classes = logits.dims()[1];
+        assert_eq!(
+            classes,
+            self.num_keywords + self.config.suppress_trailing,
+            "backend produced {classes} logits, expected its advertised class count"
+        );
+        let probs = softmax(&logits);
+        let mut detections = Vec::new();
+        for (w, window) in pending.iter().enumerate() {
+            // A session closed between feed and tick drops its windows.
+            let Some(session) = self.sessions.get_mut(&window.session) else { continue };
+            let (best, confidence) =
+                push_vote(&mut session.recent, probs.row(w), self.config.smoothing);
+            if best < self.num_keywords && confidence >= self.config.threshold {
+                detections.push(ServedDetection {
+                    session: SessionId(window.session),
+                    detection: Detection { class: best, confidence, at_sample: window.at_sample },
+                });
+            }
+        }
+        detections
+    }
+}
+
+impl<B: InferenceBackend + ?Sized> std::fmt::Debug for StreamServer<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamServer")
+            .field("backend", &self.backend.backend_name())
+            .field("config", &self.config)
+            .field("sessions", &self.sessions.len())
+            .field("pending_windows", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::StreamingDetector;
+
+    /// A deterministic input-dependent stub: each logit is a fixed linear
+    /// functional of the window's features, computed row by row so batching
+    /// cannot change any value.
+    #[derive(Debug)]
+    struct Probe {
+        classes: usize,
+    }
+
+    impl InferenceBackend for Probe {
+        fn infer(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let per = x.numel() / n.max(1);
+            let mut out = Tensor::zeros(&[n, self.classes]);
+            for s in 0..n {
+                let row = &x.data()[s * per..(s + 1) * per];
+                for c in 0..self.classes {
+                    let mut acc = 0.0f32;
+                    for (i, &v) in row.iter().enumerate() {
+                        // A fixed pseudo-random ±1/0 weight pattern.
+                        acc += v * (((i * 31 + c * 17) % 7) as f32 - 3.0);
+                    }
+                    out.data_mut()[s * self.classes + c] = acc;
+                }
+            }
+            out
+        }
+        fn num_classes(&self) -> usize {
+            self.classes
+        }
+        fn adds_per_sample(&self) -> u64 {
+            0
+        }
+        fn model_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    /// Small MFCC config so tests stay fast in debug builds: a 2000-sample
+    /// window of 8 frames.
+    fn small_mfcc() -> MfccConfig {
+        MfccConfig {
+            sample_rate: 2_000.0,
+            frame_len: 256,
+            hop: 256,
+            fft_size: 256,
+            num_mel: 20,
+            num_coeffs: 10,
+            f_lo: 20.0,
+            f_hi: 950.0,
+            preemphasis: 0.97,
+        }
+    }
+
+    fn small_config() -> StreamingConfig {
+        StreamingConfig { hop: 500, smoothing: 2, threshold: 0.05, suppress_trailing: 2 }
+    }
+
+    fn tone(freq: f32, len: usize) -> Vec<f32> {
+        (0..len).map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / 2_000.0).sin()).collect()
+    }
+
+    #[test]
+    fn sessions_are_independent_and_match_a_detector() {
+        let backend = Probe { classes: 6 };
+        let cfg = small_config();
+        let mut server =
+            StreamServer::with_mfcc(&backend, cfg, small_mfcc(), vec![0.0; 10], vec![1.0; 10]);
+        let a = server.open();
+        let b = server.open();
+        let stream_a = tone(130.0, 6_000);
+        let stream_b = tone(400.0, 6_000);
+        // Interleave uneven chunks across the two sessions.
+        let mut served: HashMap<SessionId, Vec<Detection>> = HashMap::new();
+        for (ca, cb) in stream_a.chunks(333).zip(stream_b.chunks(333)) {
+            server.feed(a, ca);
+            server.feed(b, cb);
+            for d in server.tick() {
+                served.entry(d.session).or_default().push(d.detection);
+            }
+        }
+        for (id, stream) in [(a, &stream_a), (b, &stream_b)] {
+            let mut det = StreamingDetector::with_mfcc(
+                &backend,
+                cfg,
+                small_mfcc(),
+                vec![0.0; 10],
+                vec![1.0; 10],
+            );
+            let want = det.push(stream);
+            assert_eq!(served.remove(&id).unwrap_or_default(), want, "{id}");
+        }
+    }
+
+    #[test]
+    fn tick_batches_all_pending_windows() {
+        let backend = Probe { classes: 6 };
+        let mut server = StreamServer::with_mfcc(
+            &backend,
+            small_config(),
+            small_mfcc(),
+            vec![0.0; 10],
+            vec![1.0; 10],
+        );
+        let ids: Vec<SessionId> = (0..4).map(|_| server.open()).collect();
+        for &id in &ids {
+            // 3000 samples: ring fills at 2000, next window at 2500, 3000.
+            assert_eq!(server.feed(id, &tone(200.0, 3_000)), 3);
+        }
+        assert_eq!(server.pending_windows(), 12);
+        server.tick();
+        assert_eq!(server.pending_windows(), 0);
+    }
+
+    #[test]
+    fn closing_a_session_drops_its_pending_windows() {
+        let backend = Probe { classes: 6 };
+        let mut server = StreamServer::with_mfcc(
+            &backend,
+            small_config(),
+            small_mfcc(),
+            vec![0.0; 10],
+            vec![1.0; 10],
+        );
+        let a = server.open();
+        let b = server.open();
+        server.feed(a, &tone(150.0, 2_500));
+        server.feed(b, &tone(150.0, 2_500));
+        assert_eq!(server.pending_windows(), 4);
+        assert!(server.close(a));
+        assert!(!server.close(a), "double close reports absence");
+        let detections = server.tick();
+        assert!(detections.iter().all(|d| d.session == b), "closed session must not detect");
+        assert_eq!(server.num_sessions(), 1);
+    }
+
+    #[test]
+    fn max_batch_splits_do_not_change_results() {
+        let backend = Probe { classes: 6 };
+        let run = |max_batch: usize| {
+            let mut server = StreamServer::with_mfcc(
+                &backend,
+                small_config(),
+                small_mfcc(),
+                vec![0.0; 10],
+                vec![1.0; 10],
+            )
+            .max_batch(max_batch);
+            let ids: Vec<SessionId> = (0..3).map(|_| server.open()).collect();
+            for (k, &id) in ids.iter().enumerate() {
+                server.feed(id, &tone(120.0 + 90.0 * k as f32, 4_000));
+            }
+            server.tick()
+        };
+        let unbounded = run(0);
+        assert_eq!(run(2), unbounded);
+        assert_eq!(run(1), unbounded);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or closed session")]
+    fn feeding_a_closed_session_panics() {
+        let backend = Probe { classes: 6 };
+        let mut server = StreamServer::with_mfcc(
+            &backend,
+            small_config(),
+            small_mfcc(),
+            vec![0.0; 10],
+            vec![1.0; 10],
+        );
+        let a = server.open();
+        server.close(a);
+        server.feed(a, &[0.0; 100]);
+    }
+}

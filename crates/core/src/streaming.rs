@@ -9,14 +9,23 @@
 //! engine ([`crate::engine::PackedStHybrid`]), including one reloaded from a
 //! `.thnt2` artifact with no training stack in the process:
 //!
-//! * maintains a one-second ring buffer of audio,
+//! * maintains a one-second circular buffer of audio,
 //! * recomputes MFCC features every `hop` samples,
 //! * mean-smooths the posteriors of the last `smoothing` windows,
 //! * reports a detection only when the smoothed class is a keyword and its
 //!   confidence clears `threshold`.
 //!
+//! The per-stream buffering lives in [`SessionState`] so that the
+//! multi-session server ([`crate::serve::StreamServer`]) can reuse it: the
+//! ring is index-based (head pointer plus wrap-aware window extraction into
+//! a reusable scratch buffer), so pushing a sample is a single write — no
+//! per-sample shifting — and the per-window cost collapses to MFCC plus
+//! backend inference.
+//!
 //! The backend is held by shared reference: inference is `&self`, so one
 //! compiled engine can serve many concurrent detectors.
+
+use std::collections::VecDeque;
 
 use thnt_dsp::{Mfcc, MfccConfig};
 use thnt_nn::{softmax, InferenceBackend};
@@ -59,6 +68,143 @@ pub struct Detection {
     pub at_sample: usize,
 }
 
+/// Per-stream audio buffering: an index-based circular window buffer plus
+/// the hop bookkeeping that decides when a window is due for inference.
+///
+/// Appending a sample is one array write (the head pointer wraps); the
+/// window is materialised contiguously only when due, with at most two
+/// `copy_from_slice` calls into a reusable scratch buffer. This is the state
+/// a serving layer keeps **per session**, while the expensive parts (the
+/// MFCC extractor and the inference backend) are shared across sessions —
+/// see [`crate::serve::StreamServer`].
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    ring: Vec<f32>,
+    /// Next write position; once the ring is full this is also the position
+    /// of the oldest sample.
+    head: usize,
+    filled: usize,
+    since_infer: usize,
+    consumed: usize,
+    /// Scratch the due window is unwrapped into.
+    window: Vec<f32>,
+}
+
+impl SessionState {
+    /// Creates an empty state for windows of `window_len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        Self {
+            ring: vec![0.0; window_len],
+            head: 0,
+            filled: 0,
+            since_infer: 0,
+            consumed: 0,
+            window: vec![0.0; window_len],
+        }
+    }
+
+    /// Total samples consumed over the lifetime of the stream.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Window length in samples.
+    pub fn window_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Feeds `samples`, invoking `on_window(window, at_sample)` for every
+    /// window that becomes due: the buffer is full and `hop` samples arrived
+    /// since the previous due window. `window` is the contiguous last
+    /// `window_len` samples, `at_sample` the stream position at its end.
+    ///
+    /// The loop copies samples in trigger-boundary-sized chunks, so the cost
+    /// is O(samples) plus the callback — not O(samples × window).
+    pub fn feed<F: FnMut(&[f32], usize)>(&mut self, samples: &[f32], hop: usize, mut on_window: F) {
+        let len = self.ring.len();
+        let mut rest = samples;
+        while !rest.is_empty() {
+            // Samples until the next possible trigger: the buffer must be
+            // full AND a full hop must have elapsed. `.max(1)` keeps a
+            // degenerate hop of 0 (trigger every sample) from stalling.
+            let fill_deficit = len - self.filled;
+            let hop_deficit = hop.saturating_sub(self.since_infer);
+            let need = fill_deficit.max(hop_deficit).max(1);
+            let take = need.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            if take >= len {
+                // The chunk overwrites the whole ring; only its tail lands.
+                self.ring.copy_from_slice(&chunk[take - len..]);
+                self.head = 0;
+            } else {
+                let first = take.min(len - self.head);
+                self.ring[self.head..self.head + first].copy_from_slice(&chunk[..first]);
+                self.ring[..take - first].copy_from_slice(&chunk[first..]);
+                self.head = (self.head + take) % len;
+            }
+            self.filled = (self.filled + take).min(len);
+            self.since_infer += take;
+            self.consumed += take;
+            if take == need {
+                self.since_infer = 0;
+                // Unwrap the circular contents: oldest sample sits at head.
+                let split = len - self.head;
+                self.window[..split].copy_from_slice(&self.ring[self.head..]);
+                self.window[split..].copy_from_slice(&self.ring[..self.head]);
+                on_window(&self.window, self.consumed);
+            }
+        }
+    }
+}
+
+/// Writes `(feats − mean) / std` into `out`, row by row — the reusable-
+/// buffer replacement for a fresh tensor and per-element `set` calls.
+pub(crate) fn normalize_window(feats: &Tensor, mean: &[f32], std: &[f32], out: &mut [f32]) {
+    let coeffs = mean.len();
+    debug_assert_eq!(feats.numel(), out.len(), "normalized window size mismatch");
+    for (o_row, f_row) in out.chunks_mut(coeffs).zip(feats.data().chunks(coeffs)) {
+        for ((o, &v), (&m, &s)) in o_row.iter_mut().zip(f_row).zip(mean.iter().zip(std)) {
+            *o = (v - m) / s;
+        }
+    }
+}
+
+/// Pushes one window's posteriors into the smoothing history and returns the
+/// `(class, confidence)` of the best smoothed class — the shared vote step
+/// of [`StreamingDetector`] and [`crate::serve::StreamServer`].
+pub(crate) fn push_vote(
+    recent: &mut VecDeque<Vec<f32>>,
+    probs: &[f32],
+    smoothing: usize,
+) -> (usize, f32) {
+    recent.push_back(probs.to_vec());
+    if recent.len() > smoothing {
+        recent.pop_front();
+    }
+    // Smoothed posterior = mean over the recent windows.
+    let mut mean = vec![0.0f32; probs.len()];
+    for row in recent.iter() {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= recent.len() as f32;
+    }
+    let best = mean
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("posterior row is non-empty");
+    (best.0, *best.1)
+}
+
 /// Sliding-window keyword detector over a continuous audio stream, serving
 /// any [`InferenceBackend`].
 pub struct StreamingDetector<'m, B: InferenceBackend + ?Sized> {
@@ -68,11 +214,11 @@ pub struct StreamingDetector<'m, B: InferenceBackend + ?Sized> {
     num_keywords: usize,
     norm_mean: Vec<f32>,
     norm_std: Vec<f32>,
-    ring: Vec<f32>,
-    filled: usize,
-    since_infer: usize,
-    consumed: usize,
-    recent: Vec<Vec<f32>>,
+    state: SessionState,
+    recent: VecDeque<Vec<f32>>,
+    /// Reused `[1, 1, frames, coeffs]` input; normalization writes straight
+    /// into its buffer instead of allocating a tensor per window.
+    input: Tensor,
 }
 
 impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
@@ -96,7 +242,8 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
     }
 
     /// [`Self::new`] with an explicit MFCC configuration (e.g. the one
-    /// embedded in a `.thnt2` artifact).
+    /// embedded in a `.thnt2` artifact). The analysis window is one second
+    /// of audio at the configured sample rate.
     ///
     /// # Panics
     ///
@@ -116,6 +263,8 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
             "backend has {classes} classes but {} are suppressed — nothing can be detected",
             config.suppress_trailing
         );
+        let window_len = mfcc_cfg.sample_rate as usize;
+        let frames = mfcc_cfg.num_frames(window_len);
         Self {
             backend,
             mfcc: Mfcc::new(mfcc_cfg),
@@ -123,11 +272,9 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
             num_keywords: classes - config.suppress_trailing,
             norm_mean,
             norm_std,
-            ring: vec![0.0; 16_000],
-            filled: 0,
-            since_infer: 0,
-            consumed: 0,
-            recent: Vec::new(),
+            state: SessionState::new(window_len),
+            recent: VecDeque::new(),
+            input: Tensor::zeros(&[1, 1, frames, mfcc_cfg.num_coeffs]),
         }
     }
 
@@ -151,64 +298,26 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
     /// Feeds audio samples; returns any detections they trigger.
     pub fn push(&mut self, samples: &[f32]) -> Vec<Detection> {
         let mut detections = Vec::new();
-        for &s in samples {
-            self.ring.rotate_left(1);
-            *self.ring.last_mut().expect("ring is non-empty") = s;
-            self.filled = (self.filled + 1).min(self.ring.len());
-            self.since_infer += 1;
-            self.consumed += 1;
-            if self.filled == self.ring.len() && self.since_infer >= self.config.hop {
-                self.since_infer = 0;
-                if let Some(d) = self.infer() {
-                    detections.push(d);
-                }
+        let Self { backend, mfcc, config, num_keywords, norm_mean, norm_std, state, recent, input } =
+            self;
+        state.feed(samples, config.hop, |window, at_sample| {
+            let feats = mfcc.compute(window);
+            normalize_window(&feats, norm_mean, norm_std, input.data_mut());
+            let logits = backend.infer(input);
+            let classes = logits.dims()[1];
+            assert_eq!(
+                classes,
+                *num_keywords + config.suppress_trailing,
+                "backend produced {classes} logits, expected its advertised class count"
+            );
+            let probs = softmax(&logits);
+            let (best, confidence) = push_vote(recent, probs.row(0), config.smoothing);
+            // Keywords only: the trailing filler classes never detect.
+            if best < *num_keywords && confidence >= config.threshold {
+                detections.push(Detection { class: best, confidence, at_sample });
             }
-        }
+        });
         detections
-    }
-
-    /// Runs one inference over the current window and updates the vote.
-    fn infer(&mut self) -> Option<Detection> {
-        let feats = self.mfcc.compute(&self.ring);
-        let (frames, coeffs) = (feats.dims()[0], feats.dims()[1]);
-        let mut x = Tensor::zeros(&[1, 1, frames, coeffs]);
-        for f in 0..frames {
-            for c in 0..coeffs {
-                x.set(&[0, 0, f, c], (feats.at(&[f, c]) - self.norm_mean[c]) / self.norm_std[c]);
-            }
-        }
-        let logits = self.backend.infer(&x);
-        let classes = logits.dims()[1];
-        assert_eq!(
-            classes,
-            self.num_keywords + self.config.suppress_trailing,
-            "backend produced {classes} logits, expected its advertised class count"
-        );
-        let probs = softmax(&logits);
-        self.recent.push(probs.row(0).to_vec());
-        if self.recent.len() > self.config.smoothing {
-            self.recent.remove(0);
-        }
-        // Smoothed posterior = mean over the recent windows.
-        let mut mean = vec![0.0f32; classes];
-        for row in &self.recent {
-            for (m, &v) in mean.iter_mut().zip(row) {
-                *m += v;
-            }
-        }
-        for m in &mut mean {
-            *m /= self.recent.len() as f32;
-        }
-        let best = mean
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
-        // Keywords only: the trailing filler classes never detect.
-        if best.0 < self.num_keywords && *best.1 >= self.config.threshold {
-            Some(Detection { class: best.0, confidence: *best.1, at_sample: self.consumed })
-        } else {
-            None
-        }
     }
 }
 
@@ -217,7 +326,7 @@ impl<B: InferenceBackend + ?Sized> std::fmt::Debug for StreamingDetector<'_, B> 
         f.debug_struct("StreamingDetector")
             .field("config", &self.config)
             .field("backend", &self.backend.backend_name())
-            .field("consumed", &self.consumed)
+            .field("consumed", &self.state.consumed())
             .finish()
     }
 }
@@ -331,5 +440,58 @@ mod tests {
         let mut b = detector_over(&model, 0.5);
         assert_eq!(a.push(&vec![0.0; 24_000])[0].class, 1);
         assert_eq!(b.push(&vec![0.0; 24_000])[0].class, 1);
+    }
+
+    #[test]
+    fn session_state_windows_match_a_naive_shift_buffer() {
+        // Feed a counting signal in deliberately awkward chunk sizes and
+        // check every due window against a naive shift-register model.
+        let window_len = 100;
+        let hop = 30;
+        let mut state = SessionState::new(window_len);
+        let mut naive: Vec<f32> = vec![0.0; window_len];
+        let mut pushed = 0usize;
+        let mut due = Vec::new();
+        let signal: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        for chunk in signal.chunks(7) {
+            state.feed(chunk, hop, |w, at| due.push((w.to_vec(), at)));
+            for &s in chunk {
+                naive.rotate_left(1);
+                naive[window_len - 1] = s;
+                pushed += 1;
+            }
+        }
+        // Window k ends at sample 100 + k·30 (fill first, then every hop).
+        assert_eq!(due.len(), 1 + (pushed - window_len) / hop);
+        for (k, (w, at)) in due.iter().enumerate() {
+            let end = window_len + k * hop;
+            assert_eq!(*at, end);
+            let want: Vec<f32> = (end - window_len..end).map(|i| i as f32).collect();
+            assert_eq!(w, &want, "window {k} contents");
+        }
+        assert_eq!(state.consumed(), pushed);
+    }
+
+    #[test]
+    fn session_state_handles_chunks_larger_than_the_window() {
+        // A single chunk far larger than the ring: only the tail survives.
+        let mut state = SessionState::new(10);
+        let signal: Vec<f32> = (0..35).map(|i| i as f32).collect();
+        let mut windows = Vec::new();
+        state.feed(&signal, 10, |w, at| windows.push((w.to_vec(), at)));
+        // Triggers at samples 10, 20, 30 — then 5 leftover samples.
+        assert_eq!(windows.len(), 3);
+        for (k, (w, at)) in windows.iter().enumerate() {
+            let end = 10 * (k + 1);
+            assert_eq!(*at, end);
+            let want: Vec<f32> = (end - 10..end).map(|i| i as f32).collect();
+            assert_eq!(w, &want);
+        }
+        // The next 5 samples complete the fourth hop.
+        let tail: Vec<f32> = (35..40).map(|i| i as f32).collect();
+        state.feed(&tail, 10, |w, at| windows.push((w.to_vec(), at)));
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[3].1, 40);
+        assert_eq!(windows[3].0, (30..40).map(|i| i as f32).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,80 @@
+//! Shared fixtures for the streaming/serving integration tests.
+//!
+//! Each integration test binary compiles its own copy of this module, so
+//! items unused by one binary are expected.
+#![allow(dead_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt_dsp::MfccConfig;
+use thnt_nn::InferenceBackend;
+use thnt_tensor::Tensor;
+
+/// Deterministic input-dependent stub backend: every logit is a fixed
+/// linear functional of its own window's features — row-independent by
+/// construction (like the real backends), so any difference in window
+/// contents, normalisation, or batching shows up in the detections.
+pub struct Probe {
+    pub classes: usize,
+}
+
+impl InferenceBackend for Probe {
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        let per = x.numel() / n.max(1);
+        let mut out = Tensor::zeros(&[n, self.classes]);
+        for s in 0..n {
+            let row = &x.data()[s * per..(s + 1) * per];
+            for c in 0..self.classes {
+                let mut acc = 0.0f32;
+                for (i, &v) in row.iter().enumerate() {
+                    acc += v * (((i * 31 + c * 17) % 7) as f32 - 3.0);
+                }
+                out.data_mut()[s * self.classes + c] = acc;
+            }
+        }
+        out
+    }
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+    fn adds_per_sample(&self) -> u64 {
+        0
+    }
+    fn model_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Small MFCC front-end so debug-mode tests stay fast: a 2000-sample
+/// window of 8 frames.
+pub fn small_mfcc() -> MfccConfig {
+    MfccConfig {
+        sample_rate: 2_000.0,
+        frame_len: 256,
+        hop: 256,
+        fft_size: 256,
+        num_mel: 20,
+        num_coeffs: 10,
+        f_lo: 20.0,
+        f_hi: 950.0,
+        preemphasis: 0.97,
+    }
+}
+
+/// A deterministic test stream with enough structure that detections
+/// actually fire: a slow chirp (`f0 + df·t` Hz over a `sample_rate` clock)
+/// plus seeded noise.
+pub fn chirp_stream(len: usize, seed: u64, sample_rate: f32, f0: f32, df: f32) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let noise = thnt_tensor::gaussian(&[len], 0.0, 0.05, &mut rng);
+    noise
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(t, &n)| {
+            let phase = t as f32 / sample_rate;
+            (2.0 * std::f32::consts::PI * (f0 + df * phase) * phase).sin() * 0.4 + n
+        })
+        .collect()
+}

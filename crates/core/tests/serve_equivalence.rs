@@ -1,0 +1,184 @@
+//! Equivalence proof for the multi-session serving layer: batching across
+//! sessions must never change results. N sessions fed interleaved,
+//! unevenly-chunked audio through one [`StreamServer`] — including sessions
+//! joining and leaving mid-stream — must produce **exactly** the detections
+//! of N independent [`StreamingDetector`]s over the same per-session
+//! streams.
+//!
+//! This holds because every backend computes each batch row independently
+//! of its neighbours; the proptest hammers that contract with randomised
+//! schedules, and a deterministic case checks it on the real packed engine
+//! (whose sample-tiled kernels are the batching the server exists to feed).
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::{small_mfcc, Probe};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thnt_core::{
+    Detection, HybridConfig, PackedStHybrid, SessionId, StHybridNet, StreamServer, StreamingConfig,
+    StreamingDetector,
+};
+use thnt_strassen::Strassenified;
+
+/// A 2 kHz chirp-plus-noise stream matching `small_mfcc`'s clock.
+fn session_stream(len: usize, seed: u64) -> Vec<f32> {
+    common::chirp_stream(len, seed, 2_000.0, 90.0, 70.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomised schedules: per-session stream lengths, uneven interleaved
+    /// chunk sizes, random tick placement, staggered joins, and early
+    /// leaves (a leaving session's stream is truncated at its cutoff for
+    /// the reference detector too). Detections must match exactly —
+    /// bit-equal confidences included.
+    #[test]
+    fn batched_sessions_match_independent_detectors(
+        seed in 0u64..10_000,
+        num_sessions in 2usize..6,
+    ) {
+        let backend = Probe { classes: 8 };
+        let config = StreamingConfig {
+            hop: 500,
+            smoothing: 3,
+            threshold: 0.15,
+            suppress_trailing: 2,
+        };
+        let mean = vec![0.2; 10];
+        let std = vec![1.5; 10];
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // Per-session stream, cutoff (early leavers stop short), and a
+        // staggered join round.
+        let streams: Vec<Vec<f32>> = (0..num_sessions)
+            .map(|k| session_stream(rng.gen_range(3_000..7_000), seed ^ (k as u64) << 13))
+            .collect();
+        let cutoffs: Vec<usize> = streams
+            .iter()
+            .map(|s| if rng.gen_range(0..3usize) == 0 { rng.gen_range(0..s.len()) } else { s.len() })
+            .collect();
+        let join_round: Vec<usize> =
+            (0..num_sessions).map(|_| rng.gen_range(0..4usize)).collect();
+
+        let mut server =
+            StreamServer::with_mfcc(&backend, config, small_mfcc(), mean.clone(), std.clone())
+                .max_batch(rng.gen_range(0..5usize));
+        let mut ids: Vec<Option<SessionId>> = vec![None; num_sessions];
+        let mut fed = vec![0usize; num_sessions];
+        let mut served: HashMap<SessionId, Vec<Detection>> = HashMap::new();
+
+        let mut round = 0usize;
+        loop {
+            let mut progressed = false;
+            for k in 0..num_sessions {
+                if round >= join_round[k] && ids[k].is_none() && fed[k] == 0 {
+                    ids[k] = Some(server.open());
+                }
+                let Some(id) = ids[k] else { continue };
+                if fed[k] >= cutoffs[k] {
+                    continue;
+                }
+                let chunk = rng.gen_range(1..900usize).min(cutoffs[k] - fed[k]);
+                server.feed(id, &streams[k][fed[k]..fed[k] + chunk]);
+                fed[k] += chunk;
+                progressed = true;
+                if fed[k] >= cutoffs[k] && rng.gen_range(0..2usize) == 0 {
+                    // Leave mid-stream: flush pending windows, then close.
+                    for d in server.tick() {
+                        served.entry(d.session).or_default().push(d.detection);
+                    }
+                    server.close(id);
+                }
+                if rng.gen_range(0..3usize) == 0 {
+                    for d in server.tick() {
+                        served.entry(d.session).or_default().push(d.detection);
+                    }
+                }
+            }
+            if !progressed && ids.iter().all(|id| id.is_some()) {
+                break;
+            }
+            round += 1;
+        }
+        for d in server.tick() {
+            served.entry(d.session).or_default().push(d.detection);
+        }
+
+        for k in 0..num_sessions {
+            let mut det = StreamingDetector::with_mfcc(
+                &backend,
+                config,
+                small_mfcc(),
+                mean.clone(),
+                std.clone(),
+            );
+            let want = det.push(&streams[k][..cutoffs[k]]);
+            let got = ids[k].and_then(|id| served.remove(&id)).unwrap_or_default();
+            prop_assert_eq!(got, want, "session {} diverged (seed {})", k, seed);
+        }
+        prop_assert!(served.is_empty(), "server produced detections for unknown sessions");
+    }
+}
+
+/// The same equivalence on the real packed add-only engine: 8 sessions over
+/// one compiled `PackedStHybrid`, batched through `tick`, must detect
+/// exactly like 8 independent detectors — the engine's batched rows are
+/// bitwise equal to its single-sample rows.
+#[test]
+fn packed_engine_batched_sessions_match_independent_detectors() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut net = StHybridNet::new(
+        HybridConfig {
+            ds_blocks: 1,
+            width: 8,
+            proj_dim: 6,
+            tree_depth: 1,
+            ..HybridConfig::paper()
+        },
+        &mut rng,
+    );
+    net.activate_quantization();
+    net.freeze_ternary();
+    let engine = PackedStHybrid::compile(&net);
+
+    let config = StreamingConfig { hop: 8_000, smoothing: 2, threshold: 0.0, suppress_trailing: 2 };
+    let mean = vec![0.0; 10];
+    let std = vec![4.0; 10];
+    let streams: Vec<Vec<f32>> = (0..8)
+        .map(|k| {
+            let mut srng = SmallRng::seed_from_u64(100 + k);
+            thnt_tensor::gaussian(&[40_000], 0.0, 0.3, &mut srng).into_vec()
+        })
+        .collect();
+
+    let mut server = StreamServer::new(&engine, config, mean.clone(), std.clone());
+    let ids: Vec<SessionId> = (0..8).map(|_| server.open()).collect();
+    let mut served: HashMap<SessionId, Vec<Detection>> = HashMap::new();
+    // Interleave uneven chunks; tick mid-stream and at the end.
+    for (round, chunk_len) in [7_000usize, 9_000, 11_000, 13_000].iter().enumerate() {
+        for (k, id) in ids.iter().enumerate() {
+            let start = [7_000usize, 9_000, 11_000, 13_000][..round].iter().sum::<usize>();
+            let end = (start + chunk_len).min(streams[k].len());
+            if start < end {
+                server.feed(*id, &streams[k][start..end]);
+            }
+        }
+        for d in server.tick() {
+            served.entry(d.session).or_default().push(d.detection);
+        }
+    }
+
+    let mut any = false;
+    for (k, id) in ids.iter().enumerate() {
+        let mut det = StreamingDetector::new(&engine, config, mean.clone(), std.clone());
+        let want = det.push(&streams[k]);
+        any |= !want.is_empty();
+        assert_eq!(served.remove(id).unwrap_or_default(), want, "session {k} diverged");
+    }
+    assert!(any, "no session detected anything — the equivalence check was vacuous");
+}

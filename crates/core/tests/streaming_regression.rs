@@ -1,0 +1,167 @@
+//! Regression proof for the streaming ring-buffer rewrite: the index-based
+//! circular buffer must produce **byte-identical** detections to the old
+//! `rotate_left(1)`-per-sample implementation.
+//!
+//! `ReferenceDetector` below is a verbatim transplant of the pre-rewrite
+//! `StreamingDetector` hot path — the O(window × hop) shift buffer, the
+//! freshly allocated input tensor with per-element `set` calls, and the
+//! `Vec::remove(0)` posterior history. Ten seconds of audio through both
+//! implementations must yield `Detection` lists that compare equal under
+//! `PartialEq`, i.e. bit-equal `f32` confidences and exact sample
+//! positions.
+
+mod common;
+
+use common::{chirp_stream, Probe};
+use thnt_core::{Detection, StreamingConfig, StreamingDetector};
+use thnt_dsp::{Mfcc, MfccConfig};
+use thnt_nn::{softmax, InferenceBackend};
+use thnt_tensor::Tensor;
+
+/// The pre-rewrite streaming loop, kept verbatim as the regression oracle.
+struct ReferenceDetector<'m, B: InferenceBackend + ?Sized> {
+    backend: &'m B,
+    mfcc: Mfcc,
+    config: StreamingConfig,
+    num_keywords: usize,
+    norm_mean: Vec<f32>,
+    norm_std: Vec<f32>,
+    ring: Vec<f32>,
+    filled: usize,
+    since_infer: usize,
+    consumed: usize,
+    recent: Vec<Vec<f32>>,
+}
+
+impl<'m, B: InferenceBackend + ?Sized> ReferenceDetector<'m, B> {
+    fn new(
+        backend: &'m B,
+        config: StreamingConfig,
+        mfcc_cfg: MfccConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
+        Self {
+            backend,
+            mfcc: Mfcc::new(mfcc_cfg),
+            config,
+            num_keywords: backend.num_classes() - config.suppress_trailing,
+            norm_mean,
+            norm_std,
+            ring: vec![0.0; mfcc_cfg.sample_rate as usize],
+            filled: 0,
+            since_infer: 0,
+            consumed: 0,
+            recent: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, samples: &[f32]) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        for &s in samples {
+            self.ring.rotate_left(1);
+            *self.ring.last_mut().expect("ring is non-empty") = s;
+            self.filled = (self.filled + 1).min(self.ring.len());
+            self.since_infer += 1;
+            self.consumed += 1;
+            if self.filled == self.ring.len() && self.since_infer >= self.config.hop {
+                self.since_infer = 0;
+                if let Some(d) = self.infer() {
+                    detections.push(d);
+                }
+            }
+        }
+        detections
+    }
+
+    fn infer(&mut self) -> Option<Detection> {
+        let feats = self.mfcc.compute(&self.ring);
+        let (frames, coeffs) = (feats.dims()[0], feats.dims()[1]);
+        let mut x = Tensor::zeros(&[1, 1, frames, coeffs]);
+        for f in 0..frames {
+            for c in 0..coeffs {
+                x.set(&[0, 0, f, c], (feats.at(&[f, c]) - self.norm_mean[c]) / self.norm_std[c]);
+            }
+        }
+        let logits = self.backend.infer(&x);
+        let classes = logits.dims()[1];
+        let probs = softmax(&logits);
+        self.recent.push(probs.row(0).to_vec());
+        if self.recent.len() > self.config.smoothing {
+            self.recent.remove(0);
+        }
+        let mut mean = vec![0.0f32; classes];
+        for row in &self.recent {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.recent.len() as f32;
+        }
+        let best = mean
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        if best.0 < self.num_keywords && *best.1 >= self.config.threshold {
+            Some(Detection { class: best.0, confidence: *best.1, at_sample: self.consumed })
+        } else {
+            None
+        }
+    }
+}
+
+/// A 16 kHz chirp-plus-noise signal that reliably triggers detections.
+fn test_signal(len: usize, seed: u64) -> Vec<f32> {
+    chirp_stream(len, seed, 16_000.0, 200.0, 150.0)
+}
+
+#[test]
+fn ten_seconds_of_audio_detects_byte_identically_to_the_old_implementation() {
+    let backend = Probe { classes: 12 };
+    // A low threshold so both implementations produce a non-trivial
+    // detection list — an empty-vs-empty comparison would prove nothing.
+    let config = StreamingConfig { hop: 8_000, smoothing: 3, threshold: 0.2, suppress_trailing: 2 };
+    let mean = vec![0.5; 10];
+    let std = vec![2.0; 10];
+    let mut reference =
+        ReferenceDetector::new(&backend, config, MfccConfig::paper(), mean.clone(), std.clone());
+    let mut detector = StreamingDetector::new(&backend, config, mean, std);
+
+    let signal = test_signal(160_000, 11); // 10 s at 16 kHz
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    // Deliberately awkward chunking: prime-sized pushes that never align
+    // with the hop or the ring length.
+    for chunk in signal.chunks(1_237) {
+        want.extend(reference.push(chunk));
+        got.extend(detector.push(chunk));
+    }
+    assert!(!want.is_empty(), "oracle produced no detections — test signal too weak");
+    assert_eq!(got, want, "rewritten detector diverged from the rotate_left oracle");
+}
+
+#[test]
+fn detections_are_chunking_invariant() {
+    // The same stream split three different ways must detect identically —
+    // the circular buffer's trigger logic cannot depend on push boundaries.
+    let backend = Probe { classes: 12 };
+    let config = StreamingConfig { hop: 5_000, smoothing: 2, threshold: 0.2, suppress_trailing: 2 };
+    let signal = test_signal(80_000, 23);
+    let run = |chunk_len: usize| {
+        let mut det = StreamingDetector::new(&backend, config, vec![0.5; 10], vec![2.0; 10]);
+        let mut out = Vec::new();
+        for chunk in signal.chunks(chunk_len) {
+            out.extend(det.push(chunk));
+        }
+        out
+    };
+    let whole = {
+        let mut det = StreamingDetector::new(&backend, config, vec![0.5; 10], vec![2.0; 10]);
+        det.push(&signal)
+    };
+    assert!(!whole.is_empty());
+    assert_eq!(run(1), whole, "sample-at-a-time");
+    assert_eq!(run(997), whole, "prime chunks");
+    assert_eq!(run(40_000), whole, "chunks larger than the window");
+}

@@ -50,6 +50,44 @@ pub trait InferenceBackend {
     fn backend_name(&self) -> &'static str {
         "backend"
     }
+
+    /// Batched multi-window inference with a bounded per-call batch: splits
+    /// `x` along its leading (batch) dimension into chunks of at most
+    /// `max_batch` samples, runs [`Self::infer`] on each, and reassembles
+    /// the logits `[n, num_classes]`.
+    ///
+    /// This is the entry point a serving layer uses to push an arbitrary
+    /// number of gathered windows through the model in one call while
+    /// keeping per-call latency and scratch memory bounded. `max_batch` of
+    /// `0` (or `>= n`) degenerates to a single [`Self::infer`] call.
+    /// Because every implementation computes each batch row independently,
+    /// chunking never changes any logit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no batch dimension or an implementation returns
+    /// logits of the wrong shape.
+    fn infer_chunked(&self, x: &Tensor, max_batch: usize) -> Tensor {
+        let n = x.dims()[0];
+        if max_batch == 0 || n <= max_batch {
+            return self.infer(x);
+        }
+        let per = x.numel() / n;
+        let classes = self.num_classes();
+        let mut out = Tensor::zeros(&[n, classes]);
+        let mut dims = x.dims().to_vec();
+        let mut s = 0usize;
+        while s < n {
+            let e = (s + max_batch).min(n);
+            dims[0] = e - s;
+            let chunk = Tensor::from_vec(x.data()[s * per..e * per].to_vec(), &dims);
+            let logits = self.infer(&chunk);
+            assert_eq!(logits.dims(), &[e - s, classes], "backend logits shape mismatch");
+            out.data_mut()[s * classes..e * classes].copy_from_slice(logits.data());
+            s = e;
+        }
+        out
+    }
 }
 
 /// Adapts a trained [`Model`] into an [`InferenceBackend`]: the dense
@@ -182,6 +220,20 @@ mod tests {
         let backend = DenseBackend::new(&mut model, 2).with_cost(123, 456);
         assert_eq!(backend.adds_per_sample(), 123);
         assert_eq!(backend.model_bytes(), 456);
+    }
+
+    #[test]
+    fn infer_chunked_matches_one_shot() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut model = LayerModel::new(Dense::new(6, 4, &mut rng));
+        let x = thnt_tensor::gaussian(&[7, 6], 0.0, 1.0, &mut rng);
+        let backend = DenseBackend::new(&mut model, 4);
+        let want = backend.infer(&x);
+        for max_batch in [0, 1, 2, 3, 7, 100] {
+            let got = backend.infer_chunked(&x, max_batch);
+            assert_eq!(got.dims(), want.dims(), "max_batch={max_batch}");
+            assert_eq!(got.data(), want.data(), "max_batch={max_batch}");
+        }
     }
 
     #[test]

@@ -353,34 +353,59 @@ impl PackedTernary {
         if self.rows == 0 || p == 0 {
             return;
         }
-        let md = m.data();
+        parallel_zip_chunks(out, p, |r0, chunk| self.rhs_rows(m.data(), p, r0, chunk));
+    }
+
+    /// [`Self::matmul_rhs_into`] without the internal row parallelism — for
+    /// callers that are already parallel at a coarser grain (the batched
+    /// convolution engine parallelises across samples, so spawning workers
+    /// per sample here would only oversubscribe). Produces bitwise the same
+    /// output as the parallel variant.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::matmul_rhs_into`].
+    pub fn matmul_rhs_into_serial(&self, m: &Tensor, out: &mut [f32]) {
+        assert_eq!(m.shape().rank(), 2, "packed matmul_rhs expects a 2-D matrix");
+        assert_eq!(m.dims()[0], self.cols, "packed matmul_rhs dimension mismatch");
+        let p = m.dims()[1];
+        assert_eq!(out.len(), self.rows * p, "packed matmul_rhs output length mismatch");
+        out.fill(0.0);
+        if self.rows == 0 || p == 0 {
+            return;
+        }
+        self.rhs_rows(m.data(), p, 0, out);
+    }
+
+    /// Computes output rows `r0..` of `W · M` into `chunk` (a whole number
+    /// of `p`-wide rows, pre-zeroed). Each set bit contributes a contiguous
+    /// row of `M`, so the inner loop is a unit-stride slice add/subtract.
+    fn rhs_rows(&self, md: &[f32], p: usize, r0: usize, chunk: &mut [f32]) {
         let wpr = self.words_per_row;
-        parallel_zip_chunks(out, p, |r0, chunk| {
-            for (ri, orow) in chunk.chunks_mut(p).enumerate() {
-                let base = (r0 + ri) * wpr;
-                for w in 0..wpr {
-                    let off = w * WORD_BITS;
-                    let mut pl = self.plus[base + w];
-                    while pl != 0 {
-                        let j = off + pl.trailing_zeros() as usize;
-                        let src = &md[j * p..(j + 1) * p];
-                        for (o, &v) in orow.iter_mut().zip(src) {
-                            *o += v;
-                        }
-                        pl &= pl - 1;
+        for (ri, orow) in chunk.chunks_mut(p).enumerate() {
+            let base = (r0 + ri) * wpr;
+            for w in 0..wpr {
+                let off = w * WORD_BITS;
+                let mut pl = self.plus[base + w];
+                while pl != 0 {
+                    let j = off + pl.trailing_zeros() as usize;
+                    let src = &md[j * p..(j + 1) * p];
+                    for (o, &v) in orow.iter_mut().zip(src) {
+                        *o += v;
                     }
-                    let mut mi = self.minus[base + w];
-                    while mi != 0 {
-                        let j = off + mi.trailing_zeros() as usize;
-                        let src = &md[j * p..(j + 1) * p];
-                        for (o, &v) in orow.iter_mut().zip(src) {
-                            *o -= v;
-                        }
-                        mi &= mi - 1;
+                    pl &= pl - 1;
+                }
+                let mut mi = self.minus[base + w];
+                while mi != 0 {
+                    let j = off + mi.trailing_zeros() as usize;
+                    let src = &md[j * p..(j + 1) * p];
+                    for (o, &v) in orow.iter_mut().zip(src) {
+                        *o -= v;
                     }
+                    mi &= mi - 1;
                 }
             }
-        });
+        }
     }
 
     /// The exact number of additions/subtractions [`Self::matvec`] executes:

@@ -24,7 +24,7 @@ use thnt_core::{
     HybridConfig, PackedStHybrid, StHybridNet, StreamServer, StreamingConfig, StreamingDetector,
 };
 use thnt_nn::InferenceBackend;
-use thnt_strassen::{ternary_values, PackedTernary, Strassenified};
+use thnt_strassen::{ternary_values, Kernel, KernelDispatch, PackedTernary, Strassenified};
 use thnt_tensor::{gaussian, matmul_nt, matvec};
 
 /// One timed kernel.
@@ -37,10 +37,14 @@ struct BenchRow {
     /// Streaming-path throughput (inference windows per second); absent on
     /// non-streaming rows.
     windows_per_sec: Option<f64>,
+    /// Which dispatch backend (`scalar` | `avx2` | `neon`) executed a
+    /// packed-kernel row; absent on dense/per-entry rows.
+    kernel: Option<&'static str>,
 }
 
-// Hand-written so `windows_per_sec` is omitted (not null / not 0.0) on
-// kernel rows; the vendored serde stub has no `skip_serializing_if`.
+// Hand-written so `windows_per_sec` / `kernel` are omitted (not null) on
+// rows they do not apply to; the vendored serde stub has no
+// `skip_serializing_if`.
 impl serde::Serialize for BenchRow {
     fn serialize_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -51,6 +55,9 @@ impl serde::Serialize for BenchRow {
         ];
         if let Some(wps) = self.windows_per_sec {
             fields.push(("windows_per_sec".to_string(), wps.serialize_value()));
+        }
+        if let Some(kernel) = self.kernel {
+            fields.push(("kernel".to_string(), kernel.to_string().serialize_value()));
         }
         serde::Value::Object(fields)
     }
@@ -77,7 +84,16 @@ fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
         mean_ns: mean,
         median_ns: median,
         windows_per_sec: None,
+        kernel: None,
     }
+}
+
+/// [`time`] for a packed-kernel row pinned to one dispatch backend: the row
+/// is named `<base>/<kernel>` and carries the `kernel` field.
+fn time_kernel<T>(base: &str, d: &KernelDispatch, iters: usize, f: impl FnMut() -> T) -> BenchRow {
+    let mut row = time(&format!("{base}/{}", d.kernel()), iters, f);
+    row.kernel = Some(d.kernel().name());
+    row
 }
 
 /// Times one streaming window (MFCC + normalize + model) on `backend`:
@@ -134,7 +150,9 @@ fn windows_per_sec(rows: &[BenchRow], name: &str) -> f64 {
 
 fn main() {
     let smoke = matches!(std::env::var("THNT_PROFILE").as_deref(), Ok("smoke") | Ok("SMOKE"));
-    let (kernel_iters, e2e_iters) = if smoke { (50, 3) } else { (400, 20) };
+    // Kernel rows are µs-scale, so even smoke can afford enough iterations
+    // for medians stable enough to back the SIMD>=2x-scalar CI gate.
+    let (kernel_iters, e2e_iters) = if smoke { (200, 3) } else { (400, 20) };
     // Streaming windows are ~ms-scale after the ring-buffer fix, so even the
     // smoke profile can afford enough iterations for a median stable enough
     // to back the packed-beats-dense CI gate on noisy shared runners.
@@ -142,7 +160,19 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(0);
     let mut rows = Vec::new();
 
-    // Ternary matvec: dense f32 vs per-entry decode vs word-level bitplanes.
+    // Every dispatch backend this host supports, widest first; the first
+    // entry is what `KernelDispatch::get()` routes production traffic to
+    // (absent a THNT_KERNEL override).
+    let kernels: Vec<KernelDispatch> =
+        Kernel::available().into_iter().map(|k| KernelDispatch::new(k).unwrap()).collect();
+    println!(
+        "kernel backends: {} (active: {})\n",
+        kernels.iter().map(|d| d.kernel().name()).collect::<Vec<_>>().join(", "),
+        KernelDispatch::get().kernel()
+    );
+
+    // Ternary matvec: dense f32 vs per-entry decode vs word-level bitplanes,
+    // the latter once per dispatch backend.
     let w = ternary_values(&gaussian(&[256, 256], 0.0, 1.0, &mut rng)).values;
     let packed = PackedTernary::from_tensor(&w);
     let x = gaussian(&[256], 0.0, 1.0, &mut rng);
@@ -150,12 +180,33 @@ fn main() {
     rows.push(time("matvec_256x256/packed_per_entry", kernel_iters, || {
         packed.matvec_per_entry(x.data())
     }));
-    rows.push(time("matvec_256x256/packed_word", kernel_iters, || packed.matvec(x.data())));
+    let mut y = vec![0.0f32; 256];
+    for d in &kernels {
+        rows.push(time_kernel("matvec_256x256/packed_word", d, kernel_iters, || {
+            packed.matvec_into_with(d, x.data(), &mut y)
+        }));
+    }
 
     // Batched activations.
     let xb = gaussian(&[64, 256], 0.0, 1.0, &mut rng);
     rows.push(time("matmul_64x256x256/dense_f32", kernel_iters, || matmul_nt(&xb, &w)));
-    rows.push(time("matmul_64x256x256/packed_word", kernel_iters, || packed.matmul(&xb)));
+    for d in &kernels {
+        rows.push(time_kernel("matmul_64x256x256/packed_word", d, kernel_iters, || {
+            packed.matmul_with(d, &xb)
+        }));
+    }
+
+    // The conv engine's column-matrix kernel at the hybrid net's first-layer
+    // shape (`W_b · im2col`: r=48 rows, 40-tap patches, 490 output positions).
+    let wconv = ternary_values(&gaussian(&[48, 40], 0.0, 1.0, &mut rng)).values;
+    let pconv = PackedTernary::from_tensor(&wconv);
+    let cols_m = gaussian(&[40, 490], 0.0, 1.0, &mut rng);
+    let mut rhs_out = vec![0.0f32; 48 * 490];
+    for d in &kernels {
+        rows.push(time_kernel("matmul_rhs_48x40x490/packed_word", d, kernel_iters, || {
+            pconv.matmul_rhs_into_with(d, &cols_m, &mut rhs_out)
+        }));
+    }
 
     // End-to-end through the unified InferenceBackend trait: the dense
     // frozen path vs the compiled packed engine, swappable behind &dyn.
@@ -166,9 +217,13 @@ fn main() {
     let clip = gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
     let dense_backend = net.dense_backend();
     let backends: [&dyn InferenceBackend; 2] = [&dense_backend, &engine];
+    let active = KernelDispatch::get().kernel().name();
     for backend in backends {
         let name = format!("st_hybrid_1clip/{}_backend", backend.backend_name());
-        rows.push(time(&name, e2e_iters, || backend.infer(&clip)));
+        let mut row = time(&name, e2e_iters, || backend.infer(&clip));
+        // End-to-end packed rows execute on the process-wide dispatch.
+        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        rows.push(row);
     }
 
     // Sanity: the two paths must agree before the numbers mean anything.
@@ -182,13 +237,48 @@ fn main() {
     // dense vs packed backend — with the O(1) ring buffer the backend
     // choice is visible here instead of drowning in per-sample memmoves.
     for backend in backends {
-        rows.push(time_streaming(backend, stream_iters));
+        let mut row = time_streaming(backend, stream_iters);
+        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        rows.push(row);
     }
 
     // Multi-session serving: 8 concurrent streams batched through one
     // shared backend per tick.
     for backend in backends {
-        rows.push(time_multi_stream(backend, 8, stream_iters));
+        let mut row = time_multi_stream(backend, 8, stream_iters);
+        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        rows.push(row);
+    }
+
+    // SIMD-vs-scalar report (and optional CI gate): the widest backend's
+    // matvec against the scalar reference on the same bitplanes. A host
+    // with no SIMD backend cannot satisfy the gate — asserting there must
+    // fail loudly, not skip silently and report green.
+    let assert_kernel = std::env::var("THNT_BENCH_ASSERT_KERNEL").as_deref() == Ok("1");
+    if kernels.len() > 1 {
+        let median = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing kernel row {name}"))
+                .median_ns
+        };
+        let simd = kernels[0].kernel();
+        let ratio = median("matvec_256x256/packed_word/scalar")
+            / median(&format!("matvec_256x256/packed_word/{simd}"));
+        println!("\nmatvec_256x256: {simd} is {ratio:.2}x scalar");
+        if assert_kernel {
+            assert!(
+                ratio >= 2.0,
+                "SIMD kernel ({simd}) must be >= 2x the scalar matvec, measured {ratio:.2}x"
+            );
+            println!("kernel assertion: {simd} >= 2x scalar ✓");
+        }
+    } else if assert_kernel {
+        panic!(
+            "THNT_BENCH_ASSERT_KERNEL=1 but this host has no SIMD kernel backend \
+             (only {}): the gate cannot run",
+            kernels[0].kernel()
+        );
     }
 
     // CI gate: packed streaming must beat dense now that the ring buffer is

@@ -743,6 +743,29 @@ impl PackedStHybrid {
     /// for the format), optionally with the serving metadata needed to stand
     /// up a detector without the training stack.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use thnt_core::{engine::PackedStHybrid, HybridConfig, StHybridNet};
+    /// use thnt_strassen::Strassenified;
+    ///
+    /// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    /// let cfg = HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, tree_depth: 1,
+    ///                          ..HybridConfig::paper() };
+    /// let mut net = StHybridNet::new(cfg, &mut rng);
+    /// net.activate_quantization();
+    /// net.freeze_ternary();
+    /// let engine = PackedStHybrid::compile(&net);
+    ///
+    /// // Save to any `Write` sink; round-trips are bitwise-lossless.
+    /// let mut blob = Vec::new();
+    /// engine.save(None, &mut blob).unwrap();
+    /// let (reloaded, meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+    /// assert_eq!(reloaded, engine);
+    /// assert!(meta.is_none());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from the writer.
@@ -756,6 +779,17 @@ impl PackedStHybrid {
 
     /// Reconstructs a packed engine (and any embedded metadata) from a
     /// `.thnt2` artifact — no `thnt-nn` model is built in the process.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use thnt_core::engine::PackedStHybrid;
+    ///
+    /// // Corrupt input is an error, never a panic or a silently wrong model.
+    /// assert!(PackedStHybrid::load(&b"not a thnt2 artifact"[..]).is_err());
+    /// ```
+    ///
+    /// See [`Self::save`] for a full save → load round-trip.
     ///
     /// # Errors
     ///

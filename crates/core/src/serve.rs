@@ -202,6 +202,33 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     }
 
     /// Opens a new session; its stream starts empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use thnt_core::{StreamServer, StreamingConfig};
+    /// use thnt_nn::InferenceBackend;
+    /// use thnt_tensor::Tensor;
+    ///
+    /// struct Uniform;
+    /// impl InferenceBackend for Uniform {
+    ///     fn infer(&self, x: &Tensor) -> Tensor { Tensor::ones(&[x.dims()[0], 12]) }
+    ///     fn num_classes(&self) -> usize { 12 }
+    ///     fn adds_per_sample(&self) -> u64 { 0 }
+    ///     fn model_bytes(&self) -> usize { 0 }
+    /// }
+    ///
+    /// let backend = Uniform;
+    /// let mut server = StreamServer::new(
+    ///     &backend, StreamingConfig::default(), vec![0.0; 10], vec![1.0; 10]);
+    /// // Sessions join (and leave) freely; each gets an opaque id to feed
+    /// // audio under and to match detections against.
+    /// let a = server.open();
+    /// let b = server.open();
+    /// assert_ne!(a, b);
+    /// assert_eq!(server.num_sessions(), 2);
+    /// assert!(server.close(a));
+    /// ```
     pub fn open(&mut self) -> SessionId {
         let id = self.next_id;
         self.next_id += 1;

@@ -32,6 +32,22 @@ use crate::trainer::gather_rows;
 /// same logits (no training-mode randomness, no state updates).
 pub trait InferenceBackend {
     /// Runs inference on a batch, returning logits `[n, num_classes]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use thnt_nn::{Dense, DenseBackend, InferenceBackend, LayerModel};
+    /// use thnt_tensor::Tensor;
+    ///
+    /// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    /// let mut model = LayerModel::new(Dense::new(4, 3, &mut rng));
+    /// let backend = DenseBackend::new(&mut model, 3);
+    /// // `&self` inference: the same backend could serve any number of
+    /// // concurrent consumers.
+    /// let logits = backend.infer(&Tensor::zeros(&[2, 4]));
+    /// assert_eq!(logits.dims(), &[2, backend.num_classes()]);
+    /// ```
     fn infer(&self, x: &Tensor) -> Tensor;
 
     /// Width of the logits row — the model's class count. Consumers derive

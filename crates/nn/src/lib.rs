@@ -36,6 +36,9 @@
 //! assert_eq!(logits.dims(), &[2, 3]);
 //! ```
 
+// Every public item must be documented: these crates are the repo's API
+// surface, and CI runs `cargo doc` with `-D warnings`.
+#![warn(missing_docs)]
 // Numeric kernels index by position throughout; positional loops keep the
 // math legible next to the formulas they implement.
 #![allow(clippy::needless_range_loop)]

@@ -41,13 +41,33 @@ impl OpCount {
 /// Cost descriptor of one linear-algebra layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LayerCost {
-    /// Standard convolution: `spatial` output positions, `kernel` taps,
-    /// `cin` input and `cout` output channels.
-    Conv { spatial: u64, kernel: u64, cin: u64, cout: u64 },
-    /// Depthwise convolution over `channels` channels.
-    Depthwise { spatial: u64, kernel: u64, channels: u64 },
+    /// Standard convolution.
+    Conv {
+        /// Output positions (`oh · ow`).
+        spatial: u64,
+        /// Kernel taps (`kh · kw`).
+        kernel: u64,
+        /// Input channels.
+        cin: u64,
+        /// Output channels.
+        cout: u64,
+    },
+    /// Depthwise convolution.
+    Depthwise {
+        /// Output positions (`oh · ow`).
+        spatial: u64,
+        /// Kernel taps (`kh · kw`).
+        kernel: u64,
+        /// Channels (multiplier folded in).
+        channels: u64,
+    },
     /// Dense layer / tree-node matrix (`spatial = 1`).
-    Dense { in_dim: u64, out_dim: u64 },
+    Dense {
+        /// Input width.
+        in_dim: u64,
+        /// Output width.
+        out_dim: u64,
+    },
 }
 
 impl LayerCost {

@@ -39,6 +39,9 @@
 //! thnt_tensor::assert_close(c.data(), matmul(&a, &b).data(), 1e-4, 1e-4);
 //! ```
 
+// Every public item must be documented: these crates are the repo's API
+// surface, and CI runs `cargo doc` with `-D warnings`.
+#![warn(missing_docs)]
 // Numeric kernels index by position throughout; positional loops keep the
 // math legible next to the formulas they implement.
 #![allow(clippy::needless_range_loop)]
@@ -55,6 +58,7 @@ pub mod ternary;
 pub use conv::{StrassenConv2d, StrassenDepthwise2d};
 pub use cost::{format_mops, CostReport, LayerCost, OpCount};
 pub use dense::StrassenDense;
+pub use packed::kernel::{Kernel, KernelDispatch};
 pub use packed::PackedTernary;
 pub use schedule::{QuantMode, Strassenified, TrainingPhase};
 pub use spn::{exact_strassen_2x2, spn_matmul_2x2, PackedSpn, StrassenSpn};

@@ -1,0 +1,290 @@
+//! The x86_64 AVX2 kernel: bitplane bytes expanded to 8-lane `f32` masks,
+//! eight columns accumulated per vector instruction.
+//!
+//! Strategy per 8-column group: one byte of the `+1` word and one byte of
+//! the `−1` word each index a 256-entry lookup table of precomputed 8-lane
+//! masks (one aligned 32-byte load apiece — cheaper than the
+//! broadcast/`vpcmpeqd` expansion sequence), the masks `vandps` with the
+//! loaded activations (zeroing the lanes whose weight is 0), and one
+//! `vsubps` + one `vaddps` fold the ±contributions into an accumulator.
+//! Alternating even/odd groups across two accumulators breaks the addition
+//! dependency chain that bounds the scalar kernel's throughput, and the
+//! batched entry point register-tiles 4 samples so each mask load is
+//! reused across the tile.
+//!
+//! Columns beyond the last full 8-lane group fall back to the scalar bit
+//! iteration (loading past `x.len()` would be out of bounds; the bitplane's
+//! padding bits are guaranteed clear but the activation buffer stops at
+//! `cols`). The per-row reduction order (two 8-lane partial sums folded at
+//! row end) differs from the scalar kernel's strict left-to-right order, so
+//! results match scalar only to rounding — see the module docs of
+//! [`super`]. Within this backend a sample's reduction order is fixed
+//! (group-major, same accumulator schedule in the single and tiled paths),
+//! so batching never changes a result bitwise.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_and_ps, _mm256_castps256_ps128, _mm256_castsi256_ps,
+    _mm256_extractf128_ps, _mm256_load_ps, _mm256_loadu_ps, _mm256_set1_epi32, _mm256_setzero_ps,
+    _mm256_storeu_ps, _mm256_sub_ps, _mm256_xor_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
+    _mm_movehl_ps, _mm_shuffle_ps,
+};
+
+use super::PackedView;
+
+/// Samples per register tile of [`matmul_samples`]: each pair of mask loads
+/// is reused across the tile; 4 samples × 2 accumulators plus masks and the
+/// activation register stay within the 16 ymm registers.
+const SAMPLE_TILE: usize = 4;
+
+/// 32-byte aligned `[u32 × 8]` rows for aligned `vmovaps` loads.
+#[repr(align(32))]
+struct MaskLut([[u32; 8]; 256]);
+
+/// `MASK_LUT.0[b][i]` is all-ones iff bit `i` of `b` is set: byte → 8-lane
+/// mask in a single load.
+static MASK_LUT: MaskLut = MaskLut(build_mask_lut());
+
+const fn build_mask_lut() -> [[u32; 8]; 256] {
+    let mut t = [[0u32; 8]; 256];
+    let mut b = 0;
+    while b < 256 {
+        let mut i = 0;
+        while i < 8 {
+            if b & (1 << i) != 0 {
+                t[b][i] = u32::MAX;
+            }
+            i += 1;
+        }
+        b += 1;
+    }
+    t
+}
+
+/// The 8-lane mask for byte `bits` (one aligned load from [`MASK_LUT`]).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mask_for(bits: usize) -> __m256 {
+    _mm256_load_ps(MASK_LUT.0[bits].as_ptr() as *const f32)
+}
+
+/// Horizontal sum of all 8 lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum(v: __m256) -> f32 {
+    let s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    _mm_cvtss_f32(_mm_add_ss(s, _mm_shuffle_ps(s, s, 1)))
+}
+
+/// The byte of each bitplane covering 8-column group `g` of a row.
+#[inline(always)]
+fn group_bytes(plus_row: &[u64], minus_row: &[u64], g: usize) -> (usize, usize) {
+    let sh = (g & 7) * 8;
+    (((plus_row[g >> 3] >> sh) & 0xff) as usize, ((minus_row[g >> 3] >> sh) & 0xff) as usize)
+}
+
+use super::tail_dot;
+
+/// One group's ±masked activations: `(x & plus_mask) − (x & minus_mask)`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn group_delta(xv: __m256, pb: usize, mb: usize) -> __m256 {
+    _mm256_sub_ps(_mm256_and_ps(xv, mask_for(pb)), _mm256_and_ps(xv, mask_for(mb)))
+}
+
+/// One row's dot product: full 8-lane groups vectorised (each bitplane word
+/// hoisted into a register and its 8 bytes peeled without re-indexing the
+/// row slices), tail columns via the scalar bit iteration. Even groups
+/// accumulate into `a0`, odd into `a1` — [`row_dot_tile`] uses the same
+/// schedule so batched and single-sample results are bitwise identical.
+#[target_feature(enable = "avx2")]
+unsafe fn row_dot(plus_row: &[u64], minus_row: &[u64], x: &[f32]) -> f32 {
+    let ngroups = x.len() / 8;
+    let nwords = ngroups / 8;
+    let (mut a0, mut a1) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+    for w in 0..nwords {
+        let (pw, mw) = (plus_row[w], minus_row[w]);
+        if pw | mw == 0 {
+            continue;
+        }
+        let base = x.as_ptr().add(w * 64);
+        // No per-byte skip tests: at TWN density (~2/3 non-zero) a byte is
+        // all-zero 0.015% of the time, and adding an all-zero delta is a
+        // numeric no-op, so the branches would only burn issue slots.
+        for half in 0..4 {
+            let (ps, ms) = ((pw >> (16 * half)) as usize, (mw >> (16 * half)) as usize);
+            let xv = _mm256_loadu_ps(base.add(half * 16));
+            a0 = _mm256_add_ps(a0, group_delta(xv, ps & 0xff, ms & 0xff));
+            let xv = _mm256_loadu_ps(base.add(half * 16 + 8));
+            a1 = _mm256_add_ps(a1, group_delta(xv, (ps >> 8) & 0xff, (ms >> 8) & 0xff));
+        }
+    }
+    for g in nwords * 8..ngroups {
+        let (pb, mb) = group_bytes(plus_row, minus_row, g);
+        if pb | mb != 0 {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(g * 8));
+            let d = group_delta(xv, pb, mb);
+            if g & 1 == 0 {
+                a0 = _mm256_add_ps(a0, d);
+            } else {
+                a1 = _mm256_add_ps(a1, d);
+            }
+        }
+    }
+    hsum(_mm256_add_ps(a0, a1)) + tail_dot(plus_row, minus_row, x, ngroups * 8)
+}
+
+/// An accumulator stripe of `NB` 8-lane blocks (`NB·8` output columns)
+/// starting at column `c`: every signed bit contributes one load + one add
+/// per block, with the partial sums living in registers for the whole bit
+/// list instead of round-tripping through the output row. The sign is
+/// applied by XOR-ing the IEEE sign bit (`acc + (−v)` is bitwise
+/// `acc − v`), so per element this performs exactly the scalar backend's
+/// adds in exactly its order — the output is bitwise identical.
+#[target_feature(enable = "avx2")]
+unsafe fn rhs_stripe<const NB: usize>(
+    md: &[f32],
+    p: usize,
+    bits: &[(u32, u32)],
+    orow: &mut [f32],
+    c: usize,
+) {
+    let mut acc = [_mm256_setzero_ps(); NB];
+    for &(j, sign) in bits {
+        let base = md.as_ptr().add(j as usize * p + c);
+        let flip = _mm256_castsi256_ps(_mm256_set1_epi32(sign as i32));
+        for (k, a) in acc.iter_mut().enumerate() {
+            let v = _mm256_loadu_ps(base.add(k * 8));
+            *a = _mm256_add_ps(*a, _mm256_xor_ps(v, flip));
+        }
+    }
+    for (k, a) in acc.iter().enumerate() {
+        _mm256_storeu_ps(orow.as_mut_ptr().add(c + k * 8), *a);
+    }
+}
+
+/// `y = W·x`, serial over rows.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn matvec_into(v: &PackedView<'_>, x: &[f32], y: &mut [f32]) {
+    let wpr = v.words_per_row;
+    for (r, out) in y.iter_mut().enumerate() {
+        let base = r * wpr;
+        *out = row_dot(&v.plus[base..base + wpr], &v.minus[base..base + wpr], x);
+    }
+}
+
+/// A register tile of `t <= SAMPLE_TILE` samples against one weight row:
+/// each group's mask pair is loaded once and applied to every sample in the
+/// tile. Per sample, the group order and accumulator schedule are identical
+/// to [`row_dot`], so the result is bitwise the same as running the sample
+/// alone.
+#[target_feature(enable = "avx2")]
+unsafe fn row_dot_tile(
+    plus_row: &[u64],
+    minus_row: &[u64],
+    x: &[f32],
+    cols: usize,
+    t: usize,
+    out: &mut [f32],
+    rows: usize,
+) {
+    let ngroups = cols / 8;
+    let nwords = ngroups / 8;
+    let mut a0 = [_mm256_setzero_ps(); SAMPLE_TILE];
+    let mut a1 = [_mm256_setzero_ps(); SAMPLE_TILE];
+    for w in 0..nwords {
+        let (pw, mw) = (plus_row[w], minus_row[w]);
+        if pw | mw == 0 {
+            continue;
+        }
+        for half in 0..4 {
+            let (ps, ms) = ((pw >> (16 * half)) as usize, (mw >> (16 * half)) as usize);
+            let (pm0, mm0) = (mask_for(ps & 0xff), mask_for(ms & 0xff));
+            let (pm1, mm1) = (mask_for((ps >> 8) & 0xff), mask_for((ms >> 8) & 0xff));
+            for ti in 0..t {
+                let base = x.as_ptr().add(ti * cols + w * 64 + half * 16);
+                let xv = _mm256_loadu_ps(base);
+                a0[ti] = _mm256_add_ps(
+                    a0[ti],
+                    _mm256_sub_ps(_mm256_and_ps(xv, pm0), _mm256_and_ps(xv, mm0)),
+                );
+                let xv = _mm256_loadu_ps(base.add(8));
+                a1[ti] = _mm256_add_ps(
+                    a1[ti],
+                    _mm256_sub_ps(_mm256_and_ps(xv, pm1), _mm256_and_ps(xv, mm1)),
+                );
+            }
+        }
+    }
+    for g in nwords * 8..ngroups {
+        let (pb, mb) = group_bytes(plus_row, minus_row, g);
+        if pb | mb != 0 {
+            let (pm, mm) = (mask_for(pb), mask_for(mb));
+            let acc = if g & 1 == 0 { &mut a0 } else { &mut a1 };
+            for (ti, a) in acc.iter_mut().enumerate().take(t) {
+                let xv = _mm256_loadu_ps(x.as_ptr().add(ti * cols + g * 8));
+                *a = _mm256_add_ps(*a, _mm256_sub_ps(_mm256_and_ps(xv, pm), _mm256_and_ps(xv, mm)));
+            }
+        }
+    }
+    for ti in 0..t {
+        out[ti * rows] = hsum(_mm256_add_ps(a0[ti], a1[ti]))
+            + tail_dot(plus_row, minus_row, &x[ti * cols..(ti + 1) * cols], ngroups * 8);
+    }
+}
+
+/// Batched activations, register-tiled in groups of [`SAMPLE_TILE`] so each
+/// mask load is reused across the tile. Per-sample reduction order matches
+/// [`matvec_into`] exactly, so results are identical for a sample served
+/// alone or inside any batch.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn matmul_samples(v: &PackedView<'_>, x: &[f32], out: &mut [f32]) {
+    let (rows, cols, wpr) = (v.rows, v.cols, v.words_per_row);
+    let ns = out.len() / rows;
+    let mut s = 0;
+    while s < ns {
+        let t = (ns - s).min(SAMPLE_TILE);
+        for r in 0..rows {
+            let base = r * wpr;
+            row_dot_tile(
+                &v.plus[base..base + wpr],
+                &v.minus[base..base + wpr],
+                &x[s * cols..(s + t) * cols],
+                cols,
+                t,
+                &mut out[s * rows + r..],
+                rows,
+            );
+        }
+        s += t;
+    }
+}
+
+/// Output rows `r0..` of `W · M` into `chunk` (pre-zeroed): the shared
+/// [`super::rhs_rows_striped`] driver over this backend's 64- and 8-column
+/// stripes. Element-wise adds in the scalar order throughout, so the
+/// output is bitwise identical to the scalar backend's.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn rhs_rows(
+    v: &PackedView<'_>,
+    md: &[f32],
+    p: usize,
+    r0: usize,
+    chunk: &mut [f32],
+) {
+    super::rhs_rows_striped(v, md, p, r0, chunk, 64, rhs_stripe::<8>, 8, rhs_stripe::<1>);
+}

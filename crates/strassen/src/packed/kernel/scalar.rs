@@ -1,0 +1,114 @@
+//! The portable reference kernel: per-word bit iteration via
+//! `trailing_zeros`, one `f32` add/subtract per set bit.
+//!
+//! These loops are the pre-SIMD engine verbatim — strictly left-to-right
+//! accumulation, no reassociation — and serve as the ground truth the SIMD
+//! backends are property-tested against.
+
+use super::PackedView;
+
+/// Bits per storage word of one bitplane.
+const WORD_BITS: usize = 64;
+
+/// Samples processed together by [`matmul_samples`]: each weight word is
+/// decoded once per tile, and the tile's accumulators live in registers.
+const SAMPLE_TILE: usize = 4;
+
+/// One row's add-only dot product against `x`, iterating set bits so zero
+/// entries cost nothing.
+#[inline]
+fn row_dot(v: &PackedView<'_>, r: usize, x: &[f32]) -> f32 {
+    let base = r * v.words_per_row;
+    let mut acc = 0.0f32;
+    for w in 0..v.words_per_row {
+        let off = w * WORD_BITS;
+        let mut p = v.plus[base + w];
+        while p != 0 {
+            acc += x[off + p.trailing_zeros() as usize];
+            p &= p - 1;
+        }
+        let mut m = v.minus[base + w];
+        while m != 0 {
+            acc -= x[off + m.trailing_zeros() as usize];
+            m &= m - 1;
+        }
+    }
+    acc
+}
+
+/// `y = W·x`, serial over rows.
+pub(crate) fn matvec_into(v: &PackedView<'_>, x: &[f32], y: &mut [f32]) {
+    for (r, out) in y.iter_mut().enumerate() {
+        *out = row_dot(v, r, x);
+    }
+}
+
+/// Batched activations for `ns` contiguous samples, register-tiled in
+/// groups of [`SAMPLE_TILE`] so each weight word is decoded once per tile.
+pub(crate) fn matmul_samples(v: &PackedView<'_>, x: &[f32], out: &mut [f32]) {
+    let (rows, cols, wpr) = (v.rows, v.cols, v.words_per_row);
+    let ns = out.len() / rows;
+    let mut s = 0;
+    while s < ns {
+        let t = (ns - s).min(SAMPLE_TILE);
+        let x0 = s * cols;
+        for r in 0..rows {
+            let base = r * wpr;
+            let mut acc = [0.0f32; SAMPLE_TILE];
+            for w in 0..wpr {
+                let off = w * WORD_BITS;
+                let mut p = v.plus[base + w];
+                while p != 0 {
+                    let j = off + p.trailing_zeros() as usize;
+                    for (ti, a) in acc.iter_mut().enumerate().take(t) {
+                        *a += x[x0 + ti * cols + j];
+                    }
+                    p &= p - 1;
+                }
+                let mut m = v.minus[base + w];
+                while m != 0 {
+                    let j = off + m.trailing_zeros() as usize;
+                    for (ti, a) in acc.iter_mut().enumerate().take(t) {
+                        *a -= x[x0 + ti * cols + j];
+                    }
+                    m &= m - 1;
+                }
+            }
+            for (ti, a) in acc.iter().enumerate().take(t) {
+                out[(s + ti) * rows + r] = *a;
+            }
+        }
+        s += t;
+    }
+}
+
+/// Output rows `r0..` of `W · M` into `chunk` (pre-zeroed): each set bit
+/// contributes a contiguous `p`-long row of `M`, so the inner loop is a
+/// unit-stride slice add/subtract.
+pub(crate) fn rhs_rows(v: &PackedView<'_>, md: &[f32], p: usize, r0: usize, chunk: &mut [f32]) {
+    let wpr = v.words_per_row;
+    for (ri, orow) in chunk.chunks_mut(p).enumerate() {
+        let base = (r0 + ri) * wpr;
+        for w in 0..wpr {
+            let off = w * WORD_BITS;
+            let mut pl = v.plus[base + w];
+            while pl != 0 {
+                let j = off + pl.trailing_zeros() as usize;
+                let src = &md[j * p..(j + 1) * p];
+                for (o, &val) in orow.iter_mut().zip(src) {
+                    *o += val;
+                }
+                pl &= pl - 1;
+            }
+            let mut mi = v.minus[base + w];
+            while mi != 0 {
+                let j = off + mi.trailing_zeros() as usize;
+                let src = &md[j * p..(j + 1) * p];
+                for (o, &val) in orow.iter_mut().zip(src) {
+                    *o -= val;
+                }
+                mi &= mi - 1;
+            }
+        }
+    }
+}

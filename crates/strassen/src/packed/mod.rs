@@ -22,15 +22,23 @@
 //!   microcontroller would execute — now a per-word `count_ones()` popcount
 //!   instead of a per-entry scan — the empirical cross-check for the
 //!   analytic cost model in [`crate::cost`].
+//!
+//! The compute loops themselves live in [`kernel`], which dispatches once
+//! per process between a scalar reference backend and SIMD backends (AVX2
+//! on x86_64, NEON on aarch64) selected by runtime feature detection or
+//! the `THNT_KERNEL` environment override. Every operation below routes
+//! through that dispatcher, so all consumers — the packed layer engine, the
+//! streaming detector, the multi-session server — get the widest kernel the
+//! host supports without code changes.
 
 use thnt_tensor::{parallel_zip_chunks, Tensor};
 
+pub mod kernel;
+
+use kernel::{KernelDispatch, PackedView};
+
 /// Bits per storage word of one bitplane.
 const WORD_BITS: usize = 64;
-
-/// Samples processed together by [`PackedTernary::matmul`]: each weight word
-/// is decoded once per tile, and the tile's accumulators live in registers.
-const SAMPLE_TILE: usize = 4;
 
 /// A ternary matrix packed as two bitplanes at 2 bits per entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,29 +200,33 @@ impl PackedTernary {
         out
     }
 
-    /// One row's add-only dot product against `x`, iterating set bits via
-    /// `trailing_zeros` so zero entries cost nothing.
-    #[inline]
-    fn row_dot(&self, r: usize, x: &[f32]) -> f32 {
-        let base = r * self.words_per_row;
-        let mut acc = 0.0f32;
-        for w in 0..self.words_per_row {
-            let off = w * WORD_BITS;
-            let mut p = self.plus[base + w];
-            while p != 0 {
-                acc += x[off + p.trailing_zeros() as usize];
-                p &= p - 1;
-            }
-            let mut m = self.minus[base + w];
-            while m != 0 {
-                acc -= x[off + m.trailing_zeros() as usize];
-                m &= m - 1;
-            }
+    /// Borrowed bitplane view — the operand form the [`kernel`] backends
+    /// consume.
+    fn view(&self) -> PackedView<'_> {
+        PackedView {
+            rows: self.rows,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            plus: &self.plus,
+            minus: &self.minus,
         }
-        acc
     }
 
-    /// Computes `y = W·x` using only additions/subtractions, word-at-a-time.
+    /// Computes `y = W·x` using only additions/subtractions, word-at-a-time
+    /// through the process-wide [`kernel::KernelDispatch`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use thnt_strassen::PackedTernary;
+    /// use thnt_tensor::Tensor;
+    ///
+    /// // [[+1, 0, -1], [0, +1, +1]] packed at 2 bits per entry.
+    /// let w = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0, 1.0, 1.0], &[2, 3]);
+    /// let packed = PackedTernary::from_tensor(&w);
+    /// let y = packed.matvec(&[3.0, 5.0, 7.0]);
+    /// assert_eq!(y, vec![3.0 - 7.0, 5.0 + 7.0]);
+    /// ```
     ///
     /// # Panics
     ///
@@ -231,11 +243,20 @@ impl PackedTernary {
     ///
     /// Panics if `x.len() != cols` or `y.len() != rows`.
     pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        self.matvec_into_with(KernelDispatch::get(), x, y);
+    }
+
+    /// [`Self::matvec_into`] on an explicit kernel backend — how the
+    /// equivalence tests and the kernel benchmarks pit backends against
+    /// each other inside one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into_with(&self, dispatch: &KernelDispatch, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output length mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
-            *out = self.row_dot(r, x);
-        }
+        dispatch.matvec_into(&self.view(), x, y);
     }
 
     /// Scalar reference kernel: decodes every entry one at a time, exactly
@@ -264,15 +285,25 @@ impl PackedTernary {
     /// `X: [n, cols]` row-major, returning `Y: [n, rows]`.
     ///
     /// Samples are distributed across threads with
-    /// [`thnt_tensor::parallel_zip_chunks`]; within a thread, samples are
-    /// processed in register tiles of [`SAMPLE_TILE`] so each weight word is
-    /// decoded once per tile and the partial sums stay in registers — the
-    /// cache-blocked hot path of the packed inference engine.
+    /// [`thnt_tensor::parallel_zip_chunks`]; within a thread, the dispatched
+    /// [`kernel`] backend computes its contiguous run of samples (the scalar
+    /// backend register-tiles 4 samples per weight-word decode; the SIMD
+    /// backends run the lane-parallel row kernel per sample). Per-sample
+    /// results are independent of the batch they arrive in.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not 2-D with `cols` columns.
     pub fn matmul(&self, x: &Tensor) -> Tensor {
+        self.matmul_with(KernelDispatch::get(), x)
+    }
+
+    /// [`Self::matmul`] on an explicit kernel backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 2-D with `cols` columns.
+    pub fn matmul_with(&self, dispatch: &KernelDispatch, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().rank(), 2, "packed matmul expects a 2-D activation matrix");
         assert_eq!(x.dims()[1], self.cols, "packed matmul dimension mismatch");
         let n = x.dims()[0];
@@ -281,41 +312,11 @@ impl PackedTernary {
             return y;
         }
         let xd = x.data();
-        let (rows, cols, wpr) = (self.rows, self.cols, self.words_per_row);
+        let (rows, cols) = (self.rows, self.cols);
+        let view = self.view();
         parallel_zip_chunks(y.data_mut(), rows, |s0, chunk| {
             let ns = chunk.len() / rows;
-            let mut s = 0;
-            while s < ns {
-                let t = (ns - s).min(SAMPLE_TILE);
-                let x0 = (s0 + s) * cols;
-                for r in 0..rows {
-                    let base = r * wpr;
-                    let mut acc = [0.0f32; SAMPLE_TILE];
-                    for w in 0..wpr {
-                        let off = w * WORD_BITS;
-                        let mut p = self.plus[base + w];
-                        while p != 0 {
-                            let j = off + p.trailing_zeros() as usize;
-                            for (ti, a) in acc.iter_mut().enumerate().take(t) {
-                                *a += xd[x0 + ti * cols + j];
-                            }
-                            p &= p - 1;
-                        }
-                        let mut m = self.minus[base + w];
-                        while m != 0 {
-                            let j = off + m.trailing_zeros() as usize;
-                            for (ti, a) in acc.iter_mut().enumerate().take(t) {
-                                *a -= xd[x0 + ti * cols + j];
-                            }
-                            m &= m - 1;
-                        }
-                    }
-                    for (ti, a) in acc.iter().enumerate().take(t) {
-                        chunk[(s + ti) * rows + r] = *a;
-                    }
-                }
-                s += t;
-            }
+            dispatch.matmul_samples(&view, &xd[s0 * cols..(s0 + ns) * cols], chunk);
         });
         y
     }
@@ -345,6 +346,15 @@ impl PackedTernary {
     ///
     /// Panics if `m` is not 2-D with `cols` rows or `out.len() != rows·p`.
     pub fn matmul_rhs_into(&self, m: &Tensor, out: &mut [f32]) {
+        self.matmul_rhs_into_with(KernelDispatch::get(), m, out);
+    }
+
+    /// [`Self::matmul_rhs_into`] on an explicit kernel backend.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::matmul_rhs_into`].
+    pub fn matmul_rhs_into_with(&self, dispatch: &KernelDispatch, m: &Tensor, out: &mut [f32]) {
         assert_eq!(m.shape().rank(), 2, "packed matmul_rhs expects a 2-D matrix");
         assert_eq!(m.dims()[0], self.cols, "packed matmul_rhs dimension mismatch");
         let p = m.dims()[1];
@@ -353,7 +363,8 @@ impl PackedTernary {
         if self.rows == 0 || p == 0 {
             return;
         }
-        parallel_zip_chunks(out, p, |r0, chunk| self.rhs_rows(m.data(), p, r0, chunk));
+        let view = self.view();
+        parallel_zip_chunks(out, p, |r0, chunk| dispatch.rhs_rows(&view, m.data(), p, r0, chunk));
     }
 
     /// [`Self::matmul_rhs_into`] without the internal row parallelism — for
@@ -374,38 +385,7 @@ impl PackedTernary {
         if self.rows == 0 || p == 0 {
             return;
         }
-        self.rhs_rows(m.data(), p, 0, out);
-    }
-
-    /// Computes output rows `r0..` of `W · M` into `chunk` (a whole number
-    /// of `p`-wide rows, pre-zeroed). Each set bit contributes a contiguous
-    /// row of `M`, so the inner loop is a unit-stride slice add/subtract.
-    fn rhs_rows(&self, md: &[f32], p: usize, r0: usize, chunk: &mut [f32]) {
-        let wpr = self.words_per_row;
-        for (ri, orow) in chunk.chunks_mut(p).enumerate() {
-            let base = (r0 + ri) * wpr;
-            for w in 0..wpr {
-                let off = w * WORD_BITS;
-                let mut pl = self.plus[base + w];
-                while pl != 0 {
-                    let j = off + pl.trailing_zeros() as usize;
-                    let src = &md[j * p..(j + 1) * p];
-                    for (o, &v) in orow.iter_mut().zip(src) {
-                        *o += v;
-                    }
-                    pl &= pl - 1;
-                }
-                let mut mi = self.minus[base + w];
-                while mi != 0 {
-                    let j = off + mi.trailing_zeros() as usize;
-                    let src = &md[j * p..(j + 1) * p];
-                    for (o, &v) in orow.iter_mut().zip(src) {
-                        *o -= v;
-                    }
-                    mi &= mi - 1;
-                }
-            }
-        }
+        KernelDispatch::get().rhs_rows(&self.view(), m.data(), p, 0, out);
     }
 
     /// The exact number of additions/subtractions [`Self::matvec`] executes:

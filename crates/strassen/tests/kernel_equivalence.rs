@@ -1,0 +1,186 @@
+//! Property tests keeping the kernel backends provably interchangeable:
+//! every SIMD backend the host supports is pitted against the scalar
+//! reference on randomized shapes that straddle word and lane boundaries.
+//!
+//! Exactness contract (see `thnt_strassen::packed::kernel`):
+//!
+//! * `matvec` / `matmul` — the SIMD backends fold 8 (AVX2) or 4 (NEON)
+//!   partial sums per row where the scalar kernel adds strictly
+//!   left-to-right. Floating-point addition does not reassociate, so the
+//!   backends agree only to rounding; the tolerance is `1e-5` scaled by the
+//!   row's ℓ₁ mass (the bound on any partial sum, hence on the rounding
+//!   error each reordered add can introduce). Exact equality would be a
+//!   wrong spec — it only holds when every row sum is exact in `f32`.
+//! * `matmul_rhs` — the SIMD version vectorises an *element-wise* slice
+//!   add, which reorders nothing, so backends must agree **bitwise**.
+//! * within one backend, a sample's result must not depend on the batch it
+//!   arrived in (the serving layer's batching-invariance guarantee).
+//!
+//! CI runs this suite once per backend by exporting `THNT_KERNEL`
+//! (`scalar` plus whatever the runner supports); the explicit-dispatch
+//! tests below additionally cover every available backend in a single
+//! process, whatever the environment says.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thnt_strassen::{Kernel, KernelDispatch, PackedTernary};
+use thnt_tensor::Tensor;
+
+/// Column widths that straddle the u64 word boundary and the 8/4-lane SIMD
+/// group boundaries; index 6 selects an arbitrary width instead.
+const COL_CHOICES: [usize; 6] = [63, 64, 65, 127, 128, 129];
+
+fn pick_cols(sel: usize, raw: usize) -> usize {
+    COL_CHOICES.get(sel).copied().unwrap_or(raw)
+}
+
+fn random_ternary(rows: usize, cols: usize, rng: &mut SmallRng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1i32..=1) as f32).collect();
+    Tensor::from_vec(data, &[rows, cols])
+}
+
+fn random_activations(len: usize, rng: &mut SmallRng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn simd_backends() -> Vec<KernelDispatch> {
+    Kernel::available()
+        .into_iter()
+        .filter(|k| *k != Kernel::Scalar)
+        .map(|k| KernelDispatch::new(k).unwrap())
+        .collect()
+}
+
+fn scalar() -> KernelDispatch {
+    KernelDispatch::new(Kernel::Scalar).unwrap()
+}
+
+/// `1e-5` scaled by the ℓ₁ mass of the inputs a row sum touches — the
+/// natural bound for reassociation-only divergence.
+fn row_tol(x: &[f32]) -> f32 {
+    1e-5 * (1.0 + x.iter().map(|v| v.abs()).sum::<f32>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every supported SIMD backend's matvec agrees with the scalar
+    /// reference within reassociation rounding on shapes spanning word
+    /// boundaries.
+    #[test]
+    fn simd_matvec_matches_scalar(
+        seed in 0u64..1_000_000,
+        rows in 1usize..40,
+        colsel in 0usize..7,
+        rawcols in 1usize..200,
+    ) {
+        let cols = pick_cols(colsel, rawcols);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let packed = PackedTernary::from_tensor(&random_ternary(rows, cols, &mut rng));
+        let x = random_activations(cols, &mut rng);
+        let mut want = vec![0.0f32; rows];
+        packed.matvec_into_with(&scalar(), &x, &mut want);
+        let tol = row_tol(&x);
+        for d in simd_backends() {
+            let mut got = vec![0.0f32; rows];
+            packed.matvec_into_with(&d, &x, &mut got);
+            for (r, (a, b)) in want.iter().zip(&got).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= tol,
+                    "kernel {} {rows}x{cols} row {r}: scalar {a} vs simd {b} (tol {tol})",
+                    d.kernel()
+                );
+            }
+        }
+    }
+
+    /// Batched matmul: SIMD agrees with scalar within rounding, and within
+    /// each backend every sample's row is bitwise independent of its batch.
+    #[test]
+    fn simd_matmul_matches_scalar_and_batching_is_invariant(
+        seed in 0u64..1_000_000,
+        rows in 1usize..24,
+        colsel in 0usize..7,
+        rawcols in 1usize..200,
+        n in 1usize..7,
+    ) {
+        let cols = pick_cols(colsel, rawcols);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+        let packed = PackedTernary::from_tensor(&random_ternary(rows, cols, &mut rng));
+        let x = random_activations(cols * n, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), &[n, cols]);
+        let want = packed.matmul_with(&scalar(), &xt);
+        for d in simd_backends().into_iter().chain([scalar()]) {
+            let got = packed.matmul_with(&d, &xt);
+            for s in 0..n {
+                let xrow = &x[s * cols..(s + 1) * cols];
+                let tol = row_tol(xrow);
+                let grow = &got.data()[s * rows..(s + 1) * rows];
+                let wrow = &want.data()[s * rows..(s + 1) * rows];
+                for (r, (a, b)) in wrow.iter().zip(grow).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() <= tol,
+                        "kernel {} sample {s} row {r}: {a} vs {b}",
+                        d.kernel()
+                    );
+                }
+                // Batching invariance is *bitwise* within one backend.
+                let mut alone = vec![0.0f32; rows];
+                packed.matvec_into_with(&d, xrow, &mut alone);
+                prop_assert_eq!(
+                    &alone[..],
+                    grow,
+                    "kernel {} sample {s}: batched row != same sample alone",
+                    d.kernel()
+                );
+            }
+        }
+    }
+
+    /// `matmul_rhs` vectorises an element-wise slice add — no
+    /// reassociation — so every backend must agree with scalar bitwise.
+    #[test]
+    fn simd_matmul_rhs_is_bitwise_scalar(
+        seed in 0u64..1_000_000,
+        rows in 1usize..16,
+        colsel in 0usize..7,
+        rawcols in 1usize..200,
+        p in 1usize..30,
+    ) {
+        let cols = pick_cols(colsel, rawcols);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A5A);
+        let packed = PackedTernary::from_tensor(&random_ternary(rows, cols, &mut rng));
+        let mt = Tensor::from_vec(random_activations(cols * p, &mut rng), &[cols, p]);
+        let mut want = vec![0.0f32; rows * p];
+        packed.matmul_rhs_into_with(&scalar(), &mt, &mut want);
+        for d in simd_backends() {
+            let mut got = vec![0.0f32; rows * p];
+            packed.matmul_rhs_into_with(&d, &mt, &mut got);
+            prop_assert_eq!(&want, &got, "kernel {} diverged bitwise", d.kernel());
+        }
+    }
+
+    /// The default dispatch route (`THNT_KERNEL` override or detection —
+    /// whatever this process resolved) stays within rounding of the scalar
+    /// reference. CI runs the suite once per backend through this test.
+    #[test]
+    fn default_dispatch_matches_scalar(
+        seed in 0u64..1_000_000,
+        rows in 1usize..24,
+        colsel in 0usize..7,
+        rawcols in 1usize..200,
+    ) {
+        let cols = pick_cols(colsel, rawcols);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC3C3);
+        let packed = PackedTernary::from_tensor(&random_ternary(rows, cols, &mut rng));
+        let x = random_activations(cols, &mut rng);
+        let got = packed.matvec(&x);
+        let mut want = vec![0.0f32; rows];
+        packed.matvec_into_with(&scalar(), &x, &mut want);
+        let tol = row_tol(&x);
+        for (a, b) in want.iter().zip(&got) {
+            prop_assert!((a - b).abs() <= tol, "default dispatch diverged: {a} vs {b}");
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //! under a few seconds; the default profile measures long enough for stable
 //! medians). With `THNT_BENCH_ASSERT_STREAMING=1` the run fails unless the
 //! packed backend's streaming windows/sec beats the dense backend's — the
-//! regression the old O(window × hop) ring buffer hid.
+//! regression the old O(window × hop) ring buffer hid. With
+//! `THNT_BENCH_ASSERT_DSP=1` it fails unless the planned MFCC front-end is
+//! at least 3x the legacy straight-line pipeline on a one-second window
+//! (`streaming_window` rows also carry `mfcc_ns`/`infer_ns` stage fields,
+//! and `mfcc_window/*` rows time the front-end in isolation).
 
 use std::time::Instant;
 
@@ -23,6 +27,7 @@ use rand::SeedableRng;
 use thnt_core::{
     HybridConfig, PackedStHybrid, StHybridNet, StreamServer, StreamingConfig, StreamingDetector,
 };
+use thnt_dsp::{DspDispatch, Mfcc, MfccConfig, ReferenceMfcc};
 use thnt_nn::InferenceBackend;
 use thnt_strassen::{ternary_values, Kernel, KernelDispatch, PackedTernary, Strassenified};
 use thnt_tensor::{gaussian, matmul_nt, matvec};
@@ -40,6 +45,12 @@ struct BenchRow {
     /// Which dispatch backend (`scalar` | `avx2` | `neon`) executed a
     /// packed-kernel row; absent on dense/per-entry rows.
     kernel: Option<&'static str>,
+    /// Median time of the MFCC stage of a streaming window; present only on
+    /// `streaming_window` rows.
+    mfcc_ns: Option<f64>,
+    /// Median time of the backend-inference stage of a streaming window;
+    /// present only on `streaming_window` rows.
+    infer_ns: Option<f64>,
 }
 
 // Hand-written so `windows_per_sec` / `kernel` are omitted (not null) on
@@ -59,12 +70,19 @@ impl serde::Serialize for BenchRow {
         if let Some(kernel) = self.kernel {
             fields.push(("kernel".to_string(), kernel.to_string().serialize_value()));
         }
+        if let Some(ns) = self.mfcc_ns {
+            fields.push(("mfcc_ns".to_string(), ns.serialize_value()));
+        }
+        if let Some(ns) = self.infer_ns {
+            fields.push(("infer_ns".to_string(), ns.serialize_value()));
+        }
         serde::Value::Object(fields)
     }
 }
 
-/// Times `f` for `iters` iterations after `iters / 10 + 1` warmup runs.
-fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
+/// Runs `f` for `iters` iterations after `iters / 10 + 1` warmup runs and
+/// returns `(mean_ns, median_ns)` without printing or building a row.
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
     for _ in 0..iters / 10 + 1 {
         std::hint::black_box(f());
     }
@@ -77,6 +95,12 @@ fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let median = samples[samples.len() / 2];
+    (mean, median)
+}
+
+/// Times `f` for `iters` iterations after `iters / 10 + 1` warmup runs.
+fn time<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> BenchRow {
+    let (mean, median) = measure(iters, f);
     println!("{name:<42} {median:>12.0} ns (median of {iters})");
     BenchRow {
         name: name.to_string(),
@@ -85,6 +109,8 @@ fn time<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
         median_ns: median,
         windows_per_sec: None,
         kernel: None,
+        mfcc_ns: None,
+        infer_ns: None,
     }
 }
 
@@ -98,7 +124,11 @@ fn time_kernel<T>(base: &str, d: &KernelDispatch, iters: usize, f: impl FnMut() 
 
 /// Times one streaming window (MFCC + normalize + model) on `backend`:
 /// prefills the detector's one-second ring, then feeds hop-sized chunks so
-/// every push triggers exactly one inference.
+/// every push triggers exactly one inference. The row also carries
+/// `mfcc_ns`/`infer_ns` — the two stages of the same window timed in
+/// isolation (planned parallel extraction of a one-second window, and one
+/// single-clip backend call), so regressions attribute to a stage instead
+/// of hiding in the end-to-end number.
 fn time_streaming(backend: &dyn InferenceBackend, iters: usize) -> BenchRow {
     let config = StreamingConfig::default();
     let mut det = StreamingDetector::new(backend, config, vec![0.0; 10], vec![1.0; 10]);
@@ -109,7 +139,22 @@ fn time_streaming(backend: &dyn InferenceBackend, iters: usize) -> BenchRow {
     let name = format!("streaming_window/{}_backend", backend.backend_name());
     let mut row = time(&name, iters, || det.push(chunk.data()));
     row.windows_per_sec = Some(1e9 / row.median_ns);
-    println!("{:<42} {:>12.1} windows/sec", "", 1e9 / row.median_ns);
+    let mfcc = Mfcc::new(MfccConfig::paper());
+    let mut scratch = mfcc.plan().scratch();
+    let mut feats = vec![0.0f32; 49 * 10];
+    let (_, mfcc_ns) =
+        measure(iters, || mfcc.plan().compute_into_par(&mut scratch, prefill.data(), &mut feats));
+    let clip = gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
+    let (_, infer_ns) = measure(iters, || backend.infer(&clip));
+    row.mfcc_ns = Some(mfcc_ns);
+    row.infer_ns = Some(infer_ns);
+    println!(
+        "{:<42} {:>12.1} windows/sec (mfcc {:.0} ns + infer {:.0} ns)",
+        "",
+        1e9 / row.median_ns,
+        mfcc_ns,
+        infer_ns
+    );
     row
 }
 
@@ -233,6 +278,36 @@ fn main() {
         dense.data().iter().zip(fast.data()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(max_err < 1e-4, "packed engine diverged from dense path: {max_err}");
 
+    // The MFCC front-end itself, one one-second window per iteration:
+    // the retired straight-line pipeline vs the planned pipeline (serial
+    // per-window driver as used by the batched server, and the parallel
+    // single-stream driver the detector uses). All planned rows execute on
+    // the process-wide DSP dispatch.
+    let dsp_kernel = DspDispatch::get().kernel().name();
+    {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let window = gaussian(&[16_000], 0.0, 0.1, &mut rng);
+        let legacy = ReferenceMfcc::new(MfccConfig::paper());
+        let mut row = time("mfcc_window/legacy", stream_iters, || legacy.compute(window.data()));
+        row.windows_per_sec = Some(1e9 / row.median_ns);
+        rows.push(row);
+        let mfcc = Mfcc::new(MfccConfig::paper());
+        let mut scratch = mfcc.plan().scratch();
+        let mut feats = vec![0.0f32; 49 * 10];
+        let mut row = time("mfcc_window/planned", stream_iters, || {
+            mfcc.plan().compute_into(&mut scratch, window.data(), &mut feats)
+        });
+        row.windows_per_sec = Some(1e9 / row.median_ns);
+        row.kernel = Some(dsp_kernel);
+        rows.push(row);
+        let mut row = time("mfcc_window/planned_par", stream_iters, || {
+            mfcc.plan().compute_into_par(&mut scratch, window.data(), &mut feats)
+        });
+        row.windows_per_sec = Some(1e9 / row.median_ns);
+        row.kernel = Some(dsp_kernel);
+        rows.push(row);
+    }
+
     // Streaming-path throughput (MFCC + normalize + model per window),
     // dense vs packed backend — with the O(1) ring buffer the backend
     // choice is visible here instead of drowning in per-sample memmoves.
@@ -279,6 +354,25 @@ fn main() {
              (only {}): the gate cannot run",
             kernels[0].kernel()
         );
+    }
+
+    // CI gate: the planned MFCC front-end must hold its speedup over the
+    // retired straight-line pipeline (serial driver vs serial driver —
+    // no thread-count credit).
+    let median = |rows: &[BenchRow], name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing bench row {name}"))
+            .median_ns
+    };
+    let dsp_ratio = median(&rows, "mfcc_window/legacy") / median(&rows, "mfcc_window/planned");
+    println!("\nmfcc_window: planned ({dsp_kernel}) is {dsp_ratio:.2}x legacy");
+    if std::env::var("THNT_BENCH_ASSERT_DSP").as_deref() == Ok("1") {
+        assert!(
+            dsp_ratio >= 3.0,
+            "planned MFCC must be >= 3x the legacy per-call pipeline, measured {dsp_ratio:.2}x"
+        );
+        println!("dsp assertion: planned >= 3x legacy ✓");
     }
 
     // CI gate: packed streaming must beat dense now that the ring buffer is

@@ -35,7 +35,7 @@ use thnt_nn::{softmax, InferenceBackend};
 use thnt_tensor::{parallel_zip_chunks, Tensor};
 
 use crate::artifact::InferenceMeta;
-use crate::streaming::{normalize_window, push_vote, Detection, SessionState, StreamingConfig};
+use crate::streaming::{normalize_in_place, push_vote, Detection, SessionState, StreamingConfig};
 
 /// Opaque handle of one audio session on a [`StreamServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -295,11 +295,15 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         let per = self.frames * self.coeffs;
         let mut batch = Tensor::zeros(&[k, 1, self.frames, self.coeffs]);
         {
-            let (mfcc, mean, std) = (&self.mfcc, &self.norm_mean, &self.norm_std);
+            // One shared plan, one scratch per worker: each window is
+            // extracted serially (the parallelism is across windows) with
+            // features written straight into the batch tensor.
+            let (plan, mean, std) = (self.mfcc.plan(), &self.norm_mean, &self.norm_std);
             parallel_zip_chunks(batch.data_mut(), per, |w0, chunk| {
+                let mut scratch = plan.scratch();
                 for (dw, row) in chunk.chunks_mut(per).enumerate() {
-                    let feats = mfcc.compute(&pending[w0 + dw].audio);
-                    normalize_window(&feats, mean, std, row);
+                    plan.compute_into(&mut scratch, &pending[w0 + dw].audio, row);
+                    normalize_in_place(row, mean, std);
                 }
             });
         }

@@ -27,7 +27,7 @@
 
 use std::collections::VecDeque;
 
-use thnt_dsp::{Mfcc, MfccConfig};
+use thnt_dsp::{Mfcc, MfccConfig, MfccScratch};
 use thnt_nn::{softmax, InferenceBackend};
 use thnt_tensor::Tensor;
 
@@ -163,14 +163,14 @@ impl SessionState {
     }
 }
 
-/// Writes `(feats − mean) / std` into `out`, row by row — the reusable-
-/// buffer replacement for a fresh tensor and per-element `set` calls.
-pub(crate) fn normalize_window(feats: &Tensor, mean: &[f32], std: &[f32], out: &mut [f32]) {
+/// Standardises a feature buffer in place: `v ← (v − mean[c]) / std[c]`,
+/// row by row. The MFCC plan writes features straight into the inference
+/// input buffer, so normalisation no longer copies between tensors.
+pub(crate) fn normalize_in_place(data: &mut [f32], mean: &[f32], std: &[f32]) {
     let coeffs = mean.len();
-    debug_assert_eq!(feats.numel(), out.len(), "normalized window size mismatch");
-    for (o_row, f_row) in out.chunks_mut(coeffs).zip(feats.data().chunks(coeffs)) {
-        for ((o, &v), (&m, &s)) in o_row.iter_mut().zip(f_row).zip(mean.iter().zip(std)) {
-            *o = (v - m) / s;
+    for row in data.chunks_mut(coeffs) {
+        for ((v, &m), &s) in row.iter_mut().zip(mean).zip(std) {
+            *v = (*v - m) / s;
         }
     }
 }
@@ -216,8 +216,10 @@ pub struct StreamingDetector<'m, B: InferenceBackend + ?Sized> {
     norm_std: Vec<f32>,
     state: SessionState,
     recent: VecDeque<Vec<f32>>,
-    /// Reused `[1, 1, frames, coeffs]` input; normalization writes straight
-    /// into its buffer instead of allocating a tensor per window.
+    /// Reusable MFCC workspace; no per-window allocation.
+    scratch: MfccScratch,
+    /// Reused `[1, 1, frames, coeffs]` input; the MFCC plan writes features
+    /// straight into its buffer and normalisation happens in place.
     input: Tensor,
 }
 
@@ -265,15 +267,18 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
         );
         let window_len = mfcc_cfg.sample_rate as usize;
         let frames = mfcc_cfg.num_frames(window_len);
+        let mfcc = Mfcc::new(mfcc_cfg);
+        let scratch = mfcc.plan().scratch();
         Self {
             backend,
-            mfcc: Mfcc::new(mfcc_cfg),
+            mfcc,
             config,
             num_keywords: classes - config.suppress_trailing,
             norm_mean,
             norm_std,
             state: SessionState::new(window_len),
             recent: VecDeque::new(),
+            scratch,
             input: Tensor::zeros(&[1, 1, frames, mfcc_cfg.num_coeffs]),
         }
     }
@@ -298,11 +303,23 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
     /// Feeds audio samples; returns any detections they trigger.
     pub fn push(&mut self, samples: &[f32]) -> Vec<Detection> {
         let mut detections = Vec::new();
-        let Self { backend, mfcc, config, num_keywords, norm_mean, norm_std, state, recent, input } =
-            self;
+        let Self {
+            backend,
+            mfcc,
+            config,
+            num_keywords,
+            norm_mean,
+            norm_std,
+            state,
+            recent,
+            scratch,
+            input,
+        } = self;
         state.feed(samples, config.hop, |window, at_sample| {
-            let feats = mfcc.compute(window);
-            normalize_window(&feats, norm_mean, norm_std, input.data_mut());
+            // Frames of this single stream's window fan out across workers;
+            // features land directly in the reused input tensor.
+            mfcc.plan().compute_into_par(scratch, window, input.data_mut());
+            normalize_in_place(input.data_mut(), norm_mean, norm_std);
             let logits = backend.infer(input);
             let classes = logits.dims()[1];
             assert_eq!(

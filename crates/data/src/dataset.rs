@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use thnt_dsp::{Mfcc, MfccConfig};
-use thnt_tensor::{parallel_for, Tensor};
+use thnt_tensor::{parallel_zip_chunks, Tensor};
 
 use crate::synth::{synthesize_silence, synthesize_word, WordSignature};
 
@@ -268,18 +268,19 @@ impl SpeechCommands {
     }
 
     /// Un-normalised MFCC maps `[n, 49, 10]` (parallel extraction).
+    ///
+    /// Clips are distributed across workers; each worker extracts its clips
+    /// serially through the shared plan with one reusable scratch, writing
+    /// features directly into the output tensor.
     fn raw_features(&self, split: Split) -> Tensor {
         let clips = &self.clips[&split];
         let n = clips.len();
         let mut x = Tensor::zeros(&[n, 49, 10]);
-        let out = SyncSlice(x.data_mut().as_mut_ptr());
-        let mfcc = &self.mfcc;
-        parallel_for(n, |i| {
-            let feats = mfcc.compute(&clips[i].audio);
-            debug_assert_eq!(feats.dims(), &[49, 10]);
-            // SAFETY: disjoint 490-element region per clip index.
-            unsafe {
-                std::ptr::copy_nonoverlapping(feats.data().as_ptr(), out.ptr().add(i * 490), 490);
+        let plan = self.mfcc.plan();
+        parallel_zip_chunks(x.data_mut(), 49 * 10, |i0, chunk| {
+            let mut scratch = plan.scratch();
+            for (di, row) in chunk.chunks_mut(49 * 10).enumerate() {
+                plan.compute_into(&mut scratch, &clips[i0 + di].audio, row);
             }
         });
         x
@@ -312,17 +313,6 @@ impl SpeechCommands {
         let stats = (mean, std);
         *self.norm.lock() = Some(stats.clone());
         stats
-    }
-}
-
-/// Raw-pointer wrapper for disjoint parallel writes; the accessor keeps
-/// 2021-edition closures from capturing the bare pointer.
-struct SyncSlice(*mut f32);
-unsafe impl Send for SyncSlice {}
-unsafe impl Sync for SyncSlice {}
-impl SyncSlice {
-    fn ptr(&self) -> *mut f32 {
-        self.0
     }
 }
 

@@ -35,6 +35,24 @@ impl MelBank {
         self.weights[f * self.num_bins + b]
     }
 
+    /// Returns filter `f`'s support as `(first_bin, weights)`: the row
+    /// trimmed to its first..=last non-zero entry. Triangles are contiguous,
+    /// so the trimmed slice has no interior zeros; a degenerate filter
+    /// (possible for tiny FFT sizes) yields an empty slice.
+    ///
+    /// This is the sparse view [`crate::MfccPlan`] packs into its band
+    /// matrix so each filter application is one short dot product.
+    pub fn band(&self, f: usize) -> (usize, &[f32]) {
+        let row = &self.weights[f * self.num_bins..(f + 1) * self.num_bins];
+        match row.iter().position(|&w| w != 0.0) {
+            Some(first) => {
+                let last = row.iter().rposition(|&w| w != 0.0).unwrap();
+                (first, &row[first..=last])
+            }
+            None => (0, &[]),
+        }
+    }
+
     /// Applies the bank to a power spectrum, producing per-filter energies.
     ///
     /// # Panics
@@ -135,6 +153,23 @@ mod tests {
         for b in 10..500 {
             let total: f32 = (0..40).map(|f| bank.weight(f, b)).sum();
             assert!(total > 0.0, "bin {b} uncovered");
+        }
+    }
+
+    #[test]
+    fn band_view_matches_dense_rows() {
+        let bank = mel_filterbank(40, 1024, 16_000.0, 20.0, 8000.0);
+        for f in 0..40 {
+            let (start, weights) = bank.band(f);
+            assert!(!weights.is_empty(), "filter {f} degenerate");
+            assert_ne!(weights[0], 0.0);
+            assert_ne!(*weights.last().unwrap(), 0.0);
+            for b in 0..bank.num_bins() {
+                let dense = bank.weight(f, b);
+                let sparse =
+                    if b >= start && b < start + weights.len() { weights[b - start] } else { 0.0 };
+                assert_eq!(dense, sparse, "filter {f} bin {b}");
+            }
         }
     }
 

@@ -1,9 +1,18 @@
 //! The end-to-end MFCC extractor.
+//!
+//! [`Mfcc`] is a thin wrapper over the planned pipeline in
+//! [`crate::plan`]: construction builds an [`MfccPlan`] (cached FFT
+//! tables, sparse mel bands, folded DCT matrix) and [`Mfcc::compute`]
+//! extracts frames in parallel through it. The original straight-line
+//! pipeline survives as [`ReferenceMfcc`] / [`reference_mfcc`] — the
+//! slow-but-obvious oracle the optimized path is tested and benchmarked
+//! against.
 
 use thnt_tensor::Tensor;
 
 use crate::fft::power_spectrum;
 use crate::mel::{mel_filterbank, MelBank};
+use crate::plan::MfccPlan;
 use crate::window::{frame_signal, hann_window};
 
 /// Configuration of the MFCC pipeline.
@@ -64,16 +73,20 @@ impl Default for MfccConfig {
 
 /// MFCC feature extractor.
 ///
-/// Construction precomputes the window and mel filterbank; [`Mfcc::compute`]
-/// then turns raw audio into a `[frames, num_coeffs]` tensor.
+/// Construction precomputes the full pipeline plan (window, real-FFT
+/// tables, sparse mel filterbank, folded DCT matrix); [`Mfcc::compute`]
+/// then turns raw audio into a `[frames, num_coeffs]` tensor, extracting
+/// frames in parallel.
 ///
 /// Pipeline: pre-emphasis → framing → Hann window → power spectrum → mel
 /// filterbank → `ln(energy + ε)` → DCT-II → truncate.
+///
+/// Callers that manage their own buffers and threading (batched servers,
+/// dataset loaders) should reach through [`Mfcc::plan`] for the
+/// allocation-free [`MfccPlan::compute_into`] drivers.
 #[derive(Debug, Clone)]
 pub struct Mfcc {
-    config: MfccConfig,
-    window: Vec<f32>,
-    bank: MelBank,
+    plan: MfccPlan,
 }
 
 impl Mfcc {
@@ -83,6 +96,48 @@ impl Mfcc {
     ///
     /// Panics if `fft_size` is smaller than `frame_len`, not a power of two,
     /// or the mel band is invalid.
+    pub fn new(config: MfccConfig) -> Self {
+        Self { plan: MfccPlan::new(config) }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &MfccConfig {
+        self.plan.config()
+    }
+
+    /// The underlying pipeline plan, for callers that want the
+    /// allocation-free `compute_into` drivers or a reusable scratch.
+    pub fn plan(&self) -> &MfccPlan {
+        &self.plan
+    }
+
+    /// Computes the MFCC feature map of `audio`: shape
+    /// `[num_frames, num_coeffs]`.
+    pub fn compute(&self, audio: &[f32]) -> Tensor {
+        self.plan.compute(audio)
+    }
+}
+
+/// The original per-call MFCC pipeline, kept verbatim as the testing and
+/// benchmarking oracle for the planned path.
+///
+/// Every stage re-derives its work each call: dense complex FFT via
+/// [`power_spectrum`], dense mel rows, per-frame `cos()` DCT, and a frame
+/// buffer copy. Do not use in serving paths — that is the point.
+#[derive(Debug, Clone)]
+pub struct ReferenceMfcc {
+    config: MfccConfig,
+    window: Vec<f32>,
+    bank: MelBank,
+}
+
+impl ReferenceMfcc {
+    /// Builds the reference extractor (precomputes window and filterbank,
+    /// exactly like the pre-plan implementation did).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Mfcc::new`].
     pub fn new(config: MfccConfig) -> Self {
         assert!(
             config.fft_size >= config.frame_len,
@@ -101,13 +156,7 @@ impl Mfcc {
         Self { config, window, bank }
     }
 
-    /// Returns the configuration.
-    pub fn config(&self) -> &MfccConfig {
-        &self.config
-    }
-
-    /// Computes the MFCC feature map of `audio`: shape
-    /// `[num_frames, num_coeffs]`.
+    /// Computes the MFCC feature map with the straight-line pipeline.
     pub fn compute(&self, audio: &[f32]) -> Tensor {
         let c = &self.config;
         // Pre-emphasis: y[t] = x[t] - a·x[t-1].
@@ -134,6 +183,11 @@ impl Mfcc {
         }
         out
     }
+}
+
+/// One-shot convenience wrapper over [`ReferenceMfcc`] for tests.
+pub fn reference_mfcc(config: &MfccConfig, audio: &[f32]) -> Tensor {
+    ReferenceMfcc::new(*config).compute(audio)
 }
 
 #[cfg(test)]
@@ -188,5 +242,27 @@ mod tests {
         let mfcc = Mfcc::new(MfccConfig::paper());
         let feats = mfcc.compute(&vec![0.0; 8_000]);
         assert_eq!(feats.dims()[0], MfccConfig::paper().num_frames(8_000));
+    }
+
+    #[test]
+    fn wrapper_matches_reference_on_a_tone() {
+        let cfg = MfccConfig::paper();
+        let mfcc = Mfcc::new(cfg);
+        // Tone plus broadband noise: keeps every mel energy well above the
+        // ln(e + ε) floor, where the log would amplify FFT rounding noise.
+        let mut state = 0x8765_4321u32;
+        let audio: Vec<f32> = tone(700.0, 16_000, 16_000.0)
+            .into_iter()
+            .map(|x| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                x + ((state >> 8) as f32 / (1u32 << 24) as f32 - 0.5) * 0.1
+            })
+            .collect();
+        let got = mfcc.compute(&audio);
+        let want = reference_mfcc(&cfg, &audio);
+        assert_eq!(got.dims(), want.dims());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 }

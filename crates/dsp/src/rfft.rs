@@ -1,0 +1,255 @@
+//! Planned real-input FFT: half-spectrum power in one N/2-point complex
+//! transform.
+//!
+//! The streaming front-end only ever transforms *real* audio frames, yet the
+//! generic [`crate::fft::fft_in_place`] path pays for a full N-point complex
+//! FFT per frame — and recomputes every twiddle factor with a chain of
+//! complex multiplications on every call. [`RealFft`] is the planned
+//! replacement:
+//!
+//! * **Pack** the N real samples into an N/2-point complex buffer
+//!   (`z[m] = x[2m] + i·x[2m+1]`), halving the butterfly work.
+//! * **Transform** with tables computed once at plan construction: the
+//!   bit-reversal permutation and one twiddle factor per butterfly
+//!   (`exp(−2πik/len)` for every stage), looked up instead of accumulated —
+//!   which is also *more* accurate than the iterative `w·wlen` recurrence.
+//! * **Unpack** the half-spectrum using the conjugate-symmetry
+//!   post-processing twiddles `W_N^k`, emitting `|X[k]|²` for the
+//!   `N/2 + 1` non-negative frequency bins directly — no full complex
+//!   spectrum is ever materialised.
+//!
+//! The plan owns no per-call state: callers pass a reusable `N/2`-element
+//! [`Complex`] scratch buffer, so a hot loop performs zero allocations.
+
+use crate::fft::Complex;
+
+/// A precomputed real-input FFT of one fixed power-of-two size.
+///
+/// Construction computes the bit-reversal and twiddle tables once;
+/// [`RealFft::power_into`] then produces half-spectrum power from a real
+/// signal with no allocation and no trigonometry.
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    /// Full transform size N (power of two, ≥ 2).
+    n: usize,
+    /// N/2 — the size of the packed complex transform.
+    half: usize,
+    /// Bit-reversal permutation for the N/2-point transform.
+    bitrev: Vec<u32>,
+    /// Stage twiddles `exp(−2πik/len)` for `len = 2, 4, …, N/2`, flattened;
+    /// the stage with butterfly span `len` starts at offset `len/2 − 1`.
+    twiddles: Vec<Complex>,
+    /// Post-processing twiddles `W_N^k = exp(−2πik/N)` for `k ≤ N/4`.
+    post: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Builds the plan for transforms of `n` real samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        assert!(n >= 2, "real FFT needs at least 2 samples, got {n}");
+        let half = n / 2;
+        let bits = half.trailing_zeros();
+        let bitrev = (0..half)
+            .map(|i| if half <= 1 { 0 } else { (i.reverse_bits() >> (usize::BITS - bits)) as u32 })
+            .collect();
+        // One twiddle per butterfly index of every stage: stage `len` uses
+        // `exp(−2πik/len)` for k in 0..len/2, stored at `len/2 − 1 + k`.
+        let mut twiddles = Vec::with_capacity(half.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= half {
+            for k in 0..len / 2 {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                twiddles.push(Complex::new(angle.cos() as f32, angle.sin() as f32));
+            }
+            len <<= 1;
+        }
+        let post = (0..=half / 2)
+            .map(|k| {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex::new(angle.cos() as f32, angle.sin() as f32)
+            })
+            .collect();
+        Self { n, half, bitrev, twiddles, post }
+    }
+
+    /// The full transform size N.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Required scratch length: N/2 complex values.
+    pub fn scratch_len(&self) -> usize {
+        self.half
+    }
+
+    /// Number of output bins: N/2 + 1 (non-negative frequencies).
+    pub fn num_bins(&self) -> usize {
+        self.half + 1
+    }
+
+    /// In-place N/2-point DIT butterfly passes over `buf`, which must
+    /// already be in bit-reversed order (the pack step scatters directly).
+    ///
+    /// The first two stages use only the trivial twiddles `1` and `−i`, so
+    /// they run multiply-free; later stages iterate slice-zipped (no index
+    /// arithmetic in the hot loop) over the cached twiddle table.
+    fn butterflies(&self, buf: &mut [Complex]) {
+        let half = self.half;
+        if half >= 2 {
+            for pair in buf.chunks_exact_mut(2) {
+                let (u, b) = (pair[0], pair[1]);
+                pair[0] = Complex::new(u.re + b.re, u.im + b.im);
+                pair[1] = Complex::new(u.re - b.re, u.im - b.im);
+            }
+        }
+        if half >= 4 {
+            for quad in buf.chunks_exact_mut(4) {
+                let (u0, u1, b0, b1) = (quad[0], quad[1], quad[2], quad[3]);
+                // Twiddle of the odd butterfly is −i: (re, im) → (im, −re).
+                let v1 = Complex::new(b1.im, -b1.re);
+                quad[0] = Complex::new(u0.re + b0.re, u0.im + b0.im);
+                quad[2] = Complex::new(u0.re - b0.re, u0.im - b0.im);
+                quad[1] = Complex::new(u1.re + v1.re, u1.im + v1.im);
+                quad[3] = Complex::new(u1.re - v1.re, u1.im - v1.im);
+            }
+        }
+        let mut len = 8usize;
+        while len <= half {
+            let tw = &self.twiddles[len / 2 - 1..len - 1];
+            for chunk in buf.chunks_exact_mut(len) {
+                let (a, b) = chunk.split_at_mut(len / 2);
+                for ((x, y), &w) in a.iter_mut().zip(b.iter_mut()).zip(tw) {
+                    let v = Complex::new(y.re * w.re - y.im * w.im, y.re * w.im + y.im * w.re);
+                    *y = Complex::new(x.re - v.re, x.im - v.im);
+                    *x = Complex::new(x.re + v.re, x.im + v.im);
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Power spectrum of a real signal, zero-padded to N: writes
+    /// `|X[k]|² / N` for `k = 0..=N/2` into `out` (periodogram convention,
+    /// matching [`crate::fft::power_spectrum`]).
+    ///
+    /// `scratch` is caller-owned reusable workspace; its prior contents are
+    /// ignored and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > N`, `scratch.len() != N/2`, or
+    /// `out.len() != N/2 + 1`.
+    pub fn power_into(&self, signal: &[f32], scratch: &mut [Complex], out: &mut [f32]) {
+        let (n, half) = (self.n, self.half);
+        assert!(signal.len() <= n, "signal ({}) longer than fft size ({n})", signal.len());
+        assert_eq!(scratch.len(), half, "scratch length must be N/2");
+        assert_eq!(out.len(), half + 1, "output length must be N/2 + 1");
+        // Pack `z[m] = x[2m] + i·x[2m+1]` scattered straight into
+        // bit-reversed order (bit reversal is an involution), fusing the
+        // permutation pass into the fill; unwritten slots are the zero pad.
+        scratch.fill(Complex::default());
+        let pairs = signal.len() / 2;
+        for (m, pair) in signal.chunks_exact(2).enumerate() {
+            scratch[self.bitrev[m] as usize] = Complex::new(pair[0], pair[1]);
+        }
+        if signal.len() % 2 == 1 {
+            scratch[self.bitrev[pairs] as usize] = Complex::new(signal[signal.len() - 1], 0.0);
+        }
+        self.butterflies(scratch);
+        // Unpack via conjugate symmetry. For k in 1..=N/4 with j = N/2 − k:
+        //   Ze = (Z[k] + conj(Z[j])) / 2     (spectrum of the even samples)
+        //   Zo = (Z[k] − conj(Z[j])) / 2i    (spectrum of the odd samples)
+        //   X[k] = Ze + W_N^k·Zo,   X[j] = conj(Ze − W_N^k·Zo)
+        // and the conjugation is irrelevant to |X|². DC and Nyquist come
+        // straight from Z[0].
+        let inv_n = 1.0 / n as f32;
+        let z0 = scratch[0];
+        out[0] = (z0.re + z0.im) * (z0.re + z0.im) * inv_n;
+        out[half] = (z0.re - z0.im) * (z0.re - z0.im) * inv_n;
+        for k in 1..=half / 2 {
+            let j = half - k;
+            let (zk, zj) = (scratch[k], scratch[j]);
+            let ze = Complex::new((zk.re + zj.re) * 0.5, (zk.im - zj.im) * 0.5);
+            let zo = Complex::new((zk.im + zj.im) * 0.5, (zj.re - zk.re) * 0.5);
+            let w = self.post[k];
+            let t = Complex::new(zo.re * w.re - zo.im * w.im, zo.re * w.im + zo.im * w.re);
+            let xk = Complex::new(ze.re + t.re, ze.im + t.im);
+            let xj = Complex::new(ze.re - t.re, ze.im - t.im);
+            out[k] = xk.norm_sq() * inv_n;
+            out[j] = xj.norm_sq() * inv_n;
+        }
+    }
+
+    /// Allocating convenience wrapper around [`RealFft::power_into`].
+    pub fn power(&self, signal: &[f32]) -> Vec<f32> {
+        let mut scratch = vec![Complex::default(); self.half];
+        let mut out = vec![0.0f32; self.half + 1];
+        self.power_into(signal, &mut scratch, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::power_spectrum;
+
+    #[test]
+    fn matches_complex_path_on_a_tone() {
+        let n = 512;
+        let signal: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * 1000.0 * t as f32 / 16_000.0).sin())
+            .collect();
+        let plan = RealFft::new(n);
+        let fast = plan.power(&signal);
+        let slow = power_spectrum(&signal, n);
+        assert_eq!(fast.len(), slow.len());
+        for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-3, "bin {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn handles_zero_padding_and_odd_lengths() {
+        for sig_len in [0usize, 1, 7, 100, 128] {
+            let signal: Vec<f32> =
+                (0..sig_len).map(|t| ((t * 37 % 19) as f32 - 9.0) / 9.0).collect();
+            let plan = RealFft::new(128);
+            let fast = plan.power(&signal);
+            let slow = power_spectrum(&signal, 128);
+            for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((a - b).abs() < 1e-4, "len {sig_len} bin {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_size_is_exact() {
+        // N = 2: X[0] = x0 + x1, X[1] = x0 − x1.
+        let plan = RealFft::new(2);
+        let p = plan.power(&[3.0, 1.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p[0] - 16.0 / 2.0).abs() < 1e-6);
+        assert!((p[1] - 4.0 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        RealFft::new(12);
+    }
+
+    #[test]
+    fn tables_have_expected_sizes() {
+        let plan = RealFft::new(1024);
+        assert_eq!(plan.scratch_len(), 512);
+        assert_eq!(plan.num_bins(), 513);
+        assert_eq!(plan.twiddles.len(), 511);
+        assert_eq!(plan.post.len(), 257);
+    }
+}

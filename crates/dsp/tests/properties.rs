@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use thnt_dsp::fft::dft_reference;
-use thnt_dsp::{dct_ii, fft_in_place, hz_to_mel, mel_to_hz, power_spectrum, Complex};
+use thnt_dsp::{dct_ii, fft_in_place, hz_to_mel, mel_to_hz, power_spectrum, Complex, RealFft};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -54,6 +54,43 @@ proptest! {
         prop_assert!(mel > 0.0);
         prop_assert!((mel_to_hz(mel) - hz).abs() < 0.5);
         prop_assert!(hz_to_mel(hz + 10.0) > mel);
+    }
+
+    #[test]
+    fn rfft_matches_the_complex_fft(
+        signal in proptest::collection::vec(-1.0f32..1.0, 0..256),
+        log_n in 1u32..11,
+    ) {
+        // The packed real-input transform must agree with the full complex
+        // FFT on random real signals for every power-of-two size, including
+        // signals shorter than the transform (zero padding).
+        let n = 1usize << log_n;
+        let signal = &signal[..signal.len().min(n)];
+        let plan = RealFft::new(n);
+        let got = plan.power(signal);
+        let want = power_spectrum(signal, n);
+        prop_assert_eq!(got.len(), want.len());
+        // Tolerance scales with the energy that lands in a bin.
+        let scale: f32 = 1.0f32.max(want.iter().cloned().fold(0.0, f32::max));
+        for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((g - w).abs() <= 1e-5 * scale, "bin {}: {} vs {}", k, g, w);
+        }
+    }
+
+    #[test]
+    fn rfft_power_is_nonnegative_and_reusable(
+        signal in proptest::collection::vec(-1.0f32..1.0, 1..128),
+    ) {
+        // Scratch reuse across calls must not leak state between signals.
+        let plan = RealFft::new(128);
+        let mut scratch = vec![Complex::default(); plan.scratch_len()];
+        let mut out = vec![0.0f32; plan.num_bins()];
+        plan.power_into(&signal, &mut scratch, &mut out);
+        let first = out.clone();
+        prop_assert!(first.iter().all(|&v| v >= 0.0));
+        plan.power_into(&[0.5; 64], &mut scratch, &mut out);
+        plan.power_into(&signal, &mut scratch, &mut out);
+        prop_assert_eq!(out, first);
     }
 
     #[test]

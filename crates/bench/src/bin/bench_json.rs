@@ -14,7 +14,9 @@
 //! under a few seconds; the default profile measures long enough for stable
 //! medians). With `THNT_BENCH_ASSERT_STREAMING=1` the run fails unless the
 //! packed backend's streaming windows/sec beats the dense backend's — the
-//! regression the old O(window × hop) ring buffer hid. With
+//! regression the old O(window × hop) ring buffer hid — and unless the `streaming_overload` rows (offered
+//! load at twice the per-tick budget) sustain positive throughput with a
+//! shed rate strictly between 0 and 1. With
 //! `THNT_BENCH_ASSERT_DSP=1` it fails unless the planned MFCC front-end is
 //! at least 3x the legacy straight-line pipeline on a one-second window
 //! (`streaming_window` rows also carry `mfcc_ns`/`infer_ns` stage fields,
@@ -51,6 +53,9 @@ struct BenchRow {
     /// Median time of the backend-inference stage of a streaming window;
     /// present only on `streaming_window` rows.
     infer_ns: Option<f64>,
+    /// Fraction of offered windows the server dropped or shed to hold its
+    /// latency budget; present only on `streaming_overload` rows.
+    shed_rate: Option<f64>,
 }
 
 // Hand-written so `windows_per_sec` / `kernel` are omitted (not null) on
@@ -75,6 +80,9 @@ impl serde::Serialize for BenchRow {
         }
         if let Some(ns) = self.infer_ns {
             fields.push(("infer_ns".to_string(), ns.serialize_value()));
+        }
+        if let Some(rate) = self.shed_rate {
+            fields.push(("shed_rate".to_string(), rate.serialize_value()));
         }
         serde::Value::Object(fields)
     }
@@ -111,6 +119,7 @@ fn time<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> BenchRow {
         kernel: None,
         mfcc_ns: None,
         infer_ns: None,
+        shed_rate: None,
     }
 }
 
@@ -166,17 +175,18 @@ fn time_multi_stream(backend: &dyn InferenceBackend, sessions: usize, iters: usi
     let config = StreamingConfig::default();
     let mut server = StreamServer::new(backend, config, vec![0.0; 10], vec![1.0; 10]);
     let mut rng = SmallRng::seed_from_u64(43);
-    let ids: Vec<_> = (0..sessions).map(|_| server.open()).collect();
+    let ids: Vec<_> =
+        (0..sessions).map(|_| server.try_open().expect("open bench session")).collect();
     let prefill = gaussian(&[16_000], 0.0, 0.1, &mut rng);
     for &id in &ids {
-        server.feed(id, prefill.data());
+        server.try_feed(id, prefill.data()).expect("prefill bench session");
     }
     server.tick();
     let chunk = gaussian(&[config.hop], 0.0, 0.1, &mut rng);
     let name = format!("streaming_multi{}/{}_backend", sessions, backend.backend_name());
     let mut row = time(&name, iters, || {
         for &id in &ids {
-            server.feed(id, chunk.data());
+            server.try_feed(id, chunk.data()).expect("feed bench session");
         }
         server.tick()
     });
@@ -184,6 +194,65 @@ fn time_multi_stream(backend: &dyn InferenceBackend, sessions: usize, iters: usi
     row.windows_per_sec = Some(wps);
     println!("{:<42} {wps:>12.1} windows/sec ({sessions} sessions)", "");
     row
+}
+
+/// Times the serving layer under deliberate overload: `sessions` streams
+/// each offer one window per round while `tick_budget` caps a tick at half
+/// that, so the server must shed to hold its latency budget. The row's
+/// `windows_per_sec` is the *sustained* rate (windows actually served, not
+/// offered) and `shed_rate` is the fraction of offered windows dropped or
+/// shed — the overload contract is that both stay positive and bounded
+/// instead of the queue growing without limit.
+fn time_overload(backend: &dyn InferenceBackend, sessions: usize, iters: usize) -> BenchRow {
+    let config = StreamingConfig::default();
+    let budget = (sessions / 2).max(1);
+    let mut server = StreamServer::new(backend, config, vec![0.0; 10], vec![1.0; 10])
+        .queue_bound(2)
+        .tick_budget(budget);
+    let mut rng = SmallRng::seed_from_u64(45);
+    let ids: Vec<_> =
+        (0..sessions).map(|_| server.try_open().expect("open bench session")).collect();
+    let prefill = gaussian(&[16_000], 0.0, 0.1, &mut rng);
+    for &id in &ids {
+        server.try_feed(id, prefill.data()).expect("prefill bench session");
+    }
+    server.tick();
+    let chunk = gaussian(&[config.hop], 0.0, 0.1, &mut rng);
+    let before = server.stats();
+    let name = format!("streaming_overload{sessions}/{}_backend", backend.backend_name());
+    let (mean, median) = measure(iters, || {
+        for &id in &ids {
+            server.try_feed(id, chunk.data()).expect("feed bench session");
+        }
+        server.tick()
+    });
+    let after = server.stats();
+    // `measure` warms up with `iters / 10 + 1` extra rounds on the same
+    // server, so per-round accounting must divide by every round run.
+    let rounds = (iters + iters / 10 + 1) as f64;
+    let offered = (after.windows_fed - before.windows_fed) as f64;
+    let served = (after.windows_served - before.windows_served) as f64;
+    let discarded = ((after.windows_dropped - before.windows_dropped)
+        + (after.windows_shed - before.windows_shed)) as f64;
+    let shed_rate = if offered > 0.0 { discarded / offered } else { 0.0 };
+    let wps = (served / rounds) * 1e9 / median;
+    println!("{name:<42} {median:>12.0} ns (median of {iters})");
+    println!(
+        "{:<42} {wps:>12.1} windows/sec sustained (shed {:.0}% of offered load)",
+        "",
+        shed_rate * 100.0
+    );
+    BenchRow {
+        name,
+        iters,
+        mean_ns: mean,
+        median_ns: median,
+        windows_per_sec: Some(wps),
+        kernel: None,
+        mfcc_ns: None,
+        infer_ns: None,
+        shed_rate: Some(shed_rate),
+    }
 }
 
 fn windows_per_sec(rows: &[BenchRow], name: &str) -> f64 {
@@ -325,6 +394,14 @@ fn main() {
         rows.push(row);
     }
 
+    // The same 8 streams under deliberate overload (offered load is twice
+    // the per-tick budget): sustained throughput and shed rate.
+    for backend in backends {
+        let mut row = time_overload(backend, 8, stream_iters);
+        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        rows.push(row);
+    }
+
     // SIMD-vs-scalar report (and optional CI gate): the widest backend's
     // matvec against the scalar reference on the same bitplanes. A host
     // with no SIMD backend cannot satisfy the gate — asserting there must
@@ -386,6 +463,20 @@ fn main() {
              the ring-buffer regression is back"
         );
         println!("\nstreaming assertion: packed {packed_wps:.1} w/s > dense {dense_wps:.1} w/s ✓");
+        // Overload gate: with offered load at twice the tick budget the
+        // server must keep serving (sustained throughput stays positive)
+        // AND keep shedding (the excess is discarded, not queued forever).
+        for row in rows.iter().filter(|r| r.name.starts_with("streaming_overload")) {
+            let wps = row.windows_per_sec.unwrap_or(0.0);
+            let shed = row.shed_rate.unwrap_or(0.0);
+            assert!(
+                wps > 0.0 && shed > 0.0 && shed < 1.0,
+                "{}: overload must shed some but not all load \
+                 (sustained {wps:.1} w/s, shed rate {shed:.2})",
+                row.name
+            );
+        }
+        println!("overload assertion: sustained throughput with bounded shedding ✓");
     }
 
     let json = serde_json::to_string_pretty(&rows).expect("serialize bench rows");

@@ -292,7 +292,18 @@ impl Cursor {
     fn packed(&mut self, what: &str) -> io::Result<PackedTernary> {
         let rows = self.u32(what)? as usize;
         let cols = self.u32(what)? as usize;
-        let words = rows * cols.div_ceil(64);
+        // Checked arithmetic: corrupt dimensions must become an error, not
+        // a debug-build overflow panic (the byte count check right after
+        // rejects any size the section cannot actually hold).
+        let words = rows
+            .checked_mul(cols.div_ceil(64))
+            .filter(|&w| w <= usize::MAX / 16)
+            .ok_or_else(|| {
+                invalid_data(format!(
+                    "{}: {what}: implausible packed dims {rows}x{cols}",
+                    self.section
+                ))
+            })?;
         self.need(16 * words, what)?;
         let mut plus = Vec::with_capacity(words);
         for _ in 0..words {
@@ -376,7 +387,12 @@ fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
                 let wc = cur.packed("conv wc")?;
                 let bias = cur.f32_vec("conv bias")?;
                 let spec = cur.spec("conv spec")?;
-                let patch = spec.kh * spec.kw;
+                let Some(patch) = spec.kh.checked_mul(spec.kw) else {
+                    return Err(invalid_data(format!(
+                        "FRNT: layer {i}: implausible conv kernel {}x{}",
+                        spec.kh, spec.kw
+                    )));
+                };
                 if wb.rows() != a_hat.len()
                     || wc.cols() != a_hat.len()
                     || wc.rows() != bias.len()
@@ -398,12 +414,15 @@ fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
                 let channels = cur.u32("depthwise channels")? as usize;
                 let multiplier = cur.u32("depthwise multiplier")? as usize;
                 let hidden = channels.saturating_mul(multiplier);
+                // `hidden·kh·kw` under checked arithmetic: on corrupt bytes
+                // the product must fail validation, not overflow-panic.
+                let taps = spec.kh.checked_mul(spec.kw).and_then(|p| p.checked_mul(hidden));
                 if channels == 0
                     || multiplier == 0
                     || wc_signs.len() != hidden
                     || a_hat.len() != hidden
                     || bias.len() != channels
-                    || wb_signs.len() != hidden * spec.kh * spec.kw
+                    || taps != Some(wb_signs.len())
                 {
                     return Err(invalid_data(format!(
                         "FRNT: layer {i}: inconsistent depthwise geometry"

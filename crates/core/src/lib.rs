@@ -67,7 +67,10 @@ pub use engine::{
 };
 pub use experiments::{ExperimentProfile, Profile};
 pub use hybrid::HybridNet;
-pub use serve::{ServedDetection, SessionId, StreamServer};
+pub use serve::{
+    FeedReceipt, OverflowPolicy, ServeError, ServedDetection, ServerStats, SessionId, StreamServer,
+    TickReport,
+};
 pub use st_hybrid::StHybridNet;
 pub use streaming::{Detection, SessionState, StreamingConfig, StreamingDetector};
 pub use train::{

@@ -1,5 +1,6 @@
 //! Multi-session batched serving: many concurrent audio streams, one shared
-//! inference backend.
+//! inference backend — hardened to survive hostile inputs, overload, and a
+//! misbehaving model.
 //!
 //! [`StreamingDetector`](crate::streaming::StreamingDetector) serves one
 //! stream; a deployment serves thousands. [`StreamServer`] is the layer in
@@ -11,9 +12,9 @@
 //!
 //! The serving loop is two-phase:
 //!
-//! 1. [`StreamServer::feed`] buffers a session's audio. Whenever a window
-//!    becomes due (ring full, one hop elapsed) it is snapshotted into the
-//!    pending queue — no feature extraction, no inference yet.
+//! 1. [`StreamServer::try_feed`] buffers a session's audio. Whenever a
+//!    window becomes due (ring full, one hop elapsed) it is snapshotted into
+//!    the pending queue — no feature extraction, no inference yet.
 //! 2. [`StreamServer::tick`] processes every pending window across all
 //!    sessions at once: MFCC features are extracted **in parallel** (one
 //!    window per worker) into one `[k, 1, frames, coeffs]` tensor, a
@@ -27,6 +28,41 @@
 //! server produces exactly the detections an independent
 //! `StreamingDetector` would over the same stream (enforced by the
 //! equivalence proptests in `crates/core/tests/serve_equivalence.rs`).
+//!
+//! # Fault tolerance
+//!
+//! A multiplexed server must not be killable by one bad client, one bad
+//! buffer, or one bad model call, so every entry point is **panic-free**
+//! past construction:
+//!
+//! * **Typed errors, not panics.** [`StreamServer::try_feed`] and
+//!   [`StreamServer::try_open`] return [`ServeError`] for unknown/closed
+//!   sessions, non-finite audio, backpressure, and session limits.
+//! * **Input hardening.** A feed buffer containing `NaN`/`±inf` is rejected
+//!   atomically — no sample of it reaches the ring, the shared MFCC plan, or
+//!   a batched inference that healthy sessions share.
+//! * **Bounded queues.** Per-session pending-window queues are capped
+//!   ([`StreamServer::queue_bound`]) with an explicit [`OverflowPolicy`]:
+//!   evict the session's oldest window, discard the newest, or refuse the
+//!   feed call with [`ServeError::Backpressure`].
+//! * **Degraded-mode ticks.** A per-tick latency budget
+//!   ([`StreamServer::tick_budget`]) deterministically sheds the oldest
+//!   pending windows *before* feature extraction, so overload degrades to
+//!   bounded, fresh work instead of an ever-growing queue.
+//! * **Fault isolation.** Inference runs through
+//!   [`InferenceBackend::infer_isolated`]: a backend call that panics,
+//!   returns wrong-arity logits, or emits non-finite rows quarantines only
+//!   the affected windows — their healthy batch siblings are recovered
+//!   row-by-row and produce byte-identical detections (enforced by
+//!   `crates/core/tests/fault_injection.rs` against `thnt_nn::FaultyBackend`).
+//!
+//! Every outcome is accounted: [`StreamServer::stats`] reconciles exactly —
+//! `windows_fed == windows_accounted() + pending_windows()` always holds.
+
+// Serving hot path: failures must surface as `ServeError` values or stats
+// counters, never as panics — one bad stream must not take down the server.
+// CI additionally greps this file's non-test region for unwrap/expect/panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, VecDeque};
 
@@ -47,6 +83,157 @@ impl std::fmt::Display for SessionId {
     }
 }
 
+/// Why a [`StreamServer`] call was refused. Every variant is a recoverable
+/// condition scoped to one call on one session; the server itself stays
+/// fully serviceable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session was never opened, or has been closed.
+    UnknownSession(SessionId),
+    /// The feed buffer contains a non-finite sample (`NaN` or `±inf`) at
+    /// `offset`. The call consumed nothing: no sample reached the session's
+    /// ring, so the caller may clean the buffer and re-submit it whole.
+    NonFiniteAudio {
+        /// The session whose feed was refused.
+        session: SessionId,
+        /// Index of the first non-finite sample in the submitted buffer.
+        offset: usize,
+    },
+    /// The session's pending-window queue is full and the overflow policy is
+    /// [`OverflowPolicy::Reject`]. The call consumed nothing; retry after a
+    /// [`StreamServer::tick`] drains the queue.
+    Backpressure {
+        /// The session whose feed was refused.
+        session: SessionId,
+        /// Windows the session had queued when the feed arrived.
+        queued: usize,
+    },
+    /// [`StreamServer::try_open`] was refused because the server is at its
+    /// configured session limit.
+    SessionLimit {
+        /// The configured maximum number of concurrent sessions.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownSession(id) => write!(f, "{id} is unknown or closed"),
+            Self::NonFiniteAudio { session, offset } => {
+                write!(f, "{session}: non-finite sample at offset {offset} in feed buffer")
+            }
+            Self::Backpressure { session, queued } => {
+                write!(f, "{session}: pending-window queue full ({queued} queued)")
+            }
+            Self::SessionLimit { limit } => {
+                write!(f, "session limit reached ({limit} concurrent sessions)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What to do when a feed makes a window due but the session's
+/// pending-window queue is already at [`StreamServer::queue_bound`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Evict the session's **oldest** queued window to admit the new one —
+    /// real-time posture: fresh audio always wins, latency stays bounded.
+    #[default]
+    DropOldest,
+    /// Discard the **new** window and keep the queue as-is — backlog
+    /// posture: already-queued work is never thrown away.
+    DropNewest,
+    /// Refuse the whole feed call with [`ServeError::Backpressure`] when the
+    /// queue is full on arrival, consuming no audio; a window that becomes
+    /// due mid-call after the queue filled is discarded and counted
+    /// `rejected`. The caller owns the retry.
+    Reject,
+}
+
+/// Monotonic counters over everything a [`StreamServer`] has done, exposed
+/// via [`StreamServer::stats`].
+///
+/// The counters **reconcile exactly**: every window a feed ever made due is
+/// either still pending or in exactly one terminal counter, so
+/// `windows_fed == windows_accounted() + pending_windows()` at every
+/// quiescent point (the overload proptests assert it after every call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Windows that became due across all feeds (before admission control).
+    pub windows_fed: u64,
+    /// Windows that went through inference and voted.
+    pub windows_served: u64,
+    /// Windows discarded by a drop policy: a [`OverflowPolicy::DropOldest`]
+    /// eviction or a [`OverflowPolicy::DropNewest`] refusal.
+    pub windows_dropped: u64,
+    /// Windows discarded under [`OverflowPolicy::Reject`] because the queue
+    /// filled mid-call.
+    pub windows_rejected: u64,
+    /// Windows shed by the [`StreamServer::tick_budget`] latency budget.
+    pub windows_shed: u64,
+    /// Windows dropped because their session closed before the tick.
+    pub windows_closed: u64,
+    /// Windows whose logits were unusable (backend panic, wrong arity, or
+    /// non-finite values): no vote, no detection, session survives.
+    pub windows_quarantined: u64,
+    /// Whole feed calls refused with no audio consumed ([`ServeError::
+    /// NonFiniteAudio`] or up-front [`ServeError::Backpressure`]).
+    pub rejected_feeds: u64,
+    /// Backend calls that panicked or returned malformed logits, including
+    /// failed single-row retries (from [`thnt_nn::IsolatedBatch`]).
+    pub faulted_calls: u64,
+}
+
+impl ServerStats {
+    /// Windows with a terminal fate: served, dropped, rejected, shed,
+    /// closed, or quarantined. `windows_fed − windows_accounted()` is
+    /// exactly the server's current pending-queue depth.
+    pub fn windows_accounted(&self) -> u64 {
+        self.windows_served
+            + self.windows_dropped
+            + self.windows_rejected
+            + self.windows_shed
+            + self.windows_closed
+            + self.windows_quarantined
+    }
+}
+
+/// Per-call admission summary returned by [`StreamServer::try_feed`]: how
+/// the windows this call made due were handled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedReceipt {
+    /// Windows admitted to the pending queue.
+    pub queued: usize,
+    /// Windows discarded by the drop policies (this session's oldest under
+    /// [`OverflowPolicy::DropOldest`], the new one under
+    /// [`OverflowPolicy::DropNewest`]).
+    pub dropped: usize,
+    /// New windows discarded under [`OverflowPolicy::Reject`] after the
+    /// queue filled mid-call.
+    pub rejected: usize,
+}
+
+/// Outcome of one [`StreamServer::tick_report`]: the detections plus the
+/// tick's share of the [`ServerStats`] movement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    /// Detections demuxed per session, in window arrival order.
+    pub detections: Vec<ServedDetection>,
+    /// Windows inferred and voted this tick.
+    pub served: u64,
+    /// Oldest windows shed up-front by the latency budget.
+    pub shed: u64,
+    /// Windows dropped because their session had closed.
+    pub closed: u64,
+    /// Windows whose logits were unusable and cast no vote.
+    pub quarantined: u64,
+    /// Backend calls that panicked or returned malformed logits this tick.
+    pub faulted_calls: u64,
+}
+
 /// A detection demuxed back to the session that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedDetection {
@@ -56,10 +243,14 @@ pub struct ServedDetection {
     pub detection: Detection,
 }
 
-/// Per-session serving state: the audio ring plus the posterior vote.
+/// Per-session serving state: the audio ring, the posterior vote, and the
+/// session's share of the pending queue.
 struct Session {
     state: SessionState,
     recent: VecDeque<Vec<f32>>,
+    /// Windows this session currently has in the server's pending queue —
+    /// the quantity [`StreamServer::queue_bound`] bounds.
+    queued: usize,
 }
 
 /// A due window snapshotted out of a session's ring, awaiting the next
@@ -71,7 +262,8 @@ struct PendingWindow {
 }
 
 /// Serves many concurrent audio sessions over one shared
-/// [`InferenceBackend`] with cross-session batched inference.
+/// [`InferenceBackend`] with cross-session batched inference, typed errors,
+/// bounded queues, and per-row fault isolation.
 ///
 /// # Example
 ///
@@ -91,6 +283,7 @@ struct PendingWindow {
 ///     fn model_bytes(&self) -> usize { 0 }
 /// }
 ///
+/// # fn main() -> Result<(), thnt_core::ServeError> {
 /// let backend = Uniform;
 /// let mut server = StreamServer::new(
 ///     &backend,
@@ -98,14 +291,16 @@ struct PendingWindow {
 ///     vec![0.0; 10],
 ///     vec![1.0; 10],
 /// );
-/// let a = server.open();
-/// let b = server.open();
-/// server.feed(a, &vec![0.0; 24_000]);
-/// server.feed(b, &vec![0.0; 24_000]);
+/// let a = server.try_open()?;
+/// let b = server.try_open()?;
+/// server.try_feed(a, &vec![0.0; 24_000])?;
+/// server.try_feed(b, &vec![0.0; 24_000])?;
 /// assert_eq!(server.pending_windows(), 4); // two due windows per session
 /// let detections = server.tick(); // one batched infer for both
 /// assert!(detections.is_empty()); // uniform posteriors stay sub-threshold
 /// assert_eq!(server.pending_windows(), 0);
+/// assert_eq!(server.stats().windows_served, 4);
+/// # Ok(()) }
 /// ```
 pub struct StreamServer<'m, B: InferenceBackend + ?Sized> {
     backend: &'m B,
@@ -118,11 +313,19 @@ pub struct StreamServer<'m, B: InferenceBackend + ?Sized> {
     frames: usize,
     coeffs: usize,
     max_batch: usize,
+    /// Per-session pending-window cap; `0` = unbounded.
+    queue_bound: usize,
+    overflow: OverflowPolicy,
+    /// Max windows inferred per tick (the latency budget); `0` = unbounded.
+    tick_budget: usize,
+    /// Max concurrent sessions; `0` = unbounded.
+    max_sessions: usize,
     next_id: u64,
     sessions: HashMap<u64, Session>,
     /// Due windows in arrival order, raw audio; features are extracted in
     /// parallel at tick time.
     pending: Vec<PendingWindow>,
+    stats: ServerStats,
 }
 
 impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
@@ -133,7 +336,9 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     ///
     /// Panics if the statistics do not have one entry per MFCC coefficient,
     /// or if the backend's class count does not exceed
-    /// [`StreamingConfig::suppress_trailing`].
+    /// [`StreamingConfig::suppress_trailing`]. (Construction validates its
+    /// configuration loudly; every *serving* entry point past this is
+    /// panic-free.)
     pub fn new(
         backend: &'m B,
         config: StreamingConfig,
@@ -177,9 +382,14 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
             frames,
             coeffs: mfcc_cfg.num_coeffs,
             max_batch: 64,
+            queue_bound: 0,
+            overflow: OverflowPolicy::default(),
+            tick_budget: 0,
+            max_sessions: 0,
             next_id: 0,
             sessions: HashMap::new(),
             pending: Vec::new(),
+            stats: ServerStats::default(),
         }
     }
 
@@ -201,7 +411,43 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         self
     }
 
+    /// Caps each session's share of the pending queue at `bound` windows;
+    /// overflow is resolved by the configured [`OverflowPolicy`]. `0` means
+    /// unbounded (the default, matching the unhardened server).
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Sets the policy applied when a due window meets a full session queue.
+    /// Default: [`OverflowPolicy::DropOldest`].
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Caps the windows one [`Self::tick`] will infer — the deterministic
+    /// latency budget. When more are pending, the **oldest** windows are
+    /// shed before any feature extraction and counted in
+    /// [`ServerStats::windows_shed`]. `0` means unbounded (default).
+    pub fn tick_budget(mut self, budget: usize) -> Self {
+        self.tick_budget = budget;
+        self
+    }
+
+    /// Caps concurrent sessions; [`Self::try_open`] beyond the cap returns
+    /// [`ServeError::SessionLimit`]. `0` means unbounded (default).
+    pub fn max_sessions(mut self, limit: usize) -> Self {
+        self.max_sessions = limit;
+        self
+    }
+
     /// Opens a new session; its stream starts empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionLimit`] when a [`Self::max_sessions`] cap is set
+    /// and reached.
     ///
     /// # Examples
     ///
@@ -218,25 +464,34 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     ///     fn model_bytes(&self) -> usize { 0 }
     /// }
     ///
+    /// # fn main() -> Result<(), thnt_core::ServeError> {
     /// let backend = Uniform;
     /// let mut server = StreamServer::new(
     ///     &backend, StreamingConfig::default(), vec![0.0; 10], vec![1.0; 10]);
     /// // Sessions join (and leave) freely; each gets an opaque id to feed
     /// // audio under and to match detections against.
-    /// let a = server.open();
-    /// let b = server.open();
+    /// let a = server.try_open()?;
+    /// let b = server.try_open()?;
     /// assert_ne!(a, b);
     /// assert_eq!(server.num_sessions(), 2);
     /// assert!(server.close(a));
+    /// # Ok(()) }
     /// ```
-    pub fn open(&mut self) -> SessionId {
+    pub fn try_open(&mut self) -> Result<SessionId, ServeError> {
+        if self.max_sessions > 0 && self.sessions.len() >= self.max_sessions {
+            return Err(ServeError::SessionLimit { limit: self.max_sessions });
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.sessions.insert(
             id,
-            Session { state: SessionState::new(self.window_len), recent: VecDeque::new() },
+            Session {
+                state: SessionState::new(self.window_len),
+                recent: VecDeque::new(),
+                queued: 0,
+            },
         );
-        SessionId(id)
+        Ok(SessionId(id))
     }
 
     /// Closes a session, dropping its buffered audio and any pending
@@ -260,37 +515,135 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         self.num_keywords
     }
 
-    /// Feeds audio into `id`'s stream. Every window that becomes due is
-    /// snapshotted and queued for the next [`Self::tick`]; returns how many
-    /// windows this call queued. Feeding is cheap — all feature extraction
-    /// and inference happens batched in `tick`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the session does not exist (never opened, or closed).
-    pub fn feed(&mut self, id: SessionId, samples: &[f32]) -> usize {
-        let Self { config, sessions, pending, .. } = self;
-        let session = sessions.get_mut(&id.0).expect("feed on unknown or closed session");
-        let mut queued = 0usize;
-        session.state.feed(samples, config.hop, |window, at_sample| {
-            pending.push(PendingWindow { session: id.0, at_sample, audio: window.to_vec() });
-            queued += 1;
-        });
-        queued
+    /// Lifetime counters: windows fed/served/dropped/rejected/shed/closed/
+    /// quarantined, refused feeds, and faulted backend calls. See
+    /// [`ServerStats`] for the exact reconciliation invariant.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
     }
 
-    /// Serves every pending window: extracts MFCC features in parallel (one
-    /// window per worker), runs one batched inference (respecting
-    /// [`Self::max_batch`]), applies each session's smoothing vote in
-    /// arrival order, and returns the detections demuxed per session.
+    /// Feeds audio into `id`'s stream. Every window that becomes due is
+    /// snapshotted and queued for the next [`Self::tick`], subject to
+    /// [`Self::queue_bound`] and the [`OverflowPolicy`]; the returned
+    /// [`FeedReceipt`] reports how many windows were queued, dropped, and
+    /// rejected. Feeding is cheap — all feature extraction and inference
+    /// happens batched in `tick`.
     ///
-    /// Windows whose session was closed after queueing are dropped. With no
-    /// pending windows this is free and returns nothing.
-    pub fn tick(&mut self) -> Vec<ServedDetection> {
-        if self.pending.is_empty() {
-            return Vec::new();
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownSession`] — `id` was never opened or is
+    ///   closed.
+    /// * [`ServeError::NonFiniteAudio`] — `samples` contains `NaN`/`±inf`.
+    /// * [`ServeError::Backpressure`] — the policy is
+    ///   [`OverflowPolicy::Reject`] and the session's queue is already full.
+    ///
+    /// On any error **no audio is consumed**: the session's ring and hop
+    /// phase are exactly as before the call, so the caller can fix the
+    /// problem and re-submit the same buffer without losing alignment.
+    pub fn try_feed(&mut self, id: SessionId, samples: &[f32]) -> Result<FeedReceipt, ServeError> {
+        let bound = self.queue_bound;
+        let policy = self.overflow;
+        let Self { config, sessions, pending, stats, .. } = self;
+        let Some(session) = sessions.get_mut(&id.0) else {
+            return Err(ServeError::UnknownSession(id));
+        };
+        if let Some(offset) = samples.iter().position(|v| !v.is_finite()) {
+            stats.rejected_feeds += 1;
+            return Err(ServeError::NonFiniteAudio { session: id, offset });
         }
-        let pending = std::mem::take(&mut self.pending);
+        if policy == OverflowPolicy::Reject && bound > 0 && session.queued >= bound {
+            stats.rejected_feeds += 1;
+            return Err(ServeError::Backpressure { session: id, queued: session.queued });
+        }
+        let mut receipt = FeedReceipt::default();
+        let Session { state, queued, .. } = session;
+        state.feed(samples, config.hop, |window, at_sample| {
+            stats.windows_fed += 1;
+            if bound > 0 && *queued >= bound {
+                match policy {
+                    OverflowPolicy::DropOldest => {
+                        // Evict this session's oldest queued window, then
+                        // admit the new one: freshest audio wins.
+                        if let Some(pos) = pending.iter().position(|w| w.session == id.0) {
+                            pending.remove(pos);
+                            *queued = queued.saturating_sub(1);
+                            stats.windows_dropped += 1;
+                            receipt.dropped += 1;
+                        }
+                    }
+                    OverflowPolicy::DropNewest => {
+                        stats.windows_dropped += 1;
+                        receipt.dropped += 1;
+                        return;
+                    }
+                    OverflowPolicy::Reject => {
+                        // The queue filled mid-call (the up-front check
+                        // passed); the audio is already in the ring, so the
+                        // window is discarded rather than the whole call.
+                        stats.windows_rejected += 1;
+                        receipt.rejected += 1;
+                        return;
+                    }
+                }
+            }
+            pending.push(PendingWindow { session: id.0, at_sample, audio: window.to_vec() });
+            *queued += 1;
+            receipt.queued += 1;
+        });
+        Ok(receipt)
+    }
+
+    /// [`Self::tick_report`], returning just the detections. Convenient when
+    /// the caller does not track overload/fault accounting per tick (the
+    /// lifetime [`Self::stats`] still move).
+    pub fn tick(&mut self) -> Vec<ServedDetection> {
+        self.tick_report().detections
+    }
+
+    /// Serves the pending windows: sheds down to the [`Self::tick_budget`]
+    /// (oldest first, before any feature extraction), extracts MFCC features
+    /// in parallel (one window per worker), runs batched inference through
+    /// [`InferenceBackend::infer_isolated`] (respecting [`Self::max_batch`]),
+    /// quarantines windows whose logits are unusable, applies each surviving
+    /// session's smoothing vote in arrival order, and returns the detections
+    /// demuxed per session plus this tick's accounting.
+    ///
+    /// Windows whose session was closed after queueing are dropped. A
+    /// backend call that panics or returns malformed logits is contained at
+    /// the batch boundary: its healthy rows are recovered individually and
+    /// produce exactly the logits a fault-free run would, so healthy
+    /// sessions' detections are byte-identical. With no pending windows this
+    /// is free and returns an empty report.
+    pub fn tick_report(&mut self) -> TickReport {
+        let mut report = TickReport::default();
+        if self.pending.is_empty() {
+            return report;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        // Every taken window leaves its session's queue, whatever its fate.
+        for window in &pending {
+            if let Some(session) = self.sessions.get_mut(&window.session) {
+                session.queued = session.queued.saturating_sub(1);
+            }
+        }
+        // A session closed between feed and tick drops its windows —
+        // before extraction, so closed streams cost nothing.
+        let before = pending.len();
+        pending.retain(|w| self.sessions.contains_key(&w.session));
+        report.closed = (before - pending.len()) as u64;
+        self.stats.windows_closed += report.closed;
+        // Latency budget: infer at most `tick_budget` windows, shedding the
+        // globally oldest first — stale audio is the cheapest to lose, and
+        // shedding happens before the MFCC work it saves.
+        if self.tick_budget > 0 && pending.len() > self.tick_budget {
+            let shed = pending.len() - self.tick_budget;
+            pending.drain(..shed);
+            report.shed = shed as u64;
+            self.stats.windows_shed += report.shed;
+        }
+        if pending.is_empty() {
+            return report;
+        }
         let k = pending.len();
         let per = self.frames * self.coeffs;
         let mut batch = Tensor::zeros(&[k, 1, self.frames, self.coeffs]);
@@ -307,28 +660,40 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
                 }
             });
         }
-        let logits = self.backend.infer_chunked(&batch, self.max_batch);
-        let classes = logits.dims()[1];
-        assert_eq!(
-            classes,
-            self.num_keywords + self.config.suppress_trailing,
-            "backend produced {classes} logits, expected its advertised class count"
-        );
-        let probs = softmax(&logits);
-        let mut detections = Vec::new();
+        // Fault-isolated inference: a panicking / wrong-arity / NaN-emitting
+        // backend call quarantines only its own rows. With a healthy
+        // backend this chunks exactly like `infer_chunked` and, because
+        // every row is computed independently, yields byte-identical logits.
+        let isolated = self.backend.infer_isolated(&batch, self.max_batch);
+        report.faulted_calls = isolated.faulted_calls;
+        self.stats.faulted_calls += isolated.faulted_calls;
+        let probs = softmax(&isolated.logits);
         for (w, window) in pending.iter().enumerate() {
-            // A session closed between feed and tick drops its windows.
+            if !isolated.ok.get(w).copied().unwrap_or(false) {
+                // Unusable logits: the window casts no vote — its session's
+                // smoothing history and its batch siblings are untouched.
+                report.quarantined += 1;
+                self.stats.windows_quarantined += 1;
+                continue;
+            }
             let Some(session) = self.sessions.get_mut(&window.session) else { continue };
-            let (best, confidence) =
-                push_vote(&mut session.recent, probs.row(w), self.config.smoothing);
-            if best < self.num_keywords && confidence >= self.config.threshold {
-                detections.push(ServedDetection {
-                    session: SessionId(window.session),
-                    detection: Detection { class: best, confidence, at_sample: window.at_sample },
-                });
+            report.served += 1;
+            self.stats.windows_served += 1;
+            let vote = push_vote(&mut session.recent, probs.row(w), self.config.smoothing);
+            if let Some((best, confidence)) = vote {
+                if best < self.num_keywords && confidence >= self.config.threshold {
+                    report.detections.push(ServedDetection {
+                        session: SessionId(window.session),
+                        detection: Detection {
+                            class: best,
+                            confidence,
+                            at_sample: window.at_sample,
+                        },
+                    });
+                }
             }
         }
-        detections
+        report
     }
 }
 
@@ -339,11 +704,15 @@ impl<B: InferenceBackend + ?Sized> std::fmt::Debug for StreamServer<'_, B> {
             .field("config", &self.config)
             .field("sessions", &self.sessions.len())
             .field("pending_windows", &self.pending.len())
+            .field("stats", &self.stats)
             .finish()
     }
 }
 
 #[cfg(test)]
+// Tests may unwrap freely; the panic-free discipline covers the serving
+// path above, not its assertions.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::streaming::StreamingDetector;
@@ -405,25 +774,39 @@ mod tests {
         StreamingConfig { hop: 500, smoothing: 2, threshold: 0.05, suppress_trailing: 2 }
     }
 
+    fn small_server(backend: &Probe) -> StreamServer<'_, Probe> {
+        StreamServer::with_mfcc(backend, small_config(), small_mfcc(), vec![0.0; 10], vec![1.0; 10])
+    }
+
     fn tone(freq: f32, len: usize) -> Vec<f32> {
         (0..len).map(|t| (2.0 * std::f32::consts::PI * freq * t as f32 / 2_000.0).sin()).collect()
+    }
+
+    /// The stats invariant every test can lean on.
+    fn assert_reconciled(server: &StreamServer<'_, Probe>) {
+        let stats = server.stats();
+        assert_eq!(
+            stats.windows_fed,
+            stats.windows_accounted() + server.pending_windows() as u64,
+            "stats must reconcile: {stats:?}, pending {}",
+            server.pending_windows()
+        );
     }
 
     #[test]
     fn sessions_are_independent_and_match_a_detector() {
         let backend = Probe { classes: 6 };
         let cfg = small_config();
-        let mut server =
-            StreamServer::with_mfcc(&backend, cfg, small_mfcc(), vec![0.0; 10], vec![1.0; 10]);
-        let a = server.open();
-        let b = server.open();
+        let mut server = small_server(&backend);
+        let a = server.try_open().unwrap();
+        let b = server.try_open().unwrap();
         let stream_a = tone(130.0, 6_000);
         let stream_b = tone(400.0, 6_000);
         // Interleave uneven chunks across the two sessions.
         let mut served: HashMap<SessionId, Vec<Detection>> = HashMap::new();
         for (ca, cb) in stream_a.chunks(333).zip(stream_b.chunks(333)) {
-            server.feed(a, ca);
-            server.feed(b, cb);
+            server.try_feed(a, ca).unwrap();
+            server.try_feed(b, cb).unwrap();
             for d in server.tick() {
                 served.entry(d.session).or_default().push(d.detection);
             }
@@ -439,65 +822,52 @@ mod tests {
             let want = det.push(stream);
             assert_eq!(served.remove(&id).unwrap_or_default(), want, "{id}");
         }
+        assert_reconciled(&server);
     }
 
     #[test]
     fn tick_batches_all_pending_windows() {
         let backend = Probe { classes: 6 };
-        let mut server = StreamServer::with_mfcc(
-            &backend,
-            small_config(),
-            small_mfcc(),
-            vec![0.0; 10],
-            vec![1.0; 10],
-        );
-        let ids: Vec<SessionId> = (0..4).map(|_| server.open()).collect();
+        let mut server = small_server(&backend);
+        let ids: Vec<SessionId> = (0..4).map(|_| server.try_open().unwrap()).collect();
         for &id in &ids {
             // 3000 samples: ring fills at 2000, next window at 2500, 3000.
-            assert_eq!(server.feed(id, &tone(200.0, 3_000)), 3);
+            assert_eq!(server.try_feed(id, &tone(200.0, 3_000)).unwrap().queued, 3);
         }
         assert_eq!(server.pending_windows(), 12);
-        server.tick();
+        let report = server.tick_report();
+        assert_eq!(report.served, 12);
+        assert_eq!(report.faulted_calls, 0);
         assert_eq!(server.pending_windows(), 0);
+        assert_reconciled(&server);
     }
 
     #[test]
     fn closing_a_session_drops_its_pending_windows() {
         let backend = Probe { classes: 6 };
-        let mut server = StreamServer::with_mfcc(
-            &backend,
-            small_config(),
-            small_mfcc(),
-            vec![0.0; 10],
-            vec![1.0; 10],
-        );
-        let a = server.open();
-        let b = server.open();
-        server.feed(a, &tone(150.0, 2_500));
-        server.feed(b, &tone(150.0, 2_500));
+        let mut server = small_server(&backend);
+        let a = server.try_open().unwrap();
+        let b = server.try_open().unwrap();
+        server.try_feed(a, &tone(150.0, 2_500)).unwrap();
+        server.try_feed(b, &tone(150.0, 2_500)).unwrap();
         assert_eq!(server.pending_windows(), 4);
         assert!(server.close(a));
         assert!(!server.close(a), "double close reports absence");
-        let detections = server.tick();
-        assert!(detections.iter().all(|d| d.session == b), "closed session must not detect");
+        let report = server.tick_report();
+        assert!(report.detections.iter().all(|d| d.session == b), "closed session must not detect");
+        assert_eq!(report.closed, 2);
         assert_eq!(server.num_sessions(), 1);
+        assert_reconciled(&server);
     }
 
     #[test]
     fn max_batch_splits_do_not_change_results() {
         let backend = Probe { classes: 6 };
         let run = |max_batch: usize| {
-            let mut server = StreamServer::with_mfcc(
-                &backend,
-                small_config(),
-                small_mfcc(),
-                vec![0.0; 10],
-                vec![1.0; 10],
-            )
-            .max_batch(max_batch);
-            let ids: Vec<SessionId> = (0..3).map(|_| server.open()).collect();
+            let mut server = small_server(&backend).max_batch(max_batch);
+            let ids: Vec<SessionId> = (0..3).map(|_| server.try_open().unwrap()).collect();
             for (k, &id) in ids.iter().enumerate() {
-                server.feed(id, &tone(120.0 + 90.0 * k as f32, 4_000));
+                server.try_feed(id, &tone(120.0 + 90.0 * k as f32, 4_000)).unwrap();
             }
             server.tick()
         };
@@ -507,18 +877,131 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown or closed session")]
-    fn feeding_a_closed_session_panics() {
+    fn feeding_a_closed_session_is_a_typed_error() {
         let backend = Probe { classes: 6 };
-        let mut server = StreamServer::with_mfcc(
-            &backend,
-            small_config(),
-            small_mfcc(),
-            vec![0.0; 10],
-            vec![1.0; 10],
-        );
-        let a = server.open();
+        let mut server = small_server(&backend);
+        let a = server.try_open().unwrap();
         server.close(a);
-        server.feed(a, &[0.0; 100]);
+        assert_eq!(server.try_feed(a, &[0.0; 100]), Err(ServeError::UnknownSession(a)));
+        assert_reconciled(&server);
+    }
+
+    #[test]
+    fn non_finite_audio_is_rejected_without_consuming_anything() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend);
+        let a = server.try_open().unwrap();
+        let mut dirty = tone(200.0, 1_000);
+        dirty[700] = f32::NAN;
+        assert_eq!(
+            server.try_feed(a, &dirty),
+            Err(ServeError::NonFiniteAudio { session: a, offset: 700 })
+        );
+        let mut dirty = tone(200.0, 10);
+        dirty[3] = f32::INFINITY;
+        assert!(server.try_feed(a, &dirty).is_err());
+        assert_eq!(server.stats().rejected_feeds, 2);
+        // Nothing was consumed: the clean stream that follows lines up
+        // exactly as if the dirty buffers had never been offered.
+        let receipt = server.try_feed(a, &tone(200.0, 2_500)).unwrap();
+        assert_eq!(receipt.queued, 2); // windows at 2000 and 2500
+        assert_reconciled(&server);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_freshest_windows() {
+        let backend = Probe { classes: 6 };
+        let mut server =
+            small_server(&backend).queue_bound(2).overflow_policy(OverflowPolicy::DropOldest);
+        let a = server.try_open().unwrap();
+        // 4000 samples make 5 windows due (2000, 2500, 3000, 3500, 4000).
+        let receipt = server.try_feed(a, &tone(180.0, 4_000)).unwrap();
+        assert_eq!(receipt.queued, 5, "every window is admitted under DropOldest");
+        assert_eq!(receipt.dropped, 3, "the three oldest were evicted");
+        assert_eq!(server.pending_windows(), 2);
+        assert_reconciled(&server);
+        let report = server.tick_report();
+        assert_eq!(report.served, 2);
+        assert_reconciled(&server);
+    }
+
+    #[test]
+    fn drop_newest_preserves_the_backlog() {
+        let backend = Probe { classes: 6 };
+        let mut server =
+            small_server(&backend).queue_bound(2).overflow_policy(OverflowPolicy::DropNewest);
+        let a = server.try_open().unwrap();
+        let receipt = server.try_feed(a, &tone(180.0, 4_000)).unwrap();
+        assert_eq!(receipt.queued, 2, "first two windows fill the queue");
+        assert_eq!(receipt.dropped, 3, "later windows are discarded");
+        assert_eq!(server.pending_windows(), 2);
+        assert_reconciled(&server);
+    }
+
+    #[test]
+    fn reject_refuses_up_front_and_discards_mid_call() {
+        let backend = Probe { classes: 6 };
+        let mut server =
+            small_server(&backend).queue_bound(2).overflow_policy(OverflowPolicy::Reject);
+        let a = server.try_open().unwrap();
+        // The queue has space at call start, then fills mid-call: the two
+        // admitted windows stand, the remaining three are rejected.
+        let receipt = server.try_feed(a, &tone(180.0, 4_000)).unwrap();
+        assert_eq!(receipt, FeedReceipt { queued: 2, dropped: 0, rejected: 3 });
+        // Now the queue is full on arrival: the whole call is refused and
+        // no audio is consumed.
+        assert_eq!(
+            server.try_feed(a, &tone(180.0, 500)),
+            Err(ServeError::Backpressure { session: a, queued: 2 })
+        );
+        assert_reconciled(&server);
+        // Draining the queue restores service; the refused buffer can be
+        // re-submitted with the stream still aligned.
+        server.tick();
+        let receipt = server.try_feed(a, &tone(180.0, 500)).unwrap();
+        assert_eq!(receipt.queued, 1);
+        assert_reconciled(&server);
+    }
+
+    #[test]
+    fn tick_budget_sheds_the_oldest_windows_first() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend).tick_budget(3);
+        let a = server.try_open().unwrap();
+        let b = server.try_open().unwrap();
+        server.try_feed(a, &tone(180.0, 3_000)).unwrap(); // 3 windows
+        server.try_feed(b, &tone(300.0, 3_000)).unwrap(); // 3 windows
+        let report = server.tick_report();
+        assert_eq!(report.shed, 3, "budget 3 sheds the 3 oldest of 6");
+        assert_eq!(report.served, 3);
+        assert_reconciled(&server);
+        // The shed windows were a's entire backlog (fed first == oldest).
+        let stats = server.stats();
+        assert_eq!(stats.windows_shed, 3);
+        assert_eq!(stats.windows_served, 3);
+    }
+
+    #[test]
+    fn session_limit_bounds_try_open() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend).max_sessions(2);
+        let a = server.try_open().unwrap();
+        let _b = server.try_open().unwrap();
+        assert_eq!(server.try_open(), Err(ServeError::SessionLimit { limit: 2 }));
+        // Closing makes room again.
+        server.close(a);
+        assert!(server.try_open().is_ok());
+    }
+
+    #[test]
+    fn serve_errors_display_their_context() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend);
+        let a = server.try_open().unwrap();
+        server.close(a);
+        let err = server.try_feed(a, &[0.0]).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("session#0"), "{msg}");
+        assert!(std::error::Error::source(&err).is_none());
     }
 }

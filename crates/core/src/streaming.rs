@@ -25,6 +25,11 @@
 //! The backend is held by shared reference: inference is `&self`, so one
 //! compiled engine can serve many concurrent detectors.
 
+// Serving hot path: failures must surface as values (skipped votes, typed
+// errors in `serve`), never as panics — one bad stream must not take down a
+// multiplexed server. CI additionally greps this file's non-test region.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::VecDeque;
 
 use thnt_dsp::{Mfcc, MfccConfig, MfccScratch};
@@ -178,11 +183,19 @@ pub(crate) fn normalize_in_place(data: &mut [f32], mean: &[f32], std: &[f32]) {
 /// Pushes one window's posteriors into the smoothing history and returns the
 /// `(class, confidence)` of the best smoothed class — the shared vote step
 /// of [`StreamingDetector`] and [`crate::serve::StreamServer`].
+///
+/// NaN-safe: non-finite smoothed posteriors are ignored by the argmax, and
+/// `None` is returned when no class has a finite smoothed posterior (empty
+/// row, or every class poisoned by `NaN`/`±inf`) — the window then simply
+/// casts no vote instead of panicking or detecting on garbage. A poisoned
+/// window still enters the history, so it suppresses detections until it
+/// slides out of the smoothing span; callers that can identify bad windows
+/// earlier (the server's quarantine) keep them out of the history entirely.
 pub(crate) fn push_vote(
     recent: &mut VecDeque<Vec<f32>>,
     probs: &[f32],
     smoothing: usize,
-) -> (usize, f32) {
+) -> Option<(usize, f32)> {
     recent.push_back(probs.to_vec());
     if recent.len() > smoothing {
         recent.pop_front();
@@ -197,12 +210,16 @@ pub(crate) fn push_vote(
     for m in &mut mean {
         *m /= recent.len() as f32;
     }
-    let best = mean
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("posterior row is non-empty");
-    (best.0, *best.1)
+    // Argmax over the finite entries, keeping the *last* maximum on ties —
+    // the tie-breaking the pre-hardening `Iterator::max_by` implementation
+    // had, which the serve-equivalence oracles pin down.
+    let mut best: Option<(usize, f32)> = None;
+    for (c, &v) in mean.iter().enumerate() {
+        if v.is_finite() && best.is_none_or(|(_, bv)| v >= bv) {
+            best = Some((c, v));
+        }
+    }
+    best
 }
 
 /// Sliding-window keyword detector over a continuous audio stream, serving
@@ -328,10 +345,12 @@ impl<'m, B: InferenceBackend + ?Sized> StreamingDetector<'m, B> {
                 "backend produced {classes} logits, expected its advertised class count"
             );
             let probs = softmax(&logits);
-            let (best, confidence) = push_vote(recent, probs.row(0), config.smoothing);
-            // Keywords only: the trailing filler classes never detect.
-            if best < *num_keywords && confidence >= config.threshold {
-                detections.push(Detection { class: best, confidence, at_sample });
+            // Keywords only: the trailing filler classes never detect. A
+            // vote of `None` (all-NaN posteriors) detects nothing.
+            if let Some((best, confidence)) = push_vote(recent, probs.row(0), config.smoothing) {
+                if best < *num_keywords && confidence >= config.threshold {
+                    detections.push(Detection { class: best, confidence, at_sample });
+                }
             }
         });
         detections
@@ -349,6 +368,9 @@ impl<B: InferenceBackend + ?Sized> std::fmt::Debug for StreamingDetector<'_, B> 
 }
 
 #[cfg(test)]
+// Tests may unwrap freely; the panic-free discipline covers the serving
+// path above, not its assertions.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -487,6 +509,42 @@ mod tests {
             assert_eq!(w, &want, "window {k} contents");
         }
         assert_eq!(state.consumed(), pushed);
+    }
+
+    #[test]
+    fn nan_logits_detect_nothing_and_never_panic() {
+        // A backend whose every logit is NaN: softmax propagates the NaN,
+        // the vote abstains, and the stream keeps flowing.
+        let model = Fixed(vec![f32::NAN; 12]);
+        let mut det = detector_over(&model, 0.0);
+        assert!(det.push(&vec![0.0; 64_000]).is_empty());
+    }
+
+    #[test]
+    fn vote_ignores_non_finite_classes() {
+        use std::collections::VecDeque;
+        let mut recent = VecDeque::new();
+        // Class 1 is poisoned; the argmax must pick the best finite class
+        // (class 2), not panic and not return the NaN.
+        let got = push_vote(&mut recent, &[0.1, f32::NAN, 0.7, 0.2], 3);
+        assert_eq!(got, Some((2, 0.7)));
+        // An all-NaN window abstains...
+        assert_eq!(push_vote(&mut recent, &[f32::NAN; 4], 3), None);
+        // ...and keeps suppressing until it leaves the smoothing span.
+        assert_eq!(push_vote(&mut recent, &[0.0, 0.0, 0.0, 1.0], 3), None);
+        assert_eq!(push_vote(&mut recent, &[0.0, 0.0, 0.0, 1.0], 3), None);
+        let (best, conf) = push_vote(&mut recent, &[0.0, 0.0, 0.0, 1.0], 3).unwrap();
+        assert_eq!(best, 3);
+        assert!((conf - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vote_keeps_the_last_maximum_on_ties() {
+        use std::collections::VecDeque;
+        let mut recent = VecDeque::new();
+        // Uniform posteriors: the pre-hardening `max_by` picked the last
+        // maximal class, and the serve-equivalence oracles depend on it.
+        assert_eq!(push_vote(&mut recent, &[0.25; 4], 3), Some((3, 0.25)));
     }
 
     #[test]

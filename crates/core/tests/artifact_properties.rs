@@ -98,6 +98,84 @@ proptest! {
     }
 }
 
+/// Exhaustive truncation sweep: **every** prefix of a real artifact (not a
+/// sample of cut points) must load to `Err` — and, run under
+/// `catch_unwind`, provably without panicking. This is the loader's
+/// panic-freedom proof for the entire truncation space.
+#[test]
+fn every_truncation_prefix_errors_without_panicking() {
+    let (_, engine) = frozen_engine(5, 4, 1);
+    let mut blob = Vec::new();
+    engine.save(None, &mut blob).unwrap();
+    for cut in 0..blob.len() {
+        let prefix = &blob[..cut];
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| PackedStHybrid::load(prefix)));
+        match outcome {
+            Ok(result) => assert!(
+                result.is_err(),
+                "prefix {cut}/{} loaded successfully — truncation went unnoticed",
+                blob.len()
+            ),
+            Err(_) => panic!("prefix {cut}/{} PANICKED the loader", blob.len()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random byte-flip fuzzing under `catch_unwind`: corrupting any bytes
+    /// of a valid artifact must never panic the loader. (Unlike
+    /// truncation, a flip is not guaranteed to be *detected* — a flipped
+    /// bit inside an f32 payload yields a different but well-formed
+    /// artifact — so the property proven here is panic-freedom, with
+    /// validation errors as the common case.)
+    #[test]
+    fn byte_flips_never_panic_the_loader(
+        seed in 0u64..100_000,
+        flips in 1usize..9,
+    ) {
+        let (_, engine) = frozen_engine(6, 4, 1);
+        let mut blob = Vec::new();
+        engine.save(None, &mut blob).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..flips {
+            let byte = rand::Rng::gen_range(&mut rng, 0..blob.len());
+            let bit = rand::Rng::gen_range(&mut rng, 0..8u32);
+            blob[byte] ^= 1 << bit;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PackedStHybrid::load(blob.as_slice())
+        }));
+        prop_assert!(outcome.is_ok(), "byte flips panicked the loader (seed {})", seed);
+    }
+
+    /// Truncation must be *detected*, not merely survived — re-asserted on
+    /// random section-aligned and unaligned cuts of an artifact that also
+    /// carries a META section (the richest layout).
+    #[test]
+    fn truncated_artifacts_with_meta_are_rejected(cut_frac in 0.0f64..1.0) {
+        let (_, engine) = frozen_engine(3, 4, 1);
+        let meta = InferenceMeta {
+            mfcc: MfccConfig::paper(),
+            norm_mean: vec![0.1; 10],
+            norm_std: vec![2.0; 10],
+        };
+        let mut blob = Vec::new();
+        engine.save(Some(&meta), &mut blob).unwrap();
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < blob.len());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PackedStHybrid::load(&blob[..cut])
+        }));
+        match outcome {
+            Ok(result) => prop_assert!(result.is_err(), "cut {cut} loaded"),
+            Err(_) => prop_assert!(false, "cut {cut} panicked"),
+        }
+    }
+}
+
 #[test]
 fn trailing_garbage_is_rejected() {
     let (_, engine) = frozen_engine(9, 6, 1);

@@ -77,14 +77,14 @@ proptest! {
             let mut progressed = false;
             for k in 0..num_sessions {
                 if round >= join_round[k] && ids[k].is_none() && fed[k] == 0 {
-                    ids[k] = Some(server.open());
+                    ids[k] = Some(server.try_open().unwrap());
                 }
                 let Some(id) = ids[k] else { continue };
                 if fed[k] >= cutoffs[k] {
                     continue;
                 }
                 let chunk = rng.gen_range(1..900usize).min(cutoffs[k] - fed[k]);
-                server.feed(id, &streams[k][fed[k]..fed[k] + chunk]);
+                server.try_feed(id, &streams[k][fed[k]..fed[k] + chunk]).unwrap();
                 fed[k] += chunk;
                 progressed = true;
                 if fed[k] >= cutoffs[k] && rng.gen_range(0..2usize) == 0 {
@@ -157,7 +157,7 @@ fn packed_engine_batched_sessions_match_independent_detectors() {
         .collect();
 
     let mut server = StreamServer::new(&engine, config, mean.clone(), std.clone());
-    let ids: Vec<SessionId> = (0..8).map(|_| server.open()).collect();
+    let ids: Vec<SessionId> = (0..8).map(|_| server.try_open().unwrap()).collect();
     let mut served: HashMap<SessionId, Vec<Detection>> = HashMap::new();
     // Interleave uneven chunks; tick mid-stream and at the end.
     for (round, chunk_len) in [7_000usize, 9_000, 11_000, 13_000].iter().enumerate() {
@@ -165,7 +165,7 @@ fn packed_engine_batched_sessions_match_independent_detectors() {
             let start = [7_000usize, 9_000, 11_000, 13_000][..round].iter().sum::<usize>();
             let end = (start + chunk_len).min(streams[k].len());
             if start < end {
-                server.feed(*id, &streams[k][start..end]);
+                server.try_feed(*id, &streams[k][start..end]).unwrap();
             }
         }
         for d in server.tick() {

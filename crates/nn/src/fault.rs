@@ -1,0 +1,277 @@
+//! Fault injection for serving-layer robustness tests: a wrapper backend
+//! that misbehaves **on purpose**.
+//!
+//! A deployed detector must survive a misbehaving model: a batching bug
+//! that only bites above some batch size, logits of the wrong arity, an
+//! input the network digests into `NaN`, or an outright panic inside the
+//! inference call. [`FaultyBackend`] wraps any healthy
+//! [`InferenceBackend`] and injects exactly one of those failure modes on a
+//! deterministic trigger, so tests can prove the serving layer *isolates*
+//! the fault — healthy sessions keep their byte-identical detections, the
+//! server never panics, and every faulted window is accounted for.
+//!
+//! All triggers are pure functions of the call's input (batch size or row
+//! content), never of wall-clock time or hidden call counters, so a faulty
+//! run is exactly reproducible. The wrapper only counts injections through
+//! an [`AtomicU64`] — observability, not behaviour.
+//!
+//! Used by `crates/core/tests/fault_injection.rs` and exercised in CI's
+//! fault-injection step; it ships in the library (not `#[cfg(test)]`) so
+//! downstream serving layers can reuse the same chaos harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use thnt_tensor::Tensor;
+
+use crate::infer::InferenceBackend;
+
+/// Which failure to inject, and when. See [`FaultyBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Pass every call through untouched (a control group that must be
+    /// byte-identical to the bare inner backend).
+    None,
+    /// Panic on any call whose batch has at least `min_batch` rows — the
+    /// shape of a batching bug that single-row execution does not hit. The
+    /// panic payload contains `"injected"` so test harnesses can tell it
+    /// from a genuine failure.
+    PanicOnBatch {
+        /// Smallest batch size that triggers the panic.
+        min_batch: usize,
+    },
+    /// Return well-formed but wrong-arity logits (one extra class column)
+    /// on any call with at least `min_batch` rows. With `min_batch: 1`
+    /// every call misbehaves — the backend is unusable and every window
+    /// must be quarantined rather than crash the server.
+    WrongArityOnBatch {
+        /// Smallest batch size that triggers the wrong arity.
+        min_batch: usize,
+    },
+    /// Overwrite with `NaN` the logits of every row whose mean absolute
+    /// input feature is at least `threshold` — an input-keyed fault
+    /// modelling samples the model cannot digest. Rows below the threshold
+    /// pass through byte-identical, which is what makes per-row
+    /// quarantining provable.
+    NanAboveEnergy {
+        /// Mean-absolute-feature level at which a row's logits turn `NaN`.
+        threshold: f32,
+    },
+}
+
+/// An [`InferenceBackend`] wrapper that injects configurable faults:
+/// panics, wrong-arity logits, or content-triggered `NaN` rows.
+///
+/// # Example
+///
+/// ```
+/// use thnt_nn::{FaultMode, FaultyBackend, InferenceBackend};
+/// use thnt_tensor::Tensor;
+///
+/// struct Two;
+/// impl InferenceBackend for Two {
+///     fn infer(&self, x: &Tensor) -> Tensor { Tensor::ones(&[x.dims()[0], 2]) }
+///     fn num_classes(&self) -> usize { 2 }
+///     fn adds_per_sample(&self) -> u64 { 0 }
+///     fn model_bytes(&self) -> usize { 0 }
+/// }
+///
+/// let inner = Two;
+/// let faulty = FaultyBackend::new(&inner, FaultMode::WrongArityOnBatch { min_batch: 2 });
+/// // Single rows are healthy; batches come back with the wrong arity.
+/// assert_eq!(faulty.infer(&Tensor::zeros(&[1, 4])).dims(), &[1, 2]);
+/// assert_eq!(faulty.infer(&Tensor::zeros(&[3, 4])).dims(), &[3, 3]);
+/// assert_eq!(faulty.injected(), 1);
+/// // infer_isolated recovers the healthy rows and marks nothing else ok.
+/// let isolated = faulty.infer_isolated(&Tensor::zeros(&[3, 4]), 0);
+/// assert!(isolated.ok.iter().all(|&ok| ok));
+/// ```
+pub struct FaultyBackend<'m, B: InferenceBackend + ?Sized> {
+    inner: &'m B,
+    mode: FaultMode,
+    injected: AtomicU64,
+}
+
+impl<'m, B: InferenceBackend + ?Sized> FaultyBackend<'m, B> {
+    /// Wraps `inner`, injecting faults per `mode`.
+    pub fn new(inner: &'m B, mode: FaultMode) -> Self {
+        Self { inner, mode, injected: AtomicU64::new(0) }
+    }
+
+    /// The configured failure mode.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    /// How many faults have been injected so far (panics thrown, wrong-arity
+    /// responses returned, or rows overwritten with `NaN`).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl<B: InferenceBackend + ?Sized> InferenceBackend for FaultyBackend<'_, B> {
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        match self.mode {
+            FaultMode::None => self.inner.infer(x),
+            FaultMode::PanicOnBatch { min_batch } => {
+                if n >= min_batch {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    panic!("injected panic (FaultyBackend): batch of {n} rows");
+                }
+                self.inner.infer(x)
+            }
+            FaultMode::WrongArityOnBatch { min_batch } => {
+                if n >= min_batch {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    return Tensor::zeros(&[n, self.inner.num_classes() + 1]);
+                }
+                self.inner.infer(x)
+            }
+            FaultMode::NanAboveEnergy { threshold } => {
+                let mut out = self.inner.infer(x);
+                let per = x.numel() / n.max(1);
+                let classes = self.inner.num_classes();
+                for s in 0..n {
+                    let row = &x.data()[s * per..(s + 1) * per];
+                    let energy = row.iter().map(|v| v.abs()).sum::<f32>() / per.max(1) as f32;
+                    if energy >= threshold {
+                        self.injected.fetch_add(1, Ordering::Relaxed);
+                        out.data_mut()[s * classes..(s + 1) * classes].fill(f32::NAN);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn adds_per_sample(&self) -> u64 {
+        self.inner.adds_per_sample()
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.inner.model_bytes()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+impl<B: InferenceBackend + ?Sized> std::fmt::Debug for FaultyBackend<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyBackend")
+            .field("inner", &self.inner.backend_name())
+            .field("mode", &self.mode)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Input-dependent inner backend: logit = sum of the row's features
+    /// plus the class index, so corruption is visible per row.
+    struct Echo;
+    impl InferenceBackend for Echo {
+        fn infer(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let per = x.numel() / n.max(1);
+            let mut out = Tensor::zeros(&[n, 3]);
+            for s in 0..n {
+                let sum: f32 = x.data()[s * per..(s + 1) * per].iter().sum();
+                for c in 0..3 {
+                    out.data_mut()[s * 3 + c] = sum + c as f32;
+                }
+            }
+            out
+        }
+        fn num_classes(&self) -> usize {
+            3
+        }
+        fn adds_per_sample(&self) -> u64 {
+            7
+        }
+        fn model_bytes(&self) -> usize {
+            11
+        }
+    }
+
+    #[test]
+    fn none_mode_is_transparent() {
+        let inner = Echo;
+        let faulty = FaultyBackend::new(&inner, FaultMode::None);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(faulty.infer(&x).data(), inner.infer(&x).data());
+        assert_eq!(faulty.injected(), 0);
+        assert_eq!(faulty.num_classes(), 3);
+        assert_eq!(faulty.adds_per_sample(), 7);
+        assert_eq!(faulty.model_bytes(), 11);
+    }
+
+    #[test]
+    fn panic_mode_spares_small_batches() {
+        let inner = Echo;
+        let faulty = FaultyBackend::new(&inner, FaultMode::PanicOnBatch { min_batch: 2 });
+        let one = Tensor::zeros(&[1, 2]);
+        assert_eq!(faulty.infer(&one).dims(), &[1, 3]);
+        let two = Tensor::zeros(&[2, 2]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faulty.infer(&two)));
+        assert!(err.is_err(), "batch of 2 must panic");
+        assert_eq!(faulty.injected(), 1);
+    }
+
+    #[test]
+    fn nan_mode_targets_only_hot_rows() {
+        let inner = Echo;
+        let faulty = FaultyBackend::new(&inner, FaultMode::NanAboveEnergy { threshold: 5.0 });
+        // Row 0 is quiet (energy 1), row 1 is hot (energy 10).
+        let x = Tensor::from_vec(vec![1.0, 1.0, 10.0, 10.0], &[2, 2]);
+        let out = faulty.infer(&x);
+        assert!(out.row(0).iter().all(|v| v.is_finite()), "quiet row stays healthy");
+        assert!(out.row(1).iter().all(|v| v.is_nan()), "hot row is poisoned");
+        assert_eq!(out.row(0), inner.infer(&x).row(0), "healthy row is byte-identical");
+        assert_eq!(faulty.injected(), 1);
+    }
+
+    #[test]
+    fn infer_isolated_recovers_healthy_rows_from_a_panicking_batch() {
+        let inner = Echo;
+        let faulty = FaultyBackend::new(&inner, FaultMode::PanicOnBatch { min_batch: 2 });
+        let x = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]);
+        let want = inner.infer(&x);
+        let got = faulty.infer_isolated(&x, 0);
+        assert!(got.ok.iter().all(|&ok| ok), "single-row retries recover every row");
+        assert_eq!(got.logits.data(), want.data(), "recovered rows are byte-identical");
+        assert!(got.faulted_calls >= 1);
+    }
+
+    #[test]
+    fn infer_isolated_marks_unrecoverable_rows() {
+        let inner = Echo;
+        // min_batch 1: even single-row retries misbehave.
+        let faulty = FaultyBackend::new(&inner, FaultMode::WrongArityOnBatch { min_batch: 1 });
+        let got = faulty.infer_isolated(&Tensor::zeros(&[3, 2]), 2);
+        assert!(got.ok.iter().all(|&ok| !ok), "no row is trustworthy");
+        assert_eq!(got.faulted_rows(), 3);
+        assert!(got.logits.data().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn infer_isolated_quarantines_nan_rows_without_touching_neighbours() {
+        let inner = Echo;
+        let faulty = FaultyBackend::new(&inner, FaultMode::NanAboveEnergy { threshold: 5.0 });
+        let x = Tensor::from_vec(vec![1.0, 1.0, 10.0, 10.0, 2.0, 2.0], &[3, 2]);
+        let want = inner.infer(&x);
+        let got = faulty.infer_isolated(&x, 0);
+        assert_eq!(got.ok, vec![true, false, true]);
+        assert_eq!(got.logits.row(0), want.row(0));
+        assert_eq!(got.logits.row(2), want.row(2));
+    }
+}

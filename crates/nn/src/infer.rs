@@ -18,6 +18,7 @@
 //!   engine, whose forward is already `&self`.
 
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use thnt_tensor::Tensor;
 
@@ -103,6 +104,101 @@ pub trait InferenceBackend {
             s = e;
         }
         out
+    }
+
+    /// [`Self::infer_chunked`] with fault isolation: the serving entry point
+    /// for backends that are not trusted to be healthy.
+    ///
+    /// Each bounded sub-batch runs under [`std::panic::catch_unwind`]. A
+    /// call that panics or returns logits of the wrong shape does not take
+    /// its batch down with it: the sub-batch degrades to row-at-a-time
+    /// retries, so every healthy row recovers **exactly** the logits it
+    /// would have produced in a fault-free batch (rows are computed
+    /// independently of their batch neighbours — the contract the serving
+    /// equivalence proptests enforce) and only genuinely faulty rows stay
+    /// marked. Rows whose logits contain a non-finite value are marked
+    /// faulted even when the call itself succeeded, so `NaN` never leaks
+    /// into a posterior vote.
+    ///
+    /// This method never panics on a misbehaving backend; the trade-off is
+    /// that a faulty batch costs up to `rows + 1` backend calls. Callers on
+    /// a trusted path should keep using [`Self::infer_chunked`].
+    ///
+    /// The `AssertUnwindSafe` is justified by the trait contract: `infer`
+    /// takes `&self` and must not leave observable state behind, so an
+    /// unwound call has nothing consistent to corrupt.
+    fn infer_isolated(&self, x: &Tensor, max_batch: usize) -> IsolatedBatch {
+        let n = x.dims()[0];
+        let per = x.numel() / n.max(1);
+        let classes = self.num_classes();
+        let mut logits = Tensor::from_vec(vec![f32::NAN; n * classes], &[n, classes]);
+        let mut ok = vec![false; n];
+        let mut faulted_calls = 0u64;
+        let mut dims = x.dims().to_vec();
+        // Runs rows [s, e) through the backend, demanding the advertised
+        // logits shape; None on panic or shape mismatch.
+        let mut infer_rows = |s: usize, e: usize| -> Option<Tensor> {
+            dims[0] = e - s;
+            let chunk = Tensor::from_vec(x.data()[s * per..e * per].to_vec(), &dims);
+            let out = catch_unwind(AssertUnwindSafe(|| self.infer(&chunk))).ok()?;
+            (out.dims() == [e - s, classes]).then_some(out)
+        };
+        let step = if max_batch == 0 { n.max(1) } else { max_batch };
+        let mut s = 0usize;
+        while s < n {
+            let e = (s + step).min(n);
+            match infer_rows(s, e) {
+                Some(out) => {
+                    logits.data_mut()[s * classes..e * classes].copy_from_slice(out.data());
+                    ok[s..e].fill(true);
+                }
+                None if e - s == 1 => faulted_calls += 1,
+                None => {
+                    faulted_calls += 1;
+                    for w in s..e {
+                        match infer_rows(w, w + 1) {
+                            Some(out) => {
+                                logits.data_mut()[w * classes..(w + 1) * classes]
+                                    .copy_from_slice(out.data());
+                                ok[w] = true;
+                            }
+                            None => faulted_calls += 1,
+                        }
+                    }
+                }
+            }
+            s = e;
+        }
+        for w in 0..n {
+            if ok[w] && logits.row(w).iter().any(|v| !v.is_finite()) {
+                ok[w] = false;
+            }
+        }
+        IsolatedBatch { logits, ok, faulted_calls }
+    }
+}
+
+/// Outcome of [`InferenceBackend::infer_isolated`]: batched logits plus a
+/// per-row health verdict, so a serving layer can quarantine faulty windows
+/// without losing the healthy ones that shared their batch.
+#[derive(Debug, Clone)]
+pub struct IsolatedBatch {
+    /// Logits `[n, num_classes]`. Rows whose [`Self::ok`] flag is `false`
+    /// hold `NaN` and must not be interpreted.
+    pub logits: Tensor,
+    /// `ok[i]` is `true` iff row `i`'s logits came from a backend call that
+    /// neither panicked, nor returned the wrong shape, nor produced a
+    /// non-finite value in that row.
+    pub ok: Vec<bool>,
+    /// Number of backend calls that misbehaved (panicked or returned
+    /// wrong-shaped logits), including failed single-row retries.
+    pub faulted_calls: u64,
+}
+
+impl IsolatedBatch {
+    /// Number of rows whose logits are unusable.
+    pub fn faulted_rows(&self) -> usize {
+        self.ok.iter().filter(|&&ok| !ok).count()
     }
 }
 

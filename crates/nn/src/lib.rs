@@ -45,6 +45,7 @@
 
 pub mod conv_layers;
 pub mod distill;
+pub mod fault;
 pub mod gradcheck;
 pub mod infer;
 pub mod io;
@@ -58,8 +59,9 @@ pub mod trainer;
 
 pub use conv_layers::{BatchNorm2d, Conv2dLayer, DepthwiseConv2dLayer};
 pub use distill::{distill_grad, DistillConfig};
+pub use fault::{FaultMode, FaultyBackend};
 pub use gradcheck::check_gradients;
-pub use infer::{evaluate_backend, DenseBackend, InferenceBackend};
+pub use infer::{evaluate_backend, DenseBackend, InferenceBackend, IsolatedBatch};
 pub use io::{
     load_model, load_model_file, save_model, save_model_file, SectionReader, SectionWriter,
 };

@@ -66,7 +66,7 @@ fn main() {
     // ---- 3. One server, many sessions. ----------------------------------
     let config = StreamingConfig { threshold: 0.3, ..StreamingConfig::default() };
     let mut server = StreamServer::from_meta(&backend, config, &loaded_meta);
-    let ids: Vec<_> = (0..SESSIONS).map(|_| server.open()).collect();
+    let ids: Vec<_> = (0..SESSIONS).map(|_| server.try_open().expect("open session")).collect();
 
     // Each session speaks its own scripted sequence of synthetic words.
     let streams: Vec<Vec<f32>> = (0..SESSIONS)
@@ -93,7 +93,9 @@ fn main() {
                 continue;
             }
             let chunk = rng.gen_range(2_000..12_000usize).min(remaining);
-            server.feed(*id, &streams[k][offsets[k]..offsets[k] + chunk]);
+            server
+                .try_feed(*id, &streams[k][offsets[k]..offsets[k] + chunk])
+                .expect("feed open session with finite audio");
             offsets[k] += chunk;
         }
         let due = server.pending_windows();
@@ -139,4 +141,16 @@ fn main() {
         detections.iter().filter(|d| d.session == ids[0]).map(|d| d.detection.clone()).collect();
     assert_eq!(got, want, "batched serving diverged from an independent detector");
     println!("equivalence check: session 0 matches an independent detector ✓");
+
+    // Failures are typed values, not panics: a closed (or never-opened)
+    // session turns `try_feed` into an `Err` the caller can route per
+    // connection, and the server's books still balance afterwards.
+    server.close(ids[0]);
+    let err = server.try_feed(ids[0], &[0.0; 4]).expect_err("closed sessions must be rejected");
+    println!("feeding a closed session: {err}");
+    let stats = server.stats();
+    println!(
+        "server stats: {} fed / {} served / {} dropped / {} rejected feeds",
+        stats.windows_fed, stats.windows_served, stats.windows_dropped, stats.rejected_feeds
+    );
 }

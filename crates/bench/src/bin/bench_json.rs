@@ -20,18 +20,27 @@
 //! `THNT_BENCH_ASSERT_DSP=1` it fails unless the planned MFCC front-end is
 //! at least 3x the legacy straight-line pipeline on a one-second window
 //! (`streaming_window` rows also carry `mfcc_ns`/`infer_ns` stage fields,
-//! and `mfcc_window/*` rows time the front-end in isolation).
+//! and `mfcc_window/*` rows time the front-end in isolation). With
+//! `THNT_BENCH_ASSERT_QUANT=1` it fails unless the bit-sliced popcount
+//! matvec (`quantized_matvec_256x256/bitsliced/*` rows) is at least 2x the
+//! f32-lane packed matvec on the widest backend — the quantized engine
+//! (`st_hybrid_1clip/quantized_backend` and the streaming quantized rows)
+//! only earns its keep if pure AND+popcount beats f32 lanes.
 
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use thnt_core::{
-    HybridConfig, PackedStHybrid, StHybridNet, StreamServer, StreamingConfig, StreamingDetector,
+    HybridConfig, PackedStHybrid, QuantizedStHybrid, StHybridNet, StreamServer, StreamingConfig,
+    StreamingDetector,
 };
 use thnt_dsp::{DspDispatch, Mfcc, MfccConfig, ReferenceMfcc};
 use thnt_nn::InferenceBackend;
-use thnt_strassen::{ternary_values, Kernel, KernelDispatch, PackedTernary, Strassenified};
+use thnt_quant::CalibrationMethod;
+use thnt_strassen::{
+    ternary_values, BitSliced, Kernel, KernelDispatch, PackedTernary, Strassenified,
+};
 use thnt_tensor::{gaussian, matmul_nt, matvec};
 
 /// One timed kernel.
@@ -301,6 +310,18 @@ fn main() {
         }));
     }
 
+    // Bit-sliced int8 popcount matvec on the same bitplanes: the activation
+    // vector is sliced once up front (exactly how the quantized engine reuses
+    // planes per layer), so the row times pure AND+popcount work with no f32
+    // lanes at all.
+    let sliced = BitSliced::quantize(x.data(), 256, 1.0 / 64.0);
+    let mut yq = vec![0i32; 256];
+    for d in &kernels {
+        rows.push(time_kernel("quantized_matvec_256x256/bitsliced", d, kernel_iters, || {
+            packed.bitsliced_matvec_into_with(d, &sliced, &mut yq)
+        }));
+    }
+
     // Batched activations.
     let xb = gaussian(&[64, 256], 0.0, 1.0, &mut rng);
     rows.push(time("matmul_64x256x256/dense_f32", kernel_iters, || matmul_nt(&xb, &w)));
@@ -323,20 +344,27 @@ fn main() {
     }
 
     // End-to-end through the unified InferenceBackend trait: the dense
-    // frozen path vs the compiled packed engine, swappable behind &dyn.
+    // frozen path vs the compiled packed engine vs the calibrated quantized
+    // popcount engine, all swappable behind &dyn.
     let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
     net.activate_quantization();
     net.freeze_ternary();
     let engine = PackedStHybrid::compile(&net);
+    let calib = gaussian(&[8, 1, 49, 10], 0.0, 1.0, &mut rng);
+    let quantized =
+        QuantizedStHybrid::calibrate_and_compile(&engine, &calib, CalibrationMethod::default())
+            .expect("calibrate quantized bench engine");
     let clip = gaussian(&[1, 1, 49, 10], 0.0, 1.0, &mut rng);
     let dense_backend = net.dense_backend();
-    let backends: [&dyn InferenceBackend; 2] = [&dense_backend, &engine];
+    let backends: [&dyn InferenceBackend; 3] = [&dense_backend, &engine, &quantized];
     let active = KernelDispatch::get().kernel().name();
+    let on_dispatch = |name: &str| matches!(name, "packed" | "quantized").then_some(active);
     for backend in backends {
         let name = format!("st_hybrid_1clip/{}_backend", backend.backend_name());
         let mut row = time(&name, e2e_iters, || backend.infer(&clip));
-        // End-to-end packed rows execute on the process-wide dispatch.
-        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        // End-to-end packed/quantized rows execute on the process-wide
+        // dispatch.
+        row.kernel = on_dispatch(backend.backend_name());
         rows.push(row);
     }
 
@@ -382,7 +410,7 @@ fn main() {
     // choice is visible here instead of drowning in per-sample memmoves.
     for backend in backends {
         let mut row = time_streaming(backend, stream_iters);
-        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        row.kernel = on_dispatch(backend.backend_name());
         rows.push(row);
     }
 
@@ -390,7 +418,7 @@ fn main() {
     // shared backend per tick.
     for backend in backends {
         let mut row = time_multi_stream(backend, 8, stream_iters);
-        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        row.kernel = on_dispatch(backend.backend_name());
         rows.push(row);
     }
 
@@ -398,7 +426,7 @@ fn main() {
     // the per-tick budget): sustained throughput and shed rate.
     for backend in backends {
         let mut row = time_overload(backend, 8, stream_iters);
-        row.kernel = (backend.backend_name() == "packed").then_some(active);
+        row.kernel = on_dispatch(backend.backend_name());
         rows.push(row);
     }
 
@@ -431,6 +459,33 @@ fn main() {
              (only {}): the gate cannot run",
             kernels[0].kernel()
         );
+    }
+
+    // Popcount-vs-f32 report (and optional CI gate): the bit-sliced int8
+    // matvec against the f32-lane packed matvec on the *same* dispatch
+    // backend — the widest this host has — at the same 256x256 shape. The
+    // quantized engine's whole premise is that AND+popcount beats f32
+    // multiply-accumulate lanes; this is where that premise is measured
+    // instead of assumed.
+    {
+        let median = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing kernel row {name}"))
+                .median_ns
+        };
+        let widest = kernels[0].kernel();
+        let quant_ratio = median(&format!("matvec_256x256/packed_word/{widest}"))
+            / median(&format!("quantized_matvec_256x256/bitsliced/{widest}"));
+        println!("\nquantized_matvec_256x256: popcount ({widest}) is {quant_ratio:.2}x f32 lanes");
+        if std::env::var("THNT_BENCH_ASSERT_QUANT").as_deref() == Ok("1") {
+            assert!(
+                quant_ratio >= 2.0,
+                "bit-sliced popcount matvec must be >= 2x the f32-lane packed matvec \
+                 on the widest backend ({widest}), measured {quant_ratio:.2}x"
+            );
+            println!("quant assertion: popcount >= 2x f32 lanes ✓");
+        }
     }
 
     // CI gate: the planned MFCC front-end must hold its speedup over the

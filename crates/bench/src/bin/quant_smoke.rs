@@ -1,0 +1,105 @@
+//! CI accuracy gate for the quantized popcount engine: train a
+//! profile-sized ST-HybridNet, compile the f32 packed engine and the
+//! calibrated bit-sliced quantized engine from the *same* frozen net, score
+//! both on the test set through the shared [`InferenceBackend`] surface,
+//! and fail (panic, non-zero exit) unless the quantized accuracy lands
+//! within 1.0 point of the f32 packed engine's — the paper's post-training
+//! quantization claim, enforced on every CI run instead of asserted once.
+//!
+//! Also round-trips the quantized engine through its `.thnt2` artifact and
+//! requires the reload to be bitwise identical, so the accuracy that was
+//! just gated is provably the accuracy a deployed artifact serves.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thnt_core::train::train_st_hybrid;
+use thnt_core::{HybridConfig, PackedStHybrid, Profile, QuantizedStHybrid, StHybridNet};
+use thnt_data::{DatasetConfig, SpeechCommands, Split};
+use thnt_nn::{evaluate_backend, InferenceBackend, StepDecay};
+use thnt_quant::CalibrationMethod;
+use thnt_tensor::Tensor;
+
+fn main() {
+    let mut profile = Profile::from_env().settings();
+    // The generic smoke profile (36 test clips, 1 epoch/phase) cannot even
+    // express a 1.0-point accuracy delta — one clip is 2.8 points — so this
+    // gate runs its own floor: enough test clips that a clip flip is 0.28
+    // points, and enough epochs that both engines are far from chance.
+    if profile.dataset.per_class_test < 25 {
+        profile.dataset = DatasetConfig {
+            per_class_train: 30,
+            per_class_val: 6,
+            per_class_test: 25,
+            ..profile.dataset
+        };
+        profile.st_epochs_per_phase = profile.st_epochs_per_phase.max(3);
+    }
+    let data = SpeechCommands::generate(profile.dataset);
+    let (xt, yt) = data.features(Split::Train);
+    let (xv, yv) = data.features(Split::Val);
+    let (xe, ye) = data.features(Split::Test);
+
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let mut st = StHybridNet::new(HybridConfig::paper(), &mut rng);
+    let schedule = StepDecay {
+        initial: 0.004,
+        factor: 0.3,
+        every: profile.st_epochs_per_phase.div_ceil(3).max(1),
+    };
+    // Ends with quantization activated and ternary weights frozen — the
+    // state both engines compile from.
+    train_st_hybrid(
+        &mut st,
+        None,
+        &xt,
+        &yt,
+        &xv,
+        &yv,
+        profile.st_epochs_per_phase,
+        schedule,
+        profile.seed + 11,
+    );
+    let packed = PackedStHybrid::compile(&st);
+
+    // Calibrate activation scales on (up to) 64 training clips — held-out
+    // test data never informs the schedule.
+    let clip = 49 * 10;
+    let n_calib = (xt.data().len() / clip).min(64);
+    let calib = Tensor::from_vec(xt.data()[..n_calib * clip].to_vec(), &[n_calib, 1, 49, 10]);
+    let quantized =
+        QuantizedStHybrid::calibrate_and_compile(&packed, &calib, CalibrationMethod::default())
+            .expect("calibrate quantized engine");
+
+    let packed_acc = evaluate_backend(&packed, &xe, &ye, 64) * 100.0;
+    let quant_acc = evaluate_backend(&quantized, &xe, &ye, 64) * 100.0;
+    let delta = packed_acc - quant_acc;
+    println!("quant smoke: packed {packed_acc:.2}% vs quantized {quant_acc:.2}% (delta {delta:+.2} points)");
+    // One-sided: quantization must not *cost* more than 1.0 point; landing
+    // above the f32 engine is fine.
+    assert!(
+        delta <= 1.0,
+        "quantized accuracy must stay within 1.0 point of the f32 packed engine: \
+         packed {packed_acc:.2}% vs quantized {quant_acc:.2}%"
+    );
+
+    // The gated accuracy must be the deployable accuracy: save, reload,
+    // demand bitwise equality (scales and bitplanes), and spot-check logits.
+    let mut blob = Vec::new();
+    quantized.save(None, &mut blob).expect("save quantized .thnt2");
+    let (reloaded, _) = QuantizedStHybrid::load(blob.as_slice()).expect("load quantized .thnt2");
+    assert_eq!(reloaded, quantized, "quantized artifact round-trip must be bitwise identical");
+    let probe = Tensor::from_vec(xe.data()[..2 * clip].to_vec(), &[2, 1, 49, 10]);
+    let a = quantized.infer(&probe);
+    let b = reloaded.infer(&probe);
+    assert_eq!(
+        a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "reloaded quantized engine must produce bit-identical logits"
+    );
+
+    println!(
+        "quant smoke OK: artifact {} bytes, {} adds/sample, accuracy gate <= 1.0 point ✓",
+        blob.len(),
+        quantized.adds_per_sample()
+    );
+}

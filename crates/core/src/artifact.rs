@@ -27,6 +27,11 @@
 //!       | v dense × num_nodes
 //! META  (optional) serving metadata:
 //!       norm_mean | norm_std | MFCC config (9 scalars)
+//! QNT8  (optional, container version ≥ 2) the bit-sliced activation
+//!       schedule of a quantized engine:
+//!       front_count u32 | (in_scale f32, hidden_scale f32) × front_count
+//!       | z in_scale f32 | z hidden_scale f32 | zhat_scale f32
+//!       | node_count u32 | hidden_scale f32 × node_count
 //! ```
 //!
 //! where a *packed ternary matrix* is `rows u32 | cols u32 | plus u64 ×
@@ -56,10 +61,12 @@ use crate::engine::{
     ChannelAffine, PackedBonsai, PackedConv2d, PackedDense, PackedDepthwise2d, PackedLayer,
     PackedStHybrid, PackedStStack,
 };
+use crate::quantized::{LayerScales, QuantSchedule, QuantizedStHybrid};
 
 const TAG_FRONT: [u8; 4] = *b"FRNT";
 const TAG_TREE: [u8; 4] = *b"TREE";
 const TAG_META: [u8; 4] = *b"META";
+const TAG_QUANT: [u8; 4] = *b"QNT8";
 
 const KIND_CONV: u8 = 0;
 const KIND_DEPTHWISE: u8 = 1;
@@ -193,6 +200,23 @@ fn encode_meta(meta: &InferenceMeta) -> BytesMut {
     buf
 }
 
+fn encode_schedule(schedule: &QuantSchedule) -> BytesMut {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(schedule.front.len() as u32);
+    for ls in &schedule.front {
+        buf.put_f32_le(ls.in_scale);
+        buf.put_f32_le(ls.hidden_scale);
+    }
+    buf.put_f32_le(schedule.z.in_scale);
+    buf.put_f32_le(schedule.z.hidden_scale);
+    buf.put_f32_le(schedule.zhat_scale);
+    buf.put_u32_le(schedule.node_hidden.len() as u32);
+    for &s in &schedule.node_hidden {
+        buf.put_f32_le(s);
+    }
+    buf
+}
+
 /// Writes `engine` (and optionally `meta`) as a `.thnt2` artifact.
 ///
 /// # Errors
@@ -206,6 +230,30 @@ pub fn save_thnt2<W: Write>(
     let mut sections = SectionWriter::new();
     *sections.section(TAG_FRONT) = encode_front(&engine.front);
     *sections.section(TAG_TREE) = encode_tree(&engine.tree);
+    if let Some(m) = meta {
+        *sections.section(TAG_META) = encode_meta(m);
+    }
+    sections.write_to(writer)
+}
+
+/// Writes a quantized engine as a `.thnt2` artifact: the packed weight
+/// sections plus a `QNT8` schedule section. [`load_thnt2`] reads the same
+/// bytes back as an f32 packed engine (ignoring the schedule);
+/// [`load_quantized_thnt2`] reconstructs the quantized engine.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn save_quantized_thnt2<W: Write>(
+    engine: &QuantizedStHybrid,
+    meta: Option<&InferenceMeta>,
+    writer: W,
+) -> io::Result<()> {
+    let base = engine.base();
+    let mut sections = SectionWriter::new();
+    *sections.section(TAG_FRONT) = encode_front(&base.front);
+    *sections.section(TAG_TREE) = encode_tree(&base.tree);
+    *sections.section(TAG_QUANT) = encode_schedule(engine.schedule());
     if let Some(m) = meta {
         *sections.section(TAG_META) = encode_meta(m);
     }
@@ -577,6 +625,66 @@ pub fn load_thnt2<R: Read>(reader: R) -> io::Result<(PackedStHybrid, Option<Infe
     Ok((engine, meta))
 }
 
+fn decode_schedule(buf: Bytes) -> io::Result<QuantSchedule> {
+    let mut cur = Cursor::new(buf, "QNT8");
+    let front_count = cur.u32("front layer count")? as usize;
+    if front_count > 4096 {
+        return Err(invalid_data(format!("QNT8: implausible front layer count {front_count}")));
+    }
+    let mut front = Vec::with_capacity(front_count);
+    for _ in 0..front_count {
+        front.push(LayerScales {
+            in_scale: cur.f32("front in_scale")?,
+            hidden_scale: cur.f32("front hidden_scale")?,
+        });
+    }
+    let z =
+        LayerScales { in_scale: cur.f32("z in_scale")?, hidden_scale: cur.f32("z hidden_scale")? };
+    let zhat_scale = cur.f32("zhat_scale")?;
+    let node_count = cur.u32("node scale count")? as usize;
+    if node_count > 1 << 20 {
+        return Err(invalid_data(format!("QNT8: implausible node scale count {node_count}")));
+    }
+    let mut node_hidden = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        node_hidden.push(cur.f32("node hidden_scale")?);
+    }
+    cur.finish()?;
+    let schedule = QuantSchedule { front, z, zhat_scale, node_hidden };
+    schedule.validate().map_err(|e| invalid_data(format!("QNT8: {e}")))?;
+    Ok(schedule)
+}
+
+/// Reconstructs a [`QuantizedStHybrid`] from a `.thnt2` artifact carrying a
+/// `QNT8` schedule section. The schedule is cross-validated against the
+/// decoded weights — a schedule whose layer counts do not match the packed
+/// engine is rejected, matching the loader's everything-validated contract.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any malformed artifact, a missing `QNT8`
+/// section, or a schedule/weight mismatch.
+pub fn load_quantized_thnt2<R: Read>(
+    reader: R,
+) -> io::Result<(QuantizedStHybrid, Option<InferenceMeta>)> {
+    let mut sections = SectionReader::read_from(reader)?;
+    let front = sections
+        .take(TAG_FRONT)
+        .ok_or_else(|| invalid_data("artifact is missing the FRNT section"))?;
+    let tree = sections
+        .take(TAG_TREE)
+        .ok_or_else(|| invalid_data("artifact is missing the TREE section"))?;
+    let quant = sections
+        .take(TAG_QUANT)
+        .ok_or_else(|| invalid_data("artifact is missing the QNT8 section"))?;
+    let meta = sections.take(TAG_META).map(decode_meta).transpose()?;
+    let engine = PackedStHybrid { front: decode_front(front)?, tree: decode_tree(tree)? };
+    let schedule = decode_schedule(quant)?;
+    let quantized = QuantizedStHybrid::compile(&engine, schedule)
+        .map_err(|e| invalid_data(format!("QNT8: {e}")))?;
+    Ok((quantized, meta))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +817,101 @@ mod tests {
             let err = PackedStHybrid::load(blob.as_slice()).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{:?}", bad.mfcc);
         }
+    }
+
+    fn tiny_quantized(seed: u64) -> QuantizedStHybrid {
+        let (_, engine) = tiny_engine(seed);
+        let calib = thnt_tensor::Tensor::from_vec(
+            (0..4 * 49 * 10).map(|i| ((i % 23) as f32 - 11.0) / 8.0).collect(),
+            &[4, 1, 49, 10],
+        );
+        QuantizedStHybrid::calibrate_and_compile(
+            &engine,
+            &calib,
+            thnt_quant::CalibrationMethod::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn quantized_roundtrip_is_bitwise_identical() {
+        let quantized = tiny_quantized(8);
+        let mut blob = Vec::new();
+        quantized.save(Some(&paper_meta()), &mut blob).unwrap();
+        let (reloaded, meta) = QuantizedStHybrid::load(blob.as_slice()).unwrap();
+        assert_eq!(reloaded, quantized);
+        assert_eq!(meta.unwrap().mfcc, MfccConfig::paper());
+        // Round-trip losslessness includes every scale bit.
+        let a: Vec<u32> = quantized.schedule().node_hidden.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u32> = reloaded.schedule().node_hidden.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packed_loader_ignores_the_quant_section() {
+        let quantized = tiny_quantized(9);
+        let mut blob = Vec::new();
+        quantized.save(None, &mut blob).unwrap();
+        let (reloaded, _) = PackedStHybrid::load(blob.as_slice()).unwrap();
+        assert_eq!(&reloaded, quantized.base());
+    }
+
+    #[test]
+    fn quantized_loader_requires_the_quant_section() {
+        let (_, engine) = tiny_engine(10);
+        let mut blob = Vec::new();
+        engine.save(None, &mut blob).unwrap();
+        let err = QuantizedStHybrid::load(blob.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("QNT8"), "{err}");
+    }
+
+    #[test]
+    fn quantized_loader_rejects_schedule_weight_mismatch() {
+        // A structurally valid QNT8 section whose layer counts don't match
+        // the packed weights must fail cross-validation at load.
+        let quantized = tiny_quantized(11);
+        let base = quantized.base();
+        let mut bad = quantized.schedule().clone();
+        bad.front.pop();
+        let mut sections = SectionWriter::new();
+        *sections.section(TAG_FRONT) = encode_front(&base.front);
+        *sections.section(TAG_TREE) = encode_tree(&base.tree);
+        *sections.section(TAG_QUANT) = encode_schedule(&bad);
+        let mut blob = Vec::new();
+        sections.write_to(&mut blob).unwrap();
+        let err = QuantizedStHybrid::load(blob.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn quantized_loader_rejects_non_positive_scales() {
+        let quantized = tiny_quantized(12);
+        let base = quantized.base();
+        let mut bad = quantized.schedule().clone();
+        bad.zhat_scale = 0.0;
+        let mut sections = SectionWriter::new();
+        *sections.section(TAG_FRONT) = encode_front(&base.front);
+        *sections.section(TAG_TREE) = encode_tree(&base.tree);
+        *sections.section(TAG_QUANT) = encode_schedule(&bad);
+        let mut blob = Vec::new();
+        sections.write_to(&mut blob).unwrap();
+        let err = QuantizedStHybrid::load(blob.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn reloaded_quantized_engine_forwards_identically() {
+        let quantized = tiny_quantized(13);
+        let mut blob = Vec::new();
+        quantized.save(None, &mut blob).unwrap();
+        let (reloaded, _) = QuantizedStHybrid::load(blob.as_slice()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let x = thnt_tensor::gaussian(&[3, 1, 49, 10], 0.0, 1.0, &mut rng);
+        let a = quantized.forward(&x);
+        let b = reloaded.forward(&x);
+        let ab: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb);
     }
 
     #[test]

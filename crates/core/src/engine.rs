@@ -28,8 +28,8 @@
 use thnt_bonsai::{StrassenBonsai, TreeTopology};
 use thnt_nn::BatchNorm2d;
 use thnt_strassen::{
-    PackedTernary, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDense, StrassenDepthwise2d,
-    Strassenified,
+    KernelDispatch, PackedTernary, QuantMode, StLayer, StStack, StrassenConv2d, StrassenDense,
+    StrassenDepthwise2d, Strassenified,
 };
 use thnt_tensor::{global_avg_pool, im2col, parallel_zip_chunks, Conv2dSpec, Tensor};
 
@@ -320,6 +320,13 @@ impl PackedDepthwise2d {
     /// One sample of [`Self::forward`]: `img` is `[c, h, w]` flattened,
     /// `dst` its `c × spatial` output slice, `hidden` a reusable
     /// per-hidden-channel scratch.
+    ///
+    /// The tap loop runs through [`KernelDispatch`]'s element-wise slice
+    /// family: at unit horizontal stride each tap's in-bounds output run is
+    /// one contiguous `slice_add`/`slice_sub` of the input row, and the
+    /// final `±â` group combine is a `slice_axpy`. Those ops are specified
+    /// add-only (no FMA contraction), so every backend — and the strided
+    /// scalar fallback — produces bitwise identical results.
     fn forward_sample(
         &self,
         img: &[f32],
@@ -328,6 +335,7 @@ impl PackedDepthwise2d {
         hidden: &mut [f32],
         dst: &mut [f32],
     ) {
+        let d = KernelDispatch::get();
         let (oh, ow) = self.spec.out_dims(h, w);
         let spatial = oh * ow;
         let (kh, kw) = (self.spec.kh, self.spec.kw);
@@ -357,33 +365,44 @@ impl PackedDepthwise2d {
                                 continue;
                             }
                             let src_row = iy as usize * w;
-                            for ox in 0..ow {
-                                let ix = (ox * self.spec.stride_w + kj) as isize
-                                    - self.spec.pad_left as isize;
-                                if ix < 0 || ix >= w as isize {
+                            if self.spec.stride_w == 1 {
+                                // ix = ox + kj - pad_left must land in
+                                // [0, w): one contiguous run of outputs.
+                                let ox0 = self.spec.pad_left.saturating_sub(kj);
+                                let ox1 = (w + self.spec.pad_left).saturating_sub(kj).min(ow);
+                                if ox0 >= ox1 {
                                     continue;
                                 }
-                                let v = img[src_row + ix as usize];
+                                let ix0 = ox0 + kj - self.spec.pad_left;
+                                let run = ox1 - ox0;
+                                let out = &mut hidden[oy * ow + ox0..oy * ow + ox1];
+                                let src = &img[src_row + ix0..src_row + ix0 + run];
                                 if sign > 0 {
-                                    hidden[oy * ow + ox] += v;
+                                    d.slice_add(out, src);
                                 } else {
-                                    hidden[oy * ow + ox] -= v;
+                                    d.slice_sub(out, src);
+                                }
+                            } else {
+                                for ox in 0..ow {
+                                    let ix = (ox * self.spec.stride_w + kj) as isize
+                                        - self.spec.pad_left as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let v = img[src_row + ix as usize];
+                                    if sign > 0 {
+                                        hidden[oy * ow + ox] += v;
+                                    } else {
+                                        hidden[oy * ow + ox] -= v;
+                                    }
                                 }
                             }
                         }
                     }
                 }
-                // `â` scale, then the ±1 group combine.
+                // `â` scale folded into the ±1 group combine.
                 let a = self.a_hat[hc];
-                if wcv > 0 {
-                    for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
-                        *d += a * v;
-                    }
-                } else {
-                    for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
-                        *d -= a * v;
-                    }
-                }
+                d.slice_axpy(dst, if wcv > 0 { a } else { -a }, hidden);
             }
         }
     }
@@ -854,7 +873,7 @@ mod tests {
     use super::*;
     use crate::config::HybridConfig;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use thnt_nn::Model;
 
     fn frozen_net(seed: u64) -> StHybridNet {
@@ -912,6 +931,103 @@ mod tests {
         let got = PackedDepthwise2d::compile(&layer).forward(&x);
         assert_eq!(got.dims(), want.dims());
         thnt_tensor::assert_close(got.data(), want.data(), 1e-4, 1e-4);
+    }
+
+    /// The pre-SIMD tap loop, kept verbatim as the bitwise reference for
+    /// the slice-op restructuring of [`PackedDepthwise2d::forward_sample`].
+    fn reference_depthwise(layer: &PackedDepthwise2d, x: &Tensor) -> Tensor {
+        let (c, m) = (layer.channels, layer.multiplier);
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let (oh, ow) = layer.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let (kh, kw) = (layer.spec.kh, layer.spec.kw);
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        for s in 0..n {
+            for ch in 0..c {
+                let img = &x.data()[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+                let dst = &mut y.data_mut()[(s * c + ch) * spatial..(s * c + ch + 1) * spatial];
+                dst.fill(layer.bias[ch]);
+                for j in 0..m {
+                    let hc = ch * m + j;
+                    let wcv = layer.wc_signs[hc];
+                    if wcv == 0 {
+                        continue;
+                    }
+                    let mut hidden = vec![0.0f32; spatial];
+                    let taps = &layer.wb_signs[hc * kh * kw..(hc + 1) * kh * kw];
+                    for ki in 0..kh {
+                        for kj in 0..kw {
+                            let sign = taps[ki * kw + kj];
+                            if sign == 0 {
+                                continue;
+                            }
+                            for oy in 0..oh {
+                                let iy = (oy * layer.spec.stride_h + ki) as isize
+                                    - layer.spec.pad_top as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for ox in 0..ow {
+                                    let ix = (ox * layer.spec.stride_w + kj) as isize
+                                        - layer.spec.pad_left as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let v = img[iy as usize * w + ix as usize];
+                                    if sign > 0 {
+                                        hidden[oy * ow + ox] += v;
+                                    } else {
+                                        hidden[oy * ow + ox] -= v;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let a = layer.a_hat[hc];
+                    for (d, &v) in dst.iter_mut().zip(hidden.iter()) {
+                        *d += if wcv > 0 { a } else { -a } * v;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn depthwise_slice_ops_are_bitwise_equal_to_the_tap_loop() {
+        // Unit and non-unit horizontal stride, asymmetric padding, several
+        // channels/multipliers: the dispatched slice-op path must reproduce
+        // the original scalar tap loop bit for bit.
+        let mut rng = SmallRng::seed_from_u64(17);
+        for (stride_w, pad_left) in [(1usize, 1usize), (1, 0), (2, 1), (3, 2)] {
+            let spec = Conv2dSpec {
+                kh: 3,
+                kw: 3,
+                stride_h: 2,
+                stride_w,
+                pad_top: 1,
+                pad_bottom: 0,
+                pad_left,
+                pad_right: 1,
+            };
+            let (c, m) = (3usize, 2usize);
+            let layer = PackedDepthwise2d {
+                wb_signs: (0..c * m * 9).map(|_| rng.gen_range(-1i8..=1)).collect(),
+                a_hat: (0..c * m).map(|_| rng.gen_range(0.2f32..1.5)).collect(),
+                wc_signs: (0..c * m).map(|_| rng.gen_range(-1i8..=1)).collect(),
+                bias: (0..c).map(|_| rng.gen_range(-0.5f32..0.5)).collect(),
+                spec,
+                channels: c,
+                multiplier: m,
+            };
+            let x = thnt_tensor::gaussian(&[2, c, 9, 7], 0.0, 1.0, &mut rng);
+            let got = layer.forward(&x);
+            let want = reference_depthwise(&layer, &x);
+            assert_eq!(got.dims(), want.dims());
+            let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "stride_w={stride_w} pad_left={pad_left}");
+        }
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //! evaluation (Tables 1–7) and [`describe`] renders Figure 1. The [`engine`]
 //! module compiles a frozen [`StHybridNet`] into its deployment form:
 //! bitplane-packed ternary weights (2 bits each) executed with word-level
-//! add-only kernels ([`PackedStHybrid`]). The [`artifact`] module
-//! serializes that engine as a versioned `.thnt2` file whose loader needs
-//! no training type, and both the dense and packed paths serve through the
-//! unified [`thnt_nn::InferenceBackend`] trait — [`streaming`]'s always-on
+//! add-only kernels ([`PackedStHybrid`]). The [`quantized`] module goes one
+//! step further: it calibrates per-layer int8 activation scales and compiles
+//! a [`QuantizedStHybrid`] whose matvecs run entirely as AND + popcount over
+//! bit-sliced activation planes — no floating-point lanes at all, with
+//! batch-norm and `â` folded into integer requantization constants. The
+//! [`artifact`] module serializes either engine as a versioned `.thnt2`
+//! file whose loader needs no training type, and the dense, packed and
+//! quantized paths all serve through the unified
+//! [`thnt_nn::InferenceBackend`] trait — [`streaming`]'s always-on
 //! detector consumes either interchangeably, and [`serve`]'s
 //! [`StreamServer`] multiplexes many concurrent audio sessions over one
 //! shared backend with cross-session batched inference.
@@ -54,6 +59,7 @@ pub mod describe;
 pub mod engine;
 pub mod experiments;
 pub mod hybrid;
+pub mod quantized;
 pub mod serve;
 pub mod st_hybrid;
 pub mod streaming;
@@ -67,6 +73,7 @@ pub use engine::{
 };
 pub use experiments::{ExperimentProfile, Profile};
 pub use hybrid::HybridNet;
+pub use quantized::{LayerScales, QuantSchedule, QuantizedStHybrid};
 pub use serve::{
     FeedReceipt, OverflowPolicy, ServeError, ServedDetection, ServerStats, SessionId, StreamServer,
     TickReport,

@@ -1,0 +1,873 @@
+//! The quantized popcount inference engine: bit-sliced int8 activations
+//! over the packed ternary weights, so the hot matvecs run as pure
+//! AND + popcount.
+//!
+//! The f32 packed engine ([`crate::engine::PackedStHybrid`]) already stores
+//! weights as ternary bitplanes but streams activations as f32 lanes
+//! through the bitplane kernels. This module closes the loop on the
+//! activation side:
+//!
+//! 1. **Calibration** ([`QuantizedStHybrid::calibrate`]) runs the frozen
+//!    f32 engine over a calibration batch and records, with a
+//!    [`thnt_quant::RangeObserver`], the dynamic range at every point the
+//!    quantized engine will round to int8 — each strassenified layer's
+//!    input and `â`-scaled hidden activations, plus the tree's shared
+//!    projection `ẑ`. The result is a [`QuantSchedule`] of per-layer
+//!    scales.
+//! 2. **Compilation** ([`QuantizedStHybrid::compile`]) pairs the packed
+//!    engine with a schedule and pre-folds every per-channel f32 factor
+//!    into requantization constants: the hidden dequantization
+//!    `s_in · â[k]`, and the output stage `a_ch · s_h` / `a_ch · bias + b`
+//!    with any following batch-norm affine `(a, b)` folded in.
+//! 3. **Inference** quantizes each activation tensor once
+//!    (`q = clamp(round(x/s), −127, 127)`, stored as
+//!    [`thnt_strassen::BitSliced`] planes) and evaluates
+//!
+//!    ```text
+//!    h_int = W_b · q          (AND+popcount, exact i32)
+//!    h_f   = h_int ⊙ (s_in·â)
+//!    ĥ     = quantize(h_f, s_h)
+//!    y_int = W_c · ĥ          (AND+popcount, exact i32)
+//!    out   = (a ⊙ s_h) · y_int + (a ⊙ bias + b)
+//!    ```
+//!
+//!    Depthwise taps, ReLU, pooling and the tree's sigmoid/tanh routing
+//!    stay in f32 — they are a vanishing fraction of the arithmetic.
+//!
+//! The integer matvecs dispatch through the same
+//! [`thnt_strassen::KernelDispatch`] / `THNT_KERNEL` contract as the f32
+//! engine, so `scalar`, `avx2`, `avx512` and `neon` backends all serve the
+//! quantized path — bitwise identically, because the accumulation is
+//! integral.
+
+use thnt_quant::{ActivationProfile, CalibrationMethod, RangeObserver};
+use thnt_strassen::{BitSliced, KernelDispatch, PackedTernary};
+use thnt_tensor::{global_avg_pool, im2col, Conv2dSpec, Tensor};
+
+use crate::engine::{
+    ChannelAffine, PackedConv2d, PackedDense, PackedDepthwise2d, PackedLayer, PackedStHybrid,
+};
+
+/// The two activation scales of one quantized strassenified layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerScales {
+    /// Scale of the layer's int8 input quantization.
+    pub in_scale: f32,
+    /// Scale of the `â`-scaled hidden activation requantization.
+    pub hidden_scale: f32,
+}
+
+/// A calibrated set of activation scales for a whole [`PackedStHybrid`] —
+/// everything [`QuantizedStHybrid::compile`] needs beyond the packed
+/// weights themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSchedule {
+    /// Scales of the front-end's strassenified layers (conv and dense, in
+    /// stack order). Depthwise layers stay f32 and take no entry.
+    pub front: Vec<LayerScales>,
+    /// Scales of the tree's projection layer `z`.
+    pub z: LayerScales,
+    /// Shared scale of the projected `ẑ` every tree node consumes.
+    pub zhat_scale: f32,
+    /// Hidden-activation scale of every node dense, in `θ`, `W`, `V` order.
+    pub node_hidden: Vec<f32>,
+}
+
+impl QuantSchedule {
+    /// Serialized size of the schedule in bytes (all scales as f32).
+    pub fn bytes(&self) -> usize {
+        (self.front.len() * 2 + 2 + 1 + self.node_hidden.len()) * 4
+    }
+
+    fn scales(&self) -> impl Iterator<Item = f32> + '_ {
+        self.front
+            .iter()
+            .chain(std::iter::once(&self.z))
+            .flat_map(|ls| [ls.in_scale, ls.hidden_scale])
+            .chain(std::iter::once(self.zhat_scale))
+            .chain(self.node_hidden.iter().copied())
+    }
+
+    /// Validates that every scale is finite and strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending scale.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.scales().find(|s| !s.is_finite() || *s <= 0.0) {
+            Some(bad) => Err(format!("quantization scales must be finite and positive, got {bad}")),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled quantized layers.
+// ---------------------------------------------------------------------------
+
+/// A strassenified dense layer with prefolded requantization constants.
+#[derive(Debug, Clone, PartialEq)]
+struct QuantDense {
+    wb: PackedTernary,
+    /// `s_in · â[k]`: converts the integer hidden accumulator to f32.
+    hidden_dequant: Vec<f32>,
+    hidden_scale: f32,
+    wc: PackedTernary,
+    /// Per-output `a_ch · s_h` (affine-folded output dequantization).
+    out_scale: Vec<f32>,
+    /// Per-output `a_ch · bias_ch + b_ch`.
+    out_shift: Vec<f32>,
+    in_scale: f32,
+}
+
+impl QuantDense {
+    /// Folds `layer` with its scales and an optional following affine.
+    fn fold(
+        layer: &PackedDense,
+        scales: LayerScales,
+        affine: Option<&ChannelAffine>,
+    ) -> Result<Self, String> {
+        let out = layer.bias.len();
+        if let Some(a) = affine {
+            if a.scale.len() != out {
+                return Err(format!(
+                    "affine width {} does not match layer output {out}",
+                    a.scale.len()
+                ));
+            }
+        }
+        let (a, b): (&[f32], &[f32]) = match affine {
+            Some(aff) => (&aff.scale, &aff.shift),
+            None => (&[], &[]),
+        };
+        Ok(Self {
+            wb: layer.wb.clone(),
+            hidden_dequant: layer.a_hat.iter().map(|&ah| scales.in_scale * ah).collect(),
+            hidden_scale: scales.hidden_scale,
+            wc: layer.wc.clone(),
+            out_scale: (0..out)
+                .map(|ch| a.get(ch).copied().unwrap_or(1.0) * scales.hidden_scale)
+                .collect(),
+            out_shift: (0..out)
+                .map(|ch| {
+                    a.get(ch).copied().unwrap_or(1.0) * layer.bias[ch]
+                        + b.get(ch).copied().unwrap_or(0.0)
+                })
+                .collect(),
+            in_scale: scales.in_scale,
+        })
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_scale.len()
+    }
+
+    /// Forward from pre-sliced activations (shared by the tree nodes, which
+    /// all consume the same quantized `ẑ`): `[samples] → [samples, out]`.
+    fn forward_sliced(&self, d: &KernelDispatch, x: &BitSliced) -> Tensor {
+        let (n, r, out) = (x.samples(), self.hidden_dequant.len(), self.out_dim());
+        let mut h_int = vec![0i32; n * r];
+        self.wb.bitsliced_matmul_into_with(d, x, &mut h_int);
+        let h_f: Vec<f32> = h_int
+            .iter()
+            .enumerate()
+            .map(|(i, &hi)| hi as f32 * self.hidden_dequant[i % r])
+            .collect();
+        let hq = BitSliced::quantize(&h_f, r, self.hidden_scale);
+        let mut y_int = vec![0i32; n * out];
+        self.wc.bitsliced_matmul_into_with(d, &hq, &mut y_int);
+        let y: Vec<f32> = y_int
+            .iter()
+            .enumerate()
+            .map(|(i, &yi)| self.out_scale[i % out] * yi as f32 + self.out_shift[i % out])
+            .collect();
+        Tensor::from_vec(y, &[n, out])
+    }
+
+    /// Batched forward: quantize the rows of `x` at `in_scale`, then the
+    /// popcount pipeline.
+    fn forward(&self, d: &KernelDispatch, x: &Tensor) -> Tensor {
+        let q = BitSliced::quantize(x.data(), self.wb.cols(), self.in_scale);
+        self.forward_sliced(d, &q)
+    }
+}
+
+/// A strassenified convolution with prefolded requantization constants:
+/// per output position the dense pipeline runs over the position's im2col
+/// patch.
+#[derive(Debug, Clone, PartialEq)]
+struct QuantConv2d {
+    wb: PackedTernary,
+    hidden_dequant: Vec<f32>,
+    hidden_scale: f32,
+    wc: PackedTernary,
+    out_scale: Vec<f32>,
+    out_shift: Vec<f32>,
+    in_scale: f32,
+    spec: Conv2dSpec,
+}
+
+impl QuantConv2d {
+    fn fold(
+        layer: &PackedConv2d,
+        scales: LayerScales,
+        affine: Option<&ChannelAffine>,
+    ) -> Result<Self, String> {
+        let d = QuantDense::fold(
+            &PackedDense {
+                wb: layer.wb.clone(),
+                a_hat: layer.a_hat.clone(),
+                wc: layer.wc.clone(),
+                bias: layer.bias.clone(),
+            },
+            scales,
+            affine,
+        )?;
+        Ok(Self {
+            wb: d.wb,
+            hidden_dequant: d.hidden_dequant,
+            hidden_scale: d.hidden_scale,
+            wc: d.wc,
+            out_scale: d.out_scale,
+            out_shift: d.out_shift,
+            in_scale: d.in_scale,
+            spec: layer.spec,
+        })
+    }
+
+    /// Forward: `[n, ic, h, w] → [n, oc, oh, ow]` with every output
+    /// position's patch bit-sliced and popcounted.
+    fn forward(&self, d: &KernelDispatch, x: &Tensor) -> Tensor {
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let (oh, ow) = self.spec.out_dims(h, w);
+        let spatial = oh * ow;
+        let (k, r, oc) = (self.wb.cols(), self.hidden_dequant.len(), self.out_scale.len());
+        let mut y = Tensor::zeros(&[n, oc, oh, ow]);
+        if n == 0 || oc * spatial == 0 {
+            return y;
+        }
+        let mut patches = BitSliced::zeroed(spatial, k);
+        let mut hq = BitSliced::zeroed(spatial, r);
+        let mut h_int = vec![0i32; spatial * r];
+        let mut h_f = vec![0f32; spatial * r];
+        let mut y_int = vec![0i32; spatial * oc];
+        for s in 0..n {
+            let cols = im2col(&x.slice_batch(s), &self.spec);
+            patches.quantize_columns_into(cols.data(), self.in_scale);
+            self.wb.bitsliced_matmul_into_with(d, &patches, &mut h_int);
+            for (i, (hf, &hi)) in h_f.iter_mut().zip(h_int.iter()).enumerate() {
+                *hf = hi as f32 * self.hidden_dequant[i % r];
+            }
+            hq.quantize_into(&h_f, self.hidden_scale);
+            self.wc.bitsliced_matmul_into_with(d, &hq, &mut y_int);
+            let dst = &mut y.data_mut()[s * oc * spatial..(s + 1) * oc * spatial];
+            for pos in 0..spatial {
+                for ch in 0..oc {
+                    dst[ch * spatial + pos] =
+                        self.out_scale[ch] * y_int[pos * oc + ch] as f32 + self.out_shift[ch];
+                }
+            }
+        }
+        y
+    }
+}
+
+/// One layer of the quantized front-end walk.
+#[derive(Debug, Clone, PartialEq)]
+enum QuantFrontLayer {
+    Conv(QuantConv2d),
+    Dense(QuantDense),
+    /// Depthwise stays f32: its taps are additions over a tiny kernel.
+    Depthwise(PackedDepthwise2d),
+    Affine(ChannelAffine),
+    Relu,
+    GlobalAvgPool,
+}
+
+/// The quantized Bonsai head: the projection and every node dense run the
+/// popcount pipeline; all nodes share one bit-sliced `ẑ`.
+#[derive(Debug, Clone, PartialEq)]
+struct QuantBonsai {
+    z: QuantDense,
+    zhat_scale: f32,
+    theta: Vec<QuantDense>,
+    w: Vec<QuantDense>,
+    v: Vec<QuantDense>,
+}
+
+impl QuantBonsai {
+    fn forward(&self, d: &KernelDispatch, base: &PackedStHybrid, x: &Tensor) -> Tensor {
+        let tree = base.tree();
+        let n = x.dims()[0];
+        let l = tree.num_classes();
+        let zhat = self.z.forward(d, x);
+        let zs = BitSliced::quantize(zhat.data(), self.z.out_dim(), self.zhat_scale);
+        let topo = &tree.topo;
+        let num_nodes = topo.num_nodes();
+        let mut probs = vec![vec![0.0f32; n]; num_nodes];
+        probs[0] = vec![1.0; n];
+        for (j, theta) in self.theta.iter().enumerate() {
+            let u = theta.forward_sliced(d, &zs);
+            let (lc, rc) = (topo.left(j), topo.right(j));
+            for s in 0..n {
+                let g = 1.0 / (1.0 + (-tree.sharpness * u.data()[s]).exp());
+                probs[lc][s] = probs[j][s] * (1.0 - g);
+                probs[rc][s] = probs[j][s] * g;
+            }
+        }
+        let mut y = Tensor::zeros(&[n, l]);
+        for k in 0..num_nodes {
+            let a = self.w[k].forward_sliced(d, &zs);
+            let t = self.v[k].forward_sliced(d, &zs).map(|b| (tree.sigma * b).tanh());
+            let yd = y.data_mut();
+            for s in 0..n {
+                let p = probs[k][s];
+                for c in 0..l {
+                    yd[s * l + c] += p * a.data()[s * l + c] * t.data()[s * l + c];
+                }
+            }
+        }
+        y
+    }
+}
+
+/// The quantized compilation of a [`PackedStHybrid`]: same ternary weights,
+/// int8 bit-sliced activations, popcount matvecs.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use thnt_core::{engine::PackedStHybrid, HybridConfig, QuantizedStHybrid, StHybridNet};
+/// use thnt_quant::CalibrationMethod;
+/// use thnt_strassen::Strassenified;
+/// use thnt_tensor::Tensor;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let cfg = HybridConfig { ds_blocks: 1, width: 8, proj_dim: 6, tree_depth: 1,
+///                          ..HybridConfig::paper() };
+/// let mut net = StHybridNet::new(cfg, &mut rng);
+/// net.activate_quantization();
+/// net.freeze_ternary();
+/// let engine = PackedStHybrid::compile(&net);
+///
+/// let calib = Tensor::from_vec(
+///     (0..4 * 49 * 10).map(|i| ((i % 17) as f32 - 8.0) / 8.0).collect(),
+///     &[4, 1, 49, 10],
+/// );
+/// let schedule = QuantizedStHybrid::calibrate(&engine, &calib, CalibrationMethod::default());
+/// let quantized = QuantizedStHybrid::compile(&engine, schedule).unwrap();
+/// let logits = quantized.forward(&calib);
+/// assert_eq!(logits.dims(), &[4, engine.num_classes()]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedStHybrid {
+    base: PackedStHybrid,
+    schedule: QuantSchedule,
+    front: Vec<QuantFrontLayer>,
+    tree: QuantBonsai,
+}
+
+/// Observes each sample of `t` as one range observation (sample order is
+/// the batch order, so moving-max calibration sees a deterministic stream).
+fn observe_samples(obs: &mut RangeObserver, t: &Tensor) {
+    let n = t.dims()[0];
+    if n == 0 {
+        return;
+    }
+    for chunk in t.data().chunks_exact(t.numel() / n) {
+        obs.observe(chunk);
+    }
+}
+
+/// `â ⊙ (W_b · x)` per sample — the f32 hidden activations whose range the
+/// hidden requantization scale must cover.
+fn scaled_hidden(layer: &PackedDense, x: &Tensor) -> Tensor {
+    let n = x.dims()[0];
+    let r = layer.a_hat.len();
+    let mut h = layer.wb.matmul(x);
+    let hd = h.data_mut();
+    for s in 0..n {
+        for (k, &a) in layer.a_hat.iter().enumerate() {
+            hd[s * r + k] *= a;
+        }
+    }
+    h
+}
+
+impl QuantizedStHybrid {
+    /// Runs the f32 engine over `batch` (`[n, 1, 49, 10]`) and calibrates
+    /// an activation-scale schedule with `method` at every quantize point.
+    ///
+    /// Calibration is deterministic: the same engine, batch and method
+    /// always produce bit-identical scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty or not 4-dimensional.
+    pub fn calibrate(
+        engine: &PackedStHybrid,
+        batch: &Tensor,
+        method: CalibrationMethod,
+    ) -> QuantSchedule {
+        assert_eq!(batch.dims().len(), 4, "calibration batch must be [n, c, h, w]");
+        assert!(batch.dims()[0] > 0, "calibration batch must be non-empty");
+        let mut front = Vec::new();
+        let mut cur = batch.clone();
+        for layer in engine.front().layers() {
+            match layer {
+                PackedLayer::Conv(c) => {
+                    let mut in_obs = RangeObserver::new(method);
+                    observe_samples(&mut in_obs, &cur);
+                    let mut hid_obs = RangeObserver::new(method);
+                    let (n, h, w) = (cur.dims()[0], cur.dims()[2], cur.dims()[3]);
+                    let (oh, ow) = c.spec.out_dims(h, w);
+                    let r = c.a_hat.len();
+                    let mut hidden = Tensor::zeros(&[r, oh * ow]);
+                    for s in 0..n {
+                        let cols = im2col(&cur.slice_batch(s), &c.spec);
+                        c.wb.matmul_rhs_into_serial(&cols, hidden.data_mut());
+                        let hd = hidden.data_mut();
+                        for (k, &a) in c.a_hat.iter().enumerate() {
+                            for v in &mut hd[k * oh * ow..(k + 1) * oh * ow] {
+                                *v *= a;
+                            }
+                        }
+                        hid_obs.observe(hidden.data());
+                    }
+                    front.push(LayerScales {
+                        in_scale: in_obs.scale(),
+                        hidden_scale: hid_obs.scale(),
+                    });
+                    cur = c.forward(&cur);
+                }
+                PackedLayer::Dense(f) => {
+                    let mut in_obs = RangeObserver::new(method);
+                    observe_samples(&mut in_obs, &cur);
+                    let pd = PackedDense {
+                        wb: f.wb.clone(),
+                        a_hat: f.a_hat.clone(),
+                        wc: f.wc.clone(),
+                        bias: f.bias.clone(),
+                    };
+                    let h = scaled_hidden(&pd, &cur);
+                    let mut hid_obs = RangeObserver::new(method);
+                    observe_samples(&mut hid_obs, &h);
+                    front.push(LayerScales {
+                        in_scale: in_obs.scale(),
+                        hidden_scale: hid_obs.scale(),
+                    });
+                    cur = f.forward(&cur);
+                }
+                PackedLayer::Depthwise(dw) => cur = dw.forward(&cur),
+                PackedLayer::Affine(a) => a.forward_in_place(&mut cur),
+                PackedLayer::Relu => cur.map_in_place(|v| v.max(0.0)),
+                PackedLayer::GlobalAvgPool => cur = global_avg_pool(&cur),
+            }
+        }
+        let tree = engine.tree();
+        let mut z_in = RangeObserver::new(method);
+        observe_samples(&mut z_in, &cur);
+        let zh = scaled_hidden(&tree.z, &cur);
+        let mut z_hid = RangeObserver::new(method);
+        observe_samples(&mut z_hid, &zh);
+        let zhat = tree.z.forward(&cur);
+        let mut zhat_obs = RangeObserver::new(method);
+        observe_samples(&mut zhat_obs, &zhat);
+        let node_hidden = tree
+            .theta
+            .iter()
+            .chain(tree.w.iter())
+            .chain(tree.v.iter())
+            .map(|node| {
+                let h = scaled_hidden(node, &zhat);
+                let mut obs = RangeObserver::new(method);
+                observe_samples(&mut obs, &h);
+                obs.scale()
+            })
+            .collect();
+        QuantSchedule {
+            front,
+            z: LayerScales { in_scale: z_in.scale(), hidden_scale: z_hid.scale() },
+            zhat_scale: zhat_obs.scale(),
+            node_hidden,
+        }
+    }
+
+    /// Compiles `engine` against a calibrated `schedule`, prefolding every
+    /// requantization constant (any batch-norm affine directly following a
+    /// quantized conv/dense folds into its output stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the schedule's layer counts
+    /// do not match the engine or any scale is non-finite or non-positive.
+    pub fn compile(engine: &PackedStHybrid, schedule: QuantSchedule) -> Result<Self, String> {
+        schedule.validate()?;
+        let layers = engine.front().layers();
+        let mut scales = schedule.front.iter();
+        let mut front = Vec::with_capacity(layers.len());
+        let mut i = 0;
+        while i < layers.len() {
+            let folded_affine = match layers.get(i + 1) {
+                Some(PackedLayer::Affine(a))
+                    if matches!(layers[i], PackedLayer::Conv(_) | PackedLayer::Dense(_)) =>
+                {
+                    Some(a)
+                }
+                _ => None,
+            };
+            match &layers[i] {
+                PackedLayer::Conv(c) => {
+                    let ls = *scales.next().ok_or("schedule has too few front layer scales")?;
+                    front.push(QuantFrontLayer::Conv(QuantConv2d::fold(c, ls, folded_affine)?));
+                }
+                PackedLayer::Dense(f) => {
+                    let ls = *scales.next().ok_or("schedule has too few front layer scales")?;
+                    front.push(QuantFrontLayer::Dense(QuantDense::fold(f, ls, folded_affine)?));
+                }
+                PackedLayer::Depthwise(dw) => front.push(QuantFrontLayer::Depthwise(dw.clone())),
+                PackedLayer::Affine(a) => front.push(QuantFrontLayer::Affine(a.clone())),
+                PackedLayer::Relu => front.push(QuantFrontLayer::Relu),
+                PackedLayer::GlobalAvgPool => front.push(QuantFrontLayer::GlobalAvgPool),
+            }
+            i += 1 + usize::from(folded_affine.is_some());
+        }
+        if scales.next().is_some() {
+            return Err("schedule has more front scales than quantized layers".into());
+        }
+        let tree = engine.tree();
+        let expected = tree.theta.len() + tree.w.len() + tree.v.len();
+        if schedule.node_hidden.len() != expected {
+            return Err(format!(
+                "schedule has {} node scales, tree has {expected} node denses",
+                schedule.node_hidden.len()
+            ));
+        }
+        let node = |d: &PackedDense, s_h: f32| {
+            QuantDense::fold(
+                d,
+                LayerScales { in_scale: schedule.zhat_scale, hidden_scale: s_h },
+                None,
+            )
+        };
+        let mut node_scales = schedule.node_hidden.iter().copied();
+        let mut take = |ds: &[PackedDense]| -> Result<Vec<QuantDense>, String> {
+            ds.iter().map(|d| node(d, node_scales.next().expect("counted above"))).collect()
+        };
+        let qtree = QuantBonsai {
+            z: QuantDense::fold(&tree.z, schedule.z, None)?,
+            zhat_scale: schedule.zhat_scale,
+            theta: take(&tree.theta)?,
+            w: take(&tree.w)?,
+            v: take(&tree.v)?,
+        };
+        Ok(Self { base: engine.clone(), schedule, front, tree: qtree })
+    }
+
+    /// Calibrates on `batch` and compiles in one step.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compile`] (a calibrated schedule always matches, so this
+    /// only fails on degenerate engines).
+    pub fn calibrate_and_compile(
+        engine: &PackedStHybrid,
+        batch: &Tensor,
+        method: CalibrationMethod,
+    ) -> Result<Self, String> {
+        let schedule = Self::calibrate(engine, batch, method);
+        Self::compile(engine, schedule)
+    }
+
+    /// Batched quantized inference: `[n, 1, 49, 10] → [n, L]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let d = KernelDispatch::get();
+        let mut cur = x.clone();
+        for layer in &self.front {
+            cur = match layer {
+                QuantFrontLayer::Conv(c) => c.forward(d, &cur),
+                QuantFrontLayer::Dense(f) => f.forward(d, &cur),
+                QuantFrontLayer::Depthwise(dw) => dw.forward(&cur),
+                QuantFrontLayer::Affine(a) => {
+                    a.forward_in_place(&mut cur);
+                    cur
+                }
+                QuantFrontLayer::Relu => {
+                    cur.map_in_place(|v| v.max(0.0));
+                    cur
+                }
+                QuantFrontLayer::GlobalAvgPool => global_avg_pool(&cur),
+            };
+        }
+        self.tree.forward(d, &self.base, &cur)
+    }
+
+    /// The underlying f32 packed engine.
+    pub fn base(&self) -> &PackedStHybrid {
+        &self.base
+    }
+
+    /// The calibrated activation-scale schedule.
+    pub fn schedule(&self) -> &QuantSchedule {
+        &self.schedule
+    }
+
+    /// Number of classification targets `L`.
+    pub fn num_classes(&self) -> usize {
+        self.base.num_classes()
+    }
+
+    /// Peak activation storage of the quantized engine for the paper's
+    /// `49 × 10` input, as bit-sliced [`ActivationProfile`]s — one per
+    /// quantize point, with plane storage counted in words, not f32 lanes.
+    pub fn activation_profiles(&self) -> Vec<ActivationProfile> {
+        let mut profiles = Vec::new();
+        let (mut h, mut w) = (49usize, 10usize);
+        for (idx, layer) in self.front.iter().enumerate() {
+            match layer {
+                QuantFrontLayer::Conv(c) => {
+                    let (oh, ow) = c.spec.out_dims(h, w);
+                    let spatial = oh * ow;
+                    profiles.push(ActivationProfile::bit_sliced(
+                        format!("front[{idx}].patches"),
+                        c.wb.cols() * spatial,
+                        8,
+                    ));
+                    profiles.push(ActivationProfile::bit_sliced(
+                        format!("front[{idx}].hidden"),
+                        c.hidden_dequant.len() * spatial,
+                        8,
+                    ));
+                    (h, w) = (oh, ow);
+                }
+                QuantFrontLayer::Dense(f) => {
+                    profiles.push(ActivationProfile::bit_sliced(
+                        format!("front[{idx}].in"),
+                        f.wb.cols(),
+                        8,
+                    ));
+                    profiles.push(ActivationProfile::bit_sliced(
+                        format!("front[{idx}].hidden"),
+                        f.hidden_dequant.len(),
+                        8,
+                    ));
+                }
+                QuantFrontLayer::Depthwise(dw) => {
+                    let (oh, ow) = dw.spec.out_dims(h, w);
+                    (h, w) = (oh, ow);
+                }
+                _ => {}
+            }
+        }
+        profiles.push(ActivationProfile::bit_sliced("tree.z.in", self.tree.z.wb.cols(), 8));
+        profiles.push(ActivationProfile::bit_sliced(
+            "tree.z.hidden",
+            self.tree.z.hidden_dequant.len(),
+            8,
+        ));
+        profiles.push(ActivationProfile::bit_sliced("tree.zhat", self.tree.z.out_dim(), 8));
+        profiles
+    }
+
+    /// Model bytes: the packed ternary weights plus the schedule.
+    pub fn model_bytes(&self) -> usize {
+        self.base.packed_bytes() + self.schedule.bytes()
+    }
+
+    /// Serializes the quantized engine as a `.thnt2` artifact with a `QNT8`
+    /// schedule section alongside the weight sections — readable by
+    /// [`PackedStHybrid::load`] too, which simply ignores the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save<W: std::io::Write>(
+        &self,
+        meta: Option<&crate::artifact::InferenceMeta>,
+        writer: W,
+    ) -> std::io::Result<()> {
+        crate::artifact::save_quantized_thnt2(self, meta, writer)
+    }
+
+    /// Reconstructs a quantized engine from a `.thnt2` artifact carrying a
+    /// `QNT8` section.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on any malformed artifact, a missing schedule
+    /// section, or a schedule inconsistent with the packed weights.
+    pub fn load<R: std::io::Read>(
+        reader: R,
+    ) -> std::io::Result<(Self, Option<crate::artifact::InferenceMeta>)> {
+        crate::artifact::load_quantized_thnt2(reader)
+    }
+}
+
+impl thnt_nn::InferenceBackend for QuantizedStHybrid {
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.forward(x)
+    }
+
+    fn num_classes(&self) -> usize {
+        QuantizedStHybrid::num_classes(self)
+    }
+
+    fn adds_per_sample(&self) -> u64 {
+        // The popcount formulation executes the same ±1 accumulations as
+        // the f32 engine, word-parallel; the paper's add metric is
+        // unchanged.
+        self.base.adds_per_sample() as u64
+    }
+
+    fn model_bytes(&self) -> usize {
+        QuantizedStHybrid::model_bytes(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "quantized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridConfig;
+    use crate::st_hybrid::StHybridNet;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use thnt_strassen::Strassenified;
+
+    fn frozen_engine(seed: u64) -> PackedStHybrid {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = StHybridNet::new(
+            HybridConfig {
+                ds_blocks: 1,
+                width: 8,
+                proj_dim: 6,
+                tree_depth: 1,
+                ..HybridConfig::paper()
+            },
+            &mut rng,
+        );
+        net.activate_quantization();
+        net.freeze_ternary();
+        PackedStHybrid::compile(&net)
+    }
+
+    fn random_batch(n: usize, seed: u64) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            (0..n * 49 * 10).map(|_| rng.gen_range(-1.5f32..1.5)).collect(),
+            &[n, 1, 49, 10],
+        )
+    }
+
+    #[test]
+    fn calibration_is_deterministic_at_engine_level() {
+        let engine = frozen_engine(3);
+        let batch = random_batch(4, 7);
+        for method in [
+            CalibrationMethod::default(),
+            CalibrationMethod::moving_max(0.5),
+            CalibrationMethod::percentile(99.5),
+            CalibrationMethod::percentile(100.0),
+        ] {
+            let a = QuantizedStHybrid::calibrate(&engine, &batch, method);
+            let b = QuantizedStHybrid::calibrate(&engine, &batch, method);
+            assert_eq!(a, b, "calibration must be bit-deterministic for {method:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_the_f32_engine() {
+        for seed in 0..5u64 {
+            let engine = frozen_engine(seed);
+            let batch = random_batch(6, seed ^ 0xbeef);
+            let q = QuantizedStHybrid::calibrate_and_compile(
+                &engine,
+                &batch,
+                CalibrationMethod::percentile(100.0),
+            )
+            .unwrap();
+            let f = engine.forward(&batch);
+            let g = q.forward(&batch);
+            let max_ref = f.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for (i, (&a, &b)) in f.data().iter().zip(g.data().iter()).enumerate() {
+                let tol = 0.02 + 0.1 * max_ref;
+                assert!(
+                    (a - b).abs() <= tol,
+                    "seed {seed} logit {i}: f32 {a} vs quantized {b} (tol {tol})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_mismatched_schedules() {
+        let engine = frozen_engine(0);
+        let batch = random_batch(2, 0);
+        let mut schedule =
+            QuantizedStHybrid::calibrate(&engine, &batch, CalibrationMethod::default());
+        schedule.front.pop();
+        assert!(QuantizedStHybrid::compile(&engine, schedule.clone()).is_err());
+        schedule.front.push(LayerScales { in_scale: 1.0, hidden_scale: 1.0 });
+        schedule.front.push(LayerScales { in_scale: 1.0, hidden_scale: 1.0 });
+        assert!(QuantizedStHybrid::compile(&engine, schedule.clone()).is_err());
+        schedule.front.pop();
+        schedule.zhat_scale = -1.0;
+        assert!(QuantizedStHybrid::compile(&engine, schedule).is_err());
+    }
+
+    #[test]
+    fn forward_is_identical_across_available_kernels() {
+        // The integer pipeline is bitwise identical per backend; the f32
+        // stages are shared code. Forcing the dispatch through the env
+        // override is process-global, so instead compare the conv layer's
+        // integer core across kernels directly.
+        let engine = frozen_engine(1);
+        let batch = random_batch(2, 9);
+        let q =
+            QuantizedStHybrid::calibrate_and_compile(&engine, &batch, CalibrationMethod::default())
+                .unwrap();
+        let reference = q.forward(&batch);
+        let again = q.forward(&batch);
+        assert_eq!(
+            reference.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            again.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn profiles_report_bit_sliced_layout() {
+        let engine = frozen_engine(0);
+        let batch = random_batch(2, 2);
+        let q =
+            QuantizedStHybrid::calibrate_and_compile(&engine, &batch, CalibrationMethod::default())
+                .unwrap();
+        let profiles = q.activation_profiles();
+        assert!(!profiles.is_empty());
+        for p in &profiles {
+            assert_eq!(p.layout, thnt_quant::ActivationLayout::BitSliced, "{}", p.name);
+            assert_eq!(p.bits, 8);
+            // Bit-sliced storage is 8 word-padded planes, never numel f32s.
+            assert!(p.bytes() <= (p.numel as u64).div_ceil(64) * 64 * 8 / 8 + 64);
+        }
+    }
+
+    #[test]
+    fn backend_contract_is_complete() {
+        use thnt_nn::InferenceBackend;
+        let engine = frozen_engine(2);
+        let batch = random_batch(2, 5);
+        let q =
+            QuantizedStHybrid::calibrate_and_compile(&engine, &batch, CalibrationMethod::default())
+                .unwrap();
+        assert_eq!(q.backend_name(), "quantized");
+        assert_eq!(InferenceBackend::num_classes(&q), engine.num_classes());
+        assert!(InferenceBackend::model_bytes(&q) > engine.packed_bytes());
+        assert_eq!(InferenceBackend::adds_per_sample(&q), engine.adds_per_sample() as u64);
+        let out = q.infer(&batch);
+        assert_eq!(out.dims(), &[2, engine.num_classes()]);
+    }
+}

@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use thnt_core::{HybridConfig, InferenceMeta, PackedStHybrid, StHybridNet};
+use thnt_core::{HybridConfig, InferenceMeta, PackedStHybrid, QuantizedStHybrid, StHybridNet};
 use thnt_dsp::MfccConfig;
 use thnt_nn::Model;
+use thnt_quant::CalibrationMethod;
 use thnt_strassen::Strassenified;
 
 fn frozen_engine(seed: u64, width: usize, tree_depth: usize) -> (StHybridNet, PackedStHybrid) {
@@ -173,6 +174,76 @@ proptest! {
             Ok(result) => prop_assert!(result.is_err(), "cut {cut} loaded"),
             Err(_) => prop_assert!(false, "cut {cut} panicked"),
         }
+    }
+}
+
+fn quantized_engine(seed: u64, width: usize, tree_depth: usize) -> QuantizedStHybrid {
+    let (_, engine) = frozen_engine(seed, width, tree_depth);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xCA11B);
+    let calib = thnt_tensor::gaussian(&[4, 1, 49, 10], 0.0, 1.0, &mut rng);
+    QuantizedStHybrid::calibrate_and_compile(&engine, &calib, CalibrationMethod::default()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The quantized artifact round-trips bitwise-lossless: packed weights
+    /// AND every calibrated scale.
+    #[test]
+    fn quantized_thnt2_roundtrip_is_lossless(
+        seed in 0u64..1_000,
+        width in 4usize..10,
+        tree_depth in 1usize..3,
+    ) {
+        let quantized = quantized_engine(seed, width, tree_depth);
+        let mut blob = Vec::new();
+        quantized.save(None, &mut blob).unwrap();
+        let (reloaded, meta) = QuantizedStHybrid::load(blob.as_slice()).unwrap();
+        prop_assert_eq!(&reloaded, &quantized, "quantized round-trip must be bitwise identical");
+        prop_assert!(meta.is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating a quantized artifact anywhere must error, never panic.
+    #[test]
+    fn truncated_quantized_artifacts_are_rejected(cut_frac in 0.0f64..1.0) {
+        let quantized = quantized_engine(7, 6, 1);
+        let mut blob = Vec::new();
+        quantized.save(None, &mut blob).unwrap();
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < blob.len());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            QuantizedStHybrid::load(&blob[..cut])
+        }));
+        match outcome {
+            Ok(result) => prop_assert!(result.is_err(), "cut {} loaded", cut),
+            Err(_) => prop_assert!(false, "cut {} panicked the quantized loader", cut),
+        }
+    }
+
+    /// Byte-flip fuzzing the quantized loader under `catch_unwind`: panic-
+    /// freedom over arbitrary corruption, detection as the common case.
+    #[test]
+    fn byte_flips_never_panic_the_quantized_loader(
+        seed in 0u64..100_000,
+        flips in 1usize..9,
+    ) {
+        let quantized = quantized_engine(6, 4, 1);
+        let mut blob = Vec::new();
+        quantized.save(None, &mut blob).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..flips {
+            let byte = rand::Rng::gen_range(&mut rng, 0..blob.len());
+            let bit = rand::Rng::gen_range(&mut rng, 0..8u32);
+            blob[byte] ^= 1 << bit;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            QuantizedStHybrid::load(blob.as_slice())
+        }));
+        prop_assert!(outcome.is_ok(), "byte flips panicked the quantized loader (seed {})", seed);
     }
 }
 

@@ -31,8 +31,14 @@ const VERSION: u32 = 1;
 
 /// Magic bytes of the sectioned (`.thnt2`) container.
 pub const SECTION_MAGIC: &[u8; 4] = b"THN2";
-/// Current version of the sectioned container layout.
-pub const SECTION_VERSION: u32 = 1;
+/// Current version of the sectioned container layout. Version 2 added the
+/// optional quantization-schedule (`QNT8`) section; readers accept every
+/// version back to 1 because section payload layouts never changed —
+/// unknown tags are simply skipped.
+pub const SECTION_VERSION: u32 = 2;
+
+/// Oldest container version this reader still accepts.
+pub const SECTION_MIN_VERSION: u32 = 1;
 
 /// Shorthand for the `InvalidData` errors every loader in this module uses.
 pub fn invalid_data(msg: impl Into<String>) -> io::Error {
@@ -245,7 +251,7 @@ impl SectionReader {
             return Err(invalid_data("bad container magic (want THN2)"));
         }
         let version = buf.get_u32_le();
-        if version != SECTION_VERSION {
+        if !(SECTION_MIN_VERSION..=SECTION_VERSION).contains(&version) {
             return Err(invalid_data(format!("unsupported container version {version}")));
         }
         let count = buf.get_u32_le() as usize;

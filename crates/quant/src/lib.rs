@@ -15,9 +15,28 @@
 //!   (output activations of layer *i*) + (output activations of layer *i+1*)
 //! * [`MemoryFootprint`] — model size + activation memory, the Table 6
 //!   "total memory footprint" column
+//! * [`CalibrationMethod`] / [`RangeObserver`] — the activation-range
+//!   calibration pass behind the bit-sliced int8 engine mode: observe a
+//!   calibration batch layer by layer, pick a per-layer clip (moving-max or
+//!   percentile), and derive the symmetric int8 scale
 
 use thnt_nn::Param;
 use thnt_tensor::fake_quantize;
+
+/// How a quantized activation buffer is laid out in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActivationLayout {
+    /// One value per `bits`-bit slot, densely packed (`numel·bits` bits).
+    #[default]
+    Dense,
+    /// Bit-sliced u64 planes ([`thnt_strassen::packed::bitslice`]'s layout):
+    /// one plane of `numel.div_ceil(64)` words per bit, so the buffer is
+    /// `bits · numel.div_ceil(64)` words — word padding included, which is
+    /// what the quantized engine actually allocates.
+    ///
+    /// [`thnt_strassen::packed::bitslice`]: https://docs.rs/thnt-strassen
+    BitSliced,
+}
 
 /// Size/precision of one layer's output activation buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,17 +47,29 @@ pub struct ActivationProfile {
     pub numel: usize,
     /// Storage bits per element (8 or 16 in the paper).
     pub bits: u32,
+    /// Physical layout of the buffer.
+    pub layout: ActivationLayout,
 }
 
 impl ActivationProfile {
-    /// Creates a profile entry.
+    /// Creates a densely packed profile entry.
     pub fn new(name: impl Into<String>, numel: usize, bits: u32) -> Self {
-        Self { name: name.into(), numel, bits }
+        Self { name: name.into(), numel, bits, layout: ActivationLayout::Dense }
+    }
+
+    /// Creates a bit-sliced profile entry: `bits` u64-word planes of
+    /// `numel.div_ceil(64)` words each — the storage the popcount engine
+    /// mode really holds, rather than an f32 (or dense byte) overstatement.
+    pub fn bit_sliced(name: impl Into<String>, numel: usize, bits: u32) -> Self {
+        Self { name: name.into(), numel, bits, layout: ActivationLayout::BitSliced }
     }
 
     /// Buffer size in bytes.
     pub fn bytes(&self) -> u64 {
-        (self.numel as u64 * self.bits as u64).div_ceil(8)
+        match self.layout {
+            ActivationLayout::Dense => (self.numel as u64 * self.bits as u64).div_ceil(8),
+            ActivationLayout::BitSliced => self.bits as u64 * (self.numel as u64).div_ceil(64) * 8,
+        }
     }
 }
 
@@ -80,6 +111,173 @@ impl MemoryFootprint {
     /// Total in the paper's KB (1 KB = 1024 bytes).
     pub fn total_kb(&self) -> f64 {
         self.total_bytes() as f64 / 1024.0
+    }
+}
+
+/// How a [`RangeObserver`] turns the activation magnitudes it has seen into
+/// a calibrated clip value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalibrationMethod {
+    /// Exponential moving average of per-observation max magnitudes:
+    /// `running ← momentum·running + (1−momentum)·max|x|` (the first
+    /// observation seeds `running` directly). `momentum = 0` keeps each
+    /// observation's max outright; values near 1 converge to the typical
+    /// per-sample peak, softly clipping one-off outliers.
+    MovingMax {
+        /// EMA momentum in `[0, 1)`.
+        momentum: f32,
+    },
+    /// The `pct`-percentile of all observed magnitudes, from an
+    /// order-independent integer histogram (256 exponent bins × 8 mantissa
+    /// sub-bins): the clip is the upper edge of the first bin whose
+    /// cumulative count reaches `pct`% of the observations. `pct = 100.0`
+    /// covers everything (within one sub-bin, ≤ 12.5 % overestimate).
+    Percentile {
+        /// Coverage percentile in `(0, 100]`.
+        pct: f32,
+    },
+}
+
+impl CalibrationMethod {
+    /// Moving-max with the given momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= momentum < 1`.
+    pub fn moving_max(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1), got {momentum}");
+        Self::MovingMax { momentum }
+    }
+
+    /// Percentile clipping at `pct` percent coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < pct <= 100`.
+    pub fn percentile(pct: f32) -> Self {
+        assert!(pct > 0.0 && pct <= 100.0, "pct must be in (0, 100], got {pct}");
+        Self::Percentile { pct }
+    }
+}
+
+impl Default for CalibrationMethod {
+    /// The engine default: moving-max with momentum 0.9.
+    fn default() -> Self {
+        Self::MovingMax { momentum: 0.9 }
+    }
+}
+
+/// Histogram bins of [`RangeObserver`]: 256 exponent values × 8 mantissa
+/// sub-bins, indexed by raw IEEE-754 bit fields — integer-only, so the
+/// percentile is exactly order-independent.
+const HIST_BINS: usize = 256 * 8;
+
+/// Accumulates the magnitude distribution of one quantization point across
+/// a calibration batch and derives the symmetric int8 scale.
+///
+/// Feed it one [`RangeObserver::observe`] call per calibration sample (the
+/// granularity the moving-max momentum is defined over), then read
+/// [`RangeObserver::scale`]. Zero and non-finite values are ignored — they
+/// carry no range information.
+///
+/// # Examples
+///
+/// ```
+/// use thnt_quant::{CalibrationMethod, RangeObserver};
+///
+/// let mut obs = RangeObserver::new(CalibrationMethod::percentile(100.0));
+/// obs.observe(&[0.5, -2.0, 0.25]);
+/// let scale = obs.scale();
+/// assert!(scale >= 2.0 / 127.0); // the clip covers max |x|
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeObserver {
+    method: CalibrationMethod,
+    /// Moving-max state; `None` until the first observation.
+    running: Option<f32>,
+    /// Percentile histogram (allocated lazily for `Percentile` only).
+    hist: Vec<u64>,
+    total: u64,
+}
+
+impl RangeObserver {
+    /// A fresh observer for one quantization point.
+    pub fn new(method: CalibrationMethod) -> Self {
+        let hist = match method {
+            CalibrationMethod::Percentile { .. } => vec![0; HIST_BINS],
+            CalibrationMethod::MovingMax { .. } => Vec::new(),
+        };
+        Self { method, running: None, hist, total: 0 }
+    }
+
+    /// Folds one observation (typically one calibration sample's values at
+    /// this quantization point) into the state.
+    pub fn observe(&mut self, xs: &[f32]) {
+        match self.method {
+            CalibrationMethod::MovingMax { momentum } => {
+                let batch_max =
+                    xs.iter().map(|v| v.abs()).filter(|v| v.is_finite()).fold(0.0f32, f32::max);
+                self.running = Some(match self.running {
+                    None => batch_max,
+                    Some(r) => momentum * r + (1.0 - momentum) * batch_max,
+                });
+            }
+            CalibrationMethod::Percentile { .. } => {
+                for &v in xs {
+                    let a = v.abs();
+                    if a > 0.0 && a.is_finite() {
+                        self.hist[Self::bin_of(a)] += 1;
+                        self.total += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Histogram bin of a positive finite magnitude: exponent byte × 8 +
+    /// top 3 mantissa bits.
+    fn bin_of(a: f32) -> usize {
+        let bits = a.to_bits();
+        (((bits >> 23) & 0xff) as usize) * 8 + (((bits >> 20) & 0x7) as usize)
+    }
+
+    /// Upper edge of histogram bin `bin` (the start of the next bin).
+    fn bin_upper(bin: usize) -> f32 {
+        let (exp, man) = ((bin / 8) as u32, (bin % 8) as u32);
+        if man == 7 {
+            f32::from_bits((exp + 1) << 23)
+        } else {
+            f32::from_bits((exp << 23) | ((man + 1) << 20))
+        }
+    }
+
+    /// The calibrated clip magnitude. Zero if nothing (or only zeros) was
+    /// observed.
+    pub fn max_abs(&self) -> f32 {
+        match self.method {
+            CalibrationMethod::MovingMax { .. } => self.running.unwrap_or(0.0),
+            CalibrationMethod::Percentile { pct } => {
+                if self.total == 0 {
+                    return 0.0;
+                }
+                let need = ((pct as f64 / 100.0 * self.total as f64).ceil() as u64).max(1);
+                let mut seen = 0u64;
+                for (bin, &count) in self.hist.iter().enumerate() {
+                    seen += count;
+                    if seen >= need {
+                        return Self::bin_upper(bin);
+                    }
+                }
+                Self::bin_upper(HIST_BINS - 1)
+            }
+        }
+    }
+
+    /// The symmetric int8 scale for the calibrated clip:
+    /// `max_abs / 127` (1.0 when nothing was observed, so all-zero points
+    /// still quantize losslessly).
+    pub fn scale(&self) -> f32 {
+        thnt_tensor::symmetric_scale(self.max_abs(), 8)
     }
 }
 
@@ -179,6 +377,85 @@ mod tests {
         );
         assert_eq!(fp.total_bytes(), 10_790 + 16_000);
         assert!((fp.total_kb() - 26.16).abs() < 0.05);
+    }
+
+    #[test]
+    fn bit_sliced_profile_counts_word_padded_planes() {
+        // 490 elements → 8 words per plane → 8 planes × 8 words × 8 bytes.
+        let p = ActivationProfile::bit_sliced("input", 490, 8);
+        assert_eq!(p.bytes(), 8 * 8 * 8);
+        // Dense 8-bit for comparison: one byte per element.
+        assert_eq!(ActivationProfile::new("input", 490, 8).bytes(), 490);
+        // Exactly at a word boundary there is no padding: 64 elements at
+        // 8 bits is 64 bytes either way.
+        assert_eq!(ActivationProfile::bit_sliced("x", 64, 8).bytes(), 64);
+        assert_eq!(ActivationProfile::new("x", 64, 8).bytes(), 64);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let data: Vec<f32> = (0..500).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.013).collect();
+        for method in [
+            CalibrationMethod::moving_max(0.9),
+            CalibrationMethod::moving_max(0.0),
+            CalibrationMethod::percentile(99.0),
+            CalibrationMethod::percentile(100.0),
+        ] {
+            let run = || {
+                let mut obs = RangeObserver::new(method);
+                for chunk in data.chunks(50) {
+                    obs.observe(chunk);
+                }
+                obs.scale()
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.to_bits(), b.to_bits(), "{method:?} not bit-reproducible");
+            assert!(a > 0.0);
+        }
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let data: Vec<f32> = (0..400).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.021).collect();
+        let mut shuffled = data.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(123);
+        let scale_of = |xs: &[f32]| {
+            let mut obs = RangeObserver::new(CalibrationMethod::percentile(99.5));
+            for chunk in xs.chunks(17) {
+                obs.observe(chunk);
+            }
+            obs.scale()
+        };
+        assert_eq!(scale_of(&data).to_bits(), scale_of(&shuffled).to_bits());
+    }
+
+    #[test]
+    fn percentile_full_coverage_bounds_the_max() {
+        let mut obs = RangeObserver::new(CalibrationMethod::percentile(100.0));
+        obs.observe(&[0.1, -3.7, 2.2, 0.0, f32::NAN]);
+        let clip = obs.max_abs();
+        // Upper bin edge: covers the max, overestimates by at most one
+        // mantissa sub-bin (12.5 %).
+        assert!((3.7..=3.7 * 1.125).contains(&clip), "clip {clip}");
+    }
+
+    #[test]
+    fn moving_max_blends_toward_recent_peaks() {
+        let mut obs = RangeObserver::new(CalibrationMethod::moving_max(0.5));
+        obs.observe(&[1.0]); // seeds running = 1
+        obs.observe(&[3.0]); // 0.5·1 + 0.5·3 = 2
+        assert!((obs.max_abs() - 2.0).abs() < 1e-6);
+        assert!((obs.scale() - 2.0 / 127.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unobserved_points_quantize_losslessly() {
+        for method in [CalibrationMethod::default(), CalibrationMethod::percentile(99.9)] {
+            let obs = RangeObserver::new(method);
+            assert_eq!(obs.max_abs(), 0.0);
+            assert_eq!(obs.scale(), 1.0);
+        }
     }
 
     #[test]

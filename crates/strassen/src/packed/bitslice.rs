@@ -1,0 +1,381 @@
+//! Bit-sliced int8 activations: quantized activation vectors stored as
+//! per-bit u64 planes, so a ternary matvec collapses to pure
+//! AND + popcount.
+//!
+//! # Representation
+//!
+//! An activation `x` is quantized symmetrically to a signed int8
+//! `q = clamp(round(x / scale), −127, 127)` and stored **transposed at the
+//! bit level**: plane `b` holds bit `b` of every element's two's-complement
+//! byte, packed 64 elements per `u64` word in the same
+//! least-significant-bit-first layout as [`super::PackedTernary`]'s weight
+//! bitplanes (padding bits beyond `len` stay clear — in two's complement an
+//! all-zero bit column is exactly the value 0, so padding is harmless):
+//!
+//! ```text
+//! element      e63 … e2 e1 e0            q = −128·bit7 + Σ_{b<7} 2^b·bitb
+//! plane 0   [  b0 … b0 b0 b0 ]  word 0   (bit 0 of every element)
+//! plane 1   [  b1 … b1 b1 b1 ]  word 0
+//!   ⋮
+//! plane 7   [  b7 … b7 b7 b7 ]  word 0   (sign bits)
+//! ```
+//!
+//! Against a ternary weight row `(plus, minus)` the integer dot product is
+//!
+//! ```text
+//! Wᵣ · q = Σ_b w(b) · [ pop(x_b & plus) − pop(x_b & minus) ]
+//! w(b) = 2^b for b < 7,  w(7) = −128
+//! ```
+//!
+//! — one AND and one popcount per plane word per bitplane, no multiplies,
+//! exact i32 accumulation. The kernels behind
+//! [`super::PackedTernary::bitsliced_matvec_into_with`] skip planes with no
+//! set bits (post-ReLU activations have an all-zero sign plane; small
+//! activations leave the high-magnitude planes empty), which is exact:
+//! an all-zero plane contributes nothing.
+//!
+//! Unlike the f32-lane packed kernels, the bit-sliced path is **bitwise
+//! identical across every [`super::kernel::Kernel`] backend** — the
+//! arithmetic is integral, so no reassociation can change a result.
+
+use super::kernel::KernelDispatch;
+use super::PackedTernary;
+
+/// Bit planes per element: int8 two's complement.
+pub const PLANES: usize = 8;
+
+/// Bits per storage word of one plane.
+const WORD_BITS: usize = 64;
+
+/// Quantizes one value to the signed int8 grid: `clamp(round(x·inv_scale),
+/// −127, 127)` (symmetric — `−128` is never produced, keeping the grid
+/// sign-symmetric). `inv_scale` is `1/scale`.
+#[inline(always)]
+pub fn quantize_i8(x: f32, inv_scale: f32) -> i8 {
+    (x * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// A batch of bit-sliced int8 activation vectors.
+///
+/// `samples` vectors of `len` elements each, stored sample-major: sample
+/// `s`, plane `b` occupies words `((s·8 + b)·words)..((s·8 + b + 1)·words)`
+/// where `words = len.div_ceil(64)`. A single vector is simply
+/// `samples == 1`.
+///
+/// # Examples
+///
+/// ```
+/// use thnt_strassen::packed::bitslice::BitSliced;
+///
+/// let x = BitSliced::quantize(&[1.0, -2.5, 0.0, 127.0], 4, 1.0);
+/// assert_eq!(x.get(0, 0), 1);
+/// assert_eq!(x.get(0, 1), -3); // round half away from zero
+/// assert_eq!(x.get(0, 3), 127);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSliced {
+    samples: usize,
+    len: usize,
+    words: usize,
+    planes: Vec<u64>,
+}
+
+impl BitSliced {
+    /// An all-zero batch of `samples` vectors of `len` elements.
+    pub fn zeroed(samples: usize, len: usize) -> Self {
+        let words = len.div_ceil(WORD_BITS);
+        Self { samples, len, words, planes: vec![0; samples * PLANES * words] }
+    }
+
+    /// Quantizes `x` (row-major, `samples × len` with
+    /// `samples = x.len() / len`) into a new batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`, `x.len()` is not a multiple of `len`, or
+    /// `scale` is not strictly positive.
+    pub fn quantize(x: &[f32], len: usize, scale: f32) -> Self {
+        assert!(len > 0, "element count must be positive");
+        assert_eq!(x.len() % len, 0, "input length {} not a multiple of len {len}", x.len());
+        let mut out = Self::zeroed(x.len() / len, len);
+        out.quantize_into(x, scale);
+        out
+    }
+
+    /// Re-quantizes `x` into this batch in place (same `samples × len`
+    /// geometry), reusing the plane buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != samples · len` or `scale` is not strictly
+    /// positive.
+    pub fn quantize_into(&mut self, x: &[f32], scale: f32) {
+        assert_eq!(x.len(), self.samples * self.len, "input/geometry mismatch");
+        assert!(scale > 0.0, "scale must be strictly positive, got {scale}");
+        let inv = scale.recip();
+        self.planes.fill(0);
+        for (s, sample) in x.chunks_exact(self.len).enumerate() {
+            let base = s * PLANES * self.words;
+            for (i, &v) in sample.iter().enumerate() {
+                let u = quantize_i8(v, inv) as u8;
+                if u == 0 {
+                    continue;
+                }
+                let (w, bit) = (i / WORD_BITS, i % WORD_BITS);
+                for b in 0..PLANES {
+                    self.planes[base + b * self.words + w] |= ((u as u64 >> b) & 1) << bit;
+                }
+            }
+        }
+    }
+
+    /// Quantizes the **columns** of a row-major `len × samples` matrix `m`
+    /// (each column becomes one sample) — the transpose an `im2col` patch
+    /// matrix needs so every output position's patch lands as one
+    /// bit-sliced vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != len · samples` or `scale` is not strictly
+    /// positive.
+    pub fn quantize_columns(m: &[f32], len: usize, samples: usize, scale: f32) -> Self {
+        let mut out = Self::zeroed(samples, len);
+        out.quantize_columns_into(m, scale);
+        out
+    }
+
+    /// In-place variant of [`Self::quantize_columns`], reusing the plane
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != len · samples` or `scale` is not strictly
+    /// positive.
+    pub fn quantize_columns_into(&mut self, m: &[f32], scale: f32) {
+        assert_eq!(m.len(), self.len * self.samples, "matrix/geometry mismatch");
+        assert!(scale > 0.0, "scale must be strictly positive, got {scale}");
+        let inv = scale.recip();
+        self.planes.fill(0);
+        for (c, row) in m.chunks_exact(self.samples).enumerate() {
+            let (w, bit) = (c / WORD_BITS, c % WORD_BITS);
+            for (s, &v) in row.iter().enumerate() {
+                let u = quantize_i8(v, inv) as u8;
+                if u == 0 {
+                    continue;
+                }
+                let base = s * PLANES * self.words;
+                for b in 0..PLANES {
+                    self.planes[base + b * self.words + w] |= ((u as u64 >> b) & 1) << bit;
+                }
+            }
+        }
+    }
+
+    /// Number of vectors in the batch.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Elements per vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vectors are zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Words per plane: `len.div_ceil(64)`.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Bytes of plane storage for the whole batch.
+    pub fn plane_bytes(&self) -> usize {
+        self.planes.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Sample `s`'s 8 planes, concatenated (`8 · words` words, plane-major)
+    /// — the operand [`KernelDispatch`]'s popcount kernels consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= samples`.
+    pub fn sample_planes(&self, s: usize) -> &[u64] {
+        let stride = PLANES * self.words;
+        &self.planes[s * stride..(s + 1) * stride]
+    }
+
+    /// Reconstructs element `i` of sample `s` from its bit column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= samples` or `i >= len`.
+    pub fn get(&self, s: usize, i: usize) -> i8 {
+        assert!(i < self.len, "element {i} out of range {}", self.len);
+        let planes = self.sample_planes(s);
+        let (w, bit) = (i / WORD_BITS, i % WORD_BITS);
+        let mut u = 0u8;
+        for b in 0..PLANES {
+            u |= (((planes[b * self.words + w] >> bit) & 1) as u8) << b;
+        }
+        u as i8
+    }
+}
+
+impl PackedTernary {
+    /// Bit-sliced integer matvec `y = W·q` through an explicit kernel
+    /// handle: pure AND+popcount over the weight bitplanes and `x`'s
+    /// activation planes, exact i32 accumulation, bitwise identical across
+    /// every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is a single sample of `cols` elements and
+    /// `y.len() == rows`.
+    pub fn bitsliced_matvec_into_with(&self, d: &KernelDispatch, x: &BitSliced, y: &mut [i32]) {
+        assert_eq!(x.samples(), 1, "matvec takes a single sample");
+        self.bitsliced_matmul_into_with(d, x, y);
+    }
+
+    /// Bit-sliced integer matvec with the process-default kernel.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::bitsliced_matvec_into_with`]; additionally panics if
+    /// `THNT_KERNEL` names an unknown or unsupported backend.
+    pub fn bitsliced_matvec_into(&self, x: &BitSliced, y: &mut [i32]) {
+        self.bitsliced_matvec_into_with(KernelDispatch::get(), x, y);
+    }
+
+    /// Batched bit-sliced integer product: `out[s·rows + r] = Wᵣ · qₛ` for
+    /// every sample of `x`, through an explicit kernel handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == cols` and
+    /// `out.len() == x.samples() · rows`.
+    pub fn bitsliced_matmul_into_with(&self, d: &KernelDispatch, x: &BitSliced, out: &mut [i32]) {
+        assert_eq!(x.len(), self.cols(), "activation length must equal cols");
+        assert_eq!(out.len(), x.samples() * self.rows(), "output length mismatch");
+        let v = self.view();
+        for (s, y) in out.chunks_exact_mut(self.rows()).enumerate() {
+            d.bitslice_matvec(&v, x.sample_planes(s), y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::kernel::Kernel;
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use thnt_tensor::Tensor;
+
+    fn random_ternary(rows: usize, cols: usize, rng: &mut SmallRng) -> (PackedTernary, Vec<i8>) {
+        let signs: Vec<i8> = (0..rows * cols).map(|_| rng.gen_range(-1..=1)).collect();
+        let t = Tensor::from_vec(signs.iter().map(|&s| s as f32).collect(), &[rows, cols]);
+        (PackedTernary::from_tensor(&t), signs)
+    }
+
+    fn reference_matvec(signs: &[i8], q: &[i8], rows: usize, cols: usize) -> Vec<i32> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| signs[r * cols + c] as i32 * q[c] as i32).sum())
+            .collect()
+    }
+
+    #[test]
+    fn quantize_then_get_roundtrips_every_int8_level() {
+        let vals: Vec<f32> = (-127..=127).map(|q| q as f32 * 0.031).collect();
+        let b = BitSliced::quantize(&vals, vals.len(), 0.031);
+        for (i, q) in (-127i32..=127).enumerate() {
+            assert_eq!(b.get(0, i) as i32, q, "level {q}");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_and_rounds() {
+        let b = BitSliced::quantize(&[1000.0, -1000.0, 0.49, 0.5, -0.5, f32::NAN], 6, 1.0);
+        assert_eq!(b.get(0, 0), 127);
+        assert_eq!(b.get(0, 1), -127);
+        assert_eq!(b.get(0, 2), 0);
+        assert_eq!(b.get(0, 3), 1, "round half away from zero");
+        assert_eq!(b.get(0, 4), -1);
+        assert_eq!(b.get(0, 5), 0, "NaN saturates to 0");
+    }
+
+    #[test]
+    fn padding_bits_stay_clear() {
+        let b = BitSliced::quantize(&[-1.0; 65], 65, 1.0);
+        assert_eq!(b.words(), 2);
+        let planes = b.sample_planes(0);
+        for bp in 0..PLANES {
+            assert_eq!(planes[bp * 2 + 1] >> 1, 0, "plane {bp} padding dirty");
+        }
+    }
+
+    #[test]
+    fn matvec_is_exact_against_integer_reference_at_word_boundaries() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for cols in [1usize, 63, 64, 65, 127, 128, 129, 300] {
+            let rows = 17;
+            let (w, signs) = random_ternary(rows, cols, &mut rng);
+            let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let scale = 4.0 / 127.0;
+            let b = BitSliced::quantize(&x, cols, scale);
+            let q: Vec<i8> = (0..cols).map(|i| b.get(0, i)).collect();
+            let expect = reference_matvec(&signs, &q, rows, cols);
+            let mut y = vec![0i32; rows];
+            w.bitsliced_matvec_into(&b, &mut y);
+            assert_eq!(y, expect, "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn every_backend_is_bitwise_identical() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (rows, cols) = (23, 130);
+        let (w, signs) = random_ternary(rows, cols, &mut rng);
+        let x: Vec<f32> = (0..3 * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b = BitSliced::quantize(&x, cols, 2.0 / 127.0);
+        let mut expect = Vec::new();
+        for s in 0..3 {
+            let q: Vec<i8> = (0..cols).map(|i| b.get(s, i)).collect();
+            expect.extend(reference_matvec(&signs, &q, rows, cols));
+        }
+        for k in Kernel::available() {
+            let d = KernelDispatch::new(k).unwrap();
+            let mut out = vec![0i32; 3 * rows];
+            w.bitsliced_matmul_into_with(&d, &b, &mut out);
+            assert_eq!(out, expect, "kernel {k}");
+        }
+    }
+
+    #[test]
+    fn column_quantization_transposes() {
+        // 3×2 matrix, column j must land as sample j.
+        let m = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // rows: [1 2], [3 4], [5 6]
+        let b = BitSliced::quantize_columns(&m, 3, 2, 1.0);
+        assert_eq!((b.get(0, 0), b.get(0, 1), b.get(0, 2)), (1, 3, 5));
+        assert_eq!((b.get(1, 0), b.get(1, 1), b.get(1, 2)), (2, 4, 6));
+    }
+
+    #[test]
+    fn in_place_requantization_clears_previous_bits() {
+        let mut b = BitSliced::quantize(&[127.0, -127.0], 2, 1.0);
+        b.quantize_into(&[0.0, 1.0], 1.0);
+        assert_eq!((b.get(0, 0), b.get(0, 1)), (0, 1));
+        let mut y = vec![0i32; 1];
+        let w = PackedTernary::from_tensor(&Tensor::from_vec(vec![1.0, 1.0], &[1, 2]));
+        w.bitsliced_matvec_into(&b, &mut y);
+        assert_eq!(y[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be strictly positive")]
+    fn rejects_non_positive_scale() {
+        BitSliced::quantize(&[1.0], 1, 0.0);
+    }
+}

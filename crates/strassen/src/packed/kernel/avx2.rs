@@ -25,10 +25,15 @@
 #![allow(unsafe_op_in_unsafe_fn)]
 
 use std::arch::x86_64::{
-    __m256, _mm256_add_ps, _mm256_and_ps, _mm256_castps256_ps128, _mm256_castsi256_ps,
-    _mm256_extractf128_ps, _mm256_load_ps, _mm256_loadu_ps, _mm256_set1_epi32, _mm256_setzero_ps,
-    _mm256_storeu_ps, _mm256_sub_ps, _mm256_xor_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
-    _mm_movehl_ps, _mm_shuffle_ps,
+    __m256, __m256i, _mm256_add_epi16, _mm256_add_epi32, _mm256_add_epi8, _mm256_add_ps,
+    _mm256_and_ps, _mm256_and_si256, _mm256_castps256_ps128, _mm256_castsi256_ps,
+    _mm256_castsi256_si128, _mm256_extractf128_ps, _mm256_extracti128_si256, _mm256_load_ps,
+    _mm256_load_si256, _mm256_loadu_ps, _mm256_loadu_si256, _mm256_madd_epi16,
+    _mm256_maddubs_epi16, _mm256_mul_ps, _mm256_set1_epi16, _mm256_set1_epi32, _mm256_set1_epi8,
+    _mm256_set1_ps, _mm256_setzero_ps, _mm256_setzero_si256, _mm256_shuffle_epi8,
+    _mm256_srli_epi16, _mm256_storeu_ps, _mm256_sub_epi8, _mm256_sub_ps, _mm256_xor_ps,
+    _mm_add_epi32, _mm_add_ps, _mm_add_ss, _mm_cvtsi128_si32, _mm_cvtss_f32, _mm_movehl_ps,
+    _mm_shuffle_epi32, _mm_shuffle_ps,
 };
 
 use super::PackedView;
@@ -287,4 +292,152 @@ pub(crate) unsafe fn rhs_rows(
     chunk: &mut [f32],
 ) {
     super::rhs_rows_striped(v, md, p, r0, chunk, 64, rhs_stripe::<8>, 8, rhs_stripe::<1>);
+}
+
+/// 32-byte aligned nibble→popcount table for `vpshufb`, replicated across
+/// both 128-bit lanes.
+#[repr(align(32))]
+struct PopLut([u8; 32]);
+
+static POP_LUT: PopLut = PopLut([
+    0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // lane 0
+    0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // lane 1
+]);
+
+/// Per-byte popcount of a 256-bit vector: the Muła `vpshufb` nibble-LUT
+/// scheme — two table shuffles and one byte add per vector.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_bytes(v: __m256i) -> __m256i {
+    let lut = _mm256_load_si256(POP_LUT.0.as_ptr().cast());
+    let low = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low);
+    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+    _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi))
+}
+
+/// Horizontal sum of the eight i32 lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(v: __m256i) -> i32 {
+    let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_11_10>(s));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+    _mm_cvtsi128_si32(s)
+}
+
+/// Bit-sliced int8 matvec: per 4-word block, each active activation plane
+/// is ANDed with the row's `+`/`−` bitplanes and popcounted per byte
+/// (`vpshufb` LUT); the per-byte count *difference* (a signed byte in
+/// `±8`) is then weighted by the plane's significance and pair-summed in
+/// one `vpmaddubsw` (unsigned weight `2^b` × signed diff), accumulated in
+/// i16 lanes across the block's planes, and folded to i32 once per block
+/// with `vpmaddwd`. The sign plane's −128 weight is applied by swapping
+/// the diff's operands (weight byte `0x80` is +128 to `vpmaddubsw`). No
+/// lane ever overflows: |diff pair| ≤ 16, so a plane term is ≤ 2048 and a
+/// block's i16 sum ≤ 16·255. Integer arithmetic throughout — bitwise
+/// identical to the scalar backend.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn bitslice_matvec(v: &PackedView<'_>, planes: &[u64], y: &mut [i32]) {
+    let wpr = v.words_per_row;
+    let (active, n) = super::active_planes(planes);
+    let active = &active[..n];
+    let blocks = wpr / 4;
+    let ones16 = _mm256_set1_epi16(1);
+    let weights: [__m256i; 8] =
+        std::array::from_fn(|b| _mm256_set1_epi8(((1u32 << b) & 0xff) as i8));
+    for (r, out) in y.iter_mut().enumerate() {
+        let base = r * wpr;
+        let prow = &v.plus[base..base + wpr];
+        let mrow = &v.minus[base..base + wpr];
+        let mut acc32 = _mm256_setzero_si256();
+        for blk in 0..blocks {
+            let pv = _mm256_loadu_si256(prow.as_ptr().add(blk * 4).cast());
+            let mv = _mm256_loadu_si256(mrow.as_ptr().add(blk * 4).cast());
+            let mut acc16 = _mm256_setzero_si256();
+            for &b in active {
+                let xv = _mm256_loadu_si256(planes.as_ptr().add(b * wpr + blk * 4).cast());
+                let cp = popcount_bytes(_mm256_and_si256(xv, pv));
+                let cm = popcount_bytes(_mm256_and_si256(xv, mv));
+                let d = if b == 7 { _mm256_sub_epi8(cm, cp) } else { _mm256_sub_epi8(cp, cm) };
+                acc16 = _mm256_add_epi16(acc16, _mm256_maddubs_epi16(weights[b], d));
+            }
+            acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(acc16, ones16));
+        }
+        let mut acc = hsum_epi32(acc32) as i64;
+        for w in blocks * 4..wpr {
+            acc += super::bitslice_tail_word(planes, wpr, w, prow[w], mrow[w], active);
+        }
+        *out = acc as i32;
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` (8 lanes per instruction, scalar tail).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn slice_add(dst: &mut [f32], src: &[f32]) {
+    let n = src.len();
+    let dst = &mut dst[..n];
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, s));
+        i += 8;
+    }
+    for j in i..n {
+        dst[j] += src[j];
+    }
+}
+
+/// Element-wise `dst[i] -= src[i]` (8 lanes per instruction, scalar tail).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn slice_sub(dst: &mut [f32], src: &[f32]) {
+    let n = src.len();
+    let dst = &mut dst[..n];
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_sub_ps(d, s));
+        i += 8;
+    }
+    for j in i..n {
+        dst[j] -= src[j];
+    }
+}
+
+/// Element-wise `dst[i] += a · src[i]`: `vmulps` then `vaddps`, never a
+/// fused multiply-add — fusing would change the rounding and break bitwise
+/// equivalence with the scalar backend.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn slice_axpy(dst: &mut [f32], a: f32, src: &[f32]) {
+    let n = src.len();
+    let dst = &mut dst[..n];
+    let av = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, _mm256_mul_ps(av, s)));
+        i += 8;
+    }
+    for j in i..n {
+        dst[j] += a * src[j];
+    }
 }

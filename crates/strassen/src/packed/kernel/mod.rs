@@ -17,12 +17,31 @@
 //! * [`Kernel::Neon`] — aarch64: the same design at 4 lanes (nibble-indexed
 //!   mask table, `vand`/`vsub`/`vadd`). See the `neon` module.
 //!
+//! * [`Kernel::Avx512`] — x86_64 with `vpopcntq`: identical to AVX2 for
+//!   the f32-lane bitplane loops (every AVX-512 host runs them), but the
+//!   bit-sliced popcount family below uses `_mm512_popcnt_epi64` over
+//!   8-word blocks. See the `avx512` module.
+//!
+//! Besides the f32-lane bitplane loops, every backend also implements:
+//!
+//! * the **bit-sliced popcount family** ([`super::bitslice`]): activations
+//!   as per-bit u64 planes, a row dot reduced to
+//!   `(x_plane & w_plus).count_ones() − (x_plane & w_minus).count_ones()`
+//!   accumulated with plane shifts — exact integer arithmetic, so every
+//!   backend is bitwise identical here;
+//! * **element-wise slice ops** ([`KernelDispatch::slice_add`] /
+//!   [`KernelDispatch::slice_sub`] / [`KernelDispatch::slice_axpy`]) for
+//!   the depthwise tap loops — element-wise with no reassociation (the
+//!   SIMD `axpy` multiplies then adds, never fusing), so also bitwise
+//!   identical across backends.
+//!
 //! The backend is chosen **once** per process by [`KernelDispatch::get`]:
-//! the `THNT_KERNEL` environment variable (`scalar` | `avx2` | `neon`)
-//! forces a backend for benchmarking and CI, otherwise runtime feature
-//! detection picks the widest supported one. An unknown or unsupported
-//! `THNT_KERNEL` value aborts loudly — a benchmark silently falling back to
-//! scalar would report fiction.
+//! the `THNT_KERNEL` environment variable
+//! (`scalar` | `avx2` | `avx512` | `neon`) forces a backend for
+//! benchmarking and CI, otherwise runtime feature detection picks the
+//! widest supported one. An unknown or unsupported `THNT_KERNEL` value
+//! aborts loudly — a benchmark silently falling back to scalar would
+//! report fiction.
 //!
 //! # Exactness
 //!
@@ -34,7 +53,9 @@
 //! `crates/strassen/tests/kernel_equivalence.rs` pin exactly this
 //! contract. Within one backend, results are deterministic and
 //! batch-size-invariant: every sample/row is reduced in the same order
-//! whether it arrives alone or in a batch.
+//! whether it arrives alone or in a batch. The bit-sliced popcount family
+//! and the element-wise slice ops are the exception: integer arithmetic
+//! and element-wise f32 respectively, bitwise identical everywhere.
 
 use std::sync::OnceLock;
 
@@ -42,6 +63,9 @@ pub(crate) mod scalar;
 
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod avx2;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512;
 
 #[cfg(target_arch = "aarch64")]
 pub(crate) mod neon;
@@ -70,6 +94,10 @@ pub enum Kernel {
     Scalar,
     /// 8-lane AVX2 mask-blend kernel (x86_64 with AVX2 support).
     Avx2,
+    /// AVX-512 `vpopcntq` kernel for the bit-sliced popcount family; the
+    /// f32-lane loops reuse the AVX2 implementation (x86_64 with AVX-512
+    /// `vpopcntdq` support).
+    Avx512,
     /// 4-lane NEON mask-select kernel (aarch64).
     Neon,
 }
@@ -81,6 +109,7 @@ impl Kernel {
         match self {
             Kernel::Scalar => "scalar",
             Kernel::Avx2 => "avx2",
+            Kernel::Avx512 => "avx512",
             Kernel::Neon => "neon",
         }
     }
@@ -90,15 +119,17 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns a descriptive message for anything other than `scalar`,
-    /// `avx2` or `neon` — unknown names must fail loudly, not silently fall
-    /// back.
+    /// `avx2`, `avx512` or `neon` — unknown names must fail loudly, not
+    /// silently fall back.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "scalar" => Ok(Kernel::Scalar),
             "avx2" => Ok(Kernel::Avx2),
+            "avx512" => Ok(Kernel::Avx512),
             "neon" => Ok(Kernel::Neon),
             other => Err(format!(
-                "unknown THNT_KERNEL value {other:?}: expected \"scalar\", \"avx2\" or \"neon\""
+                "unknown THNT_KERNEL value {other:?}: expected \"scalar\", \"avx2\", \
+                 \"avx512\" or \"neon\""
             )),
         }
     }
@@ -110,6 +141,14 @@ impl Kernel {
             Kernel::Scalar => true,
             #[cfg(target_arch = "x86_64")]
             Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            // The f32-lane loops route to the AVX2 code, so AVX2 must be
+            // present alongside the popcount extension.
+            Kernel::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+                    && std::arch::is_x86_feature_detected!("avx2")
+            }
             #[cfg(target_arch = "aarch64")]
             Kernel::Neon => std::arch::is_aarch64_feature_detected!("neon"),
             #[allow(unreachable_patterns)]
@@ -120,7 +159,7 @@ impl Kernel {
     /// Every backend the current host supports, widest first ([`Kernel::Scalar`]
     /// is always present and always last).
     pub fn available() -> Vec<Kernel> {
-        [Kernel::Avx2, Kernel::Neon, Kernel::Scalar]
+        [Kernel::Avx512, Kernel::Avx2, Kernel::Neon, Kernel::Scalar]
             .into_iter()
             .filter(Kernel::is_supported)
             .collect()
@@ -182,8 +221,8 @@ impl KernelDispatch {
     }
 
     /// The process-wide dispatch handle, resolved once on first use:
-    /// `THNT_KERNEL` (`scalar` | `avx2` | `neon`) if set, otherwise the
-    /// widest backend runtime detection finds.
+    /// `THNT_KERNEL` (`scalar` | `avx2` | `avx512` | `neon`) if set,
+    /// otherwise the widest backend runtime detection finds.
     ///
     /// # Panics
     ///
@@ -225,8 +264,9 @@ impl KernelDispatch {
         match self.kernel {
             Kernel::Scalar => scalar::matvec_into(v, x, y),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `KernelDispatch` construction verified AVX2 support.
-            Kernel::Avx2 => unsafe { avx2::matvec_into(v, x, y) },
+            // SAFETY: `KernelDispatch` construction verified AVX2 support
+            // (Avx512 support implies it — the f32 loops are shared).
+            Kernel::Avx2 | Kernel::Avx512 => unsafe { avx2::matvec_into(v, x, y) },
             #[cfg(target_arch = "aarch64")]
             // SAFETY: `KernelDispatch` construction verified NEON support.
             Kernel::Neon => unsafe { neon::matvec_into(v, x, y) },
@@ -247,8 +287,9 @@ impl KernelDispatch {
         match self.kernel {
             Kernel::Scalar => scalar::matmul_samples(v, x, out),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `KernelDispatch` construction verified AVX2 support.
-            Kernel::Avx2 => unsafe { avx2::matmul_samples(v, x, out) },
+            // SAFETY: `KernelDispatch` construction verified AVX2 support
+            // (Avx512 support implies it — the f32 loops are shared).
+            Kernel::Avx2 | Kernel::Avx512 => unsafe { avx2::matmul_samples(v, x, out) },
             #[cfg(target_arch = "aarch64")]
             // SAFETY: `KernelDispatch` construction verified NEON support.
             Kernel::Neon => unsafe { neon::matmul_samples(v, x, out) },
@@ -277,8 +318,9 @@ impl KernelDispatch {
         match self.kernel {
             Kernel::Scalar => scalar::rhs_rows(v, md, p, r0, chunk),
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: `KernelDispatch` construction verified AVX2 support.
-            Kernel::Avx2 => unsafe { avx2::rhs_rows(v, md, p, r0, chunk) },
+            // SAFETY: `KernelDispatch` construction verified AVX2 support
+            // (Avx512 support implies it — the f32 loops are shared).
+            Kernel::Avx2 | Kernel::Avx512 => unsafe { avx2::rhs_rows(v, md, p, r0, chunk) },
             #[cfg(target_arch = "aarch64")]
             // SAFETY: `KernelDispatch` construction verified NEON support.
             Kernel::Neon => unsafe { neon::rhs_rows(v, md, p, r0, chunk) },
@@ -286,6 +328,157 @@ impl KernelDispatch {
             other => unreachable!("unsupported kernel {other:?} escaped construction"),
         }
     }
+
+    /// Bit-sliced int8 matvec: `y[r] = Wᵣ · q` where `q` is stored as 8
+    /// per-bit u64 planes (two's complement, plane `b` at
+    /// `planes[b·wpr..(b+1)·wpr]`) and `W` is the view's ternary bitplanes.
+    /// Pure AND+popcount, exact i32 accumulation — bitwise identical across
+    /// every backend.
+    ///
+    /// Caller guarantees `planes.len() == 8 · v.words_per_row` and
+    /// `y.len() == v.rows`.
+    #[inline]
+    pub(crate) fn bitslice_matvec(&self, v: &PackedView<'_>, planes: &[u64], y: &mut [i32]) {
+        match self.kernel {
+            Kernel::Scalar => scalar::bitslice_matvec(v, planes, y),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `KernelDispatch` construction verified AVX2 support.
+            Kernel::Avx2 => unsafe { avx2::bitslice_matvec(v, planes, y) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `KernelDispatch` construction verified AVX-512
+            // vpopcntdq support.
+            Kernel::Avx512 => unsafe { avx512::bitslice_matvec(v, planes, y) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: `KernelDispatch` construction verified NEON support.
+            Kernel::Neon => unsafe { neon::bitslice_matvec(v, planes, y) },
+            #[allow(unreachable_patterns)]
+            other => unreachable!("unsupported kernel {other:?} escaped construction"),
+        }
+    }
+
+    /// Element-wise `dst[i] += src[i]` over `src.len()` elements.
+    ///
+    /// Element-wise with no reassociation, so every backend produces
+    /// bitwise identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < src.len()`.
+    #[inline]
+    pub fn slice_add(&self, dst: &mut [f32], src: &[f32]) {
+        match self.kernel {
+            Kernel::Scalar => scalar::slice_add(dst, src),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `KernelDispatch` construction verified AVX2 support
+            // (Avx512 support implies it — the f32 loops are shared).
+            Kernel::Avx2 | Kernel::Avx512 => unsafe { avx2::slice_add(dst, src) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: `KernelDispatch` construction verified NEON support.
+            Kernel::Neon => unsafe { neon::slice_add(dst, src) },
+            #[allow(unreachable_patterns)]
+            other => unreachable!("unsupported kernel {other:?} escaped construction"),
+        }
+    }
+
+    /// Element-wise `dst[i] -= src[i]` over `src.len()` elements.
+    ///
+    /// Element-wise with no reassociation, so every backend produces
+    /// bitwise identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < src.len()`.
+    #[inline]
+    pub fn slice_sub(&self, dst: &mut [f32], src: &[f32]) {
+        match self.kernel {
+            Kernel::Scalar => scalar::slice_sub(dst, src),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `KernelDispatch` construction verified AVX2 support
+            // (Avx512 support implies it — the f32 loops are shared).
+            Kernel::Avx2 | Kernel::Avx512 => unsafe { avx2::slice_sub(dst, src) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: `KernelDispatch` construction verified NEON support.
+            Kernel::Neon => unsafe { neon::slice_sub(dst, src) },
+            #[allow(unreachable_patterns)]
+            other => unreachable!("unsupported kernel {other:?} escaped construction"),
+        }
+    }
+
+    /// Element-wise `dst[i] += a · src[i]` over `src.len()` elements.
+    ///
+    /// Every backend multiplies then adds (no fused multiply-add — fusing
+    /// would change rounding), so the output is bitwise identical across
+    /// backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < src.len()`.
+    #[inline]
+    pub fn slice_axpy(&self, dst: &mut [f32], a: f32, src: &[f32]) {
+        match self.kernel {
+            Kernel::Scalar => scalar::slice_axpy(dst, a, src),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `KernelDispatch` construction verified AVX2 support
+            // (Avx512 support implies it — the f32 loops are shared).
+            Kernel::Avx2 | Kernel::Avx512 => unsafe { avx2::slice_axpy(dst, a, src) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: `KernelDispatch` construction verified NEON support.
+            Kernel::Neon => unsafe { neon::slice_axpy(dst, a, src) },
+            #[allow(unreachable_patterns)]
+            other => unreachable!("unsupported kernel {other:?} escaped construction"),
+        }
+    }
+}
+
+/// Bit-significance weight of plane `b` of a two's-complement bit-sliced
+/// int8 value: `2^b` for the magnitude planes, `−128` for the sign plane.
+#[inline(always)]
+pub(crate) fn plane_weight(b: usize) -> i32 {
+    if b == 7 {
+        -128
+    } else {
+        1 << b
+    }
+}
+
+/// The planes of a bit-sliced activation block with any bit set, ascending.
+/// Activations are often non-negative (post-ReLU) or small, leaving the
+/// sign or high-magnitude planes all-zero — one cheap scan per matvec lets
+/// every backend skip them entirely. Skipping is exact: an all-zero plane
+/// contributes nothing to the integer accumulator.
+pub(crate) fn active_planes(planes: &[u64]) -> ([usize; 8], usize) {
+    let wpr = planes.len() / 8;
+    let mut active = [0usize; 8];
+    let mut n = 0;
+    for b in 0..8 {
+        if planes[b * wpr..(b + 1) * wpr].iter().any(|&w| w != 0) {
+            active[n] = b;
+            n += 1;
+        }
+    }
+    (active, n)
+}
+
+/// One word's exact bit-sliced contribution to a row's integer dot — the
+/// scalar tail the SIMD popcount kernels use for words beyond the last full
+/// vector block. `pw`/`mw` are the row's `+1`/`−1` words at word index `w`.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+#[inline(always)]
+pub(crate) fn bitslice_tail_word(
+    planes: &[u64],
+    wpr: usize,
+    w: usize,
+    pw: u64,
+    mw: u64,
+    active: &[usize],
+) -> i64 {
+    let mut acc = 0i64;
+    for &b in active {
+        let xw = planes[b * wpr + w];
+        let s = (xw & pw).count_ones() as i64 - (xw & mw).count_ones() as i64;
+        acc += plane_weight(b) as i64 * s;
+    }
+    acc
 }
 
 /// Scalar bit iteration over columns `c0..x.len()` of one row — the tail a
@@ -395,8 +588,9 @@ mod tests {
     fn parse_accepts_exactly_the_documented_names() {
         assert_eq!(Kernel::parse("scalar").unwrap(), Kernel::Scalar);
         assert_eq!(Kernel::parse("avx2").unwrap(), Kernel::Avx2);
+        assert_eq!(Kernel::parse("avx512").unwrap(), Kernel::Avx512);
         assert_eq!(Kernel::parse("neon").unwrap(), Kernel::Neon);
-        for bad in ["", "AVX2", "sse", "auto", "scalar "] {
+        for bad in ["", "AVX2", "sse", "auto", "scalar ", "avx512vpopcntdq"] {
             assert!(Kernel::parse(bad).is_err(), "{bad:?} must be rejected");
         }
     }
@@ -445,6 +639,52 @@ mod tests {
     fn resolve_rejects_unsupported_backends_loudly() {
         let err = KernelDispatch::resolve(Some("neon")).unwrap_err();
         assert!(err.contains("not supported"), "got: {err}");
+    }
+
+    #[test]
+    fn avx512_resolves_only_where_detected() {
+        // On hosts without vpopcntq the override must fail loudly (never a
+        // silent scalar fallback); where supported it must resolve to itself.
+        match KernelDispatch::resolve(Some("avx512")) {
+            Ok(d) => {
+                assert!(Kernel::Avx512.is_supported());
+                assert_eq!(d.kernel(), Kernel::Avx512);
+            }
+            Err(e) => {
+                assert!(!Kernel::Avx512.is_supported());
+                assert!(e.contains("not supported"), "got: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_computes_the_same_bitsliced_dot() {
+        // cols = 3: weights [+1, −1, +1], activations [5, −7, 100].
+        let plus = [0b101u64];
+        let minus = [0b010u64];
+        let v = PackedView { rows: 1, cols: 3, words_per_row: 1, plus: &plus, minus: &minus };
+        let mut planes = [0u64; 8];
+        for (i, q) in [5i8, -7, 100].into_iter().enumerate() {
+            for (b, plane) in planes.iter_mut().enumerate() {
+                *plane |= ((q as u8 as u64) >> b & 1) << i;
+            }
+        }
+        for k in Kernel::available() {
+            let d = KernelDispatch::new(k).unwrap();
+            let mut y = [0i32];
+            d.bitslice_matvec(&v, &planes, &mut y);
+            assert_eq!(y[0], 5 + 7 + 100, "kernel {k}");
+        }
+    }
+
+    #[test]
+    fn active_planes_reports_set_planes_only() {
+        let mut planes = [0u64; 16]; // 8 planes × 2 words
+        planes[2 * 2] = 1; // plane 2
+        planes[7 * 2 + 1] = 1 << 63; // plane 7, second word
+        let (active, n) = active_planes(&planes);
+        assert_eq!(&active[..n], &[2, 7]);
+        assert_eq!(active_planes(&[0u64; 8]).1, 0);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 #![allow(unsafe_op_in_unsafe_fn)]
 
 use std::arch::aarch64::{
-    float32x4_t, vaddq_f32, vaddvq_f32, vandq_u32, vdupq_n_f32, vdupq_n_u32, veorq_u32, vld1q_f32,
-    vld1q_u32, vreinterpretq_f32_u32, vreinterpretq_u32_f32, vst1q_f32, vsubq_f32,
+    float32x4_t, vaddq_f32, vaddvq_f32, vaddvq_u8, vandq_u32, vandq_u64, vcntq_u8, vdupq_n_f32,
+    vdupq_n_u32, veorq_u32, vld1q_f32, vld1q_u32, vld1q_u64, vmulq_f32, vreinterpretq_f32_u32,
+    vreinterpretq_u32_f32, vreinterpretq_u8_u64, vst1q_f32, vsubq_f32,
 };
 
 use super::PackedView;
@@ -258,4 +259,107 @@ pub(crate) unsafe fn rhs_rows(
     chunk: &mut [f32],
 ) {
     super::rhs_rows_striped(v, md, p, r0, chunk, 32, rhs_stripe::<8>, 4, rhs_stripe::<1>);
+}
+
+/// Bit-sliced int8 matvec: per 2-word (128-bit) block, each active
+/// activation plane is ANDed with the row's `+`/`−` bitplanes, popcounted
+/// per byte with `vcnt`, and folded with `vaddv` (16 bytes × ≤8 bits fits
+/// a u8 horizontal sum). Integer arithmetic throughout — bitwise identical
+/// to the scalar backend.
+///
+/// # Safety
+///
+/// The caller must have verified NEON support at runtime.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn bitslice_matvec(v: &PackedView<'_>, planes: &[u64], y: &mut [i32]) {
+    let wpr = v.words_per_row;
+    let (active, n) = super::active_planes(planes);
+    let active = &active[..n];
+    let blocks = wpr / 2;
+    for (r, out) in y.iter_mut().enumerate() {
+        let base = r * wpr;
+        let prow = &v.plus[base..base + wpr];
+        let mrow = &v.minus[base..base + wpr];
+        let mut acc = 0i64;
+        for blk in 0..blocks {
+            let pv = vld1q_u64(prow.as_ptr().add(blk * 2));
+            let mv = vld1q_u64(mrow.as_ptr().add(blk * 2));
+            for &b in active {
+                let xv = vld1q_u64(planes.as_ptr().add(b * wpr + blk * 2));
+                let cp = vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(vandq_u64(xv, pv)))) as i64;
+                let cm = vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(vandq_u64(xv, mv)))) as i64;
+                acc += super::plane_weight(b) as i64 * (cp - cm);
+            }
+        }
+        for w in blocks * 2..wpr {
+            acc += super::bitslice_tail_word(planes, wpr, w, prow[w], mrow[w], active);
+        }
+        *out = acc as i32;
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` (4 lanes per instruction, scalar tail).
+///
+/// # Safety
+///
+/// The caller must have verified NEON support at runtime.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn slice_add(dst: &mut [f32], src: &[f32]) {
+    let n = src.len();
+    let dst = &mut dst[..n];
+    let mut i = 0;
+    while i + 4 <= n {
+        let d = vld1q_f32(dst.as_ptr().add(i));
+        let s = vld1q_f32(src.as_ptr().add(i));
+        vst1q_f32(dst.as_mut_ptr().add(i), vaddq_f32(d, s));
+        i += 4;
+    }
+    for j in i..n {
+        dst[j] += src[j];
+    }
+}
+
+/// Element-wise `dst[i] -= src[i]` (4 lanes per instruction, scalar tail).
+///
+/// # Safety
+///
+/// The caller must have verified NEON support at runtime.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn slice_sub(dst: &mut [f32], src: &[f32]) {
+    let n = src.len();
+    let dst = &mut dst[..n];
+    let mut i = 0;
+    while i + 4 <= n {
+        let d = vld1q_f32(dst.as_ptr().add(i));
+        let s = vld1q_f32(src.as_ptr().add(i));
+        vst1q_f32(dst.as_mut_ptr().add(i), vsubq_f32(d, s));
+        i += 4;
+    }
+    for j in i..n {
+        dst[j] -= src[j];
+    }
+}
+
+/// Element-wise `dst[i] += a · src[i]`: `fmul` then `fadd`, never a fused
+/// multiply-add — fusing would change the rounding and break bitwise
+/// equivalence with the scalar backend.
+///
+/// # Safety
+///
+/// The caller must have verified NEON support at runtime.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn slice_axpy(dst: &mut [f32], a: f32, src: &[f32]) {
+    let n = src.len();
+    let dst = &mut dst[..n];
+    let av = vdupq_n_f32(a);
+    let mut i = 0;
+    while i + 4 <= n {
+        let d = vld1q_f32(dst.as_ptr().add(i));
+        let s = vld1q_f32(src.as_ptr().add(i));
+        vst1q_f32(dst.as_mut_ptr().add(i), vaddq_f32(d, vmulq_f32(av, s)));
+        i += 4;
+    }
+    for j in i..n {
+        dst[j] += a * src[j];
+    }
 }

@@ -82,6 +82,49 @@ pub(crate) fn matmul_samples(v: &PackedView<'_>, x: &[f32], out: &mut [f32]) {
     }
 }
 
+/// Bit-sliced int8 matvec: pure `u64` AND + `count_ones`, exact i32
+/// accumulation — the reference the SIMD popcount backends are bitwise
+/// tested against.
+pub(crate) fn bitslice_matvec(v: &PackedView<'_>, planes: &[u64], y: &mut [i32]) {
+    let wpr = v.words_per_row;
+    let (active, n) = super::active_planes(planes);
+    for (r, out) in y.iter_mut().enumerate() {
+        let base = r * wpr;
+        let mut acc = 0i64;
+        for &b in &active[..n] {
+            let plane = &planes[b * wpr..(b + 1) * wpr];
+            let mut s = 0i64;
+            for w in 0..wpr {
+                s += (plane[w] & v.plus[base + w]).count_ones() as i64;
+                s -= (plane[w] & v.minus[base + w]).count_ones() as i64;
+            }
+            acc += super::plane_weight(b) as i64 * s;
+        }
+        *out = acc as i32;
+    }
+}
+
+/// Element-wise `dst[i] += src[i]`.
+pub(crate) fn slice_add(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst[..src.len()].iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Element-wise `dst[i] -= src[i]`.
+pub(crate) fn slice_sub(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst[..src.len()].iter_mut().zip(src) {
+        *d -= s;
+    }
+}
+
+/// Element-wise `dst[i] += a · src[i]` (multiply then add, never fused).
+pub(crate) fn slice_axpy(dst: &mut [f32], a: f32, src: &[f32]) {
+    for (d, &s) in dst[..src.len()].iter_mut().zip(src) {
+        *d += a * s;
+    }
+}
+
 /// Output rows `r0..` of `W · M` into `chunk` (pre-zeroed): each set bit
 /// contributes a contiguous `p`-long row of `M`, so the inner loop is a
 /// unit-stride slice add/subtract.

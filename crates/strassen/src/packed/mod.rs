@@ -33,6 +33,7 @@
 
 use thnt_tensor::{parallel_zip_chunks, Tensor};
 
+pub mod bitslice;
 pub mod kernel;
 
 use kernel::{KernelDispatch, PackedView};

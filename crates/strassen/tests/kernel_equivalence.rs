@@ -24,7 +24,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use thnt_strassen::{Kernel, KernelDispatch, PackedTernary};
+use thnt_strassen::{BitSliced, Kernel, KernelDispatch, PackedTernary};
 use thnt_tensor::Tensor;
 
 /// Column widths that straddle the u64 word boundary and the 8/4-lane SIMD
@@ -158,6 +158,80 @@ proptest! {
             let mut got = vec![0.0f32; rows * p];
             packed.matmul_rhs_into_with(&d, &mt, &mut got);
             prop_assert_eq!(&want, &got, "kernel {} diverged bitwise", d.kernel());
+        }
+    }
+
+    /// Bit-sliced popcount matvec: integer arithmetic reassociates freely,
+    /// so every backend — including the default dispatch route — must agree
+    /// with an i32 reference computed straight from the signs **exactly**,
+    /// on shapes straddling the 4- and 8-word SIMD block boundaries.
+    #[test]
+    fn bitsliced_matvec_is_exact_on_every_backend(
+        seed in 0u64..1_000_000,
+        rows in 1usize..24,
+        colsel in 0usize..7,
+        rawcols in 1usize..600,
+        n in 1usize..4,
+    ) {
+        let cols = pick_cols(colsel, rawcols);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1D0D);
+        let signs: Vec<i8> = (0..rows * cols).map(|_| rng.gen_range(-1i8..=1)).collect();
+        let t = Tensor::from_vec(signs.iter().map(|&s| s as f32).collect(), &[rows, cols]);
+        let packed = PackedTernary::from_tensor(&t);
+        let x = random_activations(cols * n, &mut rng);
+        let sliced = BitSliced::quantize(&x, cols, 1.0 / 64.0);
+        // Integer reference from the reconstructed int8 levels.
+        let mut want = vec![0i32; n * rows];
+        for s in 0..n {
+            for r in 0..rows {
+                want[s * rows + r] = (0..cols)
+                    .map(|c| signs[r * cols + c] as i32 * sliced.get(s, c) as i32)
+                    .sum();
+            }
+        }
+        for d in simd_backends().into_iter().chain([scalar()]) {
+            let mut got = vec![0i32; n * rows];
+            packed.bitsliced_matmul_into_with(&d, &sliced, &mut got);
+            prop_assert_eq!(&want, &got, "kernel {} diverged", d.kernel());
+        }
+        // The default dispatch (THNT_KERNEL override or detection) too.
+        let mut got = vec![0i32; rows];
+        packed.bitsliced_matvec_into(
+            &BitSliced::quantize(&x[..cols], cols, 1.0 / 64.0),
+            &mut got,
+        );
+        prop_assert_eq!(&want[..rows], &got[..]);
+    }
+
+    /// The element-wise slice family (`slice_add` / `slice_sub` /
+    /// `slice_axpy`) reorders nothing and never contracts to FMA, so every
+    /// backend must match scalar **bitwise** on lengths straddling the
+    /// 8/4-lane boundaries.
+    #[test]
+    fn slice_ops_are_bitwise_scalar(
+        seed in 0u64..1_000_000,
+        len in 1usize..70,
+        a in -3.0f32..3.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xE1E7);
+        let src = random_activations(len, &mut rng);
+        let dst0 = random_activations(len, &mut rng);
+        let sc = scalar();
+        for d in simd_backends() {
+            for (name, op) in [
+                ("add", 0usize), ("sub", 1), ("axpy", 2),
+            ] {
+                let mut want = dst0.clone();
+                let mut got = dst0.clone();
+                match op {
+                    0 => { sc.slice_add(&mut want, &src); d.slice_add(&mut got, &src); }
+                    1 => { sc.slice_sub(&mut want, &src); d.slice_sub(&mut got, &src); }
+                    _ => { sc.slice_axpy(&mut want, a, &src); d.slice_axpy(&mut got, a, &src); }
+                }
+                let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&wb, &gb, "kernel {} slice_{} diverged bitwise", d.kernel(), name);
+            }
         }
     }
 

@@ -29,8 +29,10 @@ fn umbrella_reexports_resolve() {
 
     assert_eq!(thnt::models::BaselineKind::all().len(), 7);
 
-    let profile = thnt::quant::ActivationProfile { name: "fc".to_string(), numel: 32, bits: 8 };
+    let profile = thnt::quant::ActivationProfile::new("fc", 32, 8);
     assert_eq!(thnt::quant::activation_footprint_bytes(&[profile]), 32);
+    let sliced = thnt::quant::ActivationProfile::bit_sliced("fc", 64, 8);
+    assert_eq!(thnt::quant::activation_footprint_bytes(&[sliced]), 64);
 
     let schedule = thnt::prune::PruneSchedule::ramp(0.5, 100, 10);
     assert_eq!(schedule.final_sparsity, 0.5);

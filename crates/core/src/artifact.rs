@@ -10,7 +10,10 @@
 //! # Format
 //!
 //! A `.thnt2` file is a [`thnt_nn::SectionReader`]-style container (magic
-//! `THN2`, version, a tag/length section table, then payloads). Sections:
+//! `THN2`, version, a tag/length section table, then payloads). Container
+//! version 3 additionally zero-pads the table and every payload to 8-byte
+//! file offsets so `u64` bitplane words can be *borrowed* in place by
+//! [`load_thnt2_ref`]. Sections:
 //!
 //! ```text
 //! FRNT  the compiled front-end stack:
@@ -32,13 +35,27 @@
 //!       front_count u32 | (in_scale f32, hidden_scale f32) × front_count
 //!       | z in_scale f32 | z hidden_scale f32 | zhat_scale f32
 //!       | node_count u32 | hidden_scale f32 × node_count
+//! RLEW  (optional, container version ≥ 3) run-length-coded weight blobs:
+//!       `byte_len u32 | bytes` per mode-1 matrix, in decode order (all of
+//!       FRNT front to back, then TREE). See [`SaveOptions::rle_weights`].
 //! ```
 //!
-//! where a *packed ternary matrix* is `rows u32 | cols u32 | plus u64 ×
-//! rows·wpr | minus u64 × rows·wpr` (the stable bitplane layout of
-//! [`PackedTernary::plus_words`]), an *f32 vector* is `len u32 | f32 × len`,
-//! a *sign vector* is `len u32 | i8 × len` with entries in `{-1, 0, 1}`, a
-//! *dense* is `wb | â | wc | bias`, and a *spec* is eight `u32`s
+//! A *packed ternary matrix* begins `rows u32 | cols u32`. In containers
+//! before v3 the bitplanes follow directly: `plus u64 × rows·wpr | minus
+//! u64 × rows·wpr` (the stable layout of [`PackedTernary::plus_words`]). In
+//! v3 a `mode u8` follows the dims: mode 0 (inline) zero-pads to the next
+//! 8-byte payload offset and then stores the same two planes — which is
+//! what lets the zero-copy loader alias them — while mode 1 (RLE) stores
+//! nothing inline; the planes are decoded from the next `RLEW` blob. The
+//! RLE bit code is self-delimiting, row-major over *logical* columns (row
+//! padding bits are not stored): a zero weight is the single bit `0`, a
+//! nonzero weight is `1` followed by a sign bit (`0` = +1, `1` = −1), so a
+//! run of n zeros is n `0` bits — a unary run-length marker, after
+//! NativeTernary. The stream is zero-padded to a byte boundary.
+//!
+//! An *f32 vector* is `len u32 | f32 × len`, a *sign vector* is `len u32 |
+//! i8 × len` with entries in `{-1, 0, 1}`, a *dense* is `wb | â | wc |
+//! bias`, and a *spec* is eight `u32`s
 //! (`kh kw stride_h stride_w pad_top pad_bottom pad_left pad_right`).
 //!
 //! Loading validates every structural invariant — word counts, padding
@@ -47,13 +64,28 @@
 //! Matching the checkpoint contract in `thnt_nn::io`: the failure mode is
 //! an error, never silent corruption. Unknown sections are skipped so later
 //! versions can add data without breaking this loader.
+//!
+//! # Zero-copy loading
+//!
+//! [`load_thnt2`] reads any supported container into a fully owned engine.
+//! [`load_thnt2_ref`] decodes straight from a byte slice and, for a v3
+//! container on a little-endian target whose buffer is 8-byte aligned
+//! (see [`AlignedBytes`]), borrows every inline bitplane from the input —
+//! no weight bytes are copied, so load cost is header validation plus
+//! invariant scans. When any of those conditions fails it transparently
+//! falls back to copying (`Cow::Owned`), so unaligned buffers and v2
+//! artifacts still load correctly.
 
+use std::borrow::Cow;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
 use thnt_bonsai::TreeTopology;
 use thnt_dsp::MfccConfig;
-use thnt_nn::io::{invalid_data, SectionReader, SectionWriter};
+use thnt_nn::io::{
+    invalid_data, SectionReaderRef, SectionWriter, SECTION_ALIGN, SECTION_ALIGNED_VERSION,
+};
 use thnt_strassen::PackedTernary;
 use thnt_tensor::Conv2dSpec;
 
@@ -67,6 +99,12 @@ const TAG_FRONT: [u8; 4] = *b"FRNT";
 const TAG_TREE: [u8; 4] = *b"TREE";
 const TAG_META: [u8; 4] = *b"META";
 const TAG_QUANT: [u8; 4] = *b"QNT8";
+const TAG_RLE: [u8; 4] = *b"RLEW";
+
+/// v3 packed-matrix storage mode: bitplane words inline, 8-byte aligned.
+const MODE_INLINE: u8 = 0;
+/// v3 packed-matrix storage mode: planes run-length coded in `RLEW`.
+const MODE_RLE: u8 = 1;
 
 const KIND_CONV: u8 = 0;
 const KIND_DEPTHWISE: u8 = 1;
@@ -88,6 +126,72 @@ pub struct InferenceMeta {
     pub norm_std: Vec<f32>,
 }
 
+/// Encoding options for [`save_thnt2_with`] / [`save_quantized_thnt2_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveOptions {
+    /// `.thnt2` container version to write: 2 (legacy, unpadded layout) or
+    /// 3 (8-byte-aligned payloads, zero-copy loadable).
+    pub container_version: u32,
+    /// Store ternary weight matrices run-length coded in an `RLEW` section
+    /// instead of inline bitplanes. Smaller on disk (a zero weight costs one
+    /// bit instead of two, and row padding bits are not stored), but the
+    /// loader must decode to owned planes — mutually exclusive with
+    /// zero-copy borrowing. Requires `container_version >= 3`.
+    pub rle_weights: bool,
+}
+
+impl Default for SaveOptions {
+    /// Same as [`SaveOptions::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl SaveOptions {
+    /// Legacy v2 container: unpadded, inline bitplanes.
+    pub fn v2() -> Self {
+        Self { container_version: 2, rle_weights: false }
+    }
+
+    /// Aligned v3 container with inline bitplanes (zero-copy loadable).
+    pub fn v3() -> Self {
+        Self { container_version: SECTION_ALIGNED_VERSION, rle_weights: false }
+    }
+
+    /// Aligned v3 container with run-length-coded weights (smallest files).
+    pub fn v3_rle() -> Self {
+        Self { container_version: SECTION_ALIGNED_VERSION, rle_weights: true }
+    }
+
+    /// Resolves the format from the `THNT_ARTIFACT_FORMAT` environment
+    /// variable: `v2`, `v3` or `v3-rle`. Unset or unrecognized values fall
+    /// back to `v3`, the default write format. CI uses this to run the
+    /// artifact and serve suites unchanged against every format.
+    pub fn from_env() -> Self {
+        match std::env::var("THNT_ARTIFACT_FORMAT").as_deref() {
+            Ok("v2") => Self::v2(),
+            Ok("v3-rle") => Self::v3_rle(),
+            _ => Self::v3(),
+        }
+    }
+
+    fn validate(self) -> io::Result<()> {
+        if !(2..=SECTION_ALIGNED_VERSION).contains(&self.container_version) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unsupported .thnt2 container version {}", self.container_version),
+            ));
+        }
+        if self.rle_weights && self.container_version < SECTION_ALIGNED_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "RLE weights require a v3 container (the mode byte is a v3 field)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Encoding.
 // ---------------------------------------------------------------------------
@@ -106,17 +210,6 @@ fn put_signs(buf: &mut BytesMut, v: &[i8]) {
     }
 }
 
-fn put_packed(buf: &mut BytesMut, p: &PackedTernary) {
-    buf.put_u32_le(p.rows() as u32);
-    buf.put_u32_le(p.cols() as u32);
-    for &w in p.plus_words() {
-        buf.put_u64_le(w);
-    }
-    for &w in p.minus_words() {
-        buf.put_u64_le(w);
-    }
-}
-
 fn put_spec(buf: &mut BytesMut, s: &Conv2dSpec) {
     for d in [s.kh, s.kw, s.stride_h, s.stride_w, s.pad_top, s.pad_bottom, s.pad_left, s.pad_right]
     {
@@ -124,63 +217,137 @@ fn put_spec(buf: &mut BytesMut, s: &Conv2dSpec) {
     }
 }
 
-fn put_dense(buf: &mut BytesMut, d: &PackedDense) {
-    put_packed(buf, &d.wb);
-    put_f32_vec(buf, &d.a_hat);
-    put_packed(buf, &d.wc);
-    put_f32_vec(buf, &d.bias);
-}
-
-fn encode_front(front: &PackedStStack) -> BytesMut {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(front.layers().len() as u32);
-    for layer in front.layers() {
-        match layer {
-            PackedLayer::Conv(c) => {
-                buf.put_u8(KIND_CONV);
-                put_packed(&mut buf, &c.wb);
-                put_f32_vec(&mut buf, &c.a_hat);
-                put_packed(&mut buf, &c.wc);
-                put_f32_vec(&mut buf, &c.bias);
-                put_spec(&mut buf, &c.spec);
+/// Appends the self-delimiting RLE bit code of `p` (see the module docs),
+/// zero-padded to a byte boundary.
+fn rle_encode(p: &PackedTernary) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut acc = 0u8;
+    let mut filled = 0u8;
+    let mut push_bit = |bytes: &mut Vec<u8>, bit: bool| {
+        acc |= (bit as u8) << filled;
+        filled += 1;
+        if filled == 8 {
+            bytes.push(acc);
+            acc = 0;
+            filled = 0;
+        }
+    };
+    for r in 0..p.rows() {
+        for c in 0..p.cols() {
+            let v = p.get(r, c);
+            if v == 0.0 {
+                push_bit(&mut bytes, false);
+            } else {
+                push_bit(&mut bytes, true);
+                push_bit(&mut bytes, v < 0.0);
             }
-            PackedLayer::Depthwise(d) => {
-                buf.put_u8(KIND_DEPTHWISE);
-                put_signs(&mut buf, &d.wb_signs);
-                put_f32_vec(&mut buf, &d.a_hat);
-                put_signs(&mut buf, &d.wc_signs);
-                put_f32_vec(&mut buf, &d.bias);
-                put_spec(&mut buf, &d.spec);
-                buf.put_u32_le(d.channels as u32);
-                buf.put_u32_le(d.multiplier as u32);
-            }
-            PackedLayer::Dense(f) => {
-                buf.put_u8(KIND_DENSE);
-                put_dense(&mut buf, f);
-            }
-            PackedLayer::Affine(a) => {
-                buf.put_u8(KIND_AFFINE);
-                put_f32_vec(&mut buf, &a.scale);
-                put_f32_vec(&mut buf, &a.shift);
-            }
-            PackedLayer::Relu => buf.put_u8(KIND_RELU),
-            PackedLayer::GlobalAvgPool => buf.put_u8(KIND_GAP),
         }
     }
-    buf
+    // Flush the partial byte; its unused high bits are already zero.
+    if filled > 0 {
+        bytes.push(acc);
+    }
+    bytes
 }
 
-fn encode_tree(tree: &PackedBonsai) -> BytesMut {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(tree.topo.depth() as u32);
-    buf.put_f32_le(tree.sharpness);
-    buf.put_f32_le(tree.sigma);
-    buf.put_u32_le(tree.num_classes as u32);
-    put_dense(&mut buf, &tree.z);
-    for d in tree.theta.iter().chain(tree.w.iter()).chain(tree.v.iter()) {
-        put_dense(&mut buf, d);
+/// Version- and mode-aware section encoder. Holds the accumulated `RLEW`
+/// payload when weights are being run-length coded.
+struct Enc {
+    version: u32,
+    rle: Option<BytesMut>,
+}
+
+impl Enc {
+    fn new(opts: SaveOptions) -> io::Result<Self> {
+        opts.validate()?;
+        Ok(Self { version: opts.container_version, rle: opts.rle_weights.then(BytesMut::new) })
     }
-    buf
+
+    fn put_packed(&mut self, buf: &mut BytesMut, p: &PackedTernary) {
+        buf.put_u32_le(p.rows() as u32);
+        buf.put_u32_le(p.cols() as u32);
+        if self.version >= SECTION_ALIGNED_VERSION {
+            if let Some(rle) = &mut self.rle {
+                buf.put_u8(MODE_RLE);
+                let blob = rle_encode(p);
+                rle.put_u32_le(blob.len() as u32);
+                rle.put_slice(&blob);
+                return;
+            }
+            buf.put_u8(MODE_INLINE);
+            // Pad to the next 8-byte *payload* offset; v3 payloads start on
+            // 8-byte file offsets, so the words land 8-byte aligned in the
+            // file and a zero-copy reader can borrow them in place.
+            while !buf.len().is_multiple_of(SECTION_ALIGN) {
+                buf.put_u8(0);
+            }
+        }
+        for &w in p.plus_words() {
+            buf.put_u64_le(w);
+        }
+        for &w in p.minus_words() {
+            buf.put_u64_le(w);
+        }
+    }
+
+    fn put_dense(&mut self, buf: &mut BytesMut, d: &PackedDense) {
+        self.put_packed(buf, &d.wb);
+        put_f32_vec(buf, &d.a_hat);
+        self.put_packed(buf, &d.wc);
+        put_f32_vec(buf, &d.bias);
+    }
+
+    fn encode_front(&mut self, front: &PackedStStack) -> BytesMut {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(front.layers().len() as u32);
+        for layer in front.layers() {
+            match layer {
+                PackedLayer::Conv(c) => {
+                    buf.put_u8(KIND_CONV);
+                    self.put_packed(&mut buf, &c.wb);
+                    put_f32_vec(&mut buf, &c.a_hat);
+                    self.put_packed(&mut buf, &c.wc);
+                    put_f32_vec(&mut buf, &c.bias);
+                    put_spec(&mut buf, &c.spec);
+                }
+                PackedLayer::Depthwise(d) => {
+                    buf.put_u8(KIND_DEPTHWISE);
+                    put_signs(&mut buf, &d.wb_signs);
+                    put_f32_vec(&mut buf, &d.a_hat);
+                    put_signs(&mut buf, &d.wc_signs);
+                    put_f32_vec(&mut buf, &d.bias);
+                    put_spec(&mut buf, &d.spec);
+                    buf.put_u32_le(d.channels as u32);
+                    buf.put_u32_le(d.multiplier as u32);
+                }
+                PackedLayer::Dense(f) => {
+                    buf.put_u8(KIND_DENSE);
+                    self.put_dense(&mut buf, f);
+                }
+                PackedLayer::Affine(a) => {
+                    buf.put_u8(KIND_AFFINE);
+                    put_f32_vec(&mut buf, &a.scale);
+                    put_f32_vec(&mut buf, &a.shift);
+                }
+                PackedLayer::Relu => buf.put_u8(KIND_RELU),
+                PackedLayer::GlobalAvgPool => buf.put_u8(KIND_GAP),
+            }
+        }
+        buf
+    }
+
+    fn encode_tree(&mut self, tree: &PackedBonsai) -> BytesMut {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(tree.topo.depth() as u32);
+        buf.put_f32_le(tree.sharpness);
+        buf.put_f32_le(tree.sigma);
+        buf.put_u32_le(tree.num_classes as u32);
+        self.put_dense(&mut buf, &tree.z);
+        for d in tree.theta.iter().chain(tree.w.iter()).chain(tree.v.iter()) {
+            self.put_dense(&mut buf, d);
+        }
+        buf
+    }
 }
 
 fn encode_meta(meta: &InferenceMeta) -> BytesMut {
@@ -217,7 +384,9 @@ fn encode_schedule(schedule: &QuantSchedule) -> BytesMut {
     buf
 }
 
-/// Writes `engine` (and optionally `meta`) as a `.thnt2` artifact.
+/// Writes `engine` (and optionally `meta`) as a `.thnt2` artifact in the
+/// format selected by [`SaveOptions::from_env`] (v3 unless
+/// `THNT_ARTIFACT_FORMAT` overrides it).
 ///
 /// # Errors
 ///
@@ -227,11 +396,31 @@ pub fn save_thnt2<W: Write>(
     meta: Option<&InferenceMeta>,
     writer: W,
 ) -> io::Result<()> {
-    let mut sections = SectionWriter::new();
-    *sections.section(TAG_FRONT) = encode_front(&engine.front);
-    *sections.section(TAG_TREE) = encode_tree(&engine.tree);
+    save_thnt2_with(engine, meta, SaveOptions::default(), writer)
+}
+
+/// Writes `engine` (and optionally `meta`) as a `.thnt2` artifact in an
+/// explicitly chosen format.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for an unsupported option combination, or any
+/// I/O error from the writer.
+pub fn save_thnt2_with<W: Write>(
+    engine: &PackedStHybrid,
+    meta: Option<&InferenceMeta>,
+    opts: SaveOptions,
+    writer: W,
+) -> io::Result<()> {
+    let mut enc = Enc::new(opts)?;
+    let mut sections = SectionWriter::with_version(opts.container_version);
+    *sections.section(TAG_FRONT) = enc.encode_front(&engine.front);
+    *sections.section(TAG_TREE) = enc.encode_tree(&engine.tree);
     if let Some(m) = meta {
         *sections.section(TAG_META) = encode_meta(m);
+    }
+    if let Some(rle) = enc.rle.take() {
+        *sections.section(TAG_RLE) = rle;
     }
     sections.write_to(writer)
 }
@@ -239,7 +428,8 @@ pub fn save_thnt2<W: Write>(
 /// Writes a quantized engine as a `.thnt2` artifact: the packed weight
 /// sections plus a `QNT8` schedule section. [`load_thnt2`] reads the same
 /// bytes back as an f32 packed engine (ignoring the schedule);
-/// [`load_quantized_thnt2`] reconstructs the quantized engine.
+/// [`load_quantized_thnt2`] reconstructs the quantized engine. The format
+/// is selected by [`SaveOptions::from_env`].
 ///
 /// # Errors
 ///
@@ -249,13 +439,33 @@ pub fn save_quantized_thnt2<W: Write>(
     meta: Option<&InferenceMeta>,
     writer: W,
 ) -> io::Result<()> {
+    save_quantized_thnt2_with(engine, meta, SaveOptions::default(), writer)
+}
+
+/// Writes a quantized engine as a `.thnt2` artifact in an explicitly
+/// chosen format.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for an unsupported option combination, or any
+/// I/O error from the writer.
+pub fn save_quantized_thnt2_with<W: Write>(
+    engine: &QuantizedStHybrid,
+    meta: Option<&InferenceMeta>,
+    opts: SaveOptions,
+    writer: W,
+) -> io::Result<()> {
     let base = engine.base();
-    let mut sections = SectionWriter::new();
-    *sections.section(TAG_FRONT) = encode_front(&base.front);
-    *sections.section(TAG_TREE) = encode_tree(&base.tree);
+    let mut enc = Enc::new(opts)?;
+    let mut sections = SectionWriter::with_version(opts.container_version);
+    *sections.section(TAG_FRONT) = enc.encode_front(&base.front);
+    *sections.section(TAG_TREE) = enc.encode_tree(&base.tree);
     *sections.section(TAG_QUANT) = encode_schedule(engine.schedule());
     if let Some(m) = meta {
         *sections.section(TAG_META) = encode_meta(m);
+    }
+    if let Some(rle) = enc.rle.take() {
+        *sections.section(TAG_RLE) = rle;
     }
     sections.write_to(writer)
 }
@@ -265,41 +475,166 @@ pub fn save_quantized_thnt2<W: Write>(
 // validated before the value is used.
 // ---------------------------------------------------------------------------
 
-/// A bounds-checked little-endian reader over one section payload.
-struct Cursor {
-    buf: Bytes,
+/// Shared decode state threaded through the weight sections: the container
+/// version (selects the packed-matrix layout), whether bitplanes may alias
+/// the input buffer, and the `RLEW` blob stream for mode-1 matrices.
+struct DecodeCtx<'a> {
+    version: u32,
+    /// Bitplane words may be borrowed from the buffer (v3 container,
+    /// little-endian target, caller opted in). Pointer alignment is still
+    /// checked per matrix; a misaligned buffer silently falls back to
+    /// copying.
+    borrow: bool,
+    rle: Option<RleStream<'a>>,
+}
+
+/// Sequential reader over the `RLEW` section: `byte_len u32 | bytes` per
+/// run-length-coded matrix, in decode order.
+struct RleStream<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RleStream<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn next_blob(&mut self, what: &str) -> io::Result<&'a [u8]> {
+        let rem = self.buf.len() - self.pos;
+        if rem < 4 {
+            return Err(invalid_data(format!(
+                "RLEW section exhausted reading blob header for {what}"
+            )));
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4-byte slice"))
+                as usize;
+        self.pos += 4;
+        if self.buf.len() - self.pos < len {
+            return Err(invalid_data(format!(
+                "RLEW section truncated: blob for {what} needs {len} bytes, have {}",
+                self.buf.len() - self.pos
+            )));
+        }
+        let blob = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(blob)
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(invalid_data(format!(
+                "RLEW section has {} unconsumed bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one RLE blob back into bitplanes for a `rows x cols` matrix.
+/// Verifies the stream holds exactly `rows·cols` entries and that the
+/// byte-boundary padding bits are zero.
+fn rle_decode(
+    blob: &[u8],
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> io::Result<(Vec<u64>, Vec<u64>)> {
+    let wpr = cols.div_ceil(64);
+    let mut plus = vec![0u64; rows * wpr];
+    let mut minus = vec![0u64; rows * wpr];
+    let total_bits = blob.len() * 8;
+    let mut bit = 0usize;
+    let next = |bit: &mut usize| -> io::Result<bool> {
+        if *bit >= total_bits {
+            return Err(invalid_data(format!("{what}: RLE stream truncated")));
+        }
+        let b = blob[*bit / 8] >> (*bit % 8) & 1;
+        *bit += 1;
+        Ok(b != 0)
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if next(&mut bit)? {
+                let word = r * wpr + c / 64;
+                let mask = 1u64 << (c % 64);
+                if next(&mut bit)? {
+                    minus[word] |= mask;
+                } else {
+                    plus[word] |= mask;
+                }
+            }
+        }
+    }
+    // The stream must end in the byte holding the last entry (no trailing
+    // bytes) and its padding bits must be zero — the same no-slack contract
+    // every other decoder in this module enforces.
+    if bit.div_ceil(8) != blob.len() {
+        return Err(invalid_data(format!(
+            "{what}: RLE blob has {} trailing bytes",
+            blob.len() - bit.div_ceil(8)
+        )));
+    }
+    while bit < total_bits {
+        if next(&mut bit)? {
+            return Err(invalid_data(format!("{what}: non-zero RLE padding bits")));
+        }
+    }
+    Ok((plus, minus))
+}
+
+/// A bounds-checked little-endian reader over one section payload. Borrows
+/// the payload, so decoded matrices can alias it.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
     section: &'static str,
 }
 
-impl Cursor {
-    fn new(buf: Bytes, section: &'static str) -> Self {
-        Self { buf, section }
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Self { buf, pos: 0, section }
     }
 
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    #[inline]
     fn need(&self, bytes: usize, what: &str) -> io::Result<()> {
-        if self.buf.remaining() < bytes {
+        if self.remaining() < bytes {
             return Err(invalid_data(format!(
                 "{} section truncated reading {what}: need {bytes} bytes, have {}",
                 self.section,
-                self.buf.remaining()
+                self.remaining()
             )));
         }
         Ok(())
     }
 
-    fn u8(&mut self, what: &str) -> io::Result<u8> {
-        self.need(1, what)?;
-        Ok(self.buf.get_u8())
+    #[inline]
+    fn take(&mut self, bytes: usize, what: &str) -> io::Result<&'a [u8]> {
+        self.need(bytes, what)?;
+        let s = &self.buf[self.pos..self.pos + bytes];
+        self.pos += bytes;
+        Ok(s)
     }
 
+    #[inline]
+    fn u8(&mut self, what: &str) -> io::Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    #[inline]
     fn u32(&mut self, what: &str) -> io::Result<u32> {
-        self.need(4, what)?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
     }
 
     fn f32(&mut self, what: &str) -> io::Result<f32> {
-        self.need(4, what)?;
-        let v = self.buf.get_f32_le();
+        let v = f32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice"));
         if !v.is_finite() {
             return Err(invalid_data(format!("{}: non-finite {what}", self.section)));
         }
@@ -307,37 +642,118 @@ impl Cursor {
     }
 
     fn f32_vec(&mut self, what: &str) -> io::Result<Vec<f32>> {
-        let len = self.u32(what)? as usize;
-        self.need(4 * len, what)?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            let v = self.buf.get_f32_le();
-            if !v.is_finite() {
-                return Err(invalid_data(format!("{}: non-finite entry in {what}", self.section)));
-            }
-            out.push(v);
-        }
-        Ok(out)
+        Ok(self.f32_cow(false, what)?.into_owned())
     }
 
-    fn signs(&mut self, what: &str) -> io::Result<Vec<i8>> {
+    /// Reads a length-prefixed `f32` run, validated finite: borrowed
+    /// straight from the payload when the decode context allows aliasing
+    /// and the slice is 4-byte aligned in memory, copied otherwise.
+    #[inline]
+    fn f32_cow(&mut self, borrow: bool, what: &str) -> io::Result<Cow<'a, [f32]>> {
         let len = self.u32(what)? as usize;
-        self.need(len, what)?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            let v = self.buf.get_u8() as i8;
-            if !(-1..=1).contains(&v) {
-                return Err(invalid_data(format!(
-                    "{}: non-ternary sign {v} in {what}",
-                    self.section
-                )));
+        let bytes = self.take(4 * len, what)?;
+        // Content scan: owning loads validate every value; borrowing loads
+        // treat the mapped artifact as trusted and skip the O(model) scan —
+        // any bit pattern is a valid f32, so this trades error reporting
+        // (never safety) for cold-start speed.
+        if !borrow {
+            for chunk in bytes.chunks_exact(4) {
+                let v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                if !v.is_finite() {
+                    return Err(invalid_data(format!(
+                        "{}: non-finite entry in {what}",
+                        self.section
+                    )));
+                }
             }
-            out.push(v);
         }
-        Ok(out)
+        if borrow && cfg!(target_endian = "little") && (bytes.as_ptr() as usize).is_multiple_of(4) {
+            // SAFETY: the slice is 4-byte aligned (checked above), its
+            // length is an exact multiple of 4, and every bit pattern is a
+            // valid f32. On little-endian targets the in-memory values equal
+            // the wire encoding, so no conversion is needed.
+            let (head, mid, tail) = unsafe { bytes.align_to::<f32>() };
+            debug_assert!(head.is_empty() && tail.is_empty() && mid.len() == len);
+            return Ok(Cow::Borrowed(mid));
+        }
+        let mut out = Vec::with_capacity(len);
+        for chunk in bytes.chunks_exact(4) {
+            out.push(f32::from_le_bytes(chunk.try_into().expect("4-byte chunk")));
+        }
+        Ok(Cow::Owned(out))
     }
 
-    fn packed(&mut self, what: &str) -> io::Result<PackedTernary> {
+    /// Reads a length-prefixed ternary sign run (`{−1, 0, 1}` as `i8`):
+    /// borrowed from the payload when the decode context allows aliasing
+    /// (`i8` has alignment 1, so a borrow never needs padding), copied
+    /// otherwise.
+    #[inline]
+    fn signs(&mut self, borrow: bool, what: &str) -> io::Result<Cow<'a, [i8]>> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        // Same trust model as `f32_cow`: only owning loads pay the content
+        // scan. A non-ternary sign in a trusted artifact skews the affected
+        // channel's output; it cannot index out of bounds.
+        if !borrow {
+            for &b in bytes {
+                let v = b as i8;
+                if !(-1..=1).contains(&v) {
+                    return Err(invalid_data(format!(
+                        "{}: non-ternary sign {v} in {what}",
+                        self.section
+                    )));
+                }
+            }
+        }
+        if borrow {
+            // SAFETY: `i8` and `u8` have identical size and alignment, and
+            // every bit pattern is a valid i8.
+            let signs =
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const i8, bytes.len()) };
+            return Ok(Cow::Borrowed(signs));
+        }
+        Ok(Cow::Owned(bytes.iter().map(|&b| b as i8).collect()))
+    }
+
+    /// Skips zero padding up to the next 8-byte payload offset (v3 inline
+    /// matrices only). Rejects non-zero pad bytes.
+    #[inline]
+    fn skip_pad8(&mut self, what: &str) -> io::Result<()> {
+        let pad = (SECTION_ALIGN - self.pos % SECTION_ALIGN) % SECTION_ALIGN;
+        let bytes = self.take(pad, what)?;
+        if bytes.iter().any(|&b| b != 0) {
+            return Err(invalid_data(format!(
+                "{}: non-zero alignment padding before {what}",
+                self.section
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads `words` little-endian `u64`s: borrowed straight from the
+    /// payload when the decode context allows aliasing and the slice is
+    /// 8-byte aligned in memory, copied otherwise.
+    #[inline]
+    fn u64_words(&mut self, words: usize, borrow: bool, what: &str) -> io::Result<Cow<'a, [u64]>> {
+        let bytes = self.take(8 * words, what)?;
+        if borrow && cfg!(target_endian = "little") && (bytes.as_ptr() as usize).is_multiple_of(8) {
+            // SAFETY: the slice is 8-byte aligned (checked above), its
+            // length is an exact multiple of 8, and every bit pattern is a
+            // valid u64. On little-endian targets the in-memory words equal
+            // the wire encoding, so no conversion is needed.
+            let (head, mid, tail) = unsafe { bytes.align_to::<u64>() };
+            debug_assert!(head.is_empty() && tail.is_empty() && mid.len() == words);
+            return Ok(Cow::Borrowed(mid));
+        }
+        let mut out = Vec::with_capacity(words);
+        for chunk in bytes.chunks_exact(8) {
+            out.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        Ok(Cow::Owned(out))
+    }
+
+    #[inline]
+    fn packed(&mut self, ctx: &mut DecodeCtx<'a>, what: &str) -> io::Result<PackedTernary<'a>> {
         let rows = self.u32(what)? as usize;
         let cols = self.u32(what)? as usize;
         // Checked arithmetic: corrupt dimensions must become an error, not
@@ -352,17 +768,46 @@ impl Cursor {
                     self.section
                 ))
             })?;
-        self.need(16 * words, what)?;
-        let mut plus = Vec::with_capacity(words);
-        for _ in 0..words {
-            plus.push(self.buf.get_u64_le());
-        }
-        let mut minus = Vec::with_capacity(words);
-        for _ in 0..words {
-            minus.push(self.buf.get_u64_le());
-        }
-        PackedTernary::from_raw_parts(rows, cols, plus, minus)
-            .map_err(|e| invalid_data(format!("{}: {what}: {e}", self.section)))
+        let (plus, minus) = if ctx.version >= SECTION_ALIGNED_VERSION {
+            match self.u8(what)? {
+                MODE_INLINE => {
+                    self.skip_pad8(what)?;
+                    (
+                        self.u64_words(words, ctx.borrow, what)?,
+                        self.u64_words(words, ctx.borrow, what)?,
+                    )
+                }
+                MODE_RLE => {
+                    let stream = ctx.rle.as_mut().ok_or_else(|| {
+                        invalid_data(format!(
+                            "{}: {what} is RLE-coded but the artifact has no RLEW section",
+                            self.section
+                        ))
+                    })?;
+                    let blob = stream.next_blob(what)?;
+                    let (p, m) = rle_decode(blob, rows, cols, what)?;
+                    (Cow::Owned(p), Cow::Owned(m))
+                }
+                other => {
+                    return Err(invalid_data(format!(
+                        "{}: {what}: unknown packed storage mode {other}",
+                        self.section
+                    )))
+                }
+            }
+        } else {
+            (self.u64_words(words, false, what)?, self.u64_words(words, false, what)?)
+        };
+        // Borrowing loads skip the O(words) plane-content scans (padding
+        // bits, dual-claimed entries) under the same trust model as
+        // `f32_cow`: structural invariants are always enforced, content
+        // invariants only when copying anyway.
+        let parts = if ctx.borrow {
+            PackedTernary::from_cow_parts_trusted(rows, cols, plus, minus)
+        } else {
+            PackedTernary::from_cow_parts(rows, cols, plus, minus)
+        };
+        parts.map_err(|e| invalid_data(format!("{}: {what}: {e}", self.section)))
     }
 
     fn spec(&mut self, what: &str) -> io::Result<Conv2dSpec> {
@@ -390,11 +835,12 @@ impl Cursor {
 
     /// Reads a packed dense layer and checks its internal geometry:
     /// `W_b: [r, in]`, `â: [r]`, `W_c: [out, r]`, `bias: [out]`.
-    fn dense(&mut self, what: &str) -> io::Result<PackedDense> {
-        let wb = self.packed(what)?;
-        let a_hat = self.f32_vec(what)?;
-        let wc = self.packed(what)?;
-        let bias = self.f32_vec(what)?;
+    #[inline]
+    fn dense(&mut self, ctx: &mut DecodeCtx<'a>, what: &str) -> io::Result<PackedDense<'a>> {
+        let wb = self.packed(ctx, what)?;
+        let a_hat = self.f32_cow(ctx.borrow, what)?;
+        let wc = self.packed(ctx, what)?;
+        let bias = self.f32_cow(ctx.borrow, what)?;
         if wb.rows() != a_hat.len() || wc.cols() != a_hat.len() || wc.rows() != bias.len() {
             return Err(invalid_data(format!(
                 "{}: {what}: inconsistent dense geometry (wb {}x{}, â {}, wc {}x{}, bias {})",
@@ -411,18 +857,18 @@ impl Cursor {
     }
 
     fn finish(self) -> io::Result<()> {
-        if self.buf.has_remaining() {
+        if self.remaining() > 0 {
             return Err(invalid_data(format!(
                 "{} section has {} trailing bytes",
                 self.section,
-                self.buf.remaining()
+                self.remaining()
             )));
         }
         Ok(())
     }
 }
 
-fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
+fn decode_front<'a>(buf: &'a [u8], ctx: &mut DecodeCtx<'a>) -> io::Result<PackedStStack<'a>> {
     let mut cur = Cursor::new(buf, "FRNT");
     let count = cur.u32("layer count")? as usize;
     let mut layers = Vec::with_capacity(count.min(1024));
@@ -430,10 +876,10 @@ fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
         let kind = cur.u8("layer kind")?;
         let layer = match kind {
             KIND_CONV => {
-                let wb = cur.packed("conv wb")?;
-                let a_hat = cur.f32_vec("conv â")?;
-                let wc = cur.packed("conv wc")?;
-                let bias = cur.f32_vec("conv bias")?;
+                let wb = cur.packed(ctx, "conv wb")?;
+                let a_hat = cur.f32_cow(ctx.borrow, "conv â")?;
+                let wc = cur.packed(ctx, "conv wc")?;
+                let bias = cur.f32_cow(ctx.borrow, "conv bias")?;
                 let spec = cur.spec("conv spec")?;
                 let Some(patch) = spec.kh.checked_mul(spec.kw) else {
                     return Err(invalid_data(format!(
@@ -454,10 +900,10 @@ fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
                 PackedLayer::Conv(PackedConv2d { wb, a_hat, wc, bias, spec })
             }
             KIND_DEPTHWISE => {
-                let wb_signs = cur.signs("depthwise wb")?;
-                let a_hat = cur.f32_vec("depthwise â")?;
-                let wc_signs = cur.signs("depthwise wc")?;
-                let bias = cur.f32_vec("depthwise bias")?;
+                let wb_signs = cur.signs(ctx.borrow, "depthwise wb")?;
+                let a_hat = cur.f32_cow(ctx.borrow, "depthwise â")?;
+                let wc_signs = cur.signs(ctx.borrow, "depthwise wc")?;
+                let bias = cur.f32_cow(ctx.borrow, "depthwise bias")?;
                 let spec = cur.spec("depthwise spec")?;
                 let channels = cur.u32("depthwise channels")? as usize;
                 let multiplier = cur.u32("depthwise multiplier")? as usize;
@@ -486,7 +932,7 @@ fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
                     multiplier,
                 })
             }
-            KIND_DENSE => PackedLayer::Dense(cur.dense("dense layer")?),
+            KIND_DENSE => PackedLayer::Dense(cur.dense(ctx, "dense layer")?),
             KIND_AFFINE => {
                 let scale = cur.f32_vec("affine scale")?;
                 let shift = cur.f32_vec("affine shift")?;
@@ -509,7 +955,7 @@ fn decode_front(buf: Bytes) -> io::Result<PackedStStack> {
     Ok(PackedStStack { layers })
 }
 
-fn decode_tree(buf: Bytes) -> io::Result<PackedBonsai> {
+fn decode_tree<'a>(buf: &'a [u8], ctx: &mut DecodeCtx<'a>) -> io::Result<PackedBonsai<'a>> {
     let mut cur = Cursor::new(buf, "TREE");
     let depth = cur.u32("depth")? as usize;
     if depth > 16 {
@@ -522,12 +968,17 @@ fn decode_tree(buf: Bytes) -> io::Result<PackedBonsai> {
         return Err(invalid_data("TREE: num_classes must be positive"));
     }
     let topo = TreeTopology::new(depth);
-    let z = cur.dense("projection z")?;
+    let z = cur.dense(ctx, "projection z")?;
     let proj_dim = z.bias.len();
-    let read_nodes = |cur: &mut Cursor, n: usize, out_dim: usize, what| -> io::Result<Vec<_>> {
+    let read_nodes = |cur: &mut Cursor<'a>,
+                      ctx: &mut DecodeCtx<'a>,
+                      n: usize,
+                      out_dim: usize,
+                      what|
+     -> io::Result<Vec<_>> {
         let mut nodes = Vec::with_capacity(n);
         for _ in 0..n {
-            let d = cur.dense(what)?;
+            let d = cur.dense(ctx, what)?;
             if d.wb.cols() != proj_dim || d.bias.len() != out_dim {
                 return Err(invalid_data(format!(
                     "TREE: {what} shape [{} -> {}] does not match proj_dim {proj_dim} / \
@@ -540,14 +991,14 @@ fn decode_tree(buf: Bytes) -> io::Result<PackedBonsai> {
         }
         Ok(nodes)
     };
-    let theta = read_nodes(&mut cur, topo.num_internal(), 1, "branch node θ")?;
-    let w = read_nodes(&mut cur, topo.num_nodes(), num_classes, "score node W")?;
-    let v = read_nodes(&mut cur, topo.num_nodes(), num_classes, "gate node V")?;
+    let theta = read_nodes(&mut cur, ctx, topo.num_internal(), 1, "branch node θ")?;
+    let w = read_nodes(&mut cur, ctx, topo.num_nodes(), num_classes, "score node W")?;
+    let v = read_nodes(&mut cur, ctx, topo.num_nodes(), num_classes, "gate node V")?;
     cur.finish()?;
     Ok(PackedBonsai { z, theta, w, v, topo, sharpness, sigma, num_classes })
 }
 
-fn decode_meta(buf: Bytes) -> io::Result<InferenceMeta> {
+fn decode_meta(buf: &[u8]) -> io::Result<InferenceMeta> {
     let mut cur = Cursor::new(buf, "META");
     let norm_mean = cur.f32_vec("norm_mean")?;
     let norm_std = cur.f32_vec("norm_std")?;
@@ -601,31 +1052,89 @@ fn decode_meta(buf: Bytes) -> io::Result<InferenceMeta> {
     Ok(InferenceMeta { mfcc, norm_mean, norm_std })
 }
 
-/// Reconstructs a [`PackedStHybrid`] (and embedded [`InferenceMeta`], if
-/// present) from a `.thnt2` artifact. The loader references no `thnt-nn`
-/// training type: the engine is rebuilt directly from the serialized
-/// bitplanes.
-///
-/// # Errors
-///
-/// Returns `InvalidData` on any malformed artifact, or I/O errors from the
-/// reader.
-pub fn load_thnt2<R: Read>(reader: R) -> io::Result<(PackedStHybrid, Option<InferenceMeta>)> {
-    let mut sections = SectionReader::read_from(reader)?;
+/// Decodes a whole artifact from a byte slice. `allow_borrow` selects the
+/// zero-copy path ([`load_thnt2_ref`]) vs. forced copies ([`load_thnt2`]).
+fn decode_artifact(
+    bytes: &[u8],
+    allow_borrow: bool,
+) -> io::Result<(PackedStHybrid<'_>, Option<InferenceMeta>)> {
+    let mut sections = SectionReaderRef::parse(bytes)?;
+    let version = sections.version();
     let front = sections
         .take(TAG_FRONT)
         .ok_or_else(|| invalid_data("artifact is missing the FRNT section"))?;
     let tree = sections
         .take(TAG_TREE)
         .ok_or_else(|| invalid_data("artifact is missing the TREE section"))?;
-    let meta = sections.take(TAG_META).map(decode_meta).transpose()?;
+    let rle = sections.take(TAG_RLE);
+    let meta = sections.take(TAG_META).map(|s| decode_meta(s.bytes)).transpose()?;
     // Any other section is from a newer writer; ignoring it cannot corrupt
     // the engine because all required data is self-contained above.
-    let engine = PackedStHybrid { front: decode_front(front)?, tree: decode_tree(tree)? };
-    Ok((engine, meta))
+    let mut ctx = DecodeCtx {
+        version,
+        borrow: allow_borrow && version >= SECTION_ALIGNED_VERSION,
+        rle: rle.map(|s| RleStream::new(s.bytes)),
+    };
+    let front = decode_front(front.bytes, &mut ctx)?;
+    let tree = decode_tree(tree.bytes, &mut ctx)?;
+    if let Some(stream) = ctx.rle {
+        stream.finish()?;
+    }
+    Ok((PackedStHybrid { front, tree }, meta))
 }
 
-fn decode_schedule(buf: Bytes) -> io::Result<QuantSchedule> {
+/// Reconstructs a [`PackedStHybrid`] (and embedded [`InferenceMeta`], if
+/// present) from a `.thnt2` artifact. The loader references no `thnt-nn`
+/// training type: the engine is rebuilt directly from the serialized
+/// bitplanes. Every weight is copied into owned storage; see
+/// [`load_thnt2_ref`] for the zero-copy variant.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any malformed artifact, or I/O errors from the
+/// reader.
+pub fn load_thnt2<R: Read>(
+    mut reader: R,
+) -> io::Result<(PackedStHybrid<'static>, Option<InferenceMeta>)> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let (engine, meta) = decode_artifact(&raw, false)?;
+    Ok((engine.into_owned(), meta))
+}
+
+/// Reconstructs a [`PackedStHybrid`] that *borrows* its bitplanes from
+/// `bytes` wherever possible: for a v3 container on a little-endian target
+/// with an 8-byte-aligned buffer (e.g. a memory-mapped file, or
+/// [`AlignedBytes`]), no inline bitplane is copied — the engine aliases the
+/// artifact, so N serving processes mapping the same file share one copy of
+/// the weights and cold start is header validation plus a walk of the
+/// section structure. Misaligned buffers, big-endian targets, v2 artifacts
+/// and RLE-coded matrices transparently fall back to owned (copied) planes.
+///
+/// # Trust model
+///
+/// Structural invariants (section table, lengths, geometry, alignment
+/// padding) are always enforced — truncated or misframed artifacts fail
+/// exactly as they do in [`load_thnt2`]. The O(model) *content* scans
+/// (f32 finiteness, ternary sign range, bitplane padding/overlap bits)
+/// run only on the owning path: a mapped artifact is treated as trusted,
+/// the same way an mmap'd executable's text is. Corrupt content in a
+/// trusted artifact produces wrong logits, never memory unsafety. Load
+/// through [`load_thnt2`] when the artifact comes from an untrusted
+/// source.
+///
+/// Use [`PackedStHybrid::bitplanes_borrowed`] to check which path was
+/// taken, and [`PackedStHybrid::into_owned`] to detach the result from the
+/// buffer.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any malformed artifact.
+pub fn load_thnt2_ref(bytes: &[u8]) -> io::Result<(PackedStHybrid<'_>, Option<InferenceMeta>)> {
+    decode_artifact(bytes, true)
+}
+
+fn decode_schedule(buf: &[u8]) -> io::Result<QuantSchedule> {
     let mut cur = Cursor::new(buf, "QNT8");
     let front_count = cur.u32("front layer count")? as usize;
     if front_count > 4096 {
@@ -665,24 +1174,68 @@ fn decode_schedule(buf: Bytes) -> io::Result<QuantSchedule> {
 /// Returns `InvalidData` on any malformed artifact, a missing `QNT8`
 /// section, or a schedule/weight mismatch.
 pub fn load_quantized_thnt2<R: Read>(
-    reader: R,
+    mut reader: R,
 ) -> io::Result<(QuantizedStHybrid, Option<InferenceMeta>)> {
-    let mut sections = SectionReader::read_from(reader)?;
-    let front = sections
-        .take(TAG_FRONT)
-        .ok_or_else(|| invalid_data("artifact is missing the FRNT section"))?;
-    let tree = sections
-        .take(TAG_TREE)
-        .ok_or_else(|| invalid_data("artifact is missing the TREE section"))?;
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut sections = SectionReaderRef::parse(&raw)?;
     let quant = sections
         .take(TAG_QUANT)
-        .ok_or_else(|| invalid_data("artifact is missing the QNT8 section"))?;
-    let meta = sections.take(TAG_META).map(decode_meta).transpose()?;
-    let engine = PackedStHybrid { front: decode_front(front)?, tree: decode_tree(tree)? };
+        .ok_or_else(|| invalid_data("artifact is missing the QNT8 section"))?
+        .bytes;
     let schedule = decode_schedule(quant)?;
-    let quantized = QuantizedStHybrid::compile(&engine, schedule)
+    let (engine, meta) = decode_artifact(&raw, false)?;
+    let quantized = QuantizedStHybrid::compile(&engine.into_owned(), schedule)
         .map_err(|e| invalid_data(format!("QNT8: {e}")))?;
     Ok((quantized, meta))
+}
+
+/// A heap byte buffer whose storage is 8-byte aligned (it is backed by a
+/// `Vec<u64>`), so [`load_thnt2_ref`] can borrow bitplanes from it in
+/// place. A plain `Vec<u8>` makes no alignment promise; reading an
+/// artifact into one works, but may silently fall back to the copying
+/// path.
+#[derive(Debug, Clone)]
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `bytes` into freshly allocated 8-byte-aligned storage.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        // SAFETY: the u64 allocation holds at least `bytes.len()` bytes and
+        // u8 has no alignment or validity requirements.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), bytes.len()) };
+        dst.copy_from_slice(bytes);
+        Self { words, len: bytes.len() }
+    }
+
+    /// Reads a whole file into aligned storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the file.
+    pub fn read_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::from_slice(&std::fs::read(path)?))
+    }
+
+    /// The buffer contents. The slice's pointer is 8-byte aligned.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: the backing u64 allocation holds at least `len` fully
+        // initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
 }
 
 #[cfg(test)]
@@ -696,7 +1249,7 @@ mod tests {
     use thnt_nn::Model;
     use thnt_strassen::Strassenified;
 
-    fn tiny_engine(seed: u64) -> (StHybridNet, PackedStHybrid) {
+    fn tiny_engine(seed: u64) -> (StHybridNet, PackedStHybrid<'static>) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = StHybridNet::new(
             HybridConfig {
@@ -768,10 +1321,11 @@ mod tests {
     #[test]
     fn unknown_sections_are_skipped() {
         let (_, engine) = tiny_engine(4);
+        let mut enc = Enc::new(SaveOptions::v3()).unwrap();
         let mut sections = SectionWriter::new();
         sections.section(*b"XTRA").put_u32_le(42);
-        *sections.section(TAG_FRONT) = encode_front(&engine.front);
-        *sections.section(TAG_TREE) = encode_tree(&engine.tree);
+        *sections.section(TAG_FRONT) = enc.encode_front(&engine.front);
+        *sections.section(TAG_TREE) = enc.encode_tree(&engine.tree);
         let mut blob = Vec::new();
         sections.write_to(&mut blob).unwrap();
         let (reloaded, meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
@@ -873,9 +1427,10 @@ mod tests {
         let base = quantized.base();
         let mut bad = quantized.schedule().clone();
         bad.front.pop();
+        let mut enc = Enc::new(SaveOptions::v3()).unwrap();
         let mut sections = SectionWriter::new();
-        *sections.section(TAG_FRONT) = encode_front(&base.front);
-        *sections.section(TAG_TREE) = encode_tree(&base.tree);
+        *sections.section(TAG_FRONT) = enc.encode_front(&base.front);
+        *sections.section(TAG_TREE) = enc.encode_tree(&base.tree);
         *sections.section(TAG_QUANT) = encode_schedule(&bad);
         let mut blob = Vec::new();
         sections.write_to(&mut blob).unwrap();
@@ -889,9 +1444,10 @@ mod tests {
         let base = quantized.base();
         let mut bad = quantized.schedule().clone();
         bad.zhat_scale = 0.0;
+        let mut enc = Enc::new(SaveOptions::v3()).unwrap();
         let mut sections = SectionWriter::new();
-        *sections.section(TAG_FRONT) = encode_front(&base.front);
-        *sections.section(TAG_TREE) = encode_tree(&base.tree);
+        *sections.section(TAG_FRONT) = enc.encode_front(&base.front);
+        *sections.section(TAG_TREE) = enc.encode_tree(&base.tree);
         *sections.section(TAG_QUANT) = encode_schedule(&bad);
         let mut blob = Vec::new();
         sections.write_to(&mut blob).unwrap();
@@ -923,5 +1479,169 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(reloaded, engine);
         assert_eq!(meta.unwrap().mfcc, MfccConfig::paper());
+    }
+
+    fn ternary(
+        rows: usize,
+        cols: usize,
+        f: impl Fn(usize, usize) -> f32,
+    ) -> PackedTernary<'static> {
+        let data = (0..rows * cols).map(|i| f(i / cols, i % cols)).collect();
+        PackedTernary::from_tensor(&thnt_tensor::Tensor::from_vec(data, &[rows, cols]))
+    }
+
+    /// The raw RLE bit code round-trips at both extremes (all-zero and
+    /// zero-free matrices) and on odd shapes whose rows straddle bytes and
+    /// words.
+    #[test]
+    fn rle_codec_identity_including_extremes() {
+        let cases: Vec<(&str, PackedTernary<'static>)> = vec![
+            ("all zero", ternary(5, 67, |_, _| 0.0)),
+            ("all plus", ternary(3, 64, |_, _| 1.0)),
+            ("all minus", ternary(4, 13, |_, _| -1.0)),
+            ("no zeros mixed", ternary(7, 9, |r, c| if (r + c) % 2 == 0 { 1.0 } else { -1.0 })),
+            ("one entry", ternary(1, 1, |_, _| -1.0)),
+            ("thirds", ternary(6, 70, |r, c| ((r * 70 + c) % 3) as f32 - 1.0)),
+        ];
+        for (what, p) in cases {
+            let blob = rle_encode(&p);
+            let (plus, minus) = rle_decode(&blob, p.rows(), p.cols(), what).unwrap();
+            assert_eq!(plus, p.plus_words(), "{what}: plus plane");
+            assert_eq!(minus, p.minus_words(), "{what}: minus plane");
+        }
+    }
+
+    /// An all-zero matrix costs exactly one bit per entry; a zero-free one
+    /// exactly two. The code is tight at both extremes.
+    #[test]
+    fn rle_code_is_tight_at_the_extremes() {
+        let zeros = ternary(5, 67, |_, _| 0.0);
+        assert_eq!(rle_encode(&zeros).len(), (5 * 67usize).div_ceil(8));
+        let dense = ternary(5, 67, |_, _| 1.0);
+        assert_eq!(rle_encode(&dense).len(), (2 * 5 * 67usize).div_ceil(8));
+    }
+
+    #[test]
+    fn rle_decode_rejects_truncation_trailing_bytes_and_dirty_padding() {
+        let p = ternary(6, 70, |r, c| ((r * 70 + c) % 3) as f32 - 1.0);
+        let blob = rle_encode(&p);
+        // Truncated stream.
+        let err = rle_decode(&blob[..blob.len() - 1], 6, 70, "t").unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Trailing bytes.
+        let mut long = blob.clone();
+        long.push(0);
+        let err = rle_decode(&long, 6, 70, "t").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Dirty padding bits in the final byte (the all-zero matrix leaves
+        // 420 % 8 = 4 pad bits).
+        let zeros = ternary(6, 70, |_, _| 0.0);
+        let mut dirty = rle_encode(&zeros);
+        *dirty.last_mut().unwrap() |= 0x80;
+        let err = rle_decode(&dirty, 6, 70, "t").unwrap_err();
+        assert!(err.to_string().contains("padding"), "{err}");
+    }
+
+    #[test]
+    fn save_options_validate_their_combinations() {
+        assert!(save_thnt2_with(
+            &tiny_engine(20).1,
+            None,
+            SaveOptions { container_version: 4, rle_weights: false },
+            &mut Vec::new(),
+        )
+        .is_err());
+        assert!(save_thnt2_with(
+            &tiny_engine(20).1,
+            None,
+            SaveOptions { container_version: 2, rle_weights: true },
+            &mut Vec::new(),
+        )
+        .is_err());
+    }
+
+    /// Every write format round-trips bitwise; the quantized container too.
+    #[test]
+    fn all_formats_roundtrip() {
+        let (_, engine) = tiny_engine(21);
+        let quantized = tiny_quantized(21);
+        for opts in [SaveOptions::v2(), SaveOptions::v3(), SaveOptions::v3_rle()] {
+            let mut blob = Vec::new();
+            save_thnt2_with(&engine, Some(&paper_meta()), opts, &mut blob).unwrap();
+            let (reloaded, meta) = PackedStHybrid::load(blob.as_slice()).unwrap();
+            assert_eq!(reloaded, engine, "{opts:?}");
+            assert_eq!(meta.unwrap(), paper_meta());
+
+            let mut qblob = Vec::new();
+            save_quantized_thnt2_with(&quantized, None, opts, &mut qblob).unwrap();
+            let (qreloaded, _) = QuantizedStHybrid::load(qblob.as_slice()).unwrap();
+            assert_eq!(qreloaded, quantized, "{opts:?}");
+        }
+    }
+
+    /// A zero-copy load of an aligned v3 artifact borrows **every**
+    /// bitplane from the buffer; v3-rle and v2 decode to owned planes; a
+    /// deliberately misaligned buffer still loads correctly, just owned.
+    #[test]
+    fn zero_copy_load_borrows_exactly_when_aligned_v3_inline() {
+        let (_, engine) = tiny_engine(22);
+        let mut blob = Vec::new();
+        save_thnt2_with(&engine, None, SaveOptions::v3(), &mut blob).unwrap();
+        let aligned = AlignedBytes::from_slice(&blob);
+        let (borrowed, _) = load_thnt2_ref(&aligned).unwrap();
+        assert!(borrowed.bitplanes_borrowed(), "aligned v3 inline must not copy planes");
+        assert_eq!(borrowed, engine);
+
+        // Shift the same bytes off 8-byte alignment: the loader falls back
+        // to copying, bit-for-bit identically.
+        let mut shifted = vec![0u8; blob.len() + 8];
+        let off = (8 - (shifted.as_ptr() as usize % 8)) % 8 + 1;
+        shifted[off..off + blob.len()].copy_from_slice(&blob);
+        let (owned, _) = load_thnt2_ref(&shifted[off..off + blob.len()]).unwrap();
+        assert!(!owned.bitplanes_borrowed());
+        assert_eq!(owned, engine);
+
+        for opts in [SaveOptions::v2(), SaveOptions::v3_rle()] {
+            let mut blob = Vec::new();
+            save_thnt2_with(&engine, None, opts, &mut blob).unwrap();
+            let aligned = AlignedBytes::from_slice(&blob);
+            let (reloaded, _) = load_thnt2_ref(&aligned).unwrap();
+            assert!(!reloaded.bitplanes_borrowed(), "{opts:?} cannot borrow");
+            assert_eq!(reloaded, engine, "{opts:?}");
+        }
+    }
+
+    /// The acceptance criterion for RLE: on a standard ternary net (about a
+    /// third of the weights are zero) the artifact is smaller on disk than
+    /// the packed model is in memory, and smaller than its inline peer.
+    #[test]
+    fn rle_artifacts_are_smaller_on_disk_than_the_model_in_memory() {
+        let (_, engine) = tiny_engine(23);
+        let model_bytes = thnt_nn::InferenceBackend::model_bytes(&engine);
+        let mut inline = Vec::new();
+        save_thnt2_with(&engine, None, SaveOptions::v3(), &mut inline).unwrap();
+        let mut rle = Vec::new();
+        save_thnt2_with(&engine, None, SaveOptions::v3_rle(), &mut rle).unwrap();
+        assert!(
+            rle.len() < inline.len(),
+            "RLE ({}) must beat inline ({})",
+            rle.len(),
+            inline.len()
+        );
+        assert!(
+            rle.len() < model_bytes,
+            "bytes_on_disk ({}) must beat model_bytes ({model_bytes})",
+            rle.len()
+        );
+    }
+
+    #[test]
+    fn aligned_bytes_really_are_aligned() {
+        for n in [0usize, 1, 7, 8, 9, 4096, 4097] {
+            let data: Vec<u8> = (0..n).map(|i| i as u8).collect();
+            let a = AlignedBytes::from_slice(&data);
+            assert_eq!(a.as_ptr() as usize % 8, 0);
+            assert_eq!(&a[..], &data[..]);
+        }
     }
 }

@@ -25,6 +25,8 @@
 //! fake-quantization knobs ([`StHybridNet::set_activation_bits`] and
 //! friends) must be off when compiling.
 
+use std::borrow::Cow;
+
 use thnt_bonsai::{StrassenBonsai, TreeTopology};
 use thnt_nn::BatchNorm2d;
 use thnt_strassen::{
@@ -38,26 +40,26 @@ use crate::st_hybrid::StHybridNet;
 /// A compiled strassenified dense layer:
 /// `y = W_c · (â ⊙ (W_b · x)) + bias` with both ternary matrices packed.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PackedDense {
-    pub(crate) wb: PackedTernary,
-    pub(crate) a_hat: Vec<f32>,
-    pub(crate) wc: PackedTernary,
-    pub(crate) bias: Vec<f32>,
+pub struct PackedDense<'a> {
+    pub(crate) wb: PackedTernary<'a>,
+    pub(crate) a_hat: Cow<'a, [f32]>,
+    pub(crate) wc: PackedTernary<'a>,
+    pub(crate) bias: Cow<'a, [f32]>,
 }
 
-impl PackedDense {
+impl<'a> PackedDense<'a> {
     /// Compiles a frozen [`StrassenDense`].
     ///
     /// # Panics
     ///
     /// Panics if the layer's weights are not ternary-valued (i.e. it was
     /// never frozen).
-    pub fn compile(layer: &StrassenDense) -> Self {
-        Self {
+    pub fn compile(layer: &StrassenDense) -> PackedDense<'static> {
+        PackedDense {
             wb: PackedTernary::from_tensor(layer.wb_values()),
-            a_hat: layer.a_hat_values().data().to_vec(),
+            a_hat: Cow::Owned(layer.a_hat_values().data().to_vec()),
             wc: PackedTernary::from_tensor(layer.wc_values()),
-            bias: layer.bias_values().data().to_vec(),
+            bias: Cow::Owned(layer.bias_values().data().to_vec()),
         }
     }
 
@@ -110,17 +112,17 @@ impl PackedDense {
 
 /// A compiled strassenified standard convolution.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PackedConv2d {
+pub struct PackedConv2d<'a> {
     /// Packed `[r, ic·kh·kw]` ternary conv weights applied to im2col patches.
-    pub(crate) wb: PackedTernary,
-    pub(crate) a_hat: Vec<f32>,
+    pub(crate) wb: PackedTernary<'a>,
+    pub(crate) a_hat: Cow<'a, [f32]>,
     /// Packed `[oc, r]` ternary 1×1 combination.
-    pub(crate) wc: PackedTernary,
-    pub(crate) bias: Vec<f32>,
+    pub(crate) wc: PackedTernary<'a>,
+    pub(crate) bias: Cow<'a, [f32]>,
     pub(crate) spec: Conv2dSpec,
 }
 
-impl PackedConv2d {
+impl<'a> PackedConv2d<'a> {
     /// Compiles a frozen [`StrassenConv2d`].
     ///
     /// # Panics
@@ -128,7 +130,7 @@ impl PackedConv2d {
     /// Panics if the layer's weights are not ternary-valued, or if its
     /// hidden-activation fake-quantization is enabled (the engine compiles
     /// the unquantized evaluation path).
-    pub fn compile(layer: &StrassenConv2d) -> Self {
+    pub fn compile(layer: &StrassenConv2d) -> PackedConv2d<'static> {
         assert!(
             layer.hidden_bits().is_none(),
             "packed engine compiles the unquantized path; disable hidden_bits first"
@@ -136,11 +138,11 @@ impl PackedConv2d {
         let wb = layer.wb_values();
         let r = wb.dims()[0];
         let k = wb.numel() / r;
-        Self {
+        PackedConv2d {
             wb: PackedTernary::from_tensor(&wb.reshape(&[r, k])),
-            a_hat: layer.a_hat_values().data().to_vec(),
+            a_hat: Cow::Owned(layer.a_hat_values().data().to_vec()),
             wc: PackedTernary::from_tensor(layer.wc_values()),
-            bias: layer.bias_values().data().to_vec(),
+            bias: Cow::Owned(layer.bias_values().data().to_vec()),
             spec: *layer.spec(),
         }
     }
@@ -233,13 +235,16 @@ impl PackedConv2d {
 /// are tiny (`kh·kw` taps), so entries are stored as signs and executed with
 /// an add/subtract tap loop that skips zeros — still multiplication-free.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PackedDepthwise2d {
-    /// Ternary signs of `W_b`, flattened `[c·m·kh·kw]`.
-    pub(crate) wb_signs: Vec<i8>,
-    pub(crate) a_hat: Vec<f32>,
+pub struct PackedDepthwise2d<'a> {
+    /// Ternary signs of `W_b`, flattened `[c·m·kh·kw]`. Like the
+    /// bitplanes of [`PackedTernary`], the sign vectors are [`Cow`] slices
+    /// so a zero-copy load can alias them straight out of an artifact
+    /// buffer (`i8` has alignment 1, so borrowing never needs padding).
+    pub(crate) wb_signs: Cow<'a, [i8]>,
+    pub(crate) a_hat: Cow<'a, [f32]>,
     /// Ternary signs of the grouped `W_c`, flattened `[c·m]`.
-    pub(crate) wc_signs: Vec<i8>,
-    pub(crate) bias: Vec<f32>,
+    pub(crate) wc_signs: Cow<'a, [i8]>,
+    pub(crate) bias: Cow<'a, [f32]>,
     pub(crate) spec: Conv2dSpec,
     pub(crate) channels: usize,
     pub(crate) multiplier: usize,
@@ -263,26 +268,40 @@ fn ternary_signs(t: &Tensor) -> Vec<i8> {
         .collect()
 }
 
-impl PackedDepthwise2d {
+impl<'a> PackedDepthwise2d<'a> {
     /// Compiles a frozen [`StrassenDepthwise2d`].
     ///
     /// # Panics
     ///
     /// Panics if the layer's weights are not ternary-valued, or if its
     /// hidden-activation fake-quantization is enabled.
-    pub fn compile(layer: &StrassenDepthwise2d) -> Self {
+    pub fn compile(layer: &StrassenDepthwise2d) -> PackedDepthwise2d<'static> {
         assert!(
             layer.hidden_bits().is_none(),
             "packed engine compiles the unquantized path; disable hidden_bits first"
         );
-        Self {
-            wb_signs: ternary_signs(layer.wb_values()),
-            a_hat: layer.a_hat_values().data().to_vec(),
-            wc_signs: ternary_signs(layer.wc_values()),
-            bias: layer.bias_values().data().to_vec(),
+        PackedDepthwise2d {
+            wb_signs: Cow::Owned(ternary_signs(layer.wb_values())),
+            a_hat: Cow::Owned(layer.a_hat_values().data().to_vec()),
+            wc_signs: Cow::Owned(ternary_signs(layer.wc_values())),
+            bias: Cow::Owned(layer.bias_values().data().to_vec()),
             spec: *layer.spec(),
             channels: layer.channels(),
             multiplier: layer.multiplier(),
+        }
+    }
+
+    /// Copies the sign vectors into owned storage, detaching the layer from
+    /// any borrowed artifact buffer.
+    pub fn to_static(&self) -> PackedDepthwise2d<'static> {
+        PackedDepthwise2d {
+            wb_signs: Cow::Owned(self.wb_signs.to_vec()),
+            a_hat: Cow::Owned(self.a_hat.to_vec()),
+            wc_signs: Cow::Owned(self.wc_signs.to_vec()),
+            bias: Cow::Owned(self.bias.to_vec()),
+            spec: self.spec,
+            channels: self.channels,
+            multiplier: self.multiplier,
         }
     }
 
@@ -497,13 +516,13 @@ impl ChannelAffine {
 
 /// One compiled layer of the front-end stack.
 #[derive(Debug, Clone, PartialEq)]
-pub enum PackedLayer {
+pub enum PackedLayer<'a> {
     /// Compiled strassenified standard convolution.
-    Conv(PackedConv2d),
+    Conv(PackedConv2d<'a>),
     /// Compiled strassenified depthwise convolution.
-    Depthwise(PackedDepthwise2d),
+    Depthwise(PackedDepthwise2d<'a>),
     /// Compiled strassenified dense layer.
-    Dense(PackedDense),
+    Dense(PackedDense<'a>),
     /// Folded batch normalisation.
     Affine(ChannelAffine),
     /// ReLU activation.
@@ -514,18 +533,18 @@ pub enum PackedLayer {
 
 /// A compiled [`StStack`]: the deployable front-end.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct PackedStStack {
-    pub(crate) layers: Vec<PackedLayer>,
+pub struct PackedStStack<'a> {
+    pub(crate) layers: Vec<PackedLayer<'a>>,
 }
 
-impl PackedStStack {
+impl<'a> PackedStStack<'a> {
     /// Compiles a frozen stack.
     ///
     /// # Panics
     ///
     /// Panics if any strassenified layer is not frozen-ternary, or if the
     /// stack's activation fake-quantization is enabled.
-    pub fn compile(stack: &StStack) -> Self {
+    pub fn compile(stack: &StStack) -> PackedStStack<'static> {
         assert!(
             stack.activation_bits().is_none(),
             "packed engine compiles the unquantized path; disable activation_bits first"
@@ -542,11 +561,11 @@ impl PackedStStack {
                 StLayer::GlobalAvgPool(_) => PackedLayer::GlobalAvgPool,
             })
             .collect();
-        Self { layers }
+        PackedStStack { layers }
     }
 
     /// The compiled layers.
-    pub fn layers(&self) -> &[PackedLayer] {
+    pub fn layers(&self) -> &[PackedLayer<'a>] {
         &self.layers
     }
 
@@ -575,25 +594,25 @@ impl PackedStStack {
 
 /// The compiled strassenified Bonsai tree head.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PackedBonsai {
-    pub(crate) z: PackedDense,
-    pub(crate) theta: Vec<PackedDense>,
-    pub(crate) w: Vec<PackedDense>,
-    pub(crate) v: Vec<PackedDense>,
+pub struct PackedBonsai<'a> {
+    pub(crate) z: PackedDense<'a>,
+    pub(crate) theta: Vec<PackedDense<'a>>,
+    pub(crate) w: Vec<PackedDense<'a>>,
+    pub(crate) v: Vec<PackedDense<'a>>,
     pub(crate) topo: TreeTopology,
     pub(crate) sharpness: f32,
     pub(crate) sigma: f32,
     pub(crate) num_classes: usize,
 }
 
-impl PackedBonsai {
+impl<'a> PackedBonsai<'a> {
     /// Compiles a frozen [`StrassenBonsai`].
     ///
     /// # Panics
     ///
     /// Panics if any node SPN is not frozen-ternary.
-    pub fn compile(tree: &StrassenBonsai) -> Self {
-        Self {
+    pub fn compile(tree: &StrassenBonsai) -> PackedBonsai<'static> {
+        PackedBonsai {
             z: PackedDense::compile(tree.projection()),
             theta: tree.branch_nodes().iter().map(PackedDense::compile).collect(),
             w: tree.score_nodes().iter().map(PackedDense::compile).collect(),
@@ -643,7 +662,7 @@ impl PackedBonsai {
         self.num_classes
     }
 
-    fn sublayers(&self) -> impl Iterator<Item = &PackedDense> {
+    fn sublayers(&self) -> impl Iterator<Item = &PackedDense<'a>> {
         std::iter::once(&self.z).chain(self.theta.iter()).chain(self.w.iter()).chain(self.v.iter())
     }
 }
@@ -672,12 +691,12 @@ impl PackedBonsai {
 /// thnt_tensor::assert_close(packed.data(), dense.data(), 1e-4, 1e-4);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct PackedStHybrid {
-    pub(crate) front: PackedStStack,
-    pub(crate) tree: PackedBonsai,
+pub struct PackedStHybrid<'a> {
+    pub(crate) front: PackedStStack<'a>,
+    pub(crate) tree: PackedBonsai<'a>,
 }
 
-impl PackedStHybrid {
+impl<'a> PackedStHybrid<'a> {
     /// Compiles a **frozen** [`StHybridNet`] into its packed deployment
     /// form.
     ///
@@ -686,13 +705,16 @@ impl PackedStHybrid {
     /// Panics if the network is not in [`QuantMode::Frozen`] (earlier phases
     /// carry full-precision or scaled-ternary weights that cannot pack), or
     /// if any activation fake-quantization knob is enabled.
-    pub fn compile(net: &StHybridNet) -> Self {
+    pub fn compile(net: &StHybridNet) -> PackedStHybrid<'static> {
         assert_eq!(
             net.mode(),
             QuantMode::Frozen,
             "packed compilation requires a frozen network (run freeze_ternary first)"
         );
-        Self { front: PackedStStack::compile(net.front()), tree: PackedBonsai::compile(net.tree()) }
+        PackedStHybrid {
+            front: PackedStStack::compile(net.front()),
+            tree: PackedBonsai::compile(net.tree()),
+        }
     }
 
     /// Batched inference: `[n, 1, 49, 10] → [n, L]`.
@@ -701,12 +723,12 @@ impl PackedStHybrid {
     }
 
     /// The compiled front-end.
-    pub fn front(&self) -> &PackedStStack {
+    pub fn front(&self) -> &PackedStStack<'a> {
         &self.front
     }
 
     /// The compiled tree head.
-    pub fn tree(&self) -> &PackedBonsai {
+    pub fn tree(&self) -> &PackedBonsai<'a> {
         &self.tree
     }
 
@@ -817,8 +839,21 @@ impl PackedStHybrid {
     /// I/O error from the reader.
     pub fn load<R: std::io::Read>(
         reader: R,
-    ) -> std::io::Result<(Self, Option<crate::artifact::InferenceMeta>)> {
+    ) -> std::io::Result<(PackedStHybrid<'static>, Option<crate::artifact::InferenceMeta>)> {
         crate::artifact::load_thnt2(reader)
+    }
+
+    /// Zero-copy counterpart of [`Self::load`]: reconstructs an engine that
+    /// *borrows* its bitplanes straight out of `buf` whenever `buf` is
+    /// 8-byte aligned (see [`crate::artifact::load_thnt2_ref`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::load`].
+    pub fn load_ref(
+        buf: &[u8],
+    ) -> std::io::Result<(PackedStHybrid<'_>, Option<crate::artifact::InferenceMeta>)> {
+        crate::artifact::load_thnt2_ref(buf)
     }
 
     /// [`Self::save`] to a file path.
@@ -841,12 +876,85 @@ impl PackedStHybrid {
     /// Propagates file-open/read errors and format violations.
     pub fn load_file(
         path: impl AsRef<std::path::Path>,
-    ) -> std::io::Result<(Self, Option<crate::artifact::InferenceMeta>)> {
-        Self::load(std::fs::File::open(path)?)
+    ) -> std::io::Result<(PackedStHybrid<'static>, Option<crate::artifact::InferenceMeta>)> {
+        PackedStHybrid::load(std::fs::File::open(path)?)
+    }
+
+    /// `true` iff **every** packed bitplane pair in the model borrows its
+    /// words from an external buffer — i.e. the engine came out of a
+    /// zero-copy [`Self::load_ref`] on an aligned buffer and no plane was
+    /// copied. A compiled or [`Self::into_owned`]-converted engine returns
+    /// `false`. (Depthwise sign vectors and `f32` vectors are always owned
+    /// and not counted.)
+    pub fn bitplanes_borrowed(&self) -> bool {
+        let dense_borrowed = |d: &PackedDense<'_>| d.wb.is_borrowed() && d.wc.is_borrowed();
+        self.front.layers.iter().all(|l| match l {
+            PackedLayer::Conv(c) => c.wb.is_borrowed() && c.wc.is_borrowed(),
+            PackedLayer::Dense(d) => dense_borrowed(d),
+            _ => true,
+        }) && self.tree.sublayers().all(dense_borrowed)
+    }
+
+    /// Converts into an engine that owns every weight buffer (`'static`),
+    /// copying any plane that borrowed from an artifact buffer. This is how
+    /// the owning loader ([`Self::load`]) detaches from its scratch buffer.
+    pub fn into_owned(self) -> PackedStHybrid<'static> {
+        let dense = |d: PackedDense<'a>| PackedDense {
+            wb: d.wb.into_owned(),
+            a_hat: Cow::Owned(d.a_hat.into_owned()),
+            wc: d.wc.into_owned(),
+            bias: Cow::Owned(d.bias.into_owned()),
+        };
+        PackedStHybrid {
+            front: PackedStStack {
+                layers: self
+                    .front
+                    .layers
+                    .into_iter()
+                    .map(|l| match l {
+                        PackedLayer::Conv(c) => PackedLayer::Conv(PackedConv2d {
+                            wb: c.wb.into_owned(),
+                            a_hat: Cow::Owned(c.a_hat.into_owned()),
+                            wc: c.wc.into_owned(),
+                            bias: Cow::Owned(c.bias.into_owned()),
+                            spec: c.spec,
+                        }),
+                        PackedLayer::Depthwise(d) => PackedLayer::Depthwise(PackedDepthwise2d {
+                            wb_signs: Cow::Owned(d.wb_signs.into_owned()),
+                            a_hat: Cow::Owned(d.a_hat.into_owned()),
+                            wc_signs: Cow::Owned(d.wc_signs.into_owned()),
+                            bias: Cow::Owned(d.bias.into_owned()),
+                            spec: d.spec,
+                            channels: d.channels,
+                            multiplier: d.multiplier,
+                        }),
+                        PackedLayer::Dense(d) => PackedLayer::Dense(dense(d)),
+                        PackedLayer::Affine(a) => PackedLayer::Affine(a),
+                        PackedLayer::Relu => PackedLayer::Relu,
+                        PackedLayer::GlobalAvgPool => PackedLayer::GlobalAvgPool,
+                    })
+                    .collect(),
+            },
+            tree: PackedBonsai {
+                z: dense(self.tree.z),
+                theta: self.tree.theta.into_iter().map(dense).collect(),
+                w: self.tree.w.into_iter().map(dense).collect(),
+                v: self.tree.v.into_iter().map(dense).collect(),
+                topo: self.tree.topo,
+                sharpness: self.tree.sharpness,
+                sigma: self.tree.sigma,
+                num_classes: self.tree.num_classes,
+            },
+        }
+    }
+
+    /// Clones into an owning (`'static`) engine without consuming `self`.
+    pub fn to_static(&self) -> PackedStHybrid<'static> {
+        self.clone().into_owned()
     }
 }
 
-impl thnt_nn::InferenceBackend for PackedStHybrid {
+impl thnt_nn::InferenceBackend for PackedStHybrid<'_> {
     fn infer(&self, x: &Tensor) -> Tensor {
         self.forward(x)
     }
@@ -935,7 +1043,7 @@ mod tests {
 
     /// The pre-SIMD tap loop, kept verbatim as the bitwise reference for
     /// the slice-op restructuring of [`PackedDepthwise2d::forward_sample`].
-    fn reference_depthwise(layer: &PackedDepthwise2d, x: &Tensor) -> Tensor {
+    fn reference_depthwise(layer: &PackedDepthwise2d<'_>, x: &Tensor) -> Tensor {
         let (c, m) = (layer.channels, layer.multiplier);
         let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
         let (oh, ow) = layer.spec.out_dims(h, w);
@@ -1012,9 +1120,9 @@ mod tests {
             };
             let (c, m) = (3usize, 2usize);
             let layer = PackedDepthwise2d {
-                wb_signs: (0..c * m * 9).map(|_| rng.gen_range(-1i8..=1)).collect(),
+                wb_signs: Cow::Owned((0..c * m * 9).map(|_| rng.gen_range(-1i8..=1)).collect()),
                 a_hat: (0..c * m).map(|_| rng.gen_range(0.2f32..1.5)).collect(),
-                wc_signs: (0..c * m).map(|_| rng.gen_range(-1i8..=1)).collect(),
+                wc_signs: Cow::Owned((0..c * m).map(|_| rng.gen_range(-1i8..=1)).collect()),
                 bias: (0..c).map(|_| rng.gen_range(-0.5f32..0.5)).collect(),
                 spec,
                 channels: c,
@@ -1048,10 +1156,10 @@ mod tests {
         // the positions where it is in bounds.
         let spec = Conv2dSpec::same(4, 4, 3, 3, 1, 1);
         let layer = PackedDepthwise2d {
-            wb_signs: vec![1, 0, 0, 0, 0, 0, 0, 0, 0], // top-left tap only
-            a_hat: vec![1.0],
-            wc_signs: vec![1],
-            bias: vec![0.0],
+            wb_signs: Cow::Owned(vec![1, 0, 0, 0, 0, 0, 0, 0, 0]), // top-left tap only
+            a_hat: Cow::Owned(vec![1.0]),
+            wc_signs: Cow::Owned(vec![1]),
+            bias: Cow::Owned(vec![0.0]),
             spec,
             channels: 1,
             multiplier: 1,
@@ -1059,7 +1167,7 @@ mod tests {
         // Tap (0,0) with pad 1 is valid on 3 of 4 rows and 3 of 4 cols,
         // plus 16 combine adds for the active hidden channel.
         assert_eq!(layer.adds_per_sample(4, 4), 3 * 3 + 16);
-        let zeroed = PackedDepthwise2d { wc_signs: vec![0], ..layer };
+        let zeroed = PackedDepthwise2d { wc_signs: Cow::Owned(vec![0]), ..layer };
         assert_eq!(zeroed.adds_per_sample(4, 4), 0);
     }
 

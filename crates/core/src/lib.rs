@@ -65,7 +65,10 @@ pub mod st_hybrid;
 pub mod streaming;
 pub mod train;
 
-pub use artifact::{load_thnt2, save_thnt2, InferenceMeta};
+pub use artifact::{
+    load_thnt2, load_thnt2_ref, save_thnt2, save_thnt2_with, AlignedBytes, InferenceMeta,
+    SaveOptions,
+};
 pub use config::HybridConfig;
 pub use describe::describe_hybrid;
 pub use engine::{
@@ -75,8 +78,8 @@ pub use experiments::{ExperimentProfile, Profile};
 pub use hybrid::HybridNet;
 pub use quantized::{LayerScales, QuantSchedule, QuantizedStHybrid};
 pub use serve::{
-    FeedReceipt, OverflowPolicy, ServeError, ServedDetection, ServerStats, SessionId, StreamServer,
-    TickReport,
+    FeedReceipt, ModelId, OverflowPolicy, ServeError, ServedDetection, ServerStats, SessionId,
+    StreamServer, TickReport,
 };
 pub use st_hybrid::StHybridNet;
 pub use streaming::{Detection, SessionState, StreamingConfig, StreamingDetector};

@@ -108,11 +108,11 @@ impl QuantSchedule {
 /// A strassenified dense layer with prefolded requantization constants.
 #[derive(Debug, Clone, PartialEq)]
 struct QuantDense {
-    wb: PackedTernary,
+    wb: PackedTernary<'static>,
     /// `s_in · â[k]`: converts the integer hidden accumulator to f32.
     hidden_dequant: Vec<f32>,
     hidden_scale: f32,
-    wc: PackedTernary,
+    wc: PackedTernary<'static>,
     /// Per-output `a_ch · s_h` (affine-folded output dequantization).
     out_scale: Vec<f32>,
     /// Per-output `a_ch · bias_ch + b_ch`.
@@ -141,10 +141,10 @@ impl QuantDense {
             None => (&[], &[]),
         };
         Ok(Self {
-            wb: layer.wb.clone(),
+            wb: layer.wb.to_static(),
             hidden_dequant: layer.a_hat.iter().map(|&ah| scales.in_scale * ah).collect(),
             hidden_scale: scales.hidden_scale,
-            wc: layer.wc.clone(),
+            wc: layer.wc.to_static(),
             out_scale: (0..out)
                 .map(|ch| a.get(ch).copied().unwrap_or(1.0) * scales.hidden_scale)
                 .collect(),
@@ -197,10 +197,10 @@ impl QuantDense {
 /// patch.
 #[derive(Debug, Clone, PartialEq)]
 struct QuantConv2d {
-    wb: PackedTernary,
+    wb: PackedTernary<'static>,
     hidden_dequant: Vec<f32>,
     hidden_scale: f32,
-    wc: PackedTernary,
+    wc: PackedTernary<'static>,
     out_scale: Vec<f32>,
     out_shift: Vec<f32>,
     in_scale: f32,
@@ -278,7 +278,7 @@ enum QuantFrontLayer {
     Conv(QuantConv2d),
     Dense(QuantDense),
     /// Depthwise stays f32: its taps are additions over a tiny kernel.
-    Depthwise(PackedDepthwise2d),
+    Depthwise(PackedDepthwise2d<'static>),
     Affine(ChannelAffine),
     Relu,
     GlobalAvgPool,
@@ -362,7 +362,7 @@ impl QuantBonsai {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedStHybrid {
-    base: PackedStHybrid,
+    base: PackedStHybrid<'static>,
     schedule: QuantSchedule,
     front: Vec<QuantFrontLayer>,
     tree: QuantBonsai,
@@ -526,7 +526,9 @@ impl QuantizedStHybrid {
                     let ls = *scales.next().ok_or("schedule has too few front layer scales")?;
                     front.push(QuantFrontLayer::Dense(QuantDense::fold(f, ls, folded_affine)?));
                 }
-                PackedLayer::Depthwise(dw) => front.push(QuantFrontLayer::Depthwise(dw.clone())),
+                PackedLayer::Depthwise(dw) => {
+                    front.push(QuantFrontLayer::Depthwise(dw.to_static()))
+                }
                 PackedLayer::Affine(a) => front.push(QuantFrontLayer::Affine(a.clone())),
                 PackedLayer::Relu => front.push(QuantFrontLayer::Relu),
                 PackedLayer::GlobalAvgPool => front.push(QuantFrontLayer::GlobalAvgPool),
@@ -562,7 +564,7 @@ impl QuantizedStHybrid {
             w: take(&tree.w)?,
             v: take(&tree.v)?,
         };
-        Ok(Self { base: engine.clone(), schedule, front, tree: qtree })
+        Ok(Self { base: engine.to_static(), schedule, front, tree: qtree })
     }
 
     /// Calibrates on `batch` and compiles in one step.
@@ -604,7 +606,7 @@ impl QuantizedStHybrid {
     }
 
     /// The underlying f32 packed engine.
-    pub fn base(&self) -> &PackedStHybrid {
+    pub fn base(&self) -> &PackedStHybrid<'static> {
         &self.base
     }
 
@@ -738,7 +740,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use thnt_strassen::Strassenified;
 
-    fn frozen_engine(seed: u64) -> PackedStHybrid {
+    fn frozen_engine(seed: u64) -> PackedStHybrid<'static> {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = StHybridNet::new(
             HybridConfig {

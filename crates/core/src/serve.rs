@@ -83,6 +83,35 @@ impl std::fmt::Display for SessionId {
     }
 }
 
+/// Opaque handle of one registered model on a [`StreamServer`]. The model
+/// passed at construction is [`StreamServer::default_model`]; more are
+/// added with [`StreamServer::register`], and sessions bind to one model
+/// for life via [`StreamServer::try_open_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(u32);
+
+impl ModelId {
+    /// Reconstructs a handle from its wire form. Model handles cross
+    /// process boundaries in multi-tenant deployments (a client names the
+    /// model it wants in its open request); an id that does not name a
+    /// registered model is answered with [`ServeError::UnknownModel`] by
+    /// every server entry point, so forging one is safe.
+    pub fn new(raw: u32) -> Self {
+        ModelId(raw)
+    }
+
+    /// The wire form of this handle (inverse of [`Self::new`]).
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model#{}", self.0)
+    }
+}
+
 /// Why a [`StreamServer`] call was refused. Every variant is a recoverable
 /// condition scoped to one call on one session; the server itself stays
 /// fully serviceable.
@@ -114,6 +143,9 @@ pub enum ServeError {
         /// The configured maximum number of concurrent sessions.
         limit: usize,
     },
+    /// [`StreamServer::try_open_model`] named a model that was never
+    /// registered on this server.
+    UnknownModel(ModelId),
 }
 
 impl std::fmt::Display for ServeError {
@@ -129,6 +161,7 @@ impl std::fmt::Display for ServeError {
             Self::SessionLimit { limit } => {
                 write!(f, "session limit reached ({limit} concurrent sessions)")
             }
+            Self::UnknownModel(id) => write!(f, "{id} is not registered on this server"),
         }
     }
 }
@@ -251,14 +284,68 @@ struct Session {
     /// Windows this session currently has in the server's pending queue —
     /// the quantity [`StreamServer::queue_bound`] bounds.
     queued: usize,
+    /// Index into the server's model registry; fixed at open.
+    model: usize,
 }
 
 /// A due window snapshotted out of a session's ring, awaiting the next
-/// [`StreamServer::tick`].
+/// [`StreamServer::tick`]. Carries its model index so per-model accounting
+/// survives the session closing before the tick.
 struct PendingWindow {
     session: u64,
+    model: usize,
     at_sample: usize,
     audio: Vec<f32>,
+}
+
+/// One registered model: the shared backend reference, its MFCC front-end
+/// and normalisation statistics, the derived batch geometry, and the
+/// model's own [`ServerStats`].
+struct ModelEntry<'m, B: InferenceBackend + ?Sized> {
+    backend: &'m B,
+    mfcc: Mfcc,
+    num_keywords: usize,
+    norm_mean: Vec<f32>,
+    norm_std: Vec<f32>,
+    window_len: usize,
+    frames: usize,
+    coeffs: usize,
+    stats: ServerStats,
+}
+
+impl<'m, B: InferenceBackend + ?Sized> ModelEntry<'m, B> {
+    /// Validates and builds an entry; the panics here are the construction
+    /// contract documented on [`StreamServer::new`] and
+    /// [`StreamServer::register`].
+    fn new(
+        backend: &'m B,
+        config: &StreamingConfig,
+        mfcc_cfg: MfccConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
+        assert_eq!(norm_mean.len(), mfcc_cfg.num_coeffs, "mean length mismatch");
+        assert_eq!(norm_std.len(), mfcc_cfg.num_coeffs, "std length mismatch");
+        let classes = backend.num_classes();
+        assert!(
+            classes > config.suppress_trailing,
+            "backend has {classes} classes but {} are suppressed — nothing can be detected",
+            config.suppress_trailing
+        );
+        let window_len = mfcc_cfg.sample_rate as usize;
+        let frames = mfcc_cfg.num_frames(window_len);
+        Self {
+            backend,
+            mfcc: Mfcc::new(mfcc_cfg),
+            num_keywords: classes - config.suppress_trailing,
+            norm_mean,
+            norm_std,
+            window_len,
+            frames,
+            coeffs: mfcc_cfg.num_coeffs,
+            stats: ServerStats::default(),
+        }
+    }
 }
 
 /// Serves many concurrent audio sessions over one shared
@@ -303,15 +390,9 @@ struct PendingWindow {
 /// # Ok(()) }
 /// ```
 pub struct StreamServer<'m, B: InferenceBackend + ?Sized> {
-    backend: &'m B,
-    mfcc: Mfcc,
+    /// The model registry; index 0 is the default model from construction.
+    models: Vec<ModelEntry<'m, B>>,
     config: StreamingConfig,
-    num_keywords: usize,
-    norm_mean: Vec<f32>,
-    norm_std: Vec<f32>,
-    window_len: usize,
-    frames: usize,
-    coeffs: usize,
     max_batch: usize,
     /// Per-session pending-window cap; `0` = unbounded.
     queue_bound: usize,
@@ -361,26 +442,10 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         norm_mean: Vec<f32>,
         norm_std: Vec<f32>,
     ) -> Self {
-        assert_eq!(norm_mean.len(), mfcc_cfg.num_coeffs, "mean length mismatch");
-        assert_eq!(norm_std.len(), mfcc_cfg.num_coeffs, "std length mismatch");
-        let classes = backend.num_classes();
-        assert!(
-            classes > config.suppress_trailing,
-            "backend has {classes} classes but {} are suppressed — nothing can be detected",
-            config.suppress_trailing
-        );
-        let window_len = mfcc_cfg.sample_rate as usize;
-        let frames = mfcc_cfg.num_frames(window_len);
+        let entry = ModelEntry::new(backend, &config, mfcc_cfg, norm_mean, norm_std);
         Self {
-            backend,
-            mfcc: Mfcc::new(mfcc_cfg),
+            models: vec![entry],
             config,
-            num_keywords: classes - config.suppress_trailing,
-            norm_mean,
-            norm_std,
-            window_len,
-            frames,
-            coeffs: mfcc_cfg.num_coeffs,
             max_batch: 64,
             queue_bound: 0,
             overflow: OverflowPolicy::default(),
@@ -401,6 +466,51 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     /// Same contract as [`Self::new`].
     pub fn from_meta(backend: &'m B, config: StreamingConfig, meta: &InferenceMeta) -> Self {
         Self::with_mfcc(backend, config, meta.mfcc, meta.norm_mean.clone(), meta.norm_std.clone())
+    }
+
+    /// Registers another model on this server and returns its handle.
+    /// Sessions opened with [`Self::try_open_model`] against the handle are
+    /// batched, inferred, and accounted separately from every other model,
+    /// while sharing the server's session limits, queue bounds, and tick
+    /// budget. The backend must have the same concrete type as the default
+    /// model's (use `&dyn InferenceBackend` servers to mix types).
+    ///
+    /// # Panics
+    ///
+    /// Same construction contract as [`Self::new`]: the statistics must
+    /// have one entry per MFCC coefficient and the backend's class count
+    /// must exceed [`StreamingConfig::suppress_trailing`].
+    pub fn register(
+        &mut self,
+        backend: &'m B,
+        mfcc_cfg: MfccConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> ModelId {
+        let entry = ModelEntry::new(backend, &self.config, mfcc_cfg, norm_mean, norm_std);
+        self.models.push(entry);
+        ModelId((self.models.len() - 1) as u32)
+    }
+
+    /// [`Self::register`] from the serving metadata embedded in a `.thnt2`
+    /// artifact.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::register`].
+    pub fn register_from_meta(&mut self, backend: &'m B, meta: &InferenceMeta) -> ModelId {
+        self.register(backend, meta.mfcc, meta.norm_mean.clone(), meta.norm_std.clone())
+    }
+
+    /// The model passed at construction — the one [`Self::try_open`] binds
+    /// sessions to.
+    pub fn default_model(&self) -> ModelId {
+        ModelId(0)
+    }
+
+    /// Number of registered models (at least one).
+    pub fn num_models(&self) -> usize {
+        self.models.len()
     }
 
     /// Caps the number of windows per backend call in [`Self::tick`];
@@ -478,6 +588,23 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     /// # Ok(()) }
     /// ```
     pub fn try_open(&mut self) -> Result<SessionId, ServeError> {
+        self.try_open_model(ModelId(0))
+    }
+
+    /// Opens a new session bound to a registered model: its windows are
+    /// extracted with that model's MFCC geometry, inferred by that model's
+    /// backend, and accounted in that model's [`Self::stats_for`].
+    /// [`Self::try_open`] is this on the [`Self::default_model`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownModel`] — `model` was never registered here.
+    /// * [`ServeError::SessionLimit`] — a [`Self::max_sessions`] cap is set
+    ///   and reached (the cap spans all models).
+    pub fn try_open_model(&mut self, model: ModelId) -> Result<SessionId, ServeError> {
+        let Some(entry) = self.models.get(model.0 as usize) else {
+            return Err(ServeError::UnknownModel(model));
+        };
         if self.max_sessions > 0 && self.sessions.len() >= self.max_sessions {
             return Err(ServeError::SessionLimit { limit: self.max_sessions });
         }
@@ -486,9 +613,10 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         self.sessions.insert(
             id,
             Session {
-                state: SessionState::new(self.window_len),
+                state: SessionState::new(entry.window_len),
                 recent: VecDeque::new(),
                 queued: 0,
+                model: model.0 as usize,
             },
         );
         Ok(SessionId(id))
@@ -510,16 +638,37 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         self.pending.len()
     }
 
-    /// Number of detectable keyword classes.
+    /// Number of detectable keyword classes on the default model.
     pub fn num_keywords(&self) -> usize {
-        self.num_keywords
+        self.models[0].num_keywords
+    }
+
+    /// Number of detectable keyword classes on a registered model, or
+    /// `None` for a handle this server never issued.
+    pub fn num_keywords_for(&self, model: ModelId) -> Option<usize> {
+        self.models.get(model.0 as usize).map(|m| m.num_keywords)
     }
 
     /// Lifetime counters: windows fed/served/dropped/rejected/shed/closed/
-    /// quarantined, refused feeds, and faulted backend calls. See
-    /// [`ServerStats`] for the exact reconciliation invariant.
+    /// quarantined, refused feeds, and faulted backend calls, aggregated
+    /// over every model. See [`ServerStats`] for the exact reconciliation
+    /// invariant.
     pub fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    /// One model's share of the lifetime counters, or `None` for a handle
+    /// this server never issued. Each model's stats reconcile on their own:
+    /// `windows_fed == windows_accounted() + pending_windows_for(model)`,
+    /// and summing every model's counters yields [`Self::stats`].
+    pub fn stats_for(&self, model: ModelId) -> Option<ServerStats> {
+        self.models.get(model.0 as usize).map(|m| m.stats)
+    }
+
+    /// Windows a registered model has queued for the next [`Self::tick`]
+    /// (0 for a handle this server never issued).
+    pub fn pending_windows_for(&self, model: ModelId) -> usize {
+        self.pending.iter().filter(|w| w.model == model.0 as usize).count()
     }
 
     /// Feeds audio into `id`'s stream. Every window that becomes due is
@@ -543,22 +692,27 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     pub fn try_feed(&mut self, id: SessionId, samples: &[f32]) -> Result<FeedReceipt, ServeError> {
         let bound = self.queue_bound;
         let policy = self.overflow;
-        let Self { config, sessions, pending, stats, .. } = self;
+        let Self { config, sessions, pending, stats, models, .. } = self;
         let Some(session) = sessions.get_mut(&id.0) else {
             return Err(ServeError::UnknownSession(id));
         };
+        let model = session.model;
+        let mstats = &mut models[model].stats;
         if let Some(offset) = samples.iter().position(|v| !v.is_finite()) {
             stats.rejected_feeds += 1;
+            mstats.rejected_feeds += 1;
             return Err(ServeError::NonFiniteAudio { session: id, offset });
         }
         if policy == OverflowPolicy::Reject && bound > 0 && session.queued >= bound {
             stats.rejected_feeds += 1;
+            mstats.rejected_feeds += 1;
             return Err(ServeError::Backpressure { session: id, queued: session.queued });
         }
         let mut receipt = FeedReceipt::default();
         let Session { state, queued, .. } = session;
         state.feed(samples, config.hop, |window, at_sample| {
             stats.windows_fed += 1;
+            mstats.windows_fed += 1;
             if bound > 0 && *queued >= bound {
                 match policy {
                     OverflowPolicy::DropOldest => {
@@ -568,11 +722,13 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
                             pending.remove(pos);
                             *queued = queued.saturating_sub(1);
                             stats.windows_dropped += 1;
+                            mstats.windows_dropped += 1;
                             receipt.dropped += 1;
                         }
                     }
                     OverflowPolicy::DropNewest => {
                         stats.windows_dropped += 1;
+                        mstats.windows_dropped += 1;
                         receipt.dropped += 1;
                         return;
                     }
@@ -581,12 +737,13 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
                         // passed); the audio is already in the ring, so the
                         // window is discarded rather than the whole call.
                         stats.windows_rejected += 1;
+                        mstats.windows_rejected += 1;
                         receipt.rejected += 1;
                         return;
                     }
                 }
             }
-            pending.push(PendingWindow { session: id.0, at_sample, audio: window.to_vec() });
+            pending.push(PendingWindow { session: id.0, model, at_sample, audio: window.to_vec() });
             *queued += 1;
             receipt.queued += 1;
         });
@@ -629,6 +786,11 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         // A session closed between feed and tick drops its windows —
         // before extraction, so closed streams cost nothing.
         let before = pending.len();
+        for window in &pending {
+            if !self.sessions.contains_key(&window.session) {
+                self.models[window.model].stats.windows_closed += 1;
+            }
+        }
         pending.retain(|w| self.sessions.contains_key(&w.session));
         report.closed = (before - pending.len()) as u64;
         self.stats.windows_closed += report.closed;
@@ -637,6 +799,9 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         // shedding happens before the MFCC work it saves.
         if self.tick_budget > 0 && pending.len() > self.tick_budget {
             let shed = pending.len() - self.tick_budget;
+            for window in &pending[..shed] {
+                self.models[window.model].stats.windows_shed += 1;
+            }
             pending.drain(..shed);
             report.shed = shed as u64;
             self.stats.windows_shed += report.shed;
@@ -645,43 +810,75 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
             return report;
         }
         let k = pending.len();
-        let per = self.frames * self.coeffs;
-        let mut batch = Tensor::zeros(&[k, 1, self.frames, self.coeffs]);
-        {
-            // One shared plan, one scratch per worker: each window is
-            // extracted serially (the parallelism is across windows) with
-            // features written straight into the batch tensor.
-            let (plan, mean, std) = (self.mfcc.plan(), &self.norm_mean, &self.norm_std);
-            parallel_zip_chunks(batch.data_mut(), per, |w0, chunk| {
-                let mut scratch = plan.scratch();
-                for (dw, row) in chunk.chunks_mut(per).enumerate() {
-                    plan.compute_into(&mut scratch, &pending[w0 + dw].audio, row);
-                    normalize_in_place(row, mean, std);
-                }
-            });
-        }
-        // Fault-isolated inference: a panicking / wrong-arity / NaN-emitting
-        // backend call quarantines only its own rows. With a healthy
-        // backend this chunks exactly like `infer_chunked` and, because
-        // every row is computed independently, yields byte-identical logits.
-        let isolated = self.backend.infer_isolated(&batch, self.max_batch);
-        report.faulted_calls = isolated.faulted_calls;
-        self.stats.faulted_calls += isolated.faulted_calls;
-        let probs = softmax(&isolated.logits);
+        // Group the surviving windows per model, preserving arrival order
+        // within each group. With one registered model (the constructor
+        // default) this is the identity grouping: one batch, same
+        // composition and order as the single-model server — which is why
+        // the serve-equivalence and fault-injection properties carry over
+        // unchanged.
+        let mut order: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
         for (w, window) in pending.iter().enumerate() {
-            if !isolated.ok.get(w).copied().unwrap_or(false) {
+            order[window.model].push(w);
+        }
+        // Per-window posterior rows, indexed like `pending`; voting below
+        // runs in original arrival order across all models.
+        let mut rows: Vec<Vec<f32>> = vec![Vec::new(); k];
+        let mut ok = vec![false; k];
+        for (m, idxs) in order.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let isolated = {
+                let model = &self.models[m];
+                let per = model.frames * model.coeffs;
+                let mut batch = Tensor::zeros(&[idxs.len(), 1, model.frames, model.coeffs]);
+                // One shared plan, one scratch per worker: each window is
+                // extracted serially (the parallelism is across windows)
+                // with features written straight into the batch tensor.
+                let (plan, mean, std) = (model.mfcc.plan(), &model.norm_mean, &model.norm_std);
+                parallel_zip_chunks(batch.data_mut(), per, |w0, chunk| {
+                    let mut scratch = plan.scratch();
+                    for (dw, row) in chunk.chunks_mut(per).enumerate() {
+                        plan.compute_into(&mut scratch, &pending[idxs[w0 + dw]].audio, row);
+                        normalize_in_place(row, mean, std);
+                    }
+                });
+                // Fault-isolated inference: a panicking / wrong-arity /
+                // NaN-emitting backend call quarantines only its own rows.
+                // With a healthy backend this chunks exactly like
+                // `infer_chunked` and, because every row is computed
+                // independently, yields byte-identical logits.
+                model.backend.infer_isolated(&batch, self.max_batch)
+            };
+            report.faulted_calls += isolated.faulted_calls;
+            self.stats.faulted_calls += isolated.faulted_calls;
+            self.models[m].stats.faulted_calls += isolated.faulted_calls;
+            let probs = softmax(&isolated.logits);
+            for (j, &w) in idxs.iter().enumerate() {
+                if isolated.ok.get(j).copied().unwrap_or(false) {
+                    ok[w] = true;
+                    rows[w] = probs.row(j).to_vec();
+                }
+            }
+        }
+        for (w, window) in pending.iter().enumerate() {
+            if !ok[w] {
                 // Unusable logits: the window casts no vote — its session's
                 // smoothing history and its batch siblings are untouched.
                 report.quarantined += 1;
                 self.stats.windows_quarantined += 1;
+                self.models[window.model].stats.windows_quarantined += 1;
                 continue;
             }
             let Some(session) = self.sessions.get_mut(&window.session) else { continue };
             report.served += 1;
             self.stats.windows_served += 1;
-            let vote = push_vote(&mut session.recent, probs.row(w), self.config.smoothing);
+            self.models[window.model].stats.windows_served += 1;
+            let vote = push_vote(&mut session.recent, &rows[w], self.config.smoothing);
             if let Some((best, confidence)) = vote {
-                if best < self.num_keywords && confidence >= self.config.threshold {
+                if best < self.models[window.model].num_keywords
+                    && confidence >= self.config.threshold
+                {
                     report.detections.push(ServedDetection {
                         session: SessionId(window.session),
                         detection: Detection {
@@ -700,7 +897,8 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
 impl<B: InferenceBackend + ?Sized> std::fmt::Debug for StreamServer<'_, B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamServer")
-            .field("backend", &self.backend.backend_name())
+            .field("backend", &self.models[0].backend.backend_name())
+            .field("models", &self.models.len())
             .field("config", &self.config)
             .field("sessions", &self.sessions.len())
             .field("pending_windows", &self.pending.len())
@@ -1003,5 +1201,139 @@ mod tests {
         let msg = format!("{err}");
         assert!(msg.contains("session#0"), "{msg}");
         assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend);
+        assert_eq!(server.num_models(), 1);
+        let err = server.try_open_model(ModelId(7)).unwrap_err();
+        assert_eq!(err, ServeError::UnknownModel(ModelId(7)));
+        assert!(format!("{err}").contains("model#7"), "{err}");
+        assert_eq!(server.num_keywords_for(ModelId(7)), None);
+        assert_eq!(server.stats_for(ModelId(7)), None);
+    }
+
+    /// Two models hosted on one server must serve exactly what two
+    /// independent single-model servers would — same detections, same
+    /// order per session — even with sessions interleaved at feed time.
+    #[test]
+    fn registry_of_two_matches_two_single_model_servers() {
+        let backend_a = Probe { classes: 6 };
+        let backend_b = Probe { classes: 4 };
+        let mut server = small_server(&backend_a);
+        let mb = server.register(&backend_b, small_mfcc(), vec![0.1; 10], vec![2.0; 10]);
+        assert_eq!(server.num_models(), 2);
+        assert_ne!(mb, server.default_model());
+        let a = server.try_open().unwrap();
+        let b = server.try_open_model(mb).unwrap();
+        let stream_a = tone(130.0, 6_000);
+        let stream_b = tone(400.0, 6_000);
+        let mut served: HashMap<SessionId, Vec<Detection>> = HashMap::new();
+        for (ca, cb) in stream_a.chunks(333).zip(stream_b.chunks(333)) {
+            server.try_feed(a, ca).unwrap();
+            server.try_feed(b, cb).unwrap();
+            for d in server.tick() {
+                served.entry(d.session).or_default().push(d.detection);
+            }
+        }
+        let mut solo_a = small_server(&backend_a);
+        let sa = solo_a.try_open().unwrap();
+        let mut solo_b = StreamServer::with_mfcc(
+            &backend_b,
+            small_config(),
+            small_mfcc(),
+            vec![0.1; 10],
+            vec![2.0; 10],
+        );
+        let sb = solo_b.try_open().unwrap();
+        for (id, solo, sess, stream) in
+            [(a, &mut solo_a, sa, &stream_a), (b, &mut solo_b, sb, &stream_b)]
+        {
+            let mut want = Vec::new();
+            for chunk in stream.chunks(333) {
+                solo.try_feed(sess, chunk).unwrap();
+                want.extend(solo.tick().into_iter().map(|d| d.detection));
+            }
+            assert_eq!(served.remove(&id).unwrap_or_default(), want, "{id}");
+        }
+        assert_reconciled(&server);
+    }
+
+    /// The aggregate counters are exactly the sum of the per-model ones,
+    /// and each model's ledger reconciles against its own pending depth.
+    #[test]
+    fn per_model_stats_sum_to_the_aggregate() {
+        let backend_a = Probe { classes: 6 };
+        let backend_b = Probe { classes: 4 };
+        let mut server = small_server(&backend_a).queue_bound(2).tick_budget(3);
+        let mb = server.register(&backend_b, small_mfcc(), vec![0.0; 10], vec![1.0; 10]);
+        let a = server.try_open().unwrap();
+        let b = server.try_open_model(mb).unwrap();
+        // Overfeed both sessions so drops, sheds, and serves all occur.
+        for _ in 0..3 {
+            let _ = server.try_feed(a, &tone(180.0, 3_000));
+            let _ = server.try_feed(b, &tone(300.0, 3_000));
+            server.tick();
+        }
+        // Close b with windows still queued so closed-window accounting
+        // lands on the right model.
+        let _ = server.try_feed(b, &tone(300.0, 2_500));
+        server.close(b);
+        server.tick();
+        let agg = server.stats();
+        let pa = server.stats_for(server.default_model()).unwrap();
+        let pb = server.stats_for(mb).unwrap();
+        for (what, total, ma, mbv) in [
+            ("fed", agg.windows_fed, pa.windows_fed, pb.windows_fed),
+            ("served", agg.windows_served, pa.windows_served, pb.windows_served),
+            ("dropped", agg.windows_dropped, pa.windows_dropped, pb.windows_dropped),
+            ("rejected", agg.windows_rejected, pa.windows_rejected, pb.windows_rejected),
+            ("shed", agg.windows_shed, pa.windows_shed, pb.windows_shed),
+            ("closed", agg.windows_closed, pa.windows_closed, pb.windows_closed),
+            (
+                "quarantined",
+                agg.windows_quarantined,
+                pa.windows_quarantined,
+                pb.windows_quarantined,
+            ),
+            ("rejected_feeds", agg.rejected_feeds, pa.rejected_feeds, pb.rejected_feeds),
+            ("faulted", agg.faulted_calls, pa.faulted_calls, pb.faulted_calls),
+        ] {
+            assert_eq!(total, ma + mbv, "{what}: aggregate vs per-model sum");
+        }
+        assert!(pb.windows_closed > 0, "closing b must account its queued windows to b");
+        for model in [server.default_model(), mb] {
+            let s = server.stats_for(model).unwrap();
+            assert_eq!(
+                s.windows_fed,
+                s.windows_accounted() + server.pending_windows_for(model) as u64,
+                "{model} ledger must reconcile: {s:?}"
+            );
+        }
+        assert_reconciled(&server);
+    }
+
+    /// Models with different MFCC geometries (and hence different feature
+    /// widths) batch independently in one tick without interfering.
+    #[test]
+    fn models_with_different_geometries_batch_independently() {
+        let backend_a = Probe { classes: 6 };
+        let backend_b = Probe { classes: 6 };
+        let mut server = small_server(&backend_a);
+        let wide = MfccConfig { num_coeffs: 16, ..small_mfcc() };
+        let mb = server.register(&backend_b, wide, vec![0.0; 16], vec![1.0; 16]);
+        let a = server.try_open().unwrap();
+        let b = server.try_open_model(mb).unwrap();
+        server.try_feed(a, &tone(180.0, 2_000)).unwrap();
+        server.try_feed(b, &tone(300.0, 2_000)).unwrap();
+        assert_eq!(server.pending_windows_for(server.default_model()), 1);
+        assert_eq!(server.pending_windows_for(mb), 1);
+        let report = server.tick_report();
+        assert_eq!(report.served, 2);
+        assert_eq!(server.stats_for(server.default_model()).unwrap().windows_served, 1);
+        assert_eq!(server.stats_for(mb).unwrap().windows_served, 1);
+        assert_reconciled(&server);
     }
 }

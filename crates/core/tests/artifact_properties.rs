@@ -5,13 +5,20 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use thnt_core::{HybridConfig, InferenceMeta, PackedStHybrid, QuantizedStHybrid, StHybridNet};
+use thnt_core::{
+    AlignedBytes, HybridConfig, InferenceMeta, PackedStHybrid, QuantizedStHybrid, SaveOptions,
+    StHybridNet,
+};
 use thnt_dsp::MfccConfig;
 use thnt_nn::Model;
 use thnt_quant::CalibrationMethod;
 use thnt_strassen::Strassenified;
 
-fn frozen_engine(seed: u64, width: usize, tree_depth: usize) -> (StHybridNet, PackedStHybrid) {
+fn frozen_engine(
+    seed: u64,
+    width: usize,
+    tree_depth: usize,
+) -> (StHybridNet, PackedStHybrid<'static>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut net = StHybridNet::new(
         HybridConfig { ds_blocks: 1, width, proj_dim: 6, tree_depth, ..HybridConfig::paper() },
@@ -254,4 +261,132 @@ fn trailing_garbage_is_rejected() {
     engine.save(None, &mut blob).unwrap();
     blob.push(0);
     assert!(PackedStHybrid::load(blob.as_slice()).is_err());
+}
+
+/// Every explicit write format, saved with metadata (the richest layout).
+fn all_format_blobs(seed: u64) -> Vec<(SaveOptions, Vec<u8>)> {
+    let (_, engine) = frozen_engine(seed, 6, 1);
+    let meta = InferenceMeta {
+        mfcc: MfccConfig::paper(),
+        norm_mean: vec![0.1; 10],
+        norm_std: vec![2.0; 10],
+    };
+    [SaveOptions::v2(), SaveOptions::v3(), SaveOptions::v3_rle()]
+        .into_iter()
+        .map(|opts| {
+            let mut blob = Vec::new();
+            thnt_core::save_thnt2_with(&engine, Some(&meta), opts, &mut blob).unwrap();
+            (opts, blob)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The zero-copy loader is *observationally identical* to the owning
+    /// loader on every write format: same engine (plane for plane), same
+    /// metadata, and bitwise-identical logits — while an aligned v3 inline
+    /// artifact provably lends out its bitplanes instead of copying them.
+    #[test]
+    fn borrowed_load_is_bitwise_identical_to_owned(
+        seed in 0u64..1_000,
+        width in 4usize..10,
+        tree_depth in 1usize..3,
+    ) {
+        let (_, engine) = frozen_engine(seed, width, tree_depth);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0);
+        let x = thnt_tensor::gaussian(&[2, 1, 49, 10], 0.0, 1.0, &mut rng);
+        for opts in [SaveOptions::v2(), SaveOptions::v3(), SaveOptions::v3_rle()] {
+            let mut blob = Vec::new();
+            thnt_core::save_thnt2_with(&engine, None, opts, &mut blob).unwrap();
+            let aligned = AlignedBytes::from_slice(&blob);
+            let (owned, _) = PackedStHybrid::load(blob.as_slice()).unwrap();
+            let (borrowed, _) = PackedStHybrid::load_ref(&aligned).unwrap();
+            prop_assert_eq!(&borrowed, &owned, "loaders disagree for {:?}", opts);
+            prop_assert_eq!(
+                borrowed.bitplanes_borrowed(),
+                opts == SaveOptions::v3(),
+                "only aligned v3 inline artifacts can lend bitplanes ({:?})", opts
+            );
+            let a: Vec<u32> = owned.forward(&x).data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = borrowed.forward(&x).data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b, "logits must be bitwise identical ({:?})", opts);
+        }
+    }
+
+    /// RLE compression is lossless across random engines, and on these
+    /// ~⅓-zero ternary nets the run-length-coded artifact is always the
+    /// smaller file.
+    #[test]
+    fn rle_artifacts_roundtrip_and_compress(
+        seed in 0u64..1_000,
+        width in 4usize..10,
+        tree_depth in 1usize..3,
+    ) {
+        let (_, engine) = frozen_engine(seed, width, tree_depth);
+        let mut inline = Vec::new();
+        thnt_core::save_thnt2_with(&engine, None, SaveOptions::v3(), &mut inline).unwrap();
+        let mut rle = Vec::new();
+        thnt_core::save_thnt2_with(&engine, None, SaveOptions::v3_rle(), &mut rle).unwrap();
+        let (reloaded, _) = PackedStHybrid::load(rle.as_slice()).unwrap();
+        prop_assert_eq!(&reloaded, &engine, "RLE round-trip must be lossless");
+        prop_assert!(
+            rle.len() < inline.len(),
+            "RLE artifact ({}) must be smaller than inline ({})", rle.len(), inline.len()
+        );
+    }
+}
+
+/// The exhaustive truncation sweep of `every_truncation_prefix_errors_
+/// without_panicking`, repeated for each write format and for **both**
+/// loaders — the borrowing path validates the same invariants as the
+/// owning one, prefix by prefix.
+#[test]
+fn every_truncation_prefix_errors_in_every_format_and_loader() {
+    for (opts, blob) in all_format_blobs(5) {
+        for cut in 0..blob.len() {
+            let prefix = &blob[..cut];
+            let aligned = AlignedBytes::from_slice(prefix);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (PackedStHybrid::load(prefix), PackedStHybrid::load_ref(&aligned).map(|_| ()))
+            }));
+            match outcome {
+                Ok((owned, borrowed)) => {
+                    assert!(owned.is_err(), "{opts:?}: owning load of prefix {cut} succeeded");
+                    assert!(borrowed.is_err(), "{opts:?}: borrowed load of prefix {cut} succeeded");
+                }
+                Err(_) => panic!("{opts:?}: prefix {cut}/{} PANICKED a loader", blob.len()),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Byte-flip fuzzing across all three write formats and both loaders:
+    /// corruption anywhere (section table padding, RLE streams, mode
+    /// bytes…) must never panic — including the `unsafe` aligned-borrow
+    /// path in the zero-copy loader.
+    #[test]
+    fn byte_flips_never_panic_any_format_or_loader(
+        seed in 0u64..100_000,
+        flips in 1usize..9,
+        format in 0usize..3,
+    ) {
+        let (opts, mut blob) = all_format_blobs(6).swap_remove(format);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..flips {
+            let byte = rand::Rng::gen_range(&mut rng, 0..blob.len());
+            let bit = rand::Rng::gen_range(&mut rng, 0..8u32);
+            blob[byte] ^= 1 << bit;
+        }
+        let aligned = AlignedBytes::from_slice(&blob);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = PackedStHybrid::load(blob.as_slice());
+            let _ = PackedStHybrid::load_ref(&aligned);
+        }));
+        prop_assert!(outcome.is_ok(), "byte flips panicked a loader ({:?}, seed {})", opts, seed);
+    }
 }

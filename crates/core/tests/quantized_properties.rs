@@ -11,7 +11,7 @@ use thnt_quant::CalibrationMethod;
 use thnt_strassen::Strassenified;
 use thnt_tensor::Tensor;
 
-fn frozen_engine(seed: u64, width: usize, tree_depth: usize) -> PackedStHybrid {
+fn frozen_engine(seed: u64, width: usize, tree_depth: usize) -> PackedStHybrid<'static> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut net = StHybridNet::new(
         HybridConfig { ds_blocks: 1, width, proj_dim: 6, tree_depth, ..HybridConfig::paper() },

@@ -32,15 +32,39 @@ const VERSION: u32 = 1;
 /// Magic bytes of the sectioned (`.thnt2`) container.
 pub const SECTION_MAGIC: &[u8; 4] = b"THN2";
 /// Current version of the sectioned container layout. Version 2 added the
-/// optional quantization-schedule (`QNT8`) section; readers accept every
-/// version back to 1 because section payload layouts never changed —
-/// unknown tags are simply skipped.
-pub const SECTION_VERSION: u32 = 2;
+/// optional quantization-schedule (`QNT8`) section. Version 3 made the
+/// container mmap-friendly: the section table is followed by zero padding
+/// to the next 8-byte boundary, and every payload is zero-padded at its end
+/// to a multiple of 8 bytes (the table records the *exact* payload length;
+/// the padding is implied by the version). Readers accept every version
+/// back to 1 — unknown tags are simply skipped.
+pub const SECTION_VERSION: u32 = 3;
 
 /// Oldest container version this reader still accepts.
 pub const SECTION_MIN_VERSION: u32 = 1;
 
+/// First container version with 8-byte-aligned section payloads.
+pub const SECTION_ALIGNED_VERSION: u32 = 3;
+
+/// Payload alignment (bytes) of [`SECTION_ALIGNED_VERSION`]+ containers:
+/// every section payload starts on a multiple of this offset within the
+/// file, so `u64` bitplane words can be borrowed in place from an aligned
+/// buffer.
+pub const SECTION_ALIGN: usize = 8;
+
+/// Rounds `n` up to the next multiple of [`SECTION_ALIGN`].
+fn align8(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Zero source for alignment padding; pads are always shorter than
+/// [`SECTION_ALIGN`].
+const ZERO_PAD: [u8; SECTION_ALIGN] = [0; SECTION_ALIGN];
+
 /// Shorthand for the `InvalidData` errors every loader in this module uses.
+/// `#[cold]` keeps the error construction out of the decoders' hot paths:
+/// the zero-copy loader's cost budget is nanoseconds per section.
+#[cold]
 pub fn invalid_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
@@ -179,15 +203,44 @@ pub fn load_model_file(model: &mut dyn Model, path: impl AsRef<std::path::Path>)
 /// new section kinds can be added in later versions without breaking older
 /// payload layouts (a reader skips tags it does not know and fails loudly
 /// on missing required ones).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SectionWriter {
+    version: u32,
     sections: Vec<([u8; 4], BytesMut)>,
 }
 
+impl Default for SectionWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SectionWriter {
-    /// An empty container.
+    /// An empty container at the current [`SECTION_VERSION`] (aligned
+    /// payloads).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_version(SECTION_VERSION)
+    }
+
+    /// An empty container at an explicit layout version — how the artifact
+    /// layer writes backward-compatible v2 containers for older readers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is outside
+    /// `SECTION_MIN_VERSION..=SECTION_VERSION` (writing a container no
+    /// reader accepts is a construction bug, not a runtime condition).
+    pub fn with_version(version: u32) -> Self {
+        assert!(
+            (SECTION_MIN_VERSION..=SECTION_VERSION).contains(&version),
+            "unsupported container version {version}"
+        );
+        Self { version, sections: Vec::new() }
+    }
+
+    /// The container layout version this writer emits.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Starts a new section and returns its payload buffer.
@@ -206,31 +259,205 @@ impl SectionWriter {
         &mut self.sections.last_mut().expect("just pushed").1
     }
 
-    /// Writes the header, section table and payloads to `writer`.
+    /// Pads the current (most recently started) section's payload with zero
+    /// bytes until its length is a multiple of `alignment`, and returns the
+    /// number of pad bytes written.
+    ///
+    /// Because an aligned (v3+) container places every payload start on an
+    /// 8-byte file offset, aligning *within* the payload to a divisor of 8
+    /// guarantees the same file-offset alignment for whatever is written
+    /// next — the artifact encoder calls `align_to(8)` right before each
+    /// `u64` bitplane array so a zero-copy reader can borrow the words in
+    /// place. Pad bytes are always zero; readers verify that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section has been started, or if `alignment` is not a
+    /// power of two dividing [`SECTION_ALIGN`] (anything else cannot be
+    /// guaranteed by the container's payload placement).
+    pub fn align_to(&mut self, alignment: usize) -> usize {
+        assert!(
+            alignment.is_power_of_two() && alignment <= SECTION_ALIGN,
+            "alignment {alignment} must be a power of two dividing {SECTION_ALIGN}"
+        );
+        let buf = &mut self.sections.last_mut().expect("align_to before any section").1;
+        let pad = alignment - 1 - (buf.len() + alignment - 1) % alignment;
+        buf.put_slice(&ZERO_PAD[..pad]);
+        pad
+    }
+
+    /// Writes the header, section table and payloads to `writer`. Version 3
+    /// containers additionally zero-pad the table and every payload to the
+    /// next 8-byte boundary (see [`SECTION_VERSION`]).
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the writer.
     pub fn write_to<W: Write>(self, mut writer: W) -> io::Result<()> {
+        let aligned = self.version >= SECTION_ALIGNED_VERSION;
         let mut buf = BytesMut::new();
         buf.put_slice(SECTION_MAGIC);
-        buf.put_u32_le(SECTION_VERSION);
+        buf.put_u32_le(self.version);
         buf.put_u32_le(self.sections.len() as u32);
         for (tag, payload) in &self.sections {
             buf.put_slice(tag);
             buf.put_u64_le(payload.len() as u64);
         }
+        if aligned {
+            buf.put_slice(&ZERO_PAD[..align8(buf.len()) - buf.len()]);
+        }
         for (_, payload) in &self.sections {
             buf.put_slice(payload);
+            if aligned {
+                buf.put_slice(&ZERO_PAD[..align8(payload.len()) - payload.len()]);
+            }
         }
         writer.write_all(&buf)
     }
 }
 
+/// One section located by [`SectionReaderRef`]: the payload slice plus its
+/// absolute byte offset within the parsed buffer, so a zero-copy consumer
+/// can reason about the memory alignment of anything inside the payload.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionSlice<'a> {
+    /// Byte offset of the payload start within the buffer passed to
+    /// [`SectionReaderRef::parse`]. In an aligned (v3+) container this is a
+    /// multiple of [`SECTION_ALIGN`].
+    pub offset: usize,
+    /// The exact payload bytes (pad bytes excluded).
+    pub bytes: &'a [u8],
+}
+
+/// Borrowing counterpart of [`SectionReader`]: parses a container *in
+/// place* and hands out payload `&[u8]` slices that alias the input buffer.
+/// This is the parser under the zero-copy `.thnt2` loader — its cost is
+/// O(header), independent of payload sizes.
+#[derive(Debug)]
+pub struct SectionReaderRef<'a> {
+    version: u32,
+    sections: Vec<([u8; 4], SectionSlice<'a>)>,
+}
+
+impl<'a> SectionReaderRef<'a> {
+    /// Parses and validates the whole container without copying a payload
+    /// byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on bad magic, unsupported version, duplicate
+    /// tags, payload bytes not exactly matching the section table
+    /// (truncated or trailing data), or — for aligned (v3+) containers —
+    /// non-zero padding bytes.
+    pub fn parse(buf: &'a [u8]) -> io::Result<Self> {
+        if buf.len() < 12 || &buf[..4] != SECTION_MAGIC {
+            return Err(invalid_data("bad container magic (want THN2)"));
+        }
+        let word = |at: usize| -> u32 {
+            u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+        };
+        let version = word(4);
+        if !(SECTION_MIN_VERSION..=SECTION_VERSION).contains(&version) {
+            return Err(invalid_data(format!("unsupported container version {version}")));
+        }
+        let aligned = version >= SECTION_ALIGNED_VERSION;
+        let count = word(8) as usize;
+        let table_end = 12usize
+            .checked_add(
+                count
+                    .checked_mul(12)
+                    .ok_or_else(|| invalid_data("section table length overflow"))?,
+            )
+            .ok_or_else(|| invalid_data("section table length overflow"))?;
+        if buf.len() < table_end {
+            return Err(invalid_data("truncated section table"));
+        }
+        let mut table = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 12 + i * 12;
+            let tag: [u8; 4] = [buf[at], buf[at + 1], buf[at + 2], buf[at + 3]];
+            let mut len_bytes = [0u8; 8];
+            len_bytes.copy_from_slice(&buf[at + 4..at + 12]);
+            let len = u64::from_le_bytes(len_bytes);
+            if table.iter().any(|(t, _)| *t == tag) {
+                return Err(invalid_data(format!(
+                    "duplicate section {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            table.push((tag, len));
+        }
+        let overflow = || invalid_data("section table length overflow");
+        let mut total: u64 = 0;
+        for (_, len) in &table {
+            // Checked u64 arithmetic: a corrupt length near u64::MAX must
+            // become an error, not an overflow panic.
+            let stored = if aligned {
+                len.checked_add(SECTION_ALIGN as u64 - 1).ok_or_else(overflow)?
+                    & !(SECTION_ALIGN as u64 - 1)
+            } else {
+                *len
+            };
+            total = total.checked_add(stored).ok_or_else(overflow)?;
+        }
+        let data_start = if aligned { align8(table_end) } else { table_end };
+        let pad_is_zero = |range: std::ops::Range<usize>| -> io::Result<()> {
+            match buf.get(range.clone()) {
+                Some(pad) if pad.iter().all(|&b| b == 0) => Ok(()),
+                Some(_) => {
+                    Err(invalid_data(format!("non-zero padding bytes at offset {}", range.start)))
+                }
+                None => Err(invalid_data("truncated container padding")),
+            }
+        };
+        pad_is_zero(table_end..data_start)?;
+        if total != (buf.len() - data_start) as u64 {
+            return Err(invalid_data(format!(
+                "section table claims {total} payload bytes, container has {}",
+                buf.len() - data_start
+            )));
+        }
+        let mut sections = Vec::with_capacity(count);
+        let mut cur = data_start;
+        for (tag, len) in table {
+            let len = len as usize;
+            // `total` already proved every payload fits the buffer exactly.
+            let bytes = &buf[cur..cur + len];
+            sections.push((tag, SectionSlice { offset: cur, bytes }));
+            if aligned {
+                pad_is_zero(cur + len..cur + align8(len))?;
+                cur += align8(len);
+            } else {
+                cur += len;
+            }
+        }
+        Ok(Self { version, sections })
+    }
+
+    /// The container's layout version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Removes and returns the section tagged `tag`, or `None` if absent.
+    pub fn take(&mut self, tag: [u8; 4]) -> Option<SectionSlice<'a>> {
+        let i = self.sections.iter().position(|(t, _)| *t == tag)?;
+        Some(self.sections.remove(i).1)
+    }
+
+    /// Tags still present (unconsumed), in file order.
+    pub fn remaining_tags(&self) -> Vec<[u8; 4]> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
+}
+
 /// Parses a container written by [`SectionWriter`] and hands out payloads
-/// by tag.
+/// by tag. The owning counterpart of [`SectionReaderRef`]: every payload is
+/// copied into its own buffer, so this reader has no lifetime tie to the
+/// input.
 #[derive(Debug)]
 pub struct SectionReader {
+    version: u32,
     sections: Vec<([u8; 4], Bytes)>,
 }
 
@@ -246,48 +473,19 @@ impl SectionReader {
     pub fn read_from<R: Read>(mut reader: R) -> io::Result<Self> {
         let mut raw = Vec::new();
         reader.read_to_end(&mut raw)?;
-        let mut buf = Bytes::from(raw);
-        if buf.remaining() < 12 || &buf.copy_to_bytes(4)[..] != SECTION_MAGIC {
-            return Err(invalid_data("bad container magic (want THN2)"));
-        }
-        let version = buf.get_u32_le();
-        if !(SECTION_MIN_VERSION..=SECTION_VERSION).contains(&version) {
-            return Err(invalid_data(format!("unsupported container version {version}")));
-        }
-        let count = buf.get_u32_le() as usize;
-        if buf.remaining() < count.saturating_mul(12) {
-            return Err(invalid_data("truncated section table"));
-        }
-        let mut table = Vec::with_capacity(count);
-        for _ in 0..count {
-            let tag_bytes = buf.copy_to_bytes(4);
-            let tag: [u8; 4] = tag_bytes[..].try_into().expect("4-byte tag");
-            let len = buf.get_u64_le();
-            if table.iter().any(|(t, _)| *t == tag) {
-                return Err(invalid_data(format!(
-                    "duplicate section {:?}",
-                    String::from_utf8_lossy(&tag)
-                )));
-            }
-            table.push((tag, len));
-        }
-        let mut total: u64 = 0;
-        for (_, len) in &table {
-            total = total
-                .checked_add(*len)
-                .ok_or_else(|| invalid_data("section table length overflow"))?;
-        }
-        if total != buf.remaining() as u64 {
-            return Err(invalid_data(format!(
-                "section table claims {total} payload bytes, container has {}",
-                buf.remaining()
-            )));
-        }
-        let mut sections = Vec::with_capacity(count);
-        for (tag, len) in table {
-            sections.push((tag, buf.copy_to_bytes(len as usize)));
-        }
-        Ok(Self { sections })
+        let parsed = SectionReaderRef::parse(&raw)?;
+        let version = parsed.version();
+        let sections = parsed
+            .sections
+            .into_iter()
+            .map(|(tag, s)| (tag, Bytes::from(s.bytes.to_vec())))
+            .collect();
+        Ok(Self { version, sections })
+    }
+
+    /// The container's layout version.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Removes and returns the payload of `tag`, or `None` if absent.
@@ -454,5 +652,116 @@ mod tests {
         SectionWriter::new().write_to(&mut blob).unwrap();
         let r = SectionReader::read_from(blob.as_slice()).unwrap();
         assert!(r.remaining_tags().is_empty());
+        assert_eq!(r.version(), SECTION_VERSION);
+    }
+
+    #[test]
+    fn v2_containers_still_roundtrip() {
+        let mut w = SectionWriter::with_version(2);
+        w.section(*b"AAAA").put_slice(&[9; 5]);
+        w.section(*b"BBBB").put_slice(&[7; 3]);
+        let mut blob = Vec::new();
+        w.write_to(&mut blob).unwrap();
+        // v2 layout: no padding anywhere — exact header + table + payloads.
+        assert_eq!(blob.len(), 12 + 2 * 12 + 5 + 3);
+        let mut r = SectionReader::read_from(blob.as_slice()).unwrap();
+        assert_eq!(r.version(), 2);
+        assert_eq!(&r.take(*b"AAAA").unwrap()[..], &[9; 5]);
+        assert_eq!(&r.take(*b"BBBB").unwrap()[..], &[7; 3]);
+    }
+
+    #[test]
+    fn v3_payloads_start_on_aligned_offsets() {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA").put_slice(&[1, 2, 3]); // 3 bytes -> 5 pad bytes
+        w.section(*b"BBBB").put_slice(&[4; 9]); // 9 bytes -> 7 pad bytes
+        let mut blob = Vec::new();
+        w.write_to(&mut blob).unwrap();
+        // Header 12 + table 24 = 36, padded to 40; payloads 8 + 16.
+        assert_eq!(blob.len(), 40 + 8 + 16);
+        let mut r = SectionReaderRef::parse(&blob).unwrap();
+        let a = r.take(*b"AAAA").unwrap();
+        let b = r.take(*b"BBBB").unwrap();
+        assert_eq!(a.offset % SECTION_ALIGN, 0);
+        assert_eq!(b.offset % SECTION_ALIGN, 0);
+        assert_eq!(a.bytes, &[1, 2, 3]);
+        assert_eq!(b.bytes, &[4; 9]);
+        // Every inter-payload pad byte the writer emitted is zero.
+        assert!(blob[36..40].iter().all(|&x| x == 0));
+        assert!(blob[40 + 3..48].iter().all(|&x| x == 0));
+        assert!(blob[48 + 9..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn align_to_pads_with_zeros_and_reader_skips_them() {
+        let mut w = SectionWriter::new();
+        let buf = w.section(*b"AAAA");
+        buf.put_slice(&[0xAB; 3]);
+        assert_eq!(w.align_to(8), 5);
+        assert_eq!(w.align_to(8), 0, "already aligned: no-op");
+        w.section(*b"AAAB").put_u8(1);
+        assert_eq!(w.align_to(4), 3);
+        let mut blob = Vec::new();
+        w.write_to(&mut blob).unwrap();
+        let mut r = SectionReaderRef::parse(&blob).unwrap();
+        let a = r.take(*b"AAAA").unwrap();
+        assert_eq!(a.bytes, &[0xAB, 0xAB, 0xAB, 0, 0, 0, 0, 0]);
+        assert_eq!(r.take(*b"AAAB").unwrap().bytes, &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two dividing")]
+    fn align_to_rejects_unrepresentable_alignment() {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA");
+        w.align_to(16);
+    }
+
+    #[test]
+    fn misaligned_v3_container_is_a_typed_error_not_a_panic() {
+        // Hand-build a v3 container that omits the alignment padding — the
+        // layout a v2 writer would produce under a v3 version stamp. The
+        // reader must reject it with InvalidData (the total-bytes check
+        // fails because v3 requires padded payload storage).
+        let mut blob: Vec<u8> = Vec::new();
+        blob.put_slice(SECTION_MAGIC);
+        blob.put_u32_le(3);
+        blob.put_u32_le(1);
+        blob.put_slice(b"AAAA");
+        blob.put_u64_le(3);
+        blob.put_slice(&[1, 2, 3]); // unpadded table AND payload
+        let err = SectionReaderRef::parse(&blob).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn nonzero_v3_padding_is_rejected() {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA").put_slice(&[1, 2, 3]);
+        w.section(*b"BBBB").put_slice(&[4, 5]);
+        let mut blob = Vec::new();
+        w.write_to(&mut blob).unwrap();
+        // Header 12 + table 24 = 36 -> 4 table pad bytes at 36..40.
+        // Corrupt a table pad byte and a payload pad byte in turn.
+        for at in [37, blob.len() - 1] {
+            let mut bad = blob.clone();
+            assert_eq!(bad[at], 0, "offset {at} should be padding");
+            bad[at] = 0xFF;
+            let err = SectionReaderRef::parse(&bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "offset {at}");
+            assert!(err.to_string().contains("padding"), "{err}");
+        }
+    }
+
+    #[test]
+    fn ref_reader_payloads_alias_the_input_buffer() {
+        let mut w = SectionWriter::new();
+        w.section(*b"AAAA").put_slice(&[5; 24]);
+        let mut blob = Vec::new();
+        w.write_to(&mut blob).unwrap();
+        let mut r = SectionReaderRef::parse(&blob).unwrap();
+        let s = r.take(*b"AAAA").unwrap();
+        let blob_range = blob.as_ptr() as usize..blob.as_ptr() as usize + blob.len();
+        assert!(blob_range.contains(&(s.bytes.as_ptr() as usize)), "payload must alias input");
     }
 }

@@ -224,7 +224,7 @@ impl BitSliced {
     }
 }
 
-impl PackedTernary {
+impl PackedTernary<'_> {
     /// Bit-sliced integer matvec `y = W·q` through an explicit kernel
     /// handle: pure AND+popcount over the weight bitplanes and `x`'s
     /// activation planes, exact i32 accumulation, bitwise identical across
@@ -274,7 +274,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use thnt_tensor::Tensor;
 
-    fn random_ternary(rows: usize, cols: usize, rng: &mut SmallRng) -> (PackedTernary, Vec<i8>) {
+    fn random_ternary(
+        rows: usize,
+        cols: usize,
+        rng: &mut SmallRng,
+    ) -> (PackedTernary<'static>, Vec<i8>) {
         let signs: Vec<i8> = (0..rows * cols).map(|_| rng.gen_range(-1..=1)).collect();
         let t = Tensor::from_vec(signs.iter().map(|&s| s as f32).collect(), &[rows, cols]);
         (PackedTernary::from_tensor(&t), signs)

@@ -31,6 +31,8 @@
 //! streaming detector, the multi-session server — get the widest kernel the
 //! host supports without code changes.
 
+use std::borrow::Cow;
+
 use thnt_tensor::{parallel_zip_chunks, Tensor};
 
 pub mod bitslice;
@@ -42,8 +44,14 @@ use kernel::{KernelDispatch, PackedView};
 const WORD_BITS: usize = 64;
 
 /// A ternary matrix packed as two bitplanes at 2 bits per entry.
+///
+/// The bitplanes are [`Cow`] slices so a matrix can either *own* its words
+/// (the compile path — `PackedTernary<'static>`) or *borrow* them straight
+/// out of a mapped `.thnt2` artifact buffer (the zero-copy load path,
+/// [`Self::from_cow_parts`] with `Cow::Borrowed`). Every kernel consumes a
+/// borrowed [`PackedView`] either way, so compute is identical for both.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PackedTernary {
+pub struct PackedTernary<'a> {
     rows: usize,
     cols: usize,
     /// `u64` words per row of each bitplane: `cols.div_ceil(64)`. Rows are
@@ -51,18 +59,18 @@ pub struct PackedTernary {
     words_per_row: usize,
     /// The `+1` plane: bit `c % 64` of word `r·words_per_row + c/64` is set
     /// iff entry `(r, c)` is `+1`. Padding bits are always clear.
-    plus: Vec<u64>,
+    plus: Cow<'a, [u64]>,
     /// The `−1` plane, same layout. A bit is never set in both planes.
-    minus: Vec<u64>,
+    minus: Cow<'a, [u64]>,
 }
 
-impl PackedTernary {
+impl<'a> PackedTernary<'a> {
     /// Packs a ternary tensor (`values ∈ {−1, 0, 1}`, shape `[rows, cols]`).
     ///
     /// # Panics
     ///
     /// Panics if the tensor is not 2-D or contains non-ternary values.
-    pub fn from_tensor(t: &Tensor) -> Self {
+    pub fn from_tensor(t: &Tensor) -> PackedTernary<'static> {
         assert_eq!(t.shape().rank(), 2, "PackedTernary expects a 2-D tensor");
         let (rows, cols) = (t.dims()[0], t.dims()[1]);
         let words_per_row = cols.div_ceil(WORD_BITS);
@@ -80,7 +88,13 @@ impl PackedTernary {
                 panic!("non-ternary value {v} at index {i}");
             }
         }
-        Self { rows, cols, words_per_row, plus, minus }
+        PackedTernary {
+            rows,
+            cols,
+            words_per_row,
+            plus: Cow::Owned(plus),
+            minus: Cow::Owned(minus),
+        }
     }
 
     /// Matrix rows.
@@ -125,7 +139,66 @@ impl PackedTernary {
         cols: usize,
         plus: Vec<u64>,
         minus: Vec<u64>,
-    ) -> Result<Self, String> {
+    ) -> Result<PackedTernary<'static>, String> {
+        PackedTernary::from_cow_parts(rows, cols, Cow::Owned(plus), Cow::Owned(minus))
+    }
+
+    /// [`Self::from_raw_parts`] over [`Cow`] planes: the zero-copy loading
+    /// entry point. `Cow::Borrowed` planes alias the caller's buffer (e.g. a
+    /// mapped `.thnt2` artifact) and are validated in place — the matrix is
+    /// usable without copying a single bitplane word. Validation is the same
+    /// as for owned planes; a matrix that loads successfully is
+    /// indistinguishable from one built by [`Self::from_tensor`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::from_raw_parts`].
+    pub fn from_cow_parts(
+        rows: usize,
+        cols: usize,
+        plus: Cow<'a, [u64]>,
+        minus: Cow<'a, [u64]>,
+    ) -> Result<PackedTernary<'a>, String> {
+        let m = Self::from_cow_parts_trusted(rows, cols, plus, minus)?;
+        // Padding bits beyond `cols` in each row's last word must be clear.
+        let tail_bits = cols % WORD_BITS;
+        if tail_bits != 0 {
+            let pad_mask = !0u64 << tail_bits;
+            for r in 0..rows {
+                let last = r * m.words_per_row + m.words_per_row - 1;
+                if (m.plus[last] | m.minus[last]) & pad_mask != 0 {
+                    return Err(format!("row {r} has set bits in the padding region"));
+                }
+            }
+        }
+        for (i, (&p, &mi)) in m.plus.iter().zip(m.minus.iter()).enumerate() {
+            if p & mi != 0 {
+                return Err(format!("word {i} claims entries as both +1 and -1"));
+            }
+        }
+        Ok(m)
+    }
+
+    /// [`Self::from_cow_parts`] minus the O(words) content scans: only the
+    /// shape/word-count invariant is checked. This is the fast path for
+    /// loaders that treat their input as trusted (e.g. a memory-mapped
+    /// artifact produced by this crate's own serializer), where re-scanning
+    /// every plane on every process start would defeat the point of a
+    /// zero-copy load. Dirty padding bits or entries claimed by both planes
+    /// are **not** rejected here; they produce wrong arithmetic results but
+    /// never memory unsafety, because every kernel indexes planes only
+    /// through the validated shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a plane whose word count does not match the
+    /// shape.
+    pub fn from_cow_parts_trusted(
+        rows: usize,
+        cols: usize,
+        plus: Cow<'a, [u64]>,
+        minus: Cow<'a, [u64]>,
+    ) -> Result<PackedTernary<'a>, String> {
         let words_per_row = cols.div_ceil(WORD_BITS);
         let want = rows * words_per_row;
         if plus.len() != want || minus.len() != want {
@@ -136,23 +209,39 @@ impl PackedTernary {
                 minus.len()
             ));
         }
-        // Padding bits beyond `cols` in each row's last word must be clear.
-        let tail_bits = cols % WORD_BITS;
-        if tail_bits != 0 {
-            let pad_mask = !0u64 << tail_bits;
-            for r in 0..rows {
-                let last = r * words_per_row + words_per_row - 1;
-                if (plus[last] | minus[last]) & pad_mask != 0 {
-                    return Err(format!("row {r} has set bits in the padding region"));
-                }
-            }
+        Ok(PackedTernary { rows, cols, words_per_row, plus, minus })
+    }
+
+    /// `true` iff both bitplanes borrow their words from an external buffer
+    /// (a zero-copy load); `false` for owned planes. The cold-start bench
+    /// gate uses this to assert that an aligned `load_thnt2_ref` really did
+    /// not copy any bitplane.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.plus, Cow::Borrowed(_)) && matches!(self.minus, Cow::Borrowed(_))
+    }
+
+    /// Converts into a matrix that owns its bitplanes (`'static`), copying
+    /// them if they were borrowed. The inverse direction of the zero-copy
+    /// load: detach from the artifact buffer.
+    pub fn into_owned(self) -> PackedTernary<'static> {
+        PackedTernary {
+            rows: self.rows,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            plus: Cow::Owned(self.plus.into_owned()),
+            minus: Cow::Owned(self.minus.into_owned()),
         }
-        for (i, (&p, &m)) in plus.iter().zip(&minus).enumerate() {
-            if p & m != 0 {
-                return Err(format!("word {i} claims entries as both +1 and -1"));
-            }
+    }
+
+    /// Clones into an owning (`'static`) matrix without consuming `self`.
+    pub fn to_static(&self) -> PackedTernary<'static> {
+        PackedTernary {
+            rows: self.rows,
+            cols: self.cols,
+            words_per_row: self.words_per_row,
+            plus: Cow::Owned(self.plus.to_vec()),
+            minus: Cow::Owned(self.minus.to_vec()),
         }
-        Ok(Self { rows, cols, words_per_row, plus, minus })
     }
 
     /// Packed storage in bytes: both bitplanes, including row padding.
@@ -208,8 +297,8 @@ impl PackedTernary {
             rows: self.rows,
             cols: self.cols,
             words_per_row: self.words_per_row,
-            plus: &self.plus,
-            minus: &self.minus,
+            plus: &self.plus[..],
+            minus: &self.minus[..],
         }
     }
 

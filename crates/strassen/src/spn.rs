@@ -42,11 +42,11 @@ impl StrassenSpn {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedSpn {
     /// Packed `r × numel(A)` weight-side matrix.
-    pub wa: PackedTernary,
+    pub wa: PackedTernary<'static>,
     /// Packed `r × numel(B)` activation-side matrix.
-    pub wb: PackedTernary,
+    pub wb: PackedTernary<'static>,
     /// Packed `numel(C) × r` combination matrix.
-    pub wc: PackedTernary,
+    pub wc: PackedTernary<'static>,
 }
 
 impl PackedSpn {

@@ -6,10 +6,11 @@
 //!    packed add-only engine.
 //! 3. **Save** the engine as a `.thnt2` artifact, together with the MFCC
 //!    configuration and feature-normalization statistics a device needs.
-//! 4. **Serve**: reload the artifact — at this point the training model is
-//!    dropped and nothing from the training stack is reconstructed — and
-//!    run the always-on streaming detector against the loaded backend
-//!    through the `InferenceBackend` trait.
+//! 4. **Serve**: map the artifact back — at this point the training model
+//!    is dropped and nothing from the training stack is reconstructed. The
+//!    engine *borrows* its bitplanes zero-copy from the aligned v3 bytes,
+//!    and a `StreamServer` session streams audio through it via the
+//!    `InferenceBackend` trait.
 //!
 //! Run with:
 //!
@@ -20,7 +21,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use thnt::core::{
-    HybridConfig, InferenceMeta, PackedStHybrid, StHybridNet, StreamingConfig, StreamingDetector,
+    AlignedBytes, HybridConfig, InferenceMeta, PackedStHybrid, StHybridNet, StreamServer,
+    StreamingConfig,
 };
 use thnt::data::{synthesize_word, WordSignature, LABEL_NAMES};
 use thnt::dsp::MfccConfig;
@@ -78,25 +80,36 @@ fn main() {
     drop(net);
     drop(engine);
 
-    // ---- 4. Serve from the artifact. ------------------------------------
-    println!("[4/4] reloading and serving through InferenceBackend...");
-    let (backend, meta) = PackedStHybrid::load_file(&artifact_path).expect("load artifact");
+    // ---- 4. Serve from the mapped artifact. -----------------------------
+    println!("[4/4] mapping the artifact and serving through a StreamServer...");
+    // `AlignedBytes` stands in for an mmap'd file: the v3 container is
+    // 8-byte aligned, so the engine borrows every bitplane straight out of
+    // the buffer — N serving processes mapping the same file share one copy
+    // of the weights.
+    let blob = AlignedBytes::read_file(&artifact_path).expect("map artifact");
+    let (backend, meta) = PackedStHybrid::load_ref(&blob).expect("load artifact");
     let meta = meta.expect("artifact carries serving metadata");
+    assert!(backend.bitplanes_borrowed(), "aligned v3 artifacts load zero-copy");
     let config = StreamingConfig { threshold: 0.35, ..StreamingConfig::default() };
-    let mut detector = StreamingDetector::from_meta(&backend, config, &meta);
+    let mut server = StreamServer::from_meta(&backend, config, &meta);
     println!(
-        "      backend '{}': {} classes, {} keyword targets",
+        "      backend '{}' (bitplanes borrowed from the blob): {} classes, {} keyword \
+         targets, registry of {}",
         backend.backend_name(),
         backend.num_classes(),
-        detector.num_keywords()
+        server.num_keywords(),
+        server.num_models(),
     );
 
-    // Stream a scripted sequence of utterances through the detector.
+    // Stream a scripted sequence of utterances through one server session
+    // (`try_open` binds it to the default model of this one-model registry).
+    let session = server.try_open().expect("open session");
     let script = [0usize, 5, 3, 9];
     let mut detections = Vec::new();
     for &class in &script {
         let audio = synthesize_word(&WordSignature::for_word(class), &mut rng);
-        detections.extend(detector.push(&audio));
+        server.try_feed(session, &audio).expect("feed open session");
+        detections.extend(server.tick());
     }
     println!("      spoke {:?}", script.map(|c| LABEL_NAMES[c]));
     if detections.is_empty() {
@@ -105,8 +118,10 @@ fn main() {
     for d in &detections {
         println!(
             "      detected '{}' (p={:.2}) at sample {}",
-            LABEL_NAMES[d.class], d.confidence, d.at_sample
+            LABEL_NAMES[d.detection.class], d.detection.confidence, d.detection.at_sample
         );
     }
+    let stats = server.stats();
+    println!("      served {} windows in batched ticks", stats.windows_served);
     std::fs::remove_file(&artifact_path).ok();
 }

@@ -1,16 +1,19 @@
-//! Many concurrent audio streams, one shared packed engine: the
-//! multi-session serving layer end to end.
+//! Many concurrent audio streams, two models, one server: the multi-model
+//! serving layer end to end.
 //!
-//! 1. Freeze a (randomly initialised) ST-HybridNet and compile it into the
-//!    packed add-only engine — training is `examples/serve_artifact.rs`'s
-//!    story; here the subject is the serving layer itself.
-//! 2. Save and reload it as a `.thnt2` artifact, so the serving side starts
-//!    from bytes alone.
-//! 3. Stand up a `StreamServer` over the loaded backend, open many
-//!    sessions, and feed them interleaved, unevenly-chunked synthetic
-//!    speech — the realistic shape of network audio arriving at a server.
-//! 4. Each `tick` batches every due window across all sessions through one
-//!    inference call and demuxes the detections per session.
+//! 1. Freeze two (randomly initialised) ST-HybridNets — a 12-class keyword
+//!    spotter at the paper's size and a slimmer 6-class verifier — and
+//!    compile both into packed add-only engines. Training is
+//!    `examples/serve_artifact.rs`'s story; here the subject is serving.
+//! 2. Save each as its natural `.thnt2` artifact: the spotter as inline v3
+//!    so a fleet can map it and borrow the bitplanes **zero-copy**, the
+//!    verifier as v3+RLE so it pays the fewest bytes on disk.
+//! 3. Stand up ONE `StreamServer` hosting both models, open sessions
+//!    against each `ModelId`, and feed them interleaved, unevenly-chunked
+//!    synthetic speech — the realistic shape of network audio.
+//! 4. Each `tick` batches the due windows **per model** through one
+//!    inference call each and demuxes detections per session; stats
+//!    reconcile per model and in aggregate.
 //!
 //! Run with:
 //!
@@ -23,53 +26,102 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use thnt::core::{
-    HybridConfig, InferenceMeta, PackedStHybrid, StHybridNet, StreamServer, StreamingConfig,
-    StreamingDetector,
+    save_thnt2_with, AlignedBytes, HybridConfig, InferenceMeta, ModelId, PackedStHybrid,
+    SaveOptions, SessionId, StHybridNet, StreamServer, StreamingConfig, StreamingDetector,
 };
 use thnt::data::{synthesize_word, WordSignature};
 use thnt::dsp::MfccConfig;
 use thnt::nn::InferenceBackend;
 use thnt::strassen::Strassenified;
 
-const SESSIONS: usize = 12;
+const SPOTTER_SESSIONS: usize = 8;
+const VERIFIER_SESSIONS: usize = 4;
+
+fn frozen_engine(config: HybridConfig, rng: &mut SmallRng) -> PackedStHybrid<'static> {
+    let mut net = StHybridNet::new(config, rng);
+    net.activate_quantization();
+    net.freeze_ternary();
+    PackedStHybrid::compile(&net)
+}
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(17);
 
-    // ---- 1. Freeze + compile (weights random: serving-layer demo). ------
-    let mut net = StHybridNet::new(HybridConfig::paper(), &mut rng);
-    net.activate_quantization();
-    net.freeze_ternary();
-    let engine = PackedStHybrid::compile(&net);
-    drop(net);
-
-    // ---- 2. Round-trip through a .thnt2 artifact. -----------------------
+    // ---- 1. Freeze + compile two models (weights random: serving demo). --
+    let spotter = frozen_engine(HybridConfig::paper(), &mut rng);
+    let verifier = frozen_engine(
+        HybridConfig {
+            width: 32,
+            proj_dim: 24,
+            tree_depth: 1,
+            num_classes: 6,
+            tree_r: 6,
+            ..HybridConfig::paper()
+        },
+        &mut rng,
+    );
     let meta = InferenceMeta {
         mfcc: MfccConfig::paper(),
         norm_mean: vec![0.0; 10],
         norm_std: vec![4.0; 10],
     };
-    let path = std::env::temp_dir().join("serve_streams.thnt2");
-    engine.save_file(Some(&meta), &path).expect("save artifact");
-    drop(engine);
-    let (backend, loaded_meta) = PackedStHybrid::load_file(&path).expect("load artifact");
-    let loaded_meta = loaded_meta.expect("artifact carries serving metadata");
-    std::fs::remove_file(&path).ok();
-    println!(
-        "serving '{}' backend: {} classes, {} KB packed, {} adds/sample",
-        backend.backend_name(),
-        backend.num_classes(),
-        backend.model_bytes() / 1024,
-        backend.adds_per_sample(),
-    );
 
-    // ---- 3. One server, many sessions. ----------------------------------
+    // ---- 2. Each model ships as its natural artifact. --------------------
+    // The spotter is the hot, fleet-shared model: inline v3, so every
+    // serving process maps the same file and borrows the planes in place.
+    let spotter_path = std::env::temp_dir().join("serve_streams_spotter.thnt2");
+    let file = std::fs::File::create(&spotter_path).expect("create spotter artifact");
+    save_thnt2_with(&spotter, Some(&meta), SaveOptions::v3(), file).expect("save spotter");
+    drop(spotter);
+    // The verifier optimises for flash: v3+RLE run-length-codes the ~1/3
+    // zero weights, at the price of an owning (decoding) load.
+    let verifier_path = std::env::temp_dir().join("serve_streams_verifier.thnt2");
+    let file = std::fs::File::create(&verifier_path).expect("create verifier artifact");
+    save_thnt2_with(&verifier, Some(&meta), SaveOptions::v3_rle(), file).expect("save verifier");
+    drop(verifier);
+
+    let spotter_blob = AlignedBytes::read_file(&spotter_path).expect("map spotter artifact");
+    let (spotter, spotter_meta) = PackedStHybrid::load_ref(&spotter_blob).expect("load spotter");
+    let spotter_meta = spotter_meta.expect("spotter artifact carries serving metadata");
+    let (verifier, verifier_meta) =
+        PackedStHybrid::load_file(&verifier_path).expect("load verifier");
+    let verifier_meta = verifier_meta.expect("verifier artifact carries serving metadata");
+    for (name, backend, path, borrowed) in [
+        ("spotter ", &spotter, &spotter_path, true),
+        ("verifier", &verifier, &verifier_path, false),
+    ] {
+        println!(
+            "{name}: {} classes, {} bytes in memory, {} on disk, bitplanes {}",
+            backend.num_classes(),
+            backend.model_bytes(),
+            std::fs::metadata(path).expect("stat artifact").len(),
+            if borrowed {
+                "borrowed zero-copy from the mapped blob"
+            } else {
+                "owned (RLE-decoded)"
+            },
+        );
+        assert_eq!(backend.bitplanes_borrowed(), borrowed);
+    }
+    std::fs::remove_file(&spotter_path).ok();
+    std::fs::remove_file(&verifier_path).ok();
+
+    // ---- 3. One server, two models, many sessions. -----------------------
     let config = StreamingConfig { threshold: 0.3, ..StreamingConfig::default() };
-    let mut server = StreamServer::from_meta(&backend, config, &loaded_meta);
-    let ids: Vec<_> = (0..SESSIONS).map(|_| server.try_open().expect("open session")).collect();
+    let mut server = StreamServer::from_meta(&spotter, config, &spotter_meta);
+    let spotter_id = server.default_model();
+    let verifier_id = server.register_from_meta(&verifier, &verifier_meta);
+    println!("one server hosting {} models: {spotter_id}, {verifier_id}", server.num_models());
+
+    let sessions: Vec<(SessionId, ModelId)> = (0..SPOTTER_SESSIONS + VERIFIER_SESSIONS)
+        .map(|k| {
+            let model = if k < SPOTTER_SESSIONS { spotter_id } else { verifier_id };
+            (server.try_open_model(model).expect("open session"), model)
+        })
+        .collect();
 
     // Each session speaks its own scripted sequence of synthetic words.
-    let streams: Vec<Vec<f32>> = (0..SESSIONS)
+    let streams: Vec<Vec<f32>> = (0..sessions.len())
         .map(|k| {
             let mut audio = Vec::new();
             for w in 0..4 {
@@ -80,14 +132,15 @@ fn main() {
         .collect();
 
     // Interleave uneven chunks across sessions, ticking after every sweep —
-    // each tick batches all due windows through ONE inference call.
-    let mut offsets = [0usize; SESSIONS];
+    // each tick batches all due windows through ONE inference call per
+    // model, whatever mix of sessions they came from.
+    let mut offsets = vec![0usize; sessions.len()];
     let mut windows = 0usize;
     let mut ticks = 0usize;
     let mut detections = Vec::new();
     let t0 = Instant::now();
     while offsets.iter().zip(&streams).any(|(&o, s)| o < s.len()) {
-        for (k, id) in ids.iter().enumerate() {
+        for (k, (id, _)) in sessions.iter().enumerate() {
             let remaining = streams[k].len() - offsets[k];
             if remaining == 0 {
                 continue;
@@ -107,11 +160,12 @@ fn main() {
     }
     let elapsed = t0.elapsed();
 
-    // ---- 4. Report. ------------------------------------------------------
+    // ---- 4. Report, in aggregate and per model. --------------------------
     let total_audio: usize = streams.iter().map(Vec::len).sum();
     println!(
-        "served {SESSIONS} sessions · {:.1} s of audio · {windows} windows in {ticks} batched \
+        "served {} sessions · {:.1} s of audio · {windows} windows in {ticks} batched \
          ticks ({:.1} windows/tick)",
+        sessions.len(),
         total_audio as f32 / 16_000.0,
         windows as f32 / ticks.max(1) as f32,
     );
@@ -120,34 +174,57 @@ fn main() {
         elapsed.as_secs_f64() * 1e3,
         windows as f64 / elapsed.as_secs_f64(),
     );
-    for d in detections.iter().take(8) {
+    for d in detections.iter().take(6) {
         println!(
             "  {} detected class {} (p={:.2}) at sample {}",
             d.session, d.detection.class, d.detection.confidence, d.detection.at_sample
         );
     }
-    if detections.len() > 8 {
-        println!("  … and {} more", detections.len() - 8);
+    if detections.len() > 6 {
+        println!("  … and {} more", detections.len() - 6);
     }
     if detections.is_empty() {
         println!("  (no detections above threshold — the weights are untrained)");
     }
+    let aggregate = server.stats();
+    for (name, model) in [("spotter ", spotter_id), ("verifier", verifier_id)] {
+        let s = server.stats_for(model).expect("registered model has stats");
+        println!(
+            "  {name} {model}: {} fed / {} served / {} dropped",
+            s.windows_fed, s.windows_served, s.windows_dropped
+        );
+    }
+    let by_model: u64 = [spotter_id, verifier_id]
+        .iter()
+        .map(|&m| server.stats_for(m).expect("registered model has stats").windows_fed)
+        .sum();
+    assert_eq!(by_model, aggregate.windows_fed, "per-model ledgers must sum to the aggregate");
 
-    // Sanity: one session re-served through an independent detector must
-    // agree exactly — batching never changes results.
-    let mut det = StreamingDetector::from_meta(&backend, config, &loaded_meta);
-    let want = det.push(&streams[0]);
-    let got: Vec<_> =
-        detections.iter().filter(|d| d.session == ids[0]).map(|d| d.detection.clone()).collect();
-    assert_eq!(got, want, "batched serving diverged from an independent detector");
-    println!("equivalence check: session 0 matches an independent detector ✓");
+    // Sanity: one session per model re-served through an independent
+    // detector must agree exactly — neither batching nor co-hosting the
+    // other model ever changes results.
+    for (k, backend, meta) in
+        [(0usize, &spotter, &spotter_meta), (SPOTTER_SESSIONS, &verifier, &verifier_meta)]
+    {
+        let mut det = StreamingDetector::from_meta(backend, config, meta);
+        let want = det.push(&streams[k]);
+        let got: Vec<_> = detections
+            .iter()
+            .filter(|d| d.session == sessions[k].0)
+            .map(|d| d.detection.clone())
+            .collect();
+        assert_eq!(got, want, "batched serving diverged from an independent detector");
+    }
+    println!("equivalence check: one session per model matches an independent detector ✓");
 
-    // Failures are typed values, not panics: a closed (or never-opened)
-    // session turns `try_feed` into an `Err` the caller can route per
-    // connection, and the server's books still balance afterwards.
-    server.close(ids[0]);
-    let err = server.try_feed(ids[0], &[0.0; 4]).expect_err("closed sessions must be rejected");
+    // Failures are typed values, not panics: closed sessions and unknown
+    // model handles turn into `Err`s the caller can route per connection.
+    server.close(sessions[0].0);
+    let err =
+        server.try_feed(sessions[0].0, &[0.0; 4]).expect_err("closed sessions must be rejected");
     println!("feeding a closed session: {err}");
+    let err = server.try_open_model(ModelId::new(99)).expect_err("unknown model must be rejected");
+    println!("opening a session on an unregistered model: {err}");
     let stats = server.stats();
     println!(
         "server stats: {} fed / {} served / {} dropped / {} rejected feeds",

@@ -27,6 +27,13 @@
 //! (`st_hybrid_1clip/quantized_backend` and the streaming quantized rows)
 //! only earns its keep if pure AND+popcount beats f32 lanes.
 //!
+//! The `streaming_multi{64,256,1024}/…/shards{1,4}` rows time the sharded
+//! multi-threaded serving layer and carry `shards` plus feed-to-vote
+//! `p50_ns`/`p99_ns` latency quantiles. With `THNT_BENCH_ASSERT_SCALING=1`
+//! the run fails unless 4 shards serve at least 2x the 1-shard windows/sec
+//! at 256 sessions on the packed engine — only meaningful on a host with
+//! >= 4 hardware threads, so CI arms it conditionally.
+//!
 //! The `artifact_load/{owned,borrowed,owned_rle}` rows time a cold model
 //! load from a `.thnt2` blob and carry `model_bytes` (in-memory size) and
 //! `bytes_on_disk` (serialized size). With `THNT_BENCH_ASSERT_LOAD=1` the
@@ -40,8 +47,9 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use thnt_core::{
-    save_thnt2_with, AlignedBytes, HybridConfig, PackedStHybrid, QuantizedStHybrid, SaveOptions,
-    StHybridNet, StreamServer, StreamingConfig, StreamingDetector,
+    save_thnt2_with, AlignedBytes, HybridConfig, ModelSpec, PackedStHybrid, QuantizedStHybrid,
+    SaveOptions, ServeConfig, ShardedStreamServer, StHybridNet, StreamServer, StreamingConfig,
+    StreamingDetector,
 };
 use thnt_dsp::{DspDispatch, Mfcc, MfccConfig, ReferenceMfcc};
 use thnt_nn::InferenceBackend;
@@ -80,6 +88,15 @@ struct BenchRow {
     /// `artifact_load` rows. Smaller than `model_bytes` when the artifact
     /// run-length codes its weights.
     bytes_on_disk: Option<usize>,
+    /// Worker-shard count of the sharded serving layer; present only on
+    /// `streaming_multi*/…/shards*` rows.
+    shards: Option<usize>,
+    /// Median feed-to-vote window latency over the whole run; present only
+    /// on sharded serving rows.
+    p50_ns: Option<u64>,
+    /// 99th-percentile feed-to-vote window latency; present only on sharded
+    /// serving rows.
+    p99_ns: Option<u64>,
 }
 
 // Hand-written so `windows_per_sec` / `kernel` are omitted (not null) on
@@ -113,6 +130,15 @@ impl serde::Serialize for BenchRow {
         }
         if let Some(b) = self.bytes_on_disk {
             fields.push(("bytes_on_disk".to_string(), b.serialize_value()));
+        }
+        if let Some(s) = self.shards {
+            fields.push(("shards".to_string(), s.serialize_value()));
+        }
+        if let Some(ns) = self.p50_ns {
+            fields.push(("p50_ns".to_string(), ns.serialize_value()));
+        }
+        if let Some(ns) = self.p99_ns {
+            fields.push(("p99_ns".to_string(), ns.serialize_value()));
         }
         serde::Value::Object(fields)
     }
@@ -152,6 +178,9 @@ fn time<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> BenchRow {
         shed_rate: None,
         model_bytes: None,
         bytes_on_disk: None,
+        shards: None,
+        p50_ns: None,
+        p99_ns: None,
     }
 }
 
@@ -286,7 +315,68 @@ fn time_overload(backend: &dyn InferenceBackend, sessions: usize, iters: usize) 
         shed_rate: Some(shed_rate),
         model_bytes: None,
         bytes_on_disk: None,
+        shards: None,
+        p50_ns: None,
+        p99_ns: None,
     }
+}
+
+/// Times the sharded serving layer: `sessions` streams pinned across
+/// `shard_count` worker threads, one hop fed per session per round, every
+/// round's windows flushed through a barrier so one iteration serves
+/// exactly `sessions` windows. Throughput is aggregate windows/sec; the row
+/// also carries the run's feed-to-vote p50/p99 window latency. The backend
+/// must be `Sync` (shards share it by reference), which is why the dense
+/// interpreter is absent from these rows.
+fn time_sharded_multi<B: InferenceBackend + Sync>(
+    backend: &B,
+    sessions: usize,
+    shard_count: usize,
+    iters: usize,
+) -> BenchRow {
+    let config = StreamingConfig::default();
+    let serve = ServeConfig {
+        // Barrier-driven rounds: no size or deadline trigger mid-round.
+        max_batch: 0,
+        channel_capacity: 256,
+        ..ServeConfig::with_shards(shard_count)
+    };
+    let spec = ModelSpec::new(backend, MfccConfig::paper(), vec![0.0; 10], vec![1.0; 10]);
+    ShardedStreamServer::run(vec![spec], config, serve, |server| {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let ids: Vec<_> =
+            (0..sessions).map(|_| server.try_open().expect("open bench session")).collect();
+        let prefill = gaussian(&[16_000], 0.0, 0.1, &mut rng);
+        for &id in &ids {
+            server.try_feed(id, prefill.data()).expect("prefill bench session");
+        }
+        server.flush();
+        let chunk = gaussian(&[config.hop], 0.0, 0.1, &mut rng);
+        let name = format!(
+            "streaming_multi{sessions}/{}_backend/shards{shard_count}",
+            backend.backend_name()
+        );
+        let mut row = time(&name, iters, || {
+            for &id in &ids {
+                server.try_feed(id, chunk.data()).expect("feed bench session");
+            }
+            server.flush()
+        });
+        let wps = sessions as f64 * 1e9 / row.median_ns;
+        row.windows_per_sec = Some(wps);
+        row.shards = Some(shard_count);
+        let latency = server.latency();
+        row.p50_ns = Some(latency.p50_ns);
+        row.p99_ns = Some(latency.p99_ns);
+        println!(
+            "{:<42} {wps:>12.1} windows/sec ({sessions} sessions, {shard_count} shards, \
+             p50 {:.0} µs, p99 {:.0} µs)",
+            "",
+            latency.p50_ns as f64 / 1e3,
+            latency.p99_ns as f64 / 1e3
+        );
+        row
+    })
 }
 
 fn windows_per_sec(rows: &[BenchRow], name: &str) -> f64 {
@@ -530,6 +620,24 @@ fn main() {
         rows.push(row);
     }
 
+    // Sharded serving: the same barrier-driven round shape as
+    // `streaming_multi8`, but sessions pinned across worker threads. The
+    // dense interpreter is absent — shards share the backend by reference,
+    // which requires `Sync`, and the interpreter's scratch state is not.
+    // Iteration counts scale down with the session count so one row serves
+    // roughly the same number of windows regardless of fan-out.
+    for &sessions in &[64usize, 256, 1024] {
+        let iters = (stream_iters * 64 / sessions).max(3);
+        for &shard_count in &[1usize, 4] {
+            let mut row = time_sharded_multi(&engine, sessions, shard_count, iters);
+            row.kernel = on_dispatch(engine.backend_name());
+            rows.push(row);
+            let mut row = time_sharded_multi(&quantized, sessions, shard_count, iters);
+            row.kernel = on_dispatch(quantized.backend_name());
+            rows.push(row);
+        }
+    }
+
     // SIMD-vs-scalar report (and optional CI gate): the widest backend's
     // matvec against the scalar reference on the same bitplanes. A host
     // with no SIMD backend cannot satisfy the gate — asserting there must
@@ -632,6 +740,24 @@ fn main() {
             );
         }
         println!("overload assertion: sustained throughput with bounded shedding ✓");
+    }
+
+    // CI gate: sharding must actually buy parallel throughput. Compared on
+    // the packed engine at 256 sessions — enough concurrent streams that
+    // per-round fixed costs are amortised and the shards stay busy. Only
+    // asserted where CI has verified >= 4 hardware threads; a single-core
+    // host serialises the shards and the ratio is meaningless there.
+    let shard1_wps = windows_per_sec(&rows, "streaming_multi256/packed_backend/shards1");
+    let shard4_wps = windows_per_sec(&rows, "streaming_multi256/packed_backend/shards4");
+    let scaling = shard4_wps / shard1_wps;
+    println!("\nstreaming_multi256: 4 shards are {scaling:.2}x 1 shard");
+    if std::env::var("THNT_BENCH_ASSERT_SCALING").as_deref() == Ok("1") {
+        assert!(
+            scaling >= 2.0,
+            "4-shard serving ({shard4_wps:.1} w/s) must be >= 2x 1-shard \
+             ({shard1_wps:.1} w/s) at 256 sessions, measured {scaling:.2}x"
+        );
+        println!("scaling assertion: 4 shards >= 2x 1 shard ✓");
     }
 
     let json = serde_json::to_string_pretty(&rows).expect("serialize bench rows");

@@ -78,7 +78,8 @@ pub use experiments::{ExperimentProfile, Profile};
 pub use hybrid::HybridNet;
 pub use quantized::{LayerScales, QuantSchedule, QuantizedStHybrid};
 pub use serve::{
-    FeedReceipt, ModelId, OverflowPolicy, ServeError, ServedDetection, ServerStats, SessionId,
+    FeedReceipt, LatencyHistogram, LatencySummary, ModelId, ModelSpec, OverflowPolicy, ServeConfig,
+    ServeError, ServedDetection, ServerStats, SessionId, ShardSnapshot, ShardedStreamServer,
     StreamServer, TickReport,
 };
 pub use st_hybrid::StHybridNet;

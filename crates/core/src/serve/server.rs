@@ -1,172 +1,24 @@
-//! Multi-session batched serving: many concurrent audio streams, one shared
-//! inference backend — hardened to survive hostile inputs, overload, and a
-//! misbehaving model.
-//!
-//! [`StreamingDetector`](crate::streaming::StreamingDetector) serves one
-//! stream; a deployment serves thousands. [`StreamServer`] is the layer in
-//! between: it owns a single [`InferenceBackend`] reference and multiplexes
-//! any number of independent audio **sessions** over it. Each session keeps
-//! only the cheap per-stream state ([`SessionState`] ring + posterior
-//! history); the expensive shared pieces — the MFCC extractor and the model
-//! — exist once.
-//!
-//! The serving loop is two-phase:
-//!
-//! 1. [`StreamServer::try_feed`] buffers a session's audio. Whenever a
-//!    window becomes due (ring full, one hop elapsed) it is snapshotted into
-//!    the pending queue — no feature extraction, no inference yet.
-//! 2. [`StreamServer::tick`] processes every pending window across all
-//!    sessions at once: MFCC features are extracted **in parallel** (one
-//!    window per worker) into one `[k, 1, frames, coeffs]` tensor, a
-//!    **single batched inference call** runs the model (the packed engine's
-//!    sample-tiled kernels parallelise across the batch), and the
-//!    posteriors are demuxed back to their sessions, voted, and returned as
-//!    detections tagged with [`SessionId`]s.
-//!
-//! Batching never changes results: every backend row is computed
-//! independently of its batch neighbours, so a session served through the
-//! server produces exactly the detections an independent
-//! `StreamingDetector` would over the same stream (enforced by the
-//! equivalence proptests in `crates/core/tests/serve_equivalence.rs`).
-//!
-//! # Fault tolerance
-//!
-//! A multiplexed server must not be killable by one bad client, one bad
-//! buffer, or one bad model call, so every entry point is **panic-free**
-//! past construction:
-//!
-//! * **Typed errors, not panics.** [`StreamServer::try_feed`] and
-//!   [`StreamServer::try_open`] return [`ServeError`] for unknown/closed
-//!   sessions, non-finite audio, backpressure, and session limits.
-//! * **Input hardening.** A feed buffer containing `NaN`/`±inf` is rejected
-//!   atomically — no sample of it reaches the ring, the shared MFCC plan, or
-//!   a batched inference that healthy sessions share.
-//! * **Bounded queues.** Per-session pending-window queues are capped
-//!   ([`StreamServer::queue_bound`]) with an explicit [`OverflowPolicy`]:
-//!   evict the session's oldest window, discard the newest, or refuse the
-//!   feed call with [`ServeError::Backpressure`].
-//! * **Degraded-mode ticks.** A per-tick latency budget
-//!   ([`StreamServer::tick_budget`]) deterministically sheds the oldest
-//!   pending windows *before* feature extraction, so overload degrades to
-//!   bounded, fresh work instead of an ever-growing queue.
-//! * **Fault isolation.** Inference runs through
-//!   [`InferenceBackend::infer_isolated`]: a backend call that panics,
-//!   returns wrong-arity logits, or emits non-finite rows quarantines only
-//!   the affected windows — their healthy batch siblings are recovered
-//!   row-by-row and produce byte-identical detections (enforced by
-//!   `crates/core/tests/fault_injection.rs` against `thnt_nn::FaultyBackend`).
-//!
-//! Every outcome is accounted: [`StreamServer::stats`] reconciles exactly —
-//! `windows_fed == windows_accounted() + pending_windows()` always holds.
+//! The single-threaded serving core: [`StreamServer`] multiplexes many
+//! audio sessions over shared backends with cross-session batched
+//! inference, typed errors, bounded queues, and per-row fault isolation.
+//! The sharded front-end ([`crate::serve::ShardedStreamServer`]) runs one
+//! of these per worker shard.
 
-// Serving hot path: failures must surface as `ServeError` values or stats
-// counters, never as panics — one bad stream must not take down the server.
-// CI additionally greps this file's non-test region for unwrap/expect/panic.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use thnt_dsp::{Mfcc, MfccConfig};
 use thnt_nn::{softmax, InferenceBackend};
 use thnt_tensor::{parallel_zip_chunks, Tensor};
 
 use crate::artifact::InferenceMeta;
+use crate::serve::error::{ModelId, ServeError, SessionId};
+use crate::serve::stats::{
+    FeedReceipt, LatencyHistogram, LatencySummary, ServedDetection, ServerStats, TickReport,
+};
 use crate::streaming::{normalize_in_place, push_vote, Detection, SessionState, StreamingConfig};
-
-/// Opaque handle of one audio session on a [`StreamServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SessionId(u64);
-
-impl std::fmt::Display for SessionId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "session#{}", self.0)
-    }
-}
-
-/// Opaque handle of one registered model on a [`StreamServer`]. The model
-/// passed at construction is [`StreamServer::default_model`]; more are
-/// added with [`StreamServer::register`], and sessions bind to one model
-/// for life via [`StreamServer::try_open_model`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ModelId(u32);
-
-impl ModelId {
-    /// Reconstructs a handle from its wire form. Model handles cross
-    /// process boundaries in multi-tenant deployments (a client names the
-    /// model it wants in its open request); an id that does not name a
-    /// registered model is answered with [`ServeError::UnknownModel`] by
-    /// every server entry point, so forging one is safe.
-    pub fn new(raw: u32) -> Self {
-        ModelId(raw)
-    }
-
-    /// The wire form of this handle (inverse of [`Self::new`]).
-    pub fn raw(&self) -> u32 {
-        self.0
-    }
-}
-
-impl std::fmt::Display for ModelId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "model#{}", self.0)
-    }
-}
-
-/// Why a [`StreamServer`] call was refused. Every variant is a recoverable
-/// condition scoped to one call on one session; the server itself stays
-/// fully serviceable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServeError {
-    /// The session was never opened, or has been closed.
-    UnknownSession(SessionId),
-    /// The feed buffer contains a non-finite sample (`NaN` or `±inf`) at
-    /// `offset`. The call consumed nothing: no sample reached the session's
-    /// ring, so the caller may clean the buffer and re-submit it whole.
-    NonFiniteAudio {
-        /// The session whose feed was refused.
-        session: SessionId,
-        /// Index of the first non-finite sample in the submitted buffer.
-        offset: usize,
-    },
-    /// The session's pending-window queue is full and the overflow policy is
-    /// [`OverflowPolicy::Reject`]. The call consumed nothing; retry after a
-    /// [`StreamServer::tick`] drains the queue.
-    Backpressure {
-        /// The session whose feed was refused.
-        session: SessionId,
-        /// Windows the session had queued when the feed arrived.
-        queued: usize,
-    },
-    /// [`StreamServer::try_open`] was refused because the server is at its
-    /// configured session limit.
-    SessionLimit {
-        /// The configured maximum number of concurrent sessions.
-        limit: usize,
-    },
-    /// [`StreamServer::try_open_model`] named a model that was never
-    /// registered on this server.
-    UnknownModel(ModelId),
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::UnknownSession(id) => write!(f, "{id} is unknown or closed"),
-            Self::NonFiniteAudio { session, offset } => {
-                write!(f, "{session}: non-finite sample at offset {offset} in feed buffer")
-            }
-            Self::Backpressure { session, queued } => {
-                write!(f, "{session}: pending-window queue full ({queued} queued)")
-            }
-            Self::SessionLimit { limit } => {
-                write!(f, "session limit reached ({limit} concurrent sessions)")
-            }
-            Self::UnknownModel(id) => write!(f, "{id} is not registered on this server"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
 
 /// What to do when a feed makes a window due but the session's
 /// pending-window queue is already at [`StreamServer::queue_bound`].
@@ -182,98 +34,12 @@ pub enum OverflowPolicy {
     /// Refuse the whole feed call with [`ServeError::Backpressure`] when the
     /// queue is full on arrival, consuming no audio; a window that becomes
     /// due mid-call after the queue filled is discarded and counted
-    /// `rejected`. The caller owns the retry.
+    /// `rejected`. The caller owns the retry. (On the sharded server
+    /// admission runs on the worker thread, so the up-front refusal cannot
+    /// be returned to the caller synchronously — it lands in
+    /// `rejected_feeds` instead; see
+    /// [`ServeConfig`](crate::serve::ServeConfig).)
     Reject,
-}
-
-/// Monotonic counters over everything a [`StreamServer`] has done, exposed
-/// via [`StreamServer::stats`].
-///
-/// The counters **reconcile exactly**: every window a feed ever made due is
-/// either still pending or in exactly one terminal counter, so
-/// `windows_fed == windows_accounted() + pending_windows()` at every
-/// quiescent point (the overload proptests assert it after every call).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Windows that became due across all feeds (before admission control).
-    pub windows_fed: u64,
-    /// Windows that went through inference and voted.
-    pub windows_served: u64,
-    /// Windows discarded by a drop policy: a [`OverflowPolicy::DropOldest`]
-    /// eviction or a [`OverflowPolicy::DropNewest`] refusal.
-    pub windows_dropped: u64,
-    /// Windows discarded under [`OverflowPolicy::Reject`] because the queue
-    /// filled mid-call.
-    pub windows_rejected: u64,
-    /// Windows shed by the [`StreamServer::tick_budget`] latency budget.
-    pub windows_shed: u64,
-    /// Windows dropped because their session closed before the tick.
-    pub windows_closed: u64,
-    /// Windows whose logits were unusable (backend panic, wrong arity, or
-    /// non-finite values): no vote, no detection, session survives.
-    pub windows_quarantined: u64,
-    /// Whole feed calls refused with no audio consumed ([`ServeError::
-    /// NonFiniteAudio`] or up-front [`ServeError::Backpressure`]).
-    pub rejected_feeds: u64,
-    /// Backend calls that panicked or returned malformed logits, including
-    /// failed single-row retries (from [`thnt_nn::IsolatedBatch`]).
-    pub faulted_calls: u64,
-}
-
-impl ServerStats {
-    /// Windows with a terminal fate: served, dropped, rejected, shed,
-    /// closed, or quarantined. `windows_fed − windows_accounted()` is
-    /// exactly the server's current pending-queue depth.
-    pub fn windows_accounted(&self) -> u64 {
-        self.windows_served
-            + self.windows_dropped
-            + self.windows_rejected
-            + self.windows_shed
-            + self.windows_closed
-            + self.windows_quarantined
-    }
-}
-
-/// Per-call admission summary returned by [`StreamServer::try_feed`]: how
-/// the windows this call made due were handled.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FeedReceipt {
-    /// Windows admitted to the pending queue.
-    pub queued: usize,
-    /// Windows discarded by the drop policies (this session's oldest under
-    /// [`OverflowPolicy::DropOldest`], the new one under
-    /// [`OverflowPolicy::DropNewest`]).
-    pub dropped: usize,
-    /// New windows discarded under [`OverflowPolicy::Reject`] after the
-    /// queue filled mid-call.
-    pub rejected: usize,
-}
-
-/// Outcome of one [`StreamServer::tick_report`]: the detections plus the
-/// tick's share of the [`ServerStats`] movement.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct TickReport {
-    /// Detections demuxed per session, in window arrival order.
-    pub detections: Vec<ServedDetection>,
-    /// Windows inferred and voted this tick.
-    pub served: u64,
-    /// Oldest windows shed up-front by the latency budget.
-    pub shed: u64,
-    /// Windows dropped because their session had closed.
-    pub closed: u64,
-    /// Windows whose logits were unusable and cast no vote.
-    pub quarantined: u64,
-    /// Backend calls that panicked or returned malformed logits this tick.
-    pub faulted_calls: u64,
-}
-
-/// A detection demuxed back to the session that produced it.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServedDetection {
-    /// The session whose stream triggered the detection.
-    pub session: SessionId,
-    /// The detection itself, positioned in that session's stream.
-    pub detection: Detection,
 }
 
 /// Per-session serving state: the audio ring, the posterior vote, and the
@@ -290,11 +56,13 @@ struct Session {
 
 /// A due window snapshotted out of a session's ring, awaiting the next
 /// [`StreamServer::tick`]. Carries its model index so per-model accounting
-/// survives the session closing before the tick.
+/// survives the session closing before the tick, and its due time so served
+/// windows record feed-to-vote latency.
 struct PendingWindow {
     session: u64,
     model: usize,
     at_sample: usize,
+    queued_at: Instant,
     audio: Vec<f32>,
 }
 
@@ -401,12 +169,18 @@ pub struct StreamServer<'m, B: InferenceBackend + ?Sized> {
     tick_budget: usize,
     /// Max concurrent sessions; `0` = unbounded.
     max_sessions: usize,
+    /// Extract MFCC features across worker threads at tick time. On by
+    /// default; a sharded worker turns it off so shards scale across cores
+    /// instead of contending for one inner pool.
+    parallel_extraction: bool,
     next_id: u64,
     sessions: HashMap<u64, Session>,
-    /// Due windows in arrival order, raw audio; features are extracted in
-    /// parallel at tick time.
+    /// Due windows in arrival order, raw audio; features are extracted at
+    /// tick time.
     pending: Vec<PendingWindow>,
     stats: ServerStats,
+    /// Feed-to-vote latency of served windows.
+    latency: LatencyHistogram,
 }
 
 impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
@@ -451,10 +225,12 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
             overflow: OverflowPolicy::default(),
             tick_budget: 0,
             max_sessions: 0,
+            parallel_extraction: true,
             next_id: 0,
             sessions: HashMap::new(),
             pending: Vec::new(),
             stats: ServerStats::default(),
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -552,6 +328,19 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         self
     }
 
+    /// Whether [`Self::tick`] extracts MFCC features across the inner
+    /// worker-thread pool (the default) or serially on the calling thread.
+    /// Results are bitwise identical either way — each window is extracted
+    /// independently — so this is purely a scheduling choice: a
+    /// [`ShardedStreamServer`](crate::serve::ShardedStreamServer) worker
+    /// runs serial extraction, because its parallelism axis is shards, not
+    /// windows, and N shards each spawning an inner pool would oversubscribe
+    /// the cores they are meant to share.
+    pub fn parallel_extraction(mut self, on: bool) -> Self {
+        self.parallel_extraction = on;
+        self
+    }
+
     /// Opens a new session; its stream starts empty.
     ///
     /// # Errors
@@ -602,14 +391,30 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
     /// * [`ServeError::SessionLimit`] — a [`Self::max_sessions`] cap is set
     ///   and reached (the cap spans all models).
     pub fn try_open_model(&mut self, model: ModelId) -> Result<SessionId, ServeError> {
-        let Some(entry) = self.models.get(model.0 as usize) else {
-            return Err(ServeError::UnknownModel(model));
-        };
         if self.max_sessions > 0 && self.sessions.len() >= self.max_sessions {
             return Err(ServeError::SessionLimit { limit: self.max_sessions });
         }
         let id = self.next_id;
-        self.next_id += 1;
+        self.admit_session(id, model)
+    }
+
+    /// Opens a session under a caller-chosen id — the sharded front-end's
+    /// entry point, which assigns ids so `id % shards` names the owning
+    /// shard. Fails on an unknown model or an id already in use; advances
+    /// the internal id counter past `id` so mixed use with
+    /// [`Self::try_open_model`] never collides.
+    pub(crate) fn admit_session(
+        &mut self,
+        id: u64,
+        model: ModelId,
+    ) -> Result<SessionId, ServeError> {
+        let Some(entry) = self.models.get(model.0 as usize) else {
+            return Err(ServeError::UnknownModel(model));
+        };
+        if self.sessions.contains_key(&id) {
+            return Err(ServeError::UnknownSession(SessionId(id)));
+        }
+        self.next_id = self.next_id.max(id + 1);
         self.sessions.insert(
             id,
             Session {
@@ -665,10 +470,29 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
         self.models.get(model.0 as usize).map(|m| m.stats)
     }
 
+    /// Every model's ledger, indexed like the registry (the sharded
+    /// snapshot path reads all cells at once).
+    pub(crate) fn model_stats_vec(&self) -> Vec<ServerStats> {
+        self.models.iter().map(|m| m.stats).collect()
+    }
+
     /// Windows a registered model has queued for the next [`Self::tick`]
     /// (0 for a handle this server never issued).
     pub fn pending_windows_for(&self, model: ModelId) -> usize {
         self.pending.iter().filter(|w| w.model == model.0 as usize).count()
+    }
+
+    /// Feed-to-vote latency quantiles over every window this server has
+    /// served: the time from a window becoming due at feed time to its vote
+    /// completing in a tick.
+    pub fn latency(&self) -> LatencySummary {
+        self.latency.summary()
+    }
+
+    /// The underlying latency histogram (the sharded snapshot path merges
+    /// shard histograms bucket-wise).
+    pub(crate) fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
     }
 
     /// Feeds audio into `id`'s stream. Every window that becomes due is
@@ -708,6 +532,7 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
             mstats.rejected_feeds += 1;
             return Err(ServeError::Backpressure { session: id, queued: session.queued });
         }
+        let now = Instant::now();
         let mut receipt = FeedReceipt::default();
         let Session { state, queued, .. } = session;
         state.feed(samples, config.hop, |window, at_sample| {
@@ -743,7 +568,13 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
                     }
                 }
             }
-            pending.push(PendingWindow { session: id.0, model, at_sample, audio: window.to_vec() });
+            pending.push(PendingWindow {
+                session: id.0,
+                model,
+                at_sample,
+                queued_at: now,
+                audio: window.to_vec(),
+            });
             *queued += 1;
             receipt.queued += 1;
         });
@@ -759,7 +590,8 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
 
     /// Serves the pending windows: sheds down to the [`Self::tick_budget`]
     /// (oldest first, before any feature extraction), extracts MFCC features
-    /// in parallel (one window per worker), runs batched inference through
+    /// (in parallel across windows unless [`Self::parallel_extraction`] is
+    /// off), runs batched inference through
     /// [`InferenceBackend::infer_isolated`] (respecting [`Self::max_batch`]),
     /// quarantines windows whose logits are unusable, applies each surviving
     /// session's smoothing vote in arrival order, and returns the detections
@@ -833,16 +665,28 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
                 let per = model.frames * model.coeffs;
                 let mut batch = Tensor::zeros(&[idxs.len(), 1, model.frames, model.coeffs]);
                 // One shared plan, one scratch per worker: each window is
-                // extracted serially (the parallelism is across windows)
-                // with features written straight into the batch tensor.
+                // extracted serially (the parallelism, when on, is across
+                // windows) with features written straight into the batch
+                // tensor. Serial and parallel extraction are bitwise
+                // identical by construction — same plan, same per-window
+                // arithmetic — so a sharded worker may run serial without
+                // perturbing equivalence.
                 let (plan, mean, std) = (model.mfcc.plan(), &model.norm_mean, &model.norm_std);
-                parallel_zip_chunks(batch.data_mut(), per, |w0, chunk| {
+                if self.parallel_extraction {
+                    parallel_zip_chunks(batch.data_mut(), per, |w0, chunk| {
+                        let mut scratch = plan.scratch();
+                        for (dw, row) in chunk.chunks_mut(per).enumerate() {
+                            plan.compute_into(&mut scratch, &pending[idxs[w0 + dw]].audio, row);
+                            normalize_in_place(row, mean, std);
+                        }
+                    });
+                } else {
                     let mut scratch = plan.scratch();
-                    for (dw, row) in chunk.chunks_mut(per).enumerate() {
-                        plan.compute_into(&mut scratch, &pending[idxs[w0 + dw]].audio, row);
+                    for (dw, row) in batch.data_mut().chunks_mut(per).enumerate() {
+                        plan.compute_into(&mut scratch, &pending[idxs[dw]].audio, row);
                         normalize_in_place(row, mean, std);
                     }
-                });
+                }
                 // Fault-isolated inference: a panicking / wrong-arity /
                 // NaN-emitting backend call quarantines only its own rows.
                 // With a healthy backend this chunks exactly like
@@ -874,6 +718,7 @@ impl<'m, B: InferenceBackend + ?Sized> StreamServer<'m, B> {
             report.served += 1;
             self.stats.windows_served += 1;
             self.models[window.model].stats.windows_served += 1;
+            self.latency.record(window.queued_at.elapsed());
             let vote = push_vote(&mut session.recent, &rows[w], self.config.smoothing);
             if let Some((best, confidence)) = vote {
                 if best < self.models[window.model].num_keywords
@@ -1072,6 +917,47 @@ mod tests {
         let unbounded = run(0);
         assert_eq!(run(2), unbounded);
         assert_eq!(run(1), unbounded);
+    }
+
+    #[test]
+    fn serial_extraction_matches_parallel_exactly() {
+        let backend = Probe { classes: 6 };
+        let run = |parallel: bool| {
+            let mut server = small_server(&backend).parallel_extraction(parallel);
+            let ids: Vec<SessionId> = (0..3).map(|_| server.try_open().unwrap()).collect();
+            for (k, &id) in ids.iter().enumerate() {
+                server.try_feed(id, &tone(120.0 + 90.0 * k as f32, 4_000)).unwrap();
+            }
+            server.tick()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn served_windows_record_latency() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend);
+        let a = server.try_open().unwrap();
+        server.try_feed(a, &tone(200.0, 3_000)).unwrap();
+        assert_eq!(server.latency().count, 0, "latency is recorded at vote, not feed");
+        server.tick();
+        let lat = server.latency();
+        assert_eq!(lat.count, 3);
+        assert!(lat.p50_ns > 0 && lat.p50_ns <= lat.p99_ns, "{lat:?}");
+    }
+
+    #[test]
+    fn admit_session_rejects_duplicates_and_advances_ids() {
+        let backend = Probe { classes: 6 };
+        let mut server = small_server(&backend);
+        let picked = server.admit_session(7, ModelId(0)).unwrap();
+        assert_eq!(format!("{picked}"), "session#7");
+        assert!(server.admit_session(7, ModelId(0)).is_err(), "id already in use");
+        assert!(server.admit_session(3, ModelId(9)).is_err(), "unknown model");
+        // try_open continues past the admitted id rather than colliding.
+        let next = server.try_open().unwrap();
+        assert_eq!(format!("{next}"), "session#8");
+        assert_eq!(server.num_sessions(), 2);
     }
 
     #[test]

@@ -78,3 +78,81 @@ pub fn chirp_stream(len: usize, seed: u64, sample_rate: f32, f0: f32, df: f32) -
         })
         .collect()
 }
+
+/// From-scratch single-window pipeline: MFCC → normalise → infer → softmax
+/// → smoothing vote → threshold. Everything the serving layer does per
+/// window, reimplemented independently so oracle-based tests share no
+/// serving code with the system under test.
+pub struct PipelineOracle {
+    mfcc: thnt_dsp::Mfcc,
+    probe: Probe,
+    config: thnt_core::StreamingConfig,
+    norm_mean: Vec<f32>,
+    norm_std: Vec<f32>,
+    recent: std::collections::VecDeque<Vec<f32>>,
+}
+
+impl PipelineOracle {
+    /// An oracle over a [`Probe`] backend with the given front-end and
+    /// post-processing parameters.
+    pub fn new(
+        classes: usize,
+        mfcc: MfccConfig,
+        config: thnt_core::StreamingConfig,
+        norm_mean: Vec<f32>,
+        norm_std: Vec<f32>,
+    ) -> Self {
+        Self {
+            mfcc: thnt_dsp::Mfcc::new(mfcc),
+            probe: Probe { classes },
+            config,
+            norm_mean,
+            norm_std,
+            recent: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Runs one analysis window through the full pipeline and returns the
+    /// detection it votes for, if any.
+    pub fn detect(&mut self, window: &[f32], at_sample: usize) -> Option<thnt_core::Detection> {
+        let cfg = self.config;
+        let plan = self.mfcc.plan();
+        let mut scratch = plan.scratch();
+        let coeffs = self.norm_mean.len();
+        let frames = self.mfcc.config().num_frames(window.len());
+        let mut features = vec![0.0f32; frames * coeffs];
+        plan.compute_into(&mut scratch, window, &mut features);
+        for row in features.chunks_mut(coeffs) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.norm_mean).zip(&self.norm_std) {
+                *v = (*v - m) / s;
+            }
+        }
+        let x = Tensor::from_vec(features, &[1, 1, frames, coeffs]);
+        let probs_t = thnt_nn::softmax(&self.probe.infer(&x));
+        let probs = probs_t.row(0);
+        // The serving layer's smoothing vote: mean over the recent windows,
+        // argmax keeping the last maximum among finite entries.
+        self.recent.push_back(probs.to_vec());
+        if self.recent.len() > cfg.smoothing {
+            self.recent.pop_front();
+        }
+        let mut smoothed = vec![0.0f32; probs.len()];
+        for row in self.recent.iter() {
+            for (m, &v) in smoothed.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut smoothed {
+            *m /= self.recent.len() as f32;
+        }
+        let mut best: Option<(usize, f32)> = None;
+        for (c, &v) in smoothed.iter().enumerate() {
+            if v.is_finite() && best.is_none_or(|(_, bv)| v >= bv) {
+                best = Some((c, v));
+            }
+        }
+        let (class, confidence) = best?;
+        (class < self.probe.classes - cfg.suppress_trailing && confidence >= cfg.threshold)
+            .then_some(thnt_core::Detection { class, confidence, at_sample })
+    }
+}

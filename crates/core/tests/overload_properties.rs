@@ -18,15 +18,13 @@ mod common;
 
 use std::collections::{HashMap, VecDeque};
 
-use common::{chirp_stream, small_mfcc, Probe};
+use common::{chirp_stream, small_mfcc, PipelineOracle, Probe};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use thnt_core::{
     Detection, OverflowPolicy, ServeError, SessionId, SessionState, StreamServer, StreamingConfig,
 };
-use thnt_nn::{softmax, InferenceBackend};
-use thnt_tensor::Tensor;
 
 const HOP: usize = 500;
 const WINDOW: usize = 2_000;
@@ -44,65 +42,9 @@ fn norm_std() -> Vec<f32> {
     vec![1.5; COEFFS]
 }
 
-/// From-scratch single-window pipeline: MFCC → normalise → infer → softmax
-/// → smoothing vote → threshold. Everything the server does per window,
-/// reimplemented independently so the oracle shares no serving code.
-struct PipelineOracle {
-    mfcc: thnt_dsp::Mfcc,
-    probe: Probe,
-    recent: VecDeque<Vec<f32>>,
-}
-
-impl PipelineOracle {
-    fn new(classes: usize) -> Self {
-        Self {
-            mfcc: thnt_dsp::Mfcc::new(small_mfcc()),
-            probe: Probe { classes },
-            recent: VecDeque::new(),
-        }
-    }
-
-    fn detect(&mut self, window: &[f32], at_sample: usize) -> Option<Detection> {
-        let cfg = config();
-        let plan = self.mfcc.plan();
-        let mut scratch = plan.scratch();
-        let frames = small_mfcc().num_frames(WINDOW);
-        let mut features = vec![0.0f32; frames * COEFFS];
-        plan.compute_into(&mut scratch, window, &mut features);
-        let (mean, std) = (norm_mean(), norm_std());
-        for row in features.chunks_mut(COEFFS) {
-            for ((v, &m), &s) in row.iter_mut().zip(&mean).zip(&std) {
-                *v = (*v - m) / s;
-            }
-        }
-        let x = Tensor::from_vec(features, &[1, 1, frames, COEFFS]);
-        let probs_t = softmax(&self.probe.infer(&x));
-        let probs = probs_t.row(0);
-        // The server's smoothing vote: mean over the recent windows, argmax
-        // keeping the last maximum among finite entries.
-        self.recent.push_back(probs.to_vec());
-        if self.recent.len() > cfg.smoothing {
-            self.recent.pop_front();
-        }
-        let mut smoothed = vec![0.0f32; probs.len()];
-        for row in self.recent.iter() {
-            for (m, &v) in smoothed.iter_mut().zip(row) {
-                *m += v;
-            }
-        }
-        for m in &mut smoothed {
-            *m /= self.recent.len() as f32;
-        }
-        let mut best: Option<(usize, f32)> = None;
-        for (c, &v) in smoothed.iter().enumerate() {
-            if v.is_finite() && best.is_none_or(|(_, bv)| v >= bv) {
-                best = Some((c, v));
-            }
-        }
-        let (class, confidence) = best?;
-        (class < self.probe.classes - cfg.suppress_trailing && confidence >= cfg.threshold)
-            .then_some(Detection { class, confidence, at_sample })
-    }
+/// The shared from-scratch pipeline oracle, bound to this file's fixtures.
+fn oracle(classes: usize) -> PipelineOracle {
+    PipelineOracle::new(classes, small_mfcc(), config(), norm_mean(), norm_std())
 }
 
 proptest! {
@@ -292,7 +234,7 @@ proptest! {
         prop_assert!(stats.windows_dropped > 0, "bound {} never overflowed", bound);
 
         for (k, id) in ids.iter().enumerate() {
-            let mut oracle = PipelineOracle::new(8);
+            let mut oracle = oracle(8);
             let want: Vec<Detection> = sims[k]
                 .survivors
                 .iter()

@@ -1,0 +1,536 @@
+//! Offline stand-in for `crossbeam::channel`: multi-producer multi-consumer
+//! channels over [`std::sync::Mutex`] + [`std::sync::Condvar`].
+//!
+//! Implements the subset the THNT workspace serves traffic through —
+//! [`bounded`] and [`unbounded`] construction, cloneable [`Sender`] /
+//! [`Receiver`] halves, blocking [`Sender::send`] / [`Receiver::recv`],
+//! non-blocking [`Sender::try_send`] / [`Receiver::try_recv`], and the
+//! deadline-batching workhorse [`Receiver::recv_timeout`] — with upstream's
+//! disconnect semantics: a receive only reports `Disconnected` once every
+//! sender is gone **and** the queue has drained, so no accepted message is
+//! ever lost.
+//!
+//! Divergences from upstream crossbeam: no `select!`, no zero-capacity
+//! rendezvous channels (`bounded(0)` is rounded up to `bounded(1)`), and the
+//! queue is a mutex-guarded `VecDeque` rather than a lock-free segment list —
+//! correctness-equivalent, slower under extreme contention, which the THNT
+//! sharded server amortises by batching many windows per message.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The sending half of a channel could not deliver because every [`Receiver`]
+/// has been dropped. The undeliverable message is returned to the caller.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error from [`Sender::try_send`]: the channel is at capacity or every
+/// receiver is gone. Either way the message comes back to the caller.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The bounded channel is full; the message was not enqueued.
+    Full(T),
+    /// Every receiver has been dropped; the message can never be delivered.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+        }
+    }
+}
+
+/// The receiving half found the channel empty with every [`Sender`] dropped;
+/// no further message can ever arrive.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error from [`Receiver::try_recv`]: nothing buffered right now, or nothing
+/// buffered and nothing ever again.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain connected.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error from [`Receiver::recv_timeout`]: the deadline passed with the
+/// channel still empty, or the channel disconnected while (or before) waiting.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed before a message arrived; senders remain.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Shared channel state: the queue plus liveness counters for each half.
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// `None` for unbounded channels; `Some(cap >= 1)` for bounded ones.
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a message is enqueued or the last sender drops.
+    not_empty: Condvar,
+    /// Signalled when a message is dequeued or the last receiver drops.
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the queue, recovering from a poisoned mutex: the queue itself is
+    /// always structurally valid (every critical section only pushes/pops),
+    /// so a panic elsewhere while holding the lock cannot corrupt it.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The sending half of a channel. Cloning produces another producer feeding
+/// the same queue; the channel disconnects for receivers only when *all*
+/// clones have been dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloning produces another consumer
+/// competing for the same queue (each message is delivered to exactly one
+/// receiver); the channel disconnects for senders only when *all* clones have
+/// been dropped.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; `send` blocks
+/// when full. `bounded(0)` is rounded up to `bounded(1)` (this stand-in has
+/// no rendezvous mode — see the module docs).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// Creates a channel with no capacity limit; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while a bounded channel is at capacity.
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match inner.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = match self.shared.not_full.wait(inner) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `msg` without blocking; a full bounded channel returns
+    /// [`TrySendError::Full`] instead of waiting.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = inner.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered in the channel.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the channel currently buffers no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest message, blocking while the channel is empty.
+    /// Returns [`RecvError`] only once the queue is drained *and* every
+    /// sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = match self.shared.not_empty.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Dequeues the oldest message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.lock();
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Dequeues the oldest message, blocking at most `timeout`. This is the
+    /// deadline-batching primitive: a shard worker sleeps here until either
+    /// work arrives or its partial batch is due to flush.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            inner = match self.shared.not_empty.wait_timeout(inner, remaining) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Number of messages currently buffered in the channel.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the channel currently buffers no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake every blocked receiver so it can observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        let last = inner.receivers == 0;
+        drop(inner);
+        if last {
+            // Wake every blocked sender so it can observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..16 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..16 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_full_then_drains() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_zero_rounds_up_to_one() {
+        let (tx, _rx) = bounded(0);
+        tx.try_send(7).unwrap();
+        assert_eq!(tx.try_send(8), Err(TrySendError::Full(8)));
+    }
+
+    #[test]
+    fn disconnect_drains_before_erroring() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_message() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn clone_keeps_channel_alive_until_last_drop() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        let t0 = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Err(RecvTimeoutError::Timeout));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(3));
+    }
+
+    #[test]
+    fn blocked_send_wakes_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| tx.send(1).unwrap());
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+        });
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| rx.recv());
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 200;
+        let (tx, rx) = bounded(8);
+        let collected = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.send(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                let collected = &collected;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        local.push(v);
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut got = collected.into_inner().unwrap();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        const N: usize = 500;
+        let (tx, rx) = bounded(4);
+        std::thread::scope(|s| {
+            let tx2 = tx.clone();
+            s.spawn(move || {
+                for i in 0..N {
+                    tx2.send(("a", i)).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.send(("b", i)).unwrap();
+                }
+            });
+            let mut next = std::collections::HashMap::new();
+            while let Ok((who, i)) = rx.recv() {
+                let slot = next.entry(who).or_insert(0usize);
+                assert_eq!(*slot, i, "messages from one producer arrived out of order");
+                *slot += 1;
+            }
+            assert_eq!(next["a"], N);
+            assert_eq!(next["b"], N);
+        });
+    }
+}

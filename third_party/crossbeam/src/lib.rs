@@ -1,12 +1,15 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! crate, implementing only the `crossbeam::scope` scoped-thread API over
+//! crate, implementing the `crossbeam::scope` scoped-thread API over
 //! [`std::thread::scope`] (stabilised in Rust 1.63, after crossbeam's scoped
-//! threads were designed).
+//! threads were designed) and the [`channel`] MPMC channels the THNT sharded
+//! `StreamServer` feeds its worker shards through.
 //!
 //! Divergence from upstream: a panicking child thread propagates the panic
 //! when the scope exits instead of surfacing it as the `Err` variant, so the
 //! customary `crossbeam::scope(...).expect("...")` never observes `Err`. The
 //! THNT workspace only uses the `Ok` path.
+
+pub mod channel;
 
 use std::any::Any;
 
